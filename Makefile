@@ -1,0 +1,33 @@
+# Convenience targets for the Misam reproduction.
+
+.PHONY: test bench reproduce reproduce-paper examples doc clean
+
+test:
+	cargo test --workspace
+
+bench:
+	cargo bench --workspace
+
+# Regenerate every table/figure into results/ (minutes).
+reproduce:
+	MISAM_SCALE=mid cargo run --release -p misam-bench --bin reproduce_all
+
+# The published corpus sizes (substantially longer).
+reproduce-paper:
+	MISAM_SCALE=paper cargo run --release -p misam-bench --bin reproduce_all
+
+examples:
+	cargo run --release --example quickstart
+	cargo run --release --example graph_analytics
+	cargo run --release --example pruned_dnn
+	cargo run --release --example streaming_reconfig
+	cargo run --release --example train_selector
+	cargo run --release --example multi_objective
+	cargo run --release --example device_routing
+
+doc:
+	cargo doc --no-deps --workspace
+
+clean:
+	cargo clean
+	rm -rf results/*.txt

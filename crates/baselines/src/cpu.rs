@@ -1,0 +1,175 @@
+//! MKL-class CPU model (Intel Core i9-11980HK, 8 cores, 32 GB).
+//!
+//! MKL's sparse BLAS runs Gustavson row-by-row. The model is a roofline
+//! over three terms — SIMD compute, streaming memory, and irregular
+//! (gather/scatter) accesses — plus per-call and per-row overheads. The
+//! irregular term dominates exactly where the paper's CPU numbers
+//! collapse: sparse accumulators on HS inputs and pruned-structure B on
+//! MS inputs.
+
+use crate::BaselineReport;
+use misam_sparse::{kernels, CsrMatrix};
+
+/// Tunable constants of the CPU model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Physical cores used by MKL.
+    pub cores: f64,
+    /// Sustained clock in GHz under multicore AVX load.
+    pub freq_ghz: f64,
+    /// FP32 FLOPs per core per cycle under dense SIMD (FMA units).
+    pub simd_flops_per_cycle: f64,
+    /// Efficiency of sparse code relative to dense SIMD peak.
+    pub sparse_simd_efficiency: f64,
+    /// Streaming memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Last-level cache size in bytes (decides whether B row gathers hit).
+    pub llc_bytes: f64,
+    /// Average cost of one irregular (cache-missing) access, ns.
+    pub rand_access_ns: f64,
+    /// Fixed per-call overhead, seconds (dispatch, inspector).
+    pub call_overhead_s: f64,
+    /// Per-row bookkeeping overhead, ns.
+    pub row_overhead_ns: f64,
+    /// Package power under sustained sparse load, watts.
+    pub power_w: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            cores: 8.0,
+            freq_ghz: 3.3,
+            simd_flops_per_cycle: 32.0,
+            sparse_simd_efficiency: 0.12,
+            mem_bw_gbs: 45.0,
+            llc_bytes: 24e6,
+            rand_access_ns: 4.0,
+            call_overhead_s: 40e-6,
+            row_overhead_ns: 25.0,
+            power_w: 52.0,
+        }
+    }
+}
+
+impl CpuModel {
+    /// Models sparse × dense (MKL `mkl_sparse_s_mm`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b_rows`.
+    pub fn spmm(&self, a: &CsrMatrix, b_rows: usize, b_cols: usize) -> BaselineReport {
+        assert_eq!(a.cols(), b_rows, "inner dimensions disagree");
+        let flops = a.nnz() as u64 * b_cols as u64;
+        let flop_time = 2.0 * flops as f64 / self.dense_flops() / 1e9 * 2.0;
+        // Stream A once, B once, C once.
+        let bytes = (a.nnz() * 12 + b_rows * b_cols * 4 + a.rows() * b_cols * 4) as f64;
+        let mem_time = bytes / (self.mem_bw_gbs * 1e9);
+        // Each A nonzero gathers one B row; misses when B exceeds LLC.
+        let b_bytes = (b_rows * b_cols * 4) as f64;
+        let miss = if b_bytes <= self.llc_bytes { 0.03 } else { 0.35 };
+        let gather_time = a.nnz() as f64 * miss * self.rand_access_ns * 1e-9
+            * (b_cols as f64 / 16.0).max(1.0)
+            / self.cores;
+        let time = self.call_overhead_s
+            + self.row_time(a.rows())
+            + flop_time.max(mem_time) + gather_time;
+        BaselineReport::new(time, self.power_w, flops)
+    }
+
+    /// Models sparse × sparse (MKL `mkl_sparse_spmm`): Gustavson with a
+    /// hashed sparse accumulator whose probes are irregular accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn spgemm(&self, a: &CsrMatrix, b: &CsrMatrix) -> BaselineReport {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
+        let flops = kernels::spgemm_flops(a, b);
+        let flop_time = 2.0 * flops as f64
+            / (self.dense_flops() * self.sparse_simd_efficiency)
+            / 1e9;
+        // Every multiply probes the accumulator; B rows gathered per A nnz.
+        let irregular = (flops as f64 * 0.8 + a.nnz() as f64)
+            * self.rand_access_ns
+            * 1e-9
+            / self.cores;
+        let bytes = ((a.nnz() + b.nnz()) * 12) as f64 + flops as f64 * 4.0;
+        let mem_time = bytes / (self.mem_bw_gbs * 1e9);
+        let time = self.call_overhead_s
+            + self.row_time(a.rows())
+            + (flop_time + irregular).max(mem_time);
+        BaselineReport::new(time, self.power_w, flops)
+    }
+
+    fn dense_flops(&self) -> f64 {
+        self.cores * self.freq_ghz * self.simd_flops_per_cycle
+    }
+
+    fn row_time(&self, rows: usize) -> f64 {
+        rows as f64 * self.row_overhead_ns * 1e-9 / self.cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use misam_sparse::gen;
+
+    #[test]
+    fn spgemm_time_grows_with_work() {
+        let m = CpuModel::default();
+        let a_small = gen::uniform_random(500, 500, 0.005, 1);
+        let a_big = gen::uniform_random(500, 500, 0.05, 2);
+        let b = gen::uniform_random(500, 500, 0.02, 3);
+        assert!(m.spgemm(&a_big, &b).time_s > m.spgemm(&a_small, &b).time_s);
+    }
+
+    #[test]
+    fn spmm_cache_resident_b_is_faster_per_flop() {
+        let m = CpuModel::default();
+        let a = gen::uniform_random(2000, 2000, 0.01, 4);
+        // Same flops, different B size vs LLC.
+        let small = m.spmm(&a, 2000, 64);
+        let a_wide = gen::uniform_random(2000, 20_000, 0.001, 5);
+        let big = m.spmm(&a_wide, 20_000, 512);
+        let per_flop_small = small.time_s / small.flops as f64;
+        let per_flop_big = big.time_s / big.flops as f64;
+        assert!(per_flop_big > per_flop_small);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = CpuModel::default();
+        let a = gen::uniform_random(100, 100, 0.1, 6);
+        let r = m.spgemm(&a, &a);
+        assert!((r.energy_j - r.time_s * m.power_w).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overhead_floors_tiny_calls() {
+        let m = CpuModel::default();
+        let a = gen::uniform_random(16, 16, 0.05, 7);
+        let r = m.spgemm(&a, &a);
+        assert!(r.time_s >= m.call_overhead_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn spmm_checks_dims() {
+        let a = gen::uniform_random(8, 8, 0.5, 8);
+        CpuModel::default().spmm(&a, 9, 4);
+    }
+
+    #[test]
+    fn sparse_throughput_is_far_below_dense_peak() {
+        // MKL SpGEMM on an HS matrix should land in the low GFLOP/s —
+        // the regime where the paper's 15x Misam gains live.
+        let m = CpuModel::default();
+        let a = gen::power_law(4000, 4000, 8.0, 1.4, 9);
+        let r = m.spgemm(&a, &a);
+        let gflops = 2.0 * r.flops as f64 / r.time_s / 1e9;
+        assert!(gflops < 20.0, "sparse CPU at {gflops:.1} GFLOP/s is implausibly fast");
+        assert!(gflops > 0.05, "sparse CPU at {gflops:.3} GFLOP/s is implausibly slow");
+    }
+}

@@ -1,0 +1,182 @@
+//! cuSPARSE-class GPU model (NVIDIA RTX A6000: 84 SMs, 48 GB GDDR6 at
+//! 768 GB/s).
+//!
+//! Two regimes mirror the paper's findings (§5.3): dense-operand SpMM is
+//! memory-roofline fast — "GPUs excel in dense matrix multiplications" —
+//! while SpGEMM pays large fixed costs (format inspection, symbolic
+//! phase) and an irregularity penalty, and *moderately sparse* operands
+//! pay an extra structure penalty because pruning "introduces a
+//! non-optimal sparsity structure for tensor cores".
+
+use crate::BaselineReport;
+use misam_sparse::{kernels, CsrMatrix};
+
+/// Tunable constants of the GPU model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    /// Usable fraction of the 768 GB/s peak on streaming kernels.
+    pub mem_bw_gbs: f64,
+    /// Dense-path FP32 throughput, GFLOP/s.
+    pub dense_gflops: f64,
+    /// SpGEMM effective throughput on well-shaped inputs, GFLOP/s.
+    pub spgemm_gflops: f64,
+    /// Kernel launch + descriptor overhead for SpMM, seconds.
+    pub spmm_overhead_s: f64,
+    /// Inspection + symbolic-phase overhead for SpGEMM, seconds.
+    pub spgemm_overhead_s: f64,
+    /// Multiplier applied when an operand is moderately sparse (pruned
+    /// DNN structure that defeats tensor-core tiling).
+    pub ms_structure_penalty: f64,
+    /// Exponent applied to A's row-load imbalance (warp divergence).
+    pub imbalance_exponent: f64,
+    /// Board power under sparse load, watts.
+    pub power_w: f64,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel {
+            mem_bw_gbs: 650.0,
+            dense_gflops: 18_000.0,
+            spgemm_gflops: 120.0,
+            spmm_overhead_s: 12e-6,
+            spgemm_overhead_s: 180e-6,
+            ms_structure_penalty: 3.5,
+            imbalance_exponent: 0.35,
+            power_w: 260.0,
+        }
+    }
+}
+
+/// Density band treated as "moderately sparse" for the structure penalty,
+/// matching `SparsityRegime::ModeratelySparse`.
+const MS_BAND: std::ops::Range<f64> = 0.02..0.5;
+
+impl GpuModel {
+    /// Models sparse × dense (`cusparseSpMM`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b_rows`.
+    pub fn spmm(&self, a: &CsrMatrix, b_rows: usize, b_cols: usize) -> BaselineReport {
+        assert_eq!(a.cols(), b_rows, "inner dimensions disagree");
+        let flops = a.nnz() as u64 * b_cols as u64;
+        let bytes = (a.nnz() * 12 + b_rows * b_cols * 4 + a.rows() * b_cols * 4) as f64;
+        let mem_time = bytes / (self.mem_bw_gbs * 1e9);
+        let flop_time = 2.0 * flops as f64 / (self.dense_gflops * 1e9);
+        // Row-split SpMM kernels balance warps regardless of A's row
+        // skew and stream the dense B regardless of A's pruning pattern,
+        // so neither the imbalance factor nor the MS structure penalty
+        // applies here — both are SpGEMM pathologies (hash/merge
+        // divergence, tensor-core tiling defeated by pruned structure).
+        let time = self.spmm_overhead_s + mem_time.max(flop_time);
+        BaselineReport::new(time, self.power_w, flops)
+    }
+
+    /// Models sparse × sparse (`cusparseSpGEMM`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn spgemm(&self, a: &CsrMatrix, b: &CsrMatrix) -> BaselineReport {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
+        let flops = kernels::spgemm_flops(a, b);
+        let flop_time = 2.0 * flops as f64 / (self.spgemm_gflops * 1e9);
+        let bytes = ((a.nnz() + b.nnz()) * 12) as f64 + flops as f64 * 8.0;
+        let mem_time = bytes / (self.mem_bw_gbs * 1e9);
+        let imb = self.imbalance_factor(a);
+        let penalty = if MS_BAND.contains(&a.density()) || MS_BAND.contains(&b.density()) {
+            self.ms_structure_penalty
+        } else {
+            1.0
+        };
+        let time = self.spgemm_overhead_s + flop_time.max(mem_time) * imb * penalty;
+        BaselineReport::new(time, self.power_w, flops)
+    }
+
+    /// Warp-divergence factor from A's row-length imbalance.
+    fn imbalance_factor(&self, a: &CsrMatrix) -> f64 {
+        let rows = a.rows().max(1) as f64;
+        let avg = a.nnz() as f64 / rows;
+        if avg <= 0.0 {
+            return 1.0;
+        }
+        let max_row = (0..a.rows()).map(|r| a.row_nnz(r)).max().unwrap_or(0) as f64;
+        (max_row / avg).max(1.0).powf(self.imbalance_exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuModel;
+    use misam_sparse::gen;
+
+    #[test]
+    fn gpu_beats_cpu_on_dense_spmm() {
+        let a = gen::uniform_random(4096, 4096, 0.3, 1);
+        let gpu = GpuModel::default().spmm(&a, 4096, 512);
+        let cpu = CpuModel::default().spmm(&a, 4096, 512);
+        assert!(gpu.time_s < cpu.time_s, "GPU should dominate dense-heavy SpMM");
+    }
+
+    #[test]
+    fn ms_structure_penalty_applies_to_spgemm_only() {
+        let with = GpuModel::default();
+        let without = GpuModel { ms_structure_penalty: 1.0, ..GpuModel::default() };
+        let ms = gen::pruned_dnn(1024, 1024, 0.2, 2);
+        let ms_b = gen::pruned_dnn(1024, 512, 0.2, 12);
+        let hs = gen::uniform_random(1024, 1024, 0.005, 3);
+        let hs_b = gen::uniform_random(1024, 512, 0.005, 13);
+        // SpGEMM with an MS operand pays the penalty on its variable part.
+        let ms_ratio = (with.spgemm(&ms, &ms_b).time_s - with.spgemm_overhead_s)
+            / (without.spgemm(&ms, &ms_b).time_s - without.spgemm_overhead_s);
+        assert!((ms_ratio - with.ms_structure_penalty).abs() < 1e-6);
+        // HSxHS SpGEMM does not.
+        assert!(
+            (with.spgemm(&hs, &hs_b).time_s - without.spgemm(&hs, &hs_b).time_s).abs() < 1e-12,
+            "HS operands must not be penalized"
+        );
+        // SpMM with dense B never pays it: cuSPARSE streams B.
+        assert!(
+            (with.spmm(&ms, 1024, 512).time_s - without.spmm(&ms, 1024, 512).time_s).abs()
+                < 1e-12,
+            "dense-B SpMM must not be penalized"
+        );
+    }
+
+    #[test]
+    fn imbalance_slows_spgemm() {
+        let model = GpuModel::default();
+        let uniform = gen::regular_degree(2048, 2048, 8, 4);
+        let skewed = gen::imbalanced_rows(2048, 2048, 0.01, 1500, 3, 5);
+        let b = gen::uniform_random(2048, 2048, 0.002, 6);
+        // Compare the variable (post-overhead) per-flop cost.
+        let per_u = (model.spgemm(&uniform, &b).time_s - model.spgemm_overhead_s)
+            / kernels::spgemm_flops(&uniform, &b).max(1) as f64;
+        let per_s = (model.spgemm(&skewed, &b).time_s - model.spgemm_overhead_s)
+            / kernels::spgemm_flops(&skewed, &b).max(1) as f64;
+        assert!(per_s > per_u, "imbalanced A should cost more per flop");
+    }
+
+    #[test]
+    fn spgemm_overhead_floors_small_calls() {
+        let model = GpuModel::default();
+        let a = gen::uniform_random(64, 64, 0.02, 7);
+        let r = model.spgemm(&a, &a);
+        assert!(r.time_s >= model.spgemm_overhead_s);
+    }
+
+    #[test]
+    fn gpu_power_dwarfs_cpu_power() {
+        assert!(GpuModel::default().power_w > 4.0 * CpuModel::default().power_w);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn spgemm_checks_dims() {
+        let a = gen::uniform_random(8, 8, 0.5, 8);
+        let b = gen::uniform_random(9, 9, 0.5, 9);
+        GpuModel::default().spgemm(&a, &b);
+    }
+}

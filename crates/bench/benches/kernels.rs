@@ -1,0 +1,49 @@
+//! Criterion benches of the SpGEMM reference kernels — the functional
+//! substrate every simulated design is validated against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use misam_sparse::{gen, kernels};
+use std::hint::black_box;
+
+fn bench_dataflows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spgemm_dataflows");
+    for &(name, density) in &[("hs", 0.002), ("ms", 0.05)] {
+        let a = gen::uniform_random(1024, 1024, density, 1);
+        let b = gen::uniform_random(1024, 1024, density, 2);
+        let b_csc = b.to_csc();
+        let a_csc = a.to_csc();
+        g.bench_with_input(BenchmarkId::new("rowwise", name), &(), |bench, ()| {
+            bench.iter(|| kernels::spgemm_rowwise(black_box(&a), black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("inner", name), &(), |bench, ()| {
+            bench.iter(|| kernels::spgemm_inner(black_box(&a), black_box(&b_csc)))
+        });
+        g.bench_with_input(BenchmarkId::new("outer", name), &(), |bench, ()| {
+            bench.iter(|| kernels::spgemm_outer(black_box(&a_csc), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let a = gen::power_law(2048, 2048, 8.0, 1.5, 3);
+    let b = gen::dense_buffer(2048, 128, 4);
+    c.bench_function("spmm_2048x2048x128", |bench| {
+        bench.iter(|| kernels::spmm(black_box(&a), black_box(&b), 2048, 128).unwrap())
+    });
+}
+
+fn bench_flop_counting(c: &mut Criterion) {
+    let a = gen::power_law(4096, 4096, 10.0, 1.5, 5);
+    let b = gen::power_law(4096, 4096, 10.0, 1.5, 6);
+    c.bench_function("spgemm_flops_symbolic", |bench| {
+        bench.iter(|| kernels::spgemm_flops(black_box(&a), black_box(&b)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dataflows, bench_spmm, bench_flop_counting
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches of the ML components — the Figure 12 host stages:
+//! feature extraction (preprocessing, paper ~2%) and tree inference
+//! (paper 0.002 ms).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use misam_features::{PairFeatures, TileConfig};
+use misam_mlkit::regression::{RegParams, RegressionTree};
+use misam_mlkit::tree::{DecisionTree, TreeParams};
+use misam_sparse::gen;
+use std::hint::black_box;
+
+fn training_data(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let f: Vec<f64> = (0..24).map(|j| ((i * 37 + j * 13) % 101) as f64).collect();
+        y.push(((f[0] > 50.0) as usize) * 2 + ((f[5] > 50.0) as usize));
+        x.push(f);
+    }
+    (x, y)
+}
+
+fn bench_tree_inference(c: &mut Criterion) {
+    let (x, y) = training_data(4000);
+    let tree = DecisionTree::fit(&x, &y, 4, &TreeParams::default());
+    let probe = &x[17];
+    c.bench_function("tree_inference_single", |b| {
+        b.iter(|| tree.predict(black_box(probe)))
+    });
+    // The paper's reported 0.002 ms is amortized over 1,800 cases.
+    c.bench_function("tree_inference_batch1800", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for row in x.iter().take(1800) {
+                acc += tree.predict(black_box(row));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_tree_training(c: &mut Criterion) {
+    let (x, y) = training_data(2000);
+    c.bench_function("tree_fit_2000x24", |b| {
+        b.iter(|| DecisionTree::fit(black_box(&x), black_box(&y), 4, &TreeParams::default()))
+    });
+    let yr: Vec<f64> = y.iter().map(|&v| v as f64).collect();
+    c.bench_function("regression_fit_2000x24", |b| {
+        b.iter(|| RegressionTree::fit(black_box(&x), black_box(&yr), &RegParams::default()))
+    });
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let a = gen::power_law(8192, 8192, 12.0, 1.5, 1);
+    let bs = gen::uniform_random(8192, 512, 0.2, 2);
+    let cfg = TileConfig::default();
+    c.bench_function("features_sparse_pair_98k_nnz", |b| {
+        b.iter(|| PairFeatures::extract(black_box(&a), black_box(&bs), &cfg))
+    });
+    c.bench_function("features_dense_b", |b| {
+        b.iter(|| PairFeatures::extract_dense_b(black_box(&a), 8192, 512, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_tree_inference, bench_tree_training, bench_feature_extraction
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench of the end-to-end pipeline: one trained system,
+//! repeated execute() calls — the per-workload host cost of Misam.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use misam::pipeline::Misam;
+use misam_recon::cost::ReconfigCost;
+use misam_sim::Operand;
+use misam_sparse::gen;
+use std::hint::black_box;
+
+fn bench_execute(c: &mut Criterion) {
+    let mut misam = Misam::builder()
+        .classifier_samples(400)
+        .latency_samples(500)
+        .seed(1)
+        .reconfig_cost(ReconfigCost::zero())
+        .train();
+    let a = gen::power_law(4096, 4096, 8.0, 1.5, 2);
+    let bs = gen::power_law(4096, 4096, 8.0, 1.5, 3);
+
+    c.bench_function("pipeline_execute_dense_b", |b| {
+        b.iter(|| misam.execute(black_box(&a), Operand::Dense { rows: 4096, cols: 512 }))
+    });
+    c.bench_function("pipeline_execute_sparse_b", |b| {
+        b.iter(|| misam.execute(black_box(&a), Operand::Sparse(&bs)))
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    c.bench_function("train_small_system", |b| {
+        b.iter(|| {
+            Misam::builder()
+                .classifier_samples(120)
+                .latency_samples(150)
+                .seed(black_box(9))
+                .train()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_execute, bench_training
+}
+criterion_main!(benches);

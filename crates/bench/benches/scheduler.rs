@@ -1,0 +1,53 @@
+//! Criterion benches of the cycle-level simulator: the PE scheduler and
+//! the end-to-end per-design engine (the cost that dominates corpus
+//! generation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use misam_sim::{schedule, simulate, DesignConfig, DesignId, Operand};
+use misam_sparse::gen;
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let a = gen::power_law(8192, 8192, 12.0, 1.5, 1);
+    let mut g = c.benchmark_group("schedule_98k_nnz");
+    for id in [DesignId::D1, DesignId::D2, DesignId::D3] {
+        let cfg = DesignConfig::of(id);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{id}")), &cfg, |b, cfg| {
+            b.iter(|| schedule::schedule_uniform(black_box(&a), cfg, 64))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let a = gen::uniform_random(4096, 4096, 0.005, 2);
+    let bs = gen::uniform_random(4096, 512, 0.2, 3);
+    let mut g = c.benchmark_group("simulate_design");
+    for id in DesignId::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{id}")), &id, |b, &id| {
+            b.iter(|| simulate(black_box(&a), Operand::Sparse(&bs), id))
+        });
+    }
+    g.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators_100k_nnz");
+    g.bench_function("uniform", |b| {
+        b.iter(|| gen::uniform_random(black_box(2048), 2048, 0.024, 7))
+    });
+    g.bench_function("power_law", |b| {
+        b.iter(|| gen::power_law(black_box(2048), 2048, 48.0, 1.5, 7))
+    });
+    g.bench_function("pruned_dnn", |b| {
+        b.iter(|| gen::pruned_dnn(black_box(2048), 2048, 0.024, 7))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_schedulers, bench_simulate, bench_generators
+}
+criterion_main!(benches);

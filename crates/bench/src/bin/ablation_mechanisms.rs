@@ -1,0 +1,5 @@
+//! Regenerates the `ablation_mechanisms` extension/ablation artifact.
+fn main() {
+    let s = misam_bench::scale_from_env();
+    misam_bench::emit("ablation_mechanisms", &misam_bench::render::ablation_mechanisms(&s));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `ablation_policy` extension/ablation artifact.
+fn main() {
+    let s = misam_bench::scale_from_env();
+    misam_bench::emit("ablation_policy", &misam_bench::render::ablation_policy(&s));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §6.2 multi-tenant packing estimate.
+fn main() {
+    misam_bench::emit("d62_multitenant", &misam_bench::render::d62());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `d63_hetero` extension/ablation artifact.
+fn main() {
+    let s = misam_bench::scale_from_env();
+    misam_bench::emit("d63_hetero", &misam_bench::render::d63_hetero(&s));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 1 (sparsity-space map of the workloads).
+fn main() {
+    let s = misam_bench::scale_from_env();
+    misam_bench::emit("fig01_sparsity_space", &misam_bench::render::fig01(&s));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 3 (D1/D2/D3 normalized performance).
+fn main() {
+    let s = misam_bench::scale_from_env();
+    misam_bench::emit("fig03_design_suite", &misam_bench::render::fig03(&s));
+}

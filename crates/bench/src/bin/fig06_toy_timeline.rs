@@ -1,0 +1,4 @@
+//! Regenerates Figure 6 (toy timelines).
+fn main() {
+    misam_bench::emit("fig06_toy_timeline", &misam_bench::render::fig06());
+}

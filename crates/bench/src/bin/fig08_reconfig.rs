@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 (reconfiguration overhead analysis).
+fn main() {
+    let s = misam_bench::scale_from_env();
+    misam_bench::emit("fig08_reconfig", &misam_bench::render::fig08(&s));
+}

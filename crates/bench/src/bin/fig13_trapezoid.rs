@@ -1,0 +1,5 @@
+//! Regenerates Figure 13 (Misam selector on Trapezoid's dataflows).
+fn main() {
+    let s = misam_bench::scale_from_env();
+    misam_bench::emit("fig13_trapezoid", &misam_bench::render::fig13(&s));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (design parameter configurations).
+fn main() {
+    misam_bench::emit("tab01_design_params", &misam_bench::render::tab01());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (resource estimation).
+fn main() {
+    misam_bench::emit("tab02_resources", &misam_bench::render::tab02());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (HS matrix catalog).
+fn main() {
+    misam_bench::emit("tab03_hs_matrices", &misam_bench::render::tab03());
+}

@@ -1,0 +1,119 @@
+//! Minimal `--flag value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed flags of one subcommand invocation.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `--name value` pairs from `argv`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects bare positionals, unterminated flags, and repeated flags.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut values = BTreeMap::new();
+        let mut it = argv.iter();
+        while let Some(tok) = it.next() {
+            let name = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got '{tok}'"))?;
+            if name.is_empty() {
+                return Err("empty flag name".into());
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?
+                .clone();
+            if values.insert(name.to_string(), value).is_some() {
+                return Err(format!("flag --{name} given twice"));
+            }
+        }
+        Ok(Flags { values })
+    }
+
+    /// Raw string value of a flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Optional parsed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unparseable flag.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse '{raw}'")),
+        }
+    }
+
+    /// Verifies no flags outside `known` were given.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown flag.
+    pub fn expect_only(&self, known: &[&str]) -> Result<(), String> {
+        for k in self.values.keys() {
+            if !known.contains(&k.as_str()) {
+                return Err(format!("unknown flag --{k}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let f = Flags::parse(&argv(&["--a", "1", "--b", "two"])).unwrap();
+        assert_eq!(f.get("a"), Some("1"));
+        assert_eq!(f.require("b").unwrap(), "two");
+        assert_eq!(f.get("c"), None);
+    }
+
+    #[test]
+    fn rejects_positionals_and_dangling_flags() {
+        assert!(Flags::parse(&argv(&["oops"])).is_err());
+        assert!(Flags::parse(&argv(&["--a"])).is_err());
+        assert!(Flags::parse(&argv(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn typed_defaults_and_parse_errors() {
+        let f = Flags::parse(&argv(&["--n", "42"])).unwrap();
+        assert_eq!(f.get_or("n", 7usize).unwrap(), 42);
+        assert_eq!(f.get_or("m", 7usize).unwrap(), 7);
+        let bad = Flags::parse(&argv(&["--n", "forty"])).unwrap();
+        assert!(bad.get_or("n", 7usize).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_reported() {
+        let f = Flags::parse(&argv(&["--good", "1", "--bad", "2"])).unwrap();
+        assert!(f.expect_only(&["good"]).is_err());
+        assert!(f.expect_only(&["good", "bad"]).is_ok());
+    }
+}

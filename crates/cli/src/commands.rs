@@ -1,0 +1,438 @@
+//! Subcommand implementations.
+
+use crate::args::Flags;
+use misam::persist::ModelBundle;
+use misam::pipeline::Misam;
+use misam_features::{PairFeatures, TileConfig, FEATURE_NAMES};
+use misam_recon::cost::ReconfigCost;
+use misam_sim::{simulate, DesignConfig, DesignId, Operand};
+use misam_sparse::{gen, io, CsrMatrix};
+
+const HELP: &str = "\
+misam — ML-assisted dataflow selection for SpGEMM accelerators
+
+USAGE:
+  misam train    --out models.json [--samples N] [--latency N] [--seed S]
+                 [--objective latency|energy] [--threshold T]
+  misam predict  --models models.json --a A.mtx (--b B.mtx | --dense-cols N)
+  misam simulate --a A.mtx (--b B.mtx | --dense-cols N) [--design 1|2|3|4]
+  misam features --a A.mtx (--b B.mtx | --dense-cols N)
+  misam gen      --kind uniform|power-law|banded|pruned-dnn|regular|circuit
+                 --rows N [--cols N] [--density D] [--seed S] --out M.mtx
+  misam dataset  --out corpus.csv [--samples N] [--seed S] [--format csv|json]
+  misam suite    [--scale S] [--seed N]
+  misam designs
+  misam help
+";
+
+/// Dispatches one CLI invocation.
+///
+/// # Errors
+///
+/// Returns a human-readable message for any usage or I/O problem.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        print!("{HELP}");
+        return Ok(());
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "train" => train(&flags),
+        "predict" => predict(&flags),
+        "simulate" => sim_cmd(&flags),
+        "features" => features(&flags),
+        "gen" => generate(&flags),
+        "designs" => {
+            designs();
+            Ok(())
+        }
+        "dataset" => dataset_cmd(&flags),
+        "suite" => suite_cmd(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn train(flags: &Flags) -> Result<(), String> {
+    flags.expect_only(&["out", "samples", "latency", "seed", "objective", "threshold"])?;
+    let out = flags.require("out")?;
+    let samples: usize = flags.get_or("samples", 1500)?;
+    let latency: usize = flags.get_or("latency", 2500)?;
+    let seed: u64 = flags.get_or("seed", 42u64)?;
+    let threshold: f64 = flags.get_or("threshold", 0.2)?;
+    let objective = match flags.get("objective").unwrap_or("latency") {
+        "latency" => misam::Objective::Latency,
+        "energy" => misam::Objective::Energy,
+        other => return Err(format!("unknown objective '{other}'")),
+    };
+
+    eprintln!("training on {samples}-sample classifier / {latency}-sample latency corpora…");
+    let (_, sel, lat) = Misam::builder()
+        .classifier_samples(samples)
+        .latency_samples(latency)
+        .seed(seed)
+        .objective(objective)
+        .threshold(threshold)
+        .train_with_reports();
+    eprintln!(
+        "selector accuracy {:.1}% ({} bytes); latency predictor MAE {:.3} / R2 {:.3}",
+        sel.accuracy * 100.0,
+        sel.model_bytes,
+        lat.mae,
+        lat.r2
+    );
+    let bundle = ModelBundle::new(
+        sel.selector,
+        lat.predictor,
+        threshold,
+        ReconfigCost::default(),
+        TileConfig::default(),
+    );
+    bundle.save(out)?;
+    eprintln!("models written to {out}");
+    Ok(())
+}
+
+/// Loads A and (sparse or dense-shape) B from the flag set.
+fn load_operands(flags: &Flags) -> Result<(CsrMatrix, Option<CsrMatrix>, usize), String> {
+    let a = io::read_matrix_market_file(flags.require("a")?).map_err(|e| e.to_string())?;
+    match (flags.get("b"), flags.get("dense-cols")) {
+        (Some(path), None) => {
+            let b = io::read_matrix_market_file(path).map_err(|e| e.to_string())?;
+            if a.cols() != b.rows() {
+                return Err(format!(
+                    "A is {}x{} but B is {}x{}",
+                    a.rows(),
+                    a.cols(),
+                    b.rows(),
+                    b.cols()
+                ));
+            }
+            Ok((a, Some(b), 0))
+        }
+        (None, Some(n)) => {
+            let cols: usize = n.parse().map_err(|_| format!("bad --dense-cols '{n}'"))?;
+            Ok((a, None, cols))
+        }
+        _ => Err("give exactly one of --b M.mtx or --dense-cols N".into()),
+    }
+}
+
+fn operand<'m>(b: &'m Option<CsrMatrix>, a: &CsrMatrix, dense_cols: usize) -> Operand<'m> {
+    match b {
+        Some(m) => Operand::Sparse(m),
+        None => Operand::Dense { rows: a.cols(), cols: dense_cols },
+    }
+}
+
+fn predict(flags: &Flags) -> Result<(), String> {
+    flags.expect_only(&["models", "a", "b", "dense-cols"])?;
+    let bundle = ModelBundle::load(flags.require("models")?)?;
+    let (a, b, dense_cols) = load_operands(flags)?;
+    let mut system = bundle.into_system();
+    let report = system.execute(&a, operand(&b, &a, dense_cols));
+    println!("predicted design : {}", report.predicted);
+    println!("executed on      : {}", report.decision.execute_on);
+    println!("reconfigured     : {}", report.decision.reconfigured);
+    println!("predicted latency: {:.3} ms", report.decision.predicted_latency_s * 1e3);
+    println!("simulated latency: {:.3} ms", report.sim.time_s * 1e3);
+    println!("energy           : {:.3} mJ", report.sim.energy_j * 1e3);
+    Ok(())
+}
+
+fn sim_cmd(flags: &Flags) -> Result<(), String> {
+    flags.expect_only(&["a", "b", "dense-cols", "design"])?;
+    let (a, b, dense_cols) = load_operands(flags)?;
+    let op = operand(&b, &a, dense_cols);
+    let designs: Vec<DesignId> = match flags.get("design") {
+        None => DesignId::ALL.to_vec(),
+        Some(n) => {
+            let idx: usize = n.parse().map_err(|_| format!("bad --design '{n}'"))?;
+            if !(1..=4).contains(&idx) {
+                return Err("--design must be 1..4".into());
+            }
+            vec![DesignId::from_index(idx - 1)]
+        }
+    };
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>8} {:>8}",
+        "design", "cycles", "time", "energy", "util", "tiles"
+    );
+    for d in designs {
+        let r = simulate(&a, op, d);
+        println!(
+            "{:<10} {:>12} {:>10.3}ms {:>8.3}mJ {:>7.1}% {:>8}",
+            d.to_string(),
+            r.cycles,
+            r.time_s * 1e3,
+            r.energy_j * 1e3,
+            r.pe_utilization * 100.0,
+            r.tiles
+        );
+    }
+    Ok(())
+}
+
+fn features(flags: &Flags) -> Result<(), String> {
+    flags.expect_only(&["a", "b", "dense-cols"])?;
+    let (a, b, dense_cols) = load_operands(flags)?;
+    let cfg = TileConfig::default();
+    let f = match &b {
+        Some(bm) => PairFeatures::extract(&a, bm, &cfg),
+        None => PairFeatures::extract_dense_b(&a, a.cols(), dense_cols, &cfg),
+    };
+    for (name, value) in FEATURE_NAMES.iter().zip(f.to_vector()) {
+        println!("{name:<24} {value}");
+    }
+    Ok(())
+}
+
+fn generate(flags: &Flags) -> Result<(), String> {
+    flags.expect_only(&["kind", "rows", "cols", "density", "seed", "out"])?;
+    let kind = flags.require("kind")?;
+    let rows: usize = flags.require("rows")?.parse().map_err(|_| "bad --rows")?;
+    let cols: usize = flags.get_or("cols", rows)?;
+    let density: f64 = flags.get_or("density", 0.01)?;
+    let seed: u64 = flags.get_or("seed", 1u64)?;
+    let out = flags.require("out")?;
+
+    let m = match kind {
+        "uniform" => gen::uniform_random(rows, cols, density, seed),
+        "power-law" => gen::power_law(rows, cols, (density * cols as f64).max(1.0), 1.5, seed),
+        "banded" => {
+            let bw = ((density * cols as f64 / 1.4).ceil() as usize).max(1);
+            gen::banded(rows, cols, bw, 0.7, seed)
+        }
+        "pruned-dnn" => gen::pruned_dnn(rows, cols, density, seed),
+        "regular" => {
+            gen::regular_degree(rows, cols, ((density * cols as f64).round() as usize).max(1), seed)
+        }
+        "circuit" => gen::circuit(rows, cols, density * cols as f64, (rows / 256).max(1), seed),
+        other => return Err(format!("unknown generator kind '{other}'")),
+    };
+    io::write_matrix_market_file(out, &m).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {out}: {}x{} with {} nnz (density {:.3e})",
+        m.rows(),
+        m.cols(),
+        m.nnz(),
+        m.density()
+    );
+    Ok(())
+}
+
+fn dataset_cmd(flags: &Flags) -> Result<(), String> {
+    flags.expect_only(&["out", "samples", "seed", "format"])?;
+    let out = flags.require("out")?;
+    let samples: usize = flags.get_or("samples", 1000)?;
+    let seed: u64 = flags.get_or("seed", 2025u64)?;
+    let format = flags.get("format").unwrap_or("csv");
+    eprintln!("generating {samples}-sample corpus (4 simulated designs per sample)…");
+    let ds = misam::dataset::Dataset::generate(samples, seed);
+    let body = match format {
+        "csv" => ds.to_csv(),
+        "json" => ds.to_json()?,
+        other => return Err(format!("unknown format '{other}' (csv|json)")),
+    };
+    std::fs::write(out, body).map_err(|e| e.to_string())?;
+    let hist = ds.label_histogram(misam::Objective::Latency);
+    eprintln!(
+        "wrote {out}: labels D1 {} / D2 {} / D3 {} / D4 {}",
+        hist[0], hist[1], hist[2], hist[3]
+    );
+    Ok(())
+}
+
+fn suite_cmd(flags: &Flags) -> Result<(), String> {
+    flags.expect_only(&["scale", "seed"])?;
+    let scale: f64 = flags.get_or("scale", 0.05)?;
+    let seed: u64 = flags.get_or("seed", 2025u64)?;
+    if scale <= 0.0 {
+        return Err("--scale must be positive".into());
+    }
+    let ws = misam::workloads::suite(scale, seed);
+    println!(
+        "{:<26} {:<6} {:>9} {:>12} {:>10} {:>8}",
+        "workload", "cat", "A rows", "A nnz", "dens(A)", "B"
+    );
+    for w in &ws {
+        let b = match &w.b {
+            misam::workloads::WorkloadB::Dense { rows, cols } => format!("{rows}x{cols} D"),
+            misam::workloads::WorkloadB::Sparse(m) => format!("{}x{} S", m.rows(), m.cols()),
+        };
+        println!(
+            "{:<26} {:<6} {:>9} {:>12} {:>10.2e} {:>8}",
+            w.name,
+            w.category.label(),
+            w.a.rows(),
+            w.a.nnz(),
+            w.a.density(),
+            b
+        );
+    }
+    println!("
+{} workloads at HS scale {scale}", ws.len());
+    Ok(())
+}
+
+fn designs() {
+    println!(
+        "{:<10} {:>5} {:>5} {:>5} {:>5} {:>11} {:>9} {:>12}",
+        "design", "ch_A", "ch_B", "ch_C", "PEGs", "scheduler", "format B", "freq"
+    );
+    for d in DesignId::ALL {
+        let c = DesignConfig::of(d);
+        println!(
+            "{:<10} {:>5} {:>5} {:>5} {:>5} {:>11} {:>9} {:>9.1}MHz",
+            d.to_string(),
+            c.ch_a,
+            c.ch_b,
+            c.ch_c,
+            c.pegs,
+            format!("{:?}", c.scheduler_a),
+            format!("{:?}", c.format_b),
+            c.freq_mhz
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| t.to_string()).collect()
+    }
+
+    fn tmp() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("misam_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(dispatch(&[]).is_ok());
+        assert!(dispatch(&argv(&["help"])).is_ok());
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn designs_prints() {
+        assert!(dispatch(&argv(&["designs"])).is_ok());
+    }
+
+    #[test]
+    fn dataset_exports_csv_and_json() {
+        let dir = tmp();
+        let csv = dir.join("c.csv");
+        let json = dir.join("c.json");
+        dispatch(&argv(&[
+            "dataset", "--out", csv.to_str().unwrap(), "--samples", "6", "--seed", "3",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "dataset", "--out", json.to_str().unwrap(), "--samples", "6", "--seed", "3",
+            "--format", "json",
+        ]))
+        .unwrap();
+        assert!(std::fs::read_to_string(&csv).unwrap().lines().count() == 7);
+        assert!(std::fs::read_to_string(&json).unwrap().starts_with('{'));
+        assert!(dispatch(&argv(&[
+            "dataset", "--out", csv.to_str().unwrap(), "--format", "xml",
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suite_lists_workloads() {
+        assert!(dispatch(&argv(&["suite", "--scale", "0.01"])).is_ok());
+        assert!(dispatch(&argv(&["suite", "--scale", "-1"])).is_err());
+    }
+
+    #[test]
+    fn gen_simulate_features_roundtrip() {
+        let dir = tmp();
+        let a = dir.join("a.mtx");
+        let a_s = a.to_str().unwrap();
+        dispatch(&argv(&[
+            "gen", "--kind", "power-law", "--rows", "200", "--density", "0.02", "--seed", "3",
+            "--out", a_s,
+        ]))
+        .unwrap();
+        dispatch(&argv(&["simulate", "--a", a_s, "--dense-cols", "64"])).unwrap();
+        dispatch(&argv(&["simulate", "--a", a_s, "--dense-cols", "64", "--design", "2"]))
+            .unwrap();
+        dispatch(&argv(&["features", "--a", a_s, "--dense-cols", "64"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sparse_b_path_checks_dimensions() {
+        let dir = tmp();
+        let a = dir.join("a2.mtx");
+        let b = dir.join("b2.mtx");
+        dispatch(&argv(&["gen", "--kind", "uniform", "--rows", "50", "--out", a.to_str().unwrap()]))
+            .unwrap();
+        dispatch(&argv(&[
+            "gen", "--kind", "uniform", "--rows", "60", "--out", b.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = dispatch(&argv(&[
+            "simulate", "--a", a.to_str().unwrap(), "--b", b.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("50x50"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_then_predict_via_bundle() {
+        let dir = tmp();
+        let models = dir.join("models.json");
+        let a = dir.join("a3.mtx");
+        dispatch(&argv(&[
+            "train",
+            "--out",
+            models.to_str().unwrap(),
+            "--samples",
+            "120",
+            "--latency",
+            "150",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "gen", "--kind", "uniform", "--rows", "150", "--density", "0.05", "--out",
+            a.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "predict",
+            "--models",
+            models.to_str().unwrap(),
+            "--a",
+            a.to_str().unwrap(),
+            "--dense-cols",
+            "64",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn operand_flags_are_mutually_exclusive() {
+        let dir = tmp();
+        let a = dir.join("a4.mtx");
+        dispatch(&argv(&["gen", "--kind", "uniform", "--rows", "40", "--out", a.to_str().unwrap()]))
+            .unwrap();
+        let err = dispatch(&argv(&["simulate", "--a", a.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

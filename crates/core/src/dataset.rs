@@ -1,0 +1,414 @@
+//! Training-corpus generation.
+//!
+//! The paper curates 6,219 matrices (classifier) and 19,000 matrices
+//! (latency predictor) spanning sparsity from 1% to 99%, mixing
+//! SuiteSparse-style scientific/graph structure with pruned-DNN layers
+//! (§4, *Datasets*). This module regenerates that corpus synthetically:
+//! every sample is an `(A, B)` operand pair drawn from the structural
+//! families of `misam_sparse::gen`, simulated on all four designs, and
+//! recorded with its per-design latency and energy so any [`Objective`]
+//! can label it.
+
+use misam_features::{PairFeatures, TileConfig};
+use misam_sim::{simulate, DesignId, Operand};
+use misam_sparse::gen;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What the selector optimizes for — the paper's tunable objective knob
+/// (§3.1: "users can prioritize performance metrics based on their
+/// application requirements").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Objective {
+    /// Minimize execution latency.
+    #[default]
+    Latency,
+    /// Minimize energy.
+    Energy,
+    /// Minimize `w * norm_latency + (1 - w) * norm_energy`; the field is
+    /// the latency weight in `[0, 1]`.
+    Weighted(f64),
+}
+
+impl Objective {
+    /// Index of the optimal design under this objective.
+    pub fn best_design(&self, times_s: &[f64; 4], energies_j: &[f64; 4]) -> usize {
+        let score = |i: usize| -> f64 {
+            match self {
+                Objective::Latency => times_s[i],
+                Objective::Energy => energies_j[i],
+                Objective::Weighted(w) => {
+                    let t_min = times_s.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let e_min = energies_j.iter().cloned().fold(f64::INFINITY, f64::min);
+                    w * times_s[i] / t_min + (1.0 - w) * energies_j[i] / e_min
+                }
+            }
+        };
+        (0..4)
+            .min_by(|&a, &b| score(a).partial_cmp(&score(b)).expect("finite scores"))
+            .expect("four designs")
+    }
+}
+
+/// One labeled operand pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Flattened feature vector (`misam_features::FEATURE_NAMES` layout).
+    pub features: Vec<f64>,
+    /// Simulated latency per design (indexed by `DesignId::index`).
+    pub times_s: [f64; 4],
+    /// Simulated energy per design.
+    pub energies_j: [f64; 4],
+    /// Generator family of A (provenance, not a model input).
+    pub a_kind: String,
+    /// Whether B was dense.
+    pub b_dense: bool,
+}
+
+impl Sample {
+    /// The optimal design label under `objective`.
+    pub fn label(&self, objective: Objective) -> usize {
+        objective.best_design(&self.times_s, &self.energies_j)
+    }
+}
+
+/// A labeled corpus.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The samples.
+    pub samples: Vec<Sample>,
+}
+
+/// Upper bound on generated nonzeros per operand, keeping corpus
+/// generation O(seconds) while spanning the full density range at
+/// smaller dimensions.
+const MAX_OPERAND_NNZ: f64 = 200_000.0;
+
+impl Dataset {
+    /// Generates `n` samples with the paper's regime mix, deterministic
+    /// in `seed`.
+    pub fn generate(n: usize, seed: u64) -> Dataset {
+        let tile_cfg = TileConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xda7a_5e7);
+        let samples = (0..n).map(|_| Self::one_sample(&mut rng, &tile_cfg)).collect();
+        Dataset { samples }
+    }
+
+    fn one_sample(rng: &mut StdRng, tile_cfg: &TileConfig) -> Sample {
+        let (a, spec, a_kind) = random_pair(rng);
+        let features = spec.features(&a, tile_cfg).to_vector();
+        let (times_s, energies_j) = simulate_all(&a, spec.operand());
+        Sample { features, times_s, energies_j, a_kind, b_dense: spec.is_dense() }
+    }
+
+    /// Feature rows of every sample.
+    pub fn features(&self) -> Vec<Vec<f64>> {
+        self.samples.iter().map(|s| s.features.clone()).collect()
+    }
+
+    /// Labels of every sample under `objective`.
+    pub fn labels(&self, objective: Objective) -> Vec<usize> {
+        self.samples.iter().map(|s| s.label(objective)).collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Distribution of labels under `objective` (index = design).
+    pub fn label_histogram(&self, objective: Objective) -> [usize; 4] {
+        let mut h = [0usize; 4];
+        for s in &self.samples {
+            h[s.label(objective)] += 1;
+        }
+        h
+    }
+
+    /// Renders the corpus as CSV (header + one row per sample): the
+    /// feature columns in [`misam_features::FEATURE_NAMES`] order, the
+    /// four per-design times and energies, the latency-optimal label,
+    /// and the generator provenance. The export format for training
+    /// models outside this crate.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for name in misam_features::FEATURE_NAMES {
+            out.push_str(name);
+            out.push(',');
+        }
+        out.push_str(
+            "time_d1_s,time_d2_s,time_d3_s,time_d4_s,\
+             energy_d1_j,energy_d2_j,energy_d3_j,energy_d4_j,\
+             best_design,a_kind,b_dense\n",
+        );
+        for s in &self.samples {
+            for v in &s.features {
+                out.push_str(&format!("{v},"));
+            }
+            for v in &s.times_s {
+                out.push_str(&format!("{v},"));
+            }
+            for v in &s.energies_j {
+                out.push_str(&format!("{v},"));
+            }
+            out.push_str(&format!(
+                "{},{},{}\n",
+                s.label(Objective::Latency) + 1,
+                s.a_kind,
+                s.b_dense
+            ));
+        }
+        out
+    }
+
+    /// Serializes the corpus as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serializer's message on failure.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| e.to_string())
+    }
+
+    /// Parses a corpus serialized by [`Dataset::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parser's message on failure.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+/// An owned right-hand operand drawn by the corpus generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperandSpec {
+    /// Dense operand described by shape.
+    Dense {
+        /// Rows (= A columns).
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Sparse operand.
+    Sparse(misam_sparse::CsrMatrix),
+}
+
+impl OperandSpec {
+    /// Borrowed simulator operand.
+    pub fn operand(&self) -> Operand<'_> {
+        match self {
+            OperandSpec::Dense { rows, cols } => Operand::Dense { rows: *rows, cols: *cols },
+            OperandSpec::Sparse(m) => Operand::Sparse(m),
+        }
+    }
+
+    /// True for the dense variant.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, OperandSpec::Dense { .. })
+    }
+
+    /// Extracts pair features for `a x self`.
+    pub fn features(&self, a: &misam_sparse::CsrMatrix, cfg: &TileConfig) -> PairFeatures {
+        match self {
+            OperandSpec::Dense { rows, cols } => {
+                PairFeatures::extract_dense_b(a, *rows, *cols, cfg)
+            }
+            OperandSpec::Sparse(m) => PairFeatures::extract(a, m, cfg),
+        }
+    }
+}
+
+/// Draws one random operand pair with the corpus's regime mix. Public so
+/// other corpora (e.g. the Figure 13 Trapezoid-dataflow dataset) can use
+/// the identical distribution.
+pub fn random_pair(rng: &mut StdRng) -> (misam_sparse::CsrMatrix, OperandSpec, String) {
+    // Log-uniform dimensions; nnz capped for generation speed.
+    let a_rows = log_uniform(rng, 64.0, 4096.0);
+    let a_cols = if rng.gen_bool(0.5) { a_rows } else { log_uniform(rng, 64.0, 4096.0) };
+    let (a, a_kind) = random_matrix(rng, a_rows, a_cols);
+
+    let b_dense = rng.gen_bool(0.45);
+    let b_cols = *[64usize, 128, 256, 512, 1024, 2048]
+        .get(rng.gen_range(0..6))
+        .expect("index in range");
+    let spec = if b_dense {
+        OperandSpec::Dense { rows: a_cols, cols: b_cols }
+    } else {
+        let (b, _) = random_matrix(rng, a_cols, b_cols);
+        OperandSpec::Sparse(b)
+    };
+    (a, spec, a_kind)
+}
+
+fn simulate_all(a: &misam_sparse::CsrMatrix, b: Operand<'_>) -> ([f64; 4], [f64; 4]) {
+    let mut times = [0.0; 4];
+    let mut energies = [0.0; 4];
+    for d in DesignId::ALL {
+        let r = simulate(a, b, d);
+        times[d.index()] = r.time_s;
+        energies[d.index()] = r.energy_j;
+    }
+    (times, energies)
+}
+
+fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> usize {
+    let u: f64 = rng.gen_range(lo.ln()..hi.ln());
+    u.exp().round() as usize
+}
+
+/// Draws a random matrix from the structural family mix, with its family
+/// name. Density spans the paper's 1%–99% sparsity range, capped so nnz
+/// stays tractable.
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> (misam_sparse::CsrMatrix, String) {
+    let cells = (rows * cols) as f64;
+    let cap = (MAX_OPERAND_NNZ / cells).min(0.99);
+    let seed: u64 = rng.gen();
+    let family = rng.gen_range(0..100);
+    match family {
+        0..=29 => {
+            // Uniform across the whole density range (log-uniform).
+            let d = log_uniform_f(rng, 1e-4, cap.max(1e-4));
+            (gen::uniform_random(rows, cols, d, seed), "uniform".into())
+        }
+        30..=41 => {
+            let avg = log_uniform_f(rng, 2.0, (cap * cols as f64).max(2.0)).min(cols as f64);
+            let alpha = rng.gen_range(1.2..1.8);
+            (gen::power_law(rows, cols, avg, alpha, seed), "power_law".into())
+        }
+        42..=49 => {
+            let target = (log_uniform_f(rng, 2.0, (cap * cols as f64).max(2.0))
+                * rows as f64) as usize;
+            (
+                gen::rmat(rows, cols, target.max(1), (0.57, 0.19, 0.19, 0.05), seed),
+                "rmat".into(),
+            )
+        }
+        50..=64 => {
+            let d = rng.gen_range(0.05f64..0.35).min(cap.max(0.05));
+            (gen::pruned_dnn(rows, cols, d, seed), "pruned_dnn".into())
+        }
+        65..=76 => {
+            let bw = rng.gen_range(1..(cols / 8).max(2));
+            let fill = rng.gen_range(0.3..0.9);
+            (gen::banded(rows, cols, bw, fill, seed), "banded".into())
+        }
+        77..=86 => {
+            let heavy = rng.gen_range(0.005f64..0.05);
+            let heavy_nnz = ((cap * cols as f64 * 8.0) as usize).clamp(16, cols);
+            let light = rng.gen_range(1..8usize);
+            (
+                gen::imbalanced_rows(rows, cols, heavy, heavy_nnz, light, seed),
+                "imbalanced".into(),
+            )
+        }
+        87..=94 => {
+            let deg = rng.gen_range(2..((cap * cols as f64) as usize).clamp(3, 64));
+            (gen::regular_degree(rows, cols, deg, seed), "regular".into())
+        }
+        _ => {
+            let avg = rng.gen_range(1.0..6.0);
+            (gen::circuit(rows, cols, avg, (rows / 256).max(1), seed), "circuit".into())
+        }
+    }
+}
+
+fn log_uniform_f(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        return lo;
+    }
+    rng.gen_range(lo.ln()..hi.ln()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(20, 3);
+        let b = Dataset::generate(20, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, Dataset::generate(20, 4));
+    }
+
+    #[test]
+    fn samples_have_consistent_shape() {
+        let ds = Dataset::generate(30, 1);
+        assert_eq!(ds.len(), 30);
+        for s in &ds.samples {
+            assert_eq!(s.features.len(), misam_features::FEATURE_NAMES.len());
+            assert!(s.times_s.iter().all(|t| *t > 0.0 && t.is_finite()));
+            assert!(s.energies_j.iter().all(|e| *e > 0.0 && e.is_finite()));
+        }
+    }
+
+    #[test]
+    fn corpus_contains_multiple_label_classes() {
+        let ds = Dataset::generate(150, 2);
+        let hist = ds.label_histogram(Objective::Latency);
+        let present = hist.iter().filter(|&&c| c > 0).count();
+        assert!(present >= 3, "expected >= 3 design classes, histogram {hist:?}");
+    }
+
+    #[test]
+    fn objectives_can_disagree() {
+        let times = [1.0, 2.0, 3.0, 4.0];
+        let energies = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(Objective::Latency.best_design(&times, &energies), 0);
+        assert_eq!(Objective::Energy.best_design(&times, &energies), 3);
+        let w = Objective::Weighted(0.5).best_design(&times, &energies);
+        assert!(w == 1 || w == 2 || w == 0 || w == 3);
+    }
+
+    #[test]
+    fn weighted_objective_extremes_match_pure_objectives() {
+        let ds = Dataset::generate(40, 5);
+        for s in &ds.samples {
+            assert_eq!(s.label(Objective::Weighted(1.0)), s.label(Objective::Latency));
+            assert_eq!(s.label(Objective::Weighted(0.0)), s.label(Objective::Energy));
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ds = Dataset::generate(5, 6);
+        let back = Dataset::from_json(&ds.to_json().unwrap()).unwrap();
+        assert_eq!(ds, back);
+        assert!(Dataset::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn csv_export_has_consistent_shape() {
+        let ds = Dataset::generate(8, 9);
+        let csv = ds.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 9, "header + one row per sample");
+        let header_cols = lines[0].split(',').count();
+        assert_eq!(header_cols, misam_features::FEATURE_NAMES.len() + 8 + 3);
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), header_cols, "ragged row: {row}");
+        }
+        // Labels are 1-based design numbers.
+        for row in &lines[1..] {
+            let label: usize = row.split(',').nth(header_cols - 3).unwrap().parse().unwrap();
+            assert!((1..=4).contains(&label));
+        }
+    }
+
+    #[test]
+    fn density_mix_spans_regimes() {
+        let ds = Dataset::generate(120, 7);
+        // A_sparsity is feature 0.
+        let sparse = ds.samples.iter().filter(|s| s.features[0] > 0.98).count();
+        let densish = ds.samples.iter().filter(|s| s.features[0] < 0.8).count();
+        assert!(sparse > 5, "want hypersparse representation, got {sparse}");
+        assert!(densish > 4, "want dense-ish representation, got {densish}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Model persistence: save and load a trained Misam system.
+//!
+//! The deployed artifact the paper describes is tiny — a ~6 KB decision
+//! tree plus the reconfiguration engine's latency model — and lives on
+//! the host. This module serializes both (plus the configuration needed
+//! to reproduce feature extraction) into a single JSON bundle, so a
+//! system trained once can be shipped and reloaded without regenerating
+//! corpora.
+
+use crate::training::{LatencyPredictor, TrainedSelector};
+use misam_features::TileConfig;
+use misam_recon::cost::ReconfigCost;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Current bundle format version.
+pub const BUNDLE_VERSION: u32 = 1;
+
+/// A serializable bundle of everything a host runtime needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// Format version (checked on load).
+    pub version: u32,
+    /// The design classifier.
+    pub selector: TrainedSelector,
+    /// The reconfiguration engine's latency model.
+    pub predictor: LatencyPredictor,
+    /// Switch threshold the system was configured with.
+    pub threshold: f64,
+    /// Reconfiguration cost constants.
+    pub cost: ReconfigCost,
+    /// Tile geometry used for feature extraction (rows, cols).
+    pub tile_rows: usize,
+    /// Columns of the feature-extraction tile.
+    pub tile_cols: usize,
+}
+
+impl ModelBundle {
+    /// Assembles a bundle from trained parts.
+    pub fn new(
+        selector: TrainedSelector,
+        predictor: LatencyPredictor,
+        threshold: f64,
+        cost: ReconfigCost,
+        tile_cfg: TileConfig,
+    ) -> Self {
+        ModelBundle {
+            version: BUNDLE_VERSION,
+            selector,
+            predictor,
+            threshold,
+            cost,
+            tile_rows: tile_cfg.tile_rows,
+            tile_cols: tile_cfg.tile_cols,
+        }
+    }
+
+    /// The tile configuration stored in the bundle.
+    pub fn tile_config(&self) -> TileConfig {
+        TileConfig { tile_rows: self.tile_rows, tile_cols: self.tile_cols }
+    }
+
+    /// Reassembles a runnable [`crate::pipeline::Misam`] system.
+    pub fn into_system(self) -> crate::pipeline::Misam {
+        crate::pipeline::Misam::from_parts(
+            self.selector.clone(),
+            self.predictor.clone(),
+            self.cost,
+            self.threshold,
+            self.tile_config(),
+        )
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serializer's message on failure.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Parses a bundle, checking the version.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or a version mismatch.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let bundle: ModelBundle = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        if bundle.version != BUNDLE_VERSION {
+            return Err(format!(
+                "bundle version {} unsupported (expected {BUNDLE_VERSION})",
+                bundle.version
+            ));
+        }
+        Ok(bundle)
+    }
+
+    /// Writes the bundle to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns serializer or I/O messages.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        std::fs::write(path, self.to_json()?).map_err(|e| e.to_string())
+    }
+
+    /// Reads a bundle from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O, parse or version messages.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let s = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Self::from_json(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, Objective};
+    use crate::training;
+    use misam_sim::Operand;
+    use misam_sparse::gen;
+
+    fn bundle() -> ModelBundle {
+        let ds = Dataset::generate(150, 55);
+        let sel = training::train_selector(&ds, Objective::Latency, 1);
+        let lat = training::train_latency_predictor(&ds, 1);
+        ModelBundle::new(
+            sel.selector,
+            lat.predictor,
+            0.2,
+            ReconfigCost::default(),
+            TileConfig::default(),
+        )
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_bundle() {
+        let b = bundle();
+        let back = ModelBundle::from_json(&b.to_json().unwrap()).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn loaded_system_predicts_like_the_original() {
+        let b = bundle();
+        let json = b.to_json().unwrap();
+        let mut original = b.clone().into_system();
+        let mut restored = ModelBundle::from_json(&json).unwrap().into_system();
+
+        let a = gen::power_law(600, 600, 6.0, 1.5, 3);
+        let r1 = original.execute(&a, Operand::Dense { rows: 600, cols: 256 });
+        let r2 = restored.execute(&a, Operand::Dense { rows: 600, cols: 256 });
+        assert_eq!(r1.predicted, r2.predicted);
+        assert_eq!(r1.decision.execute_on, r2.decision.execute_on);
+        assert_eq!(r1.sim.cycles, r2.sim.cycles);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let b = bundle();
+        let json = b.to_json().unwrap().replace("\"version\": 1", "\"version\": 99");
+        let err = ModelBundle::from_json(&json).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("misam_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.json");
+        let b = bundle();
+        b.save(&path).unwrap();
+        let back = ModelBundle::load(&path).unwrap();
+        assert_eq!(b, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_reports_missing_file() {
+        assert!(ModelBundle::load("/nonexistent/misam.json").is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! The 113-workload evaluation suite (paper §4, *Workloads*).
+//!
+//! Categories and counts follow Trapezoid's methodology exactly:
+//! 15 MS×D, 38 MS×MS, 12 HS×D, 36 HS×MS and 12 HS×HS. (The paper's text
+//! says "116" but its own per-category counts sum to 113; we follow the
+//! explicit counts.) MS operands are
+//! structured-pruned DNN layers (ResNet-50 for MS×D, VGG-16 for MS×MS) at
+//! weight densities 0.1 and 0.2 with sequence length 512; HS operands are
+//! the twelve Table 3 matrices (regenerated synthetically); HS×MS pairs
+//! each HS matrix with 512-column random sparse B at three sparsity
+//! levels; HS×HS squares each HS matrix.
+
+use misam_sim::Operand;
+use misam_sparse::{gen, suitesparse, CsrMatrix};
+
+/// Workload category, named as in the paper (left operand × right
+/// operand regime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Moderately sparse × dense (pruned ResNet-50 × activations).
+    MsD,
+    /// Moderately sparse × moderately sparse (pruned VGG-16 pairs).
+    MsMs,
+    /// Highly sparse × dense (SuiteSparse × multi-RHS solver block).
+    HsD,
+    /// Highly sparse × moderately sparse.
+    HsMs,
+    /// Highly sparse × highly sparse (A × A self-multiplication).
+    HsHs,
+}
+
+impl Category {
+    /// All categories in paper order.
+    pub const ALL: [Category; 5] =
+        [Category::MsD, Category::MsMs, Category::HsD, Category::HsMs, Category::HsHs];
+
+    /// The paper's label, e.g. `"HSxMS"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::MsD => "MSxD",
+            Category::MsMs => "MSxMS",
+            Category::HsD => "HSxD",
+            Category::HsMs => "HSxMS",
+            Category::HsHs => "HSxHS",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The right-hand operand of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadB {
+    /// Dense operand described by shape only.
+    Dense {
+        /// Rows (= A columns).
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Sparse operand.
+    Sparse(CsrMatrix),
+}
+
+/// One evaluation workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Human-readable name (`"resnet50-L3-d0.1"`, `"p2p x p2p"`, …).
+    pub name: String,
+    /// Sparsity category.
+    pub category: Category,
+    /// Left operand.
+    pub a: CsrMatrix,
+    /// Right operand.
+    pub b: WorkloadB,
+}
+
+impl Workload {
+    /// The right operand as a simulator [`Operand`].
+    pub fn b_operand(&self) -> Operand<'_> {
+        match &self.b {
+            WorkloadB::Dense { rows, cols } => Operand::Dense { rows: *rows, cols: *cols },
+            WorkloadB::Sparse(m) => Operand::Sparse(m),
+        }
+    }
+
+    /// True when B is sparse (the SpGEMM path of the baselines).
+    pub fn b_is_sparse(&self) -> bool {
+        matches!(self.b, WorkloadB::Sparse(_))
+    }
+}
+
+/// GEMM shapes `(rows, cols)` of representative ResNet-50 layers
+/// (filters × im2col depth).
+const RESNET50_LAYERS: &[(usize, usize)] = &[
+    (64, 147),
+    (64, 256),
+    (128, 512),
+    (256, 512),
+    (128, 1152),
+    (256, 1024),
+    (512, 1024),
+    (512, 2048),
+];
+
+/// GEMM shapes of representative VGG-16 layers.
+const VGG16_LAYERS: &[(usize, usize)] = &[
+    (64, 27),
+    (64, 576),
+    (128, 576),
+    (128, 1152),
+    (256, 1152),
+    (256, 2304),
+    (512, 2304),
+    (512, 4608),
+    (256, 2304),
+    (512, 2304),
+    (128, 1152),
+    (256, 1152),
+    (64, 576),
+    (512, 4608),
+    (128, 576),
+    (256, 2304),
+    (512, 2304),
+    (512, 4608),
+    (256, 1152),
+];
+
+/// IDs of the twelve Table 3 matrices used in the HS categories (the
+/// four heaviest are catalog-only, as in Trapezoid's selection).
+pub const HS_IDS: [&str; 12] = [
+    "p2p", "sx", "cond", "ore", "em", "sc", "sme", "poi", "wiki", "astro", "cage", "good",
+];
+
+/// Sequence length of the dense/MS right-hand sides (the paper fixes
+/// 512).
+pub const SEQ_LEN: usize = 512;
+
+/// Pruning densities applied to DNN layers (STR at 0.1 and 0.2).
+pub const DNN_DENSITIES: [f64; 2] = [0.1, 0.2];
+
+/// Sparsity levels of the HS×MS right-hand sides.
+pub const HSMS_SPARSITIES: [f64; 3] = [0.2, 0.4, 0.6];
+
+/// Builds the full 113-workload suite. `hs_scale` scales the row count
+/// of the SuiteSparse-class matrices (1.0 = published size; tests use
+/// small fractions), and `seed` drives every generator.
+///
+/// # Panics
+///
+/// Panics if `hs_scale` is not positive.
+pub fn suite(hs_scale: f64, seed: u64) -> Vec<Workload> {
+    assert!(hs_scale > 0.0, "scale must be positive");
+    let mut out = Vec::with_capacity(113);
+
+    // 15 MSxD: 8 ResNet-50 shapes x 2 densities, minus the smallest.
+    let mut msd = 0;
+    'msd: for &(m, k) in RESNET50_LAYERS {
+        for d in DNN_DENSITIES {
+            if msd == 15 {
+                break 'msd;
+            }
+            let a = gen::pruned_dnn(m, k, d, seed ^ hash(&format!("msd{m}x{k}d{d}")));
+            out.push(Workload {
+                name: format!("resnet50-{m}x{k}-d{d}"),
+                category: Category::MsD,
+                a,
+                b: WorkloadB::Dense { rows: k, cols: SEQ_LEN },
+            });
+            msd += 1;
+        }
+    }
+
+    // 38 MSxMS: 19 VGG-16 shapes x 2 densities.
+    for (i, &(m, k)) in VGG16_LAYERS.iter().enumerate() {
+        for d in DNN_DENSITIES {
+            let sa = seed ^ hash(&format!("msmsA{i}d{d}"));
+            let sb = seed ^ hash(&format!("msmsB{i}d{d}"));
+            let a = gen::pruned_dnn(m, k, d, sa);
+            let b = gen::pruned_dnn(k, SEQ_LEN, d, sb);
+            out.push(Workload {
+                name: format!("vgg16-{m}x{k}-d{d}"),
+                category: Category::MsMs,
+                a,
+                b: WorkloadB::Sparse(b),
+            });
+        }
+    }
+
+    // HS matrices shared by the three HS categories.
+    let hs: Vec<(&str, CsrMatrix)> = HS_IDS
+        .iter()
+        .map(|id| {
+            let rec = suitesparse::by_id(id).expect("catalog id");
+            (*id, rec.generate_scaled(hs_scale, seed ^ hash(id)))
+        })
+        .collect();
+
+    // 12 HSxD.
+    for (id, a) in &hs {
+        out.push(Workload {
+            name: format!("{id} x dense{SEQ_LEN}"),
+            category: Category::HsD,
+            a: a.clone(),
+            b: WorkloadB::Dense { rows: a.cols(), cols: SEQ_LEN },
+        });
+    }
+
+    // 36 HSxMS: each HS matrix x 3 sparsity levels of a 512-column B.
+    for (id, a) in &hs {
+        for s in HSMS_SPARSITIES {
+            let b = gen::uniform_random(
+                a.cols(),
+                SEQ_LEN,
+                1.0 - s,
+                seed ^ hash(&format!("hsms{id}{s}")),
+            );
+            out.push(Workload {
+                name: format!("{id} x ms-s{s}"),
+                category: Category::HsMs,
+                a: a.clone(),
+                b: WorkloadB::Sparse(b),
+            });
+        }
+    }
+
+    // 12 HSxHS: A x A.
+    for (id, a) in &hs {
+        out.push(Workload {
+            name: format!("{id} x {id}"),
+            category: Category::HsHs,
+            a: a.clone(),
+            b: WorkloadB::Sparse(a.clone()),
+        });
+    }
+
+    out
+}
+
+fn hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_paper_counts() {
+        let ws = suite(0.01, 1);
+        // The paper's per-category counts sum to 113 (its text says 116).
+        assert_eq!(ws.len(), 113);
+        let count = |c: Category| ws.iter().filter(|w| w.category == c).count();
+        assert_eq!(count(Category::MsD), 15);
+        assert_eq!(count(Category::MsMs), 38);
+        assert_eq!(count(Category::HsD), 12);
+        assert_eq!(count(Category::HsMs), 36);
+        assert_eq!(count(Category::HsHs), 12);
+    }
+
+    #[test]
+    fn dims_are_compatible() {
+        for w in suite(0.01, 2) {
+            match &w.b {
+                WorkloadB::Dense { rows, .. } => assert_eq!(w.a.cols(), *rows, "{}", w.name),
+                WorkloadB::Sparse(b) => assert_eq!(w.a.cols(), b.rows(), "{}", w.name),
+            }
+        }
+    }
+
+    #[test]
+    fn categories_match_operand_regimes() {
+        use misam_sparse::gen::SparsityRegime;
+        for w in suite(0.02, 3) {
+            let a_regime = SparsityRegime::classify(w.a.density());
+            match w.category {
+                Category::MsD | Category::MsMs => {
+                    assert_eq!(a_regime, SparsityRegime::ModeratelySparse, "{}", w.name)
+                }
+                // HS matrices scaled down gain density but stay non-dense.
+                _ => assert_ne!(a_regime, SparsityRegime::Dense, "{}", w.name),
+            }
+            if w.category == Category::HsHs {
+                if let WorkloadB::Sparse(b) = &w.b {
+                    assert_eq!(b, &w.a, "HSxHS must square A");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hsxhs_names_and_self_pairs() {
+        let ws = suite(0.01, 4);
+        let hshs: Vec<_> = ws.iter().filter(|w| w.category == Category::HsHs).collect();
+        assert_eq!(hshs.len(), HS_IDS.len());
+        for w in hshs {
+            assert!(w.b_is_sparse());
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        assert_eq!(suite(0.01, 9), suite(0.01, 9));
+        assert_ne!(suite(0.01, 9), suite(0.01, 10));
+    }
+
+    #[test]
+    fn b_operand_matches_variant() {
+        let ws = suite(0.01, 5);
+        let dense = ws.iter().find(|w| !w.b_is_sparse()).unwrap();
+        assert!(matches!(dense.b_operand(), Operand::Dense { .. }));
+        let sparse = ws.iter().find(|w| w.b_is_sparse()).unwrap();
+        assert!(matches!(sparse.b_operand(), Operand::Sparse(_)));
+    }
+}

@@ -1,0 +1,481 @@
+//! Matrix feature extraction for Misam's ML-based dataflow predictor
+//! (paper §3.1).
+//!
+//! The decision tree is only as good as the features describing the
+//! operands, so this crate computes the paper's full candidate set: the
+//! sparsity of A and B, the mean and variance of nonzeros per row and
+//! column of both operands, tile density and tile counts under 1-D and
+//! architecture-aware 2-D tiling of B, and the load-imbalance ratio
+//! (longest row or column over the average length). Everything is derived
+//! from CSR/CSC pointer offsets alone — no value inspection — exactly as
+//! the paper describes, which keeps preprocessing around 2% of end-to-end
+//! time (§5.5).
+//!
+//! # Example
+//!
+//! ```
+//! use misam_features::{PairFeatures, TileConfig};
+//! use misam_sparse::gen;
+//!
+//! let a = gen::power_law(256, 256, 6.0, 1.5, 1);
+//! let b = gen::pruned_dnn(256, 512, 0.2, 2);
+//! let f = PairFeatures::extract(&a, &b, &TileConfig::default());
+//! assert!(f.a.load_imbalance_row >= 1.0);
+//! assert_eq!(f.to_vector().len(), misam_features::FEATURE_NAMES.len());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use misam_sparse::CsrMatrix;
+
+/// Names of the entries of [`PairFeatures::to_vector`], in order. These
+/// match the labels of the paper's Figure 4 where applicable.
+pub const FEATURE_NAMES: &[&str] = &[
+    "A_sparsity",
+    "B_sparsity",
+    "A_rows",
+    "A_cols",
+    "row_B",
+    "B_cols",
+    "A_nonzeroes",
+    "B_nonzeroes",
+    "A_avg_nnz_row",
+    "A_var_nnz_row",
+    "A_avg_nnz_col",
+    "A_var_nnz_col",
+    "B_avg_nnz_row",
+    "B_var_nnz_row",
+    "B_avg_nnz_col",
+    "B_var_nnz_col",
+    "A_load_imbalance_row",
+    "A_load_imbalance_col",
+    "B_load_imbalance_row",
+    "B_load_imbalance_col",
+    "Tile_1D_Density",
+    "Tile_2D_Density",
+    "Tile_1D_Count",
+    "Tile_2D_Count",
+];
+
+/// Index of a named feature in the extracted vector.
+///
+/// # Panics
+///
+/// Panics if `name` is not in [`FEATURE_NAMES`].
+pub fn feature_index(name: &str) -> usize {
+    FEATURE_NAMES
+        .iter()
+        .position(|&n| n == name)
+        .unwrap_or_else(|| panic!("unknown feature name '{name}'"))
+}
+
+/// Tiling geometry the 1-D / 2-D tile-density features are computed
+/// under. Defaults mirror Design 1's buffer provisioning: B row tiles
+/// bounded by the 4096-entry BRAM depth and column tiles bounded by the
+/// PEG count (§3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Rows of B per 1-D tile.
+    pub tile_rows: usize,
+    /// Columns of B per tile in the 2-D scheme.
+    pub tile_cols: usize,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        // 4096 BRAM entries / 16 FP32 per word = 256 rows per tile;
+        // 16 PEGs x 4 PEs = 64 column lanes.
+        TileConfig { tile_rows: 256, tile_cols: 64 }
+    }
+}
+
+/// Per-matrix structural statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of stored nonzeros.
+    pub nnz: usize,
+    /// `1 - nnz / (rows * cols)`.
+    pub sparsity: f64,
+    /// Mean nonzeros per row.
+    pub avg_nnz_row: f64,
+    /// Population variance of nonzeros per row.
+    pub var_nnz_row: f64,
+    /// Mean nonzeros per column.
+    pub avg_nnz_col: f64,
+    /// Population variance of nonzeros per column.
+    pub var_nnz_col: f64,
+    /// Longest row over average row length (≥ 1 when any nonzero exists).
+    pub load_imbalance_row: f64,
+    /// Longest column over average column length.
+    pub load_imbalance_col: f64,
+}
+
+impl MatrixStats {
+    /// Computes the statistics of one matrix from its CSR structure.
+    pub fn extract(m: &CsrMatrix) -> Self {
+        let rows = m.rows();
+        let cols = m.cols();
+        let nnz = m.nnz();
+        let total = rows as f64 * cols as f64;
+        let sparsity = if total > 0.0 { 1.0 - nnz as f64 / total } else { 1.0 };
+
+        let (avg_r, var_r, max_r) = dist_stats((0..rows).map(|r| m.row_nnz(r)));
+        let mut col_counts = vec![0usize; cols];
+        for &c in m.col_idx() {
+            col_counts[c as usize] += 1;
+        }
+        let (avg_c, var_c, max_c) = dist_stats(col_counts.iter().copied());
+
+        MatrixStats {
+            rows,
+            cols,
+            nnz,
+            sparsity,
+            avg_nnz_row: avg_r,
+            var_nnz_row: var_r,
+            avg_nnz_col: avg_c,
+            var_nnz_col: var_c,
+            load_imbalance_row: imbalance(max_r, avg_r),
+            load_imbalance_col: imbalance(max_c, avg_c),
+        }
+    }
+
+    /// Matrix density (`1 - sparsity`).
+    pub fn density(&self) -> f64 {
+        1.0 - self.sparsity
+    }
+
+    /// Statistics of a fully dense `rows x cols` matrix, synthesized
+    /// without materializing it (dense operands are shape-only in the
+    /// execution model).
+    pub fn dense(rows: usize, cols: usize) -> Self {
+        MatrixStats {
+            rows,
+            cols,
+            nnz: rows * cols,
+            sparsity: 0.0,
+            avg_nnz_row: cols as f64,
+            var_nnz_row: 0.0,
+            avg_nnz_col: rows as f64,
+            var_nnz_col: 0.0,
+            load_imbalance_row: 1.0,
+            load_imbalance_col: 1.0,
+        }
+    }
+}
+
+fn dist_stats(counts: impl Iterator<Item = usize>) -> (f64, f64, usize) {
+    let mut n = 0usize;
+    let mut sum = 0f64;
+    let mut sumsq = 0f64;
+    let mut max = 0usize;
+    for c in counts {
+        n += 1;
+        sum += c as f64;
+        sumsq += (c * c) as f64;
+        max = max.max(c);
+    }
+    if n == 0 {
+        return (0.0, 0.0, 0);
+    }
+    let mean = sum / n as f64;
+    let var = (sumsq / n as f64 - mean * mean).max(0.0);
+    (mean, var, max)
+}
+
+fn imbalance(max: usize, avg: f64) -> f64 {
+    if avg > 0.0 {
+        max as f64 / avg
+    } else {
+        1.0
+    }
+}
+
+/// Tile-occupancy statistics of matrix B under a [`TileConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TileStats {
+    /// Mean density of *occupied* 1-D (row-strip) tiles.
+    pub density_1d: f64,
+    /// Mean density of occupied 2-D tiles.
+    pub density_2d: f64,
+    /// Total number of 1-D tiles the matrix partitions into.
+    pub count_1d: usize,
+    /// Total number of 2-D tiles the matrix partitions into.
+    pub count_2d: usize,
+}
+
+impl TileStats {
+    /// Computes tile occupancy of `m` under `cfg`.
+    ///
+    /// Density is averaged over occupied tiles only, so clustered
+    /// structure reads as high tile density even when overall density is
+    /// low — the property that makes `Tile_1D_Density` the most important
+    /// feature in the paper's Figure 4.
+    pub fn extract(m: &CsrMatrix, cfg: &TileConfig) -> Self {
+        let tr = cfg.tile_rows.max(1);
+        let tc = cfg.tile_cols.max(1);
+        let tiles_down = m.rows().div_ceil(tr);
+        let tiles_across = m.cols().div_ceil(tc);
+        let count_1d = tiles_down;
+        let count_2d = tiles_down * tiles_across;
+        if m.rows() == 0 || m.cols() == 0 {
+            return TileStats { density_1d: 0.0, density_2d: 0.0, count_1d, count_2d };
+        }
+
+        let mut nnz_1d = vec![0usize; tiles_down];
+        let mut nnz_2d = vec![0usize; count_2d];
+        for (r, c, _) in m.iter() {
+            let ti = r / tr;
+            nnz_1d[ti] += 1;
+            nnz_2d[ti * tiles_across + c / tc] += 1;
+        }
+
+        let area_1d = |ti: usize| {
+            let h = (m.rows() - ti * tr).min(tr);
+            (h * m.cols()) as f64
+        };
+        let area_2d = |ti: usize, tj: usize| {
+            let h = (m.rows() - ti * tr).min(tr);
+            let w = (m.cols() - tj * tc).min(tc);
+            (h * w) as f64
+        };
+
+        let mut d1 = 0.0;
+        let mut n1 = 0usize;
+        for (ti, &nz) in nnz_1d.iter().enumerate() {
+            if nz > 0 {
+                d1 += nz as f64 / area_1d(ti);
+                n1 += 1;
+            }
+        }
+        let mut d2 = 0.0;
+        let mut n2 = 0usize;
+        for ti in 0..tiles_down {
+            for tj in 0..tiles_across {
+                let nz = nnz_2d[ti * tiles_across + tj];
+                if nz > 0 {
+                    d2 += nz as f64 / area_2d(ti, tj);
+                    n2 += 1;
+                }
+            }
+        }
+        TileStats {
+            density_1d: if n1 > 0 { d1 / n1 as f64 } else { 0.0 },
+            density_2d: if n2 > 0 { d2 / n2 as f64 } else { 0.0 },
+            count_1d,
+            count_2d,
+        }
+    }
+}
+
+/// The full feature record for an `(A, B)` operand pair — the input to
+/// Misam's design classifier and latency predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PairFeatures {
+    /// Statistics of the left operand A.
+    pub a: MatrixStats,
+    /// Statistics of the right operand B.
+    pub b: MatrixStats,
+    /// Tile occupancy of B (the scheduled, buffered operand).
+    pub tiles_b: TileStats,
+}
+
+impl PairFeatures {
+    /// Extracts features from an operand pair.
+    pub fn extract(a: &CsrMatrix, b: &CsrMatrix, cfg: &TileConfig) -> Self {
+        PairFeatures {
+            a: MatrixStats::extract(a),
+            b: MatrixStats::extract(b),
+            tiles_b: TileStats::extract(b, cfg),
+        }
+    }
+
+    /// Extracts features for a sparse A against a dense `b_rows x b_cols`
+    /// right-hand side, synthesizing B's statistics from its shape.
+    pub fn extract_dense_b(
+        a: &CsrMatrix,
+        b_rows: usize,
+        b_cols: usize,
+        cfg: &TileConfig,
+    ) -> Self {
+        let count_1d = b_rows.div_ceil(cfg.tile_rows.max(1));
+        let count_2d = count_1d * b_cols.div_ceil(cfg.tile_cols.max(1));
+        let occupied = b_rows > 0 && b_cols > 0;
+        PairFeatures {
+            a: MatrixStats::extract(a),
+            b: MatrixStats::dense(b_rows, b_cols),
+            tiles_b: TileStats {
+                density_1d: if occupied { 1.0 } else { 0.0 },
+                density_2d: if occupied { 1.0 } else { 0.0 },
+                count_1d,
+                count_2d,
+            },
+        }
+    }
+
+    /// Flattens the record into the vector layout described by
+    /// [`FEATURE_NAMES`].
+    pub fn to_vector(&self) -> Vec<f64> {
+        vec![
+            self.a.sparsity,
+            self.b.sparsity,
+            self.a.rows as f64,
+            self.a.cols as f64,
+            self.b.rows as f64,
+            self.b.cols as f64,
+            self.a.nnz as f64,
+            self.b.nnz as f64,
+            self.a.avg_nnz_row,
+            self.a.var_nnz_row,
+            self.a.avg_nnz_col,
+            self.a.var_nnz_col,
+            self.b.avg_nnz_row,
+            self.b.var_nnz_row,
+            self.b.avg_nnz_col,
+            self.b.var_nnz_col,
+            self.a.load_imbalance_row,
+            self.a.load_imbalance_col,
+            self.b.load_imbalance_row,
+            self.b.load_imbalance_col,
+            self.tiles_b.density_1d,
+            self.tiles_b.density_2d,
+            self.tiles_b.count_1d as f64,
+            self.tiles_b.count_2d as f64,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use misam_sparse::gen;
+
+    #[test]
+    fn feature_names_match_vector_length() {
+        let a = gen::uniform_random(32, 32, 0.1, 1);
+        let f = PairFeatures::extract(&a, &a, &TileConfig::default());
+        assert_eq!(f.to_vector().len(), FEATURE_NAMES.len());
+    }
+
+    #[test]
+    fn feature_index_finds_paper_top_features() {
+        assert_eq!(FEATURE_NAMES[feature_index("Tile_1D_Density")], "Tile_1D_Density");
+        assert_eq!(FEATURE_NAMES[feature_index("row_B")], "row_B");
+        assert_eq!(
+            FEATURE_NAMES[feature_index("A_load_imbalance_row")],
+            "A_load_imbalance_row"
+        );
+        assert_eq!(FEATURE_NAMES[feature_index("A_rows")], "A_rows");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown feature name")]
+    fn feature_index_panics_on_unknown() {
+        feature_index("bogus");
+    }
+
+    #[test]
+    fn stats_of_known_matrix() {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 5]
+        let m = misam_sparse::CsrMatrix::from_dense(
+            3,
+            3,
+            &[1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 4.0, 5.0],
+        );
+        let s = MatrixStats::extract(&m);
+        assert_eq!(s.nnz, 5);
+        assert!((s.sparsity - (1.0 - 5.0 / 9.0)).abs() < 1e-12);
+        assert!((s.avg_nnz_row - 5.0 / 3.0).abs() < 1e-12);
+        // Row counts 2,0,3 -> mean 5/3, var = (4+0+9)/3 - 25/9 = 14/9
+        assert!((s.var_nnz_row - 14.0 / 9.0).abs() < 1e-9);
+        assert!((s.load_imbalance_row - 3.0 / (5.0 / 3.0)).abs() < 1e-9);
+        // Col counts 2,1,2 -> max 2, mean 5/3.
+        assert!((s.load_imbalance_col - 2.0 / (5.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_stats_are_finite() {
+        let m = misam_sparse::CsrMatrix::zeros(4, 4);
+        let s = MatrixStats::extract(&m);
+        assert_eq!(s.sparsity, 1.0);
+        assert_eq!(s.load_imbalance_row, 1.0);
+        assert_eq!(s.var_nnz_col, 0.0);
+        let zero = misam_sparse::CsrMatrix::zeros(0, 0);
+        let s0 = MatrixStats::extract(&zero);
+        assert!(s0.sparsity.is_finite());
+    }
+
+    #[test]
+    fn dense_matrix_tile_density_is_one() {
+        let m = gen::dense(64, 64, 3);
+        let t = TileStats::extract(&m, &TileConfig { tile_rows: 16, tile_cols: 16 });
+        assert!((t.density_1d - 1.0).abs() < 1e-12);
+        assert!((t.density_2d - 1.0).abs() < 1e-12);
+        assert_eq!(t.count_1d, 4);
+        assert_eq!(t.count_2d, 16);
+    }
+
+    #[test]
+    fn clustered_matrix_has_higher_tile_density_than_overall() {
+        // All nonzeros in the top-left 16x16 corner of a 256x256 matrix.
+        let mut coo = misam_sparse::CooMatrix::new(256, 256);
+        for r in 0..16 {
+            for c in 0..16 {
+                coo.push(r, c, 1.0).unwrap();
+            }
+        }
+        let m = coo.to_csr();
+        let overall = m.density();
+        let t = TileStats::extract(&m, &TileConfig { tile_rows: 16, tile_cols: 16 });
+        assert!(t.density_2d > 10.0 * overall, "2D tile density should expose clustering");
+        assert!((t.density_2d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tile_counts_use_ceiling_division() {
+        let m = gen::uniform_random(100, 70, 0.2, 5);
+        let t = TileStats::extract(&m, &TileConfig { tile_rows: 30, tile_cols: 32 });
+        assert_eq!(t.count_1d, 4);
+        assert_eq!(t.count_2d, 4 * 3);
+    }
+
+    #[test]
+    fn ragged_edge_tiles_use_true_area() {
+        // Single full column strip in a matrix whose last tile is ragged.
+        let mut coo = misam_sparse::CooMatrix::new(10, 10);
+        for r in 0..10 {
+            coo.push(r, 0, 1.0).unwrap();
+        }
+        let m = coo.to_csr();
+        let t = TileStats::extract(&m, &TileConfig { tile_rows: 8, tile_cols: 8 });
+        // Tile (0,0): 8 nnz / 64 area; tile (1,0): 2 nnz / 16 area.
+        let expect = (8.0 / 64.0 + 2.0 / 16.0) / 2.0;
+        assert!((t.density_2d - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalanced_generator_yields_high_imbalance_feature() {
+        let a = gen::imbalanced_rows(200, 1000, 0.05, 300, 4, 7);
+        let s = MatrixStats::extract(&a);
+        assert!(s.load_imbalance_row > 5.0);
+        let u = gen::regular_degree(200, 1000, 16, 8);
+        let su = MatrixStats::extract(&u);
+        assert!((su.load_imbalance_row - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_features_use_b_for_tiles() {
+        let a = gen::uniform_random(64, 64, 0.5, 1);
+        let b = misam_sparse::CsrMatrix::zeros(64, 64);
+        let f = PairFeatures::extract(&a, &b, &TileConfig::default());
+        assert_eq!(f.tiles_b.density_1d, 0.0);
+        assert!(f.a.density() > 0.3);
+    }
+}

@@ -1,0 +1,150 @@
+//! Seeded dataset splitting and k-fold cross-validation (the paper's
+//! 70/30 train-validation split and 10-fold protocol, §3.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic shuffled split of `n` sample indices into train and
+/// validation sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices of training samples.
+    pub train: Vec<usize>,
+    /// Indices of validation samples.
+    pub validation: Vec<usize>,
+}
+
+/// Splits `n` samples with the given training fraction (e.g. 0.7 for the
+/// paper's 70/30 split), shuffling with `seed`.
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is outside `(0, 1)` or `n == 0`.
+pub fn train_test_split(n: usize, train_fraction: f64, seed: u64) -> Split {
+    assert!(n > 0, "cannot split zero samples");
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train fraction must be in (0, 1)"
+    );
+    let mut idx = shuffled(n, seed);
+    let cut = ((n as f64 * train_fraction).round() as usize).clamp(1, n - 1);
+    let validation = idx.split_off(cut);
+    Split { train: idx, validation }
+}
+
+/// Returns `k` folds of `n` shuffled indices. Fold `i` is the validation
+/// set of round `i`; the union of the other folds is its training set.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > n`.
+pub fn k_folds(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "k-fold needs at least 2 folds");
+    assert!(k <= n, "more folds than samples");
+    let idx = shuffled(n, seed);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (pos, i) in idx.into_iter().enumerate() {
+        folds[pos % k].push(i);
+    }
+    folds
+}
+
+/// Runs k-fold cross-validation: `eval(train_indices, val_indices)` must
+/// return a score per round; the rounds' scores are returned in order.
+pub fn cross_validate<F>(n: usize, k: usize, seed: u64, mut eval: F) -> Vec<f64>
+where
+    F: FnMut(&[usize], &[usize]) -> f64,
+{
+    let folds = k_folds(n, k, seed);
+    (0..k)
+        .map(|round| {
+            let val = &folds[round];
+            let train: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != round)
+                .flat_map(|(_, f)| f.iter().copied())
+                .collect();
+            eval(&train, val)
+        })
+        .collect()
+}
+
+fn shuffled(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf01d_5eed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Gathers rows of a dataset by index — a convenience for training on a
+/// [`Split`].
+pub fn gather<T: Clone>(data: &[T], indices: &[usize]) -> Vec<T> {
+    indices.iter().map(|&i| data[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_exhaustive_and_disjoint() {
+        let s = train_test_split(100, 0.7, 1);
+        assert_eq!(s.train.len(), 70);
+        assert_eq!(s.validation.len(), 30);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.validation).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        assert_eq!(train_test_split(50, 0.7, 9), train_test_split(50, 0.7, 9));
+        assert_ne!(train_test_split(50, 0.7, 9), train_test_split(50, 0.7, 10));
+    }
+
+    #[test]
+    fn tiny_split_keeps_both_sides_nonempty() {
+        let s = train_test_split(2, 0.9, 3);
+        assert_eq!(s.train.len(), 1);
+        assert_eq!(s.validation.len(), 1);
+    }
+
+    #[test]
+    fn folds_partition_the_index_space() {
+        let folds = k_folds(103, 10, 4);
+        assert_eq!(folds.len(), 10);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        // Fold sizes differ by at most one.
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn cross_validate_sees_complementary_sets() {
+        let scores = cross_validate(20, 4, 7, |train, val| {
+            assert_eq!(train.len() + val.len(), 20);
+            let overlap = val.iter().filter(|v| train.contains(v)).count();
+            assert_eq!(overlap, 0);
+            val.len() as f64
+        });
+        assert_eq!(scores, vec![5.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than samples")]
+    fn too_many_folds_panics() {
+        k_folds(3, 10, 0);
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let data = vec!["a", "b", "c", "d"];
+        assert_eq!(gather(&data, &[3, 0]), vec!["d", "a"]);
+    }
+}

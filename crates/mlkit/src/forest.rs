@@ -1,0 +1,252 @@
+//! Random-forest classifier — the ensemble alternative the paper's §3.1
+//! implicitly trades away.
+//!
+//! Misam chooses a single decision tree "due to its lightweight footprint
+//! and low-latency inference". This module provides the counterfactual: a
+//! bagged forest with per-split feature subsampling, so the accuracy /
+//! footprint / inference-latency trade-off can be *measured* (see the
+//! `ablation_models` experiment) instead of asserted.
+
+use crate::tree::{DecisionTree, TreeParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for forest induction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Parameters of each tree.
+    pub tree: TreeParams,
+    /// Fraction of the training set bootstrapped per tree.
+    pub sample_fraction: f64,
+    /// Features visible to each tree (a random subset per tree; `None`
+    /// uses all features).
+    pub features_per_tree: Option<usize>,
+    /// Seed for bootstrapping and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 25,
+            tree: TreeParams::default(),
+            sample_fraction: 0.8,
+            features_per_tree: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A bagged ensemble of CART trees with majority voting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    /// Per-tree feature index maps (tree i sees `features[maps[i][j]]` as
+    /// its feature j).
+    maps: Vec<Vec<usize>>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Fits a forest to feature rows `x` and labels `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`DecisionTree::fit`], or if
+    /// `n_trees == 0`, `sample_fraction` is outside `(0, 1]`, or
+    /// `features_per_tree` is 0 or exceeds the feature count.
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, params: &ForestParams) -> Self {
+        assert!(params.n_trees > 0, "forest needs at least one tree");
+        assert!(
+            params.sample_fraction > 0.0 && params.sample_fraction <= 1.0,
+            "sample fraction must be in (0, 1]"
+        );
+        assert!(!x.is_empty(), "cannot fit a forest to an empty dataset");
+        let n_features = x[0].len();
+        if let Some(f) = params.features_per_tree {
+            assert!(f > 0 && f <= n_features, "features_per_tree out of range");
+        }
+
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0xf0_0e57);
+        let n_boot = ((x.len() as f64 * params.sample_fraction).round() as usize).max(1);
+        let mut trees = Vec::with_capacity(params.n_trees);
+        let mut maps = Vec::with_capacity(params.n_trees);
+
+        for _ in 0..params.n_trees {
+            // Feature subset for this tree.
+            let map: Vec<usize> = match params.features_per_tree {
+                Some(k) => {
+                    let mut all: Vec<usize> = (0..n_features).collect();
+                    for i in 0..k {
+                        let j = rng.gen_range(i..n_features);
+                        all.swap(i, j);
+                    }
+                    all.truncate(k);
+                    all
+                }
+                None => (0..n_features).collect(),
+            };
+            // Bootstrap sample.
+            let mut xs = Vec::with_capacity(n_boot);
+            let mut ys = Vec::with_capacity(n_boot);
+            for _ in 0..n_boot {
+                let i = rng.gen_range(0..x.len());
+                xs.push(map.iter().map(|&f| x[i][f]).collect::<Vec<f64>>());
+                ys.push(y[i]);
+            }
+            trees.push(DecisionTree::fit(&xs, &ys, n_classes, &params.tree));
+            maps.push(map);
+        }
+        RandomForest { trees, maps, n_classes, n_features }
+    }
+
+    /// Predicts by majority vote (ties break to the lower class index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training arity.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        assert_eq!(features.len(), self.n_features, "feature vector has wrong arity");
+        let mut votes = vec![0usize; self.n_classes];
+        let mut projected = Vec::new();
+        for (tree, map) in self.trees.iter().zip(&self.maps) {
+            projected.clear();
+            projected.extend(map.iter().map(|&f| features[f]));
+            votes[tree.predict(&projected)] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &v)| (v, self.n_classes - i))
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+
+    /// Predicts a batch.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total compact-serialized size across all trees — the footprint a
+    /// host runtime would ship (compare with the single tree's ~6 KB).
+    pub fn serialized_size(&self) -> usize {
+        self.trees.iter().map(DecisionTree::serialized_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_problem(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let f: Vec<f64> = (0..6).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let label = usize::from(f[0] + 0.3 * f[1] > 0.65);
+            // 10% label noise.
+            let label = if rng.gen_bool(0.1) { 1 - label } else { label };
+            x.push(f);
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_fits_and_predicts() {
+        let (x, y) = noisy_problem(400, 1);
+        let forest = RandomForest::fit(&x, &y, 2, &ForestParams::default());
+        let acc = forest
+            .predict_batch(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, a)| p == a)
+            .count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.8, "train accuracy {acc:.2}");
+    }
+
+    #[test]
+    fn forest_generalizes_at_least_as_well_as_one_shallow_tree() {
+        let (xt, yt) = noisy_problem(500, 2);
+        let (xv, yv) = noisy_problem(300, 3);
+        let tree_params = TreeParams { max_depth: 3, ..TreeParams::default() };
+        let tree = DecisionTree::fit(&xt, &yt, 2, &tree_params);
+        let forest = RandomForest::fit(
+            &xt,
+            &yt,
+            2,
+            &ForestParams { n_trees: 30, tree: tree_params, ..ForestParams::default() },
+        );
+        let acc = |pred: Vec<usize>| {
+            pred.iter().zip(&yv).filter(|(p, a)| p == a).count() as f64 / yv.len() as f64
+        };
+        let t_acc = acc(tree.predict_batch(&xv));
+        let f_acc = acc(forest.predict_batch(&xv));
+        assert!(
+            f_acc + 0.03 >= t_acc,
+            "forest {f_acc:.2} should not trail the stump {t_acc:.2}"
+        );
+    }
+
+    #[test]
+    fn forest_footprint_scales_with_tree_count() {
+        let (x, y) = noisy_problem(200, 4);
+        let small = RandomForest::fit(
+            &x,
+            &y,
+            2,
+            &ForestParams { n_trees: 5, ..ForestParams::default() },
+        );
+        let big = RandomForest::fit(
+            &x,
+            &y,
+            2,
+            &ForestParams { n_trees: 40, ..ForestParams::default() },
+        );
+        assert!(big.serialized_size() > 4 * small.serialized_size());
+        assert_eq!(big.n_trees(), 40);
+    }
+
+    #[test]
+    fn feature_subsampling_restricts_visibility() {
+        let (x, y) = noisy_problem(300, 5);
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            2,
+            &ForestParams { n_trees: 12, features_per_tree: Some(2), ..ForestParams::default() },
+        );
+        // Still functions end to end.
+        let _ = forest.predict(&x[0]);
+    }
+
+    #[test]
+    fn fit_is_deterministic_per_seed() {
+        let (x, y) = noisy_problem(150, 6);
+        let a = RandomForest::fit(&x, &y, 2, &ForestParams { seed: 9, ..Default::default() });
+        let b = RandomForest::fit(&x, &y, 2, &ForestParams { seed: 9, ..Default::default() });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        RandomForest::fit(
+            &[vec![1.0]],
+            &[0],
+            1,
+            &ForestParams { n_trees: 0, ..Default::default() },
+        );
+    }
+}

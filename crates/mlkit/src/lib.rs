@@ -1,0 +1,44 @@
+//! Machine-learning toolkit for Misam: decision trees and evaluation
+//! utilities, implemented from scratch.
+//!
+//! The paper deliberately avoids heavyweight inference stacks ("instead of
+//! using a Python inference library … we implemented a custom inference
+//! function", §5.5); this crate is that custom implementation. It
+//! provides:
+//!
+//! - [`tree::DecisionTree`] — a CART classifier with gini impurity,
+//!   inverse-frequency class weighting (§3.1's imbalance mitigation),
+//!   depth/leaf-size/gain pruning, gini feature importance, and a compact
+//!   flat-array representation whose serialized size realises the paper's
+//!   6 KB model footprint.
+//! - [`regression::RegressionTree`] — a variance-reduction regression
+//!   tree, the latency predictor inside the reconfiguration engine
+//!   (§3.3, Figure 9).
+//! - [`forest::RandomForest`] — the bagged-ensemble counterfactual, used
+//!   by the model-ablation experiment to measure what the single-tree
+//!   choice trades away.
+//! - [`metrics`] — accuracy, confusion matrices, MAE, R², geometric
+//!   means and class weights.
+//! - [`cv`] — seeded train/validation splits and k-fold cross-validation
+//!   (the paper's 70/30 split and 10-fold protocol).
+//!
+//! # Example
+//!
+//! ```
+//! use misam_mlkit::tree::{DecisionTree, TreeParams};
+//!
+//! // XOR-ish toy problem.
+//! let x = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+//! let y = vec![0, 1, 1, 0];
+//! let tree = DecisionTree::fit(&x, &y, 2, &TreeParams::default());
+//! assert_eq!(tree.predict(&[1.0, 0.0]), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cv;
+pub mod forest;
+pub mod metrics;
+pub mod regression;
+pub mod tree;

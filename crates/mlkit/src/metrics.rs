@@ -1,0 +1,230 @@
+//! Evaluation metrics used by the paper's experiments: classification
+//! accuracy and confusion matrices (Table 5), MAE and R² of the latency
+//! predictor (Figure 9), geometric-mean speedups (Tables 4, §5.2), and
+//! the inverse-frequency class weighting of §3.1.
+
+/// Fraction of predictions equal to their labels.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+    assert!(!predicted.is_empty(), "accuracy of an empty set is undefined");
+    let hits = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// Row-major confusion matrix: `m[predicted][actual]`, matching the
+/// orientation of the paper's Table 5 ("Predicted/Actual").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel prediction/label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any value is `>= n_classes`.
+    pub fn new(predicted: &[usize], actual: &[usize], n_classes: usize) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+        let mut counts = vec![0u64; n_classes * n_classes];
+        for (&p, &a) in predicted.iter().zip(actual) {
+            assert!(p < n_classes && a < n_classes, "class out of range");
+            counts[p * n_classes + a] += 1;
+        }
+        ConfusionMatrix { n_classes, counts }
+    }
+
+    /// Count of samples predicted `p` with true class `a`.
+    pub fn get(&self, predicted: usize, actual: usize) -> u64 {
+        self.counts[predicted * self.n_classes + actual]
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Diagonal sum over total — the accuracy implied by the matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.n_classes).map(|i| self.get(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Renders the matrix as an aligned text table with the given class
+    /// names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names.len() != n_classes`.
+    pub fn render(&self, names: &[&str]) -> String {
+        assert_eq!(names.len(), self.n_classes, "one name per class required");
+        let mut out = String::from("Predicted\\Actual");
+        for n in names {
+            out.push_str(&format!(" {n:>10}"));
+        }
+        out.push('\n');
+        for (p, pname) in names.iter().enumerate() {
+            out.push_str(&format!("{pname:<16}"));
+            for a in 0..self.n_classes {
+                out.push_str(&format!(" {:>10}", self.get(p, a)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "prediction/target length mismatch");
+    assert!(!predicted.is_empty(), "MAE of an empty set is undefined");
+    predicted.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Coefficient of determination R². 1 means perfect prediction; 0 means
+/// no better than predicting the mean; negative means worse.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+pub fn r2(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "prediction/target length mismatch");
+    assert!(!predicted.is_empty(), "R2 of an empty set is undefined");
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean).powi(2)).sum();
+    let ss_res: f64 = predicted.iter().zip(actual).map(|(p, a)| (a - p).powi(2)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Geometric mean of positive ratios (the paper's speedup aggregation).
+///
+/// # Panics
+///
+/// Panics if the slice is empty or any value is non-positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of an empty set is undefined");
+    assert!(values.iter().all(|&v| v > 0.0), "geometric mean requires positive values");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Class weights inversely proportional to class frequency, normalized to
+/// mean 1 (the weighting strategy of §3.1). Absent classes get weight 0.
+pub fn inverse_frequency_weights(labels: &[usize], n_classes: usize) -> Vec<f64> {
+    let mut counts = vec![0usize; n_classes];
+    for &l in labels {
+        assert!(l < n_classes, "label out of range");
+        counts[l] += 1;
+    }
+    let present = counts.iter().filter(|&&c| c > 0).count().max(1);
+    let total = labels.len() as f64;
+    let mut weights: Vec<f64> = counts
+        .iter()
+        .map(|&c| if c > 0 { total / (present as f64 * c as f64) } else { 0.0 })
+        .collect();
+    // Normalize to mean 1 over present classes for numeric comparability.
+    let sum: f64 = weights.iter().sum();
+    if sum > 0.0 {
+        let scale = present as f64 / sum;
+        for w in &mut weights {
+            *w *= scale;
+        }
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[0, 1, 2, 1], &[0, 1, 1, 1]), 0.75);
+        assert_eq!(accuracy(&[5], &[5]), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_orientation_is_predicted_by_actual() {
+        let m = ConfusionMatrix::new(&[0, 0, 1], &[0, 1, 1], 2);
+        assert_eq!(m.get(0, 0), 1);
+        assert_eq!(m.get(0, 1), 1); // predicted 0, actually 1
+        assert_eq!(m.get(1, 1), 1);
+        assert_eq!(m.get(1, 0), 0);
+        assert!((m.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_render_has_all_cells() {
+        let m = ConfusionMatrix::new(&[0, 1], &[1, 0], 2);
+        let s = m.render(&["D1", "D2"]);
+        assert!(s.contains("D1") && s.contains("D2"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn mae_and_r2_on_known_values() {
+        let p = [1.0, 2.0, 3.0];
+        let a = [1.0, 2.0, 5.0];
+        assert!((mae(&p, &a) - 2.0 / 3.0).abs() < 1e-12);
+        // ss_res = 4, mean = 8/3, ss_tot = (1-8/3)^2+(2-8/3)^2+(5-8/3)^2
+        let mean: f64 = 8.0 / 3.0;
+        let ss_tot = (1.0 - mean).powi(2) + (2.0 - mean).powi(2) + (5.0 - mean).powi(2);
+        assert!((r2(&p, &a) - (1.0 - 4.0 / ss_tot)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_scores_r2_one() {
+        let a = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert!((r2(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_reciprocals_is_one() {
+        assert!((geomean(&[2.0, 0.5]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn geomean_rejects_zero() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn inverse_weights_favor_rare_classes() {
+        let labels = [0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let w = inverse_frequency_weights(&labels, 2);
+        assert!(w[1] > w[0]);
+        assert!((w[1] / w[0] - 9.0).abs() < 1e-9);
+        // Mean over present classes is 1.
+        assert!(((w[0] + w[1]) / 2.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_class_gets_zero_weight() {
+        let w = inverse_frequency_weights(&[0, 0, 2], 3);
+        assert_eq!(w[1], 0.0);
+        assert!(w[0] > 0.0 && w[2] > 0.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Variance-reduction regression tree — the latency predictor inside the
+//! reconfiguration engine (§3.3).
+//!
+//! The engine must estimate the expected latency of the predicted design
+//! from matrix features before deciding whether a bitstream switch pays
+//! for itself. The paper reports MAE 0.344 and R² 0.978 for this
+//! predictor (Figure 9); `misam-core` trains it on log-latency, where
+//! those residual scales are meaningful.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for regression-tree induction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegParams {
+    /// Maximum depth of the tree.
+    pub max_depth: usize,
+    /// Minimum samples a leaf may hold.
+    pub min_samples_leaf: usize,
+    /// Minimum variance reduction (weighted) to keep a split.
+    pub min_gain: f64,
+}
+
+impl Default for RegParams {
+    fn default() -> Self {
+        RegParams { max_depth: 14, min_samples_leaf: 2, min_gain: 1e-12 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum RNode {
+    Split { feature: u16, threshold: f64, left: u32, right: u32 },
+    Leaf { value: f64 },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<RNode>,
+    n_features: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree to feature rows `x` and real-valued targets `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty, lengths disagree, rows are ragged, or any
+    /// target is not finite.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: &RegParams) -> Self {
+        assert!(!x.is_empty(), "cannot fit a tree to an empty dataset");
+        assert_eq!(x.len(), y.len(), "feature and target counts differ");
+        let n_features = x[0].len();
+        assert!(x.iter().all(|r| r.len() == n_features), "ragged feature rows");
+        assert!(y.iter().all(|v| v.is_finite()), "targets must be finite");
+
+        let mut nodes = Vec::new();
+        let idx: Vec<u32> = (0..x.len() as u32).collect();
+        grow(x, y, params, idx, 0, &mut nodes);
+        RegressionTree { nodes, n_features }
+    }
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features`.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.n_features, "feature vector has wrong arity");
+        let mut i = 0usize;
+        loop {
+            match self.nodes[i] {
+                RNode::Split { feature, threshold, left, right } => {
+                    i = if features[feature as usize] <= threshold {
+                        left as usize
+                    } else {
+                        right as usize
+                    };
+                }
+                RNode::Leaf { value } => return value,
+            }
+        }
+    }
+
+    /// Predicts a batch.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+fn grow(
+    x: &[Vec<f64>],
+    y: &[f64],
+    params: &RegParams,
+    idx: Vec<u32>,
+    depth: usize,
+    nodes: &mut Vec<RNode>,
+) -> u32 {
+    let n = idx.len() as f64;
+    let mean = idx.iter().map(|&i| y[i as usize]).sum::<f64>() / n;
+    let sse: f64 = idx.iter().map(|&i| (y[i as usize] - mean).powi(2)).sum();
+
+    let leaf = |nodes: &mut Vec<RNode>| {
+        nodes.push(RNode::Leaf { value: mean });
+        (nodes.len() - 1) as u32
+    };
+
+    if depth >= params.max_depth || idx.len() < 2 * params.min_samples_leaf || sse <= 0.0 {
+        return leaf(nodes);
+    }
+
+    // Best split by SSE reduction, scanning sorted values per feature.
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    let mut order = idx.clone();
+    for f in 0..x[0].len() {
+        order.sort_unstable_by(|&a, &b| {
+            x[a as usize][f].partial_cmp(&x[b as usize][f]).expect("features must not be NaN")
+        });
+        let mut lsum = 0.0;
+        let mut lsq = 0.0;
+        let total_sum: f64 = order.iter().map(|&i| y[i as usize]).sum();
+        let total_sq: f64 = order.iter().map(|&i| y[i as usize] * y[i as usize]).sum();
+        for k in 0..order.len() - 1 {
+            let yi = y[order[k] as usize];
+            lsum += yi;
+            lsq += yi * yi;
+            let v = x[order[k] as usize][f];
+            let v_next = x[order[k + 1] as usize][f];
+            if v == v_next {
+                continue;
+            }
+            let ln = (k + 1) as f64;
+            let rn = (order.len() - k - 1) as f64;
+            if (ln as usize) < params.min_samples_leaf || (rn as usize) < params.min_samples_leaf
+            {
+                continue;
+            }
+            let l_sse = lsq - lsum * lsum / ln;
+            let rsum = total_sum - lsum;
+            let r_sse = (total_sq - lsq) - rsum * rsum / rn;
+            let gain = sse - l_sse - r_sse;
+            if gain > params.min_gain && best.is_none_or(|b| gain > b.2) {
+                best = Some((f, 0.5 * (v + v_next), gain));
+            }
+        }
+    }
+
+    let Some((feature, threshold, _)) = best else {
+        return leaf(nodes);
+    };
+
+    let me = nodes.len();
+    nodes.push(RNode::Leaf { value: mean }); // placeholder
+    let (li, ri): (Vec<u32>, Vec<u32>) =
+        idx.iter().partition(|&&i| x[i as usize][feature] <= threshold);
+    let left = grow(x, y, params, li, depth + 1, nodes);
+    let right = grow(x, y, params, ri, depth + 1, nodes);
+    nodes[me] = RNode::Split { feature: feature as u16, threshold, left, right };
+    me as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_step_function_exactly() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..50).map(|i| if i < 25 { 1.0 } else { 5.0 }).collect();
+        let t = RegressionTree::fit(&x, &y, &RegParams::default());
+        assert!((t.predict(&[3.0]) - 1.0).abs() < 1e-12);
+        assert!((t.predict(&[40.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approximates_a_smooth_function() {
+        let x: Vec<Vec<f64>> = (0..400).map(|i| vec![i as f64 / 100.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| v[0] * v[0]).collect();
+        let t = RegressionTree::fit(&x, &y, &RegParams::default());
+        let mut worst: f64 = 0.0;
+        for (xi, yi) in x.iter().zip(&y) {
+            worst = worst.max((t.predict(xi) - yi).abs());
+        }
+        assert!(worst < 0.2, "worst absolute error {worst}");
+    }
+
+    #[test]
+    fn constant_target_is_a_single_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![7.0, 7.0, 7.0];
+        let t = RegressionTree::fit(&x, &y, &RegParams::default());
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[-100.0]), 7.0);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let params = RegParams { min_samples_leaf: 5, ..RegParams::default() };
+        let t = RegressionTree::fit(&x, &y, &params);
+        // Only the 5/5 split is allowed.
+        assert!(t.node_count() <= 3);
+    }
+
+    #[test]
+    fn multi_feature_selection_picks_informative_axis() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let informative = (i % 20) as f64;
+            let noise = ((i * 7) % 13) as f64;
+            x.push(vec![noise, informative]);
+            y.push(informative * 10.0);
+        }
+        let t = RegressionTree::fit(&x, &y, &RegParams::default());
+        let pred = t.predict(&[0.0, 10.0]);
+        assert!((pred - 100.0).abs() < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets must be finite")]
+    fn rejects_nan_targets() {
+        RegressionTree::fit(&[vec![1.0]], &[f64::NAN], &RegParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn predict_checks_arity() {
+        let t = RegressionTree::fit(&[vec![1.0, 2.0]], &[1.0], &RegParams::default());
+        t.predict(&[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the ML toolkit: invariants that must hold for
+//! any training set, not just the unit-test fixtures.
+
+use misam_mlkit::cv;
+use misam_mlkit::metrics;
+use misam_mlkit::regression::{RegParams, RegressionTree};
+use misam_mlkit::tree::{DecisionTree, TreeParams};
+use proptest::prelude::*;
+
+/// Strategy: a labeled dataset with `f` features, up to `n` samples and
+/// `c` classes (at least one sample).
+fn arb_dataset(
+    f: usize,
+    n: usize,
+    c: usize,
+) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<usize>)> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(-100.0f64..100.0, f),
+            0..c,
+        ),
+        1..=n,
+    )
+    .prop_map(|rows| rows.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Training predictions can never go outside the label alphabet, and
+    /// an unpruned deep tree must fit any consistent training set
+    /// exactly wherever feature vectors are unique.
+    #[test]
+    fn tree_predicts_within_alphabet((x, y) in arb_dataset(4, 60, 3)) {
+        let tree = DecisionTree::fit(&x, &y, 3, &TreeParams {
+            max_depth: 30,
+            ..TreeParams::default()
+        });
+        for (xi, &yi) in x.iter().zip(&y) {
+            let p = tree.predict(xi);
+            prop_assert!(p < 3);
+            // Exact fit holds when xi is unique in the training set.
+            let dup = x.iter().zip(&y).any(|(xj, &yj)| xj == xi && yj != yi);
+            if !dup {
+                prop_assert_eq!(p, yi);
+            }
+        }
+    }
+
+    /// Compact serialization round-trips predictions bit-for-bit.
+    #[test]
+    fn tree_bytes_roundtrip((x, y) in arb_dataset(3, 40, 4)) {
+        let tree = DecisionTree::fit(&x, &y, 4, &TreeParams::default());
+        let back = DecisionTree::from_bytes(&tree.to_bytes()).unwrap();
+        for xi in &x {
+            prop_assert_eq!(tree.predict(xi), back.predict(xi));
+        }
+        prop_assert_eq!(tree.to_bytes().len(), tree.serialized_size());
+    }
+
+    /// Feature importances are a probability vector over features (or all
+    /// zero for a stump).
+    #[test]
+    fn importances_form_a_distribution((x, y) in arb_dataset(5, 50, 2)) {
+        let tree = DecisionTree::fit(&x, &y, 2, &TreeParams::default());
+        let imp = tree.feature_importances();
+        prop_assert_eq!(imp.len(), 5);
+        prop_assert!(imp.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+        let sum: f64 = imp.iter().sum();
+        prop_assert!(sum < 1.0 + 1e-9);
+        if tree.node_count() > 1 {
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(sum, 0.0);
+        }
+    }
+
+    /// A regression tree's predictions are bounded by the target range.
+    #[test]
+    fn regression_predictions_stay_in_target_hull(
+        x in proptest::collection::vec(proptest::collection::vec(-50.0f64..50.0, 3), 2..40),
+        shift in -10.0f64..10.0,
+    ) {
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 0.5 + shift).collect();
+        let tree = RegressionTree::fit(&x, &y, &RegParams::default());
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for xi in &x {
+            let p = tree.predict(xi);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Splits and folds always partition the index space.
+    #[test]
+    fn cv_partitions_indices(n in 2usize..200, k in 2usize..8, seed in 0u64..50) {
+        prop_assume!(k <= n);
+        let split = cv::train_test_split(n, 0.7, seed);
+        let mut all: Vec<usize> = split.train.iter().chain(&split.validation).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(&all, &(0..n).collect::<Vec<_>>());
+
+        let folds = cv::k_folds(n, k, seed);
+        let mut all2: Vec<usize> = folds.iter().flatten().copied().collect();
+        all2.sort_unstable();
+        prop_assert_eq!(&all2, &(0..n).collect::<Vec<_>>());
+    }
+
+    /// Geomean lies between min and max; accuracy of self-labels is 1.
+    #[test]
+    fn metric_sanity(values in proptest::collection::vec(0.01f64..100.0, 1..30)) {
+        let g = metrics::geomean(&values);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= lo - 1e-12 && g <= hi + 1e-12);
+
+        let labels: Vec<usize> = (0..values.len()).map(|i| i % 3).collect();
+        prop_assert_eq!(metrics::accuracy(&labels, &labels), 1.0);
+    }
+
+    /// Class weights: present classes get positive weight, absent zero,
+    /// and rarer classes never get less weight than commoner ones.
+    #[test]
+    fn class_weights_are_monotone(labels in proptest::collection::vec(0usize..4, 1..120)) {
+        let w = metrics::inverse_frequency_weights(&labels, 4);
+        let mut counts = [0usize; 4];
+        for &l in &labels {
+            counts[l] += 1;
+        }
+        for c in 0..4 {
+            if counts[c] == 0 {
+                prop_assert_eq!(w[c], 0.0);
+            } else {
+                prop_assert!(w[c] > 0.0);
+            }
+        }
+        for a in 0..4 {
+            for b in 0..4 {
+                if counts[a] > 0 && counts[b] > 0 && counts[a] < counts[b] {
+                    prop_assert!(w[a] >= w[b] - 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Bitstream reconfiguration cost model (paper §6.1).
+//!
+//! Full reconfiguration on the U55C takes 3–4 seconds for a 50–80 MB
+//! bitstream over PCIe Gen4 x8 (6.4 GB/s): the transfer itself is ~10 ms,
+//! and the fabric programming phase dominates — the paper verified this
+//! across Vivado, OpenCL and XRT paths. Partial reconfiguration of small
+//! dynamic regions drops to hundreds of milliseconds but converges to the
+//! full cost as the region grows.
+
+use misam_sim::BitstreamId;
+use serde::{Deserialize, Serialize};
+
+/// Reconfiguration timing constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigCost {
+    /// PCIe bandwidth for bitstream transfer, GB/s.
+    pub pcie_gbs: f64,
+    /// Fixed fabric-programming setup time, seconds.
+    pub program_base_s: f64,
+    /// Fabric programming time per MiB of bitstream, seconds.
+    pub program_per_mib_s: f64,
+}
+
+impl Default for ReconfigCost {
+    fn default() -> Self {
+        ReconfigCost { pcie_gbs: 6.4, program_base_s: 1.0, program_per_mib_s: 0.035 }
+    }
+}
+
+impl ReconfigCost {
+    /// A model in which switching is free — the §5.2 override that lets
+    /// the engine always chase the optimal design.
+    pub fn zero() -> Self {
+        ReconfigCost { pcie_gbs: f64::INFINITY, program_base_s: 0.0, program_per_mib_s: 0.0 }
+    }
+
+    /// Seconds to fully reconfigure onto `bitstream`.
+    pub fn full_time_s(&self, bitstream: BitstreamId) -> f64 {
+        let mib = bitstream.size_mib();
+        let transfer = mib * 1024.0 * 1024.0 / (self.pcie_gbs * 1e9);
+        transfer + self.program_base_s + self.program_per_mib_s * mib
+    }
+
+    /// Seconds to partially reconfigure a dynamic region covering
+    /// `region_fraction` of the fabric — several hundred milliseconds for
+    /// small regions, approaching the full cost as the fraction grows
+    /// (§6.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_fraction` is outside `[0, 1]`.
+    pub fn partial_time_s(&self, bitstream: BitstreamId, region_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&region_fraction),
+            "region fraction must be in [0, 1]"
+        );
+        let full = self.full_time_s(bitstream);
+        let floor: f64 = if full > 0.0 { 0.15 } else { 0.0 };
+        (full * region_fraction).max(floor.min(full))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_reconfig_lands_in_the_3_to_4_second_band() {
+        let c = ReconfigCost::default();
+        for b in [BitstreamId::B1, BitstreamId::B23, BitstreamId::B4] {
+            let t = c.full_time_s(b);
+            assert!((2.5..=4.5).contains(&t), "{b:?} reconfig {t:.2}s outside paper band");
+        }
+    }
+
+    #[test]
+    fn programming_dominates_transfer() {
+        let c = ReconfigCost::default();
+        let mib = BitstreamId::B23.size_mib();
+        let transfer = mib * 1024.0 * 1024.0 / (c.pcie_gbs * 1e9);
+        assert!(transfer < 0.05, "PCIe transfer should be ~10ms, got {transfer}");
+        assert!(c.full_time_s(BitstreamId::B23) > 20.0 * transfer);
+    }
+
+    #[test]
+    fn zero_cost_model_is_actually_zero() {
+        let c = ReconfigCost::zero();
+        assert_eq!(c.full_time_s(BitstreamId::B1), 0.0);
+        assert_eq!(c.partial_time_s(BitstreamId::B1, 0.5), 0.0);
+    }
+
+    #[test]
+    fn partial_reconfig_has_a_floor_and_converges_to_full() {
+        let c = ReconfigCost::default();
+        let small = c.partial_time_s(BitstreamId::B23, 0.02);
+        assert!((0.1..0.5).contains(&small), "small region should be 100s of ms: {small}");
+        let full = c.full_time_s(BitstreamId::B23);
+        assert!((c.partial_time_s(BitstreamId::B23, 1.0) - full).abs() < 1e-12);
+        assert!(c.partial_time_s(BitstreamId::B23, 0.6) < full);
+    }
+
+    #[test]
+    #[should_panic(expected = "region fraction")]
+    fn partial_rejects_bad_fraction() {
+        ReconfigCost::default().partial_time_s(BitstreamId::B1, 1.5);
+    }
+}

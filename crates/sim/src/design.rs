@@ -1,0 +1,269 @@
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one of Misam's four hardware designs (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DesignId {
+    /// Sextans-like SpMM design, resource-lean: best for small highly
+    /// sparse A against dense B.
+    D1,
+    /// Scaled-up SpMM design: more HBM channels and PEs, column-wise
+    /// scheduling. Best for large, denser, regular matrices.
+    D2,
+    /// Same hardware as Design 2, row-wise traversal with `col % PE`
+    /// assignment. Best under high row-load imbalance.
+    D3,
+    /// SpGEMM design with compressed (COO) B and sparsity-aware 2-D
+    /// tiling. Best when B itself is highly sparse.
+    D4,
+}
+
+impl DesignId {
+    /// All four designs, in Table 1 order.
+    pub const ALL: [DesignId; 4] = [DesignId::D1, DesignId::D2, DesignId::D3, DesignId::D4];
+
+    /// Zero-based index (`D1 -> 0` … `D4 -> 3`), used as the class label
+    /// of the decision tree.
+    pub fn index(self) -> usize {
+        match self {
+            DesignId::D1 => 0,
+            DesignId::D2 => 1,
+            DesignId::D3 => 2,
+            DesignId::D4 => 3,
+        }
+    }
+
+    /// Inverse of [`DesignId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 4`.
+    pub fn from_index(idx: usize) -> Self {
+        Self::ALL[idx]
+    }
+
+    /// The bitstream this design is carried in. Designs 2 and 3 share a
+    /// bitstream and differ only in host-side scheduling (§4), so
+    /// switching between them is free.
+    pub fn bitstream(self) -> BitstreamId {
+        match self {
+            DesignId::D1 => BitstreamId::B1,
+            DesignId::D2 | DesignId::D3 => BitstreamId::B23,
+            DesignId::D4 => BitstreamId::B4,
+        }
+    }
+}
+
+impl std::fmt::Display for DesignId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Design {}", self.index() + 1)
+    }
+}
+
+/// Identifier of a physical bitstream (three exist for the four designs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BitstreamId {
+    /// Bitstream carrying Design 1.
+    B1,
+    /// Shared bitstream carrying Designs 2 and 3.
+    B23,
+    /// Bitstream carrying Design 4.
+    B4,
+}
+
+impl BitstreamId {
+    /// Bitstream file size in MiB (paper §6.1: 50–80 MB on the U55C).
+    pub fn size_mib(self) -> f64 {
+        match self {
+            BitstreamId::B1 => 58.0,
+            BitstreamId::B23 => 74.0,
+            BitstreamId::B4 => 52.0,
+        }
+    }
+}
+
+/// How the host schedules matrix A onto PEs ("Scheduler A" in Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Traversal {
+    /// Column-wise traversal; whole rows of A are assigned to PEs
+    /// round-robin, so a row's accumulation stays on one PE.
+    Col,
+    /// Row-wise traversal; each element is assigned to PE
+    /// `column % PE count`, spreading long rows across PEs.
+    Row,
+}
+
+/// Storage format of matrix B ("Format B" in Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BFormat {
+    /// Dense rows, 16 FP32 values per HBM read.
+    Uncompressed,
+    /// 64-bit coalesced COO, 8 entries per HBM read — half the effective
+    /// bandwidth, worthwhile only for highly sparse B (§3.2.4).
+    Compressed,
+}
+
+/// Full microarchitectural configuration of a design (paper Table 1 plus
+/// the pipeline constants of Figure 6 and §3.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignConfig {
+    /// Which design this configures.
+    pub id: DesignId,
+    /// HBM channels streaming matrix A.
+    pub ch_a: usize,
+    /// HBM channels streaming matrix B.
+    pub ch_b: usize,
+    /// HBM channels writing matrix C.
+    pub ch_c: usize,
+    /// Number of processing element groups.
+    pub pegs: usize,
+    /// Number of accumulator groups.
+    pub accgs: usize,
+    /// PEs per PEG (4 throughout the paper).
+    pub pes_per_peg: usize,
+    /// A-traversal / PE-assignment policy.
+    pub scheduler_a: Traversal,
+    /// Storage format of B.
+    pub format_b: BFormat,
+    /// Post place-and-route clock (Table 2), MHz.
+    pub freq_mhz: f64,
+    /// B-row entries resident per BRAM tile (4096 per §3.2.1).
+    pub bram_entries: usize,
+    /// Load/store dependency distance in cycles between same-row issues
+    /// (2 in Figure 6).
+    pub dep_distance: u64,
+    /// Cycles to forward a B segment one PEG downstream in the broadcast
+    /// chain.
+    pub broadcast_hop: u64,
+    /// Pipeline fill/drain cycles charged once per tile per PEG column.
+    pub pipeline_fill: u64,
+    /// Extra cycles charged per A element for the URAM metadata
+    /// indirection of compressed-B designs (0 for SpMM designs).
+    pub meta_lookup: u64,
+    /// Multiplier on compressed-B gather work modelling BRAM bank
+    /// conflicts on irregular sparse-row accesses.
+    pub gather_factor: f64,
+}
+
+impl DesignConfig {
+    /// The Table 1 configuration of a design.
+    pub fn of(id: DesignId) -> Self {
+        let base = DesignConfig {
+            id,
+            ch_a: 8,
+            ch_b: 4,
+            ch_c: 8,
+            pegs: 16,
+            accgs: 16,
+            pes_per_peg: 4,
+            scheduler_a: Traversal::Col,
+            format_b: BFormat::Uncompressed,
+            freq_mhz: 284.02,
+            bram_entries: 4096,
+            dep_distance: 2,
+            broadcast_hop: 4,
+            pipeline_fill: 48,
+            meta_lookup: 0,
+            gather_factor: 1.0,
+        };
+        match id {
+            // Table 2 shows Design 1 spending 60.71% of BRAM on 16 PEGs
+            // versus Design 2's 48.02% on 24 — roughly twice the BRAM per
+            // PEG — so Design 1 holds twice as many B rows per tile.
+            DesignId::D1 => DesignConfig { bram_entries: 8192, ..base },
+            DesignId::D2 => DesignConfig {
+                ch_a: 12,
+                ch_c: 12,
+                pegs: 24,
+                accgs: 24,
+                freq_mhz: 290.3,
+                ..base
+            },
+            DesignId::D3 => DesignConfig {
+                ch_a: 12,
+                ch_c: 12,
+                pegs: 24,
+                accgs: 24,
+                scheduler_a: Traversal::Row,
+                freq_mhz: 290.3,
+                ..base
+            },
+            DesignId::D4 => DesignConfig {
+                ch_b: 8,
+                ch_c: 4,
+                format_b: BFormat::Compressed,
+                freq_mhz: 287.4,
+                meta_lookup: 1,
+                gather_factor: 4.0,
+                ..base
+            },
+        }
+    }
+
+    /// Total PE count (`pegs * pes_per_peg`).
+    pub fn total_pes(&self) -> usize {
+        self.pegs * self.pes_per_peg
+    }
+
+    /// Maximum B columns processed per pass across the PEG array: each
+    /// PEG holds URAM accumulators for 128 output columns.
+    pub fn col_pass_width(&self) -> usize {
+        self.pegs * 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_parameters_match_paper() {
+        let d1 = DesignConfig::of(DesignId::D1);
+        assert_eq!((d1.ch_a, d1.ch_b, d1.ch_c), (8, 4, 8));
+        assert_eq!((d1.pegs, d1.accgs), (16, 16));
+        assert_eq!(d1.scheduler_a, Traversal::Col);
+        assert_eq!(d1.format_b, BFormat::Uncompressed);
+
+        let d2 = DesignConfig::of(DesignId::D2);
+        assert_eq!((d2.ch_a, d2.ch_b, d2.ch_c), (12, 4, 12));
+        assert_eq!((d2.pegs, d2.accgs), (24, 24));
+        assert_eq!(d2.scheduler_a, Traversal::Col);
+
+        let d3 = DesignConfig::of(DesignId::D3);
+        assert_eq!(d3.scheduler_a, Traversal::Row);
+        assert_eq!((d3.pegs, d3.ch_a), (24, 12));
+
+        let d4 = DesignConfig::of(DesignId::D4);
+        assert_eq!((d4.ch_a, d4.ch_b, d4.ch_c), (8, 8, 4));
+        assert_eq!(d4.format_b, BFormat::Compressed);
+        assert_eq!((d4.pegs, d4.accgs), (16, 16));
+    }
+
+    #[test]
+    fn designs_2_and_3_share_a_bitstream() {
+        assert_eq!(DesignId::D2.bitstream(), DesignId::D3.bitstream());
+        assert_ne!(DesignId::D1.bitstream(), DesignId::D2.bitstream());
+        assert_ne!(DesignId::D4.bitstream(), DesignId::D2.bitstream());
+    }
+
+    #[test]
+    fn index_roundtrips() {
+        for d in DesignId::ALL {
+            assert_eq!(DesignId::from_index(d.index()), d);
+        }
+        assert_eq!(DesignId::D2.to_string(), "Design 2");
+    }
+
+    #[test]
+    fn bitstream_sizes_in_paper_range() {
+        for b in [BitstreamId::B1, BitstreamId::B23, BitstreamId::B4] {
+            let s = b.size_mib();
+            assert!((50.0..=80.0).contains(&s), "bitstream size {s} outside 50-80 MB");
+        }
+    }
+
+    #[test]
+    fn total_pes_matches_peg_math() {
+        assert_eq!(DesignConfig::of(DesignId::D1).total_pes(), 64);
+        assert_eq!(DesignConfig::of(DesignId::D2).total_pes(), 96);
+    }
+}

@@ -1,0 +1,402 @@
+//! End-to-end execution model: combines the HBM, scheduling and tiling
+//! models into a per-design latency/energy report.
+//!
+//! The simulated kernel follows §3.2: A is streamed through `ch_A` as
+//! coalesced 64-bit entries and scheduled onto PEs; B is either streamed
+//! dense (16 FP32 per read) and broadcast through the PEG chain, or
+//! compressed (8 entries per read) with URAM metadata indirection
+//! (Design 4); C is accumulated in URAM and written back dense (SpMM
+//! designs) or compressed (Design 4). Total latency is the maximum of the
+//! overlapped memory and compute streams, plus launch and per-tile
+//! pipeline overheads.
+
+use crate::design::{BFormat, DesignConfig, DesignId};
+use crate::{hbm, schedule, tiling};
+use misam_sparse::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Base kernel-launch overhead in cycles (host DMA setup, scheduling
+/// buffers).
+const LAUNCH_BASE_CYCLES: u64 = 1500;
+/// Additional launch cycles per PEG (pointer lists, broadcast-chain
+/// initialization) — the term that makes lean Design 1 preferable on
+/// small tiles.
+const LAUNCH_PER_PEG_CYCLES: u64 = 180;
+/// Output-accumulator width per pass: URAM holds this many C columns.
+const PASS_WIDTH_COLS: usize = 512;
+
+/// The right-hand operand of a simulated multiplication.
+///
+/// SpMM designs treat B as dense regardless of its true contents (stored
+/// zeros are streamed and multiplied); Design 4 exploits sparse B. Pass
+/// [`Operand::Sparse`] to let the compressed design read real row
+/// occupancies.
+#[derive(Debug, Clone, Copy)]
+pub enum Operand<'a> {
+    /// A dense `rows x cols` matrix; only the shape matters to the timing
+    /// model.
+    Dense {
+        /// Rows of B (must equal `a.cols()`).
+        rows: usize,
+        /// Columns of B.
+        cols: usize,
+    },
+    /// A sparse matrix in CSR.
+    Sparse(&'a CsrMatrix),
+}
+
+impl<'a> Operand<'a> {
+    /// Rows of the operand.
+    pub fn rows(&self) -> usize {
+        match self {
+            Operand::Dense { rows, .. } => *rows,
+            Operand::Sparse(m) => m.rows(),
+        }
+    }
+
+    /// Columns of the operand.
+    pub fn cols(&self) -> usize {
+        match self {
+            Operand::Dense { cols, .. } => *cols,
+            Operand::Sparse(m) => m.cols(),
+        }
+    }
+
+    /// Stored entries: `rows * cols` for dense, `nnz` for sparse.
+    pub fn nnz(&self) -> usize {
+        match self {
+            Operand::Dense { rows, cols } => rows * cols,
+            Operand::Sparse(m) => m.nnz(),
+        }
+    }
+
+    /// Entries in row `k`.
+    fn row_nnz(&self, k: usize) -> usize {
+        match self {
+            Operand::Dense { cols, .. } => *cols,
+            Operand::Sparse(m) => m.row_nnz(k),
+        }
+    }
+}
+
+/// Cycle counts of each overlapped stream plus serial overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Cycles streaming A through `ch_A` (all column passes).
+    pub a_read: u64,
+    /// Cycles streaming B through `ch_B`.
+    pub b_read: u64,
+    /// Cycles writing C through `ch_C`.
+    pub c_write: u64,
+    /// Compute makespan across all passes.
+    pub compute: u64,
+    /// Serial launch + per-tile pipeline overhead.
+    pub overhead: u64,
+}
+
+impl CycleBreakdown {
+    /// The stream that bounds execution (memory/compute overlap).
+    pub fn bound(&self) -> u64 {
+        self.a_read.max(self.b_read).max(self.c_write).max(self.compute)
+    }
+}
+
+/// Full result of simulating one multiplication on one design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The design simulated.
+    pub design: DesignId,
+    /// Total kernel cycles.
+    pub cycles: u64,
+    /// Where the cycles went.
+    pub breakdown: CycleBreakdown,
+    /// Wall-clock seconds at the design's Table 2 frequency.
+    pub time_s: f64,
+    /// Modeled board power in watts.
+    pub power_w: f64,
+    /// Energy in joules (`power * time`).
+    pub energy_j: f64,
+    /// Useful work over PE-cycles available during compute.
+    pub pe_utilization: f64,
+    /// Number of B row tiles processed.
+    pub tiles: usize,
+    /// Number of column passes over the output.
+    pub passes: usize,
+    /// Effectual multiply count of the workload.
+    pub flops: u64,
+    /// Estimated nonzeros of the output C.
+    pub output_nnz: u64,
+}
+
+impl SimReport {
+    /// Throughput in effectual GFLOP/s (two ops per multiply-accumulate).
+    pub fn gflops(&self) -> f64 {
+        if self.time_s > 0.0 {
+            2.0 * self.flops as f64 / self.time_s / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Simulates `A x B` on a design's Table 1 configuration.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn simulate(a: &CsrMatrix, b: Operand<'_>, id: DesignId) -> SimReport {
+    simulate_with_config(a, b, &DesignConfig::of(id))
+}
+
+/// Simulates `A x B` on an explicit configuration (for user-supplied
+/// custom designs, §6.3).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn simulate_with_config(a: &CsrMatrix, b: Operand<'_>, cfg: &DesignConfig) -> SimReport {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions disagree: A is {}x{}, B is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let m = a.rows() as u64;
+    let k = b.rows();
+    let n = b.cols() as u64;
+    let nnz_a = a.nnz() as u64;
+
+    // Effectual work and output-size estimate (balls-in-bins collision
+    // model for the sparse-output case).
+    let flops = match &b {
+        Operand::Dense { .. } => nnz_a * n,
+        Operand::Sparse(bm) => misam_sparse::kernels::spgemm_flops(a, bm),
+    };
+    let cells = (m as f64) * (n as f64);
+    let output_nnz = if cells > 0.0 && flops > 0 {
+        (cells * (1.0 - (-(flops as f64) / cells).exp())).ceil() as u64
+    } else {
+        0
+    };
+
+    // Compute makespan and pass structure.
+    let (compute, passes, pe_utilization) = match cfg.format_b {
+        BFormat::Uncompressed => {
+            let (full, rem) = tiling::col_passes(n as usize, PASS_WIDTH_COLS);
+            let mut compute = 0u64;
+            let mut passes = 0usize;
+            let mut util_num = 0.0;
+            let mut util_den = 0.0;
+            if full > 0 {
+                let w = (PASS_WIDTH_COLS as u64).div_ceil(8);
+                let rep = schedule::schedule_uniform(a, cfg, w);
+                compute += rep.makespan * full as u64;
+                passes += full;
+                util_num += rep.utilization * (rep.makespan * full as u64) as f64;
+                util_den += (rep.makespan * full as u64) as f64;
+            }
+            if rem > 0 {
+                let w = (rem as u64).div_ceil(8).max(1);
+                let rep = schedule::schedule_uniform(a, cfg, w);
+                compute += rep.makespan;
+                passes += 1;
+                util_num += rep.utilization * rep.makespan as f64;
+                util_den += rep.makespan as f64;
+            }
+            let util = if util_den > 0.0 { util_num / util_den } else { 0.0 };
+            (compute, passes, util)
+        }
+        BFormat::Compressed => {
+            let gather = cfg.gather_factor;
+            let meta = cfg.meta_lookup;
+            let rep = schedule::schedule_with_cost(a, cfg, |col| {
+                let occ = b.row_nnz(col) as u64;
+                ((gather * occ as f64 / 8.0).ceil() as u64).max(1) + meta
+            });
+            (rep.makespan, 1, rep.utilization)
+        }
+    };
+    let passes_eff = passes.max(1) as u64;
+
+    // Tiling of B.
+    let tiles = match (&b, cfg.format_b) {
+        (_, BFormat::Uncompressed) => k.div_ceil(cfg.bram_entries).max(usize::from(k > 0)),
+        (Operand::Sparse(bm), BFormat::Compressed) => {
+            let cap = cfg.bram_entries * hbm::B_SPARSE_PER_WORD as usize;
+            tiling::sparse_row_tiles(bm, cap).len().max(usize::from(k > 0))
+        }
+        (Operand::Dense { rows, cols }, BFormat::Compressed) => {
+            let cap = cfg.bram_entries * hbm::B_SPARSE_PER_WORD as usize;
+            (rows * cols).div_ceil(cap).max(usize::from(k > 0))
+        }
+    };
+
+    // Overlapped memory streams.
+    let a_read = hbm::read_a_cycles(nnz_a, cfg.ch_a) * passes_eff;
+    let b_read = match cfg.format_b {
+        BFormat::Uncompressed => hbm::read_b_dense_cycles(k as u64, n, cfg.ch_b),
+        BFormat::Compressed => hbm::read_b_sparse_cycles(b.nnz() as u64, cfg.ch_b),
+    };
+    let c_write = match cfg.format_b {
+        BFormat::Uncompressed => hbm::write_c_dense_cycles(m, n, cfg.ch_c),
+        BFormat::Compressed => hbm::write_c_sparse_cycles(output_nnz, cfg.ch_c),
+    };
+
+    let overhead = LAUNCH_BASE_CYCLES
+        + LAUNCH_PER_PEG_CYCLES * cfg.pegs as u64
+        + tiles as u64 * passes_eff * cfg.pipeline_fill;
+
+    let breakdown = CycleBreakdown { a_read, b_read, c_write, compute, overhead };
+    let cycles = breakdown.bound() + overhead;
+    let time_s = cycles as f64 / (cfg.freq_mhz * 1e6);
+    let power_w = crate::resources::power_w(cfg.id);
+    SimReport {
+        design: cfg.id,
+        cycles,
+        breakdown,
+        time_s,
+        power_w,
+        energy_j: power_w * time_s,
+        pe_utilization,
+        tiles,
+        passes,
+        flops,
+        output_nnz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use misam_sparse::gen;
+
+    fn best_of(reports: &[SimReport]) -> DesignId {
+        reports
+            .iter()
+            .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"))
+            .expect("non-empty")
+            .design
+    }
+
+    fn all_designs(a: &CsrMatrix, b: Operand<'_>) -> Vec<SimReport> {
+        DesignId::ALL.iter().map(|&d| simulate(a, b, d)).collect()
+    }
+
+    #[test]
+    fn large_regular_workload_prefers_design2() {
+        let a = gen::uniform_random(2048, 2048, 0.08, 1);
+        let b = Operand::Dense { rows: 2048, cols: 512 };
+        let reports: Vec<_> = [DesignId::D1, DesignId::D2].iter().map(|&d| simulate(&a, b, d)).collect();
+        assert_eq!(best_of(&reports), DesignId::D2);
+    }
+
+    #[test]
+    fn small_sparse_workload_prefers_design1() {
+        let a = gen::uniform_random(256, 256, 0.01, 2);
+        let b = Operand::Dense { rows: 256, cols: 64 };
+        let reports: Vec<_> = [DesignId::D1, DesignId::D2, DesignId::D3]
+            .iter()
+            .map(|&d| simulate(&a, b, d))
+            .collect();
+        assert_eq!(best_of(&reports), DesignId::D1);
+    }
+
+    #[test]
+    fn imbalanced_workload_prefers_design3() {
+        let a = gen::imbalanced_rows(4096, 4096, 0.01, 2500, 3, 3);
+        let b = Operand::Dense { rows: 4096, cols: 512 };
+        let reports: Vec<_> = [DesignId::D1, DesignId::D2, DesignId::D3]
+            .iter()
+            .map(|&d| simulate(&a, b, d))
+            .collect();
+        assert_eq!(best_of(&reports), DesignId::D3);
+    }
+
+    #[test]
+    fn highly_sparse_b_prefers_design4() {
+        let a = gen::power_law(2000, 2000, 4.0, 1.4, 4);
+        let bm = gen::power_law(2000, 2000, 4.0, 1.4, 5);
+        let reports = all_designs(&a, Operand::Sparse(&bm));
+        assert_eq!(best_of(&reports), DesignId::D4);
+    }
+
+    #[test]
+    fn dense_b_penalizes_design4() {
+        // Moderately dense B: compression halves bandwidth and gather
+        // costs dominate, so an SpMM design wins (§3.2.4).
+        let a = gen::uniform_random(1024, 1024, 0.05, 6);
+        let bm = gen::uniform_random(1024, 512, 0.5, 7);
+        let reports = all_designs(&a, Operand::Sparse(&bm));
+        assert_ne!(best_of(&reports), DesignId::D4);
+    }
+
+    #[test]
+    fn dense_and_sparse_operands_agree_for_spmm_designs() {
+        // SpMM designs only see B's shape.
+        let a = gen::uniform_random(300, 300, 0.02, 8);
+        let bm = gen::uniform_random(300, 128, 0.3, 9);
+        let dense = simulate(&a, Operand::Dense { rows: 300, cols: 128 }, DesignId::D2);
+        let sparse = simulate(&a, Operand::Sparse(&bm), DesignId::D2);
+        assert_eq!(dense.cycles, sparse.cycles);
+        // ...but flops differ (effectual work is B-occupancy aware).
+        assert!(dense.flops > sparse.flops);
+    }
+
+    #[test]
+    fn wide_b_requires_multiple_passes() {
+        let a = gen::uniform_random(256, 256, 0.05, 10);
+        let r = simulate(&a, Operand::Dense { rows: 256, cols: 1200 }, DesignId::D1);
+        assert_eq!(r.passes, 3); // 2 full 512 passes + 176 remainder
+        let single = simulate(&a, Operand::Dense { rows: 256, cols: 512 }, DesignId::D1);
+        assert_eq!(single.passes, 1);
+        assert!(r.breakdown.a_read > single.breakdown.a_read, "A restreamed per pass");
+    }
+
+    #[test]
+    fn design1_has_fewer_tiles_than_design2_on_tall_b() {
+        let a = gen::uniform_random(512, 10_000, 0.001, 11);
+        let b = Operand::Dense { rows: 10_000, cols: 256 };
+        let d1 = simulate(&a, b, DesignId::D1);
+        let d2 = simulate(&a, b, DesignId::D2);
+        assert_eq!(d1.tiles, 2); // 10k / 8192
+        assert_eq!(d2.tiles, 3); // 10k / 4096
+    }
+
+    #[test]
+    fn report_metrics_are_consistent() {
+        let a = gen::uniform_random(512, 512, 0.05, 12);
+        let r = simulate(&a, Operand::Dense { rows: 512, cols: 256 }, DesignId::D2);
+        assert_eq!(r.cycles, r.breakdown.bound() + r.breakdown.overhead);
+        assert!((r.energy_j - r.power_w * r.time_s).abs() < 1e-12);
+        assert!(r.pe_utilization > 0.0 && r.pe_utilization <= 1.0);
+        assert!(r.gflops() > 0.0);
+    }
+
+    #[test]
+    fn empty_a_costs_only_overhead_and_b_traffic() {
+        let a = CsrMatrix::zeros(64, 64);
+        let r = simulate(&a, Operand::Dense { rows: 64, cols: 64 }, DesignId::D1);
+        assert_eq!(r.breakdown.compute, 0);
+        assert_eq!(r.flops, 0);
+        assert!(r.cycles > 0, "launch overhead still applies");
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn dimension_mismatch_panics() {
+        let a = CsrMatrix::zeros(4, 5);
+        simulate(&a, Operand::Dense { rows: 6, cols: 2 }, DesignId::D1);
+    }
+
+    #[test]
+    fn output_estimate_saturates_at_dense() {
+        let a = gen::dense(64, 64, 13);
+        let bm = gen::dense(64, 64, 14);
+        let r = simulate(&a, Operand::Sparse(&bm), DesignId::D4);
+        assert!(r.output_nnz <= 64 * 64);
+        assert!(r.output_nnz > 64 * 64 * 9 / 10, "dense product should be near-full");
+    }
+}

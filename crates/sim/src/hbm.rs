@@ -1,0 +1,102 @@
+//! HBM channel traffic model.
+//!
+//! Each HBM pseudo-channel delivers one coalesced word per fabric cycle.
+//! The paper's host packs data so that one word carries (§3.2.1, §3.2.4):
+//!
+//! - 8 matrix-A entries (64-bit `(row, col, value)` records),
+//! - 16 FP32 values of a dense B row,
+//! - 8 compressed (COO) B entries — the bandwidth halving that makes
+//!   compression worthwhile only for highly sparse B,
+//! - 16 FP32 values of dense C on writeback, or 8 sparse C entries.
+
+/// Matrix-A entries coalesced per 64-byte HBM word.
+pub const A_ENTRIES_PER_WORD: u64 = 8;
+/// Dense FP32 B values per HBM read.
+pub const B_DENSE_PER_WORD: u64 = 16;
+/// Compressed COO entries of B per HBM read.
+pub const B_SPARSE_PER_WORD: u64 = 8;
+/// Dense FP32 C values per HBM write.
+pub const C_DENSE_PER_WORD: u64 = 16;
+/// Sparse C entries per HBM write.
+pub const C_SPARSE_PER_WORD: u64 = 8;
+
+/// Cycles to move `items` through `channels` channels at `per_word` items
+/// per channel-word. Zero items cost zero cycles; zero channels is a
+/// configuration bug.
+///
+/// # Panics
+///
+/// Panics if `channels == 0` or `per_word == 0`.
+pub fn transfer_cycles(items: u64, per_word: u64, channels: usize) -> u64 {
+    assert!(channels > 0, "transfer through zero channels");
+    assert!(per_word > 0, "zero items per word");
+    let words = items.div_ceil(per_word);
+    words.div_ceil(channels as u64)
+}
+
+/// Cycles to stream `nnz` A entries through `ch_a` channels.
+pub fn read_a_cycles(nnz: u64, ch_a: usize) -> u64 {
+    transfer_cycles(nnz, A_ENTRIES_PER_WORD, ch_a)
+}
+
+/// Cycles to stream a dense `rows x cols` B through `ch_b` channels.
+pub fn read_b_dense_cycles(rows: u64, cols: u64, ch_b: usize) -> u64 {
+    transfer_cycles(rows.saturating_mul(cols), B_DENSE_PER_WORD, ch_b)
+}
+
+/// Cycles to stream `nnz` compressed B entries through `ch_b` channels.
+pub fn read_b_sparse_cycles(nnz: u64, ch_b: usize) -> u64 {
+    transfer_cycles(nnz, B_SPARSE_PER_WORD, ch_b)
+}
+
+/// Cycles to write a dense `rows x cols` C through `ch_c` channels.
+pub fn write_c_dense_cycles(rows: u64, cols: u64, ch_c: usize) -> u64 {
+    transfer_cycles(rows.saturating_mul(cols), C_DENSE_PER_WORD, ch_c)
+}
+
+/// Cycles to write `nnz` sparse C entries through `ch_c` channels.
+pub fn write_c_sparse_cycles(nnz: u64, ch_c: usize) -> u64 {
+    transfer_cycles(nnz, C_SPARSE_PER_WORD, ch_c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_rounds_up_twice() {
+        // 17 items at 8/word = 3 words; 3 words over 2 channels = 2 cycles.
+        assert_eq!(transfer_cycles(17, 8, 2), 2);
+        assert_eq!(transfer_cycles(16, 8, 2), 1);
+        assert_eq!(transfer_cycles(0, 8, 2), 0);
+        assert_eq!(transfer_cycles(1, 8, 8), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero channels")]
+    fn zero_channels_is_a_bug() {
+        transfer_cycles(8, 8, 0);
+    }
+
+    #[test]
+    fn compressed_b_halves_effective_bandwidth() {
+        // Same element count: compressed entries move at half the dense rate.
+        let dense = read_b_dense_cycles(1000, 16, 4);
+        let sparse = read_b_sparse_cycles(16_000, 4);
+        assert_eq!(sparse, dense * 2);
+    }
+
+    #[test]
+    fn a_read_scales_with_channels() {
+        let one = read_a_cycles(80_000, 8);
+        let more = read_a_cycles(80_000, 12);
+        assert!(more < one);
+        assert_eq!(one, 80_000 / 8 / 8);
+    }
+
+    #[test]
+    fn c_write_dense_matches_formula() {
+        assert_eq!(write_c_dense_cycles(256, 512, 8), (256 * 512) / 16 / 8);
+        assert_eq!(write_c_sparse_cycles(64, 4), 2);
+    }
+}

@@ -1,0 +1,312 @@
+//! PE scheduling model with the 2-cycle same-row load/store dependency of
+//! Figure 6.
+//!
+//! The host pre-generates per-PEG pointer lists that assign work to PEs
+//! (§3.2.1). Two assignment policies exist (Table 1, "Scheduler A"):
+//!
+//! - **Column scheduler** (Designs 1/2): whole rows of A are distributed
+//!   round-robin across PEs (`row % PE`), so a row's accumulation chain
+//!   stays local to one PE and bubbles are filled by interleaving that
+//!   PE's other rows.
+//! - **Row scheduler** (Design 3): each element goes to PE
+//!   `column % PE`, spreading a heavy row's dependency chain across the
+//!   whole array.
+//!
+//! A PE issues one A element per cycle into an 8-lane vector unit; an
+//! element occupies `w = ceil(chunk_width / 8)` cycles, where the chunk is
+//! the slice of the B row processed this pass. Two issues that accumulate
+//! into the same C row must be `dep_distance` cycles apart; when `w`
+//! already covers the distance no bubble occurs (dense B hides the
+//! latency — §3.2.2's observation that denser workloads schedule better).
+//!
+//! The minimal schedule length per PE is the classic
+//! scheduling-with-cooldown bound, computed exactly in one O(nnz) pass:
+//! `L = max(total_work, max_row_span)` with
+//! `span(row) = sum(w_i) + sum(gaps) - largest_gap`.
+
+use crate::design::{DesignConfig, Traversal};
+use misam_sparse::CsrMatrix;
+
+/// Per-PE accumulation state while building a schedule.
+#[derive(Debug, Clone, Copy, Default)]
+struct PeAcc {
+    /// Total busy cycles of useful work.
+    work: u64,
+    /// Largest single-row dependency span seen on this PE.
+    max_span: u64,
+    /// Number of elements assigned.
+    elements: u64,
+}
+
+/// Result of scheduling one pass of matrix A across the PE array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleReport {
+    /// Makespan in cycles, including the PEG broadcast-chain start skew.
+    pub makespan: u64,
+    /// Sum of useful-work cycles across all PEs.
+    pub total_work: u64,
+    /// Total elements scheduled.
+    pub elements: u64,
+    /// Useful work over `total_pes * makespan` (0 when idle).
+    pub utilization: f64,
+}
+
+impl ScheduleReport {
+    fn from_accs(accs: &[PeAcc], cfg: &DesignConfig) -> Self {
+        let pes_per_peg = cfg.pes_per_peg.max(1);
+        let mut makespan = 0u64;
+        let mut total_work = 0u64;
+        let mut elements = 0u64;
+        for (p, acc) in accs.iter().enumerate() {
+            let peg = (p / pes_per_peg) as u64;
+            let len = acc.work.max(acc.max_span);
+            // Idle PEGs never enter the broadcast chain's critical path.
+            if len > 0 {
+                makespan = makespan.max(peg * cfg.broadcast_hop + len);
+            }
+            total_work += acc.work;
+            elements += acc.elements;
+        }
+        let denom = accs.len() as f64 * makespan as f64;
+        let utilization = if denom > 0.0 { total_work as f64 / denom } else { 0.0 };
+        ScheduleReport { makespan, total_work, elements, utilization }
+    }
+}
+
+/// Dependency span of a row whose elements cost `costs` cycles each, with
+/// gap `max(0, d - w)` after every issue but the last (the scheduler
+/// orders the smallest-cost element last to minimize the trailing gap).
+fn row_span(cost_sum: u64, gap_sum: u64, gap_max: u64, count: u64) -> u64 {
+    if count == 0 {
+        0
+    } else {
+        cost_sum + gap_sum - gap_max
+    }
+}
+
+/// Schedules one pass of `a` with a uniform per-element cost `w` (the
+/// dense-B case: every element processes the same `ceil(chunk/8)`-cycle
+/// vector slice).
+///
+/// # Panics
+///
+/// Panics if the design has zero PEs or `w == 0`.
+pub fn schedule_uniform(a: &CsrMatrix, cfg: &DesignConfig, w: u64) -> ScheduleReport {
+    assert!(w > 0, "element cost must be positive");
+    schedule_with_cost(a, cfg, |_k| w)
+}
+
+/// Schedules one pass of `a` where the cost of an element in column `k`
+/// is `cost(k)` cycles (the compressed-B case: cost tracks the occupancy
+/// of B row `k`).
+///
+/// # Panics
+///
+/// Panics if the design has zero PEs or any cost is zero.
+pub fn schedule_with_cost(
+    a: &CsrMatrix,
+    cfg: &DesignConfig,
+    cost: impl Fn(usize) -> u64,
+) -> ScheduleReport {
+    let pes = cfg.total_pes();
+    assert!(pes > 0, "design has no PEs");
+    let d = cfg.dep_distance;
+    let mut accs = vec![PeAcc::default(); pes];
+
+    match cfg.scheduler_a {
+        Traversal::Col => {
+            // Whole rows round-robin across PEs: all of a row's elements
+            // share one PE, so its span is computed in one sweep.
+            for r in 0..a.rows() {
+                let pe = r % pes;
+                let mut cost_sum = 0u64;
+                let mut gap_sum = 0u64;
+                let mut gap_max = 0u64;
+                let mut count = 0u64;
+                for (k, _) in a.row(r).iter() {
+                    let w = cost(k).max(1);
+                    let gap = d.saturating_sub(w);
+                    cost_sum += w;
+                    gap_sum += gap;
+                    gap_max = gap_max.max(gap);
+                    count += 1;
+                }
+                let acc = &mut accs[pe];
+                acc.work += cost_sum;
+                acc.elements += count;
+                acc.max_span = acc.max_span.max(row_span(cost_sum, gap_sum, gap_max, count));
+            }
+        }
+        Traversal::Row => {
+            // Elements scatter to PE `col % pes`; a row's chain fragments
+            // across PEs, so spans are tracked per (PE, row) with a
+            // scratch table reset per row.
+            let mut cost_sum = vec![0u64; pes];
+            let mut gap_sum = vec![0u64; pes];
+            let mut gap_max = vec![0u64; pes];
+            let mut count = vec![0u64; pes];
+            let mut touched: Vec<usize> = Vec::with_capacity(pes);
+            for r in 0..a.rows() {
+                for (k, _) in a.row(r).iter() {
+                    let pe = k % pes;
+                    let w = cost(k).max(1);
+                    let gap = d.saturating_sub(w);
+                    if count[pe] == 0 {
+                        touched.push(pe);
+                    }
+                    cost_sum[pe] += w;
+                    gap_sum[pe] += gap;
+                    gap_max[pe] = gap_max[pe].max(gap);
+                    count[pe] += 1;
+                }
+                for &pe in &touched {
+                    let acc = &mut accs[pe];
+                    acc.work += cost_sum[pe];
+                    acc.elements += count[pe];
+                    acc.max_span = acc.max_span.max(row_span(
+                        cost_sum[pe],
+                        gap_sum[pe],
+                        gap_max[pe],
+                        count[pe],
+                    ));
+                    cost_sum[pe] = 0;
+                    gap_sum[pe] = 0;
+                    gap_max[pe] = 0;
+                    count[pe] = 0;
+                }
+                touched.clear();
+            }
+        }
+    }
+
+    ScheduleReport::from_accs(&accs, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignId;
+    use misam_sparse::{gen, CooMatrix};
+
+    fn cfg(id: DesignId) -> DesignConfig {
+        DesignConfig::of(id)
+    }
+
+    /// Single row with n elements on one PE at cost 1 must respect the
+    /// 2-cycle dependency: span = n + (n-1)*(d-1) = 2n - 1.
+    #[test]
+    fn single_row_dependency_chain_serializes() {
+        let mut coo = CooMatrix::new(1, 100);
+        for c in 0..10 {
+            coo.push(0, c, 1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        let r = schedule_uniform(&a, &cfg(DesignId::D1), 1);
+        assert_eq!(r.makespan, 2 * 10 - 1);
+        assert_eq!(r.total_work, 10);
+    }
+
+    #[test]
+    fn wide_elements_hide_dependency_gaps() {
+        let mut coo = CooMatrix::new(1, 100);
+        for c in 0..10 {
+            coo.push(0, c, 1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        // w = 2 >= dep_distance, so no bubbles: span = 20.
+        let r = schedule_uniform(&a, &cfg(DesignId::D1), 2);
+        assert_eq!(r.makespan, 20);
+    }
+
+    #[test]
+    fn row_scheduler_spreads_a_heavy_row() {
+        // One heavy row of 96 elements: column scheduler pins it to a
+        // single PE (span 191); row scheduler spreads it across 96 PEs.
+        let mut coo = CooMatrix::new(1, 96);
+        for c in 0..96 {
+            coo.push(0, c, 1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        let col = schedule_uniform(&a, &cfg(DesignId::D2), 1);
+        let row = schedule_uniform(&a, &cfg(DesignId::D3), 1);
+        assert_eq!(col.makespan, 2 * 96 - 1);
+        // Row scheduler: 1 element per PE, plus broadcast skew of the
+        // last PEG: (24-1)*4 + 1.
+        assert_eq!(row.makespan, 23 * 4 + 1);
+        assert!(row.makespan < col.makespan);
+    }
+
+    #[test]
+    fn interleaving_rows_fills_bubbles() {
+        // Two rows of 8 elements each mapping to the same PE of D1
+        // (rows 0 and 64 with 64 PEs): work 16 >= span 15 -> no bubbles.
+        let mut coo = CooMatrix::new(65, 100);
+        for c in 0..8 {
+            coo.push(0, c, 1.0).unwrap();
+            coo.push(64, c, 1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        let r = schedule_uniform(&a, &cfg(DesignId::D1), 1);
+        assert_eq!(r.makespan, 16);
+    }
+
+    #[test]
+    fn makespan_includes_broadcast_skew() {
+        // Element on the last PE of D1 (row 63 -> PE 63 -> PEG 15).
+        let mut coo = CooMatrix::new(64, 4);
+        coo.push(63, 0, 1.0).unwrap();
+        let a = coo.to_csr();
+        let r = schedule_uniform(&a, &cfg(DesignId::D1), 1);
+        assert_eq!(r.makespan, 15 * 4 + 1);
+    }
+
+    #[test]
+    fn empty_matrix_schedules_to_zero() {
+        let a = CsrMatrix::zeros(32, 32);
+        let r = schedule_uniform(&a, &cfg(DesignId::D2), 4);
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.utilization, 0.0);
+    }
+
+    #[test]
+    fn utilization_is_work_over_capacity() {
+        let a = gen::uniform_random(256, 256, 0.1, 1);
+        let r = schedule_uniform(&a, &cfg(DesignId::D1), 4);
+        let expect = r.total_work as f64 / (64.0 * r.makespan as f64);
+        assert!((r.utilization - expect).abs() < 1e-12);
+        assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+    }
+
+    #[test]
+    fn per_column_costs_apply_to_cost_schedule() {
+        // Two elements in row 0, columns 0 and 5; column 5 costs 7.
+        let mut coo = CooMatrix::new(1, 8);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 5, 1.0).unwrap();
+        let a = coo.to_csr();
+        let r = schedule_with_cost(&a, &cfg(DesignId::D1), |k| if k == 5 { 7 } else { 1 });
+        // Costs 1 and 7: order the cheap one last -> span = 7 + 1 + gap
+        // after the 7-cost issue (0) = 8; work = 8.
+        assert_eq!(r.makespan, 8);
+        assert_eq!(r.total_work, 8);
+    }
+
+    #[test]
+    fn more_pes_shorten_throughput_bound_schedules() {
+        let a = gen::uniform_random(1024, 1024, 0.05, 2);
+        let d1 = schedule_uniform(&a, &cfg(DesignId::D1), 8);
+        let d2 = schedule_uniform(&a, &cfg(DesignId::D2), 8);
+        assert!(d2.makespan < d1.makespan, "96 PEs should beat 64 when throughput-bound");
+    }
+
+    #[test]
+    fn imbalanced_matrix_prefers_row_scheduler() {
+        let a = gen::imbalanced_rows(512, 2048, 0.02, 800, 3, 11);
+        let col = schedule_uniform(&a, &cfg(DesignId::D2), 1);
+        let row = schedule_uniform(&a, &cfg(DesignId::D3), 1);
+        assert!(
+            row.makespan < col.makespan,
+            "row scheduler {row:?} should beat column {col:?} under imbalance"
+        );
+    }
+}

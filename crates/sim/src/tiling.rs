@@ -1,0 +1,139 @@
+//! Host-side tiling of the operands (§3.2.1, §3.2.4).
+//!
+//! Matrix B is row-tiled so each tile fits the per-PEG BRAM; matrix A is
+//! column-tiled to match, so each pass over a B tile consumes exactly the
+//! A columns whose products need that tile's rows. Design 4 replaces the
+//! fixed row count with sparsity-aware packing: tiles are cut when the
+//! accumulated nonzero count would exceed the BRAM's compressed capacity,
+//! maximizing occupancy (§3.2.4).
+
+use misam_sparse::CsrMatrix;
+use std::ops::Range;
+
+/// Row ranges of dense B tiles: fixed-height strips of `bram_rows` rows.
+///
+/// # Panics
+///
+/// Panics if `bram_rows == 0`.
+pub fn dense_row_tiles(b_rows: usize, bram_rows: usize) -> Vec<Range<usize>> {
+    assert!(bram_rows > 0, "BRAM tile height must be positive");
+    (0..b_rows.div_ceil(bram_rows))
+        .map(|t| t * bram_rows..((t + 1) * bram_rows).min(b_rows))
+        .collect()
+}
+
+/// Sparsity-aware row tiles of a compressed B: greedy packing that cuts a
+/// tile when adding the next row would exceed `capacity_nnz` stored
+/// entries. A row larger than the capacity gets a tile of its own (the
+/// hardware streams it in segments).
+///
+/// # Panics
+///
+/// Panics if `capacity_nnz == 0`.
+pub fn sparse_row_tiles(b: &CsrMatrix, capacity_nnz: usize) -> Vec<Range<usize>> {
+    assert!(capacity_nnz > 0, "tile capacity must be positive");
+    let mut tiles = Vec::new();
+    let mut start = 0usize;
+    let mut filled = 0usize;
+    for r in 0..b.rows() {
+        let row = b.row_nnz(r);
+        if filled > 0 && filled + row > capacity_nnz {
+            tiles.push(start..r);
+            start = r;
+            filled = 0;
+        }
+        filled += row;
+    }
+    if start < b.rows() {
+        tiles.push(start..b.rows());
+    }
+    if b.rows() == 0 {
+        tiles.clear();
+    }
+    tiles
+}
+
+/// Column passes over B: `(full_passes, remainder_width)` when the output
+/// accumulators hold `pass_width` columns at a time.
+///
+/// # Panics
+///
+/// Panics if `pass_width == 0`.
+pub fn col_passes(b_cols: usize, pass_width: usize) -> (usize, usize) {
+    assert!(pass_width > 0, "pass width must be positive");
+    (b_cols / pass_width, b_cols % pass_width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use misam_sparse::gen;
+
+    #[test]
+    fn dense_tiles_cover_rows_exactly() {
+        let tiles = dense_row_tiles(10_000, 4096);
+        assert_eq!(tiles.len(), 3);
+        assert_eq!(tiles[0], 0..4096);
+        assert_eq!(tiles[2], 8192..10_000);
+        assert_eq!(dense_row_tiles(0, 4096).len(), 0);
+        assert_eq!(dense_row_tiles(4096, 4096).len(), 1);
+    }
+
+    #[test]
+    fn sparse_tiles_respect_capacity() {
+        let b = gen::uniform_random(500, 500, 0.05, 3);
+        let cap = 600;
+        let tiles = sparse_row_tiles(&b, cap);
+        // Tiles partition the row space.
+        assert_eq!(tiles.first().unwrap().start, 0);
+        assert_eq!(tiles.last().unwrap().end, 500);
+        for w in tiles.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // Every multi-row tile fits the capacity.
+        for t in &tiles {
+            let nnz: usize = t.clone().map(|r| b.row_nnz(r)).sum();
+            if t.len() > 1 {
+                assert!(nnz <= cap, "tile {t:?} holds {nnz} > {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_tiling_beats_fixed_height_on_skew() {
+        // A power-law matrix packs far fewer tiles under nnz-aware
+        // packing than under worst-case fixed heights.
+        let b = gen::power_law(2000, 2000, 10.0, 1.5, 9);
+        let aware = sparse_row_tiles(&b, 4096);
+        let expect = b.nnz().div_ceil(4096);
+        assert!(aware.len() <= expect + expect / 2 + 1);
+    }
+
+    #[test]
+    fn oversized_row_gets_own_tile() {
+        let mut coo = misam_sparse::CooMatrix::new(3, 100);
+        for c in 0..50 {
+            coo.push(1, c, 1.0).unwrap();
+        }
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(2, 0, 1.0).unwrap();
+        let b = coo.to_csr();
+        let tiles = sparse_row_tiles(&b, 10);
+        assert_eq!(tiles.len(), 3);
+        assert_eq!(tiles[1], 1..2);
+    }
+
+    #[test]
+    fn col_passes_splits_width() {
+        assert_eq!(col_passes(512, 512), (1, 0));
+        assert_eq!(col_passes(1200, 512), (2, 176));
+        assert_eq!(col_passes(100, 512), (0, 100));
+        assert_eq!(col_passes(0, 512), (0, 0));
+    }
+
+    #[test]
+    fn empty_sparse_matrix_has_no_tiles() {
+        let b = misam_sparse::CsrMatrix::zeros(0, 10);
+        assert!(sparse_row_tiles(&b, 100).is_empty());
+    }
+}

@@ -1,0 +1,339 @@
+//! Event-exact small-scale model of Figure 6.
+//!
+//! The paper's toy example shrinks the designs to one or two PEGs with two
+//! PEs each and walks three tiny matrices through them cycle by cycle:
+//! matrix B costs 3 cycles to read, forwarding B to the next PEG costs one
+//! cycle, elements are handed to PEs in round-robin (column traversal) or
+//! `col % PE` (row traversal) order, and two issues of the same A row on
+//! one PE must sit 2 cycles apart — a bubble is inserted when no other
+//! assigned element is ready. This module reproduces those timelines
+//! exactly and renders them in ASCII for the `fig06_toy_timeline`
+//! experiment binary.
+
+use crate::design::Traversal;
+use misam_sparse::CsrMatrix;
+
+/// Configuration of a toy (Figure 6 scale) design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToyConfig {
+    /// Number of PEGs.
+    pub pegs: usize,
+    /// PEs per PEG.
+    pub pes_per_peg: usize,
+    /// Element traversal / assignment policy.
+    pub traversal: Traversal,
+    /// Same-row dependency distance in cycles.
+    pub dep_distance: u64,
+    /// Cycles to read matrix B before any PEG can start.
+    pub b_read_cycles: u64,
+    /// Cycles to forward B one PEG downstream.
+    pub broadcast_hop: u64,
+}
+
+impl ToyConfig {
+    /// The three toy designs of Figure 6: Design 1 is one PEG of two PEs;
+    /// Designs 2 and 3 use two PEGs (column- and row-wise traversal
+    /// respectively).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `design` is not 1, 2 or 3.
+    pub fn figure6(design: u8) -> ToyConfig {
+        let base = ToyConfig {
+            pegs: 1,
+            pes_per_peg: 2,
+            traversal: Traversal::Col,
+            dep_distance: 2,
+            b_read_cycles: 3,
+            broadcast_hop: 1,
+        };
+        match design {
+            1 => base,
+            2 => ToyConfig { pegs: 2, ..base },
+            3 => ToyConfig { pegs: 2, traversal: Traversal::Row, ..base },
+            other => panic!("Figure 6 defines designs 1-3, got {other}"),
+        }
+    }
+
+    /// Total PEs.
+    pub fn total_pes(&self) -> usize {
+        self.pegs * self.pes_per_peg
+    }
+}
+
+/// One cycle of one PE's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// Processing the A element at `(row, col)`.
+    Work {
+        /// A-row of the element.
+        row: usize,
+        /// A-column of the element.
+        col: usize,
+    },
+    /// Stalled on a load/store dependency ("padded with inefficient
+    /// zeros" in §3.2.2).
+    Bubble,
+}
+
+/// The complete schedule of a toy run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToyTimeline {
+    /// Per-PE slot sequences (compute-relative; PEG start offsets are in
+    /// `total_cycles`).
+    pub pe_slots: Vec<Vec<Slot>>,
+    /// End-to-end cycles: B read + broadcast skew + slowest PE.
+    pub total_cycles: u64,
+    /// Bubbles inserted across all PEs.
+    pub bubbles: u64,
+    /// The configuration that produced this timeline.
+    pub config: ToyConfig,
+}
+
+/// Runs matrix `a` through a toy design, producing its exact timeline.
+///
+/// Each PE owns a queue of assigned elements and, every cycle, issues the
+/// first queued element whose row is ready (last same-row issue at least
+/// `dep_distance` cycles earlier); otherwise it stalls for one bubble
+/// cycle.
+pub fn run(a: &CsrMatrix, cfg: &ToyConfig) -> ToyTimeline {
+    let pes = cfg.total_pes();
+    assert!(pes > 0, "toy design needs at least one PE");
+
+    // Build per-PE queues in traversal order.
+    let mut queues: Vec<Vec<(usize, usize)>> = vec![Vec::new(); pes];
+    match cfg.traversal {
+        Traversal::Col => {
+            // Column-major traversal, elements round-robin across PEs.
+            let csc = a.to_csc();
+            let mut idx = 0usize;
+            for (r, c, _) in csc.iter() {
+                queues[idx % pes].push((r, c));
+                idx += 1;
+            }
+        }
+        Traversal::Row => {
+            // Row-major traversal, element -> PE (col % pes).
+            for (r, c, _) in a.iter() {
+                queues[c % pes].push((r, c));
+            }
+        }
+    }
+
+    // Simulate each PE independently (dependencies are per-PE
+    // accumulator hazards, as in Figure 6).
+    let mut pe_slots = Vec::with_capacity(pes);
+    let mut bubbles = 0u64;
+    for queue in &mut queues {
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut last_issue: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        let mut remaining: Vec<(usize, usize)> = std::mem::take(queue);
+        let mut t = 0u64;
+        while !remaining.is_empty() {
+            let ready = remaining.iter().position(|&(r, _)| {
+                last_issue
+                    .get(&r)
+                    .is_none_or(|&prev| t >= prev + cfg.dep_distance)
+            });
+            match ready {
+                Some(i) => {
+                    let (r, c) = remaining.remove(i);
+                    last_issue.insert(r, t);
+                    slots.push(Slot::Work { row: r, col: c });
+                }
+                None => {
+                    slots.push(Slot::Bubble);
+                    bubbles += 1;
+                }
+            }
+            t += 1;
+        }
+        pe_slots.push(slots);
+    }
+
+    // End-to-end timing. B is partitioned into per-PEG segments that
+    // stream serially through the chain ("once a PEG receives its
+    // segment of B, it begins computation in parallel while forwarding B
+    // to the next PEG"): PEG g starts once g+1 segments have streamed
+    // plus g forwarding hops. A single-PEG design reads all of B before
+    // starting; a two-PEG design starts its first PEG sooner but its
+    // second later — the Figure 6 trade-off that lets Design 1 win tiny
+    // sparse matrices. Idle PEGs never enter the critical path.
+    let seg = cfg.b_read_cycles.div_ceil(cfg.pegs.max(1) as u64);
+    let mut total = cfg.b_read_cycles;
+    for (p, slots) in pe_slots.iter().enumerate() {
+        if slots.is_empty() {
+            continue;
+        }
+        let peg = (p / cfg.pes_per_peg) as u64;
+        let start = seg * (peg + 1) + peg * cfg.broadcast_hop;
+        total = total.max(start + slots.len() as u64);
+    }
+    ToyTimeline { pe_slots, total_cycles: total, bubbles, config: *cfg }
+}
+
+/// Renders a timeline as the ASCII analogue of Figure 6.
+pub fn render(t: &ToyTimeline) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} PEG(s) x {} PE, {:?} traversal — {} cycles ({} bubbles)\n",
+        t.config.pegs, t.config.pes_per_peg, t.config.traversal, t.total_cycles, t.bubbles
+    ));
+    for (p, slots) in t.pe_slots.iter().enumerate() {
+        out.push_str(&format!("  PE{p}: "));
+        for s in slots {
+            match s {
+                Slot::Work { row, col } => out.push_str(&format!("[a{row}{col}]")),
+                Slot::Bubble => out.push_str("[ -- ]"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Searches tiny seeded matrices for a demonstration triple: three
+/// matrices on which toy Designs 1, 2 and 3 respectively are the unique
+/// winners — the situation Figure 6 illustrates. Deterministic.
+pub fn demo_matrices() -> [(CsrMatrix, u8); 3] {
+    let mut found: [Option<CsrMatrix>; 3] = [None, None, None];
+    'outer: for seed in 0..5000u64 {
+        let a = candidate(seed);
+        let cycles: Vec<u64> =
+            (1..=3).map(|d| run(&a, &ToyConfig::figure6(d)).total_cycles).collect();
+        let min = *cycles.iter().min().expect("three designs");
+        let winners: Vec<usize> =
+            cycles.iter().enumerate().filter(|(_, &c)| c == min).map(|(i, _)| i).collect();
+        if winners.len() == 1 && found[winners[0]].is_none() {
+            found[winners[0]] = Some(a);
+            if found.iter().all(Option::is_some) {
+                break 'outer;
+            }
+        }
+    }
+    let [a, b, c] = found;
+    [
+        (a.expect("search space contains a Design 1 winner"), 1),
+        (b.expect("search space contains a Design 2 winner"), 2),
+        (c.expect("search space contains a Design 3 winner"), 3),
+    ]
+}
+
+fn candidate(seed: u64) -> CsrMatrix {
+    use misam_sparse::gen;
+    match seed % 3 {
+        0 => gen::uniform_random(6, 6, 0.10 + (seed % 7) as f64 * 0.1, seed),
+        1 => gen::imbalanced_rows(6, 6, 0.34, 5, 1, seed),
+        _ => gen::banded(6, 6, 1 + (seed as usize % 2), 0.8, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use misam_sparse::CooMatrix;
+
+    /// Four elements in one row on a single-PE toy: issues at 0,2,4,6.
+    #[test]
+    fn single_row_stalls_every_other_cycle() {
+        let mut coo = CooMatrix::new(1, 4);
+        for c in 0..4 {
+            coo.push(0, c, 1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        let cfg = ToyConfig { pegs: 1, pes_per_peg: 1, ..ToyConfig::figure6(1) };
+        let t = run(&a, &cfg);
+        assert_eq!(t.pe_slots[0].len(), 7);
+        assert_eq!(t.bubbles, 3);
+        assert_eq!(t.total_cycles, 3 + 7);
+        assert!(matches!(t.pe_slots[0][1], Slot::Bubble));
+    }
+
+    #[test]
+    fn two_rows_interleave_without_bubbles() {
+        let mut coo = CooMatrix::new(2, 4);
+        for c in 0..4 {
+            coo.push(0, c, 1.0).unwrap();
+            coo.push(1, c, 1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        let cfg = ToyConfig { pegs: 1, pes_per_peg: 1, ..ToyConfig::figure6(1) };
+        let t = run(&a, &cfg);
+        assert_eq!(t.bubbles, 0);
+        assert_eq!(t.pe_slots[0].len(), 8);
+    }
+
+    #[test]
+    fn second_peg_waits_for_its_b_segment() {
+        // One element per PE on a 2-PEG design: segments of ceil(3/2)=2
+        // cycles stream serially, so PEG 1 starts at 2*2 + 1 hop = 5 and
+        // finishes its single-cycle work at 6.
+        let mut coo = CooMatrix::new(4, 4);
+        for c in 0..4 {
+            coo.push(c, c, 1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        let t = run(&a, &ToyConfig::figure6(2));
+        assert_eq!(t.total_cycles, 2 * 2 + 1 + 1);
+    }
+
+    #[test]
+    fn tiny_sparse_matrix_is_a_design1_win() {
+        // Three independent elements: Design 1 finishes at B-read(3)+2;
+        // Design 2's second PEG (element 2 -> PE2) waits for its segment
+        // and finishes at 5+1=6.
+        let mut coo = CooMatrix::new(3, 3);
+        for c in 0..3 {
+            coo.push(c, c, 1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        let d1 = run(&a, &ToyConfig::figure6(1)).total_cycles;
+        let d2 = run(&a, &ToyConfig::figure6(2)).total_cycles;
+        assert_eq!(d1, 3 + 2);
+        assert_eq!(d2, 6);
+        assert!(d1 < d2);
+    }
+
+    #[test]
+    fn row_traversal_assigns_by_column_modulo() {
+        let mut coo = CooMatrix::new(2, 8);
+        for c in 0..8 {
+            coo.push(0, c, 1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        let t = run(&a, &ToyConfig::figure6(3));
+        // 8 elements over 4 PEs, 2 each, same row: span 1 + dep = 3 each.
+        for slots in &t.pe_slots {
+            assert_eq!(slots.len(), 3);
+        }
+        assert_eq!(t.bubbles, 4);
+    }
+
+    #[test]
+    fn figure6_demo_has_three_distinct_winners() {
+        let demos = demo_matrices();
+        for (a, design) in &demos {
+            let cycles: Vec<u64> =
+                (1..=3).map(|d| run(a, &ToyConfig::figure6(d)).total_cycles).collect();
+            let min = cycles.iter().min().unwrap();
+            let winner = cycles.iter().position(|c| c == min).unwrap() as u8 + 1;
+            assert_eq!(winner, *design);
+            assert_eq!(cycles.iter().filter(|&&c| c == *min).count(), 1);
+        }
+    }
+
+    #[test]
+    fn render_includes_every_pe() {
+        let demos = demo_matrices();
+        let t = run(&demos[0].0, &ToyConfig::figure6(2));
+        let s = render(&t);
+        assert!(s.contains("PE0") && s.contains("PE3"));
+        assert!(s.contains("cycles"));
+    }
+
+    #[test]
+    #[should_panic(expected = "Figure 6 defines designs 1-3")]
+    fn figure6_rejects_design4() {
+        ToyConfig::figure6(4);
+    }
+}

@@ -1,0 +1,284 @@
+use crate::{CscMatrix, CsrMatrix, Result, SparseError};
+
+/// A sparse matrix in coordinate (triplet) format.
+///
+/// COO is the assembly format: entries may arrive in any order and
+/// duplicates are permitted until [`CooMatrix::compress`] (or a conversion
+/// to [`CsrMatrix`]/[`CscMatrix`]) sums them. The Misam hardware encodes
+/// matrix A — and, in Design 4, matrix B — as 64-bit coalesced COO words
+/// containing `(row, col, value)` (§3.2.1), so this type also models the
+/// on-wire representation.
+///
+/// # Example
+///
+/// ```
+/// use misam_sparse::CooMatrix;
+///
+/// let mut m = CooMatrix::new(2, 3);
+/// m.push(0, 0, 1.0).unwrap();
+/// m.push(1, 2, 2.0).unwrap();
+/// m.push(1, 2, 3.0).unwrap(); // duplicate — summed on compress
+/// let csr = m.to_csr();
+/// assert_eq!(csr.nnz(), 2);
+/// assert_eq!(csr.get(1, 2), Some(5.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f32)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `rows x cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension exceeds `u32::MAX`, the index width of
+    /// the hardware's coalesced 64-bit entry format.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "matrix dimensions must fit the 32-bit index fields of the coalesced entry format");
+        CooMatrix { rows, cols, entries: Vec::new() }
+    }
+
+    /// Builds a COO matrix directly from triplets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if any triplet lies outside
+    /// the declared bounds.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f32)>,
+    ) -> Result<Self> {
+        let mut m = CooMatrix::new(rows, cols);
+        for (r, c, v) in triplets {
+            m.push(r, c, v)?;
+        }
+        Ok(m)
+    }
+
+    /// Appends one entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if `(row, col)` is outside
+    /// the matrix.
+    pub fn push(&mut self, row: usize, col: usize, value: f32) -> Result<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        self.entries.push((row as u32, col as u32, value));
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries, including duplicates not yet compressed.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over stored `(row, col, value)` entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+
+    /// Sorts entries row-major and sums duplicates in place.
+    ///
+    /// Entries that sum to exactly zero are retained (explicit zeros), as
+    /// the hardware streams whatever the host scheduled; use
+    /// [`CooMatrix::prune_zeros`] to drop them.
+    pub fn compress(&mut self) {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut out: Vec<(u32, u32, f32)> = Vec::with_capacity(self.entries.len());
+        for &(r, c, v) in &self.entries {
+            match out.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => out.push((r, c, v)),
+            }
+        }
+        self.entries = out;
+    }
+
+    /// Removes entries whose value is exactly zero.
+    pub fn prune_zeros(&mut self) {
+        self.entries.retain(|&(_, _, v)| v != 0.0);
+    }
+
+    /// Converts to CSR, summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.clone();
+        sorted.compress();
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        for &(r, _, _) in &sorted.entries {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx: Vec<u32> = sorted.entries.iter().map(|&(_, c, _)| c).collect();
+        let values: Vec<f32> = sorted.entries.iter().map(|&(_, _, v)| v).collect();
+        CsrMatrix::from_raw_parts(self.rows, self.cols, row_ptr, col_idx, values)
+            .expect("compressed COO yields valid CSR")
+    }
+
+    /// Converts to CSC, summing duplicates.
+    pub fn to_csc(&self) -> CscMatrix {
+        let mut sorted = self.clone();
+        sorted.entries.sort_unstable_by_key(|&(r, c, _)| (c, r));
+        // Sum duplicates in column-major order.
+        let mut out: Vec<(u32, u32, f32)> = Vec::with_capacity(sorted.entries.len());
+        for &(r, c, v) in &sorted.entries {
+            match out.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => out.push((r, c, v)),
+            }
+        }
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        for &(_, c, _) in &out {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for j in 0..self.cols {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        let row_idx: Vec<u32> = out.iter().map(|&(r, _, _)| r).collect();
+        let values: Vec<f32> = out.iter().map(|&(_, _, v)| v).collect();
+        CscMatrix::from_raw_parts(self.rows, self.cols, col_ptr, row_idx, values)
+            .expect("compressed COO yields valid CSC")
+    }
+
+    /// Packs all entries into the 64-bit coalesced wire format used by the
+    /// accelerator's HBM streams: 16-bit row, 16-bit column, 32-bit value
+    /// when dimensions permit, otherwise a two-word wide encoding.
+    ///
+    /// Returns the number of 64-bit words the stream occupies; the
+    /// simulator uses this to model HBM read traffic.
+    pub fn wire_words(&self) -> usize {
+        let narrow = self.rows <= u16::MAX as usize + 1 && self.cols <= u16::MAX as usize + 1;
+        if narrow {
+            self.entries.len()
+        } else {
+            self.entries.len() * 2
+        }
+    }
+}
+
+impl FromIterator<(usize, usize, f32)> for CooMatrix {
+    /// Collects triplets into a matrix sized to the maximum seen indices.
+    fn from_iter<T: IntoIterator<Item = (usize, usize, f32)>>(iter: T) -> Self {
+        let triplets: Vec<_> = iter.into_iter().collect();
+        let rows = triplets.iter().map(|&(r, _, _)| r + 1).max().unwrap_or(0);
+        let cols = triplets.iter().map(|&(_, c, _)| c + 1).max().unwrap_or(0);
+        CooMatrix::from_triplets(rows, cols, triplets).expect("indices bounded by construction")
+    }
+}
+
+impl Extend<(usize, usize, f32)> for CooMatrix {
+    /// Appends triplets, panicking on out-of-bounds coordinates.
+    fn extend<T: IntoIterator<Item = (usize, usize, f32)>>(&mut self, iter: T) {
+        for (r, c, v) in iter {
+            self.push(r, c, v).expect("extend received out-of-bounds triplet");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_rejects_out_of_bounds() {
+        let mut m = CooMatrix::new(2, 2);
+        assert!(m.push(2, 0, 1.0).is_err());
+        assert!(m.push(0, 2, 1.0).is_err());
+        assert!(m.push(1, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn compress_sums_duplicates() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(1, 1, 2.0).unwrap();
+        m.push(0, 0, 1.0).unwrap();
+        m.push(1, 1, 3.0).unwrap();
+        m.compress();
+        assert_eq!(m.nnz(), 2);
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(entries, vec![(0, 0, 1.0), (1, 1, 5.0)]);
+    }
+
+    #[test]
+    fn compress_keeps_explicit_zero_then_prune_drops_it() {
+        let mut m = CooMatrix::new(1, 2);
+        m.push(0, 0, 1.0).unwrap();
+        m.push(0, 0, -1.0).unwrap();
+        m.compress();
+        assert_eq!(m.nnz(), 1);
+        m.prune_zeros();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_entries() {
+        let m = CooMatrix::from_triplets(3, 4, vec![(2, 3, 1.5), (0, 1, -2.0), (2, 0, 4.0)])
+            .unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.get(2, 3), Some(1.5));
+        assert_eq!(csr.get(0, 1), Some(-2.0));
+        assert_eq!(csr.get(2, 0), Some(4.0));
+        assert_eq!(csr.get(1, 1), None);
+    }
+
+    #[test]
+    fn csc_matches_csr_contents() {
+        let m = CooMatrix::from_triplets(3, 3, vec![(0, 2, 1.0), (1, 0, 2.0), (2, 2, 3.0)])
+            .unwrap();
+        let csr = m.to_csr();
+        let csc = m.to_csc();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(csr.get(r, c), csc.get(r, c), "mismatch at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max_index() {
+        let m: CooMatrix = vec![(0usize, 0usize, 1.0f32), (4, 2, 2.0)].into_iter().collect();
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn empty_matrix_is_valid() {
+        let m = CooMatrix::new(0, 0);
+        assert_eq!(m.nnz(), 0);
+        let csr = m.to_csr();
+        assert_eq!(csr.rows(), 0);
+    }
+
+    #[test]
+    fn wire_words_narrow_vs_wide() {
+        let mut small = CooMatrix::new(100, 100);
+        small.push(1, 1, 1.0).unwrap();
+        assert_eq!(small.wire_words(), 1);
+        let mut big = CooMatrix::new(1 << 20, 1 << 20);
+        big.push(70000, 70000, 1.0).unwrap();
+        assert_eq!(big.wire_words(), 2);
+    }
+}

@@ -1,0 +1,289 @@
+use crate::{CooMatrix, CsrMatrix, Result, SparseError};
+
+/// A sparse matrix in Compressed Sparse Column format.
+///
+/// The inner-product dataflow consumes matrix B in CSC to avoid irregular
+/// column gathers (§2.1), and the feature extractor derives per-column
+/// statistics of both operands from this layout (§3.1).
+///
+/// Invariants mirror [`CsrMatrix`], transposed: `col_ptr.len() == cols +
+/// 1`, pointers non-decreasing and ending at `nnz`, row indices strictly
+/// increasing within a column and `< rows`.
+///
+/// # Example
+///
+/// ```
+/// use misam_sparse::CscMatrix;
+///
+/// let m = CscMatrix::from_raw_parts(3, 2, vec![0, 2, 3], vec![0, 2, 1],
+///                                   vec![1.0, 2.0, 3.0])?;
+/// assert_eq!(m.col(0).len(), 2);
+/// assert_eq!(m.get(1, 1), Some(3.0));
+/// # Ok::<(), misam_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from its constituent arrays, validating every
+    /// invariant listed on the type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::MalformedPointers`] or
+    /// [`SparseError::MalformedIndices`] describing the first violated
+    /// invariant.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self> {
+        if col_ptr.len() != cols + 1 {
+            return Err(SparseError::MalformedPointers(format!(
+                "col_ptr has length {} but cols + 1 = {}",
+                col_ptr.len(),
+                cols + 1
+            )));
+        }
+        if col_ptr[0] != 0 {
+            return Err(SparseError::MalformedPointers("col_ptr[0] must be 0".into()));
+        }
+        if row_idx.len() != values.len() {
+            return Err(SparseError::MalformedIndices(format!(
+                "row_idx length {} differs from values length {}",
+                row_idx.len(),
+                values.len()
+            )));
+        }
+        if *col_ptr.last().expect("non-empty by construction") != values.len() {
+            return Err(SparseError::MalformedPointers(format!(
+                "col_ptr ends at {} but there are {} values",
+                col_ptr.last().unwrap(),
+                values.len()
+            )));
+        }
+        for c in 0..cols {
+            let (lo, hi) = (col_ptr[c], col_ptr[c + 1]);
+            if lo > hi {
+                return Err(SparseError::MalformedPointers(format!(
+                    "col_ptr decreases at column {c}"
+                )));
+            }
+            let mut prev: Option<u32> = None;
+            for &r in &row_idx[lo..hi] {
+                if r as usize >= rows {
+                    return Err(SparseError::MalformedIndices(format!(
+                        "row {r} in column {c} exceeds rows {rows}"
+                    )));
+                }
+                if let Some(p) = prev {
+                    if r <= p {
+                        return Err(SparseError::MalformedIndices(format!(
+                            "rows not strictly increasing in column {c}"
+                        )));
+                    }
+                }
+                prev = Some(r);
+            }
+        }
+        Ok(CscMatrix { rows, cols, col_ptr, row_idx, values })
+    }
+
+    /// Creates an empty matrix with no stored entries.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CscMatrix {
+            rows,
+            cols,
+            col_ptr: vec![0; cols + 1],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries that are stored. Returns 0 for an empty shape.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// The column pointer array (`cols + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The row index array, parallel to [`CscMatrix::values`].
+    pub fn row_idx(&self) -> &[u32] {
+        &self.row_idx
+    }
+
+    /// The stored values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Returns the `(row, value)` pairs of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col(&self, c: usize) -> ColView<'_> {
+        let (lo, hi) = (self.col_ptr[c], self.col_ptr[c + 1]);
+        ColView { rows: &self.row_idx[lo..hi], values: &self.values[lo..hi] }
+    }
+
+    /// Number of nonzeros in column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col_nnz(&self, c: usize) -> usize {
+        self.col_ptr[c + 1] - self.col_ptr[c]
+    }
+
+    /// Looks up a single entry. O(log nnz(col)).
+    pub fn get(&self, row: usize, col: usize) -> Option<f32> {
+        if row >= self.rows || col >= self.cols {
+            return None;
+        }
+        let (lo, hi) = (self.col_ptr[col], self.col_ptr[col + 1]);
+        let seg = &self.row_idx[lo..hi];
+        seg.binary_search(&(row as u32)).ok().map(|i| self.values[lo + i])
+    }
+
+    /// Iterates all `(row, col, value)` triplets in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.cols).flat_map(move |c| {
+            let (lo, hi) = (self.col_ptr[c], self.col_ptr[c + 1]);
+            (lo..hi).map(move |i| (self.row_idx[i] as usize, c, self.values[i]))
+        })
+    }
+
+    /// Converts to coordinate format.
+    pub fn to_coo(&self) -> CooMatrix {
+        CooMatrix::from_triplets(self.rows, self.cols, self.iter())
+            .expect("CSC entries are in bounds")
+    }
+
+    /// Converts to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        self.to_coo().to_csr()
+    }
+}
+
+/// Borrowed view of a single CSC column: parallel row/value slices.
+#[derive(Debug, Clone, Copy)]
+pub struct ColView<'a> {
+    rows: &'a [u32],
+    values: &'a [f32],
+}
+
+impl<'a> ColView<'a> {
+    /// Number of nonzeros in the column.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the column holds no nonzeros.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The row indices of the column.
+    pub fn rows(&self) -> &'a [u32] {
+        self.rows
+    }
+
+    /// The values of the column.
+    pub fn values(&self) -> &'a [f32] {
+        self.values
+    }
+
+    /// Iterates `(row, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f32)> + 'a {
+        self.rows.iter().zip(self.values.iter()).map(|(&r, &v)| (r as usize, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CscMatrix {
+        // [ 1 0 ]
+        // [ 0 3 ]
+        // [ 2 0 ]
+        CscMatrix::from_raw_parts(3, 2, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_pointers() {
+        assert!(CscMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(
+            CscMatrix::from_raw_parts(2, 2, vec![1, 1, 1], vec![0], vec![1.0]).is_err()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_unsorted_rows() {
+        let err = CscMatrix::from_raw_parts(3, 1, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+        assert!(matches!(err, Err(SparseError::MalformedIndices(_))));
+    }
+
+    #[test]
+    fn get_and_col_views() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), Some(1.0));
+        assert_eq!(m.get(2, 0), Some(2.0));
+        assert_eq!(m.get(1, 0), None);
+        assert_eq!(m.col(1).iter().collect::<Vec<_>>(), vec![(1, 3.0)]);
+        assert_eq!(m.col_nnz(0), 2);
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let m = sample();
+        let back = m.to_csr().to_csc();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn iter_is_column_major() {
+        let m = sample();
+        let triplets: Vec<_> = m.iter().collect();
+        assert_eq!(triplets, vec![(0, 0, 1.0), (2, 0, 2.0), (1, 1, 3.0)]);
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let m = CscMatrix::zeros(4, 5);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.col_ptr().len(), 6);
+    }
+}

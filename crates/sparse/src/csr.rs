@@ -1,0 +1,457 @@
+use crate::{CooMatrix, CscMatrix, Result, SparseError};
+
+/// A sparse matrix in Compressed Sparse Row format.
+///
+/// CSR is the format matrix A arrives in for every Misam design: the row
+/// pointer array is exactly the structure the host uses to derive the
+/// scheduling pointer lists streamed to each PEG (§3.2.1), and the feature
+/// extractor reads row statistics straight from it (§3.1).
+///
+/// Invariants (checked at construction):
+/// - `row_ptr.len() == rows + 1`, `row_ptr[0] == 0`, non-decreasing,
+///   `row_ptr[rows] == values.len()`;
+/// - column indices within each row are strictly increasing and `< cols`;
+/// - `col_idx.len() == values.len()`.
+///
+/// # Example
+///
+/// ```
+/// use misam_sparse::CsrMatrix;
+///
+/// let m = CsrMatrix::from_raw_parts(2, 3, vec![0, 1, 3], vec![2, 0, 1],
+///                                   vec![5.0, 1.0, 2.0])?;
+/// assert_eq!(m.row(1).len(), 2);
+/// assert_eq!(m.get(0, 2), Some(5.0));
+/// # Ok::<(), misam_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from its constituent arrays, validating every
+    /// invariant listed on the type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::MalformedPointers`] or
+    /// [`SparseError::MalformedIndices`] describing the first violated
+    /// invariant.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1 {
+            return Err(SparseError::MalformedPointers(format!(
+                "row_ptr has length {} but rows + 1 = {}",
+                row_ptr.len(),
+                rows + 1
+            )));
+        }
+        if row_ptr[0] != 0 {
+            return Err(SparseError::MalformedPointers("row_ptr[0] must be 0".into()));
+        }
+        if col_idx.len() != values.len() {
+            return Err(SparseError::MalformedIndices(format!(
+                "col_idx length {} differs from values length {}",
+                col_idx.len(),
+                values.len()
+            )));
+        }
+        if *row_ptr.last().expect("non-empty by construction") != values.len() {
+            return Err(SparseError::MalformedPointers(format!(
+                "row_ptr ends at {} but there are {} values",
+                row_ptr.last().unwrap(),
+                values.len()
+            )));
+        }
+        for r in 0..rows {
+            let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+            if lo > hi {
+                return Err(SparseError::MalformedPointers(format!(
+                    "row_ptr decreases at row {r}"
+                )));
+            }
+            let mut prev: Option<u32> = None;
+            for &c in &col_idx[lo..hi] {
+                if c as usize >= cols {
+                    return Err(SparseError::MalformedIndices(format!(
+                        "column {c} in row {r} exceeds cols {cols}"
+                    )));
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(SparseError::MalformedIndices(format!(
+                            "columns not strictly increasing in row {r}"
+                        )));
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Creates an empty matrix with no stored entries.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR matrix from a dense row-major slice, skipping zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_dense(rows: usize, cols: usize, data: &[f32]) -> Self {
+        assert_eq!(data.len(), rows * cols, "dense data length must equal rows*cols");
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = data[r * cols + c];
+                if v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries that are stored: `nnz / (rows * cols)`.
+    /// Returns 0 for an empty shape.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// The row pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column index array, parallel to [`CsrMatrix::values`].
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The stored values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Returns the `(column, value)` pairs of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> RowView<'_> {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        RowView { cols: &self.col_idx[lo..hi], values: &self.values[lo..hi] }
+    }
+
+    /// Number of nonzeros in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Looks up a single entry. O(log nnz(row)).
+    pub fn get(&self, row: usize, col: usize) -> Option<f32> {
+        if row >= self.rows || col >= self.cols {
+            return None;
+        }
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        let seg = &self.col_idx[lo..hi];
+        seg.binary_search(&(col as u32)).ok().map(|i| self.values[lo + i])
+    }
+
+    /// Iterates all `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            (lo..hi).map(move |i| (r, self.col_idx[i] as usize, self.values[i]))
+        })
+    }
+
+    /// Converts to coordinate format.
+    pub fn to_coo(&self) -> CooMatrix {
+        CooMatrix::from_triplets(self.rows, self.cols, self.iter())
+            .expect("CSR entries are in bounds")
+    }
+
+    /// Converts to CSC (a transpose of the internal layout, not of the
+    /// matrix itself).
+    pub fn to_csc(&self) -> CscMatrix {
+        let mut col_counts = vec![0usize; self.cols];
+        for &c in &self.col_idx {
+            col_counts[c as usize] += 1;
+        }
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        for j in 0..self.cols {
+            col_ptr[j + 1] = col_ptr[j] + col_counts[j];
+        }
+        let mut cursor = col_ptr.clone();
+        let mut row_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0f32; self.nnz()];
+        for (r, c, v) in self.iter() {
+            let dst = cursor[c];
+            row_idx[dst] = r as u32;
+            values[dst] = v;
+            cursor[c] += 1;
+        }
+        CscMatrix::from_raw_parts(self.rows, self.cols, col_ptr, row_idx, values)
+            .expect("scatter from valid CSR yields valid CSC")
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let csc = self.to_csc();
+        CsrMatrix::from_raw_parts(
+            self.cols,
+            self.rows,
+            csc.col_ptr().to_vec(),
+            csc.row_idx().to_vec(),
+            csc.values().to_vec(),
+        )
+        .expect("CSC arrays of a valid matrix form the transposed CSR")
+    }
+
+    /// Renders the matrix into a dense row-major buffer.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0f32; self.rows * self.cols];
+        for (r, c, v) in self.iter() {
+            out[r * self.cols + c] = v;
+        }
+        out
+    }
+
+    /// Extracts the sub-matrix covering rows `row_range` and all columns.
+    /// Used by the streaming executor to carve A into independent tiles
+    /// (§3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range end exceeds `rows`.
+    pub fn row_slice(&self, row_range: std::ops::Range<usize>) -> CsrMatrix {
+        assert!(row_range.end <= self.rows, "row slice out of bounds");
+        let lo = self.row_ptr[row_range.start];
+        let hi = self.row_ptr[row_range.end];
+        let row_ptr: Vec<usize> =
+            self.row_ptr[row_range.start..=row_range.end].iter().map(|p| p - lo).collect();
+        CsrMatrix {
+            rows: row_range.len(),
+            cols: self.cols,
+            row_ptr,
+            col_idx: self.col_idx[lo..hi].to_vec(),
+            values: self.values[lo..hi].to_vec(),
+        }
+    }
+
+    /// Extracts the sub-matrix covering columns `col_range` and all rows,
+    /// re-basing column indices to the slice. Used for column tiling of A
+    /// aligned to resident B row tiles (§3.2.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range end exceeds `cols`.
+    pub fn col_slice(&self, col_range: std::ops::Range<usize>) -> CsrMatrix {
+        assert!(col_range.end <= self.cols, "column slice out of bounds");
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            for i in lo..hi {
+                let c = self.col_idx[i] as usize;
+                if col_range.contains(&c) {
+                    col_idx.push((c - col_range.start) as u32);
+                    values.push(self.values[i]);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        CsrMatrix { rows: self.rows, cols: col_range.len(), row_ptr, col_idx, values }
+    }
+}
+
+/// Borrowed view of a single CSR row: parallel column/value slices.
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    cols: &'a [u32],
+    values: &'a [f32],
+}
+
+impl<'a> RowView<'a> {
+    /// Number of nonzeros in the row.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when the row holds no nonzeros.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// The column indices of the row.
+    pub fn cols(&self) -> &'a [u32] {
+        self.cols
+    }
+
+    /// The values of the row.
+    pub fn values(&self) -> &'a [f32] {
+        self.values
+    }
+
+    /// Iterates `(col, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f32)> + 'a {
+        self.cols.iter().zip(self.values.iter()).map(|(&c, &v)| (c as usize, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 0 1 0 ]
+        // [ 2 0 3 ]
+        CsrMatrix::from_raw_parts(2, 3, vec![0, 1, 3], vec![1, 0, 2], vec![1.0, 2.0, 3.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn from_raw_parts_validates_pointer_length() {
+        let err = CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]);
+        assert!(matches!(err, Err(SparseError::MalformedPointers(_))));
+    }
+
+    #[test]
+    fn from_raw_parts_validates_monotonicity() {
+        let err = CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
+        assert!(matches!(err, Err(SparseError::MalformedPointers(_))));
+    }
+
+    #[test]
+    fn from_raw_parts_validates_sorted_columns() {
+        let err =
+            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+        assert!(matches!(err, Err(SparseError::MalformedIndices(_))));
+    }
+
+    #[test]
+    fn from_raw_parts_validates_column_bounds() {
+        let err = CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(matches!(err, Err(SparseError::MalformedIndices(_))));
+    }
+
+    #[test]
+    fn get_and_row_views() {
+        let m = sample();
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(0, 0), None);
+        assert_eq!(m.row(1).iter().collect::<Vec<_>>(), vec![(0, 2.0), (2, 3.0)]);
+        assert!(m.row(0).len() == 1 && !m.row(0).is_empty());
+    }
+
+    #[test]
+    fn density_and_nnz() {
+        let m = sample();
+        assert_eq!(m.nnz(), 3);
+        assert!((m.density() - 0.5).abs() < 1e-12);
+        assert_eq!(CsrMatrix::zeros(0, 0).density(), 0.0);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let dense = vec![0.0, 1.0, 0.0, 2.0, 0.0, 3.0];
+        let m = CsrMatrix::from_dense(2, 3, &dense);
+        assert_eq!(m, sample());
+        assert_eq!(m.to_dense(), dense);
+    }
+
+    #[test]
+    fn transpose_involutes() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(1, 0), Some(1.0));
+        assert_eq!(t.get(0, 1), Some(2.0));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn csc_roundtrip() {
+        let m = sample();
+        let csc = m.to_csc();
+        assert_eq!(csc.get(1, 2), Some(3.0));
+        assert_eq!(csc.to_csr(), m);
+    }
+
+    #[test]
+    fn row_slice_rebases_pointers() {
+        let m = sample();
+        let s = m.row_slice(1..2);
+        assert_eq!(s.rows(), 1);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.get(0, 0), Some(2.0));
+    }
+
+    #[test]
+    fn col_slice_rebases_columns() {
+        let m = sample();
+        let s = m.col_slice(1..3);
+        assert_eq!(s.cols(), 2);
+        assert_eq!(s.get(0, 0), Some(1.0)); // was (0,1)
+        assert_eq!(s.get(1, 1), Some(3.0)); // was (1,2)
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn empty_row_slice_is_empty() {
+        let m = sample();
+        let s = m.row_slice(0..0);
+        assert_eq!(s.rows(), 0);
+        assert_eq!(s.nnz(), 0);
+    }
+}

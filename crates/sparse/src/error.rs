@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Errors produced when constructing, converting or multiplying sparse
+/// matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// A coordinate was outside the declared matrix bounds.
+    IndexOutOfBounds {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// Declared number of rows.
+        rows: usize,
+        /// Declared number of columns.
+        cols: usize,
+    },
+    /// Inner dimensions of a multiplication did not agree.
+    DimensionMismatch {
+        /// Columns of the left operand.
+        left_cols: usize,
+        /// Rows of the right operand.
+        right_rows: usize,
+    },
+    /// A CSR/CSC pointer array was malformed (wrong length, not
+    /// monotonically non-decreasing, or final entry disagreeing with the
+    /// number of stored values).
+    MalformedPointers(String),
+    /// Column (CSR) or row (CSC) indices within a segment were not strictly
+    /// increasing, or exceeded the matrix bounds.
+    MalformedIndices(String),
+    /// A Matrix Market stream could not be parsed.
+    Parse(String),
+    /// An I/O failure while reading or writing a matrix file.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "entry ({row}, {col}) is outside a {rows}x{cols} matrix"
+            ),
+            SparseError::DimensionMismatch { left_cols, right_rows } => write!(
+                f,
+                "inner dimensions disagree: left has {left_cols} columns, right has {right_rows} rows"
+            ),
+            SparseError::MalformedPointers(msg) => write!(f, "malformed pointer array: {msg}"),
+            SparseError::MalformedIndices(msg) => write!(f, "malformed index array: {msg}"),
+            SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(err: std::io::Error) -> Self {
+        SparseError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let err = SparseError::DimensionMismatch { left_cols: 3, right_rows: 4 };
+        let msg = err.to_string();
+        assert!(msg.contains('3') && msg.contains('4'));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: SparseError = io.into();
+        assert!(matches!(err, SparseError::Io(_)));
+    }
+}

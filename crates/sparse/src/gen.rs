@@ -1,0 +1,707 @@
+//! Seeded synthetic matrix generators covering the sparsity regimes of the
+//! paper's Figure 1.
+//!
+//! Every generator takes an explicit `seed` and is deterministic, so the
+//! datasets, workload suites and experiments built on top of them are
+//! reproducible bit-for-bit. The structural classes mirror the application
+//! domains the paper draws workloads from:
+//!
+//! - [`uniform_random`] — Erdős–Rényi style, the unstructured baseline;
+//! - [`power_law`] — scale-free graph adjacency (social / web / p2p
+//!   networks), heavy row-length skew;
+//! - [`banded`] — FEM / CFD stencils (e.g. `sme3Db`, `msc10848`);
+//! - [`circuit`] — near-diagonal with a few dense coupling rows
+//!   (e.g. `scircuit`);
+//! - [`regular_degree`] — near-constant row degree (e.g. `cage12`
+//!   DNA-electrophoresis chains);
+//! - [`pruned_dnn`] — structured-pruned DNN weight layers at a target
+//!   density (the paper's MS regime, STR pruning at 0.1 / 0.2);
+//! - [`dense`] — fully dense operands (activations / multiple right-hand
+//!   sides);
+//! - [`imbalanced_rows`] — explicit load-imbalance stressor used to
+//!   exercise Design 3's row-wise scheduler.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CooMatrix, CsrMatrix};
+
+/// Coarse sparsity regime labels used throughout the paper (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SparsityRegime {
+    /// Density below 2% — SuiteSparse-class scientific/graph matrices.
+    HighlySparse,
+    /// Density in `[2%, 50%)` — pruned DNN weights and similar.
+    ModeratelySparse,
+    /// Density of 50% or more.
+    Dense,
+}
+
+impl SparsityRegime {
+    /// Classifies a density value into a regime.
+    ///
+    /// ```
+    /// use misam_sparse::gen::SparsityRegime;
+    /// assert_eq!(SparsityRegime::classify(1e-4), SparsityRegime::HighlySparse);
+    /// assert_eq!(SparsityRegime::classify(0.15), SparsityRegime::ModeratelySparse);
+    /// assert_eq!(SparsityRegime::classify(0.9), SparsityRegime::Dense);
+    /// ```
+    pub fn classify(density: f64) -> Self {
+        if density >= 0.5 {
+            SparsityRegime::Dense
+        } else if density >= 0.02 {
+            SparsityRegime::ModeratelySparse
+        } else {
+            SparsityRegime::HighlySparse
+        }
+    }
+
+    /// The two-letter abbreviation the paper uses (HS / MS / D).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            SparsityRegime::HighlySparse => "HS",
+            SparsityRegime::ModeratelySparse => "MS",
+            SparsityRegime::Dense => "D",
+        }
+    }
+}
+
+impl std::fmt::Display for SparsityRegime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+fn value(rng: &mut StdRng) -> f32 {
+    // Uniform in [-1, 1] excluding exact zero, so nnz counts are stable.
+    loop {
+        let v: f32 = rng.gen_range(-1.0..1.0);
+        if v != 0.0 {
+            return v;
+        }
+    }
+}
+
+/// Samples `k` distinct values from `0..n` in sorted order.
+fn sample_distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<u32> {
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    if k * 3 >= n {
+        // Dense case: partial Fisher–Yates over the full range.
+        let mut all: Vec<u32> = (0..n as u32).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            all.swap(i, j);
+        }
+        let mut chosen = all[..k].to_vec();
+        chosen.sort_unstable();
+        chosen
+    } else {
+        // Sparse case: rejection sampling into a sorted set.
+        let mut chosen = Vec::with_capacity(k);
+        let mut seen = std::collections::HashSet::with_capacity(k * 2);
+        while chosen.len() < k {
+            let c = rng.gen_range(0..n) as u32;
+            if seen.insert(c) {
+                chosen.push(c);
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+}
+
+/// Approximate binomial draw `Binomial(n, p)` via a normal approximation
+/// (exact Bernoulli loop for small `n`).
+fn binomial(rng: &mut StdRng, n: usize, p: f64) -> usize {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if n <= 64 {
+        return (0..n).filter(|_| rng.gen_bool(p)).count();
+    }
+    let mean = n as f64 * p;
+    let sd = (n as f64 * p * (1.0 - p)).sqrt();
+    // Box–Muller standard normal.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mean + sd * z).round().clamp(0.0, n as f64) as usize
+}
+
+/// Generates an Erdős–Rényi style random matrix where each entry is
+/// present independently with probability `density`.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]`.
+pub fn uniform_random(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0001);
+    build_by_rows(rows, cols, |r, rng| {
+        let _ = r;
+        binomial(rng, cols, density)
+    }, &mut rng)
+}
+
+/// Generates a scale-free (power-law) adjacency-like matrix with `avg_nnz`
+/// nonzeros per row on average and row-degree exponent `alpha` (larger
+/// `alpha` ⇒ heavier skew). Columns are hub-biased, mimicking social /
+/// p2p / co-authorship graphs.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0` or `avg_nnz == 0` with nonzero rows.
+pub fn power_law(rows: usize, cols: usize, avg_nnz: f64, alpha: f64, seed: u64) -> CsrMatrix {
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0002);
+    if rows == 0 || cols == 0 {
+        return CsrMatrix::zeros(rows, cols);
+    }
+    // Zipf row weights, shuffled so hubs land on random row indices.
+    let mut weights: Vec<f64> = (0..rows).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let total = avg_nnz * rows as f64;
+    for w in &mut weights {
+        *w = *w / wsum * total;
+    }
+    // Shuffle row weights.
+    for i in (1..rows).rev() {
+        let j = rng.gen_range(0..=i);
+        weights.swap(i, j);
+    }
+    let mut coo = CooMatrix::new(rows, cols);
+    for (r, &w) in weights.iter().enumerate() {
+        let k = w.round().max(0.0) as usize;
+        let k = k.min(cols);
+        // Hub-biased column draw: u^2 concentrates mass on low columns,
+        // then a per-seed permutation offset decorrelates matrices.
+        let mut cols_chosen = std::collections::HashSet::with_capacity(k * 2);
+        let mut tries = 0;
+        while cols_chosen.len() < k && tries < k * 20 + 16 {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let c = ((u * u) * cols as f64) as usize % cols;
+            cols_chosen.insert(c);
+            tries += 1;
+        }
+        let mut cols_sorted: Vec<usize> = cols_chosen.into_iter().collect();
+        cols_sorted.sort_unstable();
+        for c in cols_sorted {
+            coo.push(r, c, value(&mut rng)).expect("generated index in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+/// Generates an R-MAT (recursive-matrix) graph adjacency in the style of
+/// Graph500: each of `nnz_target` edges picks its cell by descending a
+/// quadtree over the adjacency matrix with quadrant probabilities
+/// `(a, b, c, d)`. The classic skewed setting `(0.57, 0.19, 0.19, 0.05)`
+/// yields heavy-tailed degree distributions with community structure —
+/// a sharper model of web/social graphs than [`power_law`].
+///
+/// Duplicate edges are merged, so the resulting nnz can be below
+/// `nnz_target` (more so at high skew).
+///
+/// # Panics
+///
+/// Panics if the probabilities are not positive or do not sum to ~1.
+pub fn rmat(
+    rows: usize,
+    cols: usize,
+    nnz_target: usize,
+    probs: (f64, f64, f64, f64),
+    seed: u64,
+) -> CsrMatrix {
+    let (a, b, c, d) = probs;
+    assert!(
+        a > 0.0 && b > 0.0 && c > 0.0 && d > 0.0,
+        "quadrant probabilities must be positive"
+    );
+    assert!(
+        ((a + b + c + d) - 1.0).abs() < 1e-6,
+        "quadrant probabilities must sum to 1"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_000a);
+    if rows == 0 || cols == 0 {
+        return CsrMatrix::zeros(rows, cols);
+    }
+    let mut coo = CooMatrix::new(rows, cols);
+    for _ in 0..nnz_target {
+        let (mut r_lo, mut r_hi) = (0usize, rows);
+        let (mut c_lo, mut c_hi) = (0usize, cols);
+        while r_hi - r_lo > 1 || c_hi - c_lo > 1 {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            // Add a little per-level noise so the result is not a
+            // perfectly self-similar grid (standard Graph500 practice).
+            let jitter = 0.9 + 0.2 * rng.gen_range(0.0..1.0f64);
+            let (top, left) = if u < a * jitter {
+                (true, true)
+            } else if u < (a + b) * jitter {
+                (true, false)
+            } else if u < a + b + c {
+                (false, true)
+            } else {
+                (false, false)
+            };
+            let r_mid = r_lo + ((r_hi - r_lo) / 2).max(1);
+            let c_mid = c_lo + ((c_hi - c_lo) / 2).max(1);
+            if r_hi - r_lo > 1 {
+                if top {
+                    r_hi = r_mid;
+                } else {
+                    r_lo = r_mid;
+                }
+            }
+            if c_hi - c_lo > 1 {
+                if left {
+                    c_hi = c_mid;
+                } else {
+                    c_lo = c_mid;
+                }
+            }
+        }
+        coo.push(r_lo, c_lo, value(&mut rng)).expect("descent stays in bounds");
+    }
+    coo.compress();
+    // Merged duplicates keep their summed values; exact zeros from
+    // cancellation are dropped for structural cleanliness.
+    coo.prune_zeros();
+    coo.to_csr()
+}
+
+/// Generates a banded FEM/CFD-style matrix: full diagonal, dense band of
+/// half-width `bandwidth` with fill probability `fill`.
+///
+/// # Panics
+///
+/// Panics if `fill` is outside `[0, 1]`.
+pub fn banded(rows: usize, cols: usize, bandwidth: usize, fill: f64, seed: u64) -> CsrMatrix {
+    assert!((0.0..=1.0).contains(&fill), "fill must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0003);
+    let mut coo = CooMatrix::new(rows, cols);
+    for r in 0..rows {
+        let lo = r.saturating_sub(bandwidth);
+        let hi = (r + bandwidth + 1).min(cols);
+        for c in lo..hi {
+            if c == r.min(cols.saturating_sub(1)) || rng.gen_bool(fill) {
+                coo.push(r, c, value(&mut rng)).expect("band index in bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Generates the 5-point finite-difference stencil over an `nx x ny`
+/// grid: the classic 2-D Poisson/Laplace system matrix
+/// (`(nx*ny) x (nx*ny)`, ≤ 5 nonzeros per row, strictly banded).
+pub fn mesh2d(nx: usize, ny: usize) -> CsrMatrix {
+    let n = nx * ny;
+    let mut coo = CooMatrix::new(n, n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            coo.push(i, i, 4.0).expect("diagonal in bounds");
+            if x > 0 {
+                coo.push(i, idx(x - 1, y), -1.0).expect("west in bounds");
+            }
+            if x + 1 < nx {
+                coo.push(i, idx(x + 1, y), -1.0).expect("east in bounds");
+            }
+            if y > 0 {
+                coo.push(i, idx(x, y - 1), -1.0).expect("south in bounds");
+            }
+            if y + 1 < ny {
+                coo.push(i, idx(x, y + 1), -1.0).expect("north in bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Generates the 7-point stencil over an `nx x ny x nz` grid — the 3-D
+/// Poisson system (`poisson3Da`-class structure from Table 3).
+pub fn mesh3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+    let n = nx * ny * nz;
+    let mut coo = CooMatrix::new(n, n);
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                coo.push(i, i, 6.0).expect("diagonal in bounds");
+                if x > 0 {
+                    coo.push(i, idx(x - 1, y, z), -1.0).expect("in bounds");
+                }
+                if x + 1 < nx {
+                    coo.push(i, idx(x + 1, y, z), -1.0).expect("in bounds");
+                }
+                if y > 0 {
+                    coo.push(i, idx(x, y - 1, z), -1.0).expect("in bounds");
+                }
+                if y + 1 < ny {
+                    coo.push(i, idx(x, y + 1, z), -1.0).expect("in bounds");
+                }
+                if z > 0 {
+                    coo.push(i, idx(x, y, z - 1), -1.0).expect("in bounds");
+                }
+                if z + 1 < nz {
+                    coo.push(i, idx(x, y, z + 1), -1.0).expect("in bounds");
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Generates a circuit-simulation-style matrix: diagonal plus sparse
+/// random couplings, plus `dense_rows` rows (supply rails) that touch a
+/// large share of columns.
+pub fn circuit(rows: usize, cols: usize, avg_off_diag: f64, dense_rows: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0004);
+    let mut coo = CooMatrix::new(rows, cols);
+    let n_dense = dense_rows.min(rows);
+    for r in 0..rows {
+        if r < cols {
+            coo.push(r, r, value(&mut rng)).expect("diagonal in bounds");
+        }
+        let k = binomial(&mut rng, cols.saturating_sub(1), (avg_off_diag / cols.max(1) as f64).min(1.0));
+        for c in sample_distinct(&mut rng, cols, k) {
+            if c as usize != r {
+                coo.push(r, c as usize, value(&mut rng)).expect("in bounds");
+            }
+        }
+    }
+    // Dense rail rows at pseudo-random positions.
+    for d in 0..n_dense {
+        let r = (d * rows / n_dense.max(1) + 7) % rows;
+        let k = (cols / 10).max(8).min(cols);
+        for c in sample_distinct(&mut rng, cols, k) {
+            coo.push(r, c as usize, value(&mut rng)).expect("in bounds");
+        }
+    }
+    let mut csr = coo.to_csr();
+    // Duplicate summation may have produced explicit zeros; drop them.
+    let mut c = csr.to_coo();
+    c.prune_zeros();
+    csr = c.to_csr();
+    csr
+}
+
+/// Generates a matrix with near-constant row degree `deg` and locally
+/// clustered columns, like diffusion/cage matrices.
+pub fn regular_degree(rows: usize, cols: usize, deg: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0005);
+    let mut coo = CooMatrix::new(rows, cols);
+    if cols == 0 {
+        return CsrMatrix::zeros(rows, cols);
+    }
+    for r in 0..rows {
+        let k = deg.min(cols);
+        // Half local (near the scaled diagonal), half uniform. The local
+        // window holds only `2*span + 1` distinct columns, so the local
+        // quota is capped by it.
+        let center = (r as f64 / rows.max(1) as f64 * cols as f64) as usize;
+        let span = (cols / 64).max(4).min(cols);
+        let local_quota = (k / 2).min(2 * span);
+        let mut chosen = std::collections::HashSet::with_capacity(k * 2);
+        while chosen.len() < local_quota {
+            let off = rng.gen_range(0..span * 2 + 1) as i64 - span as i64;
+            let c = (center as i64 + off).rem_euclid(cols as i64) as usize;
+            chosen.insert(c);
+        }
+        while chosen.len() < k {
+            chosen.insert(rng.gen_range(0..cols));
+        }
+        let mut chosen_sorted: Vec<usize> = chosen.into_iter().collect();
+        chosen_sorted.sort_unstable();
+        for c in chosen_sorted {
+            coo.push(r, c, value(&mut rng)).expect("in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+/// Generates a structured-pruned DNN weight matrix at the given `density`,
+/// using block pruning with 4-wide column blocks (the STR-style structured
+/// regime of the paper's MS workloads): each row keeps a round-robin-
+/// offset subset of blocks so per-row nnz is uniform.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]`.
+pub fn pruned_dnn(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0006);
+    const BLOCK: usize = 4;
+    let blocks_per_row = cols.div_ceil(BLOCK);
+    let keep = ((blocks_per_row as f64 * density).round() as usize).min(blocks_per_row);
+    let mut coo = CooMatrix::new(rows, cols);
+    for r in 0..rows {
+        for b in sample_distinct(&mut rng, blocks_per_row, keep) {
+            let start = b as usize * BLOCK;
+            for c in start..(start + BLOCK).min(cols) {
+                coo.push(r, c, value(&mut rng)).expect("in bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Generates a fully dense matrix as CSR (every entry stored).
+pub fn dense(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0007);
+    let data: Vec<f32> = (0..rows * cols).map(|_| value(&mut rng)).collect();
+    CsrMatrix::from_dense(rows, cols, &data)
+}
+
+/// Generates a dense row-major buffer (for SpMM right-hand sides).
+pub fn dense_buffer(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0008);
+    (0..rows * cols).map(|_| value(&mut rng)).collect()
+}
+
+/// Generates a matrix with deliberate row-length imbalance: a fraction
+/// `heavy_frac` of rows carry `heavy_nnz` nonzeros each while the rest
+/// carry `light_nnz`. This is the structural signal behind the paper's
+/// `A_load_imbalance_row` feature and Design 3's advantage (§3.2.3).
+pub fn imbalanced_rows(
+    rows: usize,
+    cols: usize,
+    heavy_frac: f64,
+    heavy_nnz: usize,
+    light_nnz: usize,
+    seed: u64,
+) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0009);
+    let n_heavy = ((rows as f64 * heavy_frac).round() as usize).min(rows);
+    // Scatter heavy rows across the index space deterministically.
+    let mut heavy = vec![false; rows];
+    if n_heavy > 0 {
+        let stride = rows.max(1) / n_heavy.max(1);
+        let mut r = stride / 2;
+        for _ in 0..n_heavy {
+            heavy[r.min(rows - 1)] = true;
+            r += stride.max(1);
+            if r >= rows {
+                r = rng.gen_range(0..rows);
+            }
+        }
+    }
+    build_by_rows(
+        rows,
+        cols,
+        |r, _| if heavy[r] { heavy_nnz.min(cols) } else { light_nnz.min(cols) },
+        &mut rng,
+    )
+}
+
+/// Shared row-driven builder: `row_nnz(r, rng)` decides each row's count,
+/// columns are drawn uniformly without replacement.
+fn build_by_rows(
+    rows: usize,
+    cols: usize,
+    mut row_nnz: impl FnMut(usize, &mut StdRng) -> usize,
+    rng: &mut StdRng,
+) -> CsrMatrix {
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    row_ptr.push(0);
+    for r in 0..rows {
+        let k = row_nnz(r, rng).min(cols);
+        for c in sample_distinct(rng, cols, k) {
+            col_idx.push(c);
+            values.push(value(rng));
+        }
+        row_ptr.push(values.len());
+    }
+    CsrMatrix::from_raw_parts(rows, cols, row_ptr, col_idx, values)
+        .expect("builder produces sorted in-bounds columns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regime_classification_boundaries() {
+        assert_eq!(SparsityRegime::classify(0.0), SparsityRegime::HighlySparse);
+        assert_eq!(SparsityRegime::classify(0.019), SparsityRegime::HighlySparse);
+        assert_eq!(SparsityRegime::classify(0.02), SparsityRegime::ModeratelySparse);
+        assert_eq!(SparsityRegime::classify(0.499), SparsityRegime::ModeratelySparse);
+        assert_eq!(SparsityRegime::classify(0.5), SparsityRegime::Dense);
+        assert_eq!(SparsityRegime::classify(1.0), SparsityRegime::Dense);
+        assert_eq!(SparsityRegime::HighlySparse.to_string(), "HS");
+    }
+
+    #[test]
+    fn uniform_random_hits_target_density() {
+        let m = uniform_random(200, 200, 0.1, 42);
+        let d = m.density();
+        assert!((d - 0.1).abs() < 0.02, "density {d} too far from 0.1");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = power_law(100, 100, 5.0, 1.5, 9);
+        let b = power_law(100, 100, 5.0, 1.5, 9);
+        assert_eq!(a, b);
+        let c = power_law(100, 100, 5.0, 1.5, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let m = power_law(500, 500, 8.0, 1.4, 3);
+        let max_row = (0..500).map(|r| m.row_nnz(r)).max().unwrap();
+        let avg = m.nnz() as f64 / 500.0;
+        assert!(max_row as f64 > 3.0 * avg, "max {max_row} vs avg {avg} not skewed");
+    }
+
+    #[test]
+    fn rmat_produces_skewed_connected_structure() {
+        let m = rmat(1024, 1024, 16_000, (0.57, 0.19, 0.19, 0.05), 7);
+        // Duplicates merge, so nnz is close to but below the target.
+        assert!(m.nnz() > 8_000 && m.nnz() <= 16_000, "nnz {}", m.nnz());
+        let max_row = (0..1024).map(|r| m.row_nnz(r)).max().unwrap();
+        let avg = m.nnz() as f64 / 1024.0;
+        assert!(max_row as f64 > 4.0 * avg, "R-MAT should be heavy-tailed");
+        // Deterministic per seed.
+        assert_eq!(m, rmat(1024, 1024, 16_000, (0.57, 0.19, 0.19, 0.05), 7));
+    }
+
+    #[test]
+    fn rmat_uniform_probs_are_near_uniform() {
+        let m = rmat(256, 256, 6000, (0.25, 0.25, 0.25, 0.25), 8);
+        let max_row = (0..256).map(|r| m.row_nnz(r)).max().unwrap();
+        let avg = m.nnz() as f64 / 256.0;
+        assert!(
+            (max_row as f64) < 4.0 * avg,
+            "uniform quadrants should not concentrate: max {max_row} avg {avg:.1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_rejects_bad_probabilities() {
+        rmat(16, 16, 10, (0.5, 0.5, 0.5, 0.5), 1);
+    }
+
+    #[test]
+    fn banded_stays_in_band() {
+        let m = banded(64, 64, 3, 0.8, 5);
+        for (r, c, _) in m.iter() {
+            assert!((r as i64 - c as i64).unsigned_abs() as usize <= 3);
+        }
+        // Diagonal always present.
+        for r in 0..64 {
+            assert!(m.get(r, r).is_some(), "missing diagonal at {r}");
+        }
+    }
+
+    #[test]
+    fn mesh2d_is_the_classic_poisson_stencil() {
+        let m = mesh2d(4, 3);
+        assert_eq!(m.rows(), 12);
+        // Interior point (1,1) = index 5 has all 5 stencil entries.
+        assert_eq!(m.row_nnz(5), 5);
+        assert_eq!(m.get(5, 5), Some(4.0));
+        assert_eq!(m.get(5, 4), Some(-1.0)); // west
+        assert_eq!(m.get(5, 6), Some(-1.0)); // east
+        assert_eq!(m.get(5, 1), Some(-1.0)); // south
+        assert_eq!(m.get(5, 9), Some(-1.0)); // north
+        // Corner has only 3 entries; matrix is symmetric.
+        assert_eq!(m.row_nnz(0), 3);
+        let mt = m.transpose();
+        assert_eq!(m, mt);
+        // nnz = 5n - 2*(nx + ny) boundary corrections.
+        assert_eq!(m.nnz(), 5 * 12 - 2 * 4 - 2 * 3);
+    }
+
+    #[test]
+    fn mesh3d_matches_seven_point_structure() {
+        let m = mesh3d(3, 3, 3);
+        assert_eq!(m.rows(), 27);
+        // Center of the cube has the full 7-point stencil.
+        let center = (1 * 3 + 1) * 3 + 1;
+        assert_eq!(m.row_nnz(center), 7);
+        assert_eq!(m.get(center, center), Some(6.0));
+        assert_eq!(m, m.transpose());
+        // Row sums: interior rows sum to 6 - 6 = 0 (discrete Laplacian).
+        let sums: f32 = m.row(center).values().iter().sum();
+        assert_eq!(sums, 0.0);
+    }
+
+    #[test]
+    fn circuit_has_dense_rail_rows() {
+        let m = circuit(200, 200, 3.0, 4, 6);
+        let max_row = (0..200).map(|r| m.row_nnz(r)).max().unwrap();
+        assert!(max_row >= 20, "rail rows should be much denser, max {max_row}");
+    }
+
+    #[test]
+    fn regular_degree_rows_are_uniform() {
+        let m = regular_degree(128, 256, 8, 2);
+        for r in 0..128 {
+            assert_eq!(m.row_nnz(r), 8);
+        }
+    }
+
+    #[test]
+    fn pruned_dnn_is_block_structured_and_balanced() {
+        let m = pruned_dnn(64, 256, 0.2, 8);
+        let first = m.row_nnz(0);
+        for r in 0..64 {
+            assert_eq!(m.row_nnz(r), first, "structured pruning keeps rows balanced");
+        }
+        assert!((m.density() - 0.2).abs() < 0.05);
+        // Entries come in 4-wide blocks.
+        for r in 0..64 {
+            let cols: Vec<usize> = m.row(r).iter().map(|(c, _)| c).collect();
+            for chunk in cols.chunks(4) {
+                assert_eq!(chunk.len(), 4);
+                assert_eq!(chunk[0] % 4, 0, "block starts aligned");
+                assert_eq!(chunk[3], chunk[0] + 3, "block contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_generator_is_full() {
+        let m = dense(8, 8, 1);
+        assert_eq!(m.nnz(), 64);
+        assert_eq!(SparsityRegime::classify(m.density()), SparsityRegime::Dense);
+    }
+
+    #[test]
+    fn imbalanced_rows_creates_imbalance() {
+        let m = imbalanced_rows(100, 1000, 0.05, 200, 5, 4);
+        let max_row = (0..100).map(|r| m.row_nnz(r)).max().unwrap();
+        let avg = m.nnz() as f64 / 100.0;
+        assert_eq!(max_row, 200);
+        assert!(max_row as f64 / avg > 5.0);
+    }
+
+    #[test]
+    fn zero_sized_generators_are_safe() {
+        assert_eq!(uniform_random(0, 10, 0.5, 1).nnz(), 0);
+        assert_eq!(power_law(0, 0, 3.0, 1.2, 1).nnz(), 0);
+        assert_eq!(pruned_dnn(4, 0, 0.5, 1).nnz(), 0);
+    }
+
+    #[test]
+    fn binomial_mean_is_reasonable() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 10_000;
+        let total: usize = (0..200).map(|_| binomial(&mut rng, n, 0.3)).sum();
+        let mean = total as f64 / 200.0;
+        assert!((mean - 3000.0).abs() < 60.0, "binomial mean {mean} off");
+    }
+}

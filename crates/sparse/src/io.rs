@@ -1,0 +1,239 @@
+//! Matrix Market (`.mtx`) coordinate-format I/O.
+//!
+//! Supports the subset of the format the SuiteSparse collection uses:
+//! `matrix coordinate {real|integer|pattern} {general|symmetric}`.
+//! Pattern entries read as value `1.0`; symmetric files are expanded to
+//! their full (general) form on load.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::{CooMatrix, CsrMatrix, Result, SparseError};
+
+/// Parses a Matrix Market stream into a CSR matrix.
+///
+/// A mutable reference is a valid `Read`, so callers can pass `&mut file`
+/// to keep using the file afterwards.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Parse`] for malformed headers or entries and
+/// [`SparseError::Io`] for stream failures.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => return Err(SparseError::Parse("empty stream".into())),
+        }
+    };
+    let header = header.trim().to_ascii_lowercase();
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 4 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(SparseError::Parse(format!("bad header line: {header}")));
+    }
+    if fields[2] != "coordinate" {
+        return Err(SparseError::Parse(format!(
+            "unsupported storage '{}', only coordinate is supported",
+            fields[2]
+        )));
+    }
+    let value_type = fields[3];
+    if !matches!(value_type, "real" | "integer" | "pattern") {
+        return Err(SparseError::Parse(format!("unsupported value type '{value_type}'")));
+    }
+    let symmetry = fields.get(4).copied().unwrap_or("general");
+    if !matches!(symmetry, "general" | "symmetric") {
+        return Err(SparseError::Parse(format!("unsupported symmetry '{symmetry}'")));
+    }
+
+    // Size line: first non-comment line.
+    let size_line = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let t = line.trim().to_string();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break t;
+            }
+            None => return Err(SparseError::Parse("missing size line".into())),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| SparseError::Parse(format!("bad size token '{t}'"))))
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse(format!("size line needs 3 fields: {size_line}")));
+    }
+    let (rows, cols, declared_nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::new(rows, cols);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse(format!("truncated entry: {t}")))?
+            .parse()
+            .map_err(|_| SparseError::Parse(format!("bad row in entry: {t}")))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse(format!("truncated entry: {t}")))?
+            .parse()
+            .map_err(|_| SparseError::Parse(format!("bad col in entry: {t}")))?;
+        let v: f32 = if value_type == "pattern" {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| SparseError::Parse(format!("missing value in entry: {t}")))?
+                .parse()
+                .map_err(|_| SparseError::Parse(format!("bad value in entry: {t}")))?
+        };
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse("matrix market indices are 1-based".into()));
+        }
+        coo.push(r - 1, c - 1, v)?;
+        if symmetry == "symmetric" && r != c {
+            coo.push(c - 1, r - 1, v)?;
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(SparseError::Parse(format!(
+            "header declares {declared_nnz} entries but stream holds {seen}"
+        )));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Reads a `.mtx` file from disk.
+///
+/// # Errors
+///
+/// Propagates parse and I/O failures as [`SparseError`].
+pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<CsrMatrix> {
+    let file = std::fs::File::open(path)?;
+    read_matrix_market(file)
+}
+
+/// Writes a matrix as `matrix coordinate real general`.
+///
+/// A mutable reference is a valid `Write`, so callers can pass
+/// `&mut buffer`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Io`] on write failure.
+pub fn write_matrix_market<W: Write>(mut writer: W, m: &CsrMatrix) -> Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by misam-sparse")?;
+    writeln!(writer, "{} {} {}", m.rows(), m.cols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Writes a matrix to a `.mtx` file on disk.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`SparseError`].
+pub fn write_matrix_market_file(path: impl AsRef<Path>, m: &CsrMatrix) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_matrix_market(std::io::BufWriter::new(file), m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip_preserves_matrix() {
+        let m = gen::uniform_random(20, 30, 0.1, 5);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &m).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back.rows(), m.rows());
+        assert_eq!(back.cols(), m.cols());
+        assert_eq!(back.nnz(), m.nnz());
+        for (r, c, v) in m.iter() {
+            let got = back.get(r, c).unwrap();
+            assert!((got - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn pattern_entries_read_as_one() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), Some(1.0));
+        assert_eq!(m.get(1, 1), Some(1.0));
+    }
+
+    #[test]
+    fn symmetric_expands_mirror_entries() {
+        let src = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 7.0\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.get(1, 0), Some(5.0));
+        assert_eq!(m.get(0, 1), Some(5.0));
+        assert_eq!(m.get(2, 2), Some(7.0));
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let src = "\n%%MatrixMarket matrix coordinate real general\n% comment\n\n2 2 1\n% more\n2 2 4.5\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.get(1, 1), Some(4.5));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("misam_sparse_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.mtx");
+        let m = gen::banded(16, 16, 2, 0.9, 7);
+        write_matrix_market_file(&path, &m).unwrap();
+        let back = read_matrix_market_file(&path).unwrap();
+        assert_eq!(back.nnz(), m.nnz());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,413 @@
+//! Software reference kernels for the three SpGEMM dataflows of §2.1.
+//!
+//! These functions are the functional ground truth of the reproduction:
+//! every hardware design simulated by `misam-sim` and every baseline model
+//! computes the same product these kernels produce, so tests cross-check
+//! all three dataflows against each other and against dense multiplication.
+//!
+//! - [`spgemm_inner`] — inner product: row of A (CSR) x column of B (CSC),
+//!   index-matched intersection per output element.
+//! - [`spgemm_outer`] — outer product: column of A (CSC) x row of B (CSR),
+//!   partial-product matrices merged into C.
+//! - [`spgemm_rowwise`] — row-wise (Gustavson): each nonzero `a[i,k]`
+//!   scales row `k` of B into row `i` of C. This is the dataflow Misam's
+//!   FPGA designs implement.
+//! - [`spmm`] — sparse x dense, the SpMM kernel of Designs 1–3.
+
+use crate::{CooMatrix, CscMatrix, CsrMatrix, Result, SparseError};
+
+fn check_dims(left_cols: usize, right_rows: usize) -> Result<()> {
+    if left_cols != right_rows {
+        return Err(SparseError::DimensionMismatch { left_cols, right_rows });
+    }
+    Ok(())
+}
+
+/// Multiplies `A x B` with the row-wise (Gustavson) dataflow.
+///
+/// Accumulates into a dense scratch row with a touched-column list, the
+/// classic sparse accumulator ("SPA"), giving `O(flops + rows)` work.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`; use [`try_spgemm_rowwise`] for a
+/// fallible variant.
+pub fn spgemm_rowwise(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    try_spgemm_rowwise(a, b).expect("inner dimensions must agree")
+}
+
+/// Fallible variant of [`spgemm_rowwise`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] when `a.cols() != b.rows()`.
+pub fn try_spgemm_rowwise(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    check_dims(a.cols(), b.rows())?;
+    let n = b.cols();
+    let mut acc = vec![0f32; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut occupied = vec![false; n];
+
+    let mut row_ptr = Vec::with_capacity(a.rows() + 1);
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut values: Vec<f32> = Vec::new();
+    row_ptr.push(0);
+
+    for i in 0..a.rows() {
+        for (k, a_val) in a.row(i).iter() {
+            for (j, b_val) in b.row(k).iter() {
+                if !occupied[j] {
+                    occupied[j] = true;
+                    touched.push(j as u32);
+                }
+                acc[j] += a_val * b_val;
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            let v = acc[j as usize];
+            if v != 0.0 {
+                col_idx.push(j);
+                values.push(v);
+            }
+            acc[j as usize] = 0.0;
+            occupied[j as usize] = false;
+        }
+        touched.clear();
+        row_ptr.push(values.len());
+    }
+    CsrMatrix::from_raw_parts(a.rows(), b.cols(), row_ptr, col_idx, values)
+}
+
+/// Multiplies `A x B` with the inner-product dataflow: A in CSR, B in CSC,
+/// one sorted-list intersection per candidate output element.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`; use [`try_spgemm_inner`] for a
+/// fallible variant.
+pub fn spgemm_inner(a: &CsrMatrix, b: &CscMatrix) -> CsrMatrix {
+    try_spgemm_inner(a, b).expect("inner dimensions must agree")
+}
+
+/// Fallible variant of [`spgemm_inner`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] when `a.cols() != b.rows()`.
+pub fn try_spgemm_inner(a: &CsrMatrix, b: &CscMatrix) -> Result<CsrMatrix> {
+    check_dims(a.cols(), b.rows())?;
+    let mut row_ptr = Vec::with_capacity(a.rows() + 1);
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut values: Vec<f32> = Vec::new();
+    row_ptr.push(0);
+
+    for i in 0..a.rows() {
+        let arow = a.row(i);
+        if arow.is_empty() {
+            row_ptr.push(values.len());
+            continue;
+        }
+        for j in 0..b.cols() {
+            let bcol = b.col(j);
+            if bcol.is_empty() {
+                continue;
+            }
+            // Two-pointer intersection of sorted index lists.
+            let (ac, av) = (arow.cols(), arow.values());
+            let (br, bv) = (bcol.rows(), bcol.values());
+            let mut p = 0;
+            let mut q = 0;
+            let mut sum = 0f32;
+            let mut hit = false;
+            while p < ac.len() && q < br.len() {
+                match ac[p].cmp(&br[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        sum += av[p] * bv[q];
+                        hit = true;
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            if hit && sum != 0.0 {
+                col_idx.push(j as u32);
+                values.push(sum);
+            }
+        }
+        row_ptr.push(values.len());
+    }
+    CsrMatrix::from_raw_parts(a.rows(), b.cols(), row_ptr, col_idx, values)
+}
+
+/// Multiplies `A x B` with the outer-product dataflow: column k of A paired
+/// with row k of B produces a rank-1 partial matrix; partials are merged
+/// through a COO accumulation, mirroring the decoupled merge phase of
+/// OuterSPACE/SpArch.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`; use [`try_spgemm_outer`] for a
+/// fallible variant.
+pub fn spgemm_outer(a: &CscMatrix, b: &CsrMatrix) -> CsrMatrix {
+    try_spgemm_outer(a, b).expect("inner dimensions must agree")
+}
+
+/// Fallible variant of [`spgemm_outer`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] when `a.cols() != b.rows()`.
+pub fn try_spgemm_outer(a: &CscMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    check_dims(a.cols(), b.rows())?;
+    let mut partial = CooMatrix::new(a.rows(), b.cols());
+    for k in 0..a.cols() {
+        let acol = a.col(k);
+        if acol.is_empty() || b.row(k).is_empty() {
+            continue;
+        }
+        for (i, a_val) in acol.iter() {
+            for (j, b_val) in b.row(k).iter() {
+                partial
+                    .push(i, j, a_val * b_val)
+                    .expect("outer-product indices bounded by operand shapes");
+            }
+        }
+    }
+    let mut csr = partial.to_csr();
+    // Cancellations leave explicit zeros after merge; drop them so all
+    // three dataflows agree structurally.
+    let mut coo = csr.to_coo();
+    coo.prune_zeros();
+    csr = coo.to_csr();
+    Ok(csr)
+}
+
+/// Multiplies sparse `A` by dense row-major `B` (`b_rows x b_cols`),
+/// producing a dense row-major `a.rows() x b_cols` buffer. This is the
+/// SpMM kernel executed by Designs 1–3.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] when `a.cols() != b_rows`.
+///
+/// # Panics
+///
+/// Panics if `b.len() != b_rows * b_cols`.
+pub fn spmm(a: &CsrMatrix, b: &[f32], b_rows: usize, b_cols: usize) -> Result<Vec<f32>> {
+    assert_eq!(b.len(), b_rows * b_cols, "dense B must be b_rows * b_cols");
+    check_dims(a.cols(), b_rows)?;
+    let mut c = vec![0f32; a.rows() * b_cols];
+    for i in 0..a.rows() {
+        let out = &mut c[i * b_cols..(i + 1) * b_cols];
+        for (k, a_val) in a.row(i).iter() {
+            let brow = &b[k * b_cols..(k + 1) * b_cols];
+            for (o, &bv) in out.iter_mut().zip(brow.iter()) {
+                *o += a_val * bv;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Multiplies sparse `A` by dense vector `x`, producing a dense vector of
+/// length `a.rows()`. SpMV is the inner loop of the iterative solvers and
+/// graph kernels that populate the paper's Figure 1 application map.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] when `a.cols() != x.len()`.
+pub fn spmv(a: &CsrMatrix, x: &[f32]) -> Result<Vec<f32>> {
+    check_dims(a.cols(), x.len())?;
+    let mut y = vec![0f32; a.rows()];
+    for (i, out) in y.iter_mut().enumerate() {
+        let mut acc = 0f32;
+        for (k, v) in a.row(i).iter() {
+            acc += v * x[k];
+        }
+        *out = acc;
+    }
+    Ok(y)
+}
+
+/// Dense reference GEMM over row-major buffers, used only to validate the
+/// sparse kernels in tests.
+pub fn dense_gemm(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let mut c = vec![0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += av * b[p * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Number of useful scalar multiplications in `A x B` — the paper's unit of
+/// effectual work. Computed as `sum_k nnz(A[:,k]) * nnz(B[k,:])` without
+/// forming the product.
+pub fn spgemm_flops(a: &CsrMatrix, b: &CsrMatrix) -> u64 {
+    let mut a_col_counts = vec![0u64; a.cols()];
+    for &c in a.col_idx() {
+        a_col_counts[c as usize] += 1;
+    }
+    (0..b.rows().min(a.cols()))
+        .map(|k| a_col_counts[k] * b.row_nnz(k) as u64)
+        .sum()
+}
+
+/// Exact number of nonzeros in the product `A x B` (symbolic phase only).
+pub fn spgemm_output_nnz(a: &CsrMatrix, b: &CsrMatrix) -> u64 {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let n = b.cols();
+    let mut mark = vec![usize::MAX; n];
+    let mut total = 0u64;
+    for i in 0..a.rows() {
+        for (k, _) in a.row(i).iter() {
+            for (j, _) in b.row(k).iter() {
+                if mark[j] != i {
+                    mark[j] = i;
+                    total += 1;
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn small_pair() -> (CsrMatrix, CsrMatrix) {
+        let a = CsrMatrix::from_dense(
+            3,
+            4,
+            &[1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 4.0],
+        );
+        let b = CsrMatrix::from_dense(
+            4,
+            2,
+            &[1.0, 2.0, 0.0, 1.0, 3.0, 0.0, 0.0, 5.0],
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn rowwise_matches_dense() {
+        let (a, b) = small_pair();
+        let c = spgemm_rowwise(&a, &b);
+        let expect = dense_gemm(&a.to_dense(), &b.to_dense(), 3, 4, 2);
+        assert_eq!(c.to_dense(), expect);
+    }
+
+    #[test]
+    fn inner_matches_dense() {
+        let (a, b) = small_pair();
+        let c = spgemm_inner(&a, &b.to_csc());
+        let expect = dense_gemm(&a.to_dense(), &b.to_dense(), 3, 4, 2);
+        assert_eq!(c.to_dense(), expect);
+    }
+
+    #[test]
+    fn outer_matches_dense() {
+        let (a, b) = small_pair();
+        let c = spgemm_outer(&a.to_csc(), &b);
+        let expect = dense_gemm(&a.to_dense(), &b.to_dense(), 3, 4, 2);
+        assert_eq!(c.to_dense(), expect);
+    }
+
+    #[test]
+    fn three_dataflows_agree_on_random_input() {
+        let a = gen::uniform_random(40, 32, 0.12, 7);
+        let b = gen::uniform_random(32, 24, 0.15, 8);
+        let rw = spgemm_rowwise(&a, &b);
+        let ip = spgemm_inner(&a, &b.to_csc());
+        let op = spgemm_outer(&a.to_csc(), &b);
+        let (d_rw, d_ip, d_op) = (rw.to_dense(), ip.to_dense(), op.to_dense());
+        for idx in 0..d_rw.len() {
+            assert!((d_rw[idx] - d_ip[idx]).abs() < 1e-4, "rowwise vs inner at {idx}");
+            assert!((d_rw[idx] - d_op[idx]).abs() < 1e-4, "rowwise vs outer at {idx}");
+        }
+    }
+
+    #[test]
+    fn spmm_matches_rowwise_with_dense_b() {
+        let a = gen::uniform_random(16, 12, 0.3, 3);
+        let b_dense: Vec<f32> = (0..12 * 5).map(|i| (i % 7) as f32 - 3.0).collect();
+        let c = spmm(&a, &b_dense, 12, 5).unwrap();
+        let b_sparse = CsrMatrix::from_dense(12, 5, &b_dense);
+        let expect = spgemm_rowwise(&a, &b_sparse).to_dense();
+        for idx in 0..c.len() {
+            assert!((c[idx] - expect[idx]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn spmv_matches_spmm_with_one_column() {
+        let a = gen::uniform_random(40, 30, 0.2, 21);
+        let x: Vec<f32> = (0..30).map(|i| (i % 5) as f32 - 2.0).collect();
+        let y = spmv(&a, &x).unwrap();
+        let via_spmm = spmm(&a, &x, 30, 1).unwrap();
+        for (a_val, b_val) in y.iter().zip(&via_spmm) {
+            assert!((a_val - b_val).abs() < 1e-5);
+        }
+        assert!(spmv(&a, &x[..29]).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = CsrMatrix::zeros(2, 3);
+        let b = CsrMatrix::zeros(4, 2);
+        assert!(matches!(
+            try_spgemm_rowwise(&a, &b),
+            Err(SparseError::DimensionMismatch { left_cols: 3, right_rows: 4 })
+        ));
+        assert!(try_spgemm_inner(&a, &b.to_csc()).is_err());
+        assert!(try_spgemm_outer(&a.to_csc(), &b).is_err());
+    }
+
+    #[test]
+    fn flops_counts_effectual_multiplications() {
+        let (a, b) = small_pair();
+        // Column counts of A: col0=1, col1=1, col2=1, col3=1.
+        // Row nnz of B: r0=2, r1=1, r2=1, r3=1.
+        assert_eq!(spgemm_flops(&a, &b), 2 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn output_nnz_matches_actual_product() {
+        let a = gen::uniform_random(30, 30, 0.1, 11);
+        let b = gen::uniform_random(30, 30, 0.1, 12);
+        let c = spgemm_rowwise(&a, &b);
+        // spgemm_output_nnz counts structural nonzeros; numeric
+        // cancellation can only make the actual count smaller.
+        assert!(spgemm_output_nnz(&a, &b) >= c.nnz() as u64);
+    }
+
+    #[test]
+    fn empty_operands_produce_empty_product() {
+        let a = CsrMatrix::zeros(5, 4);
+        let b = CsrMatrix::zeros(4, 3);
+        assert_eq!(spgemm_rowwise(&a, &b).nnz(), 0);
+        assert_eq!(spgemm_inner(&a, &b.to_csc()).nnz(), 0);
+        assert_eq!(spgemm_outer(&a.to_csc(), &b).nnz(), 0);
+        assert_eq!(spgemm_flops(&a, &b), 0);
+    }
+}

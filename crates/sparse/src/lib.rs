@@ -1,0 +1,55 @@
+//! Sparse matrix substrate for the Misam reproduction.
+//!
+//! This crate provides the storage formats, reference multiplication
+//! kernels, and synthetic matrix generators that every other Misam crate
+//! builds on:
+//!
+//! - [`CooMatrix`], [`CsrMatrix`], [`CscMatrix`] — the three storage formats
+//!   used throughout the paper (§2.1), with lossless conversions between
+//!   them.
+//! - [`kernels`] — software reference implementations of the three SpGEMM
+//!   dataflows (inner product, outer product, row-wise/Gustavson) plus
+//!   SpMM against a dense right-hand side. These are the functional ground
+//!   truth that the cycle-level simulator's outputs are checked against.
+//! - [`gen`] — seeded synthetic generators covering every sparsity regime
+//!   in the paper's Figure 1: uniform random, power-law graphs, banded/FEM,
+//!   circuit-like, and structured-pruned DNN layers.
+//! - [`suitesparse`] — a catalog of synthetic stand-ins for the sixteen
+//!   SuiteSparse matrices of Table 3, matching their published dimensions,
+//!   nonzero counts and structural class.
+//! - [`io`] — Matrix Market (`.mtx`) reading and writing.
+//!
+//! # Example
+//!
+//! ```
+//! use misam_sparse::{CsrMatrix, kernels};
+//! use misam_sparse::gen::{self, SparsityRegime};
+//!
+//! let a = gen::uniform_random(64, 64, 0.01, 1);
+//! let b = gen::uniform_random(64, 64, 0.01, 2);
+//! let c = kernels::spgemm_rowwise(&a, &b);
+//! assert_eq!(c.rows(), 64);
+//! assert_eq!(c.cols(), 64);
+//! assert_eq!(SparsityRegime::classify(a.density()), SparsityRegime::HighlySparse);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod coo;
+mod csc;
+mod csr;
+mod error;
+
+pub mod gen;
+pub mod io;
+pub mod kernels;
+pub mod suitesparse;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+
+/// Result alias used by fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, SparseError>;

@@ -1,0 +1,72 @@
+//! Pruned-DNN inference scenario: the paper's MSxD / MSxMS regimes.
+//!
+//! Walks the GEMM layers of a pruned ResNet-50-style network at two STR
+//! pruning densities, showing how the chosen design shifts with layer
+//! shape and density — the motivation for runtime dataflow selection in
+//! DNN serving, where sparsity evolves across layers (paper §1).
+//!
+//! ```sh
+//! cargo run --release --example pruned_dnn
+//! ```
+
+use misam::pipeline::Misam;
+use misam_recon::cost::ReconfigCost;
+use misam_sim::Operand;
+use misam_sparse::gen;
+
+const LAYERS: &[(usize, usize)] = &[
+    (64, 147),
+    (64, 256),
+    (128, 512),
+    (256, 512),
+    (128, 1152),
+    (256, 1024),
+    (512, 1024),
+    (512, 2048),
+];
+const SEQ_LEN: usize = 512;
+
+fn main() {
+    let mut misam = Misam::builder()
+        .classifier_samples(1200)
+        .latency_samples(1800)
+        .seed(23)
+        .reconfig_cost(ReconfigCost::zero())
+        .train();
+
+    for density in [0.1, 0.2] {
+        println!("\npruned ResNet-50 layers at weight density {density}");
+        println!(
+            "{:<14} {:>8} {:>10} {:>12} {:>10} {:>8}",
+            "layer", "shape", "nnz", "design", "time", "util"
+        );
+        let mut total_s = 0.0;
+        for (i, &(m, k)) in LAYERS.iter().enumerate() {
+            let w = gen::pruned_dnn(m, k, density, 1000 + i as u64);
+            let report = misam.execute(&w, Operand::Dense { rows: k, cols: SEQ_LEN });
+            total_s += report.sim.time_s;
+            println!(
+                "{:<14} {:>4}x{:<4} {:>10} {:>12} {:>8.1}us {:>7.1}%",
+                format!("layer{i}"),
+                m,
+                k,
+                w.nnz(),
+                report.decision.execute_on.to_string(),
+                report.sim.time_s * 1e6,
+                report.sim.pe_utilization * 100.0
+            );
+        }
+        println!("network GEMM total: {:.2} ms", total_s * 1e3);
+    }
+
+    // The MSxMS case: weight x pruned activation (VGG-style pair).
+    println!("\nMSxMS: pruned weight x pruned activation");
+    let a = gen::pruned_dnn(512, 2304, 0.2, 77);
+    let b = gen::pruned_dnn(2304, SEQ_LEN, 0.2, 78);
+    let report = misam.execute(&a, Operand::Sparse(&b));
+    println!(
+        "  512x2304 (d=0.2) x 2304x512 (d=0.2) -> {} in {:.1} us",
+        report.decision.execute_on,
+        report.sim.time_s * 1e6
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: train a Misam system, run one multiplication through the
+//! full pipeline, and inspect what it decided.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use misam::pipeline::Misam;
+use misam_sim::Operand;
+use misam_sparse::gen;
+
+fn main() {
+    // 1. Train the two models on a synthetic corpus. Larger corpora give
+    //    paper-scale accuracy; this size trains in seconds.
+    println!("training Misam (design selector + latency predictor)…");
+    let (mut misam, sel, lat) = Misam::builder()
+        .classifier_samples(1500)
+        .latency_samples(2500)
+        .seed(42)
+        .train_with_reports();
+    println!(
+        "  selector: {:.1}% validation accuracy, {} byte model",
+        sel.accuracy * 100.0,
+        sel.model_bytes
+    );
+    println!(
+        "  latency predictor: MAE {:.3} / R2 {:.3} (log10 latency)",
+        lat.mae, lat.r2
+    );
+
+    // 2. A graph-analytics style workload: power-law A times a dense
+    //    multi-right-hand-side block.
+    let a = gen::power_law(8192, 8192, 10.0, 1.5, 7);
+    println!(
+        "\nworkload: {}x{} sparse A ({} nnz, density {:.2e}) x dense 8192x512 B",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        a.density()
+    );
+
+    // 3. Run it through the pipeline: features -> predicted design ->
+    //    reconfiguration decision -> simulated execution.
+    let report = misam.execute(&a, Operand::Dense { rows: 8192, cols: 512 });
+    println!("  predicted design : {}", report.predicted);
+    println!("  executed on      : {}", report.decision.execute_on);
+    println!("  reconfigured     : {}", report.decision.reconfigured);
+    println!("  preprocess       : {:>10.1} us", report.timings.preprocess_s * 1e6);
+    println!("  inference        : {:>10.1} us", report.timings.inference_s * 1e6);
+    println!("  execution        : {:>10.1} us", report.sim.time_s * 1e6);
+    println!("  PE utilization   : {:>10.1} %", report.sim.pe_utilization * 100.0);
+    println!("  energy           : {:>10.3} mJ", report.sim.energy_j * 1e3);
+
+    // 4. A second, very different workload: both operands highly sparse.
+    //    The selector should route this to the compressed-B design.
+    let b = gen::power_law(8192, 8192, 6.0, 1.4, 8);
+    let report2 = misam.execute(&a, Operand::Sparse(&b));
+    println!("\nsparse x sparse follow-up:");
+    println!("  predicted design : {}", report2.predicted);
+    println!("  executed on      : {}", report2.decision.execute_on);
+    println!(
+        "  engine kept the loaded bitstream: {}",
+        !report2.decision.reconfigured
+    );
+}

@@ -1,0 +1,77 @@
+//! Streaming + reconfiguration scenario (paper §3.3 and Figure 8).
+//!
+//! A large graph matrix is streamed tile by tile; midway the workload
+//! character changes (dense right-hand side → sparse right-hand side),
+//! and the reconfiguration engine weighs the multi-second bitstream
+//! switch against the projected gain. Run once with the real switch cost
+//! and once with switching modeled as free to see the engine's judgment
+//! change.
+//!
+//! ```sh
+//! cargo run --release --example streaming_reconfig
+//! ```
+
+use misam::pipeline::Misam;
+use misam_recon::cost::ReconfigCost;
+use misam_recon::stream::StreamConfig;
+use misam_sim::{DesignId, Operand};
+use misam_sparse::gen;
+
+fn run(label: &str, cost: ReconfigCost) {
+    let mut misam = Misam::builder()
+        .classifier_samples(1000)
+        .latency_samples(1500)
+        .seed(31)
+        .reconfig_cost(cost)
+        .train();
+    misam.preload(DesignId::D1);
+
+    let a = gen::regular_degree(120_000, 120_000, 8, 3);
+    let b_sparse = gen::regular_degree(120_000, 120_000, 8, 4);
+    let cfg = StreamConfig {
+        tile_min_rows: 10_000,
+        tile_max_rows: 50_000,
+        seed: 9,
+        ..Default::default()
+    };
+
+    println!("\n=== {label} ===");
+
+    // Phase 1: dense right-hand side (solver with many RHS).
+    let dense = misam.stream(&a, Operand::Dense { rows: 120_000, cols: 512 }, &cfg);
+    println!(
+        "phase 1 (x dense B): {} tiles, {} reconfigs, exec {:.1} ms + reconfig {:.2} s",
+        dense.tiles.len(),
+        dense.reconfig_count,
+        dense.execute_time_s * 1e3,
+        dense.reconfig_time_s
+    );
+    for t in &dense.tiles {
+        print!("{}{} ", t.executed_on.index() + 1, if t.reconfigured { "*" } else { "" });
+    }
+    println!(" (design per tile; * = reconfigured)");
+
+    // Phase 2: the workload turns sparse-sparse.
+    let sparse = misam.stream(&a, Operand::Sparse(&b_sparse), &cfg);
+    println!(
+        "phase 2 (x sparse B): {} tiles, {} reconfigs, exec {:.1} ms + reconfig {:.2} s",
+        sparse.tiles.len(),
+        sparse.reconfig_count,
+        sparse.execute_time_s * 1e3,
+        sparse.reconfig_time_s
+    );
+    for t in &sparse.tiles {
+        print!("{}{} ", t.executed_on.index() + 1, if t.reconfigured { "*" } else { "" });
+    }
+    println!();
+    println!(
+        "end-to-end: {:.2} s ({} total reconfigurations)",
+        dense.total_time_s() + sparse.total_time_s(),
+        misam.reconfig_count()
+    );
+}
+
+fn main() {
+    run("real U55C reconfiguration cost (3-4 s per switch)", ReconfigCost::default());
+    run("reconfiguration modeled as free", ReconfigCost::zero());
+}

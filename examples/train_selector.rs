@@ -1,0 +1,66 @@
+//! Training walkthrough: generate a labeled corpus, train the design
+//! selector and the latency predictor, inspect feature importances
+//! (Figure 4), the confusion matrix (Table 5), k-fold accuracy, and the
+//! compact model's on-disk footprint (§3.1's "6 KB model").
+//!
+//! ```sh
+//! cargo run --release --example train_selector
+//! ```
+
+use misam::dataset::{Dataset, Objective};
+use misam::training;
+use misam_mlkit::tree::DecisionTree;
+
+fn main() {
+    let n = 3000;
+    println!("generating {n}-sample corpus (operand pairs x 4 simulated designs)…");
+    let ds = Dataset::generate(n, 7);
+    let hist = ds.label_histogram(Objective::Latency);
+    println!(
+        "label distribution: D1 {} / D2 {} / D3 {} / D4 {}",
+        hist[0], hist[1], hist[2], hist[3]
+    );
+
+    println!("\ntraining design selector (70/30 split, inverse-frequency class weights)…");
+    let sel = training::train_selector(&ds, Objective::Latency, 1);
+    println!("validation accuracy: {:.1}%", sel.accuracy * 100.0);
+    println!("model: {} nodes, depth {}, {} bytes serialized",
+        sel.selector.tree().node_count(),
+        sel.selector.tree().depth(),
+        sel.model_bytes);
+
+    println!("\nfeature importances (Figure 4):");
+    for (name, imp) in sel.selector.ranked_importances().iter().take(8) {
+        println!("  {name:<22} {:>6.1}%  {}", imp * 100.0, bar(*imp));
+    }
+
+    println!("\nconfusion matrix (Table 5 layout):");
+    print!("{}", sel.confusion.render(&["Design 1", "Design 2", "Design 3", "Design 4"]));
+
+    println!("\n10-fold cross-validation:");
+    let folds = training::kfold_selector_accuracy(&ds, Objective::Latency, 10, 3);
+    let mean = folds.iter().sum::<f64>() / folds.len() as f64;
+    println!(
+        "  per-fold: {}",
+        folds.iter().map(|a| format!("{:.0}%", a * 100.0)).collect::<Vec<_>>().join(" ")
+    );
+    println!("  mean: {:.1}%", mean * 100.0);
+
+    // The compact binary roundtrip (what would ship to a host runtime).
+    let bytes = sel.selector.tree().to_bytes();
+    let restored = DecisionTree::from_bytes(&bytes).expect("roundtrip");
+    assert_eq!(restored.node_count(), sel.selector.tree().node_count());
+    println!("\ncompact model roundtrip OK ({} bytes)", bytes.len());
+
+    println!("\ntraining latency predictor (reconfiguration engine's secondary model)…");
+    let lat = training::train_latency_predictor(&ds, 2);
+    println!("  log10-latency MAE {:.3}, R2 {:.3} (paper: 0.344 / 0.978)", lat.mae, lat.r2);
+
+    println!("\ntraining an energy-objective selector (the §3.1 objective knob)…");
+    let sel_e = training::train_selector(&ds, Objective::Energy, 4);
+    println!("  energy-objective accuracy: {:.1}%", sel_e.accuracy * 100.0);
+}
+
+fn bar(frac: f64) -> String {
+    "#".repeat((frac * 40.0).round() as usize)
+}

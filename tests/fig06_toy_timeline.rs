@@ -1,0 +1,106 @@
+//! Reproduction of the paper's Figure 6: the toy timelines showing that
+//! different designs win on different sparsity patterns, with the
+//! 2-cycle load/store dependency, 3-cycle B read and 1-cycle broadcast
+//! of the paper's example.
+
+use misam_sim::toy::{self, Slot, ToyConfig};
+use misam_sparse::CooMatrix;
+
+#[test]
+fn figure6_finds_three_distinct_winners() {
+    // The headline property of the figure: there exist matrices on which
+    // each of the three toy designs is the unique winner.
+    let demos = toy::demo_matrices();
+    assert_eq!(demos.len(), 3);
+    for (i, (a, design)) in demos.iter().enumerate() {
+        assert_eq!(*design, i as u8 + 1);
+        assert!(a.nnz() > 0, "demo matrix {i} is empty");
+    }
+}
+
+#[test]
+fn bubbles_appear_exactly_when_dependencies_bind() {
+    // One row, alternating columns: a single PE stalls on every other
+    // cycle; two PEs with column round-robin alternate the row across
+    // PEs but each PE still stalls between its consecutive same-row
+    // elements.
+    let mut coo = CooMatrix::new(1, 8);
+    for c in 0..8 {
+        coo.push(0, c, 1.0).unwrap();
+    }
+    let a = coo.to_csr();
+
+    let one_pe = ToyConfig { pegs: 1, pes_per_peg: 1, ..ToyConfig::figure6(1) };
+    let t1 = toy::run(&a, &one_pe);
+    assert_eq!(t1.bubbles, 7);
+    assert_eq!(t1.total_cycles, 3 + 15);
+
+    let two_pe = ToyConfig::figure6(1);
+    let t2 = toy::run(&a, &two_pe);
+    assert_eq!(t2.bubbles, 6); // each PE: 4 same-row elements, 3 bubbles
+    assert_eq!(t2.total_cycles, 3 + 7);
+}
+
+#[test]
+fn diagonal_matrix_needs_no_bubbles_anywhere() {
+    let mut coo = CooMatrix::new(8, 8);
+    for i in 0..8 {
+        coo.push(i, i, 1.0).unwrap();
+    }
+    let a = coo.to_csr();
+    for d in 1..=3u8 {
+        let t = toy::run(&a, &ToyConfig::figure6(d));
+        assert_eq!(t.bubbles, 0, "design {d} injected bubbles on independent rows");
+    }
+}
+
+#[test]
+fn timelines_account_for_every_element() {
+    let demos = toy::demo_matrices();
+    for (a, _) in &demos {
+        for d in 1..=3u8 {
+            let t = toy::run(a, &ToyConfig::figure6(d));
+            let work: usize = t
+                .pe_slots
+                .iter()
+                .flatten()
+                .filter(|s| matches!(s, Slot::Work { .. }))
+                .count();
+            assert_eq!(work, a.nnz(), "design {d} lost or duplicated elements");
+        }
+    }
+}
+
+#[test]
+fn same_row_issues_respect_the_dependency_distance_per_pe() {
+    let demos = toy::demo_matrices();
+    for (a, _) in &demos {
+        for d in 1..=3u8 {
+            let cfg = ToyConfig::figure6(d);
+            let t = toy::run(a, &cfg);
+            for slots in &t.pe_slots {
+                let mut last: std::collections::HashMap<usize, usize> = Default::default();
+                for (cycle, s) in slots.iter().enumerate() {
+                    if let Slot::Work { row, .. } = s {
+                        if let Some(&prev) = last.get(row) {
+                            assert!(
+                                cycle - prev >= cfg.dep_distance as usize,
+                                "design {d}: row {row} issued at {prev} and {cycle}"
+                            );
+                        }
+                        last.insert(*row, cycle);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rendered_timeline_is_humane() {
+    let demos = toy::demo_matrices();
+    let t = toy::run(&demos[0].0, &ToyConfig::figure6(1));
+    let s = toy::render(&t);
+    assert!(s.contains("cycles"));
+    assert!(s.lines().count() >= 3); // header + 2 PEs
+}

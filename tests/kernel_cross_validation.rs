@@ -1,0 +1,173 @@
+//! Property-based cross-validation of the sparse kernels, formats and
+//! simulator invariants (proptest).
+
+use misam_sparse::{gen, kernels, CooMatrix, CsrMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a small random sparse matrix as (rows, cols, triplets).
+fn arb_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(r, c)| {
+        proptest::collection::vec(
+            (0..r, 0..c, -8i32..=8).prop_map(|(i, j, v)| (i, j, v as f32 * 0.5)),
+            0..=max_nnz,
+        )
+        .prop_map(move |trips| {
+            let mut coo = CooMatrix::new(r, c);
+            for (i, j, v) in trips {
+                coo.push(i, j, v).unwrap();
+            }
+            coo.compress();
+            coo.prune_zeros();
+            coo.to_csr()
+        })
+    })
+}
+
+/// Strategy: a compatible (A, B) pair.
+fn arb_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    (1usize..=20, 1usize..=20, 1usize..=20).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec((0..m, 0..k, -8i32..=8), 0..=60).prop_map(
+            move |t| {
+                let mut coo = CooMatrix::new(m, k);
+                for (i, j, v) in t {
+                    coo.push(i, j, v as f32 * 0.5).unwrap();
+                }
+                coo.compress();
+                coo.prune_zeros();
+                coo.to_csr()
+            },
+        );
+        let b = proptest::collection::vec((0..k, 0..n, -8i32..=8), 0..=60).prop_map(
+            move |t| {
+                let mut coo = CooMatrix::new(k, n);
+                for (i, j, v) in t {
+                    coo.push(i, j, v as f32 * 0.5).unwrap();
+                }
+                coo.compress();
+                coo.prune_zeros();
+                coo.to_csr()
+            },
+        );
+        (a, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn format_roundtrips_preserve_matrices(m in arb_matrix(24, 80)) {
+        prop_assert_eq!(&m.to_coo().to_csr(), &m);
+        prop_assert_eq!(&m.to_csc().to_csr(), &m);
+        prop_assert_eq!(&m.transpose().transpose(), &m);
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(m in arb_matrix(16, 50)) {
+        let mut buf = Vec::new();
+        misam_sparse::io::write_matrix_market(&mut buf, &m).unwrap();
+        let back = misam_sparse::io::read_matrix_market(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.rows(), m.rows());
+        prop_assert_eq!(back.nnz(), m.nnz());
+        for (r, c, v) in m.iter() {
+            let got = back.get(r, c).unwrap();
+            prop_assert!((got - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn all_three_dataflows_compute_the_same_product((a, b) in arb_pair()) {
+        let rw = kernels::spgemm_rowwise(&a, &b).to_dense();
+        let ip = kernels::spgemm_inner(&a, &b.to_csc()).to_dense();
+        let op = kernels::spgemm_outer(&a.to_csc(), &b).to_dense();
+        let expect = kernels::dense_gemm(&a.to_dense(), &b.to_dense(), a.rows(), a.cols(), b.cols());
+        for i in 0..expect.len() {
+            prop_assert!((rw[i] - expect[i]).abs() < 1e-3, "rowwise at {}", i);
+            prop_assert!((ip[i] - expect[i]).abs() < 1e-3, "inner at {}", i);
+            prop_assert!((op[i] - expect[i]).abs() < 1e-3, "outer at {}", i);
+        }
+    }
+
+    #[test]
+    fn flops_and_output_bounds_hold((a, b) in arb_pair()) {
+        let flops = kernels::spgemm_flops(&a, &b);
+        let sym = kernels::spgemm_output_nnz(&a, &b);
+        let c = kernels::spgemm_rowwise(&a, &b);
+        // Symbolic count bounds the numeric count; flops bound both.
+        prop_assert!(c.nnz() as u64 <= sym);
+        prop_assert!(sym <= flops);
+        prop_assert!(flops <= a.nnz() as u64 * b.cols().max(1) as u64);
+    }
+
+    #[test]
+    fn spmm_agrees_with_spgemm((a, b) in arb_pair()) {
+        let bd = b.to_dense();
+        let c = kernels::spmm(&a, &bd, b.rows(), b.cols()).unwrap();
+        let expect = kernels::spgemm_rowwise(&a, &b).to_dense();
+        for i in 0..c.len() {
+            prop_assert!((c[i] - expect[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn row_and_col_slices_partition_products(m in arb_matrix(20, 60)) {
+        // Splitting A by rows and stacking the partial products equals
+        // the full product (the streaming executor's independence
+        // assumption, §3.3).
+        let b = gen::uniform_random(m.cols(), 8, 0.4, 1);
+        let full = kernels::spgemm_rowwise(&m, &b).to_dense();
+        let cut = m.rows() / 2;
+        let top = kernels::spgemm_rowwise(&m.row_slice(0..cut), &b).to_dense();
+        let bot = kernels::spgemm_rowwise(&m.row_slice(cut..m.rows()), &b).to_dense();
+        let stacked: Vec<f32> = top.into_iter().chain(bot).collect();
+        for i in 0..full.len() {
+            prop_assert!((full[i] - stacked[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn simulator_invariants_hold_for_all_designs((a, b) in arb_pair()) {
+        use misam_sim::{simulate, DesignId, Operand};
+        for d in DesignId::ALL {
+            let r = simulate(&a, Operand::Sparse(&b), d);
+            prop_assert!(r.cycles > 0);
+            prop_assert_eq!(r.cycles, r.breakdown.bound() + r.breakdown.overhead);
+            prop_assert!(r.time_s > 0.0 && r.time_s.is_finite());
+            prop_assert!(r.energy_j > 0.0);
+            prop_assert!((0.0..=1.0).contains(&r.pe_utilization));
+            prop_assert!(r.output_nnz <= (a.rows() * b.cols()) as u64);
+        }
+    }
+
+    #[test]
+    fn feature_extraction_is_scale_sane(m in arb_matrix(24, 80)) {
+        use misam_features::{MatrixStats, PairFeatures, TileConfig};
+        let s = MatrixStats::extract(&m);
+        prop_assert!((0.0..=1.0).contains(&s.sparsity));
+        prop_assert!(s.load_imbalance_row >= 1.0 - 1e-12);
+        prop_assert!(s.var_nnz_row >= 0.0);
+        let f = PairFeatures::extract(&m, &m.transpose(), &TileConfig::default());
+        let v = f.to_vector();
+        prop_assert_eq!(v.len(), misam_features::FEATURE_NAMES.len());
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn schedule_work_conservation(m in arb_matrix(24, 100)) {
+        use misam_sim::{schedule, DesignConfig, DesignId};
+        for id in [DesignId::D1, DesignId::D2, DesignId::D3] {
+            let cfg = DesignConfig::of(id);
+            let r = schedule::schedule_uniform(&m, &cfg, 4);
+            prop_assert_eq!(r.elements, m.nnz() as u64);
+            prop_assert_eq!(r.total_work, 4 * m.nnz() as u64);
+            // Makespan bounded below by perfect parallelism and above by
+            // full serialization plus broadcast skew.
+            let pes = cfg.total_pes() as u64;
+            if m.nnz() > 0 {
+                prop_assert!(r.makespan >= r.total_work / pes);
+                let skew = (cfg.pegs as u64 - 1) * cfg.broadcast_hop;
+                prop_assert!(r.makespan <= r.total_work * 2 + skew + 2 * m.nnz() as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! End-to-end integration of the full Misam pipeline across crates:
+//! generators → features → selector → reconfiguration engine → simulator.
+
+use misam::pipeline::Misam;
+use misam_recon::cost::ReconfigCost;
+use misam_recon::stream::StreamConfig;
+use misam_sim::{DesignId, Operand};
+use misam_sparse::gen;
+
+fn system(seed: u64, cost: ReconfigCost) -> Misam {
+    Misam::builder()
+        .classifier_samples(220)
+        .latency_samples(260)
+        .seed(seed)
+        .reconfig_cost(cost)
+        .train()
+}
+
+#[test]
+fn pipeline_handles_every_operand_kind() {
+    let mut misam = system(1, ReconfigCost::zero());
+    let a = gen::power_law(600, 600, 6.0, 1.5, 2);
+    let b_sparse = gen::uniform_random(600, 256, 0.01, 3);
+
+    let dense = misam.execute(&a, Operand::Dense { rows: 600, cols: 256 });
+    assert!(dense.sim.time_s > 0.0);
+    assert_eq!(dense.sim.design, dense.decision.execute_on);
+
+    let sparse = misam.execute(&a, Operand::Sparse(&b_sparse));
+    assert!(sparse.sim.time_s > 0.0);
+    // Feature extraction must reflect the actual operand.
+    assert!(sparse.features.b.sparsity > 0.9);
+    assert_eq!(dense.features.b.sparsity, 0.0);
+}
+
+#[test]
+fn selector_routes_extreme_workloads_sensibly() {
+    // With free switching, the system should pick the compressed design
+    // for hypersparse x hypersparse and an SpMM design for dense B.
+    let mut misam = system(2, ReconfigCost::zero());
+
+    let a = gen::power_law(3000, 3000, 4.0, 1.4, 4);
+    let b = gen::power_law(3000, 3000, 4.0, 1.4, 5);
+    let hshs = misam.execute(&a, Operand::Sparse(&b));
+
+    let mut misam2 = system(2, ReconfigCost::zero());
+    let dense_a = gen::pruned_dnn(512, 1024, 0.2, 6);
+    let msd = misam2.execute(&dense_a, Operand::Dense { rows: 1024, cols: 512 });
+
+    // Design 4 is the only design that exploits sparse B; SpMM designs
+    // are the only sensible choices for a dense B.
+    assert_eq!(hshs.decision.execute_on, DesignId::D4, "HSxHS should use Design 4");
+    assert_ne!(msd.decision.execute_on, DesignId::D4, "dense B should avoid Design 4");
+}
+
+#[test]
+fn expensive_reconfig_makes_designs_sticky() {
+    let mut misam = system(3, ReconfigCost::default());
+    misam.preload(DesignId::D2);
+    // A parade of small, cheap workloads: gains are microseconds, the
+    // switch costs seconds — the engine must never reconfigure.
+    for seed in 0..6 {
+        let a = gen::uniform_random(300, 300, 0.02, 100 + seed);
+        let r = misam.execute(&a, Operand::Dense { rows: 300, cols: 64 });
+        assert!(!r.decision.reconfigured, "seed {seed} reconfigured for a tiny gain");
+    }
+    assert_eq!(misam.reconfig_count(), 0);
+}
+
+#[test]
+fn streaming_matches_tilewise_accounting() {
+    let mut misam = system(4, ReconfigCost::zero());
+    misam.preload(DesignId::D2);
+    let a = gen::regular_degree(2400, 2400, 6, 7);
+    let cfg = StreamConfig {
+        tile_min_rows: 400,
+        tile_max_rows: 900,
+        seed: 5,
+        ..Default::default()
+    };
+    let out = misam.stream(&a, Operand::Dense { rows: 2400, cols: 128 }, &cfg);
+
+    let sum: f64 = out.tiles.iter().map(|t| t.sim.time_s).sum();
+    assert!((out.execute_time_s - sum).abs() < 1e-12);
+    let reconfig_sum: f64 = out.tiles.iter().map(|t| t.reconfig_time_s).sum();
+    assert!((out.reconfig_time_s - reconfig_sum).abs() < 1e-12);
+    assert_eq!(out.tiles.last().unwrap().row_end, 2400);
+}
+
+#[test]
+fn trained_system_is_deterministic_per_seed() {
+    let mut m1 = system(9, ReconfigCost::zero());
+    let mut m2 = system(9, ReconfigCost::zero());
+    let a = gen::banded(800, 800, 5, 0.7, 8);
+    let r1 = m1.execute(&a, Operand::Dense { rows: 800, cols: 256 });
+    let r2 = m2.execute(&a, Operand::Dense { rows: 800, cols: 256 });
+    assert_eq!(r1.predicted, r2.predicted);
+    assert_eq!(r1.decision.execute_on, r2.decision.execute_on);
+    assert_eq!(r1.sim.cycles, r2.sim.cycles);
+}
+
+#[test]
+fn objective_knob_changes_training_labels() {
+    use misam::dataset::{Dataset, Objective};
+    let ds = Dataset::generate(150, 77);
+    let lat = ds.labels(Objective::Latency);
+    let eng = ds.labels(Objective::Energy);
+    // Energy weights shift at least some labels (Designs 2/3 burn more
+    // power than Designs 1/4).
+    assert_ne!(lat, eng, "objectives should disagree on some samples");
+}
