@@ -1,4 +1,8 @@
 # Convenience targets for the Misam reproduction.
+#
+# MISAM_THREADS=N caps the oracle's parallel fan-out (corpus labeling,
+# experiment sweeps); default is all cores and output is byte-identical
+# at any value, e.g. `MISAM_THREADS=4 make reproduce`.
 
 .PHONY: test bench reproduce reproduce-paper examples doc clean
 

@@ -68,12 +68,11 @@ impl CpuModel {
         // Each A nonzero gathers one B row; misses when B exceeds LLC.
         let b_bytes = (b_rows * b_cols * 4) as f64;
         let miss = if b_bytes <= self.llc_bytes { 0.03 } else { 0.35 };
-        let gather_time = a.nnz() as f64 * miss * self.rand_access_ns * 1e-9
-            * (b_cols as f64 / 16.0).max(1.0)
-            / self.cores;
-        let time = self.call_overhead_s
-            + self.row_time(a.rows())
-            + flop_time.max(mem_time) + gather_time;
+        let gather_time =
+            a.nnz() as f64 * miss * self.rand_access_ns * 1e-9 * (b_cols as f64 / 16.0).max(1.0)
+                / self.cores;
+        let time =
+            self.call_overhead_s + self.row_time(a.rows()) + flop_time.max(mem_time) + gather_time;
         BaselineReport::new(time, self.power_w, flops)
     }
 
@@ -86,19 +85,15 @@ impl CpuModel {
     pub fn spgemm(&self, a: &CsrMatrix, b: &CsrMatrix) -> BaselineReport {
         assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
         let flops = kernels::spgemm_flops(a, b);
-        let flop_time = 2.0 * flops as f64
-            / (self.dense_flops() * self.sparse_simd_efficiency)
-            / 1e9;
+        let flop_time =
+            2.0 * flops as f64 / (self.dense_flops() * self.sparse_simd_efficiency) / 1e9;
         // Every multiply probes the accumulator; B rows gathered per A nnz.
-        let irregular = (flops as f64 * 0.8 + a.nnz() as f64)
-            * self.rand_access_ns
-            * 1e-9
-            / self.cores;
+        let irregular =
+            (flops as f64 * 0.8 + a.nnz() as f64) * self.rand_access_ns * 1e-9 / self.cores;
         let bytes = ((a.nnz() + b.nnz()) * 12) as f64 + flops as f64 * 4.0;
         let mem_time = bytes / (self.mem_bw_gbs * 1e9);
-        let time = self.call_overhead_s
-            + self.row_time(a.rows())
-            + (flop_time + irregular).max(mem_time);
+        let time =
+            self.call_overhead_s + self.row_time(a.rows()) + (flop_time + irregular).max(mem_time);
         BaselineReport::new(time, self.power_w, flops)
     }
 

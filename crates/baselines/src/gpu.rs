@@ -139,8 +139,7 @@ mod tests {
         );
         // SpMM with dense B never pays it: cuSPARSE streams B.
         assert!(
-            (with.spmm(&ms, 1024, 512).time_s - without.spmm(&ms, 1024, 512).time_s).abs()
-                < 1e-12,
+            (with.spmm(&ms, 1024, 512).time_s - without.spmm(&ms, 1024, 512).time_s).abs() < 1e-12,
             "dense-B SpMM must not be penalized"
         );
     }

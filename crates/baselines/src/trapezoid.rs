@@ -35,7 +35,8 @@ pub enum Dataflow {
 
 impl Dataflow {
     /// All dataflows, in Figure 13 order.
-    pub const ALL: [Dataflow; 3] = [Dataflow::RowWise, Dataflow::InnerProduct, Dataflow::OuterProduct];
+    pub const ALL: [Dataflow; 3] =
+        [Dataflow::RowWise, Dataflow::InnerProduct, Dataflow::OuterProduct];
 
     /// Zero-based label index for the Figure 13 selector.
     pub fn index(self) -> usize {
@@ -135,9 +136,8 @@ impl TrapezoidSim {
                 // Index-matching scans: intersecting every A row with
                 // every B column touches M*nnz(B) + N*nnz(A) index
                 // entries; only flops of them are effectual.
-                let scans = (a.rows() as f64 * b.nnz() as f64
-                    + b.cols() as f64 * a.nnz() as f64)
-                    / 2.0;
+                let scans =
+                    (a.rows() as f64 * b.nnz() as f64 + b.cols() as f64 * a.nnz() as f64) / 2.0;
                 let compute = scans.max(flops as f64) / macs_eff;
                 let mem = (input_elems + out_nnz) / mem_eff;
                 compute.max(mem)
@@ -221,10 +221,7 @@ impl TrapezoidSim {
         b_rows: usize,
         b_cols: usize,
     ) -> Vec<(Dataflow, BaselineReport)> {
-        Dataflow::ALL
-            .iter()
-            .map(|&d| (d, self.run_dense_b(a, b_rows, b_cols, d)))
-            .collect()
+        Dataflow::ALL.iter().map(|&d| (d, self.run_dense_b(a, b_rows, b_cols, d))).collect()
     }
 
     /// The oracle-best dataflow and its report (what Misam's selector
@@ -298,7 +295,10 @@ mod tests {
     fn no_single_dataflow_wins_everywhere() {
         let sim = TrapezoidSim::default();
         let workloads: Vec<(CsrMatrix, CsrMatrix)> = vec![
-            (gen::uniform_random(4000, 4000, 0.0001, 7), gen::uniform_random(4000, 4000, 0.0001, 8)),
+            (
+                gen::uniform_random(4000, 4000, 0.0001, 7),
+                gen::uniform_random(4000, 4000, 0.0001, 8),
+            ),
             (gen::pruned_dnn(512, 512, 0.2, 9), gen::pruned_dnn(512, 512, 0.2, 10)),
             (gen::power_law(2000, 2000, 15.0, 1.5, 11), gen::dense(2000, 128, 12)),
         ];

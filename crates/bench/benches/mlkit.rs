@@ -24,9 +24,7 @@ fn bench_tree_inference(c: &mut Criterion) {
     let (x, y) = training_data(4000);
     let tree = DecisionTree::fit(&x, &y, 4, &TreeParams::default());
     let probe = &x[17];
-    c.bench_function("tree_inference_single", |b| {
-        b.iter(|| tree.predict(black_box(probe)))
-    });
+    c.bench_function("tree_inference_single", |b| b.iter(|| tree.predict(black_box(probe))));
     // The paper's reported 0.002 ms is amortized over 1,800 cases.
     c.bench_function("tree_inference_batch1800", |b| {
         b.iter(|| {

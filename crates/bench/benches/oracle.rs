@@ -1,0 +1,62 @@
+//! Criterion bench of the execution-oracle layer: corpus labeling
+//! throughput on one thread versus every core, plus the price of a
+//! cache hit. `MISAM_THREADS` does not affect this bench — thread
+//! counts are pinned explicitly so the two points are comparable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use misam::dataset::Dataset;
+use misam_oracle::{pool, Executor, FpgaSim, SimOracle};
+use misam_sim::Operand;
+use misam_sparse::gen;
+use std::hint::black_box;
+
+fn bench_corpus_labeling(c: &mut Criterion) {
+    let all = pool::default_threads();
+    let mut g = c.benchmark_group("corpus_labeling");
+    for threads in [1, all] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| Dataset::generate_with_threads(black_box(48), 1234, threads))
+        });
+    }
+    g.finish();
+}
+
+fn bench_suite_fanout(c: &mut Criterion) {
+    let suite: Vec<_> = (0..24)
+        .map(|s| {
+            (gen::power_law(512, 512, 6.0, 1.4, s), gen::power_law(512, 256, 6.0, 1.4, 90 + s))
+        })
+        .collect();
+    let all = pool::default_threads();
+    let mut g = c.benchmark_group("suite_fanout");
+    for threads in [1, all] {
+        // A fresh (uncached) executor per iteration measures raw
+        // simulation fan-out, not memoization.
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                pool::par_map_with(&suite, threads, |(a, bm)| {
+                    FpgaSim.execute_all(a, Operand::Sparse(bm))
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache_hit(c: &mut Criterion) {
+    let a = gen::power_law(1024, 1024, 6.0, 1.4, 7);
+    let bm = gen::power_law(1024, 512, 6.0, 1.4, 8);
+    let oracle = SimOracle::new(FpgaSim);
+    oracle.execute_all(&a, Operand::Sparse(&bm));
+    c.bench_function("oracle_cache_hit", |b| {
+        // Steady-state lookup: fingerprint + sharded map read.
+        b.iter(|| oracle.execute(black_box(&a), Operand::Sparse(&bm), 0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_corpus_labeling, bench_suite_fanout, bench_cache_hit
+}
+criterion_main!(benches);

@@ -29,11 +29,7 @@ fn bench_execute(c: &mut Criterion) {
 fn bench_training(c: &mut Criterion) {
     c.bench_function("train_small_system", |b| {
         b.iter(|| {
-            Misam::builder()
-                .classifier_samples(120)
-                .latency_samples(150)
-                .seed(black_box(9))
-                .train()
+            Misam::builder().classifier_samples(120).latency_samples(150).seed(black_box(9)).train()
         })
     });
 }

@@ -39,9 +39,7 @@ fn bench_generators(c: &mut Criterion) {
     g.bench_function("power_law", |b| {
         b.iter(|| gen::power_law(black_box(2048), 2048, 48.0, 1.5, 7))
     });
-    g.bench_function("pruned_dnn", |b| {
-        b.iter(|| gen::pruned_dnn(black_box(2048), 2048, 0.024, 7))
-    });
+    g.bench_function("pruned_dnn", |b| b.iter(|| gen::pruned_dnn(black_box(2048), 2048, 0.024, 7)));
     g.finish();
 }
 

@@ -11,7 +11,8 @@ fn main() {
     println!("scale: {s:?}");
     println!("suite: {}", misam_bench::render::suite_summary(&s));
 
-    let steps: Vec<(&str, Box<dyn Fn() -> String>)> = vec![
+    type Step = (&'static str, Box<dyn Fn() -> String>);
+    let steps: Vec<Step> = vec![
         ("tab01_design_params", Box::new(misam_bench::render::tab01)),
         ("tab02_resources", Box::new(misam_bench::render::tab02)),
         ("tab03_hs_matrices", Box::new(misam_bench::render::tab03)),

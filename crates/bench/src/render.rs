@@ -37,7 +37,11 @@ pub fn fig03(scale: &ExperimentScale) -> String {
         "Figure 3 — Misam design suite (D1, D2, D3) across workloads,\n\
          normalized to the best design (1.00 = best)\n\n",
     );
-    let _ = writeln!(out, "{:<28} {:<6} {:>8} {:>8} {:>8}  winner", "workload", "cat", "D1", "D2", "D3");
+    let _ = writeln!(
+        out,
+        "{:<28} {:<6} {:>8} {:>8} {:>8}  winner",
+        "workload", "cat", "D1", "D2", "D3"
+    );
     let mut wins = [0usize; 3];
     for r in &rows {
         let w = r
@@ -208,7 +212,8 @@ pub fn tab04(scale: &ExperimentScale) -> String {
          others, across workloads where that design is optimal\n\
          (paper diagonal of competitors: 1.28-1.81)\n\n",
     );
-    let _ = writeln!(out, "{:<10} {:>9} {:>9} {:>9}", "Speedup", "Design 1", "Design 2", "Design 3");
+    let _ =
+        writeln!(out, "{:<10} {:>9} {:>9} {:>9}", "Speedup", "Design 1", "Design 2", "Design 3");
     for (i, row) in t.iter().enumerate() {
         let mut line = format!("Design {:<3}", i + 1);
         for v in row {
@@ -291,11 +296,8 @@ pub fn fig10_fig11(scale: &ExperimentScale) -> String {
         "Figure 10 — geomean speedup of Misam over CPU (MKL-class), GPU\n\
          (cuSPARSE-class) and Trapezoid fixed dataflows, per category\n\n",
     );
-    let _ = writeln!(
-        out,
-        "{:<8} {:>10} {:>10} {:>12}",
-        "category", "vs CPU", "vs GPU", "vs Trapezoid"
-    );
+    let _ =
+        writeln!(out, "{:<8} {:>10} {:>10} {:>12}", "category", "vs CPU", "vs GPU", "vs Trapezoid");
     for g in &gains {
         let _ = writeln!(
             out,
@@ -312,9 +314,7 @@ pub fn fig10_fig11(scale: &ExperimentScale) -> String {
          20.27x vs MKL and 11.26x vs cuSPARSE on MSxMS; 5.50x/1.37x on HSxHS;\n\
          3.23x vs Trapezoid on HSxMS, 1.01x on MSxMS, 5.84x on HSxD\n"
     );
-    out.push_str(
-        "Figure 11 — geomean energy-efficiency gain over CPU and GPU\n\n",
-    );
+    out.push_str("Figure 11 — geomean energy-efficiency gain over CPU and GPU\n\n");
     let _ = writeln!(out, "{:<8} {:>10} {:>10}", "category", "vs CPU", "vs GPU");
     for g in &gains {
         let _ = writeln!(
@@ -368,11 +368,7 @@ pub fn fig13(scale: &ExperimentScale) -> String {
         "Figure 13 — Trapezoid dataflows normalized to the best, plus the\n\
          Misam selector retargeted to Trapezoid (§6.3)\n\n",
     );
-    let _ = writeln!(
-        out,
-        "{:<26} {:>10} {:>14} {:>14}",
-        "workload", names[0], names[1], names[2]
-    );
+    let _ = writeln!(out, "{:<26} {:>10} {:>14} {:>14}", "workload", names[0], names[1], names[2]);
     for row in &r.rows {
         let _ = writeln!(
             out,
@@ -393,9 +389,7 @@ pub fn fig13(scale: &ExperimentScale) -> String {
 
 /// §6.2: multi-tenant packing estimate.
 pub fn d62() -> String {
-    let mut out = String::from(
-        "§6.2 — multi-tenant packing on one U55C (fabric resources)\n\n",
-    );
+    let mut out = String::from("§6.2 — multi-tenant packing on one U55C (fabric resources)\n\n");
     let _ = writeln!(out, "{:<14} {:>14} {:>12}", "Design", "max instances", "paper says");
     for (name, id, paper) in [
         ("Design 1", DesignId::D1, "1"),
@@ -413,12 +407,8 @@ pub fn d62() -> String {
         vec![DesignId::D1, DesignId::D1],
     ] {
         let labels: Vec<String> = combo.iter().map(|d| format!("D{}", d.index() + 1)).collect();
-        let _ = writeln!(
-            out,
-            "  {:<12} fits: {}",
-            labels.join("+"),
-            resources::packing_fits(&combo)
-        );
+        let _ =
+            writeln!(out, "  {:<12} fits: {}", labels.join("+"), resources::packing_fits(&combo));
     }
 
     // Co-scheduling demo: two Design 4 tenants sharing the device.
@@ -466,9 +456,7 @@ pub fn suite_summary(scale: &ExperimentScale) -> String {
 /// CPU / GPU / FPGA device choice.
 pub fn d63_hetero(scale: &ExperimentScale) -> String {
     let t = misam::hetero::train_router(scale.classifier_samples.max(200), scale.seed);
-    let mut out = String::from(
-        "§6.3 — heterogeneous device routing (Misam / CPU / GPU)\n\n",
-    );
+    let mut out = String::from("§6.3 — heterogeneous device routing (Misam / CPU / GPU)\n\n");
     let _ = writeln!(
         out,
         "routing accuracy      : {:.1}%\n\
@@ -510,19 +498,24 @@ pub fn ablation_features(scale: &ExperimentScale) -> String {
 pub fn ablation_models(scale: &ExperimentScale) -> String {
     let ds = misam::dataset::Dataset::generate(scale.classifier_samples, scale.seed);
     let m = misam::ablation::model_choice(&ds, scale.seed);
-    let mut out = String::from(
-        "Ablation — decision tree vs random forest (the §3.1 trade)\n\n",
-    );
-    let _ = writeln!(out, "{:<10} {:>10} {:>12} {:>14}", "model", "accuracy", "footprint", "inference");
+    let mut out = String::from("Ablation — decision tree vs random forest (the §3.1 trade)\n\n");
+    let _ =
+        writeln!(out, "{:<10} {:>10} {:>12} {:>14}", "model", "accuracy", "footprint", "inference");
     let _ = writeln!(
         out,
         "{:<10} {:>9.1}% {:>10} B {:>11.0} ns",
-        "tree", m.tree_accuracy * 100.0, m.tree_bytes, m.tree_ns_per_inference
+        "tree",
+        m.tree_accuracy * 100.0,
+        m.tree_bytes,
+        m.tree_ns_per_inference
     );
     let _ = writeln!(
         out,
         "{:<10} {:>9.1}% {:>10} B {:>11.0} ns",
-        "forest", m.forest_accuracy * 100.0, m.forest_bytes, m.forest_ns_per_inference
+        "forest",
+        m.forest_accuracy * 100.0,
+        m.forest_bytes,
+        m.forest_ns_per_inference
     );
     let _ = writeln!(
         out,
@@ -540,7 +533,11 @@ pub fn ablation_policy(scale: &ExperimentScale) -> String {
     let rows = ((3_000_000.0 * scale.hs_scale) as usize).max(2000);
     let mut out = String::from("Ablation — reconfiguration policy\n\n");
     out.push_str("switch-threshold sweep (U55C cost model):\n");
-    let _ = writeln!(out, "{:<16} {:>9} {:>14} {:>10}", "policy", "switches", "total time", "vs oracle");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>14} {:>10}",
+        "policy", "switches", "total time", "vs oracle"
+    );
     for o in misam::ablation::threshold_sweep(rows, scale.seed, &[0.05, 0.1, 0.2, 0.5, 1.0, 2.0]) {
         let _ = writeln!(
             out,
@@ -549,7 +546,11 @@ pub fn ablation_policy(scale: &ExperimentScale) -> String {
         );
     }
     out.push_str("\ncost regimes at threshold 0.2 (§6.1 directions):\n");
-    let _ = writeln!(out, "{:<26} {:>9} {:>14} {:>10}", "regime", "switches", "total time", "vs oracle");
+    let _ = writeln!(
+        out,
+        "{:<26} {:>9} {:>14} {:>10}",
+        "regime", "switches", "total time", "vs oracle"
+    );
     for o in misam::ablation::cost_regimes(rows, scale.seed) {
         let _ = writeln!(
             out,
@@ -563,14 +564,9 @@ pub fn ablation_policy(scale: &ExperimentScale) -> String {
 /// Ablation: the §3.1 latency/energy objective sweep.
 pub fn ablation_objectives(scale: &ExperimentScale) -> String {
     let ds = misam::dataset::Dataset::generate(scale.classifier_samples, scale.seed);
-    let rows = misam::ablation::objective_sweep(
-        &ds,
-        scale.seed,
-        &[0.0, 0.25, 0.5, 0.75, 1.0],
-    );
-    let mut out = String::from(
-        "Ablation — objective blend (w = latency weight; 1.0 = pure speed)\n\n",
-    );
+    let rows = misam::ablation::objective_sweep(&ds, scale.seed, &[0.0, 0.25, 0.5, 0.75, 1.0]);
+    let mut out =
+        String::from("Ablation — objective blend (w = latency weight; 1.0 = pure speed)\n\n");
     let _ = writeln!(
         out,
         "{:<6} {:>26} {:>9} {:>10} {:>12}",
@@ -592,13 +588,8 @@ pub fn ablation_objectives(scale: &ExperimentScale) -> String {
 
 /// Ablation: which simulator mechanism creates each design's niche.
 pub fn ablation_mechanisms(scale: &ExperimentScale) -> String {
-    let rows = misam::ablation::simulator_mechanisms(
-        scale.classifier_samples.min(600),
-        scale.seed,
-    );
-    let mut out = String::from(
-        "Ablation — optimal-design histogram under modified simulators\n\n",
-    );
+    let rows = misam::ablation::simulator_mechanisms(scale.classifier_samples.min(600), scale.seed);
+    let mut out = String::from("Ablation — optimal-design histogram under modified simulators\n\n");
     let _ = writeln!(out, "{:<28} {:>6} {:>6} {:>6} {:>6}", "variant", "D1", "D2", "D3", "D4");
     for r in &rows {
         let _ = writeln!(

@@ -18,16 +18,12 @@ impl Flags {
         let mut values = BTreeMap::new();
         let mut it = argv.iter();
         while let Some(tok) = it.next() {
-            let name = tok
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected a --flag, got '{tok}'"))?;
+            let name =
+                tok.strip_prefix("--").ok_or_else(|| format!("expected a --flag, got '{tok}'"))?;
             if name.is_empty() {
                 return Err("empty flag name".into());
             }
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{name} needs a value"))?
-                .clone();
+            let value = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?.clone();
             if values.insert(name.to_string(), value).is_some() {
                 return Err(format!("flag --{name} given twice"));
             }
@@ -57,9 +53,7 @@ impl Flags {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("flag --{name}: cannot parse '{raw}'")),
+            Some(raw) => raw.parse().map_err(|_| format!("flag --{name}: cannot parse '{raw}'")),
         }
     }
 

@@ -273,8 +273,11 @@ fn suite_cmd(flags: &Flags) -> Result<(), String> {
             b
         );
     }
-    println!("
-{} workloads at HS scale {scale}", ws.len());
+    println!(
+        "
+{} workloads at HS scale {scale}",
+        ws.len()
+    );
     Ok(())
 }
 
@@ -331,20 +334,31 @@ mod tests {
         let csv = dir.join("c.csv");
         let json = dir.join("c.json");
         dispatch(&argv(&[
-            "dataset", "--out", csv.to_str().unwrap(), "--samples", "6", "--seed", "3",
+            "dataset",
+            "--out",
+            csv.to_str().unwrap(),
+            "--samples",
+            "6",
+            "--seed",
+            "3",
         ]))
         .unwrap();
         dispatch(&argv(&[
-            "dataset", "--out", json.to_str().unwrap(), "--samples", "6", "--seed", "3",
-            "--format", "json",
+            "dataset",
+            "--out",
+            json.to_str().unwrap(),
+            "--samples",
+            "6",
+            "--seed",
+            "3",
+            "--format",
+            "json",
         ]))
         .unwrap();
         assert!(std::fs::read_to_string(&csv).unwrap().lines().count() == 7);
         assert!(std::fs::read_to_string(&json).unwrap().starts_with('{'));
-        assert!(dispatch(&argv(&[
-            "dataset", "--out", csv.to_str().unwrap(), "--format", "xml",
-        ]))
-        .is_err());
+        assert!(dispatch(&argv(&["dataset", "--out", csv.to_str().unwrap(), "--format", "xml",]))
+            .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -360,13 +374,21 @@ mod tests {
         let a = dir.join("a.mtx");
         let a_s = a.to_str().unwrap();
         dispatch(&argv(&[
-            "gen", "--kind", "power-law", "--rows", "200", "--density", "0.02", "--seed", "3",
-            "--out", a_s,
+            "gen",
+            "--kind",
+            "power-law",
+            "--rows",
+            "200",
+            "--density",
+            "0.02",
+            "--seed",
+            "3",
+            "--out",
+            a_s,
         ]))
         .unwrap();
         dispatch(&argv(&["simulate", "--a", a_s, "--dense-cols", "64"])).unwrap();
-        dispatch(&argv(&["simulate", "--a", a_s, "--dense-cols", "64", "--design", "2"]))
-            .unwrap();
+        dispatch(&argv(&["simulate", "--a", a_s, "--dense-cols", "64", "--design", "2"])).unwrap();
         dispatch(&argv(&["features", "--a", a_s, "--dense-cols", "64"])).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -376,16 +398,29 @@ mod tests {
         let dir = tmp();
         let a = dir.join("a2.mtx");
         let b = dir.join("b2.mtx");
-        dispatch(&argv(&["gen", "--kind", "uniform", "--rows", "50", "--out", a.to_str().unwrap()]))
-            .unwrap();
         dispatch(&argv(&[
-            "gen", "--kind", "uniform", "--rows", "60", "--out", b.to_str().unwrap(),
+            "gen",
+            "--kind",
+            "uniform",
+            "--rows",
+            "50",
+            "--out",
+            a.to_str().unwrap(),
         ]))
         .unwrap();
-        let err = dispatch(&argv(&[
-            "simulate", "--a", a.to_str().unwrap(), "--b", b.to_str().unwrap(),
+        dispatch(&argv(&[
+            "gen",
+            "--kind",
+            "uniform",
+            "--rows",
+            "60",
+            "--out",
+            b.to_str().unwrap(),
         ]))
-        .unwrap_err();
+        .unwrap();
+        let err =
+            dispatch(&argv(&["simulate", "--a", a.to_str().unwrap(), "--b", b.to_str().unwrap()]))
+                .unwrap_err();
         assert!(err.contains("50x50"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -408,7 +443,14 @@ mod tests {
         ]))
         .unwrap();
         dispatch(&argv(&[
-            "gen", "--kind", "uniform", "--rows", "150", "--density", "0.05", "--out",
+            "gen",
+            "--kind",
+            "uniform",
+            "--rows",
+            "150",
+            "--density",
+            "0.05",
+            "--out",
             a.to_str().unwrap(),
         ]))
         .unwrap();
@@ -429,8 +471,16 @@ mod tests {
     fn operand_flags_are_mutually_exclusive() {
         let dir = tmp();
         let a = dir.join("a4.mtx");
-        dispatch(&argv(&["gen", "--kind", "uniform", "--rows", "40", "--out", a.to_str().unwrap()]))
-            .unwrap();
+        dispatch(&argv(&[
+            "gen",
+            "--kind",
+            "uniform",
+            "--rows",
+            "40",
+            "--out",
+            a.to_str().unwrap(),
+        ]))
+        .unwrap();
         let err = dispatch(&argv(&["simulate", "--a", a.to_str().unwrap()])).unwrap_err();
         assert!(err.contains("exactly one"), "{err}");
         std::fs::remove_dir_all(&dir).ok();

@@ -11,10 +11,11 @@ use misam_features::{feature_index, TileConfig, FEATURE_NAMES};
 use misam_mlkit::cv;
 use misam_mlkit::forest::{ForestParams, RandomForest};
 use misam_mlkit::metrics;
+use misam_oracle::{pool, CustomFpga, Executor};
 use misam_recon::cost::ReconfigCost;
 use misam_recon::engine::ReconfigEngine;
 use misam_recon::stream::{self, StreamConfig};
-use misam_sim::{simulate_with_config, DesignConfig, DesignId, Operand};
+use misam_sim::{DesignConfig, DesignId, Operand};
 use misam_sparse::gen;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,12 +43,8 @@ pub struct FeaturePruningRow {
 /// top four features carry the accuracy.
 pub fn feature_pruning(dataset: &Dataset, seed: u64) -> Vec<FeaturePruningRow> {
     let full = training::train_selector(dataset, Objective::Latency, seed);
-    let ranked: Vec<usize> = full
-        .selector
-        .ranked_importances()
-        .iter()
-        .map(|(n, _)| feature_index(n))
-        .collect();
+    let ranked: Vec<usize> =
+        full.selector.ranked_importances().iter().map(|(n, _)| feature_index(n)).collect();
 
     [1usize, 2, 4, 8, FEATURE_NAMES.len()]
         .iter()
@@ -197,7 +194,7 @@ fn run_policy<L: misam_recon::engine::LatencyModel>(
             None => Operand::Dense { rows: a.cols(), cols: 512 },
         };
         let before = engine.reconfig_count();
-        let out = stream::run(a, op, &cfg, engine, |f| {
+        let out = stream::run(a, op, &cfg, misam_oracle::global(), engine, |f| {
             // Selector assumed ideal here; the sweep isolates the engine.
             if f.b.sparsity > 0.5 {
                 DesignId::D4
@@ -261,11 +258,19 @@ pub fn cost_regimes(rows: usize, seed: u64) -> Vec<PolicyOutcome> {
         ("u55c full (3-4 s)".into(), ReconfigCost::default()),
         (
             "partial region (~0.2 s)".into(),
-            ReconfigCost { program_base_s: 0.05, program_per_mib_s: 0.002, ..ReconfigCost::default() },
+            ReconfigCost {
+                program_base_s: 0.05,
+                program_per_mib_s: 0.002,
+                ..ReconfigCost::default()
+            },
         ),
         (
             "cgra-class (~1 ms)".into(),
-            ReconfigCost { program_base_s: 1e-3, program_per_mib_s: 0.0, ..ReconfigCost::default() },
+            ReconfigCost {
+                program_base_s: 1e-3,
+                program_per_mib_s: 0.0,
+                ..ReconfigCost::default()
+            },
         ),
         ("free".into(), ReconfigCost::zero()),
     ];
@@ -354,7 +359,7 @@ pub struct MechanismRow {
 /// removing the load/store dependency, neutralizing Design 4's gather
 /// penalty, and removing the PEG-scaled launch overhead.
 pub fn simulator_mechanisms(n: usize, seed: u64) -> Vec<MechanismRow> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xab1a_7e);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00ab_1a7e);
     let pairs: Vec<(misam_sparse::CsrMatrix, dataset::OperandSpec)> = (0..n)
         .map(|_| {
             let (a, spec, _) = dataset::random_pair(&mut rng);
@@ -362,7 +367,8 @@ pub fn simulator_mechanisms(n: usize, seed: u64) -> Vec<MechanismRow> {
         })
         .collect();
 
-    let variants: Vec<(String, Box<dyn Fn(DesignId) -> DesignConfig>)> = vec![
+    type Variant = (String, Box<dyn Fn(DesignId) -> DesignConfig>);
+    let variants: Vec<Variant> = vec![
         ("baseline".into(), Box::new(DesignConfig::of)),
         (
             "no load/store dependency".into(),
@@ -370,7 +376,11 @@ pub fn simulator_mechanisms(n: usize, seed: u64) -> Vec<MechanismRow> {
         ),
         (
             "no gather penalty (D4)".into(),
-            Box::new(|d| DesignConfig { gather_factor: 1.0, meta_lookup: 0, ..DesignConfig::of(d) }),
+            Box::new(|d| DesignConfig {
+                gather_factor: 1.0,
+                meta_lookup: 0,
+                ..DesignConfig::of(d)
+            }),
         ),
         (
             "uniform tile sizes".into(),
@@ -381,15 +391,21 @@ pub fn simulator_mechanisms(n: usize, seed: u64) -> Vec<MechanismRow> {
     variants
         .into_iter()
         .map(|(label, mk)| {
-            let mut histogram = [0usize; 4];
-            for (a, spec) in &pairs {
-                let best = DesignId::ALL
+            // One knocked-out design space per variant, fanned out over
+            // the pair corpus through the Executor abstraction.
+            let executor = CustomFpga::new(DesignId::ALL.iter().map(|&d| mk(d)).collect());
+            let winners = pool::par_map(&pairs, |(a, spec)| {
+                executor
+                    .execute_all(a, spec.operand())
                     .iter()
-                    .map(|&d| (d, simulate_with_config(a, spec.operand(), &mk(d)).time_s))
-                    .min_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"))
+                    .enumerate()
+                    .min_by(|x, y| x.1.time_s.partial_cmp(&y.1.time_s).expect("finite"))
                     .expect("four designs")
-                    .0;
-                histogram[best.index()] += 1;
+                    .0
+            });
+            let mut histogram = [0usize; 4];
+            for w in winners {
+                histogram[w] += 1;
             }
             MechanismRow { label, histogram }
         })

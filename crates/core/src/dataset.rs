@@ -10,7 +10,8 @@
 //! can label it.
 
 use misam_features::{PairFeatures, TileConfig};
-use misam_sim::{simulate, DesignId, Operand};
+use misam_oracle::{pool, Executor};
+use misam_sim::{DesignId, Operand};
 use misam_sparse::gen;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -87,19 +88,33 @@ const MAX_OPERAND_NNZ: f64 = 200_000.0;
 
 impl Dataset {
     /// Generates `n` samples with the paper's regime mix, deterministic
-    /// in `seed`.
+    /// in `seed`. Labeling fans out across [`pool::default_threads`]
+    /// workers (`MISAM_THREADS` overrides).
     pub fn generate(n: usize, seed: u64) -> Dataset {
-        let tile_cfg = TileConfig::default();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xda7a_5e7);
-        let samples = (0..n).map(|_| Self::one_sample(&mut rng, &tile_cfg)).collect();
-        Dataset { samples }
+        Self::generate_with_threads(n, seed, pool::default_threads())
     }
 
-    fn one_sample(rng: &mut StdRng, tile_cfg: &TileConfig) -> Sample {
-        let (a, spec, a_kind) = random_pair(rng);
-        let features = spec.features(&a, tile_cfg).to_vector();
-        let (times_s, energies_j) = simulate_all(&a, spec.operand());
-        Sample { features, times_s, energies_j, a_kind, b_dense: spec.is_dense() }
+    /// [`Dataset::generate`] with an explicit worker count. Every RNG
+    /// draw happens on this thread before any labeling starts, so the
+    /// corpus is byte-identical for any `threads` value (1 = the plain
+    /// serial loop).
+    pub fn generate_with_threads(n: usize, seed: u64, threads: usize) -> Dataset {
+        let tile_cfg = TileConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0da7_a5e7);
+        let pairs: Vec<(misam_sparse::CsrMatrix, OperandSpec, String)> =
+            (0..n).map(|_| random_pair(&mut rng)).collect();
+        let samples = pool::par_map_with(&pairs, threads, |(a, spec, a_kind)| {
+            let features = spec.features(a, &tile_cfg).to_vector();
+            let (times_s, energies_j) = simulate_all(a, spec.operand());
+            Sample {
+                features,
+                times_s,
+                energies_j,
+                a_kind: a_kind.clone(),
+                b_dense: spec.is_dense(),
+            }
+        });
+        Dataset { samples }
     }
 
     /// Feature rows of every sample.
@@ -235,9 +250,8 @@ pub fn random_pair(rng: &mut StdRng) -> (misam_sparse::CsrMatrix, OperandSpec, S
     let (a, a_kind) = random_matrix(rng, a_rows, a_cols);
 
     let b_dense = rng.gen_bool(0.45);
-    let b_cols = *[64usize, 128, 256, 512, 1024, 2048]
-        .get(rng.gen_range(0..6))
-        .expect("index in range");
+    let b_cols =
+        *[64usize, 128, 256, 512, 1024, 2048].get(rng.gen_range(0..6)).expect("index in range");
     let spec = if b_dense {
         OperandSpec::Dense { rows: a_cols, cols: b_cols }
     } else {
@@ -248,10 +262,10 @@ pub fn random_pair(rng: &mut StdRng) -> (misam_sparse::CsrMatrix, OperandSpec, S
 }
 
 fn simulate_all(a: &misam_sparse::CsrMatrix, b: Operand<'_>) -> ([f64; 4], [f64; 4]) {
+    let reports = misam_oracle::global().execute_all(a, b);
     let mut times = [0.0; 4];
     let mut energies = [0.0; 4];
-    for d in DesignId::ALL {
-        let r = simulate(a, b, d);
+    for (d, r) in DesignId::ALL.iter().zip(&reports) {
         times[d.index()] = r.time_s;
         energies[d.index()] = r.energy_j;
     }
@@ -283,12 +297,9 @@ fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> (misam_sparse::C
             (gen::power_law(rows, cols, avg, alpha, seed), "power_law".into())
         }
         42..=49 => {
-            let target = (log_uniform_f(rng, 2.0, (cap * cols as f64).max(2.0))
-                * rows as f64) as usize;
-            (
-                gen::rmat(rows, cols, target.max(1), (0.57, 0.19, 0.19, 0.05), seed),
-                "rmat".into(),
-            )
+            let target =
+                (log_uniform_f(rng, 2.0, (cap * cols as f64).max(2.0)) * rows as f64) as usize;
+            (gen::rmat(rows, cols, target.max(1), (0.57, 0.19, 0.19, 0.05), seed), "rmat".into())
         }
         50..=64 => {
             let d = rng.gen_range(0.05f64..0.35).min(cap.max(0.05));
@@ -303,10 +314,7 @@ fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> (misam_sparse::C
             let heavy = rng.gen_range(0.005f64..0.05);
             let heavy_nnz = ((cap * cols as f64 * 8.0) as usize).clamp(16, cols);
             let light = rng.gen_range(1..8usize);
-            (
-                gen::imbalanced_rows(rows, cols, heavy, heavy_nnz, light, seed),
-                "imbalanced".into(),
-            )
+            (gen::imbalanced_rows(rows, cols, heavy, heavy_nnz, light, seed), "imbalanced".into())
         }
         87..=94 => {
             let deg = rng.gen_range(2..((cap * cols as f64) as usize).clamp(3, 64));
@@ -336,6 +344,13 @@ mod tests {
         let b = Dataset::generate(20, 3);
         assert_eq!(a, b);
         assert_ne!(a, Dataset::generate(20, 4));
+    }
+
+    #[test]
+    fn parallel_generation_is_bit_identical_to_sequential() {
+        let serial = Dataset::generate_with_threads(40, 77, 1);
+        let parallel = Dataset::generate_with_threads(40, 77, 8);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -9,13 +9,11 @@
 //! baselines' analytical models supplying the ground truth.
 
 use crate::dataset;
-use misam_baselines::cpu::CpuModel;
-use misam_baselines::gpu::GpuModel;
 use misam_features::TileConfig;
 use misam_mlkit::cv;
 use misam_mlkit::metrics::{self, ConfusionMatrix};
 use misam_mlkit::tree::{DecisionTree, TreeParams};
-use misam_sim::{simulate, DesignId};
+use misam_oracle::{pool, CpuExecutor, Executor, GpuExecutor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -107,35 +105,38 @@ pub struct RouterTraining {
 pub fn train_router(n: usize, seed: u64) -> RouterTraining {
     assert!(n >= 10, "router corpus too small");
     let tile_cfg = TileConfig::default();
-    let cpu = CpuModel::default();
-    let gpu = GpuModel::default();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4e7e_0);
+    let cpu = CpuExecutor::default();
+    let gpu = GpuExecutor::default();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0004_e7e0);
 
+    // Serial draws, then every device is priced in parallel; the FPGA
+    // side shares the process-wide memoized oracle.
+    let pairs: Vec<(misam_sparse::CsrMatrix, dataset::OperandSpec)> = (0..n)
+        .map(|_| {
+            let (a, spec, _) = dataset::random_pair(&mut rng);
+            (a, spec)
+        })
+        .collect();
+    let priced = pool::par_map(&pairs, |(a, spec)| {
+        let t_fpga = misam_oracle::global()
+            .execute_all(a, spec.operand())
+            .iter()
+            .map(|r| r.time_s)
+            .fold(f64::INFINITY, f64::min);
+        let t_cpu = cpu.execute(a, spec.operand(), 0).time_s;
+        let t_gpu = gpu.execute(a, spec.operand(), 0).time_s;
+        (spec.features(a, &tile_cfg).to_vector(), [t_fpga, t_cpu, t_gpu])
+    });
     let mut x = Vec::with_capacity(n);
     let mut times: Vec<[f64; 3]> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (a, spec, _) = dataset::random_pair(&mut rng);
-        let t_fpga = DesignId::ALL
-            .iter()
-            .map(|&d| simulate(&a, spec.operand(), d).time_s)
-            .fold(f64::INFINITY, f64::min);
-        let (t_cpu, t_gpu) = match &spec {
-            dataset::OperandSpec::Dense { rows, cols } => {
-                (cpu.spmm(&a, *rows, *cols).time_s, gpu.spmm(&a, *rows, *cols).time_s)
-            }
-            dataset::OperandSpec::Sparse(b) => {
-                (cpu.spgemm(&a, b).time_s, gpu.spgemm(&a, b).time_s)
-            }
-        };
-        x.push(spec.features(&a, &tile_cfg).to_vector());
-        times.push([t_fpga, t_cpu, t_gpu]);
+    for (f, t) in priced {
+        x.push(f);
+        times.push(t);
     }
     let y: Vec<usize> = times
         .iter()
         .map(|t| {
-            (0..3)
-                .min_by(|&i, &j| t[i].partial_cmp(&t[j]).expect("finite"))
-                .expect("three devices")
+            (0..3).min_by(|&i, &j| t[i].partial_cmp(&t[j]).expect("finite")).expect("three devices")
         })
         .collect();
 

@@ -8,10 +8,11 @@
 use crate::dataset::{Dataset, Objective};
 use crate::training::{self, LatencyPredictor, TrainedSelector};
 use misam_features::{PairFeatures, TileConfig};
+use misam_oracle::Executor;
 use misam_recon::cost::ReconfigCost;
 use misam_recon::engine::{Decision, ReconfigEngine};
 use misam_recon::stream::{self, StreamConfig, StreamOutcome};
-use misam_sim::{simulate, DesignId, Operand, SimReport};
+use misam_sim::{DesignId, Operand, SimReport};
 use misam_sparse::CsrMatrix;
 use std::time::Instant;
 
@@ -115,7 +116,7 @@ impl Misam {
         let decision = self.engine.decide(&features, predicted);
         let inference_s = t1.elapsed().as_secs_f64();
 
-        let sim = simulate(a, b, decision.execute_on);
+        let sim = misam_oracle::global().execute(a, b, decision.execute_on.index());
         ExecutionReport {
             features,
             predicted,
@@ -132,8 +133,10 @@ impl Misam {
     ///
     /// Panics on dimension mismatch or an empty/reversed tile range.
     pub fn stream(&mut self, a: &CsrMatrix, b: Operand<'_>, cfg: &StreamConfig) -> StreamOutcome {
-        let selector = self.selector.clone();
-        stream::run(a, b, cfg, &mut self.engine, move |f| selector.select(f))
+        // Disjoint field borrows: the closure reads the selector while
+        // the engine is mutated — no per-call model clone.
+        let selector = &self.selector;
+        stream::run(a, b, cfg, misam_oracle::global(), &mut self.engine, |f| selector.select(f))
     }
 }
 
@@ -320,7 +323,8 @@ mod tests {
         let mut m = small_system(10);
         m.preload(DesignId::D2);
         let a = gen::uniform_random(900, 512, 0.01, 11);
-        let cfg = StreamConfig { tile_min_rows: 200, tile_max_rows: 400, seed: 1, ..Default::default() };
+        let cfg =
+            StreamConfig { tile_min_rows: 200, tile_max_rows: 400, seed: 1, ..Default::default() };
         let out = m.stream(&a, Operand::Dense { rows: 512, cols: 128 }, &cfg);
         assert!(!out.tiles.is_empty());
         assert_eq!(out.tiles.last().unwrap().row_end, 900);

@@ -120,10 +120,7 @@ pub fn train_selector_on_features(
     features: &[usize],
 ) -> SelectorTraining {
     assert!(!features.is_empty(), "feature subset must be non-empty");
-    assert!(
-        features.iter().all(|&i| i < FEATURE_NAMES.len()),
-        "feature index out of range"
-    );
+    assert!(features.iter().all(|&i| i < FEATURE_NAMES.len()), "feature index out of range");
     train_selector_impl(dataset, objective, seed, Some(features.to_vec()))
 }
 
@@ -136,11 +133,9 @@ fn train_selector_impl(
     assert!(!dataset.is_empty(), "cannot train on an empty dataset");
     let x: Vec<Vec<f64>> = match &feature_map {
         None => dataset.features(),
-        Some(map) => dataset
-            .samples
-            .iter()
-            .map(|s| map.iter().map(|&i| s.features[i]).collect())
-            .collect(),
+        Some(map) => {
+            dataset.samples.iter().map(|s| map.iter().map(|&i| s.features[i]).collect()).collect()
+        }
     };
     let y = dataset.labels(objective);
     let split = cv::train_test_split(x.len(), 0.7, seed);
@@ -149,11 +144,7 @@ fn train_selector_impl(
     // fifth of the training split as the pruning set so the 30%
     // validation accuracy stays honest. Tiny corpora skip pruning — the
     // holdback would cost more fit data than pruning saves.
-    let cut = if split.train.len() >= 400 {
-        split.train.len() * 4 / 5
-    } else {
-        split.train.len()
-    };
+    let cut = if split.train.len() >= 400 { split.train.len() * 4 / 5 } else { split.train.len() };
     let (fit_idx, prune_idx) = split.train.split_at(cut);
     let xt = cv::gather(&x, fit_idx);
     let yt = cv::gather(&y, fit_idx);
@@ -252,8 +243,7 @@ pub fn train_latency_predictor(dataset: &Dataset, seed: u64) -> LatencyTraining 
     let mut all_actual = Vec::new();
 
     for d in DesignId::ALL {
-        let y: Vec<f64> =
-            dataset.samples.iter().map(|s| s.times_s[d.index()].log10()).collect();
+        let y: Vec<f64> = dataset.samples.iter().map(|s| s.times_s[d.index()].log10()).collect();
         let xt = cv::gather(&x, &split.train);
         let yt = cv::gather(&y, &split.train);
         let tree = RegressionTree::fit(&xt, &yt, &params);

@@ -132,9 +132,8 @@ const VGG16_LAYERS: &[(usize, usize)] = &[
 
 /// IDs of the twelve Table 3 matrices used in the HS categories (the
 /// four heaviest are catalog-only, as in Trapezoid's selection).
-pub const HS_IDS: [&str; 12] = [
-    "p2p", "sx", "cond", "ore", "em", "sc", "sme", "poi", "wiki", "astro", "cage", "good",
-];
+pub const HS_IDS: [&str; 12] =
+    ["p2p", "sx", "cond", "ore", "em", "sc", "sme", "poi", "wiki", "astro", "cage", "good"];
 
 /// Sequence length of the dense/MS right-hand sides (the paper fixes
 /// 512).

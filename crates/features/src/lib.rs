@@ -297,12 +297,7 @@ impl PairFeatures {
 
     /// Extracts features for a sparse A against a dense `b_rows x b_cols`
     /// right-hand side, synthesizing B's statistics from its shape.
-    pub fn extract_dense_b(
-        a: &CsrMatrix,
-        b_rows: usize,
-        b_cols: usize,
-        cfg: &TileConfig,
-    ) -> Self {
+    pub fn extract_dense_b(a: &CsrMatrix, b_rows: usize, b_cols: usize, cfg: &TileConfig) -> Self {
         let count_1d = b_rows.div_ceil(cfg.tile_rows.max(1));
         let count_2d = count_1d * b_cols.div_ceil(cfg.tile_cols.max(1));
         let occupied = b_rows > 0 && b_cols > 0;
@@ -366,10 +361,7 @@ mod tests {
     fn feature_index_finds_paper_top_features() {
         assert_eq!(FEATURE_NAMES[feature_index("Tile_1D_Density")], "Tile_1D_Density");
         assert_eq!(FEATURE_NAMES[feature_index("row_B")], "row_B");
-        assert_eq!(
-            FEATURE_NAMES[feature_index("A_load_imbalance_row")],
-            "A_load_imbalance_row"
-        );
+        assert_eq!(FEATURE_NAMES[feature_index("A_load_imbalance_row")], "A_load_imbalance_row");
         assert_eq!(FEATURE_NAMES[feature_index("A_rows")], "A_rows");
     }
 

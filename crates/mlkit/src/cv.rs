@@ -22,10 +22,7 @@ pub struct Split {
 /// Panics if `train_fraction` is outside `(0, 1)` or `n == 0`.
 pub fn train_test_split(n: usize, train_fraction: f64, seed: u64) -> Split {
     assert!(n > 0, "cannot split zero samples");
-    assert!(
-        train_fraction > 0.0 && train_fraction < 1.0,
-        "train fraction must be in (0, 1)"
-    );
+    assert!(train_fraction > 0.0 && train_fraction < 1.0, "train fraction must be in (0, 1)");
     let mut idx = shuffled(n, seed);
     let cut = ((n as f64 * train_fraction).round() as usize).clamp(1, n - 1);
     let validation = idx.split_off(cut);

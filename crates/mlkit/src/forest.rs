@@ -166,12 +166,7 @@ mod tests {
     fn forest_fits_and_predicts() {
         let (x, y) = noisy_problem(400, 1);
         let forest = RandomForest::fit(&x, &y, 2, &ForestParams::default());
-        let acc = forest
-            .predict_batch(&x)
-            .iter()
-            .zip(&y)
-            .filter(|(p, a)| p == a)
-            .count() as f64
+        let acc = forest.predict_batch(&x).iter().zip(&y).filter(|(p, a)| p == a).count() as f64
             / x.len() as f64;
         assert!(acc > 0.8, "train accuracy {acc:.2}");
     }
@@ -193,27 +188,16 @@ mod tests {
         };
         let t_acc = acc(tree.predict_batch(&xv));
         let f_acc = acc(forest.predict_batch(&xv));
-        assert!(
-            f_acc + 0.03 >= t_acc,
-            "forest {f_acc:.2} should not trail the stump {t_acc:.2}"
-        );
+        assert!(f_acc + 0.03 >= t_acc, "forest {f_acc:.2} should not trail the stump {t_acc:.2}");
     }
 
     #[test]
     fn forest_footprint_scales_with_tree_count() {
         let (x, y) = noisy_problem(200, 4);
-        let small = RandomForest::fit(
-            &x,
-            &y,
-            2,
-            &ForestParams { n_trees: 5, ..ForestParams::default() },
-        );
-        let big = RandomForest::fit(
-            &x,
-            &y,
-            2,
-            &ForestParams { n_trees: 40, ..ForestParams::default() },
-        );
+        let small =
+            RandomForest::fit(&x, &y, 2, &ForestParams { n_trees: 5, ..ForestParams::default() });
+        let big =
+            RandomForest::fit(&x, &y, 2, &ForestParams { n_trees: 40, ..ForestParams::default() });
         assert!(big.serialized_size() > 4 * small.serialized_size());
         assert_eq!(big.n_trees(), 40);
     }

@@ -91,8 +91,7 @@ impl ConfusionMatrix {
 pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
     assert_eq!(predicted.len(), actual.len(), "prediction/target length mismatch");
     assert!(!predicted.is_empty(), "MAE of an empty set is undefined");
-    predicted.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum::<f64>()
-        / predicted.len() as f64
+    predicted.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum::<f64>() / predicted.len() as f64
 }
 
 /// Coefficient of determination R². 1 means perfect prediction; 0 means

@@ -121,6 +121,9 @@ fn grow(
     // Best split by SSE reduction, scanning sorted values per feature.
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
     let mut order = idx.clone();
+    // `f` is a column index across every row of `x`, not an index into
+    // one slice, so the range loop is the natural form.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..x[0].len() {
         order.sort_unstable_by(|&a, &b| {
             x[a as usize][f].partial_cmp(&x[b as usize][f]).expect("features must not be NaN")
@@ -140,8 +143,7 @@ fn grow(
             }
             let ln = (k + 1) as f64;
             let rn = (order.len() - k - 1) as f64;
-            if (ln as usize) < params.min_samples_leaf || (rn as usize) < params.min_samples_leaf
-            {
+            if (ln as usize) < params.min_samples_leaf || (rn as usize) < params.min_samples_leaf {
                 continue;
             }
             let l_sse = lsq - lsum * lsum / ln;

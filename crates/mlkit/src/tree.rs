@@ -95,19 +95,14 @@ impl DecisionTree {
         assert!(!x.is_empty(), "cannot fit a tree to an empty dataset");
         assert_eq!(x.len(), y.len(), "feature and label counts differ");
         let n_features = x[0].len();
-        assert!(
-            x.iter().all(|r| r.len() == n_features),
-            "feature rows have inconsistent lengths"
-        );
+        assert!(x.iter().all(|r| r.len() == n_features), "feature rows have inconsistent lengths");
         assert!(y.iter().all(|&l| l < n_classes), "label out of range");
         if let Some(w) = &params.class_weights {
             assert!(w.len() >= n_classes, "class-weight vector too short");
         }
 
-        let weights: Vec<f64> = y
-            .iter()
-            .map(|&l| params.class_weights.as_ref().map_or(1.0, |w| w[l]))
-            .collect();
+        let weights: Vec<f64> =
+            y.iter().map(|&l| params.class_weights.as_ref().map_or(1.0, |w| w[l])).collect();
         let mut b = Builder {
             x,
             y,
@@ -273,8 +268,7 @@ impl DecisionTree {
                     nodes.push(Node::Split { feature: id, threshold, left, right });
                 }
                 1 => {
-                    let purity =
-                        f32::from_le_bytes(data[o + 4..o + 8].try_into().expect("sliced"));
+                    let purity = f32::from_le_bytes(data[o + 4..o + 8].try_into().expect("sliced"));
                     nodes.push(Node::Leaf { class: id, purity });
                 }
                 t => return Err(format!("unknown node tag {t} at node {i}")),
@@ -382,11 +376,7 @@ impl DecisionTree {
     }
 
     fn validation_hits(&self, x_val: &[Vec<f64>], y_val: &[usize]) -> usize {
-        x_val
-            .iter()
-            .zip(y_val)
-            .filter(|(xi, &yi)| self.predict(xi) == yi)
-            .count()
+        x_val.iter().zip(y_val).filter(|(xi, &yi)| self.predict(xi) == yi).count()
     }
 }
 
@@ -420,17 +410,12 @@ impl Builder<'_> {
         self.nodes.push(Node::Leaf { class: 0, purity: 0.0 }); // placeholder
         self.importance_raw[split.feature] += split.gain;
 
-        let (li, ri): (Vec<u32>, Vec<u32>) = idx
-            .iter()
-            .partition(|&&i| self.x[i as usize][split.feature] <= split.threshold);
+        let (li, ri): (Vec<u32>, Vec<u32>) =
+            idx.iter().partition(|&&i| self.x[i as usize][split.feature] <= split.threshold);
         let left = self.grow(li, depth + 1);
         let right = self.grow(ri, depth + 1);
-        self.nodes[me] = Node::Split {
-            feature: split.feature as u16,
-            threshold: split.threshold,
-            left,
-            right,
-        };
+        self.nodes[me] =
+            Node::Split { feature: split.feature as u16, threshold: split.threshold, left, right };
         me as u32
     }
 
@@ -475,29 +460,18 @@ impl Builder<'_> {
                     continue; // can't split between equal values
                 }
                 let right_n = order.len() - left_n;
-                if left_n < self.params.min_samples_leaf
-                    || right_n < self.params.min_samples_leaf
-                {
+                if left_n < self.params.min_samples_leaf || right_n < self.params.min_samples_leaf {
                     continue;
                 }
                 let right_w = total_w - left_w;
-                let right_counts: Vec<f64> = parent_counts
-                    .iter()
-                    .zip(left_counts.iter())
-                    .map(|(p, l)| p - l)
-                    .collect();
+                let right_counts: Vec<f64> =
+                    parent_counts.iter().zip(left_counts.iter()).map(|(p, l)| p - l).collect();
                 let g_left = gini(&left_counts, left_w);
                 let g_right = gini(&right_counts, right_w);
                 let child = (left_w * g_left + right_w * g_right) / total_w;
                 let gain = (parent_gini - child) * total_w;
-                if gain > self.params.min_gain
-                    && best.as_ref().is_none_or(|b| gain > b.gain)
-                {
-                    best = Some(SplitChoice {
-                        feature: f,
-                        threshold: 0.5 * (v + v_next),
-                        gain,
-                    });
+                if gain > self.params.min_gain && best.as_ref().is_none_or(|b| gain > b.gain) {
+                    best = Some(SplitChoice { feature: f, threshold: 0.5 * (v + v_next), gain });
                 }
             }
         }
@@ -538,7 +512,7 @@ mod tests {
             let a = (i % 2) as f64;
             let b = ((i / 2) % 2) as f64;
             x.push(vec![a + (i as f64) * 1e-4, b]);
-            y.push(((a as usize) ^ (b as usize)) as usize);
+            y.push((a as usize) ^ (b as usize));
         }
         (x, y)
     }
@@ -690,17 +664,9 @@ mod tests {
             &TreeParams { max_depth: 20, min_gain: 0.0, ..TreeParams::default() },
         );
         let before_nodes = tree.node_count();
-        let before_acc = xv
-            .iter()
-            .zip(&yv)
-            .filter(|(xi, &yi)| tree.predict(xi) == yi)
-            .count();
+        let before_acc = xv.iter().zip(&yv).filter(|(xi, &yi)| tree.predict(xi) == yi).count();
         let removed = tree.prune_with_validation(&xv, &yv);
-        let after_acc = xv
-            .iter()
-            .zip(&yv)
-            .filter(|(xi, &yi)| tree.predict(xi) == yi)
-            .count();
+        let after_acc = xv.iter().zip(&yv).filter(|(xi, &yi)| tree.predict(xi) == yi).count();
         assert!(removed > 0, "overfit tree should have prunable splits");
         assert!(tree.node_count() < before_nodes);
         assert!(after_acc >= before_acc, "pruning must not lose validation accuracy");

@@ -9,19 +9,9 @@ use proptest::prelude::*;
 
 /// Strategy: a labeled dataset with `f` features, up to `n` samples and
 /// `c` classes (at least one sample).
-fn arb_dataset(
-    f: usize,
-    n: usize,
-    c: usize,
-) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<usize>)> {
-    proptest::collection::vec(
-        (
-            proptest::collection::vec(-100.0f64..100.0, f),
-            0..c,
-        ),
-        1..=n,
-    )
-    .prop_map(|rows| rows.into_iter().unzip())
+fn arb_dataset(f: usize, n: usize, c: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<usize>)> {
+    proptest::collection::vec((proptest::collection::vec(-100.0f64..100.0, f), 0..c), 1..=n)
+        .prop_map(|rows| rows.into_iter().unzip())
 }
 
 proptest! {

@@ -1,0 +1,183 @@
+//! Concurrent memoization cache keyed by `(fingerprint, target)`.
+//!
+//! Sharded to keep lock contention off the hot path, with per-entry
+//! once-cells so a given key's underlying computation runs **exactly
+//! once per process** even when many threads miss simultaneously —
+//! late arrivals block on the first computation instead of repeating
+//! it.
+
+use crate::Fingerprint;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const SHARDS: usize = 16;
+
+type Key = (u64, usize);
+
+/// Hit/miss counters of a [`MemoCache`] (and of [`crate::SimOracle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the underlying executor.
+    pub misses: u64,
+    /// Distinct keys currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A sharded, exactly-once memoization map.
+#[derive(Debug)]
+pub struct MemoCache<R> {
+    shards: Vec<RwLock<HashMap<Key, Arc<OnceLock<R>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<R> Default for MemoCache<R> {
+    fn default() -> Self {
+        MemoCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<R: Clone> MemoCache<R> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, fp: Fingerprint, target: usize) -> &RwLock<HashMap<Key, Arc<OnceLock<R>>>> {
+        // Target lands in the shard index so the four designs of one
+        // matrix spread across shards.
+        let idx = (fp.0 ^ (target as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) as usize % SHARDS;
+        &self.shards[idx]
+    }
+
+    /// Returns the cached value for `(fp, target)`, computing it with
+    /// `compute` on first use. Concurrent callers of the same key block
+    /// until the single in-flight computation finishes.
+    pub fn get_or_compute(&self, fp: Fingerprint, target: usize, compute: impl FnOnce() -> R) -> R {
+        let shard = self.shard(fp, target);
+        let key = (fp.0, target);
+
+        // Fast path: the entry exists and is populated.
+        if let Some(cell) = shard.read().get(&key) {
+            if let Some(value) = cell.get() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return value.clone();
+            }
+        }
+
+        // Claim (or join) the entry's once-cell, then initialize it
+        // outside the shard lock so other keys stay unblocked.
+        let cell =
+            Arc::clone(shard.write().entry(key).or_insert_with(|| Arc::new(OnceLock::new())));
+        let mut computed = false;
+        let value = cell.get_or_init(|| {
+            computed = true;
+            compute()
+        });
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value.clone()
+    }
+
+    /// Current counters and size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.read().len()).sum(),
+        }
+    }
+
+    /// Drops every entry and zeroes the counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = MemoCache::new();
+        let fp = Fingerprint(42);
+        let mut calls = 0;
+        let v1 = cache.get_or_compute(fp, 0, || {
+            calls += 1;
+            7u64
+        });
+        let v2 = cache.get_or_compute(fp, 0, || {
+            calls += 1;
+            8u64
+        });
+        assert_eq!((v1, v2), (7, 7));
+        assert_eq!(calls, 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn targets_are_distinct_keys() {
+        let cache = MemoCache::new();
+        let fp = Fingerprint(1);
+        for t in 0..4 {
+            assert_eq!(cache.get_or_compute(fp, t, || t), t);
+        }
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().entries, 4);
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        use std::sync::atomic::AtomicUsize;
+        let cache = MemoCache::new();
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    cache.get_or_compute(Fingerprint(9), 2, || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        1234u32
+                    })
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = MemoCache::new();
+        cache.get_or_compute(Fingerprint(3), 1, || 1u8);
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

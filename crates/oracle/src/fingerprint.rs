@@ -1,0 +1,131 @@
+//! Cheap structural identity for operand pairs.
+//!
+//! A corpus run touches the same (matrix, design) pairs from several
+//! experiment layers; re-simulating is seconds, fingerprinting is an
+//! `O(nnz)` hash. The fingerprint covers dimensions, the sparsity
+//! pattern, and value bits, so two operands collide only if they would
+//! simulate identically anyway (modulo a 2⁻⁶⁴ hash collision, which at
+//! corpus scale — tens of thousands of matrices — is negligible).
+
+use misam_sim::Operand;
+use misam_sparse::CsrMatrix;
+
+/// A 64-bit structural digest of an `(A, B)` operand pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint(pub u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        // FNV-1a over the 8 bytes, unrolled by word for speed.
+        let mut h = self.0;
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            h = (h ^ ((v >> shift) & 0xff)).wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+impl Fingerprint {
+    /// Digest of a single CSR matrix.
+    pub fn of_matrix(m: &CsrMatrix) -> Fingerprint {
+        let mut h = Fnv::new();
+        h.write_u64(m.rows() as u64);
+        h.write_u64(m.cols() as u64);
+        h.write_u64(m.nnz() as u64);
+        for &p in m.row_ptr() {
+            h.write_u64(p as u64);
+        }
+        for &c in m.col_idx() {
+            h.write_u64(c as u64);
+        }
+        for &v in m.values() {
+            h.write_u64(v.to_bits() as u64);
+        }
+        Fingerprint(h.0)
+    }
+
+    /// Digest of one operand (dense operands hash by shape alone — the
+    /// simulators model dense B as all-nonzero, so shape is identity).
+    pub fn of_operand(b: Operand<'_>) -> Fingerprint {
+        match b {
+            Operand::Dense { rows, cols } => {
+                let mut h = Fnv::new();
+                h.write_u64(0xdeb5_e000_0000_0001);
+                h.write_u64(rows as u64);
+                h.write_u64(cols as u64);
+                Fingerprint(h.0)
+            }
+            Operand::Sparse(m) => Fingerprint::of_matrix(m),
+        }
+    }
+
+    /// Digest of an `(A, B)` pair — the cache key component.
+    pub fn of_pair(a: &CsrMatrix, b: Operand<'_>) -> Fingerprint {
+        let fa = Fingerprint::of_matrix(a);
+        let fb = Fingerprint::of_operand(b);
+        let mut h = Fnv::new();
+        h.write_u64(fa.0);
+        h.write_u64(fb.0);
+        Fingerprint(h.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use misam_sparse::gen;
+
+    #[test]
+    fn identical_matrices_share_a_fingerprint() {
+        let a = gen::uniform_random(64, 64, 0.1, 7);
+        let b = gen::uniform_random(64, 64, 0.1, 7);
+        assert_eq!(Fingerprint::of_matrix(&a), Fingerprint::of_matrix(&b));
+    }
+
+    #[test]
+    fn different_seeds_or_shapes_differ() {
+        let a = gen::uniform_random(64, 64, 0.1, 7);
+        let b = gen::uniform_random(64, 64, 0.1, 8);
+        let c = gen::uniform_random(64, 48, 0.1, 7);
+        assert_ne!(Fingerprint::of_matrix(&a), Fingerprint::of_matrix(&b));
+        assert_ne!(Fingerprint::of_matrix(&a), Fingerprint::of_matrix(&c));
+    }
+
+    #[test]
+    fn values_matter_not_just_structure() {
+        let a = gen::uniform_random(32, 32, 0.2, 3);
+        let scaled = CsrMatrix::from_raw_parts(
+            a.rows(),
+            a.cols(),
+            a.row_ptr().to_vec(),
+            a.col_idx().to_vec(),
+            a.values().iter().map(|v| v * 2.0).collect(),
+        )
+        .unwrap();
+        assert_ne!(Fingerprint::of_matrix(&a), Fingerprint::of_matrix(&scaled));
+    }
+
+    #[test]
+    fn pair_distinguishes_operand_kinds() {
+        let a = gen::uniform_random(32, 32, 0.2, 3);
+        let dense = Fingerprint::of_pair(&a, Operand::Dense { rows: 32, cols: 16 });
+        let sparse = Fingerprint::of_pair(&a, Operand::Sparse(&a));
+        assert_ne!(dense, sparse);
+        // And the pair digest is order-sensitive.
+        let b = gen::uniform_random(32, 32, 0.2, 4);
+        let ab = Fingerprint::of_pair(&a, Operand::Sparse(&b));
+        let ba = Fingerprint::of_pair(&b, Operand::Sparse(&a));
+        assert_ne!(ab, ba);
+    }
+}

@@ -1,0 +1,84 @@
+//! Unified execution-oracle layer (the architectural seam between
+//! model-evaluation *call sites* and the cost models that answer them).
+//!
+//! Every consumer that needs "what would running `A × B` on target `t`
+//! cost?" — corpus labeling, the workload suite, device routing,
+//! ablation sweeps, the streaming executor — used to call a concrete
+//! simulator function directly and serially. This crate factors that
+//! question behind three pieces:
+//!
+//! * [`Executor`]: one trait for every cost model — the FPGA
+//!   cycle-level simulator, the analytic estimator, and the CPU / GPU /
+//!   Trapezoid baselines ([`executors`]).
+//! * [`SimOracle`]: a memoizing front for any executor. Results are
+//!   cached under a cheap structural [`Fingerprint`] of the operands ×
+//!   the target index, so a (matrix, design) pair is evaluated at most
+//!   once per process no matter how many experiment layers revisit it.
+//! * [`pool`]: a deterministic, order-preserving scoped-thread parallel
+//!   map (honoring the `MISAM_THREADS` env override) that fan-out sites
+//!   use to label corpora and sweep workload suites on every core.
+//!
+//! Determinism contract: `par_map` returns results in input order and
+//! executors are pure functions of their operands, so any
+//! `MISAM_THREADS` setting — including 1 — produces byte-identical
+//! results.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod executors;
+pub mod fingerprint;
+pub mod pool;
+
+mod service;
+
+pub use cache::CacheStats;
+pub use executors::{
+    AnalyticFpga, CpuExecutor, CustomFpga, FpgaSim, GpuExecutor, TrapezoidExecutor,
+};
+pub use fingerprint::Fingerprint;
+pub use service::{global, SimOracle};
+
+use misam_sim::Operand;
+use misam_sparse::CsrMatrix;
+
+/// A cost model that can evaluate `a × b` on one of its targets.
+///
+/// `target` indexes the executor's design/device space: the four FPGA
+/// dataflow designs for [`FpgaSim`], the three Trapezoid dataflows for
+/// [`TrapezoidExecutor`], a single device for the CPU/GPU baselines.
+/// Implementations must be pure (same operands + target → identical
+/// report) and thread-safe; that is what makes memoization and
+/// parallel fan-out sound.
+pub trait Executor: Sync {
+    /// The cost report this executor produces.
+    type Report: Clone + Send + Sync;
+
+    /// Number of valid targets; `execute` accepts `0..targets()`.
+    fn targets(&self) -> usize;
+
+    /// Evaluates `a × b` on `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= self.targets()` or operand shapes disagree.
+    fn execute(&self, a: &CsrMatrix, b: Operand<'_>, target: usize) -> Self::Report;
+
+    /// Evaluates every target for one operand pair, in target order.
+    fn execute_all(&self, a: &CsrMatrix, b: Operand<'_>) -> Vec<Self::Report> {
+        (0..self.targets()).map(|t| self.execute(a, b, t)).collect()
+    }
+}
+
+impl<E: Executor + ?Sized> Executor for &E {
+    type Report = E::Report;
+
+    fn targets(&self) -> usize {
+        (**self).targets()
+    }
+
+    fn execute(&self, a: &CsrMatrix, b: Operand<'_>, target: usize) -> Self::Report {
+        (**self).execute(a, b, target)
+    }
+}

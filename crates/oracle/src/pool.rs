@@ -1,0 +1,129 @@
+//! Deterministic scoped-thread parallel map.
+//!
+//! The fan-out primitive behind corpus labeling and experiment sweeps:
+//! `par_map(&items, f)` applies `f` to every item on a worker pool and
+//! returns results **in input order**, so callers observe exactly the
+//! sequence a serial loop would produce. Work is claimed from a shared
+//! atomic counter (dynamic load balancing — simulation cost varies by
+//! orders of magnitude across matrices) and results flow back over a
+//! channel tagged with their input index.
+//!
+//! Thread count resolves from the `MISAM_THREADS` environment variable
+//! when set (clamped to at least 1), else from
+//! `std::thread::available_parallelism`. `MISAM_THREADS=1` bypasses
+//! thread spawning entirely and runs the plain serial loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves the worker count: `MISAM_THREADS` override, else all cores.
+pub fn default_threads() -> usize {
+    match std::env::var("MISAM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                eprintln!("warning: ignoring unparsable MISAM_THREADS={v:?}");
+                available()
+            }
+        },
+        Err(_) => available(),
+    }
+}
+
+fn available() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item on [`default_threads`] workers, returning
+/// results in input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(items, default_threads(), f)
+}
+
+/// [`par_map`] with an explicit worker count (1 = serial in-thread).
+pub fn par_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move |_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                // A closed channel means the collector stopped early
+                // (it never does today); just stop producing.
+                if tx.send((idx, f(&items[idx]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (idx, value) in rx.iter() {
+            slots[idx] = Some(value);
+        }
+    })
+    .expect("oracle worker pool panicked");
+
+    slots.into_iter().map(|s| s.expect("worker dropped an item")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map_with(&items, 8, |&n| n * 3);
+        assert_eq!(out, (0..1000).map(|n| n * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let slow = |&n: &u64| {
+            // Uneven work so claim order scrambles.
+            (0..(n % 17) * 100).fold(n, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        };
+        assert_eq!(par_map_with(&items, 1, slow), par_map_with(&items, 7, slow));
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_with(&empty, 4, |&n| n).is_empty());
+        assert_eq!(par_map_with(&[5u32], 4, |&n| n + 1), vec![6]);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let items = [1u8, 2, 3];
+        assert_eq!(par_map_with(&items, 64, |&n| n as u32), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

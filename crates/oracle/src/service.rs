@@ -1,0 +1,146 @@
+//! The memoizing oracle service: any [`Executor`] fronted by a
+//! [`MemoCache`], plus the process-global FPGA oracle every fan-out
+//! site shares.
+
+use crate::cache::{CacheStats, MemoCache};
+use crate::executors::FpgaSim;
+use crate::{Executor, Fingerprint};
+use misam_sim::Operand;
+use misam_sparse::CsrMatrix;
+use std::sync::OnceLock;
+
+/// A memoizing front for any [`Executor`].
+///
+/// `SimOracle` is itself an `Executor`, so call sites written against
+/// the trait work identically with or without caching. Results are
+/// keyed by ([`Fingerprint::of_pair`], target), so a given (operand
+/// pair, target) is evaluated by the inner executor at most once per
+/// oracle — and, through [`global`], at most once per process.
+#[derive(Debug, Default)]
+pub struct SimOracle<E: Executor> {
+    inner: E,
+    cache: MemoCache<E::Report>,
+}
+
+impl<E: Executor> SimOracle<E> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: E) -> Self {
+        SimOracle { inner, cache: MemoCache::new() }
+    }
+
+    /// The wrapped executor.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Hit/miss counters and resident entry count.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached report and zeroes the counters.
+    pub fn clear(&self) {
+        self.cache.clear();
+    }
+}
+
+impl<E: Executor> Executor for SimOracle<E> {
+    type Report = E::Report;
+
+    fn targets(&self) -> usize {
+        self.inner.targets()
+    }
+
+    fn execute(&self, a: &CsrMatrix, b: Operand<'_>, target: usize) -> Self::Report {
+        let fp = Fingerprint::of_pair(a, b);
+        self.cache.get_or_compute(fp, target, || self.inner.execute(a, b, target))
+    }
+
+    fn execute_all(&self, a: &CsrMatrix, b: Operand<'_>) -> Vec<Self::Report> {
+        // Fingerprint once for the whole target sweep.
+        let fp = Fingerprint::of_pair(a, b);
+        (0..self.targets())
+            .map(|t| self.cache.get_or_compute(fp, t, || self.inner.execute(a, b, t)))
+            .collect()
+    }
+}
+
+/// The process-wide FPGA simulation oracle.
+///
+/// Every fan-out site (corpus labeling, workload sweeps, routing,
+/// streaming) routes through this instance, so a (matrix, design) pair
+/// is cycle-simulated exactly once per process no matter how many
+/// layers revisit it.
+pub fn global() -> &'static SimOracle<FpgaSim> {
+    static GLOBAL: OnceLock<SimOracle<FpgaSim>> = OnceLock::new();
+    GLOBAL.get_or_init(|| SimOracle::new(FpgaSim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool;
+    use misam_sim::{simulate, DesignId};
+    use misam_sparse::{gen, CsrMatrix};
+
+    #[test]
+    fn oracle_matches_inner_and_caches() {
+        let a = gen::power_law(128, 128, 4.0, 1.4, 11);
+        let b = gen::power_law(128, 96, 4.0, 1.4, 12);
+        let oracle = SimOracle::new(FpgaSim);
+
+        let first = oracle.execute_all(&a, Operand::Sparse(&b));
+        for (i, id) in DesignId::ALL.iter().enumerate() {
+            assert_eq!(first[i], simulate(&a, Operand::Sparse(&b), *id));
+        }
+        let s = oracle.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 4, 4));
+
+        let second = oracle.execute_all(&a, Operand::Sparse(&b));
+        assert_eq!(first, second);
+        let s = oracle.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (4, 4, 4));
+    }
+
+    #[test]
+    fn clear_forgets_reports() {
+        let a = gen::uniform_random(64, 64, 0.1, 5);
+        let oracle = SimOracle::new(FpgaSim);
+        oracle.execute(&a, Operand::Dense { rows: 64, cols: 32 }, 0);
+        oracle.clear();
+        assert_eq!(oracle.stats(), CacheStats::default());
+        oracle.execute(&a, Operand::Dense { rows: 64, cols: 32 }, 0);
+        assert_eq!(oracle.stats().misses, 1);
+    }
+
+    #[test]
+    fn parallel_sweep_simulates_each_pair_once() {
+        // The tentpole invariant: fan the same suite out across threads
+        // twice; every (fingerprint, design) still computes only once.
+        let suite: Vec<(CsrMatrix, CsrMatrix)> = (0..6)
+            .map(|s| {
+                (gen::power_law(96, 96, 3.0, 1.4, s), gen::power_law(96, 64, 3.0, 1.4, 100 + s))
+            })
+            .collect();
+        let oracle = SimOracle::new(FpgaSim);
+
+        let round1 =
+            pool::par_map_with(&suite, 4, |(a, b)| oracle.execute_all(a, Operand::Sparse(b)));
+        let round2 =
+            pool::par_map_with(&suite, 4, |(a, b)| oracle.execute_all(a, Operand::Sparse(b)));
+
+        assert_eq!(round1, round2);
+        let s = oracle.stats();
+        assert_eq!(s.misses, 6 * 4, "each (pair, design) simulated exactly once");
+        assert_eq!(s.entries, 6 * 4);
+        assert_eq!(s.hits, 6 * 4, "second round fully cached");
+    }
+
+    #[test]
+    fn global_oracle_is_one_instance() {
+        let p1: *const _ = global();
+        let p2: *const _ = global();
+        assert_eq!(p1, p2);
+        assert_eq!(global().targets(), DesignId::ALL.len());
+    }
+}

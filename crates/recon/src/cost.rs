@@ -50,10 +50,7 @@ impl ReconfigCost {
     ///
     /// Panics if `region_fraction` is outside `[0, 1]`.
     pub fn partial_time_s(&self, bitstream: BitstreamId, region_fraction: f64) -> f64 {
-        assert!(
-            (0.0..=1.0).contains(&region_fraction),
-            "region fraction must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&region_fraction), "region fraction must be in [0, 1]");
         let full = self.full_time_s(bitstream);
         let floor: f64 = if full > 0.0 { 0.15 } else { 0.0 };
         (full * region_fraction).max(floor.min(full))

@@ -107,10 +107,7 @@ impl<L: LatencyModel> ReconfigEngine<L> {
     ///
     /// Panics if `fraction` is outside `(0, 1]`.
     pub fn with_partial_region(mut self, fraction: f64) -> Self {
-        assert!(
-            fraction > 0.0 && fraction <= 1.0,
-            "dynamic region fraction must be in (0, 1]"
-        );
+        assert!(fraction > 0.0 && fraction <= 1.0, "dynamic region fraction must be in (0, 1]");
         self.partial_region = Some(fraction);
         self
     }

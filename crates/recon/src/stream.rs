@@ -11,7 +11,8 @@
 
 use crate::engine::{LatencyModel, ReconfigEngine};
 use misam_features::{PairFeatures, TileConfig};
-use misam_sim::{simulate, DesignId, Operand, SimReport};
+use misam_oracle::Executor;
+use misam_sim::{DesignId, Operand, SimReport};
 use misam_sparse::CsrMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -82,20 +83,25 @@ impl StreamOutcome {
 }
 
 /// Streams `a x b` tile by tile through `engine`, using `select` (the
-/// design classifier) to nominate a design per tile.
+/// design classifier) to nominate a design per tile. Tile execution is
+/// delegated to `executor` (target index = `DesignId::index`), so
+/// callers choose between the raw cycle simulator and a memoizing
+/// oracle like [`misam_oracle::global`].
 ///
 /// # Panics
 ///
 /// Panics if `a.cols() != b.rows()`, the tile range is empty or reversed,
 /// or `a` has no rows.
-pub fn run<L, S>(
+pub fn run<E, L, S>(
     a: &CsrMatrix,
     b: Operand<'_>,
     cfg: &StreamConfig,
+    executor: &E,
     engine: &mut ReconfigEngine<L>,
     mut select: S,
 ) -> StreamOutcome
 where
+    E: Executor<Report = SimReport>,
     L: LatencyModel,
     S: FnMut(&PairFeatures) -> DesignId,
 {
@@ -133,7 +139,7 @@ where
         let mean_tile = (cfg.tile_min_rows + cfg.tile_max_rows) as f64 / 2.0;
         let remaining_tiles = ((a.rows() - start) as f64 / mean_tile).max(1.0);
         let decision = engine.decide_amortized(&features, predicted, remaining_tiles);
-        let sim = simulate(&tile, b, decision.execute_on);
+        let sim = executor.execute(&tile, b, decision.execute_on.index());
 
         execute_time_s += sim.time_s;
         energy_j += sim.energy_j;
@@ -158,6 +164,7 @@ where
 mod tests {
     use super::*;
     use crate::cost::ReconfigCost;
+    use misam_oracle::FpgaSim;
     use misam_sparse::gen;
 
     fn tiny_cfg(seed: u64) -> StreamConfig {
@@ -174,7 +181,7 @@ mod tests {
         let b = Operand::Dense { rows: 512, cols: 64 };
         let mut engine = ReconfigEngine::new(flat_model(), ReconfigCost::zero(), 0.2);
         engine.force_load(DesignId::D1);
-        let out = run(&a, b, &tiny_cfg(3), &mut engine, |_| DesignId::D1);
+        let out = run(&a, b, &tiny_cfg(3), &FpgaSim, &mut engine, |_| DesignId::D1);
         assert_eq!(out.tiles.first().unwrap().row_start, 0);
         assert_eq!(out.tiles.last().unwrap().row_end, 1000);
         for w in out.tiles.windows(2) {
@@ -190,7 +197,7 @@ mod tests {
         let b = Operand::Dense { rows: 256, cols: 32 };
         let mut engine = ReconfigEngine::new(flat_model(), ReconfigCost::zero(), 0.2);
         engine.force_load(DesignId::D2);
-        let out = run(&a, b, &tiny_cfg(7), &mut engine, |_| DesignId::D2);
+        let out = run(&a, b, &tiny_cfg(7), &FpgaSim, &mut engine, |_| DesignId::D2);
         for t in &out.tiles[..out.tiles.len() - 1] {
             let h = t.row_end - t.row_start;
             assert!((100..=300).contains(&h), "tile height {h} out of range");
@@ -212,7 +219,7 @@ mod tests {
         let mut engine = ReconfigEngine::new(model, ReconfigCost::zero(), 0.2);
         engine.force_load(DesignId::D2);
         let mut first = true;
-        let out = run(&a, b, &tiny_cfg(4), &mut engine, move |_| {
+        let out = run(&a, b, &tiny_cfg(4), &FpgaSim, &mut engine, move |_| {
             if std::mem::take(&mut first) {
                 DesignId::D2
             } else {
@@ -238,7 +245,7 @@ mod tests {
         };
         let mut engine = ReconfigEngine::new(model, ReconfigCost::default(), 0.2);
         engine.force_load(DesignId::D2);
-        let out = run(&a, b, &tiny_cfg(6), &mut engine, |_| DesignId::D1);
+        let out = run(&a, b, &tiny_cfg(6), &FpgaSim, &mut engine, |_| DesignId::D1);
         assert_eq!(out.reconfig_count, 0);
         assert_eq!(out.reconfig_time_s, 0.0);
         assert!(out.tiles.iter().all(|t| t.executed_on == DesignId::D2));
@@ -251,7 +258,8 @@ mod tests {
         let bm = gen::power_law(800, 800, 5.0, 1.4, 9);
         let mut engine = ReconfigEngine::new(flat_model(), ReconfigCost::zero(), 0.2);
         engine.force_load(DesignId::D4);
-        let out = run(&a, Operand::Sparse(&bm), &tiny_cfg(10), &mut engine, |_| DesignId::D4);
+        let out =
+            run(&a, Operand::Sparse(&bm), &tiny_cfg(10), &FpgaSim, &mut engine, |_| DesignId::D4);
         assert!(out.energy_j > 0.0);
         assert!(out.execute_time_s > 0.0);
     }
@@ -272,6 +280,7 @@ mod tests {
             &a,
             Operand::Dense { rows: 64, cols: 48 },
             &StreamConfig { tile_min_rows: 200, tile_max_rows: 200, ..cfg },
+            &FpgaSim,
             &mut engine,
             |f| {
                 captured = Some(*f);
@@ -296,6 +305,7 @@ mod tests {
             &a,
             Operand::Dense { rows: 100, cols: 8 },
             &StreamConfig { tile_min_rows: 50, tile_max_rows: 10, seed: 0, ..Default::default() },
+            &FpgaSim,
             &mut engine,
             |_| DesignId::D1,
         );

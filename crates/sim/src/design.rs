@@ -170,14 +170,9 @@ impl DesignConfig {
             // versus Design 2's 48.02% on 24 — roughly twice the BRAM per
             // PEG — so Design 1 holds twice as many B rows per tile.
             DesignId::D1 => DesignConfig { bram_entries: 8192, ..base },
-            DesignId::D2 => DesignConfig {
-                ch_a: 12,
-                ch_c: 12,
-                pegs: 24,
-                accgs: 24,
-                freq_mhz: 290.3,
-                ..base
-            },
+            DesignId::D2 => {
+                DesignConfig { ch_a: 12, ch_c: 12, pegs: 24, accgs: 24, freq_mhz: 290.3, ..base }
+            }
             DesignId::D3 => DesignConfig {
                 ch_a: 12,
                 ch_c: 12,

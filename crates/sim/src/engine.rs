@@ -289,7 +289,8 @@ mod tests {
     fn large_regular_workload_prefers_design2() {
         let a = gen::uniform_random(2048, 2048, 0.08, 1);
         let b = Operand::Dense { rows: 2048, cols: 512 };
-        let reports: Vec<_> = [DesignId::D1, DesignId::D2].iter().map(|&d| simulate(&a, b, d)).collect();
+        let reports: Vec<_> =
+            [DesignId::D1, DesignId::D2].iter().map(|&d| simulate(&a, b, d)).collect();
         assert_eq!(best_of(&reports), DesignId::D2);
     }
 

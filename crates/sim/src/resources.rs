@@ -19,9 +19,11 @@ pub struct ResourceUtil {
     pub dsp: f64,
 }
 
-impl ResourceUtil {
-    /// Element-wise sum, used for multi-tenant packing checks.
-    pub fn add(self, other: ResourceUtil) -> ResourceUtil {
+/// Element-wise sum, used for multi-tenant packing checks.
+impl std::ops::Add for ResourceUtil {
+    type Output = ResourceUtil;
+
+    fn add(self, other: ResourceUtil) -> ResourceUtil {
         ResourceUtil {
             lut: self.lut + other.lut,
             ff: self.ff + other.ff,
@@ -30,7 +32,9 @@ impl ResourceUtil {
             dsp: self.dsp + other.dsp,
         }
     }
+}
 
+impl ResourceUtil {
     /// True when every resource stays within the device (`<= 1.0`).
     pub fn fits(self) -> bool {
         self.lut <= 1.0 && self.ff <= 1.0 && self.bram <= 1.0 && self.uram <= 1.0 && self.dsp <= 1.0
@@ -46,11 +50,15 @@ impl ResourceUtil {
 /// therefore a footprint.
 pub fn utilization(id: DesignId) -> ResourceUtil {
     match id {
-        DesignId::D1 => ResourceUtil { lut: 0.3320, ff: 0.2361, bram: 0.6071, uram: 0.2667, dsp: 0.2900 },
+        DesignId::D1 => {
+            ResourceUtil { lut: 0.3320, ff: 0.2361, bram: 0.6071, uram: 0.2667, dsp: 0.2900 }
+        }
         DesignId::D2 | DesignId::D3 => {
             ResourceUtil { lut: 0.4303, ff: 0.3035, bram: 0.4802, uram: 0.4000, dsp: 0.3068 }
         }
-        DesignId::D4 => ResourceUtil { lut: 0.3053, ff: 0.2115, bram: 0.2421, uram: 0.3000, dsp: 0.2049 },
+        DesignId::D4 => {
+            ResourceUtil { lut: 0.3053, ff: 0.2115, bram: 0.2421, uram: 0.3000, dsp: 0.2049 }
+        }
     }
 }
 
@@ -106,7 +114,7 @@ pub fn packing_fits(designs: &[DesignId]) -> bool {
     let total = designs
         .iter()
         .map(|&d| utilization(d))
-        .fold(ResourceUtil { lut: 0.0, ff: 0.0, bram: 0.0, uram: 0.0, dsp: 0.0 }, ResourceUtil::add);
+        .fold(ResourceUtil { lut: 0.0, ff: 0.0, bram: 0.0, uram: 0.0, dsp: 0.0 }, |acc, u| acc + u);
     total.fits()
 }
 

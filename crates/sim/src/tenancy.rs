@@ -83,13 +83,10 @@ pub fn co_schedule(tenants: &[Tenant<'_>]) -> Result<TenancyReport, PackingError
     assert!(!tenants.is_empty(), "tenant set must be non-empty");
     let designs: Vec<DesignId> = tenants.iter().map(|t| t.design).collect();
     if !resources::packing_fits(&designs) {
-        return Err(PackingError {
-            reason: format!("fabric over-subscribed by {designs:?}"),
-        });
+        return Err(PackingError { reason: format!("fabric over-subscribed by {designs:?}") });
     }
 
-    let isolated: Vec<SimReport> =
-        tenants.iter().map(|t| simulate(t.a, t.b, t.design)).collect();
+    let isolated: Vec<SimReport> = tenants.iter().map(|t| simulate(t.a, t.b, t.design)).collect();
 
     // Channel sharing: if the sum of demanded channels exceeds the
     // device, every tenant's memory-bound portion stretches by the
@@ -108,15 +105,10 @@ pub fn co_schedule(tenants: &[Tenant<'_>]) -> Result<TenancyReport, PackingError
     let mut concurrent_s = 0.0f64;
     let mut sequential_s = 0.0f64;
     for rep in &isolated {
-        let mem_bound = rep
-            .breakdown
-            .a_read
-            .max(rep.breakdown.b_read)
-            .max(rep.breakdown.c_write);
+        let mem_bound = rep.breakdown.a_read.max(rep.breakdown.b_read).max(rep.breakdown.c_write);
         let bound = rep.breakdown.bound();
         // Stretch the memory term by the share factor; compute holds.
-        let stretched = (mem_bound as f64 * share)
-            .max(rep.breakdown.compute as f64)
+        let stretched = (mem_bound as f64 * share).max(rep.breakdown.compute as f64)
             + rep.breakdown.overhead as f64;
         let factor = (stretched / rep.cycles as f64).max(1.0);
         let _ = bound;

@@ -106,10 +106,8 @@ pub fn run(a: &CsrMatrix, cfg: &ToyConfig) -> ToyTimeline {
         Traversal::Col => {
             // Column-major traversal, elements round-robin across PEs.
             let csc = a.to_csc();
-            let mut idx = 0usize;
-            for (r, c, _) in csc.iter() {
+            for (idx, (r, c, _)) in csc.iter().enumerate() {
                 queues[idx % pes].push((r, c));
-                idx += 1;
             }
         }
         Traversal::Row => {
@@ -126,14 +124,13 @@ pub fn run(a: &CsrMatrix, cfg: &ToyConfig) -> ToyTimeline {
     let mut bubbles = 0u64;
     for queue in &mut queues {
         let mut slots: Vec<Slot> = Vec::new();
-        let mut last_issue: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        let mut last_issue: std::collections::HashMap<usize, u64> =
+            std::collections::HashMap::new();
         let mut remaining: Vec<(usize, usize)> = std::mem::take(queue);
         let mut t = 0u64;
         while !remaining.is_empty() {
             let ready = remaining.iter().position(|&(r, _)| {
-                last_issue
-                    .get(&r)
-                    .is_none_or(|&prev| t >= prev + cfg.dep_distance)
+                last_issue.get(&r).is_none_or(|&prev| t >= prev + cfg.dep_distance)
             });
             match ready {
                 Some(i) => {

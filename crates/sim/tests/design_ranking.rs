@@ -36,10 +36,7 @@ fn design3_gains_with_row_imbalance() {
     let skewed = gen::imbalanced_rows(4096, 4096, 0.005, 3000, 6, 3);
     let r_bal = ratio(&balanced, b, DesignId::D3, DesignId::D2);
     let r_skew = ratio(&skewed, b, DesignId::D3, DesignId::D2);
-    assert!(
-        r_skew < r_bal,
-        "imbalance must favor D3: balanced {r_bal:.3} vs skewed {r_skew:.3}"
-    );
+    assert!(r_skew < r_bal, "imbalance must favor D3: balanced {r_bal:.3} vs skewed {r_skew:.3}");
     assert!(r_skew < 1.0, "under heavy skew D3 must win outright ({r_skew:.3})");
 }
 

@@ -37,8 +37,10 @@ impl CooMatrix {
     /// Panics if either dimension exceeds `u32::MAX`, the index width of
     /// the hardware's coalesced 64-bit entry format.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize,
-            "matrix dimensions must fit the 32-bit index fields of the coalesced entry format");
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "matrix dimensions must fit the 32-bit index fields of the coalesced entry format"
+        );
         CooMatrix { rows, cols, entries: Vec::new() }
     }
 
@@ -235,8 +237,8 @@ mod tests {
 
     #[test]
     fn csr_roundtrip_preserves_entries() {
-        let m = CooMatrix::from_triplets(3, 4, vec![(2, 3, 1.5), (0, 1, -2.0), (2, 0, 4.0)])
-            .unwrap();
+        let m =
+            CooMatrix::from_triplets(3, 4, vec![(2, 3, 1.5), (0, 1, -2.0), (2, 0, 4.0)]).unwrap();
         let csr = m.to_csr();
         assert_eq!(csr.get(2, 3), Some(1.5));
         assert_eq!(csr.get(0, 1), Some(-2.0));
@@ -246,8 +248,8 @@ mod tests {
 
     #[test]
     fn csc_matches_csr_contents() {
-        let m = CooMatrix::from_triplets(3, 3, vec![(0, 2, 1.0), (1, 0, 2.0), (2, 2, 3.0)])
-            .unwrap();
+        let m =
+            CooMatrix::from_triplets(3, 3, vec![(0, 2, 1.0), (1, 0, 2.0), (2, 2, 3.0)]).unwrap();
         let csr = m.to_csr();
         let csc = m.to_csc();
         for r in 0..3 {

@@ -238,16 +238,13 @@ mod tests {
         // [ 1 0 ]
         // [ 0 3 ]
         // [ 2 0 ]
-        CscMatrix::from_raw_parts(3, 2, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])
-            .unwrap()
+        CscMatrix::from_raw_parts(3, 2, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap()
     }
 
     #[test]
     fn validation_rejects_bad_pointers() {
         assert!(CscMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
-        assert!(
-            CscMatrix::from_raw_parts(2, 2, vec![1, 1, 1], vec![0], vec![1.0]).is_err()
-        );
+        assert!(CscMatrix::from_raw_parts(2, 2, vec![1, 1, 1], vec![0], vec![1.0]).is_err());
     }
 
     #[test]

@@ -355,8 +355,7 @@ mod tests {
     fn sample() -> CsrMatrix {
         // [ 0 1 0 ]
         // [ 2 0 3 ]
-        CsrMatrix::from_raw_parts(2, 3, vec![0, 1, 3], vec![1, 0, 2], vec![1.0, 2.0, 3.0])
-            .unwrap()
+        CsrMatrix::from_raw_parts(2, 3, vec![0, 1, 3], vec![1, 0, 2], vec![1.0, 2.0, 3.0]).unwrap()
     }
 
     #[test]
@@ -373,8 +372,7 @@ mod tests {
 
     #[test]
     fn from_raw_parts_validates_sorted_columns() {
-        let err =
-            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+        let err = CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
         assert!(matches!(err, Err(SparseError::MalformedIndices(_))));
     }
 

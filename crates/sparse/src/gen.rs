@@ -143,10 +143,15 @@ fn binomial(rng: &mut StdRng, n: usize, p: f64) -> usize {
 pub fn uniform_random(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
     assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0001);
-    build_by_rows(rows, cols, |r, rng| {
-        let _ = r;
-        binomial(rng, cols, density)
-    }, &mut rng)
+    build_by_rows(
+        rows,
+        cols,
+        |r, rng| {
+            let _ = r;
+            binomial(rng, cols, density)
+        },
+        &mut rng,
+    )
 }
 
 /// Generates a scale-free (power-law) adjacency-like matrix with `avg_nnz`
@@ -219,14 +224,8 @@ pub fn rmat(
     seed: u64,
 ) -> CsrMatrix {
     let (a, b, c, d) = probs;
-    assert!(
-        a > 0.0 && b > 0.0 && c > 0.0 && d > 0.0,
-        "quadrant probabilities must be positive"
-    );
-    assert!(
-        ((a + b + c + d) - 1.0).abs() < 1e-6,
-        "quadrant probabilities must sum to 1"
-    );
+    assert!(a > 0.0 && b > 0.0 && c > 0.0 && d > 0.0, "quadrant probabilities must be positive");
+    assert!(((a + b + c + d) - 1.0).abs() < 1e-6, "quadrant probabilities must sum to 1");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_000a);
     if rows == 0 || cols == 0 {
         return CsrMatrix::zeros(rows, cols);
@@ -363,7 +362,13 @@ pub fn mesh3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
 /// Generates a circuit-simulation-style matrix: diagonal plus sparse
 /// random couplings, plus `dense_rows` rows (supply rails) that touch a
 /// large share of columns.
-pub fn circuit(rows: usize, cols: usize, avg_off_diag: f64, dense_rows: usize, seed: u64) -> CsrMatrix {
+pub fn circuit(
+    rows: usize,
+    cols: usize,
+    avg_off_diag: f64,
+    dense_rows: usize,
+    seed: u64,
+) -> CsrMatrix {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0004);
     let mut coo = CooMatrix::new(rows, cols);
     let n_dense = dense_rows.min(rows);
@@ -371,7 +376,11 @@ pub fn circuit(rows: usize, cols: usize, avg_off_diag: f64, dense_rows: usize, s
         if r < cols {
             coo.push(r, r, value(&mut rng)).expect("diagonal in bounds");
         }
-        let k = binomial(&mut rng, cols.saturating_sub(1), (avg_off_diag / cols.max(1) as f64).min(1.0));
+        let k = binomial(
+            &mut rng,
+            cols.saturating_sub(1),
+            (avg_off_diag / cols.max(1) as f64).min(1.0),
+        );
         for c in sample_distinct(&mut rng, cols, k) {
             if c as usize != r {
                 coo.push(r, c as usize, value(&mut rng)).expect("in bounds");
@@ -617,7 +626,7 @@ mod tests {
         assert_eq!(m.get(5, 6), Some(-1.0)); // east
         assert_eq!(m.get(5, 1), Some(-1.0)); // south
         assert_eq!(m.get(5, 9), Some(-1.0)); // north
-        // Corner has only 3 entries; matrix is symmetric.
+                                             // Corner has only 3 entries; matrix is symmetric.
         assert_eq!(m.row_nnz(0), 3);
         let mt = m.transpose();
         assert_eq!(m, mt);
@@ -629,8 +638,9 @@ mod tests {
     fn mesh3d_matches_seven_point_structure() {
         let m = mesh3d(3, 3, 3);
         assert_eq!(m.rows(), 27);
-        // Center of the cube has the full 7-point stencil.
-        let center = (1 * 3 + 1) * 3 + 1;
+        // Center of the cube — (x, y, z) = (1, 1, 1) — has the full
+        // 7-point stencil.
+        let center = 13;
         assert_eq!(m.row_nnz(center), 7);
         assert_eq!(m.get(center, center), Some(6.0));
         assert_eq!(m, m.transpose());

@@ -199,10 +199,8 @@ mod tests {
     #[test]
     fn rejects_malformed_headers() {
         assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
-        assert!(read_matrix_market(
-            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
-        )
-        .is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes())
+            .is_err());
         assert!(read_matrix_market("".as_bytes()).is_err());
     }
 

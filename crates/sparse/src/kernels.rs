@@ -234,13 +234,7 @@ pub fn spmv(a: &CsrMatrix, x: &[f32]) -> Result<Vec<f32>> {
 
 /// Dense reference GEMM over row-major buffers, used only to validate the
 /// sparse kernels in tests.
-pub fn dense_gemm(
-    a: &[f32],
-    b: &[f32],
-    m: usize,
-    k: usize,
-    n: usize,
-) -> Vec<f32> {
+pub fn dense_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), k * n);
     let mut c = vec![0f32; m * n];
@@ -266,9 +260,7 @@ pub fn spgemm_flops(a: &CsrMatrix, b: &CsrMatrix) -> u64 {
     for &c in a.col_idx() {
         a_col_counts[c as usize] += 1;
     }
-    (0..b.rows().min(a.cols()))
-        .map(|k| a_col_counts[k] * b.row_nnz(k) as u64)
-        .sum()
+    (0..b.rows().min(a.cols())).map(|k| a_col_counts[k] * b.row_nnz(k) as u64).sum()
 }
 
 /// Exact number of nonzeros in the product `A x B` (symbolic phase only).
@@ -301,11 +293,7 @@ mod tests {
             4,
             &[1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 4.0],
         );
-        let b = CsrMatrix::from_dense(
-            4,
-            2,
-            &[1.0, 2.0, 0.0, 1.0, 3.0, 0.0, 0.0, 5.0],
-        );
+        let b = CsrMatrix::from_dense(4, 2, &[1.0, 2.0, 0.0, 1.0, 3.0, 0.0, 0.0, 5.0]);
         (a, b)
     }
 

@@ -102,22 +102,134 @@ fn fxhash(s: &str) -> u64 {
 pub fn catalog() -> &'static [MatrixRecord] {
     use MatrixClass::*;
     const CATALOG: &[MatrixRecord] = &[
-        MatrixRecord { name: "p2p-Gnutella24", id: "p2p", density: 9.3e-5, rows: 26518, nnz: 65369, class: Graph },
-        MatrixRecord { name: "sx-mathoverflow", id: "sx", density: 3.9e-4, rows: 24818, nnz: 239978, class: Graph },
-        MatrixRecord { name: "ca-CondMat", id: "cond", density: 3.5e-4, rows: 23133, nnz: 186936, class: Graph },
-        MatrixRecord { name: "Oregon-2", id: "ore", density: 3.5e-4, rows: 11806, nnz: 65460, class: Graph },
-        MatrixRecord { name: "email-Enron", id: "em", density: 2.7e-4, rows: 36692, nnz: 367662, class: Graph },
-        MatrixRecord { name: "opt1", id: "opt", density: 8.1e-3, rows: 15449, nnz: 1930655, class: Optimization },
-        MatrixRecord { name: "scircuit", id: "sc", density: 3.3e-5, rows: 170998, nnz: 958936, class: Circuit },
-        MatrixRecord { name: "gupta2", id: "gup", density: 1.1e-3, rows: 62064, nnz: 4248286, class: Optimization },
-        MatrixRecord { name: "sme3Db", id: "sme", density: 2.5e-3, rows: 29067, nnz: 2081063, class: Fem },
-        MatrixRecord { name: "poisson3Da", id: "poi", density: 1.9e-3, rows: 13514, nnz: 352762, class: Fem },
-        MatrixRecord { name: "wiki-RfA", id: "wiki", density: 1.5e-3, rows: 11380, nnz: 188077, class: Graph },
-        MatrixRecord { name: "ca-AstroPh", id: "astro", density: 1.1e-3, rows: 18772, nnz: 396160, class: Graph },
-        MatrixRecord { name: "msc10848", id: "ms", density: 1.0e-2, rows: 10848, nnz: 1229776, class: Fem },
-        MatrixRecord { name: "ramage02", id: "ram", density: 1.0e-2, rows: 16830, nnz: 2866352, class: Fem },
-        MatrixRecord { name: "cage12", id: "cage", density: 1.2e-4, rows: 130228, nnz: 2032536, class: Cage },
-        MatrixRecord { name: "goodwin", id: "good", density: 6.0e-3, rows: 7320, nnz: 324772, class: Fem },
+        MatrixRecord {
+            name: "p2p-Gnutella24",
+            id: "p2p",
+            density: 9.3e-5,
+            rows: 26518,
+            nnz: 65369,
+            class: Graph,
+        },
+        MatrixRecord {
+            name: "sx-mathoverflow",
+            id: "sx",
+            density: 3.9e-4,
+            rows: 24818,
+            nnz: 239978,
+            class: Graph,
+        },
+        MatrixRecord {
+            name: "ca-CondMat",
+            id: "cond",
+            density: 3.5e-4,
+            rows: 23133,
+            nnz: 186936,
+            class: Graph,
+        },
+        MatrixRecord {
+            name: "Oregon-2",
+            id: "ore",
+            density: 3.5e-4,
+            rows: 11806,
+            nnz: 65460,
+            class: Graph,
+        },
+        MatrixRecord {
+            name: "email-Enron",
+            id: "em",
+            density: 2.7e-4,
+            rows: 36692,
+            nnz: 367662,
+            class: Graph,
+        },
+        MatrixRecord {
+            name: "opt1",
+            id: "opt",
+            density: 8.1e-3,
+            rows: 15449,
+            nnz: 1930655,
+            class: Optimization,
+        },
+        MatrixRecord {
+            name: "scircuit",
+            id: "sc",
+            density: 3.3e-5,
+            rows: 170998,
+            nnz: 958936,
+            class: Circuit,
+        },
+        MatrixRecord {
+            name: "gupta2",
+            id: "gup",
+            density: 1.1e-3,
+            rows: 62064,
+            nnz: 4248286,
+            class: Optimization,
+        },
+        MatrixRecord {
+            name: "sme3Db",
+            id: "sme",
+            density: 2.5e-3,
+            rows: 29067,
+            nnz: 2081063,
+            class: Fem,
+        },
+        MatrixRecord {
+            name: "poisson3Da",
+            id: "poi",
+            density: 1.9e-3,
+            rows: 13514,
+            nnz: 352762,
+            class: Fem,
+        },
+        MatrixRecord {
+            name: "wiki-RfA",
+            id: "wiki",
+            density: 1.5e-3,
+            rows: 11380,
+            nnz: 188077,
+            class: Graph,
+        },
+        MatrixRecord {
+            name: "ca-AstroPh",
+            id: "astro",
+            density: 1.1e-3,
+            rows: 18772,
+            nnz: 396160,
+            class: Graph,
+        },
+        MatrixRecord {
+            name: "msc10848",
+            id: "ms",
+            density: 1.0e-2,
+            rows: 10848,
+            nnz: 1229776,
+            class: Fem,
+        },
+        MatrixRecord {
+            name: "ramage02",
+            id: "ram",
+            density: 1.0e-2,
+            rows: 16830,
+            nnz: 2866352,
+            class: Fem,
+        },
+        MatrixRecord {
+            name: "cage12",
+            id: "cage",
+            density: 1.2e-4,
+            rows: 130228,
+            nnz: 2032536,
+            class: Cage,
+        },
+        MatrixRecord {
+            name: "goodwin",
+            id: "good",
+            density: 6.0e-3,
+            rows: 7320,
+            nnz: 324772,
+            class: Fem,
+        },
     ];
     CATALOG
 }

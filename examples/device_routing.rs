@@ -26,28 +26,19 @@ fn main() {
     println!("\nrouting characteristic workloads:");
 
     let cases: Vec<(&str, PairFeatures)> = vec![
-        (
-            "hypersparse graph x graph (HSxHS)",
-            {
-                let a = gen::power_law(4000, 4000, 4.0, 1.4, 1);
-                let b = gen::power_law(4000, 4000, 4.0, 1.4, 2);
-                PairFeatures::extract(&a, &b, &cfg)
-            },
-        ),
-        (
-            "dense x dense block (D-heavy)",
-            {
-                let a = gen::dense(512, 512, 3);
-                PairFeatures::extract_dense_b(&a, 512, 512, &cfg)
-            },
-        ),
-        (
-            "pruned weights x activations (MSxD)",
-            {
-                let a = gen::pruned_dnn(512, 1024, 0.15, 4);
-                PairFeatures::extract_dense_b(&a, 1024, 512, &cfg)
-            },
-        ),
+        ("hypersparse graph x graph (HSxHS)", {
+            let a = gen::power_law(4000, 4000, 4.0, 1.4, 1);
+            let b = gen::power_law(4000, 4000, 4.0, 1.4, 2);
+            PairFeatures::extract(&a, &b, &cfg)
+        }),
+        ("dense x dense block (D-heavy)", {
+            let a = gen::dense(512, 512, 3);
+            PairFeatures::extract_dense_b(&a, 512, 512, &cfg)
+        }),
+        ("pruned weights x activations (MSxD)", {
+            let a = gen::pruned_dnn(512, 1024, 0.15, 4);
+            PairFeatures::extract_dense_b(&a, 1024, 512, &cfg)
+        }),
     ];
 
     for (name, f) in cases {

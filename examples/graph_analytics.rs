@@ -22,7 +22,10 @@ fn main() {
         .train();
 
     println!("A x A self-multiplication on synthetic SuiteSparse graphs");
-    println!("{:<10} {:>10} {:>10}  {:>9} {:>9} {:>9} {:>9}  chosen", "graph", "rows", "nnz", "D1", "D2", "D3", "D4");
+    println!(
+        "{:<10} {:>10} {:>10}  {:>9} {:>9} {:>9} {:>9}  chosen",
+        "graph", "rows", "nnz", "D1", "D2", "D3", "D4"
+    );
 
     for id in ["p2p", "wiki", "astro", "cond", "ore"] {
         let rec = suitesparse::by_id(id).expect("catalog id");

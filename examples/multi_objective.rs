@@ -39,9 +39,8 @@ fn main() {
     // cost on the other axis?
     let lat_labels = ds.labels(Objective::Latency);
     let eng_labels = ds.labels(Objective::Energy);
-    let disagreements: Vec<usize> = (0..ds.len())
-        .filter(|&i| lat_labels[i] != eng_labels[i])
-        .collect();
+    let disagreements: Vec<usize> =
+        (0..ds.len()).filter(|&i| lat_labels[i] != eng_labels[i]).collect();
     println!(
         "\nobjectives disagree on {} / {} samples ({:.0}%)",
         disagreements.len(),
@@ -58,9 +57,7 @@ fn main() {
         energy_saving.push(s.energies_j[l] / s.energies_j[e]);
     }
     if !disagreements.is_empty() {
-        let gm = |v: &[f64]| {
-            (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
-        };
+        let gm = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
         println!(
             "on those samples, choosing the energy-optimal design costs {:.2}x \
              time and saves {:.2}x energy (geomean)",

@@ -23,10 +23,7 @@ fn main() {
         sel.accuracy * 100.0,
         sel.model_bytes
     );
-    println!(
-        "  latency predictor: MAE {:.3} / R2 {:.3} (log10 latency)",
-        lat.mae, lat.r2
-    );
+    println!("  latency predictor: MAE {:.3} / R2 {:.3} (log10 latency)", lat.mae, lat.r2);
 
     // 2. A graph-analytics style workload: power-law A times a dense
     //    multi-right-hand-side block.
@@ -58,8 +55,5 @@ fn main() {
     println!("\nsparse x sparse follow-up:");
     println!("  predicted design : {}", report2.predicted);
     println!("  executed on      : {}", report2.decision.execute_on);
-    println!(
-        "  engine kept the loaded bitstream: {}",
-        !report2.decision.reconfigured
-    );
+    println!("  engine kept the loaded bitstream: {}", !report2.decision.reconfigured);
 }

@@ -24,10 +24,12 @@ fn main() {
     println!("\ntraining design selector (70/30 split, inverse-frequency class weights)…");
     let sel = training::train_selector(&ds, Objective::Latency, 1);
     println!("validation accuracy: {:.1}%", sel.accuracy * 100.0);
-    println!("model: {} nodes, depth {}, {} bytes serialized",
+    println!(
+        "model: {} nodes, depth {}, {} bytes serialized",
         sel.selector.tree().node_count(),
         sel.selector.tree().depth(),
-        sel.model_bytes);
+        sel.model_bytes
+    );
 
     println!("\nfeature importances (Figure 4):");
     for (name, imp) in sel.selector.ranked_importances().iter().take(8) {

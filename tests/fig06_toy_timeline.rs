@@ -60,12 +60,8 @@ fn timelines_account_for_every_element() {
     for (a, _) in &demos {
         for d in 1..=3u8 {
             let t = toy::run(a, &ToyConfig::figure6(d));
-            let work: usize = t
-                .pe_slots
-                .iter()
-                .flatten()
-                .filter(|s| matches!(s, Slot::Work { .. }))
-                .count();
+            let work: usize =
+                t.pe_slots.iter().flatten().filter(|s| matches!(s, Slot::Work { .. })).count();
             assert_eq!(work, a.nnz(), "design {d} lost or duplicated elements");
         }
     }

@@ -26,28 +26,24 @@ fn arb_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix
 /// Strategy: a compatible (A, B) pair.
 fn arb_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
     (1usize..=20, 1usize..=20, 1usize..=20).prop_flat_map(|(m, k, n)| {
-        let a = proptest::collection::vec((0..m, 0..k, -8i32..=8), 0..=60).prop_map(
-            move |t| {
-                let mut coo = CooMatrix::new(m, k);
-                for (i, j, v) in t {
-                    coo.push(i, j, v as f32 * 0.5).unwrap();
-                }
-                coo.compress();
-                coo.prune_zeros();
-                coo.to_csr()
-            },
-        );
-        let b = proptest::collection::vec((0..k, 0..n, -8i32..=8), 0..=60).prop_map(
-            move |t| {
-                let mut coo = CooMatrix::new(k, n);
-                for (i, j, v) in t {
-                    coo.push(i, j, v as f32 * 0.5).unwrap();
-                }
-                coo.compress();
-                coo.prune_zeros();
-                coo.to_csr()
-            },
-        );
+        let a = proptest::collection::vec((0..m, 0..k, -8i32..=8), 0..=60).prop_map(move |t| {
+            let mut coo = CooMatrix::new(m, k);
+            for (i, j, v) in t {
+                coo.push(i, j, v as f32 * 0.5).unwrap();
+            }
+            coo.compress();
+            coo.prune_zeros();
+            coo.to_csr()
+        });
+        let b = proptest::collection::vec((0..k, 0..n, -8i32..=8), 0..=60).prop_map(move |t| {
+            let mut coo = CooMatrix::new(k, n);
+            for (i, j, v) in t {
+                coo.push(i, j, v as f32 * 0.5).unwrap();
+            }
+            coo.compress();
+            coo.prune_zeros();
+            coo.to_csr()
+        });
         (a, b)
     })
 }

@@ -72,12 +72,8 @@ fn streaming_matches_tilewise_accounting() {
     let mut misam = system(4, ReconfigCost::zero());
     misam.preload(DesignId::D2);
     let a = gen::regular_degree(2400, 2400, 6, 7);
-    let cfg = StreamConfig {
-        tile_min_rows: 400,
-        tile_max_rows: 900,
-        seed: 5,
-        ..Default::default()
-    };
+    let cfg =
+        StreamConfig { tile_min_rows: 400, tile_max_rows: 900, seed: 5, ..Default::default() };
     let out = misam.stream(&a, Operand::Dense { rows: 2400, cols: 128 }, &cfg);
 
     let sum: f64 = out.tiles.iter().map(|t| t.sim.time_s).sum();

@@ -2,9 +2,9 @@
 //! predictors and the streaming executor — the Figure 8 experiment at
 //! reduced scale.
 
+use misam::dataset::Dataset;
 use misam::experiments::{self, ExperimentScale};
 use misam::training;
-use misam::dataset::Dataset;
 use misam_features::{PairFeatures, TileConfig};
 use misam_recon::cost::ReconfigCost;
 use misam_recon::engine::{LatencyModel, ReconfigEngine};

@@ -50,10 +50,7 @@ fn fig10_fig11_shape_holds_at_small_scale() {
     // GPUs excel at dense: the MSxD gap must be far smaller than the
     // CPU gap (the paper reports GPU wins there on energy).
     let msd = get(Category::MsD);
-    assert!(
-        msd.speedup_vs_gpu < msd.speedup_vs_cpu,
-        "GPU should be the stronger dense baseline"
-    );
+    assert!(msd.speedup_vs_gpu < msd.speedup_vs_cpu, "GPU should be the stronger dense baseline");
 
     // Energy (Figure 11): on HS categories Misam's FPGA power advantage
     // compounds the speedup against the 260 W GPU.
@@ -90,16 +87,8 @@ fn misam_is_competitive_with_trapezoid_where_it_matters() {
     // Paper: 3.23x on HSxMS, 1.01x on MSxMS — i.e., a clear win where
     // dataflow choice matters, parity where it doesn't. At reduced scale
     // we assert the ordering and competitiveness.
-    assert!(
-        hsms.speedup_vs_trapezoid > 0.8,
-        "HSxMS vs Trapezoid {:.2}",
-        hsms.speedup_vs_trapezoid
-    );
-    assert!(
-        msms.speedup_vs_trapezoid > 0.3,
-        "MSxMS vs Trapezoid {:.2}",
-        msms.speedup_vs_trapezoid
-    );
+    assert!(hsms.speedup_vs_trapezoid > 0.8, "HSxMS vs Trapezoid {:.2}", hsms.speedup_vs_trapezoid);
+    assert!(msms.speedup_vs_trapezoid > 0.3, "MSxMS vs Trapezoid {:.2}", msms.speedup_vs_trapezoid);
 }
 
 #[test]
@@ -127,11 +116,7 @@ fn fig13_selector_ports_to_trapezoid() {
         "Trapezoid dataflow selector accuracy {:.2} (paper: 0.92)",
         r.accuracy
     );
-    assert!(
-        r.max_speedup > 2.0,
-        "max oracle speedup {:.2} (paper: up to 15.8x)",
-        r.max_speedup
-    );
+    assert!(r.max_speedup > 2.0, "max oracle speedup {:.2} (paper: up to 15.8x)", r.max_speedup);
     for row in &r.rows {
         let best = row.normalized.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!((best - 1.0).abs() < 1e-9);

@@ -1,0 +1,164 @@
+//! Unbounded channels with crossbeam's API shape over
+//! `std::sync::mpsc`. The receiver side is mutex-wrapped so it can be
+//! cloned and shared across worker threads (crossbeam channels are
+//! multi-consumer; std's are not).
+
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// Creates an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: Arc::new(Mutex::new(rx)) })
+}
+
+/// The sending half; clonable for multiple producers.
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender { inner: self.inner.clone() }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender")
+    }
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl<T> Sender<T> {
+    /// Enqueues `value`; fails only if all receivers were dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+/// The receiving half; clonable for multiple consumers.
+pub struct Receiver<T> {
+    inner: Arc<Mutex<mpsc::Receiver<T>>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks for the next value; fails once all senders are dropped and
+    /// the queue is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive of any already-queued value.
+    pub fn try_recv(&self) -> Option<T> {
+        let guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.try_recv().ok()
+    }
+
+    /// Blocking iterator over values until the channel closes.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+/// Iterator returned by [`Receiver::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { rx: self }
+    }
+}
+
+/// Iterator returned by consuming a [`Receiver`].
+#[derive(Debug)]
+pub struct IntoIter<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn multiple_producers_all_arrive() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..10 {
+                        tx.send(t * 100 + i).unwrap();
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got.len(), 30);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[29], 209);
+    }
+
+    #[test]
+    fn recv_fails_after_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two facilities this workspace uses — scoped threads
+//! ([`thread::scope`]) and multi-producer channels ([`channel`]) — as
+//! thin adapters over `std`. `std::thread::scope` (Rust ≥ 1.63)
+//! subsumes crossbeam's scoped threads; channels wrap `std::sync::mpsc`
+//! with a mutex on the receiver so it is `Sync` and clonable like
+//! crossbeam's.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod thread;

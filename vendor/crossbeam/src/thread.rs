@@ -1,0 +1,63 @@
+//! Scoped threads with crossbeam's calling convention, over
+//! `std::thread::scope`.
+
+use std::thread::{Result as ThreadResult, ScopedJoinHandle};
+
+/// Handle passed to the closure of [`scope`]; spawns threads that may
+/// borrow from the enclosing stack frame.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope handle again so it can spawn nested threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let nested = *self;
+        self.inner.spawn(move || f(&nested))
+    }
+}
+
+/// Runs `f` with a [`Scope`]; joins every spawned thread before
+/// returning. Mirrors `crossbeam::thread::scope`, including the
+/// `Result` wrapper (always `Ok` here — a panicking child propagates
+/// through `std::thread::scope` instead).
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn join_handles_return_values() {
+        let sum: usize = scope(|s| {
+            let handles: Vec<_> = (0..5).map(|i| s.spawn(move |_| i * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 20);
+    }
+}

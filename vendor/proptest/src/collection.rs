@@ -1,0 +1,71 @@
+//! Collection strategies (`proptest::collection`).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An inclusive length range for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy produced by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..=self.size.hi);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_respect_all_size_forms() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            assert_eq!(vec(0..4u8, 3usize).sample(&mut rng).len(), 3);
+            let a = vec(0..4u8, 1..5usize).sample(&mut rng).len();
+            assert!((1..5).contains(&a));
+            let b = vec(0..4u8, 2..=6usize).sample(&mut rng).len();
+            assert!((2..=6).contains(&b));
+        }
+    }
+}

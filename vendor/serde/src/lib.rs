@@ -1,0 +1,368 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates registry, so the workspace
+//! vendors a small self-hosted serialization framework exposing the
+//! serde names it uses: the [`Serialize`] / [`Deserialize`] traits and
+//! the derive macros of the same names (behind the `derive` feature).
+//!
+//! Instead of upstream serde's visitor architecture, values serialize
+//! into an explicit [`Content`] tree which format crates (the vendored
+//! `serde_json`) print and parse. This is the classic "value tree"
+//! design — simpler, a little less efficient, entirely sufficient for
+//! the model bundles and datasets this workspace persists.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value — the interchange tree between
+/// data structures and formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / a missing optional.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer (only used when negative or explicitly signed).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered string-keyed map (struct fields, enum payloads).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Returns the map entries if this is a [`Content::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this is a [`Content::Seq`].
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a [`Content::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `f64` (accepts any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `u64` (accepts non-negative integers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Content::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a [`Content::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced while decoding a [`Content`] tree into a value.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// A free-form decoding error.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+
+    /// A "wrong shape" error: wanted `expected` while decoding `ty`.
+    pub fn expected(expected: &str, ty: &str, got: &Content) -> Self {
+        DeError(format!("expected {expected} for {ty}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up a required struct field in decoded map entries.
+///
+/// Used by the derive macro; duplicate keys resolve to the first
+/// occurrence, unknown keys are ignored (serde's default posture).
+pub fn field<'a>(
+    map: &'a [(String, Content)],
+    key: &str,
+    ty: &str,
+) -> Result<&'a Content, DeError> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::msg(format!("missing field `{key}` while decoding {ty}")))
+}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the interchange tree.
+    fn serialize(&self) -> Content;
+}
+
+/// Types that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, reporting shape mismatches as [`DeError`].
+    fn deserialize(content: &Content) -> Result<Self, DeError>;
+}
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let v = c.as_u64().ok_or_else(|| DeError::expected("unsigned integer", stringify!($t), c))?;
+                <$t>::try_from(v).map_err(|_| DeError::msg(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let v = c.as_i64().ok_or_else(|| DeError::expected("integer", stringify!($t), c))?;
+                <$t>::try_from(v).map_err(|_| DeError::msg(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                c.as_f64().map(|v| v as $t).ok_or_else(|| DeError::expected("number", stringify!($t), c))
+            }
+        }
+    )*};
+}
+
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        c.as_bool().ok_or_else(|| DeError::expected("bool", "bool", c))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        c.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", "String", c))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec", c))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let seq = c.as_seq().ok_or_else(|| DeError::expected("sequence", "array", c))?;
+        if seq.len() != N {
+            return Err(DeError::msg(format!("expected array of {N}, found {}", seq.len())));
+        }
+        let items: Vec<T> = seq.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        items.try_into().map_err(|_| DeError::msg("array length mismatch".to_owned()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Content {
+        Content::Seq(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let seq = c.as_seq().ok_or_else(|| DeError::expected("sequence", "tuple", c))?;
+        if seq.len() != 2 {
+            return Err(DeError::msg(format!("expected 2-tuple, found {} items", seq.len())));
+        }
+        Ok((A::deserialize(&seq[0])?, B::deserialize(&seq[1])?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize(&7u32.serialize()).unwrap(), 7);
+        assert_eq!(i64::deserialize(&(-3i64).serialize()).unwrap(), -3);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(String::deserialize(&"hi".to_owned().serialize()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()).unwrap(), v);
+        let arr = [0.5f64, 0.25, 0.125, 1.0];
+        assert_eq!(<[f64; 4]>::deserialize(&arr.serialize()).unwrap(), arr);
+        let opt: Option<u8> = None;
+        assert_eq!(Option::<u8>::deserialize(&opt.serialize()).unwrap(), None);
+        assert_eq!(Option::<u8>::deserialize(&Some(9u8).serialize()).unwrap(), Some(9));
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        assert!(u32::deserialize(&Content::Str("x".into())).is_err());
+        assert!(Vec::<u8>::deserialize(&Content::Bool(true)).is_err());
+        assert!(<[f64; 4]>::deserialize(&Content::Seq(vec![Content::F64(1.0)])).is_err());
+    }
+
+    #[test]
+    fn negative_out_of_range_rejected() {
+        assert!(u8::deserialize(&Content::I64(-1)).is_err());
+        assert!(u8::deserialize(&Content::U64(300)).is_err());
+    }
+}

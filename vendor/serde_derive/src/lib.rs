@@ -1,0 +1,442 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stand-in.
+//!
+//! The build environment has no crates registry, so `syn`/`quote` are
+//! unavailable; this macro parses the item declaration directly from the
+//! `proc_macro` token stream and emits impls by string construction.
+//! Supported shapes — which cover every derived type in this workspace:
+//!
+//! * structs with named fields,
+//! * unit structs and tuple structs (newtype-transparent when 1 field),
+//! * enums with unit, newtype, tuple, and struct variants.
+//!
+//! Generic parameters and `#[serde(...)]` attributes are intentionally
+//! rejected with a compile-time panic: nothing in the workspace needs
+//! them, and silently mis-deriving would corrupt persisted models.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item being derived.
+struct Item {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum: (variant name, shape) in declaration order.
+    Enum(Vec<(String, Shape)>),
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` by rendering into a `Content` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive produced invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` by decoding from a `Content` tree.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive produced invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        match toks.next().expect("derive input ended before struct/enum keyword") {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute (doc comments included): `#` followed by `[...]`.
+                toks.next();
+            }
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "pub" => {
+                    // Optional restriction: pub(crate), pub(super), ...
+                    if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        toks.next();
+                    }
+                }
+                "struct" => return parse_struct(&mut toks),
+                "enum" => return parse_enum(&mut toks),
+                other => panic!("serde_derive: unexpected `{other}` before struct/enum"),
+            },
+            other => panic!("serde_derive: unexpected token {other} before struct/enum"),
+        }
+    }
+}
+
+fn parse_struct(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Item {
+    let name = expect_ident(toks, "struct name");
+    reject_generics(toks, &name);
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Item { name, data: Data::Struct(parse_named_fields(g.stream())) }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Item { name, data: Data::TupleStruct(count_tuple_fields(g.stream())) }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item { name, data: Data::UnitStruct },
+        other => panic!("serde_derive: malformed struct `{name}`: unexpected {other:?}"),
+    }
+}
+
+fn parse_enum(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Item {
+    let name = expect_ident(toks, "enum name");
+    reject_generics(toks, &name);
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive: malformed enum `{name}`: unexpected {other:?}"),
+    };
+
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    while let Some(tt) = it.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                it.next();
+            }
+            TokenTree::Ident(v) => {
+                let vname = v.to_string();
+                let shape = match it.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        it.next();
+                        Shape::Struct(fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        it.next();
+                        if n == 1 {
+                            Shape::Newtype
+                        } else {
+                            Shape::Tuple(n)
+                        }
+                    }
+                    _ => Shape::Unit,
+                };
+                // Skip an explicit discriminant (`= expr`) up to the comma.
+                if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    for t in it.by_ref() {
+                        if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                            break;
+                        }
+                    }
+                } else if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    it.next();
+                }
+                variants.push((vname, shape));
+            }
+            other => panic!("serde_derive: unexpected token {other} in enum `{name}`"),
+        }
+    }
+    Item { name, data: Data::Enum(variants) }
+}
+
+/// Extracts field names from the token stream of a `{ ... }` group.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    while let Some(tt) = it.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                it.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    it.next();
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+                }
+                // Consume the type up to the next comma at angle depth 0.
+                let mut depth = 0i32;
+                for t in it.by_ref() {
+                    match &t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            other => panic!("serde_derive: unexpected token {other} among fields"),
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant from its paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut pending = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    fields + usize::from(pending)
+}
+
+fn expect_ident(
+    toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    what: &str,
+) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected {what}, got {other:?}"),
+    }
+}
+
+fn reject_generics(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>, name: &str) {
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_owned(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::serialize(&self.{i})")).collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Data::UnitStruct => "::serde::Content::Null".to_owned(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Content::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Shape::Newtype => format!(
+                        "{name}::{v}(__f0) => ::serde::Content::Map(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::serialize(__f0))]),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::serialize(__f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Content::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Shape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Content::Map(::std::vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::field(__m, \"{f}\", \"{name}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = __c.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"map\", \"{name}\", __c))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__c)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = __c.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"sequence\", \"{name}\", __c))?;\n\
+                 if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::msg(::std::format!(\
+                 \"expected {n} elements for {name}, found {{}}\", __seq.len()))); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[(String, Shape)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, s)| matches!(s, Shape::Unit))
+        .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(v, shape)| match shape {
+            Shape::Unit => None,
+            Shape::Newtype => Some(format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                 ::serde::Deserialize::deserialize(__v)?)),"
+            )),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__seq[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{\n\
+                     let __seq = __v.as_seq().ok_or_else(|| \
+                     ::serde::DeError::expected(\"sequence\", \"{name}::{v}\", __v))?;\n\
+                     if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::msg(::std::format!(\
+                     \"expected {n} elements for {name}::{v}, found {{}}\", __seq.len()))); }}\n\
+                     ::std::result::Result::Ok({name}::{v}({}))\n}}",
+                    items.join(", ")
+                ))
+            }
+            Shape::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::deserialize(\
+                             ::serde::field(__fm, \"{f}\", \"{name}::{v}\")?)?,"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{\n\
+                     let __fm = __v.as_map().ok_or_else(|| \
+                     ::serde::DeError::expected(\"map\", \"{name}::{v}\", __v))?;\n\
+                     ::std::result::Result::Ok({name}::{v} {{ {} }})\n}}",
+                    inits.join(" ")
+                ))
+            }
+        })
+        .collect();
+
+    let mut arms = Vec::new();
+    if unit_arms.is_empty() {
+        arms.push(format!(
+            "::serde::Content::Str(__s) => ::std::result::Result::Err(\
+             ::serde::DeError::msg(::std::format!(\
+             \"unknown variant `{{}}` for {name}\", __s))),"
+        ));
+    } else {
+        arms.push(format!(
+            "::serde::Content::Str(__s) => match __s.as_str() {{\n{}\n\
+             __other => ::std::result::Result::Err(::serde::DeError::msg(\
+             ::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n}},",
+            unit_arms.join("\n")
+        ));
+    }
+    if !payload_arms.is_empty() {
+        arms.push(format!(
+            "::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+             let (__k, __v) = &__m[0];\n\
+             match __k.as_str() {{\n{}\n\
+             __other => ::std::result::Result::Err(::serde::DeError::msg(\
+             ::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n}}\n}},",
+            payload_arms.join("\n")
+        ));
+    }
+    arms.push(format!(
+        "__other => ::std::result::Result::Err(::serde::DeError::expected(\
+         \"variant string or single-key map\", \"{name}\", __other)),"
+    ));
+
+    format!("match __c {{\n{}\n}}", arms.join("\n"))
+}
