@@ -4,13 +4,18 @@
 # experiment sweeps); default is all cores and output is byte-identical
 # at any value, e.g. `MISAM_THREADS=4 make reproduce`.
 
-.PHONY: test bench reproduce reproduce-paper examples doc clean
+.PHONY: test bench bench-sim reproduce reproduce-paper examples doc clean
 
 test:
 	cargo test --workspace
 
 bench:
 	cargo bench --workspace
+
+# Profile layer microbenchmark: walk vs profiled simulation throughput,
+# with a byte-identity gate on the labels. Writes BENCH_sim.json.
+bench-sim:
+	cargo run --release -p misam-bench --bin bench_sim
 
 # Regenerate every table/figure into results/ (minutes).
 reproduce:

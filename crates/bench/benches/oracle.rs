@@ -43,6 +43,19 @@ fn bench_suite_fanout(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_profile_store(c: &mut Criterion) {
+    // Steady-state profile lookup (fingerprint + sharded map read)
+    // versus rebuilding the structural profile from scratch — the cost
+    // the shared store removes from every feature/sim revisit.
+    let a = gen::power_law(4096, 4096, 12.0, 1.5, 17);
+    let store = misam_oracle::profiles::ProfileStore::new();
+    store.of_matrix(&a);
+    c.bench_function("profile_store_hit", |b| b.iter(|| store.of_matrix(black_box(&a))));
+    c.bench_function("profile_build_cold", |b| {
+        b.iter(|| misam_sparse::MatrixProfile::build(black_box(&a)))
+    });
+}
+
 fn bench_cache_hit(c: &mut Criterion) {
     let a = gen::power_law(1024, 1024, 6.0, 1.4, 7);
     let bm = gen::power_law(1024, 512, 6.0, 1.4, 8);
@@ -57,6 +70,6 @@ fn bench_cache_hit(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_corpus_labeling, bench_suite_fanout, bench_cache_hit
+    targets = bench_corpus_labeling, bench_suite_fanout, bench_profile_store, bench_cache_hit
 }
 criterion_main!(benches);

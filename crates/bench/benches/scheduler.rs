@@ -3,8 +3,10 @@
 //! generation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use misam_sim::{schedule, simulate, DesignConfig, DesignId, Operand};
-use misam_sparse::gen;
+use misam_sim::{
+    design_pe_counts, schedule, simulate, simulate_profiled, DesignConfig, DesignId, Operand,
+};
+use misam_sparse::{gen, MatrixProfile};
 use std::hint::black_box;
 
 fn bench_schedulers(c: &mut Criterion) {
@@ -19,6 +21,24 @@ fn bench_schedulers(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_profiled_schedulers(c: &mut Criterion) {
+    // The closed-form fold the profile layer substitutes for the walk
+    // above — same matrix, same designs, O(PEs) instead of O(nnz).
+    let a = gen::power_law(8192, 8192, 12.0, 1.5, 1);
+    let p = MatrixProfile::build_with_pes(&a, &design_pe_counts());
+    let mut g = c.benchmark_group("schedule_98k_nnz_profiled");
+    for id in [DesignId::D1, DesignId::D2, DesignId::D3] {
+        let cfg = DesignConfig::of(id);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{id}")), &cfg, |b, cfg| {
+            b.iter(|| schedule::schedule_uniform_profiled(black_box(&p), cfg, 64))
+        });
+    }
+    g.finish();
+    c.bench_function("profile_build_98k_nnz", |b| {
+        b.iter(|| MatrixProfile::build_with_pes(black_box(&a), &design_pe_counts()))
+    });
+}
+
 fn bench_simulate(c: &mut Criterion) {
     let a = gen::uniform_random(4096, 4096, 0.005, 2);
     let bs = gen::uniform_random(4096, 512, 0.2, 3);
@@ -26,6 +46,21 @@ fn bench_simulate(c: &mut Criterion) {
     for id in DesignId::ALL {
         g.bench_with_input(BenchmarkId::from_parameter(format!("{id}")), &id, |b, &id| {
             b.iter(|| simulate(black_box(&a), Operand::Sparse(&bs), id))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulate_profiled(c: &mut Criterion) {
+    let a = gen::uniform_random(4096, 4096, 0.005, 2);
+    let bs = gen::uniform_random(4096, 512, 0.2, 3);
+    let pes = design_pe_counts();
+    let ap = MatrixProfile::build_with_pes(&a, &pes);
+    let bp = MatrixProfile::build_with_pes(&bs, &pes);
+    let mut g = c.benchmark_group("simulate_design_profiled");
+    for id in DesignId::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{id}")), &id, |b, &id| {
+            b.iter(|| simulate_profiled(black_box(&a), &ap, Operand::Sparse(&bs), Some(&bp), id))
         });
     }
     g.finish();
@@ -46,6 +81,7 @@ fn bench_generators(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_schedulers, bench_simulate, bench_generators
+    targets = bench_schedulers, bench_profiled_schedulers, bench_simulate,
+        bench_simulate_profiled, bench_generators
 }
 criterion_main!(benches);

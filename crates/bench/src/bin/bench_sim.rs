@@ -1,0 +1,254 @@
+//! Measures the profile layer's effect on simulate-dominated work and
+//! writes `BENCH_sim.json`.
+//!
+//! Two views, both against the element-walk reference simulator:
+//!
+//! * **ns/schedule per design** — one `simulate` call per design on a
+//!   fixed corpus, walk vs profile-backed (profiles prebuilt, matching
+//!   the oracle's amortization where each matrix is profiled once).
+//! * **corpus labeling matrices/sec** — the end-to-end label cost per
+//!   operand pair (all four designs), with profile construction charged
+//!   to the profiled path.
+//!
+//! Every profiled report is checked byte-identical (via serde) to its
+//! walk twin before any number is written.
+
+use misam_sim::{
+    design_pe_counts, design_row_pe_counts, simulate, simulate_profiled, DesignId, Operand,
+};
+use misam_sparse::{gen, CsrMatrix, MatrixProfile};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct DesignRow {
+    design: String,
+    walk_ns_per_schedule: f64,
+    profiled_ns_per_schedule: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Labeling {
+    walk_matrices_per_sec: f64,
+    profiled_matrices_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct LabelingByWorkload {
+    /// SpMM against a dense B (the paper's DNN/GNN case): every design
+    /// schedules closed-form, so only A's profile build remains O(nnz).
+    spmm_dense_b: Labeling,
+    /// SpGEMM against a sparse B: Design 4's cost-table walk stays
+    /// O(nnz), bounding the gain.
+    spgemm_sparse_b: Labeling,
+}
+
+#[derive(Serialize)]
+struct CorpusMeta {
+    pairs: usize,
+    families: Vec<String>,
+    a_dims: [usize; 2],
+    b_dims: [usize; 2],
+    reps: usize,
+}
+
+#[derive(Serialize)]
+struct Doc {
+    bench: String,
+    corpus: CorpusMeta,
+    labels_byte_identical: bool,
+    profile_build_ns_per_matrix: f64,
+    per_design_ns_per_schedule: Vec<DesignRow>,
+    corpus_labeling: LabelingByWorkload,
+}
+
+/// Simulate-dominated corpus: big enough that scheduling dwarfs the
+/// fixed per-call overheads, mixed across the generator families.
+fn corpus() -> Vec<(&'static str, CsrMatrix, CsrMatrix)> {
+    let mut set = Vec::new();
+    for s in 0..4u64 {
+        set.push((
+            "uniform",
+            gen::uniform_random(4096, 4096, 0.004, 10 + s),
+            gen::uniform_random(4096, 512, 0.02, 50 + s),
+        ));
+        set.push((
+            "power_law",
+            gen::power_law(4096, 4096, 14.0, 1.5, 20 + s),
+            gen::power_law(4096, 512, 10.0, 1.4, 60 + s),
+        ));
+        set.push((
+            "imbalanced",
+            gen::imbalanced_rows(4096, 4096, 0.04, 512, 4, 30 + s),
+            gen::uniform_random(4096, 512, 0.02, 70 + s),
+        ));
+    }
+    set
+}
+
+fn main() {
+    let set = corpus();
+    let reps = 5usize;
+    let pes = design_pe_counts();
+
+    // Profiles built once per matrix (the oracle's steady state), with
+    // the build cost measured separately and charged to labeling below.
+    let row_pes = design_row_pe_counts();
+    let build = |m: &CsrMatrix| MatrixProfile::build_with_scheduler_pes(m, &pes, &row_pes);
+    let t = Instant::now();
+    let profiles: Vec<(MatrixProfile, MatrixProfile)> =
+        set.iter().map(|(_, a, bm)| (build(a), build(bm))).collect();
+    let profile_build_ns = t.elapsed().as_nanos() as f64 / (set.len() * 2) as f64;
+
+    // Byte-identity gate: every (matrix, design) label must match.
+    for ((_, a, bm), (ap, bp)) in set.iter().zip(&profiles) {
+        for id in DesignId::ALL {
+            let walk = simulate(a, Operand::Sparse(bm), id);
+            let prof = simulate_profiled(a, ap, Operand::Sparse(bm), Some(bp), id);
+            let w = serde_json::to_string(&walk).unwrap();
+            let p = serde_json::to_string(&prof).unwrap();
+            assert_eq!(w, p, "label mismatch on {id}");
+        }
+    }
+
+    // Per-design ns/schedule, walk vs profiled.
+    let mut designs = Vec::new();
+    for id in DesignId::ALL {
+        let t = Instant::now();
+        for _ in 0..reps {
+            for (_, a, bm) in &set {
+                std::hint::black_box(simulate(a, Operand::Sparse(bm), id));
+            }
+        }
+        let walk_ns = t.elapsed().as_nanos() as f64 / (reps * set.len()) as f64;
+
+        let t = Instant::now();
+        for _ in 0..reps {
+            for ((_, a, bm), (ap, bp)) in set.iter().zip(&profiles) {
+                std::hint::black_box(simulate_profiled(a, ap, Operand::Sparse(bm), Some(bp), id));
+            }
+        }
+        let prof_ns = t.elapsed().as_nanos() as f64 / (reps * set.len()) as f64;
+
+        println!(
+            "{id}: walk {:>12.0} ns/schedule   profiled {:>10.0} ns/schedule   {:>5.1}x",
+            walk_ns,
+            prof_ns,
+            walk_ns / prof_ns
+        );
+        designs.push(DesignRow {
+            design: format!("{id}"),
+            walk_ns_per_schedule: walk_ns,
+            profiled_ns_per_schedule: prof_ns,
+            speedup: walk_ns / prof_ns,
+        });
+    }
+
+    // End-to-end labeling (all four designs per pair); the profiled
+    // path pays for its profile builds inside the timed region.
+    //
+    // SpMM, dense B (the paper's DNN/GNN workload): wide B means
+    // several scheduling passes per design, all closed-form once A is
+    // profiled; dense B needs no profile of its own.
+    const DENSE_COLS: usize = 2048;
+    for (_, a, bm) in &set {
+        let bd = Operand::Dense { rows: bm.rows(), cols: DENSE_COLS };
+        let ap = build(a);
+        for id in DesignId::ALL {
+            let walk = serde_json::to_string(&simulate(a, bd, id)).unwrap();
+            let prof = serde_json::to_string(&simulate_profiled(a, &ap, bd, None, id)).unwrap();
+            assert_eq!(walk, prof, "dense-B label mismatch on {id}");
+        }
+    }
+    let t = Instant::now();
+    for _ in 0..reps {
+        for (_, a, bm) in &set {
+            let bd = Operand::Dense { rows: bm.rows(), cols: DENSE_COLS };
+            for id in DesignId::ALL {
+                std::hint::black_box(simulate(a, bd, id));
+            }
+        }
+    }
+    let spmm_walk_s = t.elapsed().as_secs_f64() / (reps * set.len()) as f64;
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for (_, a, bm) in &set {
+            let bd = Operand::Dense { rows: bm.rows(), cols: DENSE_COLS };
+            let ap = build(a);
+            for id in DesignId::ALL {
+                std::hint::black_box(simulate_profiled(a, &ap, bd, None, id));
+            }
+        }
+    }
+    let spmm_prof_s = t.elapsed().as_secs_f64() / (reps * set.len()) as f64;
+
+    // SpGEMM, sparse B: Design 4's cost-table walk keeps an O(nnz)
+    // term, so the gain is bounded but must still be real.
+    let t = Instant::now();
+    for _ in 0..reps {
+        for (_, a, bm) in &set {
+            for id in DesignId::ALL {
+                std::hint::black_box(simulate(a, Operand::Sparse(bm), id));
+            }
+        }
+    }
+    let spgemm_walk_s = t.elapsed().as_secs_f64() / (reps * set.len()) as f64;
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for (_, a, bm) in &set {
+            let ap = build(a);
+            let bp = build(bm);
+            for id in DesignId::ALL {
+                std::hint::black_box(simulate_profiled(a, &ap, Operand::Sparse(bm), Some(&bp), id));
+            }
+        }
+    }
+    let spgemm_prof_s = t.elapsed().as_secs_f64() / (reps * set.len()) as f64;
+
+    println!(
+        "labeling spmm (dense B, {DENSE_COLS} cols): walk {:.1}/s   profiled {:.1}/s   {:.1}x",
+        1.0 / spmm_walk_s,
+        1.0 / spmm_prof_s,
+        spmm_walk_s / spmm_prof_s,
+    );
+    println!(
+        "labeling spgemm (sparse B): walk {:.1}/s   profiled {:.1}/s   {:.1}x   (build {:.0} ns)",
+        1.0 / spgemm_walk_s,
+        1.0 / spgemm_prof_s,
+        spgemm_walk_s / spgemm_prof_s,
+        profile_build_ns
+    );
+
+    let doc = Doc {
+        bench: "bench_sim".into(),
+        corpus: CorpusMeta {
+            pairs: set.len(),
+            families: vec!["uniform".into(), "power_law".into(), "imbalanced".into()],
+            a_dims: [4096, 4096],
+            b_dims: [4096, 512],
+            reps,
+        },
+        labels_byte_identical: true,
+        profile_build_ns_per_matrix: profile_build_ns,
+        per_design_ns_per_schedule: designs,
+        corpus_labeling: LabelingByWorkload {
+            spmm_dense_b: Labeling {
+                walk_matrices_per_sec: 1.0 / spmm_walk_s,
+                profiled_matrices_per_sec: 1.0 / spmm_prof_s,
+                speedup: spmm_walk_s / spmm_prof_s,
+            },
+            spgemm_sparse_b: Labeling {
+                walk_matrices_per_sec: 1.0 / spgemm_walk_s,
+                profiled_matrices_per_sec: 1.0 / spgemm_prof_s,
+                speedup: spgemm_walk_s / spgemm_prof_s,
+            },
+        },
+    };
+    let out = serde_json::to_string_pretty(&doc).unwrap();
+    std::fs::write("BENCH_sim.json", &out).expect("write BENCH_sim.json");
+    println!("wrote BENCH_sim.json");
+}

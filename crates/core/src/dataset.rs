@@ -229,14 +229,11 @@ impl OperandSpec {
         matches!(self, OperandSpec::Dense { .. })
     }
 
-    /// Extracts pair features for `a x self`.
+    /// Extracts pair features for `a x self` via the shared profile
+    /// store, so corpus labeling profiles each operand once for both
+    /// feature extraction and simulation.
     pub fn features(&self, a: &misam_sparse::CsrMatrix, cfg: &TileConfig) -> PairFeatures {
-        match self {
-            OperandSpec::Dense { rows, cols } => {
-                PairFeatures::extract_dense_b(a, *rows, *cols, cfg)
-            }
-            OperandSpec::Sparse(m) => PairFeatures::extract(a, m, cfg),
-        }
+        misam_oracle::profiles::global().pair_features(a, self.operand(), cfg)
     }
 }
 

@@ -27,7 +27,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use misam_sparse::CsrMatrix;
+use misam_sparse::{CsrMatrix, MatrixProfile};
 
 /// Names of the entries of [`PairFeatures::to_vector`], in order. These
 /// match the labels of the paper's Figure 4 where applicable.
@@ -116,32 +116,35 @@ pub struct MatrixStats {
 }
 
 impl MatrixStats {
-    /// Computes the statistics of one matrix from its CSR structure.
+    /// Computes the statistics of one matrix from its CSR structure
+    /// (one structural pass, via a throwaway [`MatrixProfile`]).
     pub fn extract(m: &CsrMatrix) -> Self {
-        let rows = m.rows();
-        let cols = m.cols();
-        let nnz = m.nnz();
+        Self::from_profile(&MatrixProfile::build(m))
+    }
+
+    /// Reads the statistics off a precomputed profile — no CSR
+    /// traversal, and bit-identical to [`MatrixStats::extract`] on the
+    /// profiled matrix. This is how the oracle layer shares one
+    /// structural pass between feature extraction and simulation.
+    pub fn from_profile(p: &MatrixProfile) -> Self {
+        let rows = p.rows();
+        let cols = p.cols();
+        let nnz = p.nnz();
         let total = rows as f64 * cols as f64;
         let sparsity = if total > 0.0 { 1.0 - nnz as f64 / total } else { 1.0 };
-
-        let (avg_r, var_r, max_r) = dist_stats((0..rows).map(|r| m.row_nnz(r)));
-        let mut col_counts = vec![0usize; cols];
-        for &c in m.col_idx() {
-            col_counts[c as usize] += 1;
-        }
-        let (avg_c, var_c, max_c) = dist_stats(col_counts.iter().copied());
-
+        let rs = p.row_summary();
+        let cs = p.col_summary();
         MatrixStats {
             rows,
             cols,
             nnz,
             sparsity,
-            avg_nnz_row: avg_r,
-            var_nnz_row: var_r,
-            avg_nnz_col: avg_c,
-            var_nnz_col: var_c,
-            load_imbalance_row: imbalance(max_r, avg_r),
-            load_imbalance_col: imbalance(max_c, avg_c),
+            avg_nnz_row: rs.mean,
+            var_nnz_row: rs.var,
+            avg_nnz_col: cs.mean,
+            var_nnz_col: cs.var,
+            load_imbalance_row: rs.imbalance(),
+            load_imbalance_col: cs.imbalance(),
         }
     }
 
@@ -166,33 +169,6 @@ impl MatrixStats {
             load_imbalance_row: 1.0,
             load_imbalance_col: 1.0,
         }
-    }
-}
-
-fn dist_stats(counts: impl Iterator<Item = usize>) -> (f64, f64, usize) {
-    let mut n = 0usize;
-    let mut sum = 0f64;
-    let mut sumsq = 0f64;
-    let mut max = 0usize;
-    for c in counts {
-        n += 1;
-        sum += c as f64;
-        sumsq += (c * c) as f64;
-        max = max.max(c);
-    }
-    if n == 0 {
-        return (0.0, 0.0, 0);
-    }
-    let mean = sum / n as f64;
-    let var = (sumsq / n as f64 - mean * mean).max(0.0);
-    (mean, var, max)
-}
-
-fn imbalance(max: usize, avg: f64) -> f64 {
-    if avg > 0.0 {
-        max as f64 / avg
-    } else {
-        1.0
     }
 }
 
@@ -288,9 +264,23 @@ pub struct PairFeatures {
 impl PairFeatures {
     /// Extracts features from an operand pair.
     pub fn extract(a: &CsrMatrix, b: &CsrMatrix, cfg: &TileConfig) -> Self {
+        Self::from_profiles(&MatrixProfile::build(a), &MatrixProfile::build(b), b, cfg)
+    }
+
+    /// Extracts features from precomputed operand profiles, walking B
+    /// only for its tile-occupancy statistics. Bit-identical to
+    /// [`PairFeatures::extract`]; callers holding cached profiles (the
+    /// oracle layer, the streaming executor) avoid re-deriving the
+    /// row/column distributions per call.
+    pub fn from_profiles(
+        ap: &MatrixProfile,
+        bp: &MatrixProfile,
+        b: &CsrMatrix,
+        cfg: &TileConfig,
+    ) -> Self {
         PairFeatures {
-            a: MatrixStats::extract(a),
-            b: MatrixStats::extract(b),
+            a: MatrixStats::from_profile(ap),
+            b: MatrixStats::from_profile(bp),
             tiles_b: TileStats::extract(b, cfg),
         }
     }
@@ -298,11 +288,21 @@ impl PairFeatures {
     /// Extracts features for a sparse A against a dense `b_rows x b_cols`
     /// right-hand side, synthesizing B's statistics from its shape.
     pub fn extract_dense_b(a: &CsrMatrix, b_rows: usize, b_cols: usize, cfg: &TileConfig) -> Self {
+        Self::from_profile_dense_b(&MatrixProfile::build(a), b_rows, b_cols, cfg)
+    }
+
+    /// [`PairFeatures::extract_dense_b`] from a precomputed profile of A.
+    pub fn from_profile_dense_b(
+        ap: &MatrixProfile,
+        b_rows: usize,
+        b_cols: usize,
+        cfg: &TileConfig,
+    ) -> Self {
         let count_1d = b_rows.div_ceil(cfg.tile_rows.max(1));
         let count_2d = count_1d * b_cols.div_ceil(cfg.tile_cols.max(1));
         let occupied = b_rows > 0 && b_cols > 0;
         PairFeatures {
-            a: MatrixStats::extract(a),
+            a: MatrixStats::from_profile(ap),
             b: MatrixStats::dense(b_rows, b_cols),
             tiles_b: TileStats {
                 density_1d: if occupied { 1.0 } else { 0.0 },
@@ -460,6 +460,22 @@ mod tests {
         let u = gen::regular_degree(200, 1000, 16, 8);
         let su = MatrixStats::extract(&u);
         assert!((su.load_imbalance_row - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_backed_features_are_bit_identical() {
+        let a = gen::power_law(300, 200, 5.0, 1.4, 17);
+        let b = gen::imbalanced_rows(200, 400, 0.05, 150, 2, 18);
+        let cfg = TileConfig::default();
+        let direct = PairFeatures::extract(&a, &b, &cfg);
+        let (ap, bp) = (MatrixProfile::build(&a), MatrixProfile::build(&b));
+        let via_profile = PairFeatures::from_profiles(&ap, &bp, &b, &cfg);
+        assert_eq!(direct, via_profile);
+        assert_eq!(direct.to_vector(), via_profile.to_vector());
+
+        let dense_direct = PairFeatures::extract_dense_b(&a, 200, 64, &cfg);
+        let dense_profiled = PairFeatures::from_profile_dense_b(&ap, 200, 64, &cfg);
+        assert_eq!(dense_direct, dense_profiled);
     }
 
     #[test]

@@ -1,16 +1,23 @@
 //! [`Executor`] implementations for every cost model in the workspace.
 
-use crate::Executor;
+use crate::{profiles, Executor};
 use misam_baselines::cpu::CpuModel;
 use misam_baselines::gpu::GpuModel;
 use misam_baselines::trapezoid::{Dataflow, TrapezoidSim};
 use misam_baselines::BaselineReport;
-use misam_features::{PairFeatures, TileConfig};
-use misam_sim::{simulate, simulate_with_config, DesignConfig, DesignId, Operand, SimReport};
+use misam_features::TileConfig;
+use misam_sim::{
+    simulate_profiled, simulate_with_config_profiled, DesignConfig, DesignId, Operand, SimReport,
+};
 use misam_sparse::CsrMatrix;
 
 /// The FPGA cycle-level simulator over the four paper designs.
 /// Target `i` is `DesignId::ALL[i]`.
+///
+/// Evaluation goes through the shared [`profiles`] store: each operand
+/// is structurally profiled once per process, after which every design
+/// and pass width schedules as a closed-form fold (bit-identical to
+/// `misam_sim::simulate`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FpgaSim;
 
@@ -22,7 +29,10 @@ impl Executor for FpgaSim {
     }
 
     fn execute(&self, a: &CsrMatrix, b: Operand<'_>, target: usize) -> SimReport {
-        simulate(a, b, DesignId::ALL[target])
+        let store = profiles::global();
+        let ap = store.of_matrix(a);
+        let bp = store.of_operand(b);
+        simulate_profiled(a, &ap, b, bp.as_deref(), DesignId::ALL[target])
     }
 }
 
@@ -42,12 +52,7 @@ impl Executor for AnalyticFpga {
     }
 
     fn execute(&self, a: &CsrMatrix, b: Operand<'_>, target: usize) -> f64 {
-        let features = match b {
-            Operand::Sparse(bm) => PairFeatures::extract(a, bm, &self.tile),
-            Operand::Dense { rows, cols } => {
-                PairFeatures::extract_dense_b(a, rows, cols, &self.tile)
-            }
-        };
+        let features = profiles::global().pair_features(a, b, &self.tile);
         misam_sim::analytic::estimate_time_s(&features, DesignId::ALL[target])
     }
 }
@@ -75,7 +80,10 @@ impl Executor for CustomFpga {
     }
 
     fn execute(&self, a: &CsrMatrix, b: Operand<'_>, target: usize) -> SimReport {
-        simulate_with_config(a, b, &self.configs[target])
+        let store = profiles::global();
+        let ap = store.of_matrix(a);
+        let bp = store.of_operand(b);
+        simulate_with_config_profiled(a, &ap, b, bp.as_deref(), &self.configs[target])
     }
 }
 
@@ -152,6 +160,7 @@ impl Executor for TrapezoidExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use misam_sim::simulate;
     use misam_sparse::gen;
 
     fn pair() -> (CsrMatrix, CsrMatrix) {

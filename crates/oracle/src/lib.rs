@@ -17,6 +17,10 @@
 //! * [`pool`]: a deterministic, order-preserving scoped-thread parallel
 //!   map (honoring the `MISAM_THREADS` env override) that fan-out sites
 //!   use to label corpora and sweep workload suites on every core.
+//! * [`profiles`]: the process-wide [`misam_sparse::MatrixProfile`]
+//!   store. Each distinct matrix is structurally profiled exactly once;
+//!   the profile then feeds closed-form scheduling in the simulator and
+//!   zero-pass statistics in the feature extractor.
 //!
 //! Determinism contract: `par_map` returns results in input order and
 //! executors are pure functions of their operands, so any
@@ -30,6 +34,7 @@ pub mod cache;
 pub mod executors;
 pub mod fingerprint;
 pub mod pool;
+pub mod profiles;
 
 mod service;
 

@@ -1,0 +1,163 @@
+//! Shared, memoized [`MatrixProfile`] store.
+//!
+//! Every executor that wants a profile asks this store by the matrix's
+//! structural [`Fingerprint`]; the O(nnz) profiling pass then runs
+//! **exactly once per distinct matrix per process**, no matter how many
+//! experiment layers, designs, or threads revisit it. The store rides
+//! on the same exactly-once [`MemoCache`] as the oracle's report cache,
+//! so concurrent fan-out workers block on a single in-flight build
+//! instead of duplicating it.
+//!
+//! Profiles are built with residue tallies for the standard design PE
+//! counts ([`misam_sim::design_pe_counts`]), which is what lets the
+//! simulation engine schedule every uniform-cost pass as an O(PEs)
+//! fold (see `misam_sim::schedule::schedule_uniform_profiled`).
+
+use crate::cache::{CacheStats, MemoCache};
+use crate::Fingerprint;
+use misam_features::{PairFeatures, TileConfig};
+use misam_sim::{design_pe_counts, design_row_pe_counts, Operand};
+use misam_sparse::{CsrMatrix, MatrixProfile};
+use std::sync::{Arc, OnceLock};
+
+/// A memoized profile store keyed by [`Fingerprint::of_matrix`].
+#[derive(Debug, Default)]
+pub struct ProfileStore {
+    cache: MemoCache<Arc<MatrixProfile>>,
+}
+
+impl ProfileStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The profile of `m`, built (with standard-design PE tallies) on
+    /// first sight of this fingerprint and shared thereafter.
+    pub fn of_matrix(&self, m: &CsrMatrix) -> Arc<MatrixProfile> {
+        let fp = Fingerprint::of_matrix(m);
+        self.cache.get_or_compute(fp, 0, || {
+            Arc::new(MatrixProfile::build_with_scheduler_pes(
+                m,
+                &design_pe_counts(),
+                &design_row_pe_counts(),
+            ))
+        })
+    }
+
+    /// The profile of a sparse operand; `None` for dense operands,
+    /// whose structure is fully described by their shape.
+    pub fn of_operand(&self, b: Operand<'_>) -> Option<Arc<MatrixProfile>> {
+        match b {
+            Operand::Sparse(m) => Some(self.of_matrix(m)),
+            Operand::Dense { .. } => None,
+        }
+    }
+
+    /// Pair features computed from cached profiles: the structural pass
+    /// over each operand is shared with simulation instead of redone.
+    pub fn pair_features(&self, a: &CsrMatrix, b: Operand<'_>, cfg: &TileConfig) -> PairFeatures {
+        let ap = self.of_matrix(a);
+        match b {
+            Operand::Sparse(bm) => {
+                let bp = self.of_matrix(bm);
+                PairFeatures::from_profiles(&ap, &bp, bm, cfg)
+            }
+            Operand::Dense { rows, cols } => {
+                PairFeatures::from_profile_dense_b(&ap, rows, cols, cfg)
+            }
+        }
+    }
+
+    /// Hit/miss counters; `misses` equals the number of profiling
+    /// passes actually executed.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached profile and zeroes the counters.
+    pub fn clear(&self) {
+        self.cache.clear();
+    }
+}
+
+/// The process-wide profile store every executor shares.
+pub fn global() -> &'static ProfileStore {
+    static GLOBAL: OnceLock<ProfileStore> = OnceLock::new();
+    GLOBAL.get_or_init(ProfileStore::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool;
+    use misam_sparse::gen;
+
+    #[test]
+    fn one_build_per_distinct_matrix() {
+        let store = ProfileStore::new();
+        let a = gen::power_law(128, 128, 4.0, 1.4, 1);
+        let same = gen::power_law(128, 128, 4.0, 1.4, 1);
+        let other = gen::power_law(128, 128, 4.0, 1.4, 2);
+
+        let p1 = store.of_matrix(&a);
+        let p2 = store.of_matrix(&same);
+        let p3 = store.of_matrix(&other);
+        assert!(Arc::ptr_eq(&p1, &p2), "identical matrices share one profile");
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 2));
+    }
+
+    #[test]
+    fn profiles_carry_standard_design_tallies() {
+        let store = ProfileStore::new();
+        let a = gen::uniform_random(64, 64, 0.1, 3);
+        let p = store.of_matrix(&a);
+        for pes in design_pe_counts() {
+            assert!(p.tally(pes).is_some(), "missing tally for {pes} PEs");
+        }
+        for pes in design_row_pe_counts() {
+            assert!(
+                p.tally(pes).unwrap().has_row_side(),
+                "row-scheduler designs need fragment maxima for {pes} PEs"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_operands_need_no_profile() {
+        let store = ProfileStore::new();
+        assert!(store.of_operand(Operand::Dense { rows: 8, cols: 8 }).is_none());
+        assert_eq!(store.stats().lookups(), 0);
+    }
+
+    #[test]
+    fn concurrent_lookups_build_exactly_once() {
+        let store = ProfileStore::new();
+        let a = gen::power_law(256, 256, 6.0, 1.4, 9);
+        let profiles: Vec<_> = pool::par_map_with(&[(); 8], 8, |_| store.of_matrix(&a));
+        for p in &profiles {
+            assert!(Arc::ptr_eq(p, &profiles[0]));
+        }
+        let s = store.stats();
+        assert_eq!(s.misses, 1, "profiling pass ran exactly once");
+        assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn pair_features_match_direct_extraction() {
+        let store = ProfileStore::new();
+        let a = gen::power_law(200, 150, 5.0, 1.4, 4);
+        let bm = gen::uniform_random(150, 90, 0.2, 5);
+        let cfg = TileConfig::default();
+        assert_eq!(
+            store.pair_features(&a, Operand::Sparse(&bm), &cfg),
+            PairFeatures::extract(&a, &bm, &cfg)
+        );
+        assert_eq!(
+            store.pair_features(&a, Operand::Dense { rows: 150, cols: 64 }, &cfg),
+            PairFeatures::extract_dense_b(&a, 150, 64, &cfg)
+        );
+    }
+}

@@ -125,12 +125,10 @@ where
         let end = (start + height).min(a.rows());
         let tile = a.row_slice(start..end);
 
-        let features = match &b {
-            Operand::Sparse(bm) => PairFeatures::extract(&tile, bm, &cfg.features),
-            Operand::Dense { rows, cols } => {
-                PairFeatures::extract_dense_b(&tile, *rows, *cols, &cfg.features)
-            }
-        };
+        // Features come from the shared profile store, so the tile's
+        // structural pass (and B's) is reused by the simulating
+        // executor instead of being redone per call site.
+        let features = misam_oracle::profiles::global().pair_features(&tile, b, &cfg.features);
 
         let predicted = select(&features);
         // A switch amortizes over every remaining tile of this matrix

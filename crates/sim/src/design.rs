@@ -206,6 +206,33 @@ impl DesignConfig {
     }
 }
 
+/// The distinct total-PE counts across the four Table 1 designs —
+/// the residue-tally set a [`misam_sparse::MatrixProfile`] needs for
+/// closed-form scheduling of every standard design.
+pub fn design_pe_counts() -> Vec<usize> {
+    let mut pes: Vec<usize> =
+        DesignId::ALL.iter().map(|&d| DesignConfig::of(d).total_pes()).collect();
+    pes.sort_unstable();
+    pes.dedup();
+    pes
+}
+
+/// The distinct total-PE counts of the designs that schedule a **row**
+/// traversal — the only tallies whose fragment maxima (an O(nnz) fold
+/// per PE count) a profile needs; column-traversal designs read the
+/// cheap length-vector aggregates.
+pub fn design_row_pe_counts() -> Vec<usize> {
+    let mut pes: Vec<usize> = DesignId::ALL
+        .iter()
+        .map(|&d| DesignConfig::of(d))
+        .filter(|c| c.scheduler_a == Traversal::Row)
+        .map(|c| c.total_pes())
+        .collect();
+    pes.sort_unstable();
+    pes.dedup();
+    pes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,8 +11,9 @@
 //! pipeline overheads.
 
 use crate::design::{BFormat, DesignConfig, DesignId};
+use crate::schedule::ScheduleReport;
 use crate::{hbm, schedule, tiling};
-use misam_sparse::CsrMatrix;
+use misam_sparse::{CsrMatrix, MatrixProfile};
 use serde::{Deserialize, Serialize};
 
 /// Base kernel-launch overhead in cycles (host DMA setup, scheduling
@@ -151,10 +152,77 @@ pub fn simulate(a: &CsrMatrix, b: Operand<'_>, id: DesignId) -> SimReport {
 /// Simulates `A x B` on an explicit configuration (for user-supplied
 /// custom designs, §6.3).
 ///
+/// This is the element-walk **reference** path: each scheduling pass
+/// traverses A's CSR. The profiled path ([`simulate_profiled`],
+/// [`simulate_with_config_profiled`]) produces bit-identical reports
+/// from a precomputed [`MatrixProfile`] with O(PEs) folds instead.
+///
 /// # Panics
 ///
 /// Panics if `a.cols() != b.rows()`.
 pub fn simulate_with_config(a: &CsrMatrix, b: Operand<'_>, cfg: &DesignConfig) -> SimReport {
+    simulate_inner(a, None, b, None, cfg)
+}
+
+/// [`simulate`] evaluated from precomputed structural profiles.
+///
+/// `ap` must profile `a`; `bp`, when given, must profile the sparse B
+/// operand. Uniform-cost scheduling (all Uncompressed-B designs, and
+/// the Compressed design against a dense B) becomes an O(PEs) fold
+/// over `ap`'s residue tally; the Compressed design against sparse B
+/// builds its per-column cost table once from `bp`'s row lengths
+/// instead of redoing the gather arithmetic per element. Reports are
+/// bit-identical to [`simulate`].
+///
+/// # Panics
+///
+/// Panics if operand shapes disagree or a profile does not describe
+/// its matrix.
+pub fn simulate_profiled(
+    a: &CsrMatrix,
+    ap: &MatrixProfile,
+    b: Operand<'_>,
+    bp: Option<&MatrixProfile>,
+    id: DesignId,
+) -> SimReport {
+    simulate_with_config_profiled(a, ap, b, bp, &DesignConfig::of(id))
+}
+
+/// [`simulate_with_config`] evaluated from precomputed profiles; see
+/// [`simulate_profiled`].
+///
+/// Falls back to the element walk for any pass whose design PE count
+/// has no residue tally in `ap` (custom configurations), so results
+/// are always complete and bit-identical to the reference.
+///
+/// # Panics
+///
+/// Panics if operand shapes disagree or a profile does not describe
+/// its matrix.
+pub fn simulate_with_config_profiled(
+    a: &CsrMatrix,
+    ap: &MatrixProfile,
+    b: Operand<'_>,
+    bp: Option<&MatrixProfile>,
+    cfg: &DesignConfig,
+) -> SimReport {
+    assert!(ap.describes(a), "profile does not describe matrix A");
+    if let (Operand::Sparse(bm), Some(p)) = (&b, bp) {
+        assert!(p.describes(bm), "profile does not describe matrix B");
+    }
+    simulate_inner(a, Some(ap), b, bp, cfg)
+}
+
+/// Shared engine body. When `ap` is `Some`, scheduling and effectual
+/// work use the profile-based closed forms (with element-walk fallback
+/// for missing tallies); when `None`, every pass walks the CSR.
+fn simulate_inner(
+    a: &CsrMatrix,
+    ap: Option<&MatrixProfile>,
+    b: Operand<'_>,
+    bp: Option<&MatrixProfile>,
+    cfg: &DesignConfig,
+) -> SimReport {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -170,16 +238,29 @@ pub fn simulate_with_config(a: &CsrMatrix, b: Operand<'_>, cfg: &DesignConfig) -
     let nnz_a = a.nnz() as u64;
 
     // Effectual work and output-size estimate (balls-in-bins collision
-    // model for the sparse-output case).
-    let flops = match &b {
-        Operand::Dense { .. } => nnz_a * n,
-        Operand::Sparse(bm) => misam_sparse::kernels::spgemm_flops(a, bm),
+    // model for the sparse-output case). With both profiles in hand the
+    // SpGEMM flop count collapses to an O(cols) dot product of A's
+    // column occupancy against B's row lengths.
+    let flops = match (&b, ap, bp) {
+        (Operand::Dense { .. }, _, _) => nnz_a * n,
+        (Operand::Sparse(_), Some(pa), Some(pb)) => {
+            let cols = pb.row_lens().len().min(pa.col_counts().len());
+            (0..cols).map(|j| pa.col_counts()[j] as u64 * pb.row_lens()[j] as u64).sum()
+        }
+        (Operand::Sparse(bm), _, _) => misam_sparse::kernels::spgemm_flops(a, bm),
     };
     let cells = (m as f64) * (n as f64);
     let output_nnz = if cells > 0.0 && flops > 0 {
         (cells * (1.0 - (-(flops as f64) / cells).exp())).ceil() as u64
     } else {
         0
+    };
+
+    // One uniform-cost pass: closed-form fold when a tally exists,
+    // element walk otherwise.
+    let uniform_pass = |w: u64| -> ScheduleReport {
+        ap.and_then(|p| schedule::schedule_uniform_profiled(p, cfg, w))
+            .unwrap_or_else(|| schedule::schedule_uniform(a, cfg, w))
     };
 
     // Compute makespan and pass structure.
@@ -190,17 +271,25 @@ pub fn simulate_with_config(a: &CsrMatrix, b: Operand<'_>, cfg: &DesignConfig) -
             let mut passes = 0usize;
             let mut util_num = 0.0;
             let mut util_den = 0.0;
+            let mut full_pass: Option<(u64, ScheduleReport)> = None;
             if full > 0 {
                 let w = (PASS_WIDTH_COLS as u64).div_ceil(8);
-                let rep = schedule::schedule_uniform(a, cfg, w);
+                let rep = uniform_pass(w);
                 compute += rep.makespan * full as u64;
                 passes += full;
                 util_num += rep.utilization * (rep.makespan * full as u64) as f64;
                 util_den += (rep.makespan * full as u64) as f64;
+                full_pass = Some((w, rep));
             }
             if rem > 0 {
                 let w = (rem as u64).div_ceil(8).max(1);
-                let rep = schedule::schedule_uniform(a, cfg, w);
+                // The remainder pass reuses the full-pass schedule when
+                // the vector-slice width coincides (scheduling is a pure
+                // function of `w`).
+                let rep = match full_pass {
+                    Some((fw, rep)) if fw == w => rep,
+                    _ => uniform_pass(w),
+                };
                 compute += rep.makespan;
                 passes += 1;
                 util_num += rep.utilization * rep.makespan as f64;
@@ -212,10 +301,23 @@ pub fn simulate_with_config(a: &CsrMatrix, b: Operand<'_>, cfg: &DesignConfig) -
         BFormat::Compressed => {
             let gather = cfg.gather_factor;
             let meta = cfg.meta_lookup;
-            let rep = schedule::schedule_with_cost(a, cfg, |col| {
-                let occ = b.row_nnz(col) as u64;
-                ((gather * occ as f64 / 8.0).ceil() as u64).max(1) + meta
-            });
+            let cost_of = |occ: u64| ((gather * occ as f64 / 8.0).ceil() as u64).max(1) + meta;
+            let rep = match (&b, bp) {
+                // Dense B: every column has the same occupancy, so the
+                // compressed pass is uniform-cost and folds too.
+                (Operand::Dense { cols, .. }, _) if ap.is_some() => {
+                    let w = cost_of(*cols as u64);
+                    uniform_pass(w)
+                }
+                // Sparse B with a profile: per-column cost table built
+                // once from B's row lengths (no float math per element).
+                (Operand::Sparse(_), Some(pb)) => {
+                    let table: Vec<u64> =
+                        pb.row_lens().iter().map(|&occ| cost_of(occ as u64)).collect();
+                    schedule::schedule_with_cost(a, cfg, |col| table[col])
+                }
+                _ => schedule::schedule_with_cost(a, cfg, |col| cost_of(b.row_nnz(col) as u64)),
+            };
             (rep.makespan, 1, rep.utilization)
         }
     };
@@ -390,6 +492,62 @@ mod tests {
     fn dimension_mismatch_panics() {
         let a = CsrMatrix::zeros(4, 5);
         simulate(&a, Operand::Dense { rows: 6, cols: 2 }, DesignId::D1);
+    }
+
+    #[test]
+    fn profiled_simulate_is_bit_identical_to_walk() {
+        let a = gen::power_law(600, 500, 5.0, 1.4, 20);
+        let bm = gen::power_law(500, 700, 5.0, 1.4, 21);
+        let ap = MatrixProfile::build_with_pes(&a, &crate::design::design_pe_counts());
+        let bp = MatrixProfile::build_with_pes(&bm, &crate::design::design_pe_counts());
+        for id in DesignId::ALL {
+            let walk = simulate(&a, Operand::Sparse(&bm), id);
+            let prof = simulate_profiled(&a, &ap, Operand::Sparse(&bm), Some(&bp), id);
+            assert_eq!(walk, prof, "{id} sparse B");
+
+            let dense = Operand::Dense { rows: 500, cols: 700 };
+            let walk_d = simulate(&a, dense, id);
+            let prof_d = simulate_profiled(&a, &ap, dense, None, id);
+            assert_eq!(walk_d, prof_d, "{id} dense B");
+        }
+    }
+
+    #[test]
+    fn profiled_simulate_without_b_profile_still_matches() {
+        let a = gen::uniform_random(300, 300, 0.03, 30);
+        let bm = gen::uniform_random(300, 200, 0.1, 31);
+        let ap = MatrixProfile::build_with_pes(&a, &crate::design::design_pe_counts());
+        for id in DesignId::ALL {
+            let walk = simulate(&a, Operand::Sparse(&bm), id);
+            let prof = simulate_profiled(&a, &ap, Operand::Sparse(&bm), None, id);
+            assert_eq!(walk, prof, "{id}");
+        }
+    }
+
+    #[test]
+    fn custom_config_without_tally_falls_back_to_walk() {
+        let a = gen::uniform_random(256, 256, 0.05, 32);
+        let ap = MatrixProfile::build(&a); // no tallies at all
+        let mut cfg = DesignConfig::of(DesignId::D2);
+        cfg.pegs = 7; // 28 PEs: never in the standard tally set
+        let walk = simulate_with_config(&a, Operand::Dense { rows: 256, cols: 640 }, &cfg);
+        let prof = simulate_with_config_profiled(
+            &a,
+            &ap,
+            Operand::Dense { rows: 256, cols: 640 },
+            None,
+            &cfg,
+        );
+        assert_eq!(walk, prof);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile does not describe")]
+    fn mismatched_profile_panics() {
+        let a = gen::uniform_random(64, 64, 0.1, 33);
+        let other = gen::uniform_random(32, 64, 0.1, 34);
+        let p = MatrixProfile::build(&other);
+        simulate_profiled(&a, &p, Operand::Dense { rows: 64, cols: 32 }, None, DesignId::D1);
     }
 
     #[test]

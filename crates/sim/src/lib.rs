@@ -50,5 +50,10 @@ pub mod tenancy;
 pub mod tiling;
 pub mod toy;
 
-pub use design::{BFormat, BitstreamId, DesignConfig, DesignId, Traversal};
-pub use engine::{simulate, simulate_with_config, CycleBreakdown, Operand, SimReport};
+pub use design::{
+    design_pe_counts, design_row_pe_counts, BFormat, BitstreamId, DesignConfig, DesignId, Traversal,
+};
+pub use engine::{
+    simulate, simulate_profiled, simulate_with_config, simulate_with_config_profiled,
+    CycleBreakdown, Operand, SimReport,
+};

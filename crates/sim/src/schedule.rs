@@ -20,12 +20,24 @@
 //! latency — §3.2.2's observation that denser workloads schedule better).
 //!
 //! The minimal schedule length per PE is the classic
-//! scheduling-with-cooldown bound, computed exactly in one O(nnz) pass:
-//! `L = max(total_work, max_row_span)` with
-//! `span(row) = sum(w_i) + sum(gaps) - largest_gap`.
+//! scheduling-with-cooldown bound: `L = max(total_work, max_row_span)`
+//! with `span(row) = sum(w_i) + sum(gaps) - largest_gap`.
+//!
+//! Two equivalent computations exist:
+//!
+//! - [`schedule_uniform`] / [`schedule_with_cost`] — the element-walk
+//!   **reference**: one O(nnz) traversal of the CSR per call. This is
+//!   the ground truth the profiled path is property-tested against.
+//! - [`schedule_uniform_profiled`] — the closed-form fold over a
+//!   [`MatrixProfile`] residue tally. Under a uniform cost `w` every
+//!   gap equals `max(0, d − w)`, so a chunk of `n` same-row elements
+//!   spans exactly `n·w + (n−1)·gap` — strictly increasing in `n` —
+//!   and a PE's schedule is determined by its element total and its
+//!   largest chunk alone. Both are precomputed per PE residue, making
+//!   the fold O(PEs) with **zero** CSR traversal.
 
 use crate::design::{DesignConfig, Traversal};
-use misam_sparse::CsrMatrix;
+use misam_sparse::{CsrMatrix, MatrixProfile};
 
 /// Per-PE accumulation state while building a schedule.
 #[derive(Debug, Clone, Copy, Default)]
@@ -182,6 +194,55 @@ pub fn schedule_with_cost(
     ScheduleReport::from_accs(&accs, cfg)
 }
 
+/// Closed-form uniform-cost schedule from a profile's residue tally:
+/// an O(PEs) fold, bit-identical to [`schedule_uniform`] on the
+/// profiled matrix. Returns `None` when the profile holds no tally for
+/// the design's PE count — or, for a row traversal, a tally without
+/// the row-side fragment maxima — and callers fall back to the element
+/// walk.
+///
+/// # Panics
+///
+/// Panics if the design has zero PEs or `w == 0`.
+pub fn schedule_uniform_profiled(
+    profile: &MatrixProfile,
+    cfg: &DesignConfig,
+    w: u64,
+) -> Option<ScheduleReport> {
+    assert!(w > 0, "element cost must be positive");
+    let pes = cfg.total_pes();
+    assert!(pes > 0, "design has no PEs");
+    let tally = profile.tally(pes)?;
+    let gap = cfg.dep_distance.saturating_sub(w);
+    // Span of the PE's largest chunk; spans grow strictly with chunk
+    // size (w >= 1), so no smaller chunk can dominate.
+    let span = |count: u64| if count == 0 { 0 } else { count * w + (count - 1) * gap };
+
+    let mut accs = vec![PeAcc::default(); pes];
+    match cfg.scheduler_a {
+        Traversal::Col => {
+            for (p, acc) in accs.iter_mut().enumerate() {
+                let elems = tally.row_len_sum[p];
+                acc.work = elems * w;
+                acc.elements = elems;
+                acc.max_span = span(tally.row_len_max[p] as u64);
+            }
+        }
+        Traversal::Row => {
+            if !tally.has_row_side() {
+                return None;
+            }
+            for (p, acc) in accs.iter_mut().enumerate() {
+                let elems = tally.col_count_sum[p];
+                acc.work = elems * w;
+                acc.elements = elems;
+                acc.max_span = span(tally.row_frag_max[p] as u64);
+            }
+        }
+    }
+    Some(ScheduleReport::from_accs(&accs, cfg))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +358,45 @@ mod tests {
         let d1 = schedule_uniform(&a, &cfg(DesignId::D1), 8);
         let d2 = schedule_uniform(&a, &cfg(DesignId::D2), 8);
         assert!(d2.makespan < d1.makespan, "96 PEs should beat 64 when throughput-bound");
+    }
+
+    #[test]
+    fn profiled_fold_matches_element_walk() {
+        let mats = [
+            gen::uniform_random(512, 512, 0.03, 21),
+            gen::power_law(400, 300, 6.0, 1.4, 22),
+            gen::imbalanced_rows(256, 1024, 0.03, 500, 2, 23),
+            CsrMatrix::zeros(64, 64),
+        ];
+        for a in &mats {
+            let p = MatrixProfile::build_with_pes(a, &crate::design::design_pe_counts());
+            for id in DesignId::ALL {
+                let c = cfg(id);
+                for w in [1, 2, 7, 64] {
+                    let walk = schedule_uniform(a, &c, w);
+                    let fold = schedule_uniform_profiled(&p, &c, w).expect("tally present");
+                    assert_eq!(walk, fold, "design {id}, w={w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_without_tally_returns_none() {
+        let a = gen::uniform_random(32, 32, 0.1, 3);
+        let p = MatrixProfile::build(&a);
+        assert!(schedule_uniform_profiled(&p, &cfg(DesignId::D1), 4).is_none());
+    }
+
+    #[test]
+    fn row_traversal_without_row_side_returns_none() {
+        // A col-side-only tally must not silently schedule a row
+        // traversal with missing fragment maxima.
+        let a = gen::uniform_random(32, 32, 0.1, 3);
+        let d3 = cfg(DesignId::D3);
+        let p = MatrixProfile::build_with_scheduler_pes(&a, &[d3.total_pes()], &[]);
+        assert!(schedule_uniform_profiled(&p, &d3, 4).is_none());
+        assert!(schedule_uniform_profiled(&p, &cfg(DesignId::D2), 4).is_some());
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Property tests pinning the profile-based scheduler and engine to the
+//! element-walk reference: for randomized matrices across the paper's
+//! structural families, every design and both traversals must produce
+//! **bit-identical** reports from the closed-form profile folds.
+
+use misam_sim::{
+    design_pe_counts, schedule, simulate, simulate_profiled, DesignConfig, DesignId, Operand,
+};
+use misam_sparse::{gen, CsrMatrix, MatrixProfile};
+use proptest::prelude::*;
+
+/// Draws a matrix from one of the three generator families the corpus
+/// leans on, parameterized by the case's dimensions and seed.
+fn draw_matrix(kind: usize, rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
+    match kind % 3 {
+        0 => gen::uniform_random(rows, cols, density, seed),
+        1 => gen::power_law(rows, cols, (density * cols as f64).max(1.0), 1.4, seed),
+        _ => gen::imbalanced_rows(rows, cols, 0.05, (cols / 2).max(1), 2, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The O(PEs) uniform-cost fold equals the O(nnz) element walk on
+    /// every field of the report, for all four designs (covering both
+    /// the column and row traversals).
+    #[test]
+    fn profiled_schedule_matches_reference(
+        kind in 0usize..3,
+        rows in 1usize..300,
+        cols in 1usize..300,
+        density in 0.005f64..0.25,
+        w in 1u64..96,
+        seed in 0u64..10_000,
+    ) {
+        let a = draw_matrix(kind, rows, cols, density, seed);
+        let profile = MatrixProfile::build_with_pes(&a, &design_pe_counts());
+        for id in DesignId::ALL {
+            let cfg = DesignConfig::of(id);
+            let walk = schedule::schedule_uniform(&a, &cfg, w);
+            let fold = schedule::schedule_uniform_profiled(&profile, &cfg, w)
+                .expect("standard designs have tallies");
+            prop_assert_eq!(walk.makespan, fold.makespan);
+            prop_assert_eq!(walk.total_work, fold.total_work);
+            prop_assert_eq!(walk.elements, fold.elements);
+            prop_assert_eq!(walk.utilization.to_bits(), fold.utilization.to_bits());
+        }
+    }
+
+    /// End-to-end: `simulate_profiled` against a dense B is
+    /// bit-identical to `simulate` for all designs (multi-pass
+    /// scheduling, remainder reuse, compressed-dense uniform cost).
+    #[test]
+    fn profiled_simulate_matches_reference_dense_b(
+        kind in 0usize..3,
+        rows in 1usize..250,
+        k in 1usize..250,
+        n in 1usize..1400,
+        density in 0.005f64..0.2,
+        seed in 0u64..10_000,
+    ) {
+        let a = draw_matrix(kind, rows, k, density, seed);
+        let ap = MatrixProfile::build_with_pes(&a, &design_pe_counts());
+        let b = Operand::Dense { rows: k, cols: n };
+        for id in DesignId::ALL {
+            let walk = simulate(&a, b, id);
+            let prof = simulate_profiled(&a, &ap, b, None, id);
+            prop_assert_eq!(walk.clone(), prof);
+        }
+    }
+
+    /// End-to-end with sparse B: the per-column cost table, the
+    /// closed-form SpGEMM flop count, and the output estimate all
+    /// reproduce the reference exactly — with and without B's profile.
+    #[test]
+    fn profiled_simulate_matches_reference_sparse_b(
+        kind in 0usize..3,
+        rows in 1usize..250,
+        k in 1usize..250,
+        n in 1usize..250,
+        density in 0.005f64..0.2,
+        seed in 0u64..10_000,
+    ) {
+        let a = draw_matrix(kind, rows, k, density, seed);
+        let bm = draw_matrix(kind + 1, k, n, density, seed ^ 0xb00);
+        let ap = MatrixProfile::build_with_pes(&a, &design_pe_counts());
+        let bp = MatrixProfile::build_with_pes(&bm, &design_pe_counts());
+        for id in DesignId::ALL {
+            let walk = simulate(&a, Operand::Sparse(&bm), id);
+            let with_bp = simulate_profiled(&a, &ap, Operand::Sparse(&bm), Some(&bp), id);
+            let without_bp = simulate_profiled(&a, &ap, Operand::Sparse(&bm), None, id);
+            prop_assert_eq!(walk.clone(), with_bp);
+            prop_assert_eq!(walk, without_bp);
+        }
+    }
+
+    /// Profile-derived matrix statistics equal a fresh extraction —
+    /// the contract that lets features share the oracle's profiles.
+    #[test]
+    fn profile_stats_match_fresh_extraction(
+        kind in 0usize..3,
+        rows in 1usize..400,
+        cols in 1usize..400,
+        density in 0.005f64..0.3,
+        seed in 0u64..10_000,
+    ) {
+        let m = draw_matrix(kind, rows, cols, density, seed);
+        let p = MatrixProfile::build(&m);
+        let direct = misam_features::MatrixStats::extract(&m);
+        let via = misam_features::MatrixStats::from_profile(&p);
+        prop_assert_eq!(direct, via);
+    }
+}

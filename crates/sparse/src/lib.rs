@@ -44,12 +44,14 @@ mod error;
 pub mod gen;
 pub mod io;
 pub mod kernels;
+pub mod profile;
 pub mod suitesparse;
 
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
+pub use profile::MatrixProfile;
 
 /// Result alias used by fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, SparseError>;

@@ -1,0 +1,517 @@
+//! Precomputed structural profiles of a sparse matrix.
+//!
+//! Every consumer of a matrix's *structure* — the cycle-level scheduler,
+//! the feature extractor, the execution oracle — used to re-walk the CSR
+//! arrays on each query: one walk per design per pass width for
+//! scheduling, one walk per call for column statistics. A
+//! [`MatrixProfile`] folds all of that into a single pass over the
+//! matrix, after which:
+//!
+//! - uniform-cost PE scheduling is a closed-form O(PEs) fold over the
+//!   per-residue tallies (see `misam_sim::schedule`), because under a
+//!   uniform element cost `w` a row's dependency span is
+//!   `n·w + (n−1)·max(0, d−w)` — strictly increasing in `n` — so each
+//!   PE's critical span is determined by the *largest* chunk assigned to
+//!   it, not by the chunk contents;
+//! - row/column mean, variance, maximum and load imbalance (the
+//!   `misam_features` statistics) read straight from the stored
+//!   distribution summaries;
+//! - per-column cost tables for compressed-B scheduling derive from the
+//!   row-length vector of the B-side profile without touching B again.
+//!
+//! Profiles are immutable once built, so they can sit behind an `Arc` in
+//! a process-wide cache and be shared by every layer that fingerprints
+//! the same matrix.
+
+use crate::CsrMatrix;
+
+/// Mean / population-variance / maximum summary of a count
+/// distribution (rows-per-length or columns-per-occupancy).
+///
+/// Accumulated in the exact iteration order and float operations of the
+/// historical feature extractor, so statistics derived from a profile
+/// are bit-identical to a fresh CSR scan.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DistSummary {
+    /// Number of observations (rows or columns).
+    pub n: usize,
+    /// Mean count.
+    pub mean: f64,
+    /// Population variance of the counts.
+    pub var: f64,
+    /// Largest count.
+    pub max: usize,
+}
+
+impl DistSummary {
+    fn of(counts: impl Iterator<Item = usize>) -> Self {
+        let mut n = 0usize;
+        let mut sum = 0f64;
+        let mut sumsq = 0f64;
+        let mut max = 0usize;
+        for c in counts {
+            n += 1;
+            sum += c as f64;
+            sumsq += (c * c) as f64;
+            max = max.max(c);
+        }
+        if n == 0 {
+            return DistSummary::default();
+        }
+        let mean = sum / n as f64;
+        let var = (sumsq / n as f64 - mean * mean).max(0.0);
+        DistSummary { n, mean, var, max }
+    }
+
+    /// Largest count over the mean (≥ 1 when any count is positive;
+    /// 1 for an empty distribution) — the load-imbalance ratio.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.max as f64 / self.mean
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Per-PE-residue aggregates for one PE count.
+///
+/// The two assignment policies of the paper's Table 1 are both residue
+/// classes: the column scheduler sends whole row `r` to PE `r % pes`,
+/// the row scheduler sends each element to PE `col % pes`. Under a
+/// uniform element cost the schedule of a PE therefore depends only on
+/// (a) how many elements land on it and (b) the largest
+/// single-dependency-chain chunk it receives — both computed here once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeResidueTally {
+    pes: usize,
+    row_side: bool,
+    /// Column scheduler: total elements of rows `r ≡ p (mod pes)`.
+    pub row_len_sum: Vec<u64>,
+    /// Column scheduler: longest row assigned to PE `p`.
+    pub row_len_max: Vec<u32>,
+    /// Row scheduler: total elements with `col ≡ p (mod pes)`.
+    pub col_count_sum: Vec<u64>,
+    /// Row scheduler: largest per-row fragment landing on PE `p` (the
+    /// longest same-row dependency chain it must serialize). Empty
+    /// unless the tally was built with the row side (see
+    /// [`PeResidueTally::has_row_side`]).
+    pub row_frag_max: Vec<u32>,
+}
+
+impl PeResidueTally {
+    /// The PE count these tallies are folded for.
+    pub fn pes(&self) -> usize {
+        self.pes
+    }
+
+    /// True when [`PeResidueTally::row_frag_max`] was computed. The
+    /// fragment maxima need an O(nnz) element pass, so
+    /// [`MatrixProfile::build_with_scheduler_pes`] only folds them for
+    /// PE counts a row scheduler actually uses; consumers scheduling a
+    /// row traversal must fall back to the element walk when this is
+    /// false.
+    pub fn has_row_side(&self) -> bool {
+        self.row_side
+    }
+}
+
+/// The precomputed structural profile of one CSR matrix.
+///
+/// Built in a single traversal of the CSR arrays; see the module docs
+/// for what each consumer reads from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixProfile {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    row_lens: Vec<u32>,
+    col_counts: Vec<u32>,
+    row_summary: DistSummary,
+    col_summary: DistSummary,
+    tallies: Vec<PeResidueTally>,
+}
+
+impl MatrixProfile {
+    /// Profiles `m` without PE tallies (sufficient for feature
+    /// extraction; scheduling falls back to the element walk).
+    pub fn build(m: &CsrMatrix) -> Self {
+        Self::build_with_pes(m, &[])
+    }
+
+    /// Profiles `m` and folds per-residue tallies for every PE count in
+    /// `pe_counts` (zero and duplicate entries are ignored), with both
+    /// scheduler sides computed for every count.
+    pub fn build_with_pes(m: &CsrMatrix, pe_counts: &[usize]) -> Self {
+        Self::build_with_scheduler_pes(m, pe_counts, pe_counts)
+    }
+
+    /// Profiles `m` with column-scheduler tallies for every PE count in
+    /// `col_pes ∪ row_pes` but row-scheduler fragment maxima — the only
+    /// aggregate needing an O(nnz) element pass per PE count — folded
+    /// just for the counts in `row_pes`. Tallies without the row side
+    /// report [`PeResidueTally::has_row_side`] `== false` and row-
+    /// traversal consumers must fall back to the element walk for them.
+    pub fn build_with_scheduler_pes(m: &CsrMatrix, col_pes: &[usize], row_pes: &[usize]) -> Self {
+        let rows = m.rows();
+        let cols = m.cols();
+        let nnz = m.nnz();
+
+        let row_ptr = m.row_ptr();
+        let row_lens: Vec<u32> = (0..rows).map(|r| (row_ptr[r + 1] - row_ptr[r]) as u32).collect();
+
+        let mut pes_set: Vec<usize> =
+            col_pes.iter().chain(row_pes).copied().filter(|&p| p > 0).collect();
+        pes_set.sort_unstable();
+        pes_set.dedup();
+
+        let mut tallies: Vec<PeResidueTally> = pes_set
+            .iter()
+            .map(|&pes| {
+                let row_side = row_pes.contains(&pes);
+                PeResidueTally {
+                    pes,
+                    row_side,
+                    row_len_sum: vec![0u64; pes],
+                    row_len_max: vec![0u32; pes],
+                    col_count_sum: vec![0u64; pes],
+                    row_frag_max: if row_side { vec![0u32; pes] } else { Vec::new() },
+                }
+            })
+            .collect();
+
+        // Row-scheduler fragment maxima need the per-row column sets:
+        // one O(nnz) element pass per row-side PE count. The column
+        // occupancy ride-shares the first pass (it visits exactly the
+        // same elements); without a row-side tally it gets its own loop.
+        let mut col_counts = vec![0u32; cols];
+        let mut counted = false;
+        if nnz > 0 {
+            for t in tallies.iter_mut().filter(|t| t.row_side) {
+                let counts = if counted { None } else { Some(&mut col_counts[..]) };
+                frag_fold(rows, cols, row_ptr, m.col_idx(), t.pes, &mut t.row_frag_max, counts);
+                counted = true;
+            }
+        }
+        if !counted {
+            for &c in m.col_idx() {
+                col_counts[c as usize] += 1;
+            }
+        }
+
+        let row_summary = DistSummary::of(row_lens.iter().map(|&l| l as usize));
+        let col_summary = DistSummary::of(col_counts.iter().map(|&c| c as usize));
+
+        // Column-scheduler aggregates and row-scheduler totals come from
+        // the length vectors alone: residues cycle 0..pes in index
+        // order, so a wrapping counter replaces the per-index division.
+        for t in &mut tallies {
+            let pes = t.pes;
+            let mut p = 0usize;
+            for &len in &row_lens {
+                t.row_len_sum[p] += len as u64;
+                if len > t.row_len_max[p] {
+                    t.row_len_max[p] = len;
+                }
+                p += 1;
+                if p == pes {
+                    p = 0;
+                }
+            }
+            let mut p = 0usize;
+            for &cnt in &col_counts {
+                t.col_count_sum[p] += cnt as u64;
+                p += 1;
+                if p == pes {
+                    p = 0;
+                }
+            }
+            // The fragment fold only records fragments of length >= 2;
+            // every populated residue trivially has a fragment of 1.
+            if t.row_side {
+                for p in 0..pes {
+                    if t.row_frag_max[p] == 0 && t.col_count_sum[p] > 0 {
+                        t.row_frag_max[p] = 1;
+                    }
+                }
+            }
+        }
+
+        MatrixProfile { rows, cols, nnz, row_lens, col_counts, row_summary, col_summary, tallies }
+    }
+
+    /// Number of rows of the profiled matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the profiled matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros of the profiled matrix.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Nonzeros per row, in row order.
+    pub fn row_lens(&self) -> &[u32] {
+        &self.row_lens
+    }
+
+    /// Nonzeros per column, in column order.
+    pub fn col_counts(&self) -> &[u32] {
+        &self.col_counts
+    }
+
+    /// Distribution summary of nonzeros per row.
+    pub fn row_summary(&self) -> &DistSummary {
+        &self.row_summary
+    }
+
+    /// Distribution summary of nonzeros per column.
+    pub fn col_summary(&self) -> &DistSummary {
+        &self.col_summary
+    }
+
+    /// The residue tally folded for `pes`, if one was requested at
+    /// build time.
+    pub fn tally(&self, pes: usize) -> Option<&PeResidueTally> {
+        self.tallies.iter().find(|t| t.pes == pes)
+    }
+
+    /// PE counts this profile holds tallies for.
+    pub fn tally_pes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.tallies.iter().map(|t| t.pes)
+    }
+
+    /// Cheap shape guard: true when `m` has the dimensions and nonzero
+    /// count this profile was built from. Used by consumers to assert a
+    /// profile is being applied to the matrix it describes.
+    pub fn describes(&self, m: &CsrMatrix) -> bool {
+        self.rows == m.rows() && self.cols == m.cols() && self.nnz == m.nnz()
+    }
+}
+
+/// Folds the largest per-row fragment per PE residue: for each row, how
+/// many of its columns land on PE `c % pes`, maxed over rows — the hot
+/// path of profile construction. Only fragments of length >= 2 are
+/// recorded here; the caller lifts every populated residue to >= 1 from
+/// the column occupancies. The matrix-wide column occupancy is
+/// optionally accumulated in the same element visit (`counts`).
+fn frag_fold(
+    rows: usize,
+    cols: usize,
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    pes: usize,
+    out: &mut [u32],
+    counts: Option<&mut [u32]>,
+) {
+    // Per-residue scratch packs the row of the last visit in the high
+    // 32 bits and the running in-row count in the low 32: one u64
+    // load/store per element, with no per-row histogram reset or fold.
+    // Rows of length < 2 can only produce fragments of 1, which the
+    // caller derives from the column occupancies, so they skip the
+    // scratch entirely.
+    const FRESH: u64 = u64::MAX << 32;
+
+    // Compile-time PE count: fixed-size stack scratch (bounds checks
+    // vanish) and `% PES` strength-reduces to a multiply-shift.
+    #[inline(always)]
+    fn fold_const<const PES: usize, const COUNT: bool>(
+        rows: usize,
+        row_ptr: &[usize],
+        col_idx: &[u32],
+        out: &mut [u32],
+        counts: &mut [u32],
+    ) {
+        let out = &mut out[..PES];
+        let mut scratch = [FRESH; PES];
+        for r in 0..rows {
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            if COUNT {
+                for &c in row {
+                    counts[c as usize] += 1;
+                }
+            }
+            if row.len() < 2 {
+                continue;
+            }
+            let rr = (r as u64) << 32;
+            for &c in row {
+                let p = c as usize % PES;
+                let v = scratch[p];
+                let f = (v & FRESH == rr) as u32 * v as u32 + 1;
+                scratch[p] = rr | f as u64;
+                if f > out[p] {
+                    out[p] = f;
+                }
+            }
+        }
+    }
+
+    // Runtime PE count: residue via a precomputed per-column table.
+    #[inline(always)]
+    fn fold_dyn<const COUNT: bool>(
+        rows: usize,
+        row_ptr: &[usize],
+        col_idx: &[u32],
+        pes: usize,
+        table: &[u32],
+        out: &mut [u32],
+        counts: &mut [u32],
+    ) {
+        let mut scratch = vec![FRESH; pes];
+        for r in 0..rows {
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            if COUNT {
+                for &c in row {
+                    counts[c as usize] += 1;
+                }
+            }
+            if row.len() < 2 {
+                continue;
+            }
+            let rr = (r as u64) << 32;
+            for &c in row {
+                let p = table[c as usize] as usize;
+                let v = scratch[p];
+                let f = (v & FRESH == rr) as u32 * v as u32 + 1;
+                scratch[p] = rr | f as u64;
+                if f > out[p] {
+                    out[p] = f;
+                }
+            }
+        }
+    }
+
+    match (pes, counts) {
+        // The PE totals of the paper's designs (Table 1).
+        (64, Some(cc)) => fold_const::<64, true>(rows, row_ptr, col_idx, out, cc),
+        (64, None) => fold_const::<64, false>(rows, row_ptr, col_idx, out, &mut []),
+        (96, Some(cc)) => fold_const::<96, true>(rows, row_ptr, col_idx, out, cc),
+        (96, None) => fold_const::<96, false>(rows, row_ptr, col_idx, out, &mut []),
+        (_, counts) => {
+            let table: Vec<u32> = (0..cols).map(|c| (c % pes) as u32).collect();
+            match counts {
+                Some(cc) => fold_dyn::<true>(rows, row_ptr, col_idx, pes, &table, out, cc),
+                None => fold_dyn::<false>(rows, row_ptr, col_idx, pes, &table, out, &mut []),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, CooMatrix};
+
+    #[test]
+    fn lengths_and_counts_match_csr() {
+        let m = gen::power_law(128, 96, 5.0, 1.4, 3);
+        let p = MatrixProfile::build(&m);
+        assert!(p.describes(&m));
+        assert_eq!(p.row_lens().len(), 128);
+        assert_eq!(p.col_counts().len(), 96);
+        for r in 0..m.rows() {
+            assert_eq!(p.row_lens()[r] as usize, m.row_nnz(r));
+        }
+        let total: u64 = p.col_counts().iter().map(|&c| c as u64).sum();
+        assert_eq!(total, m.nnz() as u64);
+    }
+
+    #[test]
+    fn summaries_match_direct_computation() {
+        let m = gen::imbalanced_rows(200, 300, 0.05, 120, 2, 9);
+        let p = MatrixProfile::build(&m);
+        let rs = DistSummary::of((0..m.rows()).map(|r| m.row_nnz(r)));
+        assert_eq!(*p.row_summary(), rs);
+        assert!(p.row_summary().imbalance() > 1.0);
+        assert_eq!(p.col_summary().n, 300);
+    }
+
+    #[test]
+    fn residue_tallies_agree_with_explicit_fold() {
+        let m = gen::uniform_random(97, 131, 0.08, 5);
+        let pes = 8usize;
+        let p = MatrixProfile::build_with_pes(&m, &[pes, pes, 0]);
+        assert_eq!(p.tally_pes().collect::<Vec<_>>(), vec![pes]);
+        let t = p.tally(pes).expect("tally built");
+
+        let mut len_sum = vec![0u64; pes];
+        let mut len_max = vec![0u32; pes];
+        for r in 0..m.rows() {
+            len_sum[r % pes] += m.row_nnz(r) as u64;
+            len_max[r % pes] = len_max[r % pes].max(m.row_nnz(r) as u32);
+        }
+        assert_eq!(t.row_len_sum, len_sum);
+        assert_eq!(t.row_len_max, len_max);
+
+        let mut count = vec![0u64; pes];
+        let mut frag_max = vec![0u32; pes];
+        for r in 0..m.rows() {
+            let mut frag = vec![0u32; pes];
+            for (c, _) in m.row(r).iter() {
+                frag[c % pes] += 1;
+                count[c % pes] += 1;
+            }
+            for pe in 0..pes {
+                frag_max[pe] = frag_max[pe].max(frag[pe]);
+            }
+        }
+        assert_eq!(t.col_count_sum, count);
+        assert_eq!(t.row_frag_max, frag_max);
+    }
+
+    #[test]
+    fn scheduler_split_gates_the_row_side() {
+        let m = gen::uniform_random(64, 64, 0.1, 11);
+        let p = MatrixProfile::build_with_scheduler_pes(&m, &[4, 6], &[6]);
+        assert_eq!(p.tally_pes().collect::<Vec<_>>(), vec![4, 6]);
+        let col_only = p.tally(4).unwrap();
+        assert!(!col_only.has_row_side());
+        assert!(col_only.row_frag_max.is_empty());
+        assert!(col_only.row_len_sum.iter().sum::<u64>() > 0);
+        let both = p.tally(6).unwrap();
+        assert!(both.has_row_side());
+        // The row-side aggregates match a full build.
+        let full = MatrixProfile::build_with_pes(&m, &[6]);
+        assert_eq!(both.row_frag_max, full.tally(6).unwrap().row_frag_max);
+        assert_eq!(both.col_count_sum, full.tally(6).unwrap().col_count_sum);
+    }
+
+    #[test]
+    fn empty_matrix_profiles_cleanly() {
+        let m = CsrMatrix::zeros(16, 16);
+        let p = MatrixProfile::build_with_pes(&m, &[4]);
+        assert_eq!(p.nnz(), 0);
+        assert_eq!(p.row_summary().mean, 0.0);
+        assert_eq!(p.row_summary().imbalance(), 1.0);
+        let t = p.tally(4).unwrap();
+        assert!(t.row_len_sum.iter().all(|&s| s == 0));
+        assert!(t.row_frag_max.iter().all(|&s| s == 0));
+
+        let zero = CsrMatrix::zeros(0, 0);
+        let pz = MatrixProfile::build(&zero);
+        assert_eq!(pz.row_summary().n, 0);
+    }
+
+    #[test]
+    fn single_row_fragments_split_by_residue() {
+        // Row 0 holds columns 0..6; with 4 PEs the fragments are
+        // {0,4}, {1,5}, {2}, {3} -> frag_max = [2, 2, 1, 1].
+        let mut coo = CooMatrix::new(2, 8);
+        for c in 0..6 {
+            coo.push(0, c, 1.0).unwrap();
+        }
+        let m = coo.to_csr();
+        let p = MatrixProfile::build_with_pes(&m, &[4]);
+        let t = p.tally(4).unwrap();
+        assert_eq!(t.row_frag_max, vec![2, 2, 1, 1]);
+        assert_eq!(t.col_count_sum, vec![2, 2, 1, 1]);
+        assert_eq!(t.row_len_sum, vec![6, 0, 0, 0]);
+        assert_eq!(t.row_len_max, vec![6, 0, 0, 0]);
+    }
+}
