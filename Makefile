@@ -4,7 +4,7 @@
 # experiment sweeps); default is all cores and output is byte-identical
 # at any value, e.g. `MISAM_THREADS=4 make reproduce`.
 
-.PHONY: test bench bench-sim reproduce reproduce-paper examples doc clean
+.PHONY: test bench bench-sim bench-gen reproduce reproduce-paper examples doc clean
 
 test:
 	cargo test --workspace
@@ -16,6 +16,11 @@ bench:
 # with a byte-identity gate on the labels. Writes BENCH_sim.json.
 bench-sim:
 	cargo run --release -p misam-bench --bin bench_sim
+
+# Two-stage generator microbenchmark: structure stage vs full
+# materialization per family. Writes BENCH_gen.json.
+bench-gen:
+	cargo run --release -p misam-bench --bin bench_gen
 
 # Regenerate every table/figure into results/ (minutes).
 reproduce:

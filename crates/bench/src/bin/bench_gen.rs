@@ -1,0 +1,81 @@
+//! Measures the two-stage generators per family — the structure stage
+//! (O(rows + cols), what the streaming corpus pipeline runs) against
+//! full materialization (structure + O(nnz) fill) — and writes
+//! `BENCH_gen.json`.
+
+use misam_sparse::{gen, LazyMatrix};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct FamilyRow {
+    family: String,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    structure_ns: f64,
+    materialize_ns: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Doc {
+    bench: String,
+    reps: usize,
+    families: Vec<FamilyRow>,
+}
+
+fn main() {
+    let reps = 20usize;
+    type GenFn = Box<dyn Fn(u64) -> LazyMatrix>;
+    let families: Vec<(&str, GenFn)> = vec![
+        ("uniform", Box::new(|s| gen::uniform_random_lazy(4096, 4096, 0.004, s))),
+        ("power_law", Box::new(|s| gen::power_law_lazy(4096, 4096, 14.0, 1.5, s))),
+        ("rmat", Box::new(|s| gen::rmat_lazy(4096, 4096, 60_000, (0.57, 0.19, 0.19, 0.05), s))),
+        ("banded", Box::new(|s| gen::banded_lazy(4096, 4096, 48, 0.7, s))),
+        ("circuit", Box::new(|s| gen::circuit_lazy(4096, 4096, 4.0, 16, s))),
+        ("regular", Box::new(|s| gen::regular_degree_lazy(4096, 4096, 16, s))),
+        ("pruned_dnn", Box::new(|s| gen::pruned_dnn_lazy(1024, 1024, 0.2, s))),
+        ("imbalanced", Box::new(|s| gen::imbalanced_rows_lazy(4096, 4096, 0.04, 512, 4, s))),
+        ("mesh2d", Box::new(|_| gen::mesh2d_lazy(64, 64))),
+        ("mesh3d", Box::new(|_| gen::mesh3d_lazy(16, 16, 16))),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, f) in &families {
+        let sample = f(1);
+        let (r, c, n) = (sample.rows(), sample.cols(), sample.nnz());
+
+        let t = Instant::now();
+        for i in 0..reps {
+            std::hint::black_box(f(i as u64));
+        }
+        let structure_ns = t.elapsed().as_nanos() as f64 / reps as f64;
+
+        let t = Instant::now();
+        for i in 0..reps {
+            std::hint::black_box(f(i as u64).into_csr());
+        }
+        let materialize_ns = t.elapsed().as_nanos() as f64 / reps as f64;
+
+        println!(
+            "{name:<12} {r}x{c} nnz {n:>8}: structure {structure_ns:>10.0} ns   \
+             full {materialize_ns:>12.0} ns   {:>6.1}x",
+            materialize_ns / structure_ns
+        );
+        rows.push(FamilyRow {
+            family: (*name).into(),
+            rows: r,
+            cols: c,
+            nnz: n,
+            structure_ns,
+            materialize_ns,
+            speedup: materialize_ns / structure_ns,
+        });
+    }
+
+    let doc = Doc { bench: "bench_gen".into(), reps, families: rows };
+    std::fs::write("BENCH_gen.json", serde_json::to_string_pretty(&doc).unwrap())
+        .expect("write BENCH_gen.json");
+    println!("wrote BENCH_gen.json");
+}

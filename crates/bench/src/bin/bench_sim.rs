@@ -10,13 +10,23 @@
 //!   operand pair (all four designs), with profile construction charged
 //!   to the profiled path.
 //!
-//! Every profiled report is checked byte-identical (via serde) to its
-//! walk twin before any number is written.
+//! A third view times the **structure-first corpus pipeline** stage by
+//! stage (generate / profile / features / schedule) against two eager
+//! baselines: the PR 2 pipeline exactly as it shipped (per-element
+//! rejection-sampling generation, replicated in [`pr2`]) and today's
+//! two-stage generators with the O(nnz) fill re-enabled. A
+//! `csr_materialization_rate` of zero proves the structural path never
+//! built an element array.
+//!
+//! Every profiled or structural report is checked byte-identical (via
+//! serde) to its walk twin before any number is written.
 
+use misam_features::{PairFeatures, TileConfig};
 use misam_sim::{
-    design_pe_counts, design_row_pe_counts, simulate, simulate_profiled, DesignId, Operand,
+    design_pe_counts, design_row_pe_counts, simulate, simulate_profiled, simulate_structural,
+    DesignId, Operand, StructuralOperand,
 };
-use misam_sparse::{gen, CsrMatrix, MatrixProfile};
+use misam_sparse::{gen, lazy, CsrMatrix, LazyMatrix, MatrixProfile};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -55,6 +65,47 @@ struct CorpusMeta {
 }
 
 #[derive(Serialize)]
+struct StageBreakdown {
+    generate_ns: f64,
+    profile_ns: f64,
+    features_ns: f64,
+    schedule_ns: f64,
+}
+
+impl StageBreakdown {
+    fn total_ns(&self) -> f64 {
+        self.generate_ns + self.profile_ns + self.features_ns + self.schedule_ns
+    }
+}
+
+#[derive(Serialize)]
+struct StructureFirst {
+    samples: usize,
+    /// The PR 2 pipeline as it shipped: per-element rejection-sampling
+    /// generation (see [`pr2`]), element-walk profile build,
+    /// profile-backed features and scheduling.
+    pr2_stages_ns_per_sample: StageBreakdown,
+    /// Today's generators run eagerly: two-stage structure generation
+    /// plus the O(nnz) fill, then the same downstream stages as PR 2.
+    eager_stages_ns_per_sample: StageBreakdown,
+    /// Structure-first path: O(rows + cols) structure generation,
+    /// profile synthesis, structural features and scheduling.
+    structural_stages_ns_per_sample: StageBreakdown,
+    pr2_samples_per_sec: f64,
+    eager_samples_per_sec: f64,
+    structural_samples_per_sec: f64,
+    /// Corpus-labeling throughput gain over the PR 2 pipeline — the
+    /// headline number for the streaming corpus work.
+    speedup_vs_pr2: f64,
+    /// Gain over eagerly materializing today's two-stage generators —
+    /// isolates what skipping the fill + element walks buys.
+    speedup_vs_two_stage_eager: f64,
+    /// Lazy matrices materialized / created during the structural
+    /// stages — 0 means labeling never touched an element array.
+    csr_materialization_rate: f64,
+}
+
+#[derive(Serialize)]
 struct Doc {
     bench: String,
     corpus: CorpusMeta,
@@ -62,27 +113,224 @@ struct Doc {
     profile_build_ns_per_matrix: f64,
     per_design_ns_per_schedule: Vec<DesignRow>,
     corpus_labeling: LabelingByWorkload,
+    structure_first_labeling: StructureFirst,
 }
 
 /// Simulate-dominated corpus: big enough that scheduling dwarfs the
 /// fixed per-call overheads, mixed across the generator families.
 fn corpus() -> Vec<(&'static str, CsrMatrix, CsrMatrix)> {
+    lazy_corpus()
+        .into_iter()
+        .map(|(name, a, bm)| (name, a.into_csr(), bm.into_csr()))
+        .collect()
+}
+
+/// The same corpus in structure-stage form (no element arrays built):
+/// same seeds, so each pair materializes to its `corpus()` twin.
+fn lazy_corpus() -> Vec<(&'static str, LazyMatrix, LazyMatrix)> {
     let mut set = Vec::new();
     for s in 0..4u64 {
         set.push((
             "uniform",
-            gen::uniform_random(4096, 4096, 0.004, 10 + s),
-            gen::uniform_random(4096, 512, 0.02, 50 + s),
+            gen::uniform_random_lazy(4096, 4096, 0.004, 10 + s),
+            gen::uniform_random_lazy(4096, 512, 0.02, 50 + s),
         ));
         set.push((
             "power_law",
-            gen::power_law(4096, 4096, 14.0, 1.5, 20 + s),
-            gen::power_law(4096, 512, 10.0, 1.4, 60 + s),
+            gen::power_law_lazy(4096, 4096, 14.0, 1.5, 20 + s),
+            gen::power_law_lazy(4096, 512, 10.0, 1.4, 60 + s),
         ));
         set.push((
             "imbalanced",
-            gen::imbalanced_rows(4096, 4096, 0.04, 512, 4, 30 + s),
-            gen::uniform_random(4096, 512, 0.02, 70 + s),
+            gen::imbalanced_rows_lazy(4096, 4096, 0.04, 512, 4, 30 + s),
+            gen::uniform_random_lazy(4096, 512, 0.02, 70 + s),
+        ));
+    }
+    set
+}
+
+/// Faithful replica of the PR 2 corpus-family generators (commit
+/// `2c430f5`), kept verbatim as the baseline side of the structure-first
+/// comparison: row counts from an O(n) Bernoulli-loop / normal binomial,
+/// columns by rejection sampling into a hash set (O(nnz) RNG draws plus
+/// a sort per row), values drawn per element. The replica matrices match
+/// the current families in shape, density and skew but not bit-for-bit
+/// (the streaming generators define their own stream discipline).
+mod pr2 {
+    use misam_sparse::CsrMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn value(rng: &mut StdRng) -> f32 {
+        loop {
+            let v: f32 = rng.gen_range(-1.0..1.0);
+            if v != 0.0 {
+                return v;
+            }
+        }
+    }
+
+    fn sample_distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<u32> {
+        let k = k.min(n);
+        if k == 0 {
+            return Vec::new();
+        }
+        if k * 3 >= n {
+            let mut all: Vec<u32> = (0..n as u32).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                all.swap(i, j);
+            }
+            let mut chosen = all[..k].to_vec();
+            chosen.sort_unstable();
+            chosen
+        } else {
+            let mut chosen = Vec::with_capacity(k);
+            let mut seen = std::collections::HashSet::with_capacity(k * 2);
+            while chosen.len() < k {
+                let c = rng.gen_range(0..n) as u32;
+                if seen.insert(c) {
+                    chosen.push(c);
+                }
+            }
+            chosen.sort_unstable();
+            chosen
+        }
+    }
+
+    fn binomial(rng: &mut StdRng, n: usize, p: f64) -> usize {
+        if n == 0 || p <= 0.0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return n;
+        }
+        if n <= 64 {
+            return (0..n).filter(|_| rng.gen_bool(p)).count();
+        }
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mean + sd * z).round().clamp(0.0, n as f64) as usize
+    }
+
+    fn build_by_rows(
+        rows: usize,
+        cols: usize,
+        mut row_nnz: impl FnMut(usize, &mut StdRng) -> usize,
+        rng: &mut StdRng,
+    ) -> CsrMatrix {
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            let k = row_nnz(r, rng).min(cols);
+            for c in sample_distinct(rng, cols, k) {
+                col_idx.push(c);
+                values.push(value(rng));
+            }
+            row_ptr.push(values.len());
+        }
+        CsrMatrix::from_raw_parts(rows, cols, row_ptr, col_idx, values)
+            .expect("builder produces sorted in-bounds columns")
+    }
+
+    pub fn uniform_random(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0001);
+        build_by_rows(rows, cols, |_, rng| binomial(rng, cols, density), &mut rng)
+    }
+
+    pub fn power_law(rows: usize, cols: usize, avg_nnz: f64, alpha: f64, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0002);
+        let mut weights: Vec<f64> =
+            (0..rows).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+        let wsum: f64 = weights.iter().sum();
+        let total = avg_nnz * rows as f64;
+        for w in &mut weights {
+            *w = *w / wsum * total;
+        }
+        for i in (1..rows).rev() {
+            let j = rng.gen_range(0..=i);
+            weights.swap(i, j);
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for &w in &weights {
+            let k = (w.round().max(0.0) as usize).min(cols);
+            let mut chosen = std::collections::HashSet::with_capacity(k * 2);
+            let mut tries = 0;
+            while chosen.len() < k && tries < k * 20 + 16 {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                chosen.insert(((u * u) * cols as f64) as usize % cols);
+                tries += 1;
+            }
+            let mut cols_sorted: Vec<usize> = chosen.into_iter().collect();
+            cols_sorted.sort_unstable();
+            for c in cols_sorted {
+                col_idx.push(c as u32);
+                values.push(value(&mut rng));
+            }
+            row_ptr.push(values.len());
+        }
+        CsrMatrix::from_raw_parts(rows, cols, row_ptr, col_idx, values)
+            .expect("generated indices in bounds")
+    }
+
+    pub fn imbalanced_rows(
+        rows: usize,
+        cols: usize,
+        heavy_frac: f64,
+        heavy_nnz: usize,
+        light_nnz: usize,
+        seed: u64,
+    ) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0009);
+        let n_heavy = ((rows as f64 * heavy_frac).round() as usize).min(rows);
+        let mut heavy = vec![false; rows];
+        if n_heavy > 0 {
+            let stride = rows.max(1) / n_heavy.max(1);
+            let mut r = stride / 2;
+            for _ in 0..n_heavy {
+                heavy[r.min(rows - 1)] = true;
+                r += stride.max(1);
+                if r >= rows {
+                    r = rng.gen_range(0..rows);
+                }
+            }
+        }
+        build_by_rows(
+            rows,
+            cols,
+            |r, _| if heavy[r] { heavy_nnz.min(cols) } else { light_nnz.min(cols) },
+            &mut rng,
+        )
+    }
+}
+
+/// The corpus as the PR 2 generators would have produced it (same
+/// family parameters and seeds, PR 2 stream discipline).
+fn pr2_corpus() -> Vec<(&'static str, CsrMatrix, CsrMatrix)> {
+    let mut set = Vec::new();
+    for s in 0..4u64 {
+        set.push((
+            "uniform",
+            pr2::uniform_random(4096, 4096, 0.004, 10 + s),
+            pr2::uniform_random(4096, 512, 0.02, 50 + s),
+        ));
+        set.push((
+            "power_law",
+            pr2::power_law(4096, 4096, 14.0, 1.5, 20 + s),
+            pr2::power_law(4096, 512, 10.0, 1.4, 60 + s),
+        ));
+        set.push((
+            "imbalanced",
+            pr2::imbalanced_rows(4096, 4096, 0.04, 512, 4, 30 + s),
+            pr2::uniform_random(4096, 512, 0.02, 70 + s),
         ));
     }
     set
@@ -223,6 +471,202 @@ fn main() {
         profile_build_ns
     );
 
+    // --- Structure-first corpus pipeline, stage by stage ------------
+    let tile = TileConfig::default();
+
+    // Byte-identity gate for the structural path: synthesized-profile
+    // reports and features must match their element-walk twins. This
+    // materializes lazy matrices on purpose, so it runs before the
+    // materialization counters are reset for the timed region.
+    let lset = lazy_corpus();
+    for ((_, la, lb), (_, a, bm)) in lset.iter().zip(&set) {
+        let ap = MatrixProfile::synthesize(la.structure(), &pes, &row_pes);
+        let bp = MatrixProfile::synthesize(lb.structure(), &pes, &row_pes);
+        assert_eq!(la.materialize(), a, "lazy corpus must materialize to its eager twin");
+        for id in DesignId::ALL {
+            let walk = serde_json::to_string(&simulate(a, Operand::Sparse(bm), id)).unwrap();
+            let structural =
+                simulate_structural(la.structure(), &ap, StructuralOperand::Sparse(&bp), id)
+                    .expect("standard designs schedule structurally");
+            let s = serde_json::to_string(&structural).unwrap();
+            assert_eq!(walk, s, "structural label mismatch on {id}");
+        }
+        assert_eq!(
+            PairFeatures::from_profiles_structural(&ap, &bp, lb.structure(), &tile),
+            PairFeatures::extract(a, bm, &tile),
+            "structural features mismatch"
+        );
+    }
+    drop(lset);
+
+    // PR 2 generation: per-element rejection sampling, exactly as the
+    // corpus pipeline shipped in PR 2 (see the `pr2` module). The
+    // downstream stages (element-walk build, profile-backed features
+    // and scheduling) were the same in PR 2, so they are timed once
+    // below and shared by both eager breakdowns.
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(pr2_corpus());
+    }
+    let pr2_gen_ns = t.elapsed().as_nanos() as f64 / (reps * set.len()) as f64;
+
+    // Eager two-stage generation: today's structure stage plus the
+    // O(nnz) fill.
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(corpus());
+    }
+    let eager_gen_ns = t.elapsed().as_nanos() as f64 / (reps * set.len()) as f64;
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for (_, a, bm) in &set {
+            std::hint::black_box(build(a));
+            std::hint::black_box(build(bm));
+        }
+    }
+    let eager_profile_ns = t.elapsed().as_nanos() as f64 / (reps * set.len()) as f64;
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for ((_, _, bm), (ap, bp)) in set.iter().zip(&profiles) {
+            std::hint::black_box(PairFeatures::from_profiles(ap, bp, bm, &tile));
+        }
+    }
+    let eager_features_ns = t.elapsed().as_nanos() as f64 / (reps * set.len()) as f64;
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for ((_, a, bm), (ap, bp)) in set.iter().zip(&profiles) {
+            for id in DesignId::ALL {
+                std::hint::black_box(simulate_profiled(a, ap, Operand::Sparse(bm), Some(bp), id));
+            }
+        }
+    }
+    let eager_schedule_ns = t.elapsed().as_nanos() as f64 / (reps * set.len()) as f64;
+
+    // Structural stages: everything O(rows + cols), element-free. The
+    // counters prove no stage materialized a CSR.
+    lazy::reset_materialization_stats();
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(lazy_corpus());
+    }
+    let s_gen_ns = t.elapsed().as_nanos() as f64 / (reps * set.len()) as f64;
+
+    let lset = lazy_corpus();
+    let t = Instant::now();
+    for _ in 0..reps {
+        for (_, la, lb) in &lset {
+            std::hint::black_box(MatrixProfile::synthesize(la.structure(), &pes, &row_pes));
+            std::hint::black_box(MatrixProfile::synthesize(lb.structure(), &pes, &row_pes));
+        }
+    }
+    let s_profile_ns = t.elapsed().as_nanos() as f64 / (reps * set.len()) as f64;
+
+    let sprofiles: Vec<(MatrixProfile, MatrixProfile)> = lset
+        .iter()
+        .map(|(_, la, lb)| {
+            (
+                MatrixProfile::synthesize(la.structure(), &pes, &row_pes),
+                MatrixProfile::synthesize(lb.structure(), &pes, &row_pes),
+            )
+        })
+        .collect();
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for ((_, _, lb), (ap, bp)) in lset.iter().zip(&sprofiles) {
+            std::hint::black_box(PairFeatures::from_profiles_structural(ap, bp, lb.structure(), &tile));
+        }
+    }
+    let s_features_ns = t.elapsed().as_nanos() as f64 / (reps * set.len()) as f64;
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for ((_, la, _), (ap, bp)) in lset.iter().zip(&sprofiles) {
+            for id in DesignId::ALL {
+                std::hint::black_box(
+                    simulate_structural(la.structure(), ap, StructuralOperand::Sparse(bp), id)
+                        .expect("standard designs schedule structurally"),
+                );
+            }
+        }
+    }
+    let s_schedule_ns = t.elapsed().as_nanos() as f64 / (reps * set.len()) as f64;
+
+    let mat_stats = lazy::materialization_stats();
+    assert_eq!(mat_stats.materialized, 0, "structural labeling stages materialized a CSR");
+
+    let pr2_stages = StageBreakdown {
+        generate_ns: pr2_gen_ns,
+        profile_ns: eager_profile_ns,
+        features_ns: eager_features_ns,
+        schedule_ns: eager_schedule_ns,
+    };
+    let eager_stages = StageBreakdown {
+        generate_ns: eager_gen_ns,
+        profile_ns: eager_profile_ns,
+        features_ns: eager_features_ns,
+        schedule_ns: eager_schedule_ns,
+    };
+    let structural_stages = StageBreakdown {
+        generate_ns: s_gen_ns,
+        profile_ns: s_profile_ns,
+        features_ns: s_features_ns,
+        schedule_ns: s_schedule_ns,
+    };
+    let pr2_sps = 1e9 / pr2_stages.total_ns();
+    let eager_sps = 1e9 / eager_stages.total_ns();
+    let structural_sps = 1e9 / structural_stages.total_ns();
+    let speedup_vs_pr2 = pr2_stages.total_ns() / structural_stages.total_ns();
+    let speedup_vs_eager = eager_stages.total_ns() / structural_stages.total_ns();
+    println!(
+        "structure-first labeling: pr2 {:.1}/s (gen {:.0} + prof {:.0} + feat {:.0} + sched {:.0} us)",
+        pr2_sps,
+        pr2_stages.generate_ns / 1e3,
+        pr2_stages.profile_ns / 1e3,
+        pr2_stages.features_ns / 1e3,
+        pr2_stages.schedule_ns / 1e3,
+    );
+    println!(
+        "                          eager two-stage {:.1}/s (gen {:.0} + prof {:.0} + feat {:.0} + sched {:.0} us)",
+        eager_sps,
+        eager_stages.generate_ns / 1e3,
+        eager_stages.profile_ns / 1e3,
+        eager_stages.features_ns / 1e3,
+        eager_stages.schedule_ns / 1e3,
+    );
+    println!(
+        "                          structural {:.1}/s (gen {:.1} + prof {:.1} + feat {:.1} + sched {:.1} us)   {:.1}x vs pr2, {:.1}x vs eager   materialization rate {:.3}",
+        structural_sps,
+        structural_stages.generate_ns / 1e3,
+        structural_stages.profile_ns / 1e3,
+        structural_stages.features_ns / 1e3,
+        structural_stages.schedule_ns / 1e3,
+        speedup_vs_pr2,
+        speedup_vs_eager,
+        mat_stats.rate(),
+    );
+    assert!(
+        speedup_vs_pr2 >= 5.0,
+        "structure-first labeling must be >= 5x the PR 2 pipeline (got {speedup_vs_pr2:.2}x)"
+    );
+
+    let structure_first = StructureFirst {
+        samples: set.len(),
+        speedup_vs_pr2,
+        speedup_vs_two_stage_eager: speedup_vs_eager,
+        pr2_stages_ns_per_sample: pr2_stages,
+        eager_stages_ns_per_sample: eager_stages,
+        structural_stages_ns_per_sample: structural_stages,
+        pr2_samples_per_sec: pr2_sps,
+        eager_samples_per_sec: eager_sps,
+        structural_samples_per_sec: structural_sps,
+        csr_materialization_rate: mat_stats.rate(),
+    };
+
     let doc = Doc {
         bench: "bench_sim".into(),
         corpus: CorpusMeta {
@@ -247,6 +691,7 @@ fn main() {
                 speedup: spgemm_walk_s / spgemm_prof_s,
             },
         },
+        structure_first_labeling: structure_first,
     };
     let out = serde_json::to_string_pretty(&doc).unwrap();
     std::fs::write("BENCH_sim.json", &out).expect("write BENCH_sim.json");

@@ -234,7 +234,7 @@ fn dataset_cmd(flags: &Flags) -> Result<(), String> {
     let ds = misam::dataset::Dataset::generate(samples, seed);
     let body = match format {
         "csv" => ds.to_csv(),
-        "json" => ds.to_json()?,
+        "json" => ds.to_json().map_err(|e| e.to_string())?,
         other => return Err(format!("unknown format '{other}' (csv|json)")),
     };
     std::fs::write(out, body).map_err(|e| e.to_string())?;

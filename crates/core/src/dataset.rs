@@ -8,11 +8,20 @@
 //! families of `misam_sparse::gen`, simulated on all four designs, and
 //! recorded with its per-design latency and energy so any [`Objective`]
 //! can label it.
+//!
+//! Generation is **structure-first and streaming**: each sample index
+//! derives its own RNG seed (splitmix64 of the corpus seed and the
+//! index), so workers claim indices from a shared counter and run the
+//! whole pipeline — structure generation, O(rows + cols) profile
+//! synthesis, feature extraction, four-design labeling — per sample
+//! with no materialized CSR and no serial generation phase. The corpus
+//! is byte-identical at any thread count because every sample is a pure
+//! function of `(seed, index)`.
 
 use misam_features::{PairFeatures, TileConfig};
-use misam_oracle::{pool, Executor};
-use misam_sim::{DesignId, Operand};
-use misam_sparse::gen;
+use misam_oracle::pool;
+use misam_sim::DesignId;
+use misam_sparse::{gen, LazyMatrix, LazyOperand};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -81,38 +90,92 @@ pub struct Dataset {
     pub samples: Vec<Sample>,
 }
 
+/// A corpus serialization or parse failure.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// JSON (de)serialization failed.
+    Json(serde_json::Error),
+    /// A CSV line did not parse; `line` is 1-based.
+    Csv {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::Json(e) => write!(f, "dataset JSON error: {e}"),
+            DatasetError::Csv { line, reason } => {
+                write!(f, "dataset CSV error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Json(e) => Some(e),
+            DatasetError::Csv { .. } => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for DatasetError {
+    fn from(e: serde_json::Error) -> Self {
+        DatasetError::Json(e)
+    }
+}
+
 /// Upper bound on generated nonzeros per operand, keeping corpus
 /// generation O(seconds) while spanning the full density range at
 /// smaller dimensions.
 const MAX_OPERAND_NNZ: f64 = 200_000.0;
 
+/// Mix constant folded into the corpus seed before per-sample
+/// derivation.
+const CORPUS_SEED_SALT: u64 = 0x0da7_a5e7;
+
+/// Per-sample seed: a splitmix64 finalizer over the corpus seed and the
+/// sample index, so sample `i` is a pure function of `(seed, i)` and
+/// workers need no shared RNG stream.
+fn sample_seed(base: u64, index: usize) -> u64 {
+    let mut z = base.wrapping_add((index as u64).wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl Dataset {
     /// Generates `n` samples with the paper's regime mix, deterministic
-    /// in `seed`. Labeling fans out across [`pool::default_threads`]
-    /// workers (`MISAM_THREADS` overrides).
+    /// in `seed`. The whole pipeline fans out across
+    /// [`pool::default_threads`] workers (`MISAM_THREADS` overrides).
     pub fn generate(n: usize, seed: u64) -> Dataset {
         Self::generate_with_threads(n, seed, pool::default_threads())
     }
 
-    /// [`Dataset::generate`] with an explicit worker count. Every RNG
-    /// draw happens on this thread before any labeling starts, so the
-    /// corpus is byte-identical for any `threads` value (1 = the plain
-    /// serial loop).
+    /// [`Dataset::generate`] with an explicit worker count.
+    ///
+    /// Each worker claims a sample index from a shared counter, derives
+    /// that index's seed, and runs generation, profile synthesis,
+    /// feature extraction and four-design labeling for the sample
+    /// before claiming the next — the stages overlap across samples
+    /// instead of running as serial phases. No CSR is materialized on
+    /// this path (`misam_sparse::lazy::materialization_stats` counts
+    /// any fallback), and the corpus is byte-identical for any
+    /// `threads` value (1 = the plain serial loop).
     pub fn generate_with_threads(n: usize, seed: u64, threads: usize) -> Dataset {
         let tile_cfg = TileConfig::default();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x0da7_a5e7);
-        let pairs: Vec<(misam_sparse::CsrMatrix, OperandSpec, String)> =
-            (0..n).map(|_| random_pair(&mut rng)).collect();
-        let samples = pool::par_map_with(&pairs, threads, |(a, spec, a_kind)| {
-            let features = spec.features(a, &tile_cfg).to_vector();
-            let (times_s, energies_j) = simulate_all(a, spec.operand());
-            Sample {
-                features,
-                times_s,
-                energies_j,
-                a_kind: a_kind.clone(),
-                b_dense: spec.is_dense(),
-            }
+        let base = seed ^ CORPUS_SEED_SALT;
+        let samples = pool::par_map_indices(n, threads, |i| {
+            let mut rng = StdRng::seed_from_u64(sample_seed(base, i));
+            let (a, spec, a_kind) = random_pair_lazy(&mut rng);
+            let features = spec.features(&a, &tile_cfg).to_vector();
+            let (times_s, energies_j) = simulate_all_lazy(&a, spec.lazy_operand());
+            Sample { features, times_s, energies_j, a_kind, b_dense: spec.is_dense() }
         });
         Dataset { samples }
     }
@@ -150,7 +213,7 @@ impl Dataset {
     /// feature columns in [`misam_features::FEATURE_NAMES`] order, the
     /// four per-design times and energies, the latency-optimal label,
     /// and the generator provenance. The export format for training
-    /// models outside this crate.
+    /// models outside this crate; [`Dataset::from_csv`] parses it back.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         for name in misam_features::FEATURE_NAMES {
@@ -182,22 +245,94 @@ impl Dataset {
         out
     }
 
+    /// Parses a corpus rendered by [`Dataset::to_csv`]. Floats are
+    /// printed shortest-roundtrip, so the parse is bit-exact: the
+    /// round-trip reconstructs the original dataset (the `best_design`
+    /// column is derived, and is validated rather than stored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Csv`] with the offending 1-based line
+    /// for a missing/ragged header or row, or an unparsable field.
+    pub fn from_csv(s: &str) -> Result<Self, DatasetError> {
+        let nf = misam_features::FEATURE_NAMES.len();
+        let expected = nf + 8 + 3;
+        let mut lines = s.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or(DatasetError::Csv { line: 1, reason: "empty input".into() })?;
+        let header_cols = header.split(',').count();
+        if header_cols != expected {
+            return Err(DatasetError::Csv {
+                line: 1,
+                reason: format!("header has {header_cols} columns, expected {expected}"),
+            });
+        }
+
+        let mut samples = Vec::new();
+        for (idx, row) in lines {
+            let line = idx + 1;
+            let fields: Vec<&str> = row.split(',').collect();
+            if fields.len() != expected {
+                return Err(DatasetError::Csv {
+                    line,
+                    reason: format!("row has {} fields, expected {expected}", fields.len()),
+                });
+            }
+            let float = |j: usize| -> Result<f64, DatasetError> {
+                fields[j].parse::<f64>().map_err(|e| DatasetError::Csv {
+                    line,
+                    reason: format!("column {} ({:?}): {e}", j + 1, fields[j]),
+                })
+            };
+            let features = (0..nf).map(float).collect::<Result<Vec<f64>, _>>()?;
+            let mut times_s = [0.0; 4];
+            let mut energies_j = [0.0; 4];
+            for d in 0..4 {
+                times_s[d] = float(nf + d)?;
+                energies_j[d] = float(nf + 4 + d)?;
+            }
+            let label: usize = fields[nf + 8].parse().map_err(|e| DatasetError::Csv {
+                line,
+                reason: format!("best_design ({:?}): {e}", fields[nf + 8]),
+            })?;
+            if !(1..=4).contains(&label) {
+                return Err(DatasetError::Csv {
+                    line,
+                    reason: format!("best_design {label} outside 1..=4"),
+                });
+            }
+            let b_dense: bool = fields[expected - 1].parse().map_err(|e| DatasetError::Csv {
+                line,
+                reason: format!("b_dense ({:?}): {e}", fields[expected - 1]),
+            })?;
+            samples.push(Sample {
+                features,
+                times_s,
+                energies_j,
+                a_kind: fields[nf + 9].to_string(),
+                b_dense,
+            });
+        }
+        Ok(Dataset { samples })
+    }
+
     /// Serializes the corpus as JSON.
     ///
     /// # Errors
     ///
-    /// Returns the serializer's message on failure.
-    pub fn to_json(&self) -> Result<String, String> {
-        serde_json::to_string(self).map_err(|e| e.to_string())
+    /// Returns [`DatasetError::Json`] on serializer failure.
+    pub fn to_json(&self) -> Result<String, DatasetError> {
+        Ok(serde_json::to_string(self)?)
     }
 
     /// Parses a corpus serialized by [`Dataset::to_json`].
     ///
     /// # Errors
     ///
-    /// Returns the parser's message on failure.
-    pub fn from_json(s: &str) -> Result<Self, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+    /// Returns [`DatasetError::Json`] on parse failure.
+    pub fn from_json(s: &str) -> Result<Self, DatasetError> {
+        Ok(serde_json::from_str(s)?)
     }
 }
 
@@ -217,10 +352,12 @@ pub enum OperandSpec {
 
 impl OperandSpec {
     /// Borrowed simulator operand.
-    pub fn operand(&self) -> Operand<'_> {
+    pub fn operand(&self) -> misam_sim::Operand<'_> {
         match self {
-            OperandSpec::Dense { rows, cols } => Operand::Dense { rows: *rows, cols: *cols },
-            OperandSpec::Sparse(m) => Operand::Sparse(m),
+            OperandSpec::Dense { rows, cols } => {
+                misam_sim::Operand::Dense { rows: *rows, cols: *cols }
+            }
+            OperandSpec::Sparse(m) => misam_sim::Operand::Sparse(m),
         }
     }
 
@@ -237,29 +374,85 @@ impl OperandSpec {
     }
 }
 
-/// Draws one random operand pair with the corpus's regime mix. Public so
-/// other corpora (e.g. the Figure 13 Trapezoid-dataflow dataset) can use
-/// the identical distribution.
-pub fn random_pair(rng: &mut StdRng) -> (misam_sparse::CsrMatrix, OperandSpec, String) {
+/// An owned right-hand operand in structure-stage form — the lazy
+/// counterpart of [`OperandSpec`] the streaming pipeline draws, which
+/// carries no element arrays until someone materializes it.
+#[derive(Debug)]
+pub enum LazyOperandSpec {
+    /// Dense operand described by shape.
+    Dense {
+        /// Rows (= A columns).
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Sparse operand in structure-stage form.
+    Sparse(LazyMatrix),
+}
+
+impl LazyOperandSpec {
+    /// Borrowed lazy simulator operand.
+    pub fn lazy_operand(&self) -> LazyOperand<'_> {
+        match self {
+            LazyOperandSpec::Dense { rows, cols } => {
+                LazyOperand::Dense { rows: *rows, cols: *cols }
+            }
+            LazyOperandSpec::Sparse(m) => LazyOperand::Sparse(m),
+        }
+    }
+
+    /// True for the dense variant.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, LazyOperandSpec::Dense { .. })
+    }
+
+    /// Pair features for `a x self` from synthesized profiles alone —
+    /// no CSR is materialized.
+    pub fn features(&self, a: &LazyMatrix, cfg: &TileConfig) -> PairFeatures {
+        misam_oracle::profiles::global().pair_features_lazy(a, self.lazy_operand(), cfg)
+    }
+
+    /// Runs the fill stage, converting into the eager [`OperandSpec`].
+    pub fn materialize(self) -> OperandSpec {
+        match self {
+            LazyOperandSpec::Dense { rows, cols } => OperandSpec::Dense { rows, cols },
+            LazyOperandSpec::Sparse(m) => OperandSpec::Sparse(m.into_csr()),
+        }
+    }
+}
+
+/// Draws one random operand pair with the corpus's regime mix, in
+/// structure-stage form: no element arrays are built. Public so other
+/// corpora (e.g. the Figure 13 Trapezoid-dataflow dataset) can use the
+/// identical distribution.
+pub fn random_pair_lazy(rng: &mut StdRng) -> (LazyMatrix, LazyOperandSpec, String) {
     // Log-uniform dimensions; nnz capped for generation speed.
     let a_rows = log_uniform(rng, 64.0, 4096.0);
     let a_cols = if rng.gen_bool(0.5) { a_rows } else { log_uniform(rng, 64.0, 4096.0) };
-    let (a, a_kind) = random_matrix(rng, a_rows, a_cols);
+    let (a, a_kind) = random_matrix_lazy(rng, a_rows, a_cols);
 
     let b_dense = rng.gen_bool(0.45);
     let b_cols =
         *[64usize, 128, 256, 512, 1024, 2048].get(rng.gen_range(0..6)).expect("index in range");
     let spec = if b_dense {
-        OperandSpec::Dense { rows: a_cols, cols: b_cols }
+        LazyOperandSpec::Dense { rows: a_cols, cols: b_cols }
     } else {
-        let (b, _) = random_matrix(rng, a_cols, b_cols);
-        OperandSpec::Sparse(b)
+        let (b, _) = random_matrix_lazy(rng, a_cols, b_cols);
+        LazyOperandSpec::Sparse(b)
     };
     (a, spec, a_kind)
 }
 
-fn simulate_all(a: &misam_sparse::CsrMatrix, b: Operand<'_>) -> ([f64; 4], [f64; 4]) {
-    let reports = misam_oracle::global().execute_all(a, b);
+/// [`random_pair_lazy`] with both operands materialized — same RNG
+/// stream, same matrices. Kept for consumers that walk elements
+/// (ablation sweeps, heterogeneity studies).
+pub fn random_pair(rng: &mut StdRng) -> (misam_sparse::CsrMatrix, OperandSpec, String) {
+    let (a, spec, a_kind) = random_pair_lazy(rng);
+    (a.into_csr(), spec.materialize(), a_kind)
+}
+
+fn simulate_all_lazy(a: &LazyMatrix, b: LazyOperand<'_>) -> ([f64; 4], [f64; 4]) {
+    let reports = misam_oracle::global().execute_all_lazy(a, b);
     let mut times = [0.0; 4];
     let mut energies = [0.0; 4];
     for (d, r) in DesignId::ALL.iter().zip(&reports) {
@@ -274,10 +467,10 @@ fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> usize {
     u.exp().round() as usize
 }
 
-/// Draws a random matrix from the structural family mix, with its family
-/// name. Density spans the paper's 1%–99% sparsity range, capped so nnz
-/// stays tractable.
-fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> (misam_sparse::CsrMatrix, String) {
+/// Draws a random structure-stage matrix from the structural family
+/// mix, with its family name. Density spans the paper's 1%–99%
+/// sparsity range, capped so nnz stays tractable.
+fn random_matrix_lazy(rng: &mut StdRng, rows: usize, cols: usize) -> (LazyMatrix, String) {
     let cells = (rows * cols) as f64;
     let cap = (MAX_OPERAND_NNZ / cells).min(0.99);
     let seed: u64 = rng.gen();
@@ -286,40 +479,46 @@ fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> (misam_sparse::C
         0..=29 => {
             // Uniform across the whole density range (log-uniform).
             let d = log_uniform_f(rng, 1e-4, cap.max(1e-4));
-            (gen::uniform_random(rows, cols, d, seed), "uniform".into())
+            (gen::uniform_random_lazy(rows, cols, d, seed), "uniform".into())
         }
         30..=41 => {
             let avg = log_uniform_f(rng, 2.0, (cap * cols as f64).max(2.0)).min(cols as f64);
             let alpha = rng.gen_range(1.2..1.8);
-            (gen::power_law(rows, cols, avg, alpha, seed), "power_law".into())
+            (gen::power_law_lazy(rows, cols, avg, alpha, seed), "power_law".into())
         }
         42..=49 => {
             let target =
                 (log_uniform_f(rng, 2.0, (cap * cols as f64).max(2.0)) * rows as f64) as usize;
-            (gen::rmat(rows, cols, target.max(1), (0.57, 0.19, 0.19, 0.05), seed), "rmat".into())
+            (
+                gen::rmat_lazy(rows, cols, target.max(1), (0.57, 0.19, 0.19, 0.05), seed),
+                "rmat".into(),
+            )
         }
         50..=64 => {
             let d = rng.gen_range(0.05f64..0.35).min(cap.max(0.05));
-            (gen::pruned_dnn(rows, cols, d, seed), "pruned_dnn".into())
+            (gen::pruned_dnn_lazy(rows, cols, d, seed), "pruned_dnn".into())
         }
         65..=76 => {
             let bw = rng.gen_range(1..(cols / 8).max(2));
             let fill = rng.gen_range(0.3..0.9);
-            (gen::banded(rows, cols, bw, fill, seed), "banded".into())
+            (gen::banded_lazy(rows, cols, bw, fill, seed), "banded".into())
         }
         77..=86 => {
             let heavy = rng.gen_range(0.005f64..0.05);
             let heavy_nnz = ((cap * cols as f64 * 8.0) as usize).clamp(16, cols);
             let light = rng.gen_range(1..8usize);
-            (gen::imbalanced_rows(rows, cols, heavy, heavy_nnz, light, seed), "imbalanced".into())
+            (
+                gen::imbalanced_rows_lazy(rows, cols, heavy, heavy_nnz, light, seed),
+                "imbalanced".into(),
+            )
         }
         87..=94 => {
             let deg = rng.gen_range(2..((cap * cols as f64) as usize).clamp(3, 64));
-            (gen::regular_degree(rows, cols, deg, seed), "regular".into())
+            (gen::regular_degree_lazy(rows, cols, deg, seed), "regular".into())
         }
         _ => {
             let avg = rng.gen_range(1.0..6.0);
-            (gen::circuit(rows, cols, avg, (rows / 256).max(1), seed), "circuit".into())
+            (gen::circuit_lazy(rows, cols, avg, (rows / 256).max(1), seed), "circuit".into())
         }
     }
 }
@@ -346,8 +545,30 @@ mod tests {
     #[test]
     fn parallel_generation_is_bit_identical_to_sequential() {
         let serial = Dataset::generate_with_threads(40, 77, 1);
-        let parallel = Dataset::generate_with_threads(40, 77, 8);
-        assert_eq!(serial, parallel);
+        for threads in [2, 3, 8] {
+            assert_eq!(serial, Dataset::generate_with_threads(40, 77, threads));
+        }
+    }
+
+    #[test]
+    fn lazy_and_eager_pair_draws_agree() {
+        // Same RNG stream, same matrices: the eager draw is the lazy
+        // draw materialized.
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        for _ in 0..10 {
+            let (a, spec, kind) = random_pair_lazy(&mut r1);
+            let (ea, espec, ekind) = random_pair(&mut r2);
+            assert_eq!(kind, ekind);
+            assert_eq!(&a.into_csr(), &ea);
+            match (spec.materialize(), espec) {
+                (OperandSpec::Dense { rows, cols }, OperandSpec::Dense { rows: er, cols: ec }) => {
+                    assert_eq!((rows, cols), (er, ec));
+                }
+                (OperandSpec::Sparse(b), OperandSpec::Sparse(eb)) => assert_eq!(b, eb),
+                (lhs, rhs) => panic!("operand kinds diverged: {lhs:?} vs {rhs:?}"),
+            }
+        }
     }
 
     #[test]
@@ -393,7 +614,57 @@ mod tests {
         let ds = Dataset::generate(5, 6);
         let back = Dataset::from_json(&ds.to_json().unwrap()).unwrap();
         assert_eq!(ds, back);
-        assert!(Dataset::from_json("not json").is_err());
+        assert!(matches!(Dataset::from_json("not json"), Err(DatasetError::Json(_))));
+    }
+
+    #[test]
+    fn csv_roundtrip_is_bit_exact() {
+        let ds = Dataset::generate(12, 21);
+        let back = Dataset::from_csv(&ds.to_csv()).unwrap();
+        assert_eq!(ds, back, "shortest-roundtrip floats must parse back bit-identical");
+    }
+
+    #[test]
+    fn csv_parse_reports_typed_errors_with_line_numbers() {
+        let ds = Dataset::generate(3, 22);
+        let csv = ds.to_csv();
+
+        match Dataset::from_csv("") {
+            Err(DatasetError::Csv { line: 1, .. }) => {}
+            other => panic!("empty input should fail on line 1, got {other:?}"),
+        }
+        match Dataset::from_csv("a,b,c\n") {
+            Err(DatasetError::Csv { line: 1, reason }) => {
+                assert!(reason.contains("header"), "{reason}")
+            }
+            other => panic!("short header should fail, got {other:?}"),
+        }
+
+        // Corrupt one float field of the second data row.
+        let mut lines: Vec<String> = csv.lines().map(str::to_string).collect();
+        let broken = lines[2].replacen(',', ",not-a-number-", 1);
+        lines[2] = format!("not-a-float{broken}");
+        match Dataset::from_csv(&(lines.join("\n") + "\n")) {
+            Err(DatasetError::Csv { line: 3, reason }) => {
+                assert!(reason.contains("column 1"), "{reason}")
+            }
+            other => panic!("corrupt field should fail on line 3, got {other:?}"),
+        }
+
+        // A ragged row reports its own line.
+        let ragged = format!("{csv}1.0,2.0\n");
+        match Dataset::from_csv(&ragged) {
+            Err(DatasetError::Csv { line, reason }) => {
+                assert_eq!(line, 5);
+                assert!(reason.contains("fields"), "{reason}");
+            }
+            other => panic!("ragged row should fail, got {other:?}"),
+        }
+
+        // Errors render through Display and implement Error.
+        let err = Dataset::from_csv("").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let _: &dyn std::error::Error = &err;
     }
 
     #[test]

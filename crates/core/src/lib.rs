@@ -60,6 +60,6 @@ pub mod pipeline;
 pub mod training;
 pub mod workloads;
 
-pub use dataset::{Dataset, Objective, Sample};
+pub use dataset::{Dataset, DatasetError, Objective, Sample};
 pub use pipeline::{ExecutionReport, Misam, MisamBuilder};
 pub use training::{LatencyPredictor, TrainedSelector};

@@ -10,6 +10,7 @@
 //! each HS matrix with 512-column random sparse B at three sparsity
 //! levels; HS×HS squares each HS matrix.
 
+use misam_oracle::pool;
 use misam_sim::Operand;
 use misam_sparse::{gen, suitesparse, CsrMatrix};
 
@@ -147,14 +148,36 @@ pub const HSMS_SPARSITIES: [f64; 3] = [0.2, 0.4, 0.6];
 
 /// Builds the full 113-workload suite. `hs_scale` scales the row count
 /// of the SuiteSparse-class matrices (1.0 = published size; tests use
-/// small fractions), and `seed` drives every generator.
+/// small fractions), and `seed` drives every generator. Construction
+/// fans out over [`pool::default_threads`] workers.
 ///
 /// # Panics
 ///
 /// Panics if `hs_scale` is not positive.
 pub fn suite(hs_scale: f64, seed: u64) -> Vec<Workload> {
+    suite_with_threads(hs_scale, seed, pool::default_threads())
+}
+
+/// [`suite`] with an explicit worker count.
+///
+/// Every workload's generator parameters are derived from `seed` and
+/// the workload's own name, so each one is an independent job: the
+/// twelve shared HS matrices are generated in parallel first, then the
+/// per-workload generator calls fan out over the pool. Results come
+/// back in input order, so the suite is byte-identical at any thread
+/// count (1 = the plain serial loop).
+pub fn suite_with_threads(hs_scale: f64, seed: u64, threads: usize) -> Vec<Workload> {
     assert!(hs_scale > 0.0, "scale must be positive");
-    let mut out = Vec::with_capacity(113);
+
+    // HS matrices shared by the three HS categories, generated once.
+    let hs: Vec<(&str, CsrMatrix)> = pool::par_map_with(&HS_IDS, threads, |id| {
+        let rec = suitesparse::by_id(id).expect("catalog id");
+        (*id, rec.generate_scaled(hs_scale, seed ^ hash(id)))
+    });
+
+    // Everything else is an independent job; list them in paper order.
+    type Spec<'a> = Box<dyn Fn() -> Workload + Send + Sync + 'a>;
+    let mut specs: Vec<Spec<'_>> = Vec::with_capacity(113);
 
     // 15 MSxD: 8 ResNet-50 shapes x 2 densities, minus the smallest.
     let mut msd = 0;
@@ -163,13 +186,12 @@ pub fn suite(hs_scale: f64, seed: u64) -> Vec<Workload> {
             if msd == 15 {
                 break 'msd;
             }
-            let a = gen::pruned_dnn(m, k, d, seed ^ hash(&format!("msd{m}x{k}d{d}")));
-            out.push(Workload {
+            specs.push(Box::new(move || Workload {
                 name: format!("resnet50-{m}x{k}-d{d}"),
                 category: Category::MsD,
-                a,
+                a: gen::pruned_dnn(m, k, d, seed ^ hash(&format!("msd{m}x{k}d{d}"))),
                 b: WorkloadB::Dense { rows: k, cols: SEQ_LEN },
-            });
+            }));
             msd += 1;
         }
     }
@@ -177,67 +199,60 @@ pub fn suite(hs_scale: f64, seed: u64) -> Vec<Workload> {
     // 38 MSxMS: 19 VGG-16 shapes x 2 densities.
     for (i, &(m, k)) in VGG16_LAYERS.iter().enumerate() {
         for d in DNN_DENSITIES {
-            let sa = seed ^ hash(&format!("msmsA{i}d{d}"));
-            let sb = seed ^ hash(&format!("msmsB{i}d{d}"));
-            let a = gen::pruned_dnn(m, k, d, sa);
-            let b = gen::pruned_dnn(k, SEQ_LEN, d, sb);
-            out.push(Workload {
-                name: format!("vgg16-{m}x{k}-d{d}"),
-                category: Category::MsMs,
-                a,
-                b: WorkloadB::Sparse(b),
-            });
+            specs.push(Box::new(move || {
+                let sa = seed ^ hash(&format!("msmsA{i}d{d}"));
+                let sb = seed ^ hash(&format!("msmsB{i}d{d}"));
+                Workload {
+                    name: format!("vgg16-{m}x{k}-d{d}"),
+                    category: Category::MsMs,
+                    a: gen::pruned_dnn(m, k, d, sa),
+                    b: WorkloadB::Sparse(gen::pruned_dnn(k, SEQ_LEN, d, sb)),
+                }
+            }));
         }
     }
 
-    // HS matrices shared by the three HS categories.
-    let hs: Vec<(&str, CsrMatrix)> = HS_IDS
-        .iter()
-        .map(|id| {
-            let rec = suitesparse::by_id(id).expect("catalog id");
-            (*id, rec.generate_scaled(hs_scale, seed ^ hash(id)))
-        })
-        .collect();
-
     // 12 HSxD.
     for (id, a) in &hs {
-        out.push(Workload {
+        specs.push(Box::new(move || Workload {
             name: format!("{id} x dense{SEQ_LEN}"),
             category: Category::HsD,
             a: a.clone(),
             b: WorkloadB::Dense { rows: a.cols(), cols: SEQ_LEN },
-        });
+        }));
     }
 
     // 36 HSxMS: each HS matrix x 3 sparsity levels of a 512-column B.
     for (id, a) in &hs {
         for s in HSMS_SPARSITIES {
-            let b = gen::uniform_random(
-                a.cols(),
-                SEQ_LEN,
-                1.0 - s,
-                seed ^ hash(&format!("hsms{id}{s}")),
-            );
-            out.push(Workload {
-                name: format!("{id} x ms-s{s}"),
-                category: Category::HsMs,
-                a: a.clone(),
-                b: WorkloadB::Sparse(b),
-            });
+            specs.push(Box::new(move || {
+                let b = gen::uniform_random(
+                    a.cols(),
+                    SEQ_LEN,
+                    1.0 - s,
+                    seed ^ hash(&format!("hsms{id}{s}")),
+                );
+                Workload {
+                    name: format!("{id} x ms-s{s}"),
+                    category: Category::HsMs,
+                    a: a.clone(),
+                    b: WorkloadB::Sparse(b),
+                }
+            }));
         }
     }
 
     // 12 HSxHS: A x A.
     for (id, a) in &hs {
-        out.push(Workload {
+        specs.push(Box::new(move || Workload {
             name: format!("{id} x {id}"),
             category: Category::HsHs,
             a: a.clone(),
             b: WorkloadB::Sparse(a.clone()),
-        });
+        }));
     }
 
-    out
+    pool::par_map_with(&specs, threads, |spec| spec())
 }
 
 fn hash(s: &str) -> u64 {
@@ -310,6 +325,14 @@ mod tests {
     fn suite_is_deterministic() {
         assert_eq!(suite(0.01, 9), suite(0.01, 9));
         assert_ne!(suite(0.01, 9), suite(0.01, 10));
+    }
+
+    #[test]
+    fn parallel_suite_is_bit_identical_to_sequential() {
+        let serial = suite_with_threads(0.01, 6, 1);
+        for threads in [2, 5, 16] {
+            assert_eq!(serial, suite_with_threads(0.01, 6, threads));
+        }
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! End-to-end invariants of the streaming corpus pipeline.
+//!
+//! These live in their own test binary (own process) because they
+//! observe the process-global materialization counters of
+//! `misam_sparse::lazy`, which the crate's unit tests — many of which
+//! materialize CSRs on purpose — would perturb.
+
+use misam::dataset::Dataset;
+use misam_sparse::lazy;
+
+#[test]
+fn streaming_generation_never_materializes_and_is_thread_invariant() {
+    let before = lazy::materialization_stats();
+    let serial = Dataset::generate_with_threads(30, 4242, 1);
+    let after = lazy::materialization_stats();
+    assert_eq!(
+        before.materialized, after.materialized,
+        "labeling-only generation must not materialize any CSR"
+    );
+
+    // The per-index seed discipline makes every sample a pure function
+    // of (seed, index), so any worker count yields the same corpus.
+    for threads in [2, 5, 8] {
+        assert_eq!(serial, Dataset::generate_with_threads(30, 4242, threads));
+    }
+}

@@ -27,7 +27,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use misam_sparse::{CsrMatrix, MatrixProfile};
+use misam_sparse::{CsrMatrix, MatrixProfile, Structure};
 
 /// Names of the entries of [`PairFeatures::to_vector`], in order. These
 /// match the labels of the paper's Figure 4 where applicable.
@@ -197,27 +197,100 @@ impl TileStats {
         let tc = cfg.tile_cols.max(1);
         let tiles_down = m.rows().div_ceil(tr);
         let tiles_across = m.cols().div_ceil(tc);
-        let count_1d = tiles_down;
-        let count_2d = tiles_down * tiles_across;
         if m.rows() == 0 || m.cols() == 0 {
-            return TileStats { density_1d: 0.0, density_2d: 0.0, count_1d, count_2d };
+            return TileStats {
+                density_1d: 0.0,
+                density_2d: 0.0,
+                count_1d: tiles_down,
+                count_2d: tiles_down * tiles_across,
+            };
         }
 
         let mut nnz_1d = vec![0usize; tiles_down];
-        let mut nnz_2d = vec![0usize; count_2d];
+        let mut nnz_2d = vec![0usize; tiles_down * tiles_across];
         for (r, c, _) in m.iter() {
             let ti = r / tr;
             nnz_1d[ti] += 1;
             nnz_2d[ti * tiles_across + c / tc] += 1;
         }
+        Self::aggregate(m.rows(), m.cols(), tr, tc, &nnz_1d, &nnz_2d)
+    }
 
+    /// Computes tile occupancy from a [`Structure`] without
+    /// materializing the matrix, bit-identical to
+    /// [`TileStats::extract`] on the materialized CSR. Run structures
+    /// tally whole column-tile segments at a time
+    /// (O(nnz / tile_cols + rows)); mesh structures walk their ≤ 7
+    /// stencil columns per row.
+    pub fn from_structure(s: &Structure, cfg: &TileConfig) -> Self {
+        let tr = cfg.tile_rows.max(1);
+        let tc = cfg.tile_cols.max(1);
+        let rows = s.rows();
+        let cols = s.cols();
+        let tiles_down = rows.div_ceil(tr);
+        let tiles_across = cols.div_ceil(tc);
+        if rows == 0 || cols == 0 {
+            return TileStats {
+                density_1d: 0.0,
+                density_2d: 0.0,
+                count_1d: tiles_down,
+                count_2d: tiles_down * tiles_across,
+            };
+        }
+
+        let mut nnz_1d = vec![0usize; tiles_down];
+        let mut nnz_2d = vec![0usize; tiles_down * tiles_across];
+        match s {
+            Structure::Runs(rr) => {
+                for r in 0..rows {
+                    let ti = r / tr;
+                    nnz_1d[ti] += rr.lens()[r] as usize;
+                    for (lo, hi) in rr.row_intervals(r) {
+                        let mut c = lo;
+                        while c < hi {
+                            let tj = c / tc;
+                            let seg_end = hi.min((tj + 1) * tc);
+                            nnz_2d[ti * tiles_across + tj] += seg_end - c;
+                            c = seg_end;
+                        }
+                    }
+                }
+            }
+            Structure::Mesh2d { .. } | Structure::Mesh3d { .. } => {
+                let mut buf = [0u32; 7];
+                for r in 0..rows {
+                    let ti = r / tr;
+                    let n = s.mesh_row_cols(r, &mut buf);
+                    nnz_1d[ti] += n;
+                    for &c in &buf[..n] {
+                        nnz_2d[ti * tiles_across + c as usize / tc] += 1;
+                    }
+                }
+            }
+        }
+        Self::aggregate(rows, cols, tr, tc, &nnz_1d, &nnz_2d)
+    }
+
+    /// Shared occupied-tile averaging over exact per-tile nonzero
+    /// counts; both entry points end here, so their float sums run in
+    /// the same tile order.
+    fn aggregate(
+        rows: usize,
+        cols: usize,
+        tr: usize,
+        tc: usize,
+        nnz_1d: &[usize],
+        nnz_2d: &[usize],
+    ) -> Self {
+        let tiles_down = nnz_1d.len();
+        let tiles_across = if tiles_down > 0 { nnz_2d.len() / tiles_down } else { 0 };
         let area_1d = |ti: usize| {
-            let h = (m.rows() - ti * tr).min(tr);
-            (h * m.cols()) as f64
+            let h = (rows - ti * tr).min(tr);
+            (h * cols) as f64
         };
         let area_2d = |ti: usize, tj: usize| {
-            let h = (m.rows() - ti * tr).min(tr);
-            let w = (m.cols() - tj * tc).min(tc);
+            let h = (rows - ti * tr).min(tr);
+            let w = (cols - tj * tc).min(tc);
             (h * w) as f64
         };
 
@@ -243,8 +316,8 @@ impl TileStats {
         TileStats {
             density_1d: if n1 > 0 { d1 / n1 as f64 } else { 0.0 },
             density_2d: if n2 > 0 { d2 / n2 as f64 } else { 0.0 },
-            count_1d,
-            count_2d,
+            count_1d: tiles_down,
+            count_2d: tiles_down * tiles_across,
         }
     }
 }
@@ -282,6 +355,23 @@ impl PairFeatures {
             a: MatrixStats::from_profile(ap),
             b: MatrixStats::from_profile(bp),
             tiles_b: TileStats::extract(b, cfg),
+        }
+    }
+
+    /// Extracts features from precomputed profiles and B's
+    /// [`Structure`], never touching element arrays — the fully
+    /// structural path of the streaming corpus pipeline. Bit-identical
+    /// to [`PairFeatures::extract`] on the materialized pair.
+    pub fn from_profiles_structural(
+        ap: &MatrixProfile,
+        bp: &MatrixProfile,
+        b: &Structure,
+        cfg: &TileConfig,
+    ) -> Self {
+        PairFeatures {
+            a: MatrixStats::from_profile(ap),
+            b: MatrixStats::from_profile(bp),
+            tiles_b: TileStats::from_structure(b, cfg),
         }
     }
 
@@ -476,6 +566,43 @@ mod tests {
         let dense_direct = PairFeatures::extract_dense_b(&a, 200, 64, &cfg);
         let dense_profiled = PairFeatures::from_profile_dense_b(&ap, 200, 64, &cfg);
         assert_eq!(dense_direct, dense_profiled);
+    }
+
+    #[test]
+    fn structural_tile_stats_match_element_walk() {
+        let lazies = [
+            gen::uniform_random_lazy(300, 280, 0.05, 70),
+            gen::power_law_lazy(250, 250, 6.0, 1.4, 71),
+            gen::banded_lazy(200, 200, 9, 0.7, 72),
+            gen::pruned_dnn_lazy(128, 300, 0.3, 73),
+            gen::imbalanced_rows_lazy(150, 400, 0.05, 120, 2, 74),
+            gen::mesh2d_lazy(19, 13),
+            gen::mesh3d_lazy(6, 5, 4),
+        ];
+        let cfgs = [
+            TileConfig::default(),
+            TileConfig { tile_rows: 17, tile_cols: 13 },
+            TileConfig { tile_rows: 1, tile_cols: 1 },
+        ];
+        for lazy in &lazies {
+            for cfg in &cfgs {
+                let walked = TileStats::extract(lazy.materialize(), cfg);
+                let structural = TileStats::from_structure(lazy.structure(), cfg);
+                assert_eq!(walked, structural, "tile cfg {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_structural_pair_features_are_bit_identical() {
+        let a = gen::power_law_lazy(300, 200, 5.0, 1.4, 75);
+        let b = gen::imbalanced_rows_lazy(200, 400, 0.05, 150, 2, 76);
+        let cfg = TileConfig::default();
+        let ap = MatrixProfile::synthesize(a.structure(), &[], &[]);
+        let bp = MatrixProfile::synthesize(b.structure(), &[], &[]);
+        let structural = PairFeatures::from_profiles_structural(&ap, &bp, b.structure(), &cfg);
+        let direct = PairFeatures::extract(a.materialize(), b.materialize(), &cfg);
+        assert_eq!(structural, direct);
     }
 
     #[test]

@@ -7,9 +7,10 @@ use misam_baselines::trapezoid::{Dataflow, TrapezoidSim};
 use misam_baselines::BaselineReport;
 use misam_features::TileConfig;
 use misam_sim::{
-    simulate_profiled, simulate_with_config_profiled, DesignConfig, DesignId, Operand, SimReport,
+    simulate_profiled, simulate_structural, simulate_with_config_profiled, DesignConfig, DesignId,
+    Operand, SimReport, StructuralOperand,
 };
-use misam_sparse::CsrMatrix;
+use misam_sparse::{CsrMatrix, LazyMatrix, LazyOperand};
 
 /// The FPGA cycle-level simulator over the four paper designs.
 /// Target `i` is `DesignId::ALL[i]`.
@@ -33,6 +34,59 @@ impl Executor for FpgaSim {
         let ap = store.of_matrix(a);
         let bp = store.of_operand(b);
         simulate_profiled(a, &ap, b, bp.as_deref(), DesignId::ALL[target])
+    }
+}
+
+impl FpgaSim {
+    /// Evaluates a lazy operand pair on `DesignId::ALL[target]` through
+    /// the **structural** simulation path: profiles are synthesized in
+    /// O(rows + cols) from the structure stage and, for the standard
+    /// designs, no CSR is ever materialized. When a pass has no closed
+    /// form (custom tallies, gapped cost tables) the operands fall back
+    /// to materialization — counted by
+    /// `misam_sparse::lazy::materialization_stats` — so the report is
+    /// always produced, bit-identical to [`Executor::execute`] on the
+    /// materialized pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= 4` or operand shapes disagree.
+    pub fn execute_lazy(&self, a: &LazyMatrix, b: LazyOperand<'_>, target: usize) -> SimReport {
+        let id = DesignId::ALL[target];
+        let store = profiles::global();
+        let ap = store.of_lazy(a);
+        match b {
+            LazyOperand::Dense { rows, cols } => {
+                simulate_structural(a.structure(), &ap, StructuralOperand::Dense { rows, cols }, id)
+                    .unwrap_or_else(|| {
+                        simulate_profiled(
+                            a.materialize(),
+                            &ap,
+                            Operand::Dense { rows, cols },
+                            None,
+                            id,
+                        )
+                    })
+            }
+            LazyOperand::Sparse(bm) => {
+                let bp = store.of_lazy(bm);
+                simulate_structural(a.structure(), &ap, StructuralOperand::Sparse(&bp), id)
+                    .unwrap_or_else(|| {
+                        simulate_profiled(
+                            a.materialize(),
+                            &ap,
+                            Operand::Sparse(bm.materialize()),
+                            Some(&bp),
+                            id,
+                        )
+                    })
+            }
+        }
+    }
+
+    /// [`FpgaSim::execute_lazy`] across all four designs, in order.
+    pub fn execute_all_lazy(&self, a: &LazyMatrix, b: LazyOperand<'_>) -> Vec<SimReport> {
+        (0..self.targets()).map(|t| self.execute_lazy(a, b, t)).collect()
     }
 }
 

@@ -8,7 +8,7 @@
 //! corpus scale — tens of thousands of matrices — is negligible).
 
 use misam_sim::Operand;
-use misam_sparse::CsrMatrix;
+use misam_sparse::{CsrMatrix, LazyMatrix, LazyOperand, Structure};
 
 /// A 64-bit structural digest of an `(A, B)` operand pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,6 +79,78 @@ impl Fingerprint {
         h.write_u64(fb.0);
         Fingerprint(h.0)
     }
+
+    /// Digest of a matrix [`Structure`] — value-blind, `O(rows)`.
+    ///
+    /// This keys the *profile* store: profiles depend only on the
+    /// sparsity pattern, so lazily generated matrices that share a
+    /// structure share one synthesized profile. The key space is
+    /// disjoint from [`Fingerprint::of_matrix`] by a variant sentinel.
+    pub fn of_structure(s: &Structure) -> Fingerprint {
+        let mut h = Fnv::new();
+        h.write_u64(0x57a6_c000_0000_0001);
+        h.write_u64(s.rows() as u64);
+        h.write_u64(s.cols() as u64);
+        match s {
+            Structure::Runs(rr) => {
+                h.write_u64(1);
+                for r in 0..rr.rows() {
+                    h.write_u64(rr.starts()[r] as u64);
+                    h.write_u64(rr.lens()[r] as u64);
+                }
+            }
+            Structure::Mesh2d { nx, ny } => {
+                h.write_u64(2);
+                h.write_u64(*nx as u64);
+                h.write_u64(*ny as u64);
+            }
+            Structure::Mesh3d { nx, ny, nz } => {
+                h.write_u64(3);
+                h.write_u64(*nx as u64);
+                h.write_u64(*ny as u64);
+                h.write_u64(*nz as u64);
+            }
+        }
+        Fingerprint(h.0)
+    }
+
+    /// Digest of a [`LazyMatrix`]: its structure plus the fill-stage
+    /// value seed, so matrices with equal patterns but different values
+    /// keep distinct identities — matching the value sensitivity of
+    /// [`Fingerprint::of_matrix`] without materializing anything.
+    pub fn of_lazy(m: &LazyMatrix) -> Fingerprint {
+        let fs = Fingerprint::of_structure(m.structure());
+        let mut h = Fnv::new();
+        h.write_u64(fs.0);
+        h.write_u64(m.value_seed());
+        Fingerprint(h.0)
+    }
+
+    /// Digest of a lazy operand (dense operands hash by shape, same as
+    /// [`Fingerprint::of_operand`]).
+    pub fn of_lazy_operand(b: LazyOperand<'_>) -> Fingerprint {
+        match b {
+            LazyOperand::Dense { rows, cols } => {
+                let mut h = Fnv::new();
+                h.write_u64(0xdeb5_e000_0000_0001);
+                h.write_u64(rows as u64);
+                h.write_u64(cols as u64);
+                Fingerprint(h.0)
+            }
+            LazyOperand::Sparse(m) => Fingerprint::of_lazy(m),
+        }
+    }
+
+    /// Digest of a lazy `(A, B)` pair — the cache key of the
+    /// structure-first oracle path.
+    pub fn of_lazy_pair(a: &LazyMatrix, b: LazyOperand<'_>) -> Fingerprint {
+        let fa = Fingerprint::of_lazy(a);
+        let fb = Fingerprint::of_lazy_operand(b);
+        let mut h = Fnv::new();
+        h.write_u64(fa.0);
+        h.write_u64(fb.0);
+        Fingerprint(h.0)
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +186,38 @@ mod tests {
         )
         .unwrap();
         assert_ne!(Fingerprint::of_matrix(&a), Fingerprint::of_matrix(&scaled));
+    }
+
+    #[test]
+    fn structure_fingerprints_are_value_blind_and_seed_sensitive() {
+        let a = gen::uniform_random_lazy(64, 64, 0.1, 7);
+        let same = gen::uniform_random_lazy(64, 64, 0.1, 7);
+        let other = gen::uniform_random_lazy(64, 64, 0.1, 8);
+        assert_eq!(
+            Fingerprint::of_structure(a.structure()),
+            Fingerprint::of_structure(same.structure())
+        );
+        assert_ne!(
+            Fingerprint::of_structure(a.structure()),
+            Fingerprint::of_structure(other.structure())
+        );
+        assert_eq!(Fingerprint::of_lazy(&a), Fingerprint::of_lazy(&same));
+        assert_ne!(Fingerprint::of_lazy(&a), Fingerprint::of_lazy(&other));
+        // Mesh variants with equal element counts stay distinct.
+        let m2 = gen::mesh2d_lazy(6, 4);
+        let m3 = gen::mesh3d_lazy(6, 4, 1);
+        assert_ne!(
+            Fingerprint::of_structure(m2.structure()),
+            Fingerprint::of_structure(m3.structure())
+        );
+    }
+
+    #[test]
+    fn lazy_pair_distinguishes_operand_kinds() {
+        let a = gen::uniform_random_lazy(32, 32, 0.2, 3);
+        let dense = Fingerprint::of_lazy_pair(&a, LazyOperand::Dense { rows: 32, cols: 16 });
+        let sparse = Fingerprint::of_lazy_pair(&a, LazyOperand::Sparse(&a));
+        assert_ne!(dense, sparse);
     }
 
     #[test]

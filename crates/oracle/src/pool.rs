@@ -88,9 +88,68 @@ where
     slots.into_iter().map(|s| s.expect("worker dropped an item")).collect()
 }
 
+/// Applies `f` to every index in `0..count` on a worker pool, returning
+/// results in index order — [`par_map_with`] without a backing slice.
+///
+/// This is the streaming fan-out primitive: corpus generation derives
+/// each sample from its index and a seed, so there is nothing to
+/// collect into a slice beforehand. Workers claim indices dynamically
+/// from a shared counter (generation + labeling cost varies per
+/// sample), and `threads == 1` runs the plain serial loop, so any
+/// thread count produces byte-identical results.
+pub fn par_map_indices<R, F>(count: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.max(1).min(count);
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move |_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= count {
+                    break;
+                }
+                if tx.send((idx, f(idx))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (idx, value) in rx.iter() {
+            slots[idx] = Some(value);
+        }
+    })
+    .expect("oracle worker pool panicked");
+
+    slots.into_iter().map(|s| s.expect("worker dropped an item")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_map_matches_serial_at_any_thread_count() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let serial: Vec<u64> = (0..500).map(f).collect();
+        for threads in [1, 2, 7, 16] {
+            assert_eq!(par_map_indices(500, threads, f), serial);
+        }
+        assert!(par_map_indices(0, 4, f).is_empty());
+    }
 
     #[test]
     fn preserves_input_order() {

@@ -17,7 +17,7 @@ use crate::cache::{CacheStats, MemoCache};
 use crate::Fingerprint;
 use misam_features::{PairFeatures, TileConfig};
 use misam_sim::{design_pe_counts, design_row_pe_counts, Operand};
-use misam_sparse::{CsrMatrix, MatrixProfile};
+use misam_sparse::{CsrMatrix, LazyMatrix, LazyOperand, MatrixProfile, Structure};
 use std::sync::{Arc, OnceLock};
 
 /// A memoized profile store keyed by [`Fingerprint::of_matrix`].
@@ -51,6 +51,48 @@ impl ProfileStore {
         match b {
             Operand::Sparse(m) => Some(self.of_matrix(m)),
             Operand::Dense { .. } => None,
+        }
+    }
+
+    /// The profile of a [`Structure`], **synthesized** in O(rows + cols)
+    /// — no element arrays are ever built — on first sight of this
+    /// structural fingerprint and shared thereafter. Bit-identical to
+    /// [`ProfileStore::of_matrix`] on the materialized matrix (the
+    /// two-stage generator contract), but keyed value-blind, so every
+    /// fill of the same pattern shares one entry.
+    pub fn of_structure(&self, s: &Structure) -> Arc<MatrixProfile> {
+        let fp = Fingerprint::of_structure(s);
+        self.cache.get_or_compute(fp, 0, || {
+            Arc::new(MatrixProfile::synthesize(s, &design_pe_counts(), &design_row_pe_counts()))
+        })
+    }
+
+    /// The profile of a lazy matrix — profiles are value-blind, so this
+    /// is [`ProfileStore::of_structure`] of its structure stage and
+    /// never triggers materialization.
+    pub fn of_lazy(&self, m: &LazyMatrix) -> Arc<MatrixProfile> {
+        self.of_structure(m.structure())
+    }
+
+    /// Pair features of a lazy operand pair, computed entirely from
+    /// synthesized profiles and B's structure: no CSR is materialized.
+    /// Bit-identical to [`ProfileStore::pair_features`] on the
+    /// materialized pair.
+    pub fn pair_features_lazy(
+        &self,
+        a: &LazyMatrix,
+        b: LazyOperand<'_>,
+        cfg: &TileConfig,
+    ) -> PairFeatures {
+        let ap = self.of_lazy(a);
+        match b {
+            LazyOperand::Sparse(bm) => {
+                let bp = self.of_lazy(bm);
+                PairFeatures::from_profiles_structural(&ap, &bp, bm.structure(), cfg)
+            }
+            LazyOperand::Dense { rows, cols } => {
+                PairFeatures::from_profile_dense_b(&ap, rows, cols, cfg)
+            }
         }
     }
 

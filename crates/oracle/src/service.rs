@@ -5,8 +5,8 @@
 use crate::cache::{CacheStats, MemoCache};
 use crate::executors::FpgaSim;
 use crate::{Executor, Fingerprint};
-use misam_sim::Operand;
-use misam_sparse::CsrMatrix;
+use misam_sim::{Operand, SimReport};
+use misam_sparse::{CsrMatrix, LazyMatrix, LazyOperand};
 use std::sync::OnceLock;
 
 /// A memoizing front for any [`Executor`].
@@ -61,6 +61,26 @@ impl<E: Executor> Executor for SimOracle<E> {
         let fp = Fingerprint::of_pair(a, b);
         (0..self.targets())
             .map(|t| self.cache.get_or_compute(fp, t, || self.inner.execute(a, b, t)))
+            .collect()
+    }
+}
+
+impl SimOracle<FpgaSim> {
+    /// Memoized [`FpgaSim::execute_lazy`]: the structure-first oracle
+    /// entry of the streaming corpus pipeline. Keys are lazy pair
+    /// fingerprints ([`Fingerprint::of_lazy_pair`]), computed from
+    /// structure stages alone, so cache lookups never materialize.
+    pub fn execute_lazy(&self, a: &LazyMatrix, b: LazyOperand<'_>, target: usize) -> SimReport {
+        let fp = Fingerprint::of_lazy_pair(a, b);
+        self.cache.get_or_compute(fp, target, || self.inner.execute_lazy(a, b, target))
+    }
+
+    /// [`SimOracle::execute_lazy`] across all four designs, in order,
+    /// fingerprinting once for the whole sweep.
+    pub fn execute_all_lazy(&self, a: &LazyMatrix, b: LazyOperand<'_>) -> Vec<SimReport> {
+        let fp = Fingerprint::of_lazy_pair(a, b);
+        (0..self.targets())
+            .map(|t| self.cache.get_or_compute(fp, t, || self.inner.execute_lazy(a, b, t)))
             .collect()
     }
 }
@@ -134,6 +154,41 @@ mod tests {
         assert_eq!(s.misses, 6 * 4, "each (pair, design) simulated exactly once");
         assert_eq!(s.entries, 6 * 4);
         assert_eq!(s.hits, 6 * 4, "second round fully cached");
+    }
+
+    #[test]
+    fn lazy_oracle_matches_eager_and_never_materializes() {
+        use misam_sparse::gen;
+        let a = gen::power_law_lazy(200, 200, 4.0, 1.4, 31);
+        let bm = gen::power_law_lazy(200, 150, 4.0, 1.4, 32);
+        let oracle = SimOracle::new(FpgaSim);
+
+        let before = misam_sparse::lazy::materialization_stats();
+        let lazy_sparse = oracle.execute_all_lazy(&a, LazyOperand::Sparse(&bm));
+        let lazy_dense = oracle.execute_all_lazy(&a, LazyOperand::Dense { rows: 200, cols: 64 });
+        let after = misam_sparse::lazy::materialization_stats();
+        assert_eq!(
+            before.materialized, after.materialized,
+            "structural labeling must not materialize CSRs"
+        );
+
+        // Bit-identical to the eager element-walk path on the
+        // materialized pair (and to a fresh oracle's eager answers).
+        let eager = SimOracle::new(FpgaSim);
+        assert_eq!(
+            lazy_sparse,
+            eager.execute_all(a.materialize(), Operand::Sparse(bm.materialize()))
+        );
+        assert_eq!(
+            lazy_dense,
+            eager.execute_all(a.materialize(), Operand::Dense { rows: 200, cols: 64 })
+        );
+
+        // Second lazy sweep is fully cached.
+        let hits_before = oracle.stats().hits;
+        let again = oracle.execute_all_lazy(&a, LazyOperand::Sparse(&bm));
+        assert_eq!(again, lazy_sparse);
+        assert_eq!(oracle.stats().hits, hits_before + 4);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use crate::design::{BFormat, DesignConfig, DesignId};
 use crate::schedule::ScheduleReport;
 use crate::{hbm, schedule, tiling};
-use misam_sparse::{CsrMatrix, MatrixProfile};
+use misam_sparse::{CsrMatrix, MatrixProfile, Structure};
 use serde::{Deserialize, Serialize};
 
 /// Base kernel-launch overhead in cycles (host DMA setup, scheduling
@@ -213,6 +213,258 @@ pub fn simulate_with_config_profiled(
     simulate_inner(a, Some(ap), b, bp, cfg)
 }
 
+/// The right-hand operand of a structural simulation: shapes and
+/// profiles only, never element arrays.
+///
+/// The timing model needs B's shape (dense case) or its per-row
+/// occupancies and nonzero total (compressed case) — all of which a
+/// [`MatrixProfile`] carries — so the structural path simulates sparse
+/// B from its profile alone.
+#[derive(Debug, Clone, Copy)]
+pub enum StructuralOperand<'a> {
+    /// A dense `rows x cols` matrix.
+    Dense {
+        /// Rows of B (must equal `a.cols()`).
+        rows: usize,
+        /// Columns of B.
+        cols: usize,
+    },
+    /// A sparse matrix described by its profile.
+    Sparse(&'a MatrixProfile),
+}
+
+impl<'a> StructuralOperand<'a> {
+    /// Rows of the operand.
+    pub fn rows(&self) -> usize {
+        match self {
+            StructuralOperand::Dense { rows, .. } => *rows,
+            StructuralOperand::Sparse(p) => p.rows(),
+        }
+    }
+
+    /// Columns of the operand.
+    pub fn cols(&self) -> usize {
+        match self {
+            StructuralOperand::Dense { cols, .. } => *cols,
+            StructuralOperand::Sparse(p) => p.cols(),
+        }
+    }
+
+    /// Stored entries: `rows * cols` for dense, `nnz` for sparse.
+    pub fn nnz(&self) -> usize {
+        match self {
+            StructuralOperand::Dense { rows, cols } => rows * cols,
+            StructuralOperand::Sparse(p) => p.nnz(),
+        }
+    }
+}
+
+/// [`simulate`] evaluated **without materializing A or B**: structure
+/// and profiles in, report out.
+///
+/// Returns `None` when some pass has no closed form — a missing
+/// residue tally in `ap`, or a compressed-B cost table whose gaps the
+/// run-based fold cannot express — in which case the caller should
+/// materialize and take the element-walk path. For the four standard
+/// designs with standard profiles this always succeeds, and the report
+/// is bit-identical to [`simulate`] on the materialized matrices.
+///
+/// # Panics
+///
+/// Panics if operand shapes disagree or `ap` does not describe `a`.
+pub fn simulate_structural(
+    a: &Structure,
+    ap: &MatrixProfile,
+    b: StructuralOperand<'_>,
+    id: DesignId,
+) -> Option<SimReport> {
+    simulate_structural_with_config(a, ap, b, &DesignConfig::of(id))
+}
+
+/// [`simulate_structural`] on an explicit configuration; see there.
+///
+/// # Panics
+///
+/// Panics if operand shapes disagree or `ap` does not describe `a`.
+pub fn simulate_structural_with_config(
+    a: &Structure,
+    ap: &MatrixProfile,
+    b: StructuralOperand<'_>,
+    cfg: &DesignConfig,
+) -> Option<SimReport> {
+    assert!(ap.describes_structure(a), "profile does not describe structure A");
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions disagree: A is {}x{}, B is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let m = a.rows() as u64;
+    let k = b.rows();
+    let n = b.cols() as u64;
+    let nnz_a = a.nnz() as u64;
+
+    let flops = match &b {
+        StructuralOperand::Dense { .. } => nnz_a * n,
+        StructuralOperand::Sparse(pb) => {
+            let cols = pb.row_lens().len().min(ap.col_counts().len());
+            (0..cols).map(|j| ap.col_counts()[j] as u64 * pb.row_lens()[j] as u64).sum()
+        }
+    };
+
+    let (compute, passes, pe_utilization) = match cfg.format_b {
+        BFormat::Uncompressed => {
+            uncompressed_passes(n as usize, |w| schedule::schedule_uniform_profiled(ap, cfg, w))?
+        }
+        BFormat::Compressed => {
+            let gather = cfg.gather_factor;
+            let meta = cfg.meta_lookup;
+            let cost_of = |occ: u64| ((gather * occ as f64 / 8.0).ceil() as u64).max(1) + meta;
+            let rep = match &b {
+                StructuralOperand::Dense { cols, .. } => {
+                    schedule::schedule_uniform_profiled(ap, cfg, cost_of(*cols as u64))?
+                }
+                StructuralOperand::Sparse(pb) => {
+                    let table: Vec<u64> =
+                        pb.row_lens().iter().map(|&occ| cost_of(occ as u64)).collect();
+                    schedule::schedule_with_cost_structural(a, cfg, &table)?
+                }
+            };
+            (rep.makespan, 1, rep.utilization)
+        }
+    };
+
+    let tiles = match (&b, cfg.format_b) {
+        (_, BFormat::Uncompressed) => k.div_ceil(cfg.bram_entries).max(usize::from(k > 0)),
+        (StructuralOperand::Sparse(pb), BFormat::Compressed) => {
+            let cap = cfg.bram_entries * hbm::B_SPARSE_PER_WORD as usize;
+            tiling::sparse_row_tiles_from_lens(pb.row_lens(), cap).len().max(usize::from(k > 0))
+        }
+        (StructuralOperand::Dense { rows, cols }, BFormat::Compressed) => {
+            let cap = cfg.bram_entries * hbm::B_SPARSE_PER_WORD as usize;
+            (rows * cols).div_ceil(cap).max(usize::from(k > 0))
+        }
+    };
+
+    Some(assemble_report(
+        cfg,
+        m,
+        k,
+        n,
+        nnz_a,
+        b.nnz() as u64,
+        flops,
+        compute,
+        passes,
+        pe_utilization,
+        tiles,
+    ))
+}
+
+/// Column-pass loop shared by the reference and structural engines:
+/// schedules the full-width passes and the remainder (reusing the full
+/// schedule when the slice widths coincide) and aggregates makespan,
+/// pass count and utilization. `pass` returning `None` aborts with
+/// `None` (structural path without a closed form).
+fn uncompressed_passes(
+    n: usize,
+    mut pass: impl FnMut(u64) -> Option<ScheduleReport>,
+) -> Option<(u64, usize, f64)> {
+    let (full, rem) = tiling::col_passes(n, PASS_WIDTH_COLS);
+    let mut compute = 0u64;
+    let mut passes = 0usize;
+    let mut util_num = 0.0;
+    let mut util_den = 0.0;
+    let mut full_pass: Option<(u64, ScheduleReport)> = None;
+    if full > 0 {
+        let w = (PASS_WIDTH_COLS as u64).div_ceil(8);
+        let rep = pass(w)?;
+        compute += rep.makespan * full as u64;
+        passes += full;
+        util_num += rep.utilization * (rep.makespan * full as u64) as f64;
+        util_den += (rep.makespan * full as u64) as f64;
+        full_pass = Some((w, rep));
+    }
+    if rem > 0 {
+        let w = (rem as u64).div_ceil(8).max(1);
+        // The remainder pass reuses the full-pass schedule when the
+        // vector-slice width coincides (scheduling is a pure function
+        // of `w`).
+        let rep = match full_pass {
+            Some((fw, rep)) if fw == w => rep,
+            _ => pass(w)?,
+        };
+        compute += rep.makespan;
+        passes += 1;
+        util_num += rep.utilization * rep.makespan as f64;
+        util_den += rep.makespan as f64;
+    }
+    let util = if util_den > 0.0 { util_num / util_den } else { 0.0 };
+    Some((compute, passes, util))
+}
+
+/// Shared report tail: output-size estimate, memory streams, overhead
+/// and metric assembly. Both the element-walk and structural engines
+/// end here, so their reports agree field for field by construction.
+#[allow(clippy::too_many_arguments)]
+fn assemble_report(
+    cfg: &DesignConfig,
+    m: u64,
+    k: usize,
+    n: u64,
+    nnz_a: u64,
+    b_nnz: u64,
+    flops: u64,
+    compute: u64,
+    passes: usize,
+    pe_utilization: f64,
+    tiles: usize,
+) -> SimReport {
+    let cells = (m as f64) * (n as f64);
+    let output_nnz = if cells > 0.0 && flops > 0 {
+        (cells * (1.0 - (-(flops as f64) / cells).exp())).ceil() as u64
+    } else {
+        0
+    };
+    let passes_eff = passes.max(1) as u64;
+
+    // Overlapped memory streams.
+    let a_read = hbm::read_a_cycles(nnz_a, cfg.ch_a) * passes_eff;
+    let b_read = match cfg.format_b {
+        BFormat::Uncompressed => hbm::read_b_dense_cycles(k as u64, n, cfg.ch_b),
+        BFormat::Compressed => hbm::read_b_sparse_cycles(b_nnz, cfg.ch_b),
+    };
+    let c_write = match cfg.format_b {
+        BFormat::Uncompressed => hbm::write_c_dense_cycles(m, n, cfg.ch_c),
+        BFormat::Compressed => hbm::write_c_sparse_cycles(output_nnz, cfg.ch_c),
+    };
+
+    let overhead = LAUNCH_BASE_CYCLES
+        + LAUNCH_PER_PEG_CYCLES * cfg.pegs as u64
+        + tiles as u64 * passes_eff * cfg.pipeline_fill;
+
+    let breakdown = CycleBreakdown { a_read, b_read, c_write, compute, overhead };
+    let cycles = breakdown.bound() + overhead;
+    let time_s = cycles as f64 / (cfg.freq_mhz * 1e6);
+    let power_w = crate::resources::power_w(cfg.id);
+    SimReport {
+        design: cfg.id,
+        cycles,
+        breakdown,
+        time_s,
+        power_w,
+        energy_j: power_w * time_s,
+        pe_utilization,
+        tiles,
+        passes,
+        flops,
+        output_nnz,
+    }
+}
+
 /// Shared engine body. When `ap` is `Some`, scheduling and effectual
 /// work use the profile-based closed forms (with element-walk fallback
 /// for missing tallies); when `None`, every pass walks the CSR.
@@ -249,13 +501,6 @@ fn simulate_inner(
         }
         (Operand::Sparse(bm), _, _) => misam_sparse::kernels::spgemm_flops(a, bm),
     };
-    let cells = (m as f64) * (n as f64);
-    let output_nnz = if cells > 0.0 && flops > 0 {
-        (cells * (1.0 - (-(flops as f64) / cells).exp())).ceil() as u64
-    } else {
-        0
-    };
-
     // One uniform-cost pass: closed-form fold when a tally exists,
     // element walk otherwise.
     let uniform_pass = |w: u64| -> ScheduleReport {
@@ -265,39 +510,8 @@ fn simulate_inner(
 
     // Compute makespan and pass structure.
     let (compute, passes, pe_utilization) = match cfg.format_b {
-        BFormat::Uncompressed => {
-            let (full, rem) = tiling::col_passes(n as usize, PASS_WIDTH_COLS);
-            let mut compute = 0u64;
-            let mut passes = 0usize;
-            let mut util_num = 0.0;
-            let mut util_den = 0.0;
-            let mut full_pass: Option<(u64, ScheduleReport)> = None;
-            if full > 0 {
-                let w = (PASS_WIDTH_COLS as u64).div_ceil(8);
-                let rep = uniform_pass(w);
-                compute += rep.makespan * full as u64;
-                passes += full;
-                util_num += rep.utilization * (rep.makespan * full as u64) as f64;
-                util_den += (rep.makespan * full as u64) as f64;
-                full_pass = Some((w, rep));
-            }
-            if rem > 0 {
-                let w = (rem as u64).div_ceil(8).max(1);
-                // The remainder pass reuses the full-pass schedule when
-                // the vector-slice width coincides (scheduling is a pure
-                // function of `w`).
-                let rep = match full_pass {
-                    Some((fw, rep)) if fw == w => rep,
-                    _ => uniform_pass(w),
-                };
-                compute += rep.makespan;
-                passes += 1;
-                util_num += rep.utilization * rep.makespan as f64;
-                util_den += rep.makespan as f64;
-            }
-            let util = if util_den > 0.0 { util_num / util_den } else { 0.0 };
-            (compute, passes, util)
-        }
+        BFormat::Uncompressed => uncompressed_passes(n as usize, |w| Some(uniform_pass(w)))
+            .expect("reference passes are total"),
         BFormat::Compressed => {
             let gather = cfg.gather_factor;
             let meta = cfg.meta_lookup;
@@ -321,7 +535,6 @@ fn simulate_inner(
             (rep.makespan, 1, rep.utilization)
         }
     };
-    let passes_eff = passes.max(1) as u64;
 
     // Tiling of B.
     let tiles = match (&b, cfg.format_b) {
@@ -336,38 +549,7 @@ fn simulate_inner(
         }
     };
 
-    // Overlapped memory streams.
-    let a_read = hbm::read_a_cycles(nnz_a, cfg.ch_a) * passes_eff;
-    let b_read = match cfg.format_b {
-        BFormat::Uncompressed => hbm::read_b_dense_cycles(k as u64, n, cfg.ch_b),
-        BFormat::Compressed => hbm::read_b_sparse_cycles(b.nnz() as u64, cfg.ch_b),
-    };
-    let c_write = match cfg.format_b {
-        BFormat::Uncompressed => hbm::write_c_dense_cycles(m, n, cfg.ch_c),
-        BFormat::Compressed => hbm::write_c_sparse_cycles(output_nnz, cfg.ch_c),
-    };
-
-    let overhead = LAUNCH_BASE_CYCLES
-        + LAUNCH_PER_PEG_CYCLES * cfg.pegs as u64
-        + tiles as u64 * passes_eff * cfg.pipeline_fill;
-
-    let breakdown = CycleBreakdown { a_read, b_read, c_write, compute, overhead };
-    let cycles = breakdown.bound() + overhead;
-    let time_s = cycles as f64 / (cfg.freq_mhz * 1e6);
-    let power_w = crate::resources::power_w(cfg.id);
-    SimReport {
-        design: cfg.id,
-        cycles,
-        breakdown,
-        time_s,
-        power_w,
-        energy_j: power_w * time_s,
-        pe_utilization,
-        tiles,
-        passes,
-        flops,
-        output_nnz,
-    }
+    assemble_report(cfg, m, k, n, nnz_a, b.nnz() as u64, flops, compute, passes, pe_utilization, tiles)
 }
 
 #[cfg(test)]
@@ -548,6 +730,64 @@ mod tests {
         let other = gen::uniform_random(32, 64, 0.1, 34);
         let p = MatrixProfile::build(&other);
         simulate_profiled(&a, &p, Operand::Dense { rows: 64, cols: 32 }, None, DesignId::D1);
+    }
+
+    #[test]
+    fn structural_simulate_is_bit_identical_to_walk() {
+        // Structure + profiles in, report out — no element arrays — and
+        // the report matches the reference walk field for field, for
+        // every family and every design, against dense and sparse B.
+        let lazies = [
+            gen::uniform_random_lazy(400, 350, 0.03, 50),
+            gen::power_law_lazy(300, 300, 6.0, 1.4, 51),
+            gen::rmat_lazy(256, 256, 3000, (0.57, 0.19, 0.19, 0.05), 52),
+            gen::banded_lazy(300, 300, 11, 0.6, 53),
+            gen::circuit_lazy(250, 250, 3.0, 4, 54),
+            gen::regular_degree_lazy(280, 280, 9, 55),
+            gen::pruned_dnn_lazy(128, 256, 0.3, 56),
+            gen::imbalanced_rows_lazy(200, 300, 0.02, 150, 2, 57),
+            gen::mesh2d_lazy(17, 15),
+        ];
+        let col_pes = crate::design::design_pe_counts();
+        let row_pes = crate::design::design_row_pe_counts();
+        for lazy in &lazies {
+            let ap = MatrixProfile::synthesize(lazy.structure(), &col_pes, &row_pes);
+            let k = lazy.cols();
+            let bm_lazy = gen::uniform_random_lazy(k, 200, 0.05, 99);
+            let bp = MatrixProfile::synthesize(bm_lazy.structure(), &col_pes, &row_pes);
+            for id in DesignId::ALL {
+                let dense_ref =
+                    simulate(lazy.materialize(), Operand::Dense { rows: k, cols: 200 }, id);
+                let dense_str = simulate_structural(
+                    lazy.structure(),
+                    &ap,
+                    StructuralOperand::Dense { rows: k, cols: 200 },
+                    id,
+                )
+                .expect("standard design must fold");
+                assert_eq!(dense_ref, dense_str, "{id} dense B");
+
+                let sparse_ref =
+                    simulate(lazy.materialize(), Operand::Sparse(bm_lazy.materialize()), id);
+                let sparse_str =
+                    simulate_structural(lazy.structure(), &ap, StructuralOperand::Sparse(&bp), id)
+                        .expect("standard design must fold");
+                assert_eq!(sparse_ref, sparse_str, "{id} sparse B");
+            }
+        }
+    }
+
+    #[test]
+    fn structural_simulate_declines_without_tallies() {
+        let lazy = gen::uniform_random_lazy(64, 64, 0.1, 60);
+        let bare = MatrixProfile::synthesize(lazy.structure(), &[], &[]);
+        assert!(simulate_structural(
+            lazy.structure(),
+            &bare,
+            StructuralOperand::Dense { rows: 64, cols: 64 },
+            DesignId::D1
+        )
+        .is_none());
     }
 
     #[test]

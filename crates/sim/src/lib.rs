@@ -54,6 +54,7 @@ pub use design::{
     design_pe_counts, design_row_pe_counts, BFormat, BitstreamId, DesignConfig, DesignId, Traversal,
 };
 pub use engine::{
-    simulate, simulate_profiled, simulate_with_config, simulate_with_config_profiled,
-    CycleBreakdown, Operand, SimReport,
+    simulate, simulate_profiled, simulate_structural, simulate_structural_with_config,
+    simulate_with_config, simulate_with_config_profiled, CycleBreakdown, Operand, SimReport,
+    StructuralOperand,
 };

@@ -37,7 +37,7 @@
 //!   the fold O(PEs) with **zero** CSR traversal.
 
 use crate::design::{DesignConfig, Traversal};
-use misam_sparse::{CsrMatrix, MatrixProfile};
+use misam_sparse::{CsrMatrix, MatrixProfile, Structure};
 
 /// Per-PE accumulation state while building a schedule.
 #[derive(Debug, Clone, Copy, Default)]
@@ -243,6 +243,97 @@ pub fn schedule_uniform_profiled(
     Some(ScheduleReport::from_accs(&accs, cfg))
 }
 
+/// Per-column-cost schedule computed from a [`Structure`] without
+/// materializing the matrix — the compressed-B (Design 4) counterpart
+/// of [`schedule_uniform_profiled`]. Bit-identical to
+/// [`schedule_with_cost`] on the materialized matrix with
+/// `cost = |k| table[k]`.
+///
+/// Closed forms exist only where the dependency gap vanishes: when
+/// every clamped column cost is at least `dep_distance`, a row's span
+/// is exactly its cost sum, which a prefix-sum table answers in O(1)
+/// per run. That always holds for the standard Design 4 configuration
+/// (`meta_lookup = 1` puts every cost at ≥ 2 = `dep_distance`).
+/// Returns `None` — callers fall back to the element walk — when:
+///
+/// - the traversal is row-wise (no compressed design schedules rows),
+/// - some column cost is below `dep_distance` (gaps would appear).
+///
+/// Mesh structures are walked virtually (≤ 7 stencil columns per row)
+/// with full gap handling, so they never decline for cost reasons.
+///
+/// # Panics
+///
+/// Panics if the design has zero PEs or `table.len() < s.cols()`.
+pub fn schedule_with_cost_structural(
+    s: &Structure,
+    cfg: &DesignConfig,
+    table: &[u64],
+) -> Option<ScheduleReport> {
+    let pes = cfg.total_pes();
+    assert!(pes > 0, "design has no PEs");
+    assert!(table.len() >= s.cols(), "cost table shorter than the column space");
+    if cfg.scheduler_a == Traversal::Row {
+        return None;
+    }
+    let d = cfg.dep_distance;
+    let mut accs = vec![PeAcc::default(); pes];
+
+    match s {
+        Structure::Runs(rr) => {
+            // Gap-zero requirement: with every cost >= d the span of a
+            // row equals its cost sum, making runs prefix-summable.
+            if table[..s.cols()].iter().any(|&c| c.max(1) < d) {
+                return None;
+            }
+            let mut prefix = Vec::with_capacity(s.cols() + 1);
+            let mut acc = 0u64;
+            prefix.push(0u64);
+            for &c in &table[..s.cols()] {
+                acc += c.max(1);
+                prefix.push(acc);
+            }
+            for r in 0..rr.rows() {
+                let pe = r % pes;
+                let mut cost_sum = 0u64;
+                for (lo, hi) in rr.row_intervals(r) {
+                    cost_sum += prefix[hi] - prefix[lo];
+                }
+                let count = rr.lens()[r] as u64;
+                let acc = &mut accs[pe];
+                acc.work += cost_sum;
+                acc.elements += count;
+                // Zero gaps: row_span(cost_sum, 0, 0, count) = cost_sum.
+                acc.max_span = acc.max_span.max(row_span(cost_sum, 0, 0, count));
+            }
+        }
+        Structure::Mesh2d { .. } | Structure::Mesh3d { .. } => {
+            let mut buf = [0u32; 7];
+            for r in 0..s.rows() {
+                let pe = r % pes;
+                let n = s.mesh_row_cols(r, &mut buf);
+                let mut cost_sum = 0u64;
+                let mut gap_sum = 0u64;
+                let mut gap_max = 0u64;
+                for &k in &buf[..n] {
+                    let w = table[k as usize].max(1);
+                    let gap = d.saturating_sub(w);
+                    cost_sum += w;
+                    gap_sum += gap;
+                    gap_max = gap_max.max(gap);
+                }
+                let acc = &mut accs[pe];
+                acc.work += cost_sum;
+                acc.elements += n as u64;
+                acc.max_span =
+                    acc.max_span.max(row_span(cost_sum, gap_sum, gap_max, n as u64));
+            }
+        }
+    }
+
+    Some(ScheduleReport::from_accs(&accs, cfg))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +488,49 @@ mod tests {
         let p = MatrixProfile::build_with_scheduler_pes(&a, &[d3.total_pes()], &[]);
         assert!(schedule_uniform_profiled(&p, &d3, 4).is_none());
         assert!(schedule_uniform_profiled(&p, &cfg(DesignId::D2), 4).is_some());
+    }
+
+    #[test]
+    fn structural_cost_schedule_matches_element_walk() {
+        // Gap-free tables (every cost >= dep_distance = 2), as Design 4
+        // produces: the structural run-based schedule must be
+        // bit-identical to walking the materialized matrix.
+        let lazies = [
+            gen::uniform_random_lazy(300, 280, 0.05, 41),
+            gen::power_law_lazy(250, 250, 6.0, 1.4, 42),
+            gen::banded_lazy(200, 200, 9, 0.7, 43),
+            gen::imbalanced_rows_lazy(150, 400, 0.05, 120, 2, 44),
+            gen::mesh2d_lazy(13, 11),
+            gen::mesh3d_lazy(5, 4, 3),
+        ];
+        let c4 = cfg(DesignId::D4);
+        for lazy in &lazies {
+            let cols = lazy.cols();
+            let table: Vec<u64> = (0..cols).map(|k| 2 + (k as u64 * 7) % 9).collect();
+            let walk = schedule_with_cost(lazy.materialize(), &c4, |k| table[k]);
+            let fold = schedule_with_cost_structural(lazy.structure(), &c4, &table)
+                .expect("gap-free table must fold");
+            assert_eq!(walk, fold);
+        }
+    }
+
+    #[test]
+    fn structural_cost_schedule_declines_gapped_tables_and_row_traversal() {
+        let lazy = gen::uniform_random_lazy(64, 64, 0.1, 45);
+        let gapped: Vec<u64> = vec![1; 64]; // cost 1 < dep_distance 2
+        assert!(schedule_with_cost_structural(lazy.structure(), &cfg(DesignId::D4), &gapped)
+            .is_none());
+        let flat: Vec<u64> = vec![4; 64];
+        assert!(schedule_with_cost_structural(lazy.structure(), &cfg(DesignId::D3), &flat)
+            .is_none());
+        // Mesh structures keep full gap handling, so gapped tables fold.
+        let mesh = gen::mesh2d_lazy(8, 8);
+        let mesh_table: Vec<u64> = vec![1; 64];
+        let walk = schedule_with_cost(mesh.materialize(), &cfg(DesignId::D4), |_| 1);
+        let fold =
+            schedule_with_cost_structural(mesh.structure(), &cfg(DesignId::D4), &mesh_table)
+                .expect("mesh folds regardless of gaps");
+        assert_eq!(walk, fold);
     }
 
     #[test]

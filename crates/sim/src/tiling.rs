@@ -31,12 +31,32 @@ pub fn dense_row_tiles(b_rows: usize, bram_rows: usize) -> Vec<Range<usize>> {
 ///
 /// Panics if `capacity_nnz == 0`.
 pub fn sparse_row_tiles(b: &CsrMatrix, capacity_nnz: usize) -> Vec<Range<usize>> {
+    sparse_row_tiles_by(b.rows(), |r| b.row_nnz(r), capacity_nnz)
+}
+
+/// [`sparse_row_tiles`] from a row-length vector (e.g. a
+/// [`misam_sparse::MatrixProfile`]'s `row_lens`) instead of a CSR —
+/// the packing depends only on per-row occupancies, so the structural
+/// simulation path tiles B without materializing it.
+///
+/// # Panics
+///
+/// Panics if `capacity_nnz == 0`.
+pub fn sparse_row_tiles_from_lens(lens: &[u32], capacity_nnz: usize) -> Vec<Range<usize>> {
+    sparse_row_tiles_by(lens.len(), |r| lens[r] as usize, capacity_nnz)
+}
+
+fn sparse_row_tiles_by(
+    rows: usize,
+    row_nnz: impl Fn(usize) -> usize,
+    capacity_nnz: usize,
+) -> Vec<Range<usize>> {
     assert!(capacity_nnz > 0, "tile capacity must be positive");
     let mut tiles = Vec::new();
     let mut start = 0usize;
     let mut filled = 0usize;
-    for r in 0..b.rows() {
-        let row = b.row_nnz(r);
+    for r in 0..rows {
+        let row = row_nnz(r);
         if filled > 0 && filled + row > capacity_nnz {
             tiles.push(start..r);
             start = r;
@@ -44,10 +64,10 @@ pub fn sparse_row_tiles(b: &CsrMatrix, capacity_nnz: usize) -> Vec<Range<usize>>
         }
         filled += row;
     }
-    if start < b.rows() {
-        tiles.push(start..b.rows());
+    if start < rows {
+        tiles.push(start..rows);
     }
-    if b.rows() == 0 {
+    if rows == 0 {
         tiles.clear();
     }
     tiles
@@ -129,6 +149,16 @@ mod tests {
         assert_eq!(col_passes(1200, 512), (2, 176));
         assert_eq!(col_passes(100, 512), (0, 100));
         assert_eq!(col_passes(0, 512), (0, 0));
+    }
+
+    #[test]
+    fn lens_based_tiling_matches_csr_tiling() {
+        let b = gen::power_law(800, 800, 8.0, 1.5, 17);
+        let lens: Vec<u32> = (0..b.rows()).map(|r| b.row_nnz(r) as u32).collect();
+        for cap in [64, 600, 4096] {
+            assert_eq!(sparse_row_tiles(&b, cap), sparse_row_tiles_from_lens(&lens, cap));
+        }
+        assert!(sparse_row_tiles_from_lens(&[], 100).is_empty());
     }
 
     #[test]

@@ -79,14 +79,17 @@ fn every_design_beats_some_other_somewhere() {
     // regime representatives.
     let d = DesignId::ALL;
     let small = gen::uniform_random(256, 256, 0.01, 30);
-    let big = gen::uniform_random(3000, 3000, 0.05, 31);
+    // D2's representative: a big, perfectly row-balanced MS workload
+    // (rows divisible by the 96-PE count), where the column scheduler's
+    // even row assignment beats the row scheduler's residue loads.
+    let big = gen::pruned_dnn(3072, 3072, 0.2, 31);
     let skew = gen::imbalanced_rows(3000, 3000, 0.01, 2000, 4, 32);
     let graph = gen::power_law(2500, 2500, 4.0, 1.4, 33);
     let graph_b = gen::power_law(2500, 2500, 4.0, 1.4, 34);
 
     let wins = [
         (&small, Operand::Dense { rows: 256, cols: 64 }, d[0]),
-        (&big, Operand::Dense { rows: 3000, cols: 512 }, d[1]),
+        (&big, Operand::Dense { rows: 3072, cols: 512 }, d[1]),
         (&skew, Operand::Dense { rows: 3000, cols: 512 }, d[2]),
         (&graph, Operand::Sparse(&graph_b), d[3]),
     ];

@@ -20,11 +20,40 @@
 //!   sides);
 //! - [`imbalanced_rows`] — explicit load-imbalance stressor used to
 //!   exercise Design 3's row-wise scheduler.
+//!
+//! # Two-stage generation
+//!
+//! Every family runs in two deterministic stages sharing one seeded RNG
+//! discipline:
+//!
+//! 1. **Structure stage** — `StdRng::seed_from_u64(seed ^ FAMILY_SALT)`
+//!    samples only row placements (a start and a length per row) and
+//!    emits a [`Structure`] in O(rows). No element arrays are allocated.
+//!    Each row's columns form one contiguous — possibly cyclically
+//!    wrapping — run, which preserves each family's defining statistics
+//!    (density, row-length skew, bandedness, block alignment, degree
+//!    regularity, imbalance) while making profile synthesis
+//!    ([`crate::MatrixProfile::synthesize`]) and compressed-dataflow
+//!    cost scheduling closed-form.
+//! 2. **Fill stage** — `StdRng::seed_from_u64(seed ^ FAMILY_SALT ^
+//!    VALUE_SALT)` draws element values row by row in ascending column
+//!    order, but only when a consumer materializes the
+//!    [`LazyMatrix`]. Labeling pipelines that read structure alone never
+//!    run it.
+//!
+//! Each `*_lazy` function returns the un-materialized form; the classic
+//! CSR-returning names delegate to it and materialize immediately, so
+//! `family(args) == family_lazy(args).into_csr()` bit-for-bit.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{CooMatrix, CsrMatrix};
+use crate::structure::Structure;
+use crate::{CsrMatrix, LazyMatrix};
+
+/// XOR-folded into a family's salt to derive its independent fill-stage
+/// value stream from the same user seed.
+const VALUE_SALT: u64 = 0xf111_b175_0000_0001;
 
 /// Coarse sparsity regime labels used throughout the paper (Figure 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -73,48 +102,13 @@ impl std::fmt::Display for SparsityRegime {
 }
 
 fn value(rng: &mut StdRng) -> f32 {
-    // Uniform in [-1, 1] excluding exact zero, so nnz counts are stable.
-    loop {
-        let v: f32 = rng.gen_range(-1.0..1.0);
-        if v != 0.0 {
-            return v;
-        }
-    }
+    crate::structure::fill_value(rng)
 }
 
-/// Samples `k` distinct values from `0..n` in sorted order.
-fn sample_distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<u32> {
-    let k = k.min(n);
-    if k == 0 {
-        return Vec::new();
-    }
-    if k * 3 >= n {
-        // Dense case: partial Fisher–Yates over the full range.
-        let mut all: Vec<u32> = (0..n as u32).collect();
-        for i in 0..k {
-            let j = rng.gen_range(i..n);
-            all.swap(i, j);
-        }
-        let mut chosen = all[..k].to_vec();
-        chosen.sort_unstable();
-        chosen
-    } else {
-        // Sparse case: rejection sampling into a sorted set.
-        let mut chosen = Vec::with_capacity(k);
-        let mut seen = std::collections::HashSet::with_capacity(k * 2);
-        while chosen.len() < k {
-            let c = rng.gen_range(0..n) as u32;
-            if seen.insert(c) {
-                chosen.push(c);
-            }
-        }
-        chosen.sort_unstable();
-        chosen
-    }
-}
-
-/// Approximate binomial draw `Binomial(n, p)` via a normal approximation
-/// (exact Bernoulli loop for small `n`).
+/// Legacy O(n) binomial draw: exact Bernoulli loop for `n <= 64`, normal
+/// approximation above. Retained because seed-pinned tests check its
+/// stream; the structure stage uses [`binomial_fast`] instead.
+#[cfg_attr(not(test), allow(dead_code))]
 fn binomial(rng: &mut StdRng, n: usize, p: f64) -> usize {
     if n == 0 || p <= 0.0 {
         return 0;
@@ -134,24 +128,206 @@ fn binomial(rng: &mut StdRng, n: usize, p: f64) -> usize {
     (mean + sd * z).round().clamp(0.0, n as f64) as usize
 }
 
-/// Generates an Erdős–Rényi style random matrix where each entry is
-/// present independently with probability `density`.
+/// Capacity of the precomputed CDF table in [`Binomial::Table`]. With
+/// the half-mean capped at 32 (σ ≤ √32 ≈ 5.7), index 127 sits ~16σ past
+/// the mean, so the truncated tail mass is far below the 1e-12 cutoff.
+const BINOMIAL_TABLE_CAP: usize = 128;
+
+/// Precomputed binomial sampler `Binomial(n, p)` for the structure
+/// stage. Construction does the per-distribution work (a CDF table in
+/// the small-mean regime, moment constants otherwise) so generators
+/// that draw thousands of rows from one distribution pay it once and
+/// each row costs O(1) RNG draws plus a table lookup.
+///
+/// RNG-stream contract — the number of uniforms consumed per draw is
+/// part of the seeded output format, so the regimes below are frozen
+/// (changing them changes every downstream structure stream):
+///
+/// - degenerate (`n == 0`, `p <= 0`, `p >= 1`): zero draws;
+/// - `n * min(p, 1 - p) <= 32`: exactly one uniform per draw, inverted
+///   against the CDF table (exact distribution up to a 1e-12 tail
+///   truncation; `p > 1/2` is drawn as `n - Binomial(n, 1 - p)`);
+/// - otherwise: exactly two uniforms per draw (Box–Muller normal
+///   approximation, matching the legacy large-`n` regime).
+enum Binomial {
+    /// Degenerate distribution: always this value, zero draws.
+    Const(usize),
+    /// Small-mean regime: CDF inversion. `cdf[k] = P(X <= k)` for the
+    /// half distribution; `flip` maps a draw `k` to `n - k`.
+    Table { cdf: [f64; BINOMIAL_TABLE_CAP], len: usize, n: usize, flip: bool },
+    /// Large-mean regime: Box–Muller normal approximation.
+    Normal { n: usize, mean: f64, sd: f64 },
+}
+
+impl Binomial {
+    fn new(n: usize, p: f64) -> Binomial {
+        if n == 0 || p <= 0.0 {
+            return Binomial::Const(0);
+        }
+        if p >= 1.0 {
+            return Binomial::Const(n);
+        }
+        // Work with the half of the distribution whose success
+        // probability is <= 1/2 so pmf(0) = q^n never underflows.
+        let (ph, flip) = if p > 0.5 { (1.0 - p, true) } else { (p, false) };
+        if n as f64 * ph <= 32.0 {
+            let q = 1.0 - ph;
+            let s = ph / q;
+            let mut pmf = (n as f64 * q.ln()).exp();
+            let mut cdf = [0.0f64; BINOMIAL_TABLE_CAP];
+            let mut acc = 0.0;
+            let mut len = 0usize;
+            loop {
+                acc += pmf;
+                cdf[len] = acc;
+                let k = len;
+                len += 1;
+                if acc >= 1.0 - 1e-12 || k >= n || len == BINOMIAL_TABLE_CAP {
+                    break;
+                }
+                // pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/q.
+                pmf *= (n - k) as f64 / (k + 1) as f64 * s;
+            }
+            Binomial::Table { cdf, len, n, flip }
+        } else {
+            let mean = n as f64 * p;
+            Binomial::Normal { n, mean, sd: (mean * (1.0 - p)).sqrt() }
+        }
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> usize {
+        match self {
+            Binomial::Const(k) => *k,
+            Binomial::Table { cdf, len, n, flip } => {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let k = cdf[..*len].partition_point(|&c| c <= u).min(len - 1);
+                if *flip {
+                    n - k
+                } else {
+                    k
+                }
+            }
+            Binomial::Normal { n, mean, sd } => {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (mean + sd * z).round().clamp(0.0, *n as f64) as usize
+            }
+        }
+    }
+}
+
+/// One-shot `Binomial(n, p)` draw (see [`Binomial`] for the RNG-stream
+/// contract). Generators with a fixed per-row distribution should hoist
+/// a [`Binomial`] out of the row loop instead; the streams are
+/// identical either way — the small-mean arm below accumulates the CDF
+/// on the fly against the same uniform, mirroring the table's
+/// termination rules, instead of materializing the table per call.
+fn binomial_fast(rng: &mut StdRng, n: usize, p: f64) -> usize {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let (ph, flip) = if p > 0.5 { (1.0 - p, true) } else { (p, false) };
+    if n as f64 * ph <= 32.0 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let q = 1.0 - ph;
+        let s = ph / q;
+        let mut pmf = (n as f64 * q.ln()).exp();
+        let mut acc = pmf;
+        let mut k = 0usize;
+        while acc <= u && acc < 1.0 - 1e-12 && k < n && k + 1 < BINOMIAL_TABLE_CAP {
+            pmf *= (n - k) as f64 / (k + 1) as f64 * s;
+            k += 1;
+            acc += pmf;
+        }
+        if flip {
+            n - k
+        } else {
+            k
+        }
+    } else {
+        Binomial::new(n, p).draw(rng)
+    }
+}
+
+/// Uniform run placement helper: a cyclic start for a non-empty row.
+#[inline]
+fn uniform_start(rng: &mut StdRng, cols: usize, k: usize) -> u32 {
+    if k > 0 {
+        rng.gen_range(0..cols) as u32
+    } else {
+        0
+    }
+}
+
+/// Structure stage of [`uniform_random`]: each row carries a
+/// `Binomial(cols, density)`-sized run at a uniform cyclic start, so the
+/// matrix hits the target density with independent per-row counts.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]`.
+pub fn uniform_random_lazy(rows: usize, cols: usize, density: f64, seed: u64) -> LazyMatrix {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0001);
+    let bin = Binomial::new(cols, density);
+    let mut starts = Vec::with_capacity(rows);
+    let mut lens = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let k = bin.draw(&mut rng);
+        starts.push(uniform_start(&mut rng, cols, k));
+        lens.push(k as u32);
+    }
+    LazyMatrix::new(Structure::runs(rows, cols, starts, lens), seed ^ 0x5eed_0001 ^ VALUE_SALT)
+}
+
+/// Generates an Erdős–Rényi style random matrix at the target `density`.
 ///
 /// # Panics
 ///
 /// Panics if `density` is outside `[0, 1]`.
 pub fn uniform_random(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
-    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0001);
-    build_by_rows(
-        rows,
-        cols,
-        |r, rng| {
-            let _ = r;
-            binomial(rng, cols, density)
-        },
-        &mut rng,
-    )
+    uniform_random_lazy(rows, cols, density, seed).into_csr()
+}
+
+/// Structure stage of [`power_law`]: Zipf row lengths (shuffled so hubs
+/// land on random row indices) with hub-biased run starts — `u²`
+/// concentrates run starts on low columns, giving the column-occupancy
+/// skew of scale-free adjacency.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0`.
+pub fn power_law_lazy(rows: usize, cols: usize, avg_nnz: f64, alpha: f64, seed: u64) -> LazyMatrix {
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0002);
+    let vseed = seed ^ 0x5eed_0002 ^ VALUE_SALT;
+    if rows == 0 || cols == 0 {
+        return LazyMatrix::new(Structure::empty(rows, cols), vseed);
+    }
+    // Zipf row weights, shuffled so hubs land on random row indices.
+    let mut weights: Vec<f64> = (0..rows).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let total = avg_nnz * rows as f64;
+    for w in &mut weights {
+        *w = *w / wsum * total;
+    }
+    for i in (1..rows).rev() {
+        let j = rng.gen_range(0..=i);
+        weights.swap(i, j);
+    }
+    let mut starts = Vec::with_capacity(rows);
+    let mut lens = Vec::with_capacity(rows);
+    for &w in &weights {
+        let k = (w.round().max(0.0) as usize).min(cols);
+        let u: f64 = rng.gen_range(0.0..1.0);
+        starts.push((((u * u) * cols as f64) as usize % cols) as u32);
+        lens.push(k as u32);
+    }
+    LazyMatrix::new(Structure::runs(rows, cols, starts, lens), vseed)
 }
 
 /// Generates a scale-free (power-law) adjacency-like matrix with `avg_nnz`
@@ -161,57 +337,92 @@ pub fn uniform_random(rows: usize, cols: usize, density: f64, seed: u64) -> CsrM
 ///
 /// # Panics
 ///
-/// Panics if `alpha <= 0` or `avg_nnz == 0` with nonzero rows.
+/// Panics if `alpha <= 0`.
 pub fn power_law(rows: usize, cols: usize, avg_nnz: f64, alpha: f64, seed: u64) -> CsrMatrix {
-    assert!(alpha > 0.0, "alpha must be positive");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0002);
+    power_law_lazy(rows, cols, avg_nnz, alpha, seed).into_csr()
+}
+
+/// Structure stage of [`rmat`]: the edge budget is split across rows by
+/// a recursive binomial descent with top-half probability `a + b` (the
+/// R-MAT row marginal), then each non-empty row anchors its run with a
+/// column-wise quadrant descent using the left-half marginal `a + c`.
+/// Skew and community bias match the element-wise descent while using
+/// O(rows) draws instead of O(nnz).
+///
+/// # Panics
+///
+/// Panics if the probabilities are not positive or do not sum to ~1.
+pub fn rmat_lazy(
+    rows: usize,
+    cols: usize,
+    nnz_target: usize,
+    probs: (f64, f64, f64, f64),
+    seed: u64,
+) -> LazyMatrix {
+    let (a, b, c, d) = probs;
+    assert!(a > 0.0 && b > 0.0 && c > 0.0 && d > 0.0, "quadrant probabilities must be positive");
+    assert!(((a + b + c + d) - 1.0).abs() < 1e-6, "quadrant probabilities must sum to 1");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_000a);
+    let vseed = seed ^ 0x5eed_000a ^ VALUE_SALT;
     if rows == 0 || cols == 0 {
-        return CsrMatrix::zeros(rows, cols);
+        return LazyMatrix::new(Structure::empty(rows, cols), vseed);
     }
-    // Zipf row weights, shuffled so hubs land on random row indices.
-    let mut weights: Vec<f64> = (0..rows).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
-    let wsum: f64 = weights.iter().sum();
-    let total = avg_nnz * rows as f64;
-    for w in &mut weights {
-        *w = *w / wsum * total;
-    }
-    // Shuffle row weights.
-    for i in (1..rows).rev() {
-        let j = rng.gen_range(0..=i);
-        weights.swap(i, j);
-    }
-    let mut coo = CooMatrix::new(rows, cols);
-    for (r, &w) in weights.iter().enumerate() {
-        let k = w.round().max(0.0) as usize;
-        let k = k.min(cols);
-        // Hub-biased column draw: u^2 concentrates mass on low columns,
-        // then a per-seed permutation offset decorrelates matrices.
-        let mut cols_chosen = std::collections::HashSet::with_capacity(k * 2);
-        let mut tries = 0;
-        while cols_chosen.len() < k && tries < k * 20 + 16 {
-            let u: f64 = rng.gen_range(0.0..1.0);
-            let c = ((u * u) * cols as f64) as usize % cols;
-            cols_chosen.insert(c);
-            tries += 1;
+    // Row marginal: recursively split the budget between the top and
+    // bottom halves (depth-first, top-first, so the draw order is a
+    // deterministic function of the dimensions alone).
+    let p_top = a + b;
+    let mut counts = vec![0usize; rows];
+    let mut stack = vec![(0usize, rows, nnz_target)];
+    while let Some((lo, hi, n)) = stack.pop() {
+        if n == 0 {
+            continue;
         }
-        let mut cols_sorted: Vec<usize> = cols_chosen.into_iter().collect();
-        cols_sorted.sort_unstable();
-        for c in cols_sorted {
-            coo.push(r, c, value(&mut rng)).expect("generated index in bounds");
+        if hi - lo == 1 {
+            counts[lo] = n;
+            continue;
         }
+        let mid = lo + ((hi - lo) / 2).max(1);
+        let top = binomial_fast(&mut rng, n, p_top);
+        stack.push((mid, hi, n - top));
+        stack.push((lo, mid, top));
     }
-    coo.to_csr()
+    // Column marginal: each non-empty row anchors its run at the cell a
+    // left/right quadrant descent lands on.
+    let p_left = a + c;
+    let mut starts = Vec::with_capacity(rows);
+    let mut lens = Vec::with_capacity(rows);
+    for &count in &counts {
+        let k = count.min(cols);
+        if k == 0 {
+            starts.push(0);
+            lens.push(0);
+            continue;
+        }
+        let (mut c_lo, mut c_hi) = (0usize, cols);
+        while c_hi - c_lo > 1 {
+            let mid = c_lo + ((c_hi - c_lo) / 2).max(1);
+            if rng.gen_bool(p_left) {
+                c_hi = mid;
+            } else {
+                c_lo = mid;
+            }
+        }
+        starts.push(c_lo as u32);
+        lens.push(k as u32);
+    }
+    LazyMatrix::new(Structure::runs(rows, cols, starts, lens), vseed)
 }
 
 /// Generates an R-MAT (recursive-matrix) graph adjacency in the style of
-/// Graph500: each of `nnz_target` edges picks its cell by descending a
-/// quadtree over the adjacency matrix with quadrant probabilities
-/// `(a, b, c, d)`. The classic skewed setting `(0.57, 0.19, 0.19, 0.05)`
-/// yields heavy-tailed degree distributions with community structure —
-/// a sharper model of web/social graphs than [`power_law`].
+/// Graph500: the `nnz_target` edge budget is distributed by descending
+/// the adjacency quadtree with quadrant probabilities `(a, b, c, d)`.
+/// The classic skewed setting `(0.57, 0.19, 0.19, 0.05)` yields
+/// heavy-tailed degree distributions with community structure — a
+/// sharper model of web/social graphs than [`power_law`].
 ///
-/// Duplicate edges are merged, so the resulting nnz can be below
-/// `nnz_target` (more so at high skew).
+/// Rows whose share of the budget exceeds the column count are clamped,
+/// so the resulting nnz can be slightly below `nnz_target` (more so at
+/// high skew).
 ///
 /// # Panics
 ///
@@ -223,55 +434,47 @@ pub fn rmat(
     probs: (f64, f64, f64, f64),
     seed: u64,
 ) -> CsrMatrix {
-    let (a, b, c, d) = probs;
-    assert!(a > 0.0 && b > 0.0 && c > 0.0 && d > 0.0, "quadrant probabilities must be positive");
-    assert!(((a + b + c + d) - 1.0).abs() < 1e-6, "quadrant probabilities must sum to 1");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_000a);
-    if rows == 0 || cols == 0 {
-        return CsrMatrix::zeros(rows, cols);
-    }
-    let mut coo = CooMatrix::new(rows, cols);
-    for _ in 0..nnz_target {
-        let (mut r_lo, mut r_hi) = (0usize, rows);
-        let (mut c_lo, mut c_hi) = (0usize, cols);
-        while r_hi - r_lo > 1 || c_hi - c_lo > 1 {
-            let u: f64 = rng.gen_range(0.0..1.0);
-            // Add a little per-level noise so the result is not a
-            // perfectly self-similar grid (standard Graph500 practice).
-            let jitter = 0.9 + 0.2 * rng.gen_range(0.0..1.0f64);
-            let (top, left) = if u < a * jitter {
-                (true, true)
-            } else if u < (a + b) * jitter {
-                (true, false)
-            } else if u < a + b + c {
-                (false, true)
-            } else {
-                (false, false)
-            };
-            let r_mid = r_lo + ((r_hi - r_lo) / 2).max(1);
-            let c_mid = c_lo + ((c_hi - c_lo) / 2).max(1);
-            if r_hi - r_lo > 1 {
-                if top {
-                    r_hi = r_mid;
-                } else {
-                    r_lo = r_mid;
-                }
-            }
-            if c_hi - c_lo > 1 {
-                if left {
-                    c_hi = c_mid;
-                } else {
-                    c_lo = c_mid;
-                }
-            }
+    rmat_lazy(rows, cols, nnz_target, probs, seed).into_csr()
+}
+
+/// Structure stage of [`banded`]: each row places one
+/// diagonal-containing run of `1 + Binomial(band_width - 1, fill)`
+/// columns uniformly inside its band window, so every element stays in
+/// the band and the diagonal is always present.
+///
+/// # Panics
+///
+/// Panics if `fill` is outside `[0, 1]`.
+pub fn banded_lazy(rows: usize, cols: usize, bandwidth: usize, fill: f64, seed: u64) -> LazyMatrix {
+    assert!((0.0..=1.0).contains(&fill), "fill must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0003);
+    // Interior rows (band fully inside the matrix) share one window
+    // width; only the first/last `bandwidth` rows differ.
+    let interior = Binomial::new(2 * bandwidth, fill);
+    let mut starts = Vec::with_capacity(rows);
+    let mut lens = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let lo = r.saturating_sub(bandwidth);
+        let hi = (r + bandwidth + 1).min(cols);
+        if lo >= hi {
+            starts.push(0);
+            lens.push(0);
+            continue;
         }
-        coo.push(r_lo, c_lo, value(&mut rng)).expect("descent stays in bounds");
+        let diag = r.min(cols - 1);
+        let window = hi - lo - 1;
+        let k = 1 + if window == 2 * bandwidth {
+            interior.draw(&mut rng)
+        } else {
+            binomial_fast(&mut rng, window, fill)
+        };
+        let s_lo = lo.max((diag + 1).saturating_sub(k));
+        let s_hi = diag.min(hi - k);
+        let start = if s_hi > s_lo { rng.gen_range(s_lo..=s_hi) } else { s_lo };
+        starts.push(start as u32);
+        lens.push(k as u32);
     }
-    coo.compress();
-    // Merged duplicates keep their summed values; exact zeros from
-    // cancellation are dropped for structural cleanliness.
-    coo.prune_zeros();
-    coo.to_csr()
+    LazyMatrix::new(Structure::runs(rows, cols, starts, lens), seed ^ 0x5eed_0003 ^ VALUE_SALT)
 }
 
 /// Generates a banded FEM/CFD-style matrix: full diagonal, dense band of
@@ -281,87 +484,95 @@ pub fn rmat(
 ///
 /// Panics if `fill` is outside `[0, 1]`.
 pub fn banded(rows: usize, cols: usize, bandwidth: usize, fill: f64, seed: u64) -> CsrMatrix {
-    assert!((0.0..=1.0).contains(&fill), "fill must be in [0, 1]");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0003);
-    let mut coo = CooMatrix::new(rows, cols);
-    for r in 0..rows {
-        let lo = r.saturating_sub(bandwidth);
-        let hi = (r + bandwidth + 1).min(cols);
-        for c in lo..hi {
-            if c == r.min(cols.saturating_sub(1)) || rng.gen_bool(fill) {
-                coo.push(r, c, value(&mut rng)).expect("band index in bounds");
-            }
-        }
-    }
-    coo.to_csr()
+    banded_lazy(rows, cols, bandwidth, fill, seed).into_csr()
+}
+
+/// Structure stage of [`mesh2d`]: fully determined by the grid, no RNG.
+pub fn mesh2d_lazy(nx: usize, ny: usize) -> LazyMatrix {
+    LazyMatrix::new(Structure::Mesh2d { nx, ny }, 0)
 }
 
 /// Generates the 5-point finite-difference stencil over an `nx x ny`
 /// grid: the classic 2-D Poisson/Laplace system matrix
 /// (`(nx*ny) x (nx*ny)`, ≤ 5 nonzeros per row, strictly banded).
 pub fn mesh2d(nx: usize, ny: usize) -> CsrMatrix {
-    let n = nx * ny;
-    let mut coo = CooMatrix::new(n, n);
-    let idx = |x: usize, y: usize| y * nx + x;
-    for y in 0..ny {
-        for x in 0..nx {
-            let i = idx(x, y);
-            coo.push(i, i, 4.0).expect("diagonal in bounds");
-            if x > 0 {
-                coo.push(i, idx(x - 1, y), -1.0).expect("west in bounds");
-            }
-            if x + 1 < nx {
-                coo.push(i, idx(x + 1, y), -1.0).expect("east in bounds");
-            }
-            if y > 0 {
-                coo.push(i, idx(x, y - 1), -1.0).expect("south in bounds");
-            }
-            if y + 1 < ny {
-                coo.push(i, idx(x, y + 1), -1.0).expect("north in bounds");
-            }
-        }
-    }
-    coo.to_csr()
+    mesh2d_lazy(nx, ny).into_csr()
+}
+
+/// Structure stage of [`mesh3d`]: fully determined by the grid, no RNG.
+pub fn mesh3d_lazy(nx: usize, ny: usize, nz: usize) -> LazyMatrix {
+    LazyMatrix::new(Structure::Mesh3d { nx, ny, nz }, 0)
 }
 
 /// Generates the 7-point stencil over an `nx x ny x nz` grid — the 3-D
 /// Poisson system (`poisson3Da`-class structure from Table 3).
 pub fn mesh3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
-    let n = nx * ny * nz;
-    let mut coo = CooMatrix::new(n, n);
-    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
-    for z in 0..nz {
-        for y in 0..ny {
-            for x in 0..nx {
-                let i = idx(x, y, z);
-                coo.push(i, i, 6.0).expect("diagonal in bounds");
-                if x > 0 {
-                    coo.push(i, idx(x - 1, y, z), -1.0).expect("in bounds");
-                }
-                if x + 1 < nx {
-                    coo.push(i, idx(x + 1, y, z), -1.0).expect("in bounds");
-                }
-                if y > 0 {
-                    coo.push(i, idx(x, y - 1, z), -1.0).expect("in bounds");
-                }
-                if y + 1 < ny {
-                    coo.push(i, idx(x, y + 1, z), -1.0).expect("in bounds");
-                }
-                if z > 0 {
-                    coo.push(i, idx(x, y, z - 1), -1.0).expect("in bounds");
-                }
-                if z + 1 < nz {
-                    coo.push(i, idx(x, y, z + 1), -1.0).expect("in bounds");
-                }
-            }
-        }
+    mesh3d_lazy(nx, ny, nz).into_csr()
+}
+
+/// Structure stage of [`circuit`]: regular rows carry a short
+/// diagonal-containing run of `1 + Binomial(cols - 1, avg_off_diag /
+/// cols)` columns; supply-rail rows (at the same deterministic positions
+/// as ever) carry a `max(cols/10, 8)`-column run instead.
+pub fn circuit_lazy(
+    rows: usize,
+    cols: usize,
+    avg_off_diag: f64,
+    dense_rows: usize,
+    seed: u64,
+) -> LazyMatrix {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0004);
+    let vseed = seed ^ 0x5eed_0004 ^ VALUE_SALT;
+    if cols == 0 {
+        return LazyMatrix::new(Structure::empty(rows, cols), vseed);
     }
-    coo.to_csr()
+    let n_dense = dense_rows.min(rows);
+    let mut rail = vec![false; rows];
+    for d in 0..n_dense {
+        rail[(d * rows / n_dense.max(1) + 7) % rows] = true;
+    }
+    let rail_k = (cols / 10).max(8).min(cols);
+    let p = (avg_off_diag / cols as f64).clamp(0.0, 1.0);
+    let bin = Binomial::new(cols - 1, p);
+    let mut starts = Vec::with_capacity(rows);
+    let mut lens = Vec::with_capacity(rows);
+    for (r, &is_rail) in rail.iter().enumerate() {
+        let k = if is_rail {
+            rail_k
+        } else {
+            let off = bin.draw(&mut rng);
+            if r < cols {
+                1 + off
+            } else {
+                off
+            }
+        };
+        if k == 0 {
+            starts.push(0);
+            lens.push(0);
+            continue;
+        }
+        let start = if r < cols {
+            // Diagonal-containing placement within [0, cols).
+            let s_lo = (r + 1).saturating_sub(k);
+            let s_hi = r.min(cols - k);
+            if s_hi > s_lo {
+                rng.gen_range(s_lo..=s_hi)
+            } else {
+                s_lo
+            }
+        } else {
+            rng.gen_range(0..cols)
+        };
+        starts.push(start as u32);
+        lens.push(k as u32);
+    }
+    LazyMatrix::new(Structure::runs(rows, cols, starts, lens), vseed)
 }
 
 /// Generates a circuit-simulation-style matrix: diagonal plus sparse
-/// random couplings, plus `dense_rows` rows (supply rails) that touch a
-/// large share of columns.
+/// couplings, plus `dense_rows` rows (supply rails) that touch a large
+/// share of columns.
 pub fn circuit(
     rows: usize,
     cols: usize,
@@ -369,105 +580,99 @@ pub fn circuit(
     dense_rows: usize,
     seed: u64,
 ) -> CsrMatrix {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0004);
-    let mut coo = CooMatrix::new(rows, cols);
-    let n_dense = dense_rows.min(rows);
-    for r in 0..rows {
-        if r < cols {
-            coo.push(r, r, value(&mut rng)).expect("diagonal in bounds");
-        }
-        let k = binomial(
-            &mut rng,
-            cols.saturating_sub(1),
-            (avg_off_diag / cols.max(1) as f64).min(1.0),
-        );
-        for c in sample_distinct(&mut rng, cols, k) {
-            if c as usize != r {
-                coo.push(r, c as usize, value(&mut rng)).expect("in bounds");
-            }
-        }
-    }
-    // Dense rail rows at pseudo-random positions.
-    for d in 0..n_dense {
-        let r = (d * rows / n_dense.max(1) + 7) % rows;
-        let k = (cols / 10).max(8).min(cols);
-        for c in sample_distinct(&mut rng, cols, k) {
-            coo.push(r, c as usize, value(&mut rng)).expect("in bounds");
-        }
-    }
-    let mut csr = coo.to_csr();
-    // Duplicate summation may have produced explicit zeros; drop them.
-    let mut c = csr.to_coo();
-    c.prune_zeros();
-    csr = c.to_csr();
-    csr
+    circuit_lazy(rows, cols, avg_off_diag, dense_rows, seed).into_csr()
 }
 
-/// Generates a matrix with near-constant row degree `deg` and locally
+/// Structure stage of [`regular_degree`]: every row carries exactly
+/// `deg` columns in one run jittered around the scaled diagonal,
+/// mirroring the locally clustered constant-degree structure of
+/// cage-class matrices.
+pub fn regular_degree_lazy(rows: usize, cols: usize, deg: usize, seed: u64) -> LazyMatrix {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0005);
+    let vseed = seed ^ 0x5eed_0005 ^ VALUE_SALT;
+    if cols == 0 {
+        return LazyMatrix::new(Structure::empty(rows, cols), vseed);
+    }
+    let k = deg.min(cols);
+    let span = (cols / 64).max(4).min(cols);
+    let mut starts = Vec::with_capacity(rows);
+    let mut lens = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let center = (r as f64 / rows.max(1) as f64 * cols as f64) as usize;
+        let off = rng.gen_range(0..span * 2 + 1) as i64 - span as i64;
+        let start = (center as i64 + off - (k / 2) as i64).rem_euclid(cols as i64) as usize;
+        starts.push(start as u32);
+        lens.push(k as u32);
+    }
+    LazyMatrix::new(Structure::runs(rows, cols, starts, lens), vseed)
+}
+
+/// Generates a matrix with constant row degree `deg` and locally
 /// clustered columns, like diffusion/cage matrices.
 pub fn regular_degree(rows: usize, cols: usize, deg: usize, seed: u64) -> CsrMatrix {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0005);
-    let mut coo = CooMatrix::new(rows, cols);
+    regular_degree_lazy(rows, cols, deg, seed).into_csr()
+}
+
+/// Structure stage of [`pruned_dnn`]: each row keeps `round(blocks *
+/// density)` *consecutive* 4-wide blocks starting at a uniform block
+/// offset (cyclically wrapping), so per-row nnz stays uniform and every
+/// kept chunk is block-aligned.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]`.
+pub fn pruned_dnn_lazy(rows: usize, cols: usize, density: f64, seed: u64) -> LazyMatrix {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0006);
+    let vseed = seed ^ 0x5eed_0006 ^ VALUE_SALT;
+    const BLOCK: usize = 4;
     if cols == 0 {
-        return CsrMatrix::zeros(rows, cols);
+        return LazyMatrix::new(Structure::empty(rows, cols), vseed);
     }
-    for r in 0..rows {
-        let k = deg.min(cols);
-        // Half local (near the scaled diagonal), half uniform. The local
-        // window holds only `2*span + 1` distinct columns, so the local
-        // quota is capped by it.
-        let center = (r as f64 / rows.max(1) as f64 * cols as f64) as usize;
-        let span = (cols / 64).max(4).min(cols);
-        let local_quota = (k / 2).min(2 * span);
-        let mut chosen = std::collections::HashSet::with_capacity(k * 2);
-        while chosen.len() < local_quota {
-            let off = rng.gen_range(0..span * 2 + 1) as i64 - span as i64;
-            let c = (center as i64 + off).rem_euclid(cols as i64) as usize;
-            chosen.insert(c);
+    let blocks = cols.div_ceil(BLOCK);
+    let keep = ((blocks as f64 * density).round() as usize).min(blocks);
+    // The last block may be narrower than BLOCK on ragged widths.
+    let last_width = cols - BLOCK * (blocks - 1);
+    let mut starts = Vec::with_capacity(rows);
+    let mut lens = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        if keep == 0 {
+            starts.push(0);
+            lens.push(0);
+            continue;
         }
-        while chosen.len() < k {
-            chosen.insert(rng.gen_range(0..cols));
-        }
-        let mut chosen_sorted: Vec<usize> = chosen.into_iter().collect();
-        chosen_sorted.sort_unstable();
-        for c in chosen_sorted {
-            coo.push(r, c, value(&mut rng)).expect("in bounds");
-        }
+        let sb = rng.gen_range(0..blocks);
+        let covers_last = sb + keep >= blocks;
+        let len = keep * BLOCK - if covers_last { BLOCK - last_width } else { 0 };
+        starts.push((sb * BLOCK) as u32);
+        lens.push(len as u32);
     }
-    coo.to_csr()
+    LazyMatrix::new(Structure::runs(rows, cols, starts, lens), vseed)
 }
 
 /// Generates a structured-pruned DNN weight matrix at the given `density`,
 /// using block pruning with 4-wide column blocks (the STR-style structured
-/// regime of the paper's MS workloads): each row keeps a round-robin-
-/// offset subset of blocks so per-row nnz is uniform.
+/// regime of the paper's MS workloads): each row keeps a uniform-offset
+/// subset of blocks so per-row nnz is uniform.
 ///
 /// # Panics
 ///
 /// Panics if `density` is outside `[0, 1]`.
 pub fn pruned_dnn(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
-    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0006);
-    const BLOCK: usize = 4;
-    let blocks_per_row = cols.div_ceil(BLOCK);
-    let keep = ((blocks_per_row as f64 * density).round() as usize).min(blocks_per_row);
-    let mut coo = CooMatrix::new(rows, cols);
-    for r in 0..rows {
-        for b in sample_distinct(&mut rng, blocks_per_row, keep) {
-            let start = b as usize * BLOCK;
-            for c in start..(start + BLOCK).min(cols) {
-                coo.push(r, c, value(&mut rng)).expect("in bounds");
-            }
-        }
-    }
-    coo.to_csr()
+    pruned_dnn_lazy(rows, cols, density, seed).into_csr()
+}
+
+/// Structure stage of [`dense`]: every row is a full run, no RNG.
+pub fn dense_lazy(rows: usize, cols: usize, seed: u64) -> LazyMatrix {
+    LazyMatrix::new(
+        Structure::runs(rows, cols, vec![0; rows], vec![cols as u32; rows]),
+        seed ^ 0x5eed_0007 ^ VALUE_SALT,
+    )
 }
 
 /// Generates a fully dense matrix as CSR (every entry stored).
 pub fn dense(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0007);
-    let data: Vec<f32> = (0..rows * cols).map(|_| value(&mut rng)).collect();
-    CsrMatrix::from_dense(rows, cols, &data)
+    dense_lazy(rows, cols, seed).into_csr()
 }
 
 /// Generates a dense row-major buffer (for SpMM right-hand sides).
@@ -476,18 +681,17 @@ pub fn dense_buffer(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
     (0..rows * cols).map(|_| value(&mut rng)).collect()
 }
 
-/// Generates a matrix with deliberate row-length imbalance: a fraction
-/// `heavy_frac` of rows carry `heavy_nnz` nonzeros each while the rest
-/// carry `light_nnz`. This is the structural signal behind the paper's
-/// `A_load_imbalance_row` feature and Design 3's advantage (§3.2.3).
-pub fn imbalanced_rows(
+/// Structure stage of [`imbalanced_rows`]: heavy rows are scattered at
+/// the same deterministic stride positions as ever; every row then
+/// carries its fixed count in a run at a uniform cyclic start.
+pub fn imbalanced_rows_lazy(
     rows: usize,
     cols: usize,
     heavy_frac: f64,
     heavy_nnz: usize,
     light_nnz: usize,
     seed: u64,
-) -> CsrMatrix {
+) -> LazyMatrix {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0009);
     let n_heavy = ((rows as f64 * heavy_frac).round() as usize).min(rows);
     // Scatter heavy rows across the index space deterministically.
@@ -503,36 +707,29 @@ pub fn imbalanced_rows(
             }
         }
     }
-    build_by_rows(
-        rows,
-        cols,
-        |r, _| if heavy[r] { heavy_nnz.min(cols) } else { light_nnz.min(cols) },
-        &mut rng,
-    )
+    let mut starts = Vec::with_capacity(rows);
+    let mut lens = Vec::with_capacity(rows);
+    for &h in &heavy {
+        let k = if h { heavy_nnz.min(cols) } else { light_nnz.min(cols) };
+        starts.push(uniform_start(&mut rng, cols, k));
+        lens.push(k as u32);
+    }
+    LazyMatrix::new(Structure::runs(rows, cols, starts, lens), seed ^ 0x5eed_0009 ^ VALUE_SALT)
 }
 
-/// Shared row-driven builder: `row_nnz(r, rng)` decides each row's count,
-/// columns are drawn uniformly without replacement.
-fn build_by_rows(
+/// Generates a matrix with deliberate row-length imbalance: a fraction
+/// `heavy_frac` of rows carry `heavy_nnz` nonzeros each while the rest
+/// carry `light_nnz`. This is the structural signal behind the paper's
+/// `A_load_imbalance_row` feature and Design 3's advantage (§3.2.3).
+pub fn imbalanced_rows(
     rows: usize,
     cols: usize,
-    mut row_nnz: impl FnMut(usize, &mut StdRng) -> usize,
-    rng: &mut StdRng,
+    heavy_frac: f64,
+    heavy_nnz: usize,
+    light_nnz: usize,
+    seed: u64,
 ) -> CsrMatrix {
-    let mut row_ptr = Vec::with_capacity(rows + 1);
-    let mut col_idx = Vec::new();
-    let mut values = Vec::new();
-    row_ptr.push(0);
-    for r in 0..rows {
-        let k = row_nnz(r, rng).min(cols);
-        for c in sample_distinct(rng, cols, k) {
-            col_idx.push(c);
-            values.push(value(rng));
-        }
-        row_ptr.push(values.len());
-    }
-    CsrMatrix::from_raw_parts(rows, cols, row_ptr, col_idx, values)
-        .expect("builder produces sorted in-bounds columns")
+    imbalanced_rows_lazy(rows, cols, heavy_frac, heavy_nnz, light_nnz, seed).into_csr()
 }
 
 #[cfg(test)]
@@ -567,6 +764,17 @@ mod tests {
     }
 
     #[test]
+    fn lazy_and_eager_forms_agree() {
+        let eager = uniform_random(96, 128, 0.07, 21);
+        let lazy = uniform_random_lazy(96, 128, 0.07, 21);
+        assert_eq!(lazy.nnz(), eager.nnz());
+        assert_eq!(*lazy.materialize(), eager);
+
+        let eager = power_law(80, 80, 5.0, 1.4, 3);
+        assert_eq!(power_law_lazy(80, 80, 5.0, 1.4, 3).into_csr(), eager);
+    }
+
+    #[test]
     fn power_law_is_skewed() {
         let m = power_law(500, 500, 8.0, 1.4, 3);
         let max_row = (0..500).map(|r| m.row_nnz(r)).max().unwrap();
@@ -577,7 +785,8 @@ mod tests {
     #[test]
     fn rmat_produces_skewed_connected_structure() {
         let m = rmat(1024, 1024, 16_000, (0.57, 0.19, 0.19, 0.05), 7);
-        // Duplicates merge, so nnz is close to but below the target.
+        // Hub rows clamp at the column count, so nnz is close to but
+        // at most the target.
         assert!(m.nnz() > 8_000 && m.nnz() <= 16_000, "nnz {}", m.nnz());
         let max_row = (0..1024).map(|r| m.row_nnz(r)).max().unwrap();
         let avg = m.nnz() as f64 / 1024.0;
@@ -612,6 +821,17 @@ mod tests {
         // Diagonal always present.
         for r in 0..64 {
             assert!(m.get(r, r).is_some(), "missing diagonal at {r}");
+        }
+    }
+
+    #[test]
+    fn banded_handles_wide_matrices() {
+        let m = banded(8, 64, 2, 0.5, 11);
+        for (r, c, _) in m.iter() {
+            assert!((r as i64 - c as i64).unsigned_abs() as usize <= 2);
+        }
+        for r in 0..8 {
+            assert!(m.get(r, r).is_some());
         }
     }
 
@@ -654,6 +874,14 @@ mod tests {
         let m = circuit(200, 200, 3.0, 4, 6);
         let max_row = (0..200).map(|r| m.row_nnz(r)).max().unwrap();
         assert!(max_row >= 20, "rail rows should be much denser, max {max_row}");
+        // Regular rows keep the diagonal.
+        let mut diag_present = 0;
+        for r in 0..200 {
+            if m.get(r, r).is_some() {
+                diag_present += 1;
+            }
+        }
+        assert!(diag_present >= 196, "diagonal present on non-rail rows");
     }
 
     #[test]
@@ -704,6 +932,9 @@ mod tests {
         assert_eq!(uniform_random(0, 10, 0.5, 1).nnz(), 0);
         assert_eq!(power_law(0, 0, 3.0, 1.2, 1).nnz(), 0);
         assert_eq!(pruned_dnn(4, 0, 0.5, 1).nnz(), 0);
+        assert_eq!(rmat_lazy(0, 8, 100, (0.25, 0.25, 0.25, 0.25), 1).nnz(), 0);
+        assert_eq!(circuit(4, 0, 2.0, 1, 1).nnz(), 0);
+        assert_eq!(regular_degree(4, 0, 3, 1).nnz(), 0);
     }
 
     #[test]
@@ -713,5 +944,34 @@ mod tests {
         let total: usize = (0..200).map(|_| binomial(&mut rng, n, 0.3)).sum();
         let mean = total as f64 / 200.0;
         assert!((mean - 3000.0).abs() < 60.0, "binomial mean {mean} off");
+    }
+
+    #[test]
+    fn binomial_fast_mean_is_reasonable_in_every_regime() {
+        let mut rng = StdRng::seed_from_u64(78);
+        // Bernoulli regime (n <= 16).
+        let total: usize = (0..2000).map(|_| binomial_fast(&mut rng, 12, 0.25)).sum();
+        let mean = total as f64 / 2000.0;
+        assert!((mean - 3.0).abs() < 0.2, "small-n mean {mean} off");
+        // Geometric-skip regime (small expected count).
+        let total: usize = (0..2000).map(|_| binomial_fast(&mut rng, 10_000, 0.002)).sum();
+        let mean = total as f64 / 2000.0;
+        assert!((mean - 20.0).abs() < 1.0, "geometric mean {mean} off");
+        // Normal regime (large expected count).
+        let total: usize = (0..2000).map(|_| binomial_fast(&mut rng, 10_000, 0.3)).sum();
+        let mean = total as f64 / 2000.0;
+        assert!((mean - 3000.0).abs() < 20.0, "normal mean {mean} off");
+    }
+
+    #[test]
+    fn binomial_fast_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(79);
+        for _ in 0..500 {
+            let k = binomial_fast(&mut rng, 50, 0.49);
+            assert!(k <= 50);
+        }
+        assert_eq!(binomial_fast(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial_fast(&mut rng, 9, 0.0), 0);
+        assert_eq!(binomial_fast(&mut rng, 9, 1.0), 9);
     }
 }

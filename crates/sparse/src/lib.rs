@@ -13,7 +13,15 @@
 //!   truth that the cycle-level simulator's outputs are checked against.
 //! - [`gen`] — seeded synthetic generators covering every sparsity regime
 //!   in the paper's Figure 1: uniform random, power-law graphs, banded/FEM,
-//!   circuit-like, and structured-pruned DNN layers.
+//!   circuit-like, and structured-pruned DNN layers. Every family runs in
+//!   two deterministic stages: an O(rows) *structure stage* emitting a
+//!   [`Structure`], and a lazy *fill stage* ([`LazyMatrix`]) that only
+//!   materializes a CSR for consumers that need element values.
+//! - [`structure`] / [`lazy`] — the structural matrix descriptions and
+//!   lazy materialization behind the two-stage generators; profiles
+//!   synthesize from a [`Structure`] in O(rows + cols) via
+//!   [`MatrixProfile::synthesize`], bit-identical to profiling the
+//!   materialized matrix.
 //! - [`suitesparse`] — a catalog of synthetic stand-ins for the sixteen
 //!   SuiteSparse matrices of Table 3, matching their published dimensions,
 //!   nonzero counts and structural class.
@@ -44,14 +52,18 @@ mod error;
 pub mod gen;
 pub mod io;
 pub mod kernels;
+pub mod lazy;
 pub mod profile;
+pub mod structure;
 pub mod suitesparse;
 
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
+pub use lazy::{LazyMatrix, LazyOperand};
 pub use profile::MatrixProfile;
+pub use structure::{RowRuns, Structure};
 
 /// Result alias used by fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, SparseError>;

@@ -23,7 +23,9 @@
 //! a process-wide cache and be shared by every layer that fingerprints
 //! the same matrix.
 
+use crate::structure::{RowRuns, Structure};
 use crate::CsrMatrix;
+use std::collections::BTreeMap;
 
 /// Mean / population-variance / maximum summary of a count
 /// distribution (rows-per-length or columns-per-occupancy).
@@ -292,6 +294,335 @@ impl MatrixProfile {
     pub fn describes(&self, m: &CsrMatrix) -> bool {
         self.rows == m.rows() && self.cols == m.cols() && self.nnz == m.nnz()
     }
+
+    /// Shape guard against a structural description (see
+    /// [`MatrixProfile::synthesize`]).
+    pub fn describes_structure(&self, s: &Structure) -> bool {
+        self.rows == s.rows() && self.cols == s.cols() && self.nnz == s.nnz()
+    }
+
+    /// Synthesizes the profile of a [`Structure`] in O(rows + cols +
+    /// PEs) without materializing any element arrays, **bit-identical**
+    /// to [`MatrixProfile::build_with_scheduler_pes`] of the
+    /// materialized matrix.
+    ///
+    /// Identity holds field by field: row lengths read straight off the
+    /// run table (or stencil arity), column occupancies come from a
+    /// cyclic difference array, the float summaries are accumulated in
+    /// the same order with the same operations, and the residue tallies
+    /// reuse the exact wrapping-counter folds of the build path. The
+    /// only derivation that differs is `row_frag_max`: instead of the
+    /// per-element fold (plus the populated-residue lift), synthesis
+    /// computes the true per-residue fragment maximum directly — a run
+    /// of `L` consecutive columns drops `⌊L/P⌋` elements on every
+    /// residue plus one more on a cyclic window of `L mod P` residues,
+    /// so the maximum over rows is the upper envelope of at most two
+    /// such windows per row, swept in O(rows log rows + PEs). The two
+    /// derivations are provably equal (the fold records every fragment
+    /// of length ≥ 2 and the lift covers exactly the residues whose
+    /// true maximum is 1), and the equivalence proptests in
+    /// `tests/structure_equivalence.rs` pin it for every generator
+    /// family.
+    pub fn synthesize(s: &Structure, col_pes: &[usize], row_pes: &[usize]) -> Self {
+        let rows = s.rows();
+        let cols = s.cols();
+        let nnz = s.nnz();
+
+        let row_lens: Vec<u32> = match s {
+            Structure::Runs(rr) => rr.lens().to_vec(),
+            mesh => (0..rows).map(|r| mesh.row_len(r) as u32).collect(),
+        };
+
+        let mut col_counts = vec![0u32; cols];
+        match s {
+            Structure::Runs(rr) => {
+                // Cyclic difference array over the ≤ 2 intervals per row.
+                let mut diff = vec![0i64; cols + 1];
+                for r in 0..rows {
+                    for (a, b) in rr.row_intervals(r) {
+                        if b > a {
+                            diff[a] += 1;
+                            diff[b] -= 1;
+                        }
+                    }
+                }
+                let mut acc = 0i64;
+                for (c, d) in col_counts.iter_mut().zip(&diff) {
+                    acc += d;
+                    *c = acc as u32;
+                }
+            }
+            // Stencils are structurally symmetric: column c is hit by
+            // exactly the neighbors of point c, i.e. row c's length.
+            Structure::Mesh2d { .. } | Structure::Mesh3d { .. } => {
+                col_counts.copy_from_slice(&row_lens);
+            }
+        }
+
+        let mut pes_set: Vec<usize> =
+            col_pes.iter().chain(row_pes).copied().filter(|&p| p > 0).collect();
+        pes_set.sort_unstable();
+        pes_set.dedup();
+
+        let mut tallies: Vec<PeResidueTally> = pes_set
+            .iter()
+            .map(|&pes| {
+                let row_side = row_pes.contains(&pes);
+                PeResidueTally {
+                    pes,
+                    row_side,
+                    row_len_sum: vec![0u64; pes],
+                    row_len_max: vec![0u32; pes],
+                    col_count_sum: vec![0u64; pes],
+                    row_frag_max: if row_side { vec![0u32; pes] } else { Vec::new() },
+                }
+            })
+            .collect();
+
+        if nnz > 0 {
+            for t in tallies.iter_mut().filter(|t| t.row_side) {
+                match s {
+                    Structure::Runs(rr) => frag_synth_runs(rr, t.pes, &mut t.row_frag_max),
+                    mesh => frag_synth_mesh(mesh, rows, t.pes, &mut t.row_frag_max),
+                }
+            }
+        }
+
+        let row_summary = DistSummary::of(row_lens.iter().map(|&l| l as usize));
+        let col_summary = DistSummary::of(col_counts.iter().map(|&c| c as usize));
+
+        // Identical wrapping-counter folds to the build path. No
+        // populated-residue lift is needed: the synthesized fragment
+        // maxima above are already the true per-residue values.
+        for t in &mut tallies {
+            let pes = t.pes;
+            let mut p = 0usize;
+            for &len in &row_lens {
+                t.row_len_sum[p] += len as u64;
+                if len > t.row_len_max[p] {
+                    t.row_len_max[p] = len;
+                }
+                p += 1;
+                if p == pes {
+                    p = 0;
+                }
+            }
+            let mut p = 0usize;
+            for &cnt in &col_counts {
+                t.col_count_sum[p] += cnt as u64;
+                p += 1;
+                if p == pes {
+                    p = 0;
+                }
+            }
+        }
+
+        MatrixProfile { rows, cols, nnz, row_lens, col_counts, row_summary, col_summary, tallies }
+    }
+}
+
+/// True per-residue fragment maxima for a run structure: the upper
+/// envelope over rows of `⌊L_i/P⌋ + [p ∈ W_i1] + [p ∈ W_i2]`, where the
+/// `W` are the residue windows of the row's ≤ 2 column intervals.
+fn frag_synth_runs(rr: &RowRuns, pes: usize, out: &mut [u32]) {
+    let mut base = 0u64;
+    // `arcs1` carries each row's floor value over the union of its
+    // windows (+1 layer); `arcs2` carries it over their intersection
+    // (+2 layer). A max-sweep tolerates overlapping arcs from one row,
+    // so the union needs no explicit arc arithmetic.
+    let mut arcs1: Vec<(usize, usize, u64)> = Vec::new();
+    let mut arcs2: Vec<(usize, usize, u64)> = Vec::new();
+    for r in 0..rr.rows() {
+        let [i0, i1] = rr.row_intervals(r);
+        let (l0, l1) = (i0.1 - i0.0, i1.1 - i1.0);
+        if l0 + l1 == 0 {
+            continue;
+        }
+        let q = (l0 / pes + l1 / pes) as u64;
+        if q > base {
+            base = q;
+        }
+        let w0 = (i0.0 % pes, l0 % pes);
+        let w1 = (i1.0 % pes, l1 % pes);
+        for &(ws, wl) in &[w0, w1] {
+            if wl > 0 {
+                arcs1.push((ws, wl, q));
+            }
+        }
+        if w0.1 > 0 && w1.1 > 0 {
+            cyclic_intersect(w0, w1, pes, |s, l| arcs2.push((s, l, q)));
+        }
+    }
+    let g1 = arc_max(pes, &arcs1);
+    let g2 = arc_max(pes, &arcs2);
+    for p in 0..pes {
+        let mut f = base;
+        if let Some(v) = g1[p] {
+            f = f.max(v + 1);
+        }
+        if let Some(v) = g2[p] {
+            f = f.max(v + 2);
+        }
+        out[p] = f as u32;
+    }
+}
+
+/// Intersection of two cyclic residue windows (`len < pes`), emitted as
+/// up to two arcs via the unrolled line `[0, 2·pes)`.
+fn cyclic_intersect(
+    w1: (usize, usize),
+    w2: (usize, usize),
+    pes: usize,
+    mut push: impl FnMut(usize, usize),
+) {
+    let (a1, b1) = (w1.0 as i64, (w1.0 + w1.1) as i64);
+    let (a2, b2) = (w2.0 as i64, (w2.0 + w2.1) as i64);
+    let p = pes as i64;
+    for k in [-1i64, 0, 1] {
+        let lo = a1.max(a2 + k * p);
+        let hi = b1.min(b2 + k * p);
+        if hi > lo {
+            push((lo % p) as usize, (hi - lo) as usize);
+        }
+    }
+}
+
+/// Per-residue maximum value over a set of cyclic arcs (`None` where no
+/// arc covers the residue).
+///
+/// For `pes <= 128` (every design in the paper) residues fit in a
+/// `u128` coverage mask, so arcs are painted in descending value order:
+/// the first arc to touch a residue fixes its maximum, and the whole
+/// pass stops as soon as every residue is covered. Values cluster
+/// heavily (sparse rows all carry floor value 0), so the descending
+/// order comes from tiny per-value buckets — or a single direct pass
+/// when only one value occurs. Wider arrays fall back to the event
+/// sweep in [`arc_max_sweep`].
+fn arc_max(pes: usize, arcs: &[(usize, usize, u64)]) -> Vec<Option<u64>> {
+    if pes > 128 {
+        return arc_max_sweep(pes, arcs);
+    }
+    let mut out = vec![None; pes];
+    if arcs.is_empty() {
+        return out;
+    }
+    let ones = |x: usize| -> u128 {
+        if x >= 128 {
+            !0
+        } else {
+            (1u128 << x) - 1
+        }
+    };
+    let mut uncovered = ones(pes);
+    let paint = |s: usize, l: usize, v: u64, uncovered: &mut u128, out: &mut [Option<u64>]| {
+        debug_assert!(s < pes && l > 0 && l < pes);
+        let e = s + l;
+        let m = if e <= pes { ones(l) << s } else { ones(e - pes) | (ones(pes - s) << s) };
+        let mut new = m & *uncovered;
+        *uncovered &= !new;
+        while new != 0 {
+            out[new.trailing_zeros() as usize] = Some(v);
+            new &= new - 1;
+        }
+    };
+    let vmax = arcs.iter().map(|a| a.2).max().unwrap();
+    let vmin = arcs.iter().map(|a| a.2).min().unwrap();
+    if vmin == vmax {
+        // Single value: any cover order works.
+        for &(s, l, _) in arcs {
+            paint(s, l, vmax, &mut uncovered, &mut out);
+            if uncovered == 0 {
+                break;
+            }
+        }
+        return out;
+    }
+    if vmax - vmin >= 4096 {
+        // Pathologically wide value range: bucketing would allocate
+        // more than the sweep costs.
+        return arc_max_sweep(pes, arcs);
+    }
+    // Bucket by value (s and l fit in a byte since pes <= 128), then
+    // paint high to low.
+    let mut buckets: Vec<Vec<u16>> = vec![Vec::new(); (vmax - vmin) as usize + 1];
+    for &(s, l, v) in arcs {
+        buckets[(v - vmin) as usize].push((s as u16) | ((l as u16) << 8));
+    }
+    'outer: for (i, bucket) in buckets.iter().enumerate().rev() {
+        let v = vmin + i as u64;
+        for &packed in bucket {
+            paint((packed & 0xff) as usize, (packed >> 8) as usize, v, &mut uncovered, &mut out);
+            if uncovered == 0 {
+                break 'outer;
+            }
+        }
+    }
+    out
+}
+
+/// Event-sweep fallback for [`arc_max`] on arrays wider than 128 PEs:
+/// add/remove events per residue against a value multiset.
+fn arc_max_sweep(pes: usize, arcs: &[(usize, usize, u64)]) -> Vec<Option<u64>> {
+    let mut add: Vec<Vec<u64>> = vec![Vec::new(); pes];
+    let mut rem: Vec<Vec<u64>> = vec![Vec::new(); pes];
+    for &(s, l, v) in arcs {
+        debug_assert!(s < pes && l > 0 && l < pes);
+        let e = s + l;
+        if e <= pes {
+            add[s].push(v);
+            if e < pes {
+                rem[e].push(v);
+            }
+        } else {
+            // Wrapping arc: tail [s, pes) stays active to the end of
+            // the sweep; head [0, e-pes) is active from the start.
+            add[s].push(v);
+            add[0].push(v);
+            rem[e - pes].push(v);
+        }
+    }
+    let mut ms: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut out = vec![None; pes];
+    for p in 0..pes {
+        for &v in &rem[p] {
+            match ms.get_mut(&v) {
+                Some(c) if *c > 1 => *c -= 1,
+                _ => {
+                    ms.remove(&v);
+                }
+            }
+        }
+        for &v in &add[p] {
+            *ms.entry(v).or_insert(0) += 1;
+        }
+        out[p] = ms.keys().next_back().copied();
+    }
+    out
+}
+
+/// True per-residue fragment maxima for a mesh stencil: each row holds
+/// at most 7 columns, counted into a tiny residue histogram.
+fn frag_synth_mesh(s: &Structure, rows: usize, pes: usize, out: &mut [u32]) {
+    let mut buf = [0u32; 7];
+    for r in 0..rows {
+        let n = s.mesh_row_cols(r, &mut buf);
+        let mut res = [(0usize, 0u32); 7];
+        let mut m = 0usize;
+        for &c in &buf[..n] {
+            let p = c as usize % pes;
+            if let Some(e) = res[..m].iter_mut().find(|e| e.0 == p) {
+                e.1 += 1;
+            } else {
+                res[m] = (p, 1);
+                m += 1;
+            }
+        }
+        for &(p, f) in &res[..m] {
+            if f > out[p] {
+                out[p] = f;
+            }
+        }
+    }
 }
 
 /// Folds the largest per-row fragment per PE residue: for each row, how
@@ -496,6 +827,31 @@ mod tests {
         let zero = CsrMatrix::zeros(0, 0);
         let pz = MatrixProfile::build(&zero);
         assert_eq!(pz.row_summary().n, 0);
+    }
+
+    #[test]
+    fn synthesized_profile_is_bit_identical_to_built() {
+        // Hand-picked structures exercising wraps, full rows, empties,
+        // and both mesh stencils, across awkward PE counts.
+        let structures = vec![
+            Structure::runs(5, 13, vec![0, 11, 6, 0, 12], vec![3, 5, 13, 0, 2]),
+            Structure::runs(1, 7, vec![5], vec![6]),
+            Structure::empty(4, 9),
+            Structure::runs(0, 0, vec![], vec![]),
+            Structure::Mesh2d { nx: 4, ny: 3 },
+            Structure::Mesh3d { nx: 3, ny: 2, nz: 2 },
+        ];
+        for s in structures {
+            let m = s.materialize(17);
+            for (col_pes, row_pes) in
+                [(vec![4, 7], vec![7]), (vec![64, 96], vec![96]), (vec![3], vec![3, 5])]
+            {
+                let built = MatrixProfile::build_with_scheduler_pes(&m, &col_pes, &row_pes);
+                let synth = MatrixProfile::synthesize(&s, &col_pes, &row_pes);
+                assert_eq!(built, synth, "{s:?} col={col_pes:?} row={row_pes:?}");
+                assert!(synth.describes_structure(&s));
+            }
+        }
     }
 
     #[test]

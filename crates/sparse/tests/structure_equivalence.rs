@@ -1,0 +1,150 @@
+//! Bit-identity between the two generator stages: for every family and
+//! any seed, the profile synthesized from the structure stage must equal
+//! `MatrixProfile::build_with_scheduler_pes` of the materialized matrix
+//! — field for field, including the float summaries and every
+//! per-residue tally.
+
+use misam_sparse::gen;
+use misam_sparse::{LazyMatrix, MatrixProfile};
+use proptest::prelude::*;
+
+/// The paper's design PE counts plus awkward small/odd counts that
+/// stress the residue-window synthesis.
+const COL_PES: &[usize] = &[3, 7, 64, 96];
+const ROW_PES: &[usize] = &[7, 96];
+
+fn assert_stage_equivalence(lazy: &LazyMatrix, ctx: &str) {
+    let synthesized = MatrixProfile::synthesize(lazy.structure(), COL_PES, ROW_PES);
+    let materialized = lazy.materialize();
+    let built = MatrixProfile::build_with_scheduler_pes(materialized, COL_PES, ROW_PES);
+    assert_eq!(synthesized, built, "synthesized != built for {ctx}");
+    assert!(synthesized.describes(materialized), "shape guard for {ctx}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uniform_random_profiles_synthesize_exactly(
+        rows in 0usize..300,
+        cols in 0usize..300,
+        density in 0.0f64..0.4,
+        seed in 0u64..1_000_000,
+    ) {
+        let lazy = gen::uniform_random_lazy(rows, cols, density, seed);
+        assert_stage_equivalence(&lazy, "uniform_random");
+    }
+
+    #[test]
+    fn power_law_profiles_synthesize_exactly(
+        rows in 1usize..300,
+        cols in 1usize..300,
+        avg in 0.5f64..12.0,
+        alpha in 1.1f64..1.9,
+        seed in 0u64..1_000_000,
+    ) {
+        let lazy = gen::power_law_lazy(rows, cols, avg, alpha, seed);
+        assert_stage_equivalence(&lazy, "power_law");
+    }
+
+    #[test]
+    fn rmat_profiles_synthesize_exactly(
+        rows in 1usize..300,
+        cols in 1usize..300,
+        nnz in 0usize..4000,
+        seed in 0u64..1_000_000,
+    ) {
+        let lazy = gen::rmat_lazy(rows, cols, nnz, (0.57, 0.19, 0.19, 0.05), seed);
+        assert_stage_equivalence(&lazy, "rmat");
+    }
+
+    #[test]
+    fn banded_profiles_synthesize_exactly(
+        rows in 0usize..300,
+        cols in 0usize..300,
+        bw in 0usize..20,
+        fill in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let lazy = gen::banded_lazy(rows, cols, bw, fill, seed);
+        assert_stage_equivalence(&lazy, "banded");
+    }
+
+    #[test]
+    fn mesh_profiles_synthesize_exactly(
+        nx in 1usize..12,
+        ny in 1usize..12,
+        nz in 1usize..6,
+    ) {
+        assert_stage_equivalence(&gen::mesh2d_lazy(nx, ny), "mesh2d");
+        assert_stage_equivalence(&gen::mesh3d_lazy(nx, ny, nz), "mesh3d");
+    }
+
+    #[test]
+    fn circuit_profiles_synthesize_exactly(
+        rows in 0usize..300,
+        cols in 0usize..300,
+        avg in 0.0f64..6.0,
+        rails in 0usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let lazy = gen::circuit_lazy(rows, cols, avg, rails, seed);
+        assert_stage_equivalence(&lazy, "circuit");
+    }
+
+    #[test]
+    fn regular_degree_profiles_synthesize_exactly(
+        rows in 0usize..300,
+        cols in 0usize..300,
+        deg in 0usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let lazy = gen::regular_degree_lazy(rows, cols, deg, seed);
+        assert_stage_equivalence(&lazy, "regular_degree");
+    }
+
+    #[test]
+    fn pruned_dnn_profiles_synthesize_exactly(
+        rows in 0usize..200,
+        cols in 0usize..300,
+        density in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let lazy = gen::pruned_dnn_lazy(rows, cols, density, seed);
+        assert_stage_equivalence(&lazy, "pruned_dnn");
+    }
+
+    #[test]
+    fn dense_profiles_synthesize_exactly(
+        rows in 0usize..64,
+        cols in 0usize..64,
+        seed in 0u64..1_000_000,
+    ) {
+        let lazy = gen::dense_lazy(rows, cols, seed);
+        assert_stage_equivalence(&lazy, "dense");
+    }
+
+    #[test]
+    fn imbalanced_rows_profiles_synthesize_exactly(
+        rows in 1usize..200,
+        cols in 1usize..400,
+        frac in 0.0f64..0.3,
+        heavy in 0usize..200,
+        light in 0usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let lazy = gen::imbalanced_rows_lazy(rows, cols, frac, heavy, light, seed);
+        assert_stage_equivalence(&lazy, "imbalanced_rows");
+    }
+}
+
+/// Materializing twice (fresh lazy instances) yields byte-identical
+/// matrices: the fill stage is a pure function of (structure, seed).
+#[test]
+fn fill_stage_is_deterministic() {
+    let a = gen::power_law_lazy(120, 90, 6.0, 1.4, 5);
+    let b = gen::power_law_lazy(120, 90, 6.0, 1.4, 5);
+    assert_eq!(a.structure(), b.structure());
+    assert_eq!(*a.materialize(), *b.materialize());
+    assert_eq!(*a.materialize(), gen::power_law(120, 90, 6.0, 1.4, 5));
+}
