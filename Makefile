@@ -4,7 +4,7 @@
 # experiment sweeps); default is all cores and output is byte-identical
 # at any value, e.g. `MISAM_THREADS=4 make reproduce`.
 
-.PHONY: test bench bench-sim bench-gen reproduce reproduce-paper examples doc clean
+.PHONY: test bench bench-sim bench-gen bench-serve serve-smoke reproduce reproduce-paper examples doc clean
 
 test:
 	cargo test --workspace
@@ -21,6 +21,24 @@ bench-sim:
 # materialization per family. Writes BENCH_gen.json.
 bench-gen:
 	cargo run --release -p misam-bench --bin bench_gen
+
+# Serving load benchmark: throughput/latency percentiles for batched and
+# single predicts over TCP, plus an overload scenario proving the
+# admission queue stays bounded. Writes BENCH_serve.json.
+bench-serve:
+	cargo run --release -p misam-bench --bin bench_serve
+
+# End-to-end serving smoke: start a server, train a bundle, run a short
+# load through the CLI client, shut down gracefully.
+serve-smoke:
+	cargo run --release -p misam-cli --bin misam -- train --out /tmp/misam_smoke_models.json --samples 120 --latency 150 --seed 5
+	cargo run --release -p misam-cli --bin misam -- serve --models /tmp/misam_smoke_models.json --addr 127.0.0.1:7171 & \
+	sleep 2 && \
+	cargo run --release -p misam-cli --bin misam -- client --addr 127.0.0.1:7171 --op predict-gen --kind power-law --rows 512 --density 0.02 && \
+	cargo run --release -p misam-cli --bin misam -- client --addr 127.0.0.1:7171 --op load --connections 2 --requests 50 --batch 8 && \
+	cargo run --release -p misam-cli --bin misam -- client --addr 127.0.0.1:7171 --op stats && \
+	cargo run --release -p misam-cli --bin misam -- client --addr 127.0.0.1:7171 --op shutdown && \
+	wait
 
 # Regenerate every table/figure into results/ (minutes).
 reproduce:

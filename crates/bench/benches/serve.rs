@@ -1,0 +1,79 @@
+//! Criterion bench of the serving hot path, isolated from TCP: batched
+//! inference against a model snapshot, wire encode/decode of a predict
+//! round-trip, and the micro-batcher's submit-to-reply cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use misam::dataset::{Dataset, Objective};
+use misam::persist::ModelBundle;
+use misam::training;
+use misam_features::{TileConfig, FEATURE_NAMES};
+use misam_recon::cost::ReconfigCost;
+use misam_serve::batch::{BatchConfig, MicroBatcher};
+use misam_serve::client::synthetic_vector;
+use misam_serve::protocol::{PredictRequest, Request, RequestEnvelope};
+use misam_serve::state::{predict_vector, SharedModel};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bundle() -> ModelBundle {
+    let ds = Dataset::generate(150, 55);
+    let sel = training::train_selector(&ds, Objective::Latency, 1);
+    let lat = training::train_latency_predictor(&ds, 1);
+    ModelBundle::new(
+        sel.selector,
+        lat.predictor,
+        0.2,
+        ReconfigCost::default(),
+        TileConfig::default(),
+    )
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let b = bundle();
+    let v = synthetic_vector(11);
+    assert_eq!(v.len(), FEATURE_NAMES.len());
+    c.bench_function("serve_predict_vector", |bch| {
+        bch.iter(|| predict_vector(black_box(&b), black_box(&v)))
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let env = RequestEnvelope {
+        v: misam_serve::PROTOCOL_VERSION,
+        id: 9,
+        req: Request::Predict(PredictRequest { features: synthetic_vector(3) }),
+    };
+    let line = serde_json::to_string(&env).unwrap();
+    c.bench_function("serve_wire_encode", |b| {
+        b.iter(|| serde_json::to_string(black_box(&env)).unwrap())
+    });
+    c.bench_function("serve_wire_decode", |b| {
+        b.iter(|| serde_json::from_str::<RequestEnvelope>(black_box(&line)).unwrap())
+    });
+}
+
+fn bench_batcher(c: &mut Criterion) {
+    let model = Arc::new(SharedModel::new(bundle()));
+    let mut g = c.benchmark_group("serve_batcher_round_trip");
+    for batch in [1usize, 16, 64] {
+        let batcher = MicroBatcher::new(
+            Arc::clone(&model),
+            BatchConfig { batch_max: 64, batch_wait_us: 50, queue_cap: 4096 },
+        );
+        let vectors: Vec<Vec<f64>> = (0..batch).map(|i| synthetic_vector(i as u64)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| {
+                let rx = batcher.try_submit(black_box(vectors.clone())).unwrap();
+                rx.recv().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inference, bench_wire, bench_batcher
+}
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! End-to-end load benchmark of misam-serve over real TCP: batched and
+//! single-predict throughput/latency under N concurrent connections,
+//! plus an overload scenario that proves admission control bounds the
+//! queue (sheds instead of growing). Writes `BENCH_serve.json`.
+
+use misam::dataset::{Dataset, Objective};
+use misam::persist::ModelBundle;
+use misam::training;
+use misam_features::TileConfig;
+use misam_recon::cost::ReconfigCost;
+use misam_serve::{LoadGen, LoadReport, ServeConfig, Server};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Scenario {
+    name: String,
+    connections: usize,
+    requests_per_conn: usize,
+    batch_size: usize,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    items_per_s: f64,
+    req_per_s: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    shed_rate: f64,
+    /// Peak batch-queue depth the server reported after the run; must
+    /// stay within the configured cap.
+    server_queue_cap: usize,
+    server_batch_queue_depth: u64,
+    server_max_batch: u64,
+}
+
+#[derive(Serialize)]
+struct Doc {
+    bench: String,
+    threads: usize,
+    scenarios: Vec<Scenario>,
+}
+
+fn bundle() -> ModelBundle {
+    let ds = Dataset::generate(200, 55);
+    let sel = training::train_selector(&ds, Objective::Latency, 1);
+    let lat = training::train_latency_predictor(&ds, 1);
+    ModelBundle::new(
+        sel.selector,
+        lat.predictor,
+        0.2,
+        ReconfigCost::default(),
+        TileConfig::default(),
+    )
+}
+
+fn run_scenario(name: &str, cfg: ServeConfig, load: LoadGen, bundle: ModelBundle) -> Scenario {
+    let queue_cap = cfg.queue_cap;
+    let server = Server::start(bundle, cfg).expect("bind ephemeral port");
+    let report: LoadReport = load.run(server.addr()).expect("load run");
+    let stats = server.shutdown();
+    let attempted = report.ok + report.shed + report.errors;
+    println!(
+        "{name:<22} {:>9.0} items/s  {:>8.0} req/s  p50 {:>7.1}us  p99 {:>8.1}us  \
+         shed {:>5.1}%  errors {}",
+        report.items_per_s,
+        report.req_per_s,
+        report.p50_us,
+        report.p99_us,
+        100.0 * report.shed as f64 / attempted.max(1) as f64,
+        report.errors,
+    );
+    Scenario {
+        name: name.into(),
+        connections: load.connections,
+        requests_per_conn: load.requests_per_conn,
+        batch_size: load.batch_size,
+        ok: report.ok,
+        shed: report.shed,
+        errors: report.errors,
+        items_per_s: report.items_per_s,
+        req_per_s: report.req_per_s,
+        p50_us: report.p50_us,
+        p95_us: report.p95_us,
+        p99_us: report.p99_us,
+        shed_rate: report.shed as f64 / attempted.max(1) as f64,
+        server_queue_cap: queue_cap,
+        server_batch_queue_depth: stats.batch_queue_depth,
+        server_max_batch: stats.max_batch,
+    }
+}
+
+fn main() {
+    let threads = misam_oracle::pool::default_threads();
+    eprintln!("training the serving bundle…");
+    let b = bundle();
+
+    let scenarios = vec![
+        // The headline path: batched feature-vector predictions from
+        // many connections, default admission settings.
+        run_scenario(
+            "batch16_conns8",
+            ServeConfig::default(),
+            LoadGen { connections: 8, requests_per_conn: 500, batch_size: 16, seed: 1 },
+            b.clone(),
+        ),
+        run_scenario(
+            "batch64_conns4",
+            ServeConfig::default(),
+            LoadGen { connections: 4, requests_per_conn: 300, batch_size: 64, seed: 2 },
+            b.clone(),
+        ),
+        // Single predicts: per-request overhead dominated (framing + one
+        // vector per line), the micro-batcher coalesces across
+        // connections.
+        run_scenario(
+            "single_conns8",
+            ServeConfig::default(),
+            LoadGen { connections: 8, requests_per_conn: 500, batch_size: 1, seed: 3 },
+            b.clone(),
+        ),
+        // Overload: a queue capped far below the offered load. The
+        // point is the bound — the server must shed (Overloaded
+        // replies) while the reported queue depth never exceeds the
+        // cap, i.e. memory stays bounded no matter how hard clients
+        // push.
+        run_scenario(
+            "overload_cap32",
+            ServeConfig {
+                queue_cap: 32,
+                batch_max: 8,
+                batch_wait_us: 2_000,
+                ..ServeConfig::default()
+            },
+            LoadGen { connections: 12, requests_per_conn: 200, batch_size: 16, seed: 4 },
+            b.clone(),
+        ),
+    ];
+
+    let overload = scenarios.last().unwrap();
+    assert!(
+        overload.server_batch_queue_depth <= overload.server_queue_cap as u64,
+        "queue depth must respect the cap"
+    );
+
+    let doc = Doc { bench: "bench_serve".into(), threads, scenarios };
+    std::fs::write("BENCH_serve.json", serde_json::to_string_pretty(&doc).unwrap())
+        .expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

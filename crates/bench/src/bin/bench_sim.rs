@@ -119,10 +119,7 @@ struct Doc {
 /// Simulate-dominated corpus: big enough that scheduling dwarfs the
 /// fixed per-call overheads, mixed across the generator families.
 fn corpus() -> Vec<(&'static str, CsrMatrix, CsrMatrix)> {
-    lazy_corpus()
-        .into_iter()
-        .map(|(name, a, bm)| (name, a.into_csr(), bm.into_csr()))
-        .collect()
+    lazy_corpus().into_iter().map(|(name, a, bm)| (name, a.into_csr(), bm.into_csr())).collect()
 }
 
 /// The same corpus in structure-stage form (no element arrays built):
@@ -245,8 +242,7 @@ mod pr2 {
 
     pub fn power_law(rows: usize, cols: usize, avg_nnz: f64, alpha: f64, seed: u64) -> CsrMatrix {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0002);
-        let mut weights: Vec<f64> =
-            (0..rows).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+        let mut weights: Vec<f64> = (0..rows).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
         let wsum: f64 = weights.iter().sum();
         let total = avg_nnz * rows as f64;
         for w in &mut weights {
@@ -578,7 +574,12 @@ fn main() {
     let t = Instant::now();
     for _ in 0..reps {
         for ((_, _, lb), (ap, bp)) in lset.iter().zip(&sprofiles) {
-            std::hint::black_box(PairFeatures::from_profiles_structural(ap, bp, lb.structure(), &tile));
+            std::hint::black_box(PairFeatures::from_profiles_structural(
+                ap,
+                bp,
+                lb.structure(),
+                &tile,
+            ));
         }
     }
     let s_features_ns = t.elapsed().as_nanos() as f64 / (reps * set.len()) as f64;

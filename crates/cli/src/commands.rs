@@ -5,6 +5,8 @@ use misam::persist::ModelBundle;
 use misam::pipeline::Misam;
 use misam_features::{PairFeatures, TileConfig, FEATURE_NAMES};
 use misam_recon::cost::ReconfigCost;
+use misam_serve::protocol::GenSpec;
+use misam_serve::{Client, LoadGen, Response, ServeConfig, Server};
 use misam_sim::{simulate, DesignConfig, DesignId, Operand};
 use misam_sparse::{gen, io, CsrMatrix};
 
@@ -21,6 +23,12 @@ USAGE:
                  --rows N [--cols N] [--density D] [--seed S] --out M.mtx
   misam dataset  --out corpus.csv [--samples N] [--seed S] [--format csv|json]
   misam suite    [--scale S] [--seed N]
+  misam serve    --models models.json [--addr 127.0.0.1:7171] [--threads N]
+                 [--batch-max N] [--batch-wait-us N] [--queue-cap N]
+  misam client   --addr HOST:PORT --op stats|shutdown|reload|predict-gen|simulate|load
+                 [--path models.json] [--design 1|2|3|4]
+                 [--kind K --rows N --cols N --density D --seed S --dense-cols N]
+                 [--connections N --requests N --batch N]
   misam designs
   misam help
 ";
@@ -48,6 +56,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         }
         "dataset" => dataset_cmd(&flags),
         "suite" => suite_cmd(&flags),
+        "serve" => serve_cmd(&flags),
+        "client" => client_cmd(&flags),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())
@@ -281,6 +291,102 @@ fn suite_cmd(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn serve_cmd(flags: &Flags) -> Result<(), String> {
+    flags.expect_only(&["models", "addr", "threads", "batch-max", "batch-wait-us", "queue-cap"])?;
+    let bundle = ModelBundle::load(flags.require("models")?)?;
+    let cfg = ServeConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:7171").to_string(),
+        threads: flags.get_or("threads", 0usize)?,
+        batch_max: flags.get_or("batch-max", 64usize)?,
+        batch_wait_us: flags.get_or("batch-wait-us", 200u64)?,
+        queue_cap: flags.get_or("queue-cap", 4096usize)?,
+        ..ServeConfig::default()
+    };
+    if cfg.batch_max == 0 || cfg.queue_cap == 0 {
+        return Err("--batch-max and --queue-cap must be positive".into());
+    }
+
+    let sigint = misam_serve::sigint_flag();
+    let server = Server::start(bundle, cfg).map_err(|e| format!("cannot bind: {e}"))?;
+    eprintln!("misam-serve listening on {} (Ctrl-C or a Shutdown request stops it)", server.addr());
+    while !server.is_stopping() && !sigint.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("draining…");
+    let stats = server.shutdown();
+    let dump = serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?;
+    println!("{dump}");
+    Ok(())
+}
+
+/// Builds a [`GenSpec`] from client flags (shared by the predict-gen and
+/// simulate operations).
+fn gen_spec(flags: &Flags) -> Result<GenSpec, String> {
+    Ok(GenSpec {
+        kind: flags.get("kind").unwrap_or("uniform").to_string(),
+        rows: flags.get_or("rows", 1024usize)?,
+        cols: flags.get_or("cols", flags.get_or("rows", 1024usize)?)?,
+        density: flags.get_or("density", 0.01f64)?,
+        seed: flags.get_or("seed", 1u64)?,
+        dense_cols: flags.get_or("dense-cols", 64usize)?,
+    })
+}
+
+fn print_response(resp: &Response) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(resp).map_err(|e| e.to_string())?;
+    println!("{text}");
+    match resp {
+        Response::Error(e) => Err(format!("server error ({:?}): {}", e.code, e.message)),
+        Response::Overloaded(o) => {
+            Err(format!("server overloaded, retry after {} ms", o.retry_after_ms))
+        }
+        _ => Ok(()),
+    }
+}
+
+fn client_cmd(flags: &Flags) -> Result<(), String> {
+    flags.expect_only(&[
+        "addr",
+        "op",
+        "path",
+        "design",
+        "kind",
+        "rows",
+        "cols",
+        "density",
+        "seed",
+        "dense-cols",
+        "connections",
+        "requests",
+        "batch",
+    ])?;
+    let addr = flags.require("addr")?;
+    let op = flags.require("op")?;
+    if op == "load" {
+        let load = LoadGen {
+            connections: flags.get_or("connections", 4usize)?,
+            requests_per_conn: flags.get_or("requests", 1000usize)?,
+            batch_size: flags.get_or("batch", 16usize)?,
+            seed: flags.get_or("seed", 7u64)?,
+        };
+        let report = load.run(addr).map_err(|e| format!("load run failed: {e}"))?;
+        let text = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        println!("{text}");
+        return Ok(());
+    }
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let resp = match op {
+        "stats" => client.stats(),
+        "shutdown" => client.shutdown(),
+        "reload" => client.reload(flags.require("path")?),
+        "predict-gen" => client.predict_gen(gen_spec(flags)?),
+        "simulate" => client.simulate(gen_spec(flags)?, flags.get_or("design", 1usize)?),
+        other => return Err(format!("unknown --op '{other}'")),
+    }
+    .map_err(|e| format!("request failed: {e}"))?;
+    print_response(&resp)
+}
+
 fn designs() {
     println!(
         "{:<10} {:>5} {:>5} {:>5} {:>5} {:>11} {:>9} {:>12}",
@@ -465,6 +571,79 @@ mod tests {
         ]))
         .unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn client_subcommand_round_trips_against_a_live_server() {
+        let dir = tmp();
+        let models = dir.join("serve_models.json");
+        dispatch(&argv(&[
+            "train",
+            "--out",
+            models.to_str().unwrap(),
+            "--samples",
+            "120",
+            "--latency",
+            "150",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        let bundle = ModelBundle::load(models.to_str().unwrap()).unwrap();
+        let server = Server::start(bundle, ServeConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+
+        dispatch(&argv(&["client", "--addr", &addr, "--op", "stats"])).unwrap();
+        dispatch(&argv(&[
+            "client",
+            "--addr",
+            &addr,
+            "--op",
+            "predict-gen",
+            "--kind",
+            "power-law",
+            "--rows",
+            "256",
+            "--density",
+            "0.02",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "client", "--addr", &addr, "--op", "simulate", "--rows", "128", "--design", "2",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "client",
+            "--addr",
+            &addr,
+            "--op",
+            "load",
+            "--connections",
+            "2",
+            "--requests",
+            "5",
+            "--batch",
+            "4",
+        ]))
+        .unwrap();
+        // Server-reported errors must surface as CLI errors.
+        let err =
+            dispatch(&argv(&["client", "--addr", &addr, "--op", "simulate", "--design", "9"]))
+                .unwrap_err();
+        assert!(err.contains("BadGenSpec"), "{err}");
+
+        dispatch(&argv(&["client", "--addr", &addr, "--op", "shutdown"])).unwrap();
+        server.join();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn client_and_serve_flag_validation() {
+        assert!(dispatch(&argv(&["client", "--op", "stats"])).is_err(), "addr is required");
+        assert!(dispatch(&argv(&["client", "--addr", "x", "--op", "nope"])).is_err());
+        assert!(dispatch(&argv(&["serve", "--addr", "127.0.0.1:0"])).is_err(), "models required");
+        let err = dispatch(&argv(&["serve", "--models", "/nonexistent.json"])).unwrap_err();
+        assert!(err.contains("nonexistent") || err.contains("No such file"), "{err}");
     }
 
     #[test]

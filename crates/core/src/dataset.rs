@@ -143,7 +143,8 @@ const CORPUS_SEED_SALT: u64 = 0x0da7_a5e7;
 /// sample index, so sample `i` is a pure function of `(seed, i)` and
 /// workers need no shared RNG stream.
 fn sample_seed(base: u64, index: usize) -> u64 {
-    let mut z = base.wrapping_add((index as u64).wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut z =
+        base.wrapping_add((index as u64).wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -258,9 +259,8 @@ impl Dataset {
         let nf = misam_features::FEATURE_NAMES.len();
         let expected = nf + 8 + 3;
         let mut lines = s.lines().enumerate();
-        let (_, header) = lines
-            .next()
-            .ok_or(DatasetError::Csv { line: 1, reason: "empty input".into() })?;
+        let (_, header) =
+            lines.next().ok_or(DatasetError::Csv { line: 1, reason: "empty input".into() })?;
         let header_cols = header.split(',').count();
         if header_cols != expected {
             return Err(DatasetError::Csv {

@@ -16,6 +16,78 @@ use std::path::Path;
 /// Current bundle format version.
 pub const BUNDLE_VERSION: u32 = 1;
 
+/// Why a bundle failed to save or load.
+///
+/// The variants split along the axis a serving `Reload` endpoint cares
+/// about: [`PersistError::Io`] and [`PersistError::Json`] are *retryable*
+/// (a file mid-write, a transient filesystem error — the previous bundle
+/// stays live and the caller may try again), while
+/// [`PersistError::Version`] is *fatal* for that file (no amount of
+/// retrying makes an incompatible format load).
+#[derive(Debug)]
+pub enum PersistError {
+    /// Reading or writing the bundle file failed.
+    Io(std::io::Error),
+    /// The bundle text was not valid JSON of the expected shape.
+    Json(serde_json::Error),
+    /// The bundle's format version is not supported.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+}
+
+impl PersistError {
+    /// Whether retrying the same operation later could succeed.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, PersistError::Version { .. })
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "bundle i/o error: {e}"),
+            PersistError::Json(e) => write!(f, "bundle json error: {e}"),
+            PersistError::Version { found, expected } => {
+                write!(f, "bundle version {found} unsupported (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Json(e) => Some(e),
+            PersistError::Version { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+/// Existing call sites accumulate errors as `String`; keep `?` working
+/// for them.
+impl From<PersistError> for String {
+    fn from(e: PersistError) -> Self {
+        e.to_string()
+    }
+}
+
 /// A serializable bundle of everything a host runtime needs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelBundle {
@@ -75,23 +147,21 @@ impl ModelBundle {
     ///
     /// # Errors
     ///
-    /// Returns the serializer's message on failure.
-    pub fn to_json(&self) -> Result<String, String> {
-        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    /// Returns [`PersistError::Json`] on serializer failure.
+    pub fn to_json(&self) -> Result<String, PersistError> {
+        Ok(serde_json::to_string_pretty(self)?)
     }
 
     /// Parses a bundle, checking the version.
     ///
     /// # Errors
     ///
-    /// Returns a message for malformed JSON or a version mismatch.
-    pub fn from_json(s: &str) -> Result<Self, String> {
-        let bundle: ModelBundle = serde_json::from_str(s).map_err(|e| e.to_string())?;
+    /// Returns [`PersistError::Json`] for malformed JSON and
+    /// [`PersistError::Version`] for a version mismatch.
+    pub fn from_json(s: &str) -> Result<Self, PersistError> {
+        let bundle: ModelBundle = serde_json::from_str(s)?;
         if bundle.version != BUNDLE_VERSION {
-            return Err(format!(
-                "bundle version {} unsupported (expected {BUNDLE_VERSION})",
-                bundle.version
-            ));
+            return Err(PersistError::Version { found: bundle.version, expected: BUNDLE_VERSION });
         }
         Ok(bundle)
     }
@@ -100,18 +170,18 @@ impl ModelBundle {
     ///
     /// # Errors
     ///
-    /// Returns serializer or I/O messages.
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
-        std::fs::write(path, self.to_json()?).map_err(|e| e.to_string())
+    /// Returns serializer or I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        Ok(std::fs::write(path, self.to_json()?)?)
     }
 
     /// Reads a bundle from a file.
     ///
     /// # Errors
     ///
-    /// Returns I/O, parse or version messages.
-    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
-        let s = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    /// Returns I/O, parse or version errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let s = std::fs::read_to_string(path)?;
         Self::from_json(&s)
     }
 }
@@ -164,7 +234,24 @@ mod tests {
         let b = bundle();
         let json = b.to_json().unwrap().replace("\"version\": 1", "\"version\": 99");
         let err = ModelBundle::from_json(&json).unwrap_err();
-        assert!(err.contains("version"), "{err}");
+        assert!(matches!(err, PersistError::Version { found: 99, expected: BUNDLE_VERSION }));
+        assert!(!err.is_retryable(), "a format mismatch never heals on retry");
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn io_and_json_failures_are_retryable() {
+        let io = ModelBundle::load("/nonexistent/misam.json").unwrap_err();
+        assert!(matches!(io, PersistError::Io(_)));
+        assert!(io.is_retryable());
+
+        let json = ModelBundle::from_json("{ truncated").unwrap_err();
+        assert!(matches!(json, PersistError::Json(_)));
+        assert!(json.is_retryable());
+
+        // String conversion keeps legacy `Result<_, String>` callers alive.
+        let msg: String = json.into();
+        assert!(msg.contains("json"), "{msg}");
     }
 
     #[test]

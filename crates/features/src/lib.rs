@@ -283,7 +283,7 @@ impl TileStats {
         nnz_2d: &[usize],
     ) -> Self {
         let tiles_down = nnz_1d.len();
-        let tiles_across = if tiles_down > 0 { nnz_2d.len() / tiles_down } else { 0 };
+        let tiles_across = nnz_2d.len().checked_div(tiles_down).unwrap_or(0);
         let area_1d = |ti: usize| {
             let h = (rows - ti * tr).min(tr);
             (h * cols) as f64

@@ -14,6 +14,7 @@
 //! thread spawning entirely and runs the plain serial loop.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Resolves the worker count: `MISAM_THREADS` override, else all cores.
 pub fn default_threads() -> usize {
@@ -137,6 +138,139 @@ where
     slots.into_iter().map(|s| s.expect("worker dropped an item")).collect()
 }
 
+/// Error returned by [`WorkerPool::try_submit`] when the admission
+/// queue is at capacity: the caller should shed the work (reply
+/// "overloaded", retry later) rather than block or buffer unboundedly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolFull {
+    /// The queue capacity that was hit.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for PoolFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool admission queue full (capacity {})", self.capacity)
+    }
+}
+
+impl std::error::Error for PoolFull {}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A long-lived worker pool with a bounded admission queue.
+///
+/// Where [`par_map`] spawns scoped threads for one batch and joins them,
+/// `WorkerPool` keeps its workers alive across submissions — the shape a
+/// long-running server needs. Admission is bounded: [`WorkerPool::try_submit`]
+/// refuses jobs once `capacity` submissions are waiting, so a traffic
+/// burst sheds load instead of growing the queue (and the process) without
+/// limit. Dropping the pool closes the queue, lets the workers drain
+/// every already-accepted job, and joins them — a graceful drain, not an
+/// abort.
+#[derive(Debug)]
+pub struct WorkerPool {
+    tx: Option<crossbeam::channel::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    depth: Arc<AtomicUsize>,
+    capacity: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (clamped to at least 1) behind an
+    /// admission queue of `capacity` (clamped to at least 1) waiting jobs.
+    pub fn new(threads: usize, capacity: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        let depth = Arc::new(AtomicUsize::new(0));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                let depth = Arc::clone(&depth);
+                std::thread::Builder::new()
+                    .name(format!("misam-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            depth.fetch_sub(1, Ordering::Relaxed);
+                            job();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { tx: Some(tx), workers, depth, capacity: capacity.max(1) }
+    }
+
+    /// Submits a job unless the admission queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolFull`] when `capacity` jobs are already waiting (or
+    /// the pool is shutting down); the job is dropped, not queued.
+    pub fn try_submit<F>(&self, job: F) -> Result<(), PoolFull>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let full = PoolFull { capacity: self.capacity };
+        let Some(tx) = self.tx.as_ref() else { return Err(full) };
+        // Reserve a queue slot before sending so the bound is exact even
+        // under concurrent submitters.
+        let mut cur = self.depth.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.capacity {
+                return Err(full);
+            }
+            match self.depth.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        if tx.send(Box::new(job)).is_err() {
+            unreachable!("pool workers alive while sender held");
+        }
+        Ok(())
+    }
+
+    /// Jobs accepted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The admission-queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Closes the queue, drains every accepted job, and joins the
+    /// workers. Equivalent to dropping the pool, but callable by name at
+    /// an explicit shutdown point.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            w.join().expect("pool worker panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +318,62 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_pool_runs_submitted_jobs() {
+        let pool = WorkerPool::new(4, 64);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for _ in 0..32 {
+            let hits = Arc::clone(&hits);
+            let tx = tx.clone();
+            pool.try_submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            })
+            .unwrap();
+        }
+        for _ in 0..32 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn worker_pool_sheds_when_queue_full() {
+        // One worker parked on a gate: every later job stays queued, so
+        // the admission bound is observable deterministically.
+        let pool = WorkerPool::new(1, 2);
+        let (gate_tx, gate_rx) = crossbeam::channel::unbounded::<()>();
+        pool.try_submit(move || {
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        // Wait until the worker has dequeued the blocker.
+        while pool.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        pool.try_submit(|| {}).unwrap();
+        pool.try_submit(|| {}).unwrap();
+        let err = pool.try_submit(|| {}).unwrap_err();
+        assert_eq!(err, PoolFull { capacity: 2 });
+        assert_eq!(pool.queue_depth(), 2);
+        gate_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn worker_pool_shutdown_drains_accepted_jobs() {
+        let pool = WorkerPool::new(2, 128);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 64, "shutdown must drain, not abort");
     }
 }

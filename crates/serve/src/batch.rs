@@ -1,0 +1,289 @@
+//! Micro-batching of predict requests.
+//!
+//! All connections funnel their feature vectors into one bounded queue;
+//! a dedicated batcher thread gathers them into batches and flushes
+//! when either `batch_max` vectors have accumulated or `batch_wait_us`
+//! has elapsed since the batch opened (size-or-deadline, the classic
+//! serving trade between throughput and tail latency). One flush takes
+//! one model snapshot for the whole batch, so tree inference amortizes
+//! the bundle lock and stays cache-warm across items.
+//!
+//! Admission is bounded: [`MicroBatcher::try_submit`] refuses a group
+//! once `queue_cap` vectors are waiting, so overload sheds instead of
+//! growing the queue without limit. Shutdown is a drain: dropping the
+//! producer side lets the batcher finish every accepted group before
+//! its thread exits, which is what makes the server's graceful shutdown
+//! lose nothing in flight.
+
+use crate::state::{predict_vector, PredictOutcome, SharedModel};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the micro-batcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush once this many feature vectors are in the open batch.
+    pub batch_max: usize,
+    /// Flush an underfull batch after this many microseconds.
+    pub batch_wait_us: u64,
+    /// Admission bound: vectors waiting across all queued groups.
+    pub queue_cap: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { batch_max: 64, batch_wait_us: 200, queue_cap: 4096 }
+    }
+}
+
+/// Counters the batcher maintains for the metrics registry.
+#[derive(Debug, Default)]
+pub struct BatchCounters {
+    /// Batches flushed.
+    pub batches: AtomicU64,
+    /// Vectors predicted.
+    pub items: AtomicU64,
+    /// Largest batch flushed.
+    pub max_batch: AtomicU64,
+    /// Flushes triggered by the deadline rather than the size bound.
+    pub deadline_flushes: AtomicU64,
+}
+
+/// A group of feature vectors submitted together (a `Batch` request, or
+/// a single `Predict` as a group of one).
+struct Group {
+    vectors: Vec<Vec<f64>>,
+    reply: crossbeam::channel::Sender<Vec<PredictOutcome>>,
+}
+
+/// Error returned by [`MicroBatcher::try_submit`] when admission is
+/// refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The configured vector capacity.
+    pub capacity: usize,
+}
+
+/// The shared micro-batching front of the predict path.
+#[derive(Debug)]
+pub struct MicroBatcher {
+    tx: parking_lot::Mutex<Option<crossbeam::channel::Sender<Group>>>,
+    thread: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+    depth: Arc<AtomicUsize>,
+    counters: Arc<BatchCounters>,
+    cfg: BatchConfig,
+}
+
+impl MicroBatcher {
+    /// Spawns the batcher thread over `model`.
+    pub fn new(model: Arc<SharedModel>, cfg: BatchConfig) -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded::<Group>();
+        let depth = Arc::new(AtomicUsize::new(0));
+        let counters = Arc::new(BatchCounters::default());
+        let thread = {
+            let depth = Arc::clone(&depth);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("misam-batcher".into())
+                .spawn(move || run(rx, model, cfg, depth, counters))
+                .expect("spawn batcher thread")
+        };
+        MicroBatcher {
+            tx: parking_lot::Mutex::new(Some(tx)),
+            thread: parking_lot::Mutex::new(Some(thread)),
+            depth,
+            counters,
+            cfg,
+        }
+    }
+
+    /// Submits a group of feature vectors; the returned channel yields
+    /// exactly one message with the outcomes in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the group does not fit under
+    /// `queue_cap` (or the batcher is shutting down); nothing is queued.
+    pub fn try_submit(
+        &self,
+        vectors: Vec<Vec<f64>>,
+    ) -> Result<crossbeam::channel::Receiver<Vec<PredictOutcome>>, QueueFull> {
+        let full = QueueFull { capacity: self.cfg.queue_cap };
+        let want = vectors.len();
+        // Reserve `want` slots or refuse outright — a group is admitted
+        // or shed atomically, never split.
+        let mut cur = self.depth.load(Ordering::Relaxed);
+        loop {
+            if cur + want > self.cfg.queue_cap {
+                return Err(full);
+            }
+            match self.depth.compare_exchange_weak(
+                cur,
+                cur + want,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let guard = self.tx.lock();
+        let Some(tx) = guard.as_ref() else {
+            self.depth.fetch_sub(want, Ordering::Relaxed);
+            return Err(full);
+        };
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        if tx.send(Group { vectors, reply: reply_tx }).is_err() {
+            self.depth.fetch_sub(want, Ordering::Relaxed);
+            return Err(full);
+        }
+        Ok(reply_rx)
+    }
+
+    /// Feature vectors currently waiting.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The batcher's flush counters.
+    pub fn counters(&self) -> &BatchCounters {
+        &self.counters
+    }
+
+    /// The configuration the batcher runs with.
+    pub fn config(&self) -> BatchConfig {
+        self.cfg
+    }
+
+    /// Closes the queue, drains every accepted group, and joins the
+    /// batcher thread. Safe to call more than once.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().take());
+        if let Some(t) = self.thread.lock().take() {
+            t.join().expect("batcher thread panicked");
+        }
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn run(
+    rx: crossbeam::channel::Receiver<Group>,
+    model: Arc<SharedModel>,
+    cfg: BatchConfig,
+    depth: Arc<AtomicUsize>,
+    counters: Arc<BatchCounters>,
+) {
+    let wait = Duration::from_micros(cfg.batch_wait_us);
+    // Park briefly between polls while a batch is open; short enough to
+    // hold sub-millisecond deadlines, long enough not to burn a core.
+    let poll = Duration::from_micros(20).min(wait.max(Duration::from_micros(1)));
+    loop {
+        // Block for the first group of a batch (idle server costs nothing).
+        let first = match rx.recv() {
+            Ok(g) => g,
+            Err(_) => return, // producers gone and queue drained
+        };
+        let deadline = Instant::now() + wait;
+        let mut items = first.vectors.len();
+        let mut groups = vec![first];
+        while items < cfg.batch_max {
+            match rx.try_recv() {
+                Some(g) => {
+                    items += g.vectors.len();
+                    groups.push(g);
+                }
+                None => {
+                    if Instant::now() >= deadline {
+                        counters.deadline_flushes.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    std::thread::sleep(poll);
+                }
+            }
+        }
+
+        // One model snapshot per flush: the whole batch is predicted
+        // against a consistent bundle even mid-reload.
+        let bundle = model.snapshot();
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters.items.fetch_add(items as u64, Ordering::Relaxed);
+        counters.max_batch.fetch_max(items as u64, Ordering::Relaxed);
+        for group in groups {
+            let n = group.vectors.len();
+            let outs: Vec<PredictOutcome> =
+                group.vectors.iter().map(|v| predict_vector(&bundle, v)).collect();
+            depth.fetch_sub(n, Ordering::Relaxed);
+            // A vanished requester (dropped connection) is not an error.
+            let _ = group.reply.send(outs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::tests::test_bundle;
+    use misam_features::FEATURE_NAMES;
+
+    fn batcher(cfg: BatchConfig) -> MicroBatcher {
+        MicroBatcher::new(Arc::new(SharedModel::new(test_bundle().clone())), cfg)
+    }
+
+    fn vector(x: f64) -> Vec<f64> {
+        vec![x; FEATURE_NAMES.len()]
+    }
+
+    #[test]
+    fn batched_predictions_match_direct_inference() {
+        let b = batcher(BatchConfig { batch_max: 8, batch_wait_us: 100, queue_cap: 64 });
+        let vs: Vec<Vec<f64>> = (0..5).map(|i| vector(i as f64 * 0.3)).collect();
+        let rx = b.try_submit(vs.clone()).unwrap();
+        let outs = rx.recv().unwrap();
+        assert_eq!(outs.len(), 5);
+        for (v, out) in vs.iter().zip(&outs) {
+            assert_eq!(*out, predict_vector(test_bundle(), v));
+        }
+        assert_eq!(b.counters().items.load(Ordering::Relaxed), 5);
+        assert_eq!(b.queue_depth(), 0);
+    }
+
+    #[test]
+    fn admission_is_all_or_nothing() {
+        // Deadline far out and batch_max high: the queue holds whatever
+        // we admit until the flush, so the bound is observable.
+        let b = batcher(BatchConfig { batch_max: 1024, batch_wait_us: 500_000, queue_cap: 10 });
+        let _rx1 = b.try_submit((0..6).map(|_| vector(0.1)).collect::<Vec<_>>()).unwrap();
+        let err = b.try_submit((0..6).map(|_| vector(0.2)).collect::<Vec<_>>()).unwrap_err();
+        assert_eq!(err, QueueFull { capacity: 10 });
+        // A smaller group still fits.
+        let _rx2 = b.try_submit(vec![vector(0.3)]).unwrap();
+        assert!(b.queue_depth() <= 10);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_groups() {
+        let b = batcher(BatchConfig { batch_max: 4096, batch_wait_us: 200_000, queue_cap: 4096 });
+        let receivers: Vec<_> =
+            (0..16).map(|i| b.try_submit(vec![vector(i as f64)]).unwrap()).collect();
+        b.shutdown();
+        for rx in receivers {
+            assert_eq!(rx.recv().unwrap().len(), 1, "shutdown must drain, not abort");
+        }
+        assert!(b.try_submit(vec![vector(1.0)]).is_err(), "closed batcher refuses work");
+    }
+
+    #[test]
+    fn deadline_flushes_underfull_batches() {
+        let b = batcher(BatchConfig { batch_max: 1_000_000, batch_wait_us: 300, queue_cap: 64 });
+        let rx = b.try_submit(vec![vector(0.7)]).unwrap();
+        let out = rx.recv().unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(b.counters().deadline_flushes.load(Ordering::Relaxed) >= 1);
+    }
+}

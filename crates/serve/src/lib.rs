@@ -1,0 +1,39 @@
+//! misam-serve: a multi-threaded dataflow-selection server.
+//!
+//! Exposes the trained Misam pipeline — design selection, latency
+//! prediction, reconfiguration policy, and the cycle-level simulator —
+//! over a newline-delimited JSON protocol on plain TCP, with the pieces
+//! a long-running service needs:
+//!
+//! - a versioned wire [`protocol`] with typed error replies;
+//! - [`batch`]: micro-batching of predict traffic (size-or-deadline
+//!   flush) over a bounded admission queue that sheds with
+//!   `Overloaded { retry_after_ms }` instead of growing without limit;
+//! - [`state`]: a hot-reloadable model bundle (snapshot on read, atomic
+//!   swap on reload) and per-connection sessions that carry bitstream
+//!   state;
+//! - [`metrics`]: lock-free counters and log-bucketed latency
+//!   histograms behind the `Stats` endpoint, dumped on shutdown;
+//! - [`server`]: the accept loop, dispatch, and SIGINT-safe graceful
+//!   drain;
+//! - [`client`]: a blocking client plus a multi-connection load
+//!   generator.
+//!
+//! Heavy jobs (workload synthesis, simulation) run on a shared
+//! [`misam_oracle::pool::WorkerPool`] and hit the process-global
+//! memoizing simulation oracle, so identical queries from different
+//! connections are simulated once.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use client::{Client, LoadGen, LoadReport};
+pub use protocol::{GenSpec, Request, Response, PROTOCOL_VERSION};
+pub use server::{sigint_flag, ServeConfig, Server};
+pub use state::SharedModel;

@@ -1,0 +1,294 @@
+//! Lock-free serving metrics: request/shed/error counters, per-endpoint
+//! latency histograms, and queue-depth gauges.
+//!
+//! Every hot-path update is a relaxed atomic increment — no locks, so
+//! recording a latency costs nanoseconds and never serializes worker
+//! threads. Histograms are log-bucketed (octaves split into four linear
+//! sub-buckets, ≤ ~25% quantile error) which keeps them fixed-size and
+//! mergeable; the [`StatsReply`] snapshot is what the `Stats` endpoint
+//! returns and what the server dumps on graceful shutdown.
+
+use crate::protocol::{EndpointStats, StatsReply};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The endpoints tracked individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Single feature-vector predictions.
+    Predict = 0,
+    /// Generator-spec predictions.
+    PredictGen = 1,
+    /// Batched predictions.
+    Batch = 2,
+    /// Cycle simulations.
+    Simulate = 3,
+    /// Metrics snapshots.
+    Stats = 4,
+    /// Bundle reloads.
+    Reload = 5,
+    /// Shutdown requests.
+    Shutdown = 6,
+}
+
+/// Endpoint names in [`Endpoint`] discriminant order.
+pub const ENDPOINT_NAMES: [&str; 7] =
+    ["predict", "predict_gen", "batch", "simulate", "stats", "reload", "shutdown"];
+
+const BUCKETS: usize = 256;
+
+/// A fixed-size log-bucketed latency histogram over nanoseconds.
+///
+/// Bucket index = 4·⌊log2 ns⌋ + 2-bit linear sub-bucket, so adjacent
+/// bucket bounds differ by ≤ 25% — enough resolution for p50/p95/p99
+/// reporting without per-sample allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_index(ns: u64) -> usize {
+    if ns < 4 {
+        return ns as usize;
+    }
+    let octave = 63 - ns.leading_zeros() as u64;
+    let sub = (ns >> (octave - 2)) & 3;
+    ((octave * 4 + sub) as usize).min(BUCKETS - 1)
+}
+
+/// Upper bound (ns) of the values mapping to `idx`.
+fn bucket_upper_ns(idx: usize) -> u64 {
+    if idx < 4 {
+        return idx as u64;
+    }
+    let octave = (idx / 4) as u64;
+    let sub = (idx % 4) as u64 + 1;
+    // Buckets partition [2^octave, 2^(octave+1)) into 4 linear slices.
+    (1u64 << octave) + (sub << octave.saturating_sub(2)).min(1u64 << octave)
+}
+
+impl Histogram {
+    /// Records one latency sample.
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64 / 1e3
+    }
+
+    /// Approximate `q`-quantile (`0 < q <= 1`) in microseconds, from the
+    /// bucket upper bound (0 when empty).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper_ns(idx) as f64 / 1e3;
+            }
+        }
+        bucket_upper_ns(BUCKETS - 1) as f64 / 1e3
+    }
+}
+
+/// The server's metrics registry; one instance shared by every
+/// connection and worker.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    started: Instant,
+    requests: [AtomicU64; 7],
+    latency: [Histogram; 7],
+    connections_total: AtomicU64,
+    connections_open: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+    reloads: AtomicU64,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            started: Instant::now(),
+            requests: Default::default(),
+            latency: Default::default(),
+            connections_total: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry with the uptime clock started now.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one answered request and its handling latency.
+    pub fn record(&self, ep: Endpoint, ns: u64) {
+        self.requests[ep as usize].fetch_add(1, Ordering::Relaxed);
+        self.latency[ep as usize].record(ns);
+    }
+
+    /// Counts a connection being accepted.
+    pub fn connection_opened(&self) {
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection closing.
+    pub fn connection_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request shed by admission control.
+    pub fn shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total sheds so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Counts one error reply.
+    pub fn error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one successful bundle hot-reload.
+    pub fn reloaded(&self) {
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests answered on `ep` so far.
+    pub fn requests(&self, ep: Endpoint) -> u64 {
+        self.requests[ep as usize].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot for the `Stats` endpoint; queue depths and batch
+    /// counters are sampled by the caller (they live with the queues).
+    pub fn snapshot(
+        &self,
+        batch_queue_depth: u64,
+        pool_queue_depth: u64,
+        batches_flushed: u64,
+        batched_items: u64,
+        max_batch: u64,
+    ) -> StatsReply {
+        let endpoints = ENDPOINT_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| EndpointStats {
+                endpoint: (*name).to_string(),
+                requests: self.requests[i].load(Ordering::Relaxed),
+                mean_us: self.latency[i].mean_us(),
+                p50_us: self.latency[i].quantile_us(0.50),
+                p95_us: self.latency[i].quantile_us(0.95),
+                p99_us: self.latency[i].quantile_us(0.99),
+            })
+            .collect();
+        StatsReply {
+            uptime_s: self.started.elapsed().as_secs_f64(),
+            connections_total: self.connections_total.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            batch_queue_depth,
+            pool_queue_depth,
+            batches_flushed,
+            batched_items,
+            max_batch,
+            endpoints,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut last = 0usize;
+        for shift in 0..63 {
+            let ns = 1u64 << shift;
+            let idx = bucket_index(ns);
+            assert!(idx >= last, "bucket index must not decrease");
+            assert!(idx < BUCKETS);
+            last = idx;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert!(bucket_upper_ns(bucket_index(1000)) >= 1000);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let h = Histogram::default();
+        for ns in [100u64, 200, 300, 400, 500, 600, 700, 800, 900, 100_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile_us(0.5);
+        // Median sample is 500 ns = 0.5 µs; log buckets answer within 25%.
+        assert!((0.4..=0.7).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 >= 100.0, "p99 {p99} must reach the outlier bucket");
+        assert!(h.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn registry_snapshot_collects_counters() {
+        let m = MetricsRegistry::new();
+        m.connection_opened();
+        m.record(Endpoint::Predict, 1_000);
+        m.record(Endpoint::Predict, 2_000);
+        m.record(Endpoint::Stats, 500);
+        m.shed();
+        m.error();
+        m.reloaded();
+        let s = m.snapshot(3, 1, 10, 40, 8);
+        assert_eq!(s.connections_total, 1);
+        assert_eq!(s.connections_open, 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.reloads, 1);
+        assert_eq!(s.batch_queue_depth, 3);
+        assert_eq!(s.endpoints[Endpoint::Predict as usize].requests, 2);
+        assert_eq!(s.endpoints[Endpoint::Stats as usize].requests, 1);
+        m.connection_closed();
+        assert_eq!(m.snapshot(0, 0, 0, 0, 0).connections_open, 0);
+    }
+}

@@ -1,0 +1,543 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every message is one line: a versioned envelope carrying a request or
+//! response payload. Requests and responses are externally-tagged enums
+//! (`{"Predict": {...}}`, a bare string for unit variants), which is
+//! exactly what the vendored serde derive emits, so both halves of the
+//! protocol are plain `#[derive(Serialize, Deserialize)]` types — no
+//! hand-rolled parsing, and client and server can never disagree on
+//! framing because they share these definitions.
+//!
+//! Errors are typed ([`ErrorReply`]) and carry a `retryable` bit so
+//! clients can distinguish "back off and try again" (a queue shed, a
+//! bundle file mid-write) from "fix your request" (bad feature arity, an
+//! incompatible bundle version).
+
+use misam_sim::DesignId;
+use misam_sparse::{gen, CsrMatrix};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// Protocol version spoken by this build; envelopes carrying any other
+/// version are rejected with [`ErrorCode::BadVersion`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard cap on one wire line. Lines longer than this are rejected
+/// ([`ErrorCode::Oversized`]) and the remainder discarded, so a hostile
+/// or broken client cannot balloon server memory with one request.
+pub const MAX_LINE_BYTES: usize = 4 << 20;
+
+/// Largest matrix dimension a [`GenSpec`] may request from the server.
+pub const MAX_GEN_DIM: usize = 1 << 22;
+
+/// One request line: protocol version, caller-chosen correlation id
+/// (echoed in the response), and the operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Protocol version ([`PROTOCOL_VERSION`]).
+    pub v: u32,
+    /// Correlation id echoed back in the matching [`ResponseEnvelope`].
+    pub id: u64,
+    /// The operation to perform.
+    pub req: Request,
+}
+
+/// The operations the server exposes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Predict the optimal design from an already-extracted feature
+    /// vector (arity = `misam_features::FEATURE_NAMES.len()`); rides the
+    /// micro-batched inference path.
+    Predict(PredictRequest),
+    /// Predict from a generator spec: the server synthesizes the
+    /// operand, extracts features, then predicts.
+    PredictGen(GenSpec),
+    /// Many feature-vector predictions in one line; the whole group
+    /// enters the micro-batcher as a unit.
+    Batch(BatchRequest),
+    /// Cycle-simulate a generated operand pair on one design (answers
+    /// come from the process-global memoizing oracle).
+    Simulate(SimulateRequest),
+    /// Snapshot the server's metrics registry.
+    Stats,
+    /// Atomically hot-reload the model bundle from a file path on the
+    /// server host.
+    Reload(ReloadRequest),
+    /// Gracefully stop the server: drain in-flight work, then exit.
+    Shutdown,
+}
+
+/// Payload of [`Request::Predict`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Full feature vector in `FEATURE_NAMES` order.
+    pub features: Vec<f64>,
+}
+
+/// Payload of [`Request::Batch`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchRequest {
+    /// The feature vectors to predict, in order.
+    pub items: Vec<PredictRequest>,
+}
+
+/// A server-side synthetic workload: which generator family to run and
+/// its shape. `dense_cols` describes the dense B operand (`A: rows x
+/// cols` times `B: cols x dense_cols`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenSpec {
+    /// Generator family: `uniform`, `power-law`, `banded`, `pruned-dnn`,
+    /// `regular`, or `circuit`.
+    pub kind: String,
+    /// Rows of A.
+    pub rows: usize,
+    /// Columns of A.
+    pub cols: usize,
+    /// Target density of A.
+    pub density: f64,
+    /// Generator seed (responses are deterministic per seed).
+    pub seed: u64,
+    /// Columns of the dense B operand.
+    pub dense_cols: usize,
+}
+
+impl GenSpec {
+    /// Validates the spec and synthesizes A (same family mapping as the
+    /// `misam gen` CLI subcommand).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown family, an empty or oversized
+    /// shape, or a density outside `(0, 1]`.
+    pub fn build(&self) -> Result<CsrMatrix, String> {
+        if self.rows == 0 || self.cols == 0 || self.dense_cols == 0 {
+            return Err("rows, cols and dense_cols must be positive".into());
+        }
+        if self.rows > MAX_GEN_DIM || self.cols > MAX_GEN_DIM || self.dense_cols > MAX_GEN_DIM {
+            return Err(format!("matrix dimension exceeds server cap {MAX_GEN_DIM}"));
+        }
+        if !(self.density > 0.0 && self.density <= 1.0) {
+            return Err(format!("density {} outside (0, 1]", self.density));
+        }
+        let (rows, cols, density, seed) = (self.rows, self.cols, self.density, self.seed);
+        Ok(match self.kind.as_str() {
+            "uniform" => gen::uniform_random(rows, cols, density, seed),
+            "power-law" => gen::power_law(rows, cols, (density * cols as f64).max(1.0), 1.5, seed),
+            "banded" => {
+                let bw = ((density * cols as f64 / 1.4).ceil() as usize).max(1);
+                gen::banded(rows, cols, bw, 0.7, seed)
+            }
+            "pruned-dnn" => gen::pruned_dnn(rows, cols, density, seed),
+            "regular" => gen::regular_degree(
+                rows,
+                cols,
+                ((density * cols as f64).round() as usize).max(1),
+                seed,
+            ),
+            "circuit" => gen::circuit(rows, cols, density * cols as f64, (rows / 256).max(1), seed),
+            other => return Err(format!("unknown generator kind '{other}'")),
+        })
+    }
+}
+
+/// Payload of [`Request::Simulate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulateRequest {
+    /// The workload to synthesize.
+    pub spec: GenSpec,
+    /// Design to simulate, `1..=4`.
+    pub design: usize,
+}
+
+/// Payload of [`Request::Reload`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReloadRequest {
+    /// Bundle path on the server host.
+    pub path: String,
+}
+
+/// One response line; `id` echoes the request's correlation id (0 for
+/// responses to lines the server could not parse).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// Protocol version of the responding server.
+    pub v: u32,
+    /// Correlation id of the request this answers.
+    pub id: u64,
+    /// The outcome.
+    pub resp: Response,
+}
+
+/// Reply payloads, one per request kind plus the error/backpressure
+/// replies any request can receive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to `Predict` / `PredictGen`.
+    Predict(PredictReply),
+    /// Answer to `Batch`, item replies in request order.
+    Batch(BatchReply),
+    /// Answer to `Simulate`.
+    Simulate(SimulateReply),
+    /// Answer to `Stats`.
+    Stats(StatsReply),
+    /// Answer to a successful `Reload`.
+    Reloaded(ReloadedReply),
+    /// Admission control shed this request; retry after the hinted
+    /// backoff.
+    Overloaded(OverloadedReply),
+    /// The request failed; see the code and `retryable` bit.
+    Error(ErrorReply),
+    /// Acknowledgement of `Shutdown`: the server is draining and will
+    /// close the connection.
+    Bye,
+}
+
+/// A design selection plus the per-session reconfiguration decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictReply {
+    /// Design the classifier nominated.
+    pub predicted: DesignId,
+    /// Design this session should execute on after the reconfiguration
+    /// engine weighed the switch cost.
+    pub execute_on: DesignId,
+    /// Whether the decision triggered a bitstream reconfiguration.
+    pub reconfigured: bool,
+    /// Reconfiguration seconds charged by the decision.
+    pub reconfig_time_s: f64,
+    /// Predicted latency of the design that will execute, seconds.
+    pub predicted_latency_s: f64,
+}
+
+/// Payload of [`Response::Batch`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReply {
+    /// Per-item replies in request order.
+    pub items: Vec<PredictReply>,
+}
+
+/// Summary of one cycle-level simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulateReply {
+    /// The design simulated.
+    pub design: DesignId,
+    /// Total kernel cycles.
+    pub cycles: u64,
+    /// Wall-clock seconds at the design's frequency.
+    pub time_s: f64,
+    /// Energy in joules.
+    pub energy_j: f64,
+    /// PE utilization in `[0, 1]`.
+    pub pe_utilization: f64,
+    /// Number of B row tiles processed.
+    pub tiles: usize,
+}
+
+/// Per-endpoint counters and latency percentiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointStats {
+    /// Endpoint name.
+    pub endpoint: String,
+    /// Requests answered (any outcome).
+    pub requests: u64,
+    /// Mean handling latency, microseconds.
+    pub mean_us: f64,
+    /// Median handling latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile handling latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile handling latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// Payload of [`Response::Stats`]; also dumped on graceful shutdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: u64,
+    /// Connections currently open.
+    pub connections_open: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests answered with an error reply.
+    pub errors: u64,
+    /// Model bundle hot-reloads performed.
+    pub reloads: u64,
+    /// Feature vectors currently waiting in the micro-batch queue.
+    pub batch_queue_depth: u64,
+    /// Jobs currently waiting in the simulation worker-pool queue.
+    pub pool_queue_depth: u64,
+    /// Micro-batches flushed.
+    pub batches_flushed: u64,
+    /// Feature vectors predicted through the batcher.
+    pub batched_items: u64,
+    /// Largest single micro-batch flushed.
+    pub max_batch: u64,
+    /// Per-endpoint counters and latency percentiles.
+    pub endpoints: Vec<EndpointStats>,
+}
+
+/// Payload of [`Response::Reloaded`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReloadedReply {
+    /// Format version of the freshly loaded bundle.
+    pub version: u32,
+    /// How many reloads the server has performed in total.
+    pub reloads: u64,
+}
+
+/// Payload of [`Response::Overloaded`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverloadedReply {
+    /// Suggested client backoff before retrying, milliseconds.
+    pub retry_after_ms: u64,
+}
+
+/// Machine-readable failure category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The line was not a parsable request envelope.
+    BadRequest,
+    /// The envelope's protocol version is unsupported.
+    BadVersion,
+    /// A feature vector had the wrong arity.
+    BadFeatures,
+    /// A generator spec failed validation.
+    BadGenSpec,
+    /// A `Reload` failed (the `retryable` bit distinguishes a transient
+    /// file problem from an incompatible bundle).
+    ReloadFailed,
+    /// The line exceeded [`MAX_LINE_BYTES`].
+    Oversized,
+}
+
+/// Payload of [`Response::Error`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// Failure category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+    /// Whether retrying the same request later could succeed.
+    pub retryable: bool,
+}
+
+/// Serializes `value` as one wire line (JSON + `\n`) into `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_line<T: Serialize>(w: &mut impl Write, value: &T) -> std::io::Result<()> {
+    let body = serde_json::to_string(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    w.write_all(body.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Outcome of reading one wire line.
+#[derive(Debug)]
+pub enum Line {
+    /// A complete line (without the trailing newline).
+    Complete(String),
+    /// The line exceeded `max` bytes; the overflow was discarded up to
+    /// the next newline, so the stream is resynchronized.
+    Oversized,
+    /// The peer closed the connection.
+    Eof,
+}
+
+/// Reads one newline-delimited line of at most `max` bytes.
+///
+/// `acc` is a caller-owned accumulator that preserves a partially read
+/// line across transient read errors (a socket read timeout used to
+/// poll a shutdown flag, say): on `Err`, already-received bytes stay in
+/// `acc` and the next call resumes the same line. Oversized lines are
+/// discarded up to the next newline (in bounded chunks — the overflow
+/// is never buffered) and reported as [`Line::Oversized`], leaving the
+/// stream usable for the next request.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including read timeouts) from the reader.
+pub fn read_line(r: &mut impl BufRead, acc: &mut Vec<u8>, max: usize) -> std::io::Result<Line> {
+    loop {
+        if acc.len() > max {
+            // Discard mode: the line already blew the cap; skip to the
+            // next newline without buffering the overflow.
+            let chunk = r.fill_buf()?;
+            if chunk.is_empty() {
+                acc.clear();
+                return Ok(Line::Oversized);
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    r.consume(pos + 1);
+                    acc.clear();
+                    return Ok(Line::Oversized);
+                }
+                None => {
+                    let n = chunk.len();
+                    r.consume(n);
+                }
+            }
+            continue;
+        }
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            if acc.is_empty() {
+                return Ok(Line::Eof);
+            }
+            // Treat a final unterminated line as complete.
+            let line = String::from_utf8_lossy(acc).into_owned();
+            acc.clear();
+            return Ok(Line::Complete(line));
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if acc.len() + pos > max {
+                r.consume(pos + 1);
+                acc.clear();
+                return Ok(Line::Oversized);
+            }
+            acc.extend_from_slice(&chunk[..pos]);
+            r.consume(pos + 1);
+            let line = String::from_utf8_lossy(acc).into_owned();
+            acc.clear();
+            return Ok(Line::Complete(line));
+        }
+        let take = chunk.len();
+        let room = (max + 1).saturating_sub(acc.len()).min(take);
+        acc.extend_from_slice(&chunk[..room]);
+        r.consume(take);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(req: Request) {
+        let env = RequestEnvelope { v: PROTOCOL_VERSION, id: 7, req };
+        let mut wire = Vec::new();
+        write_line(&mut wire, &env).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.ends_with('\n'));
+        assert_eq!(text.matches('\n').count(), 1, "one line per message");
+        let back: RequestEnvelope = serde_json::from_str(text.trim_end()).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn requests_roundtrip_on_the_wire() {
+        roundtrip(Request::Predict(PredictRequest { features: vec![1.0, -2.5, 0.0] }));
+        roundtrip(Request::Batch(BatchRequest {
+            items: vec![
+                PredictRequest { features: vec![0.5] },
+                PredictRequest { features: vec![1.5] },
+            ],
+        }));
+        roundtrip(Request::PredictGen(GenSpec {
+            kind: "uniform".into(),
+            rows: 100,
+            cols: 100,
+            density: 0.01,
+            seed: 3,
+            dense_cols: 64,
+        }));
+        roundtrip(Request::Stats);
+        roundtrip(Request::Shutdown);
+        roundtrip(Request::Reload(ReloadRequest { path: "/tmp/x.json".into() }));
+    }
+
+    #[test]
+    fn responses_roundtrip_on_the_wire() {
+        let cases = vec![
+            Response::Predict(PredictReply {
+                predicted: DesignId::D2,
+                execute_on: DesignId::D1,
+                reconfigured: false,
+                reconfig_time_s: 0.0,
+                predicted_latency_s: 1.25e-3,
+            }),
+            Response::Overloaded(OverloadedReply { retry_after_ms: 5 }),
+            Response::Error(ErrorReply {
+                code: ErrorCode::BadFeatures,
+                message: "arity".into(),
+                retryable: false,
+            }),
+            Response::Bye,
+        ];
+        for resp in cases {
+            let env = ResponseEnvelope { v: PROTOCOL_VERSION, id: 9, resp };
+            let mut wire = Vec::new();
+            write_line(&mut wire, &env).unwrap();
+            let back: ResponseEnvelope =
+                serde_json::from_str(String::from_utf8(wire).unwrap().trim_end()).unwrap();
+            assert_eq!(back, env);
+        }
+    }
+
+    #[test]
+    fn read_line_frames_and_resynchronizes() {
+        let mut r = Cursor::new(b"short\nxxxxxxxxxxxxxxxxxxxx\nnext\n".to_vec());
+        let mut acc = Vec::new();
+        match read_line(&mut r, &mut acc, 10).unwrap() {
+            Line::Complete(s) => assert_eq!(s, "short"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(read_line(&mut r, &mut acc, 10).unwrap(), Line::Oversized));
+        match read_line(&mut r, &mut acc, 10).unwrap() {
+            Line::Complete(s) => assert_eq!(s, "next", "stream resynchronized after overflow"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(read_line(&mut r, &mut acc, 10).unwrap(), Line::Eof));
+    }
+
+    #[test]
+    fn oversized_line_without_newline_terminates() {
+        let mut r = Cursor::new(vec![b'y'; 1000]);
+        let mut acc = Vec::new();
+        assert!(matches!(read_line(&mut r, &mut acc, 10).unwrap(), Line::Oversized));
+        assert!(matches!(read_line(&mut r, &mut acc, 10).unwrap(), Line::Eof));
+    }
+
+    #[test]
+    fn partial_line_survives_interrupted_reads() {
+        // Two chunks of one line arriving across separate reads: the
+        // accumulator carries the prefix.
+        let mut acc = Vec::new();
+        let mut first = Cursor::new(b"hel".to_vec());
+        assert!(matches!(read_line(&mut first, &mut acc, 64).unwrap(), Line::Complete(_)));
+        // EOF flushed it; simulate the timeout path instead by seeding acc.
+        acc.clear();
+        acc.extend_from_slice(b"hel");
+        let mut rest = Cursor::new(b"lo\n".to_vec());
+        match read_line(&mut rest, &mut acc, 64).unwrap() {
+            Line::Complete(s) => assert_eq!(s, "hello"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn gen_spec_validation() {
+        let ok = GenSpec {
+            kind: "power-law".into(),
+            rows: 256,
+            cols: 256,
+            density: 0.02,
+            seed: 1,
+            dense_cols: 64,
+        };
+        let a = ok.build().unwrap();
+        assert_eq!((a.rows(), a.cols()), (256, 256));
+        // Determinism: same spec, same matrix.
+        assert_eq!(ok.build().unwrap().nnz(), a.nnz());
+
+        assert!(GenSpec { kind: "warp".into(), ..ok.clone() }.build().is_err());
+        assert!(GenSpec { rows: 0, ..ok.clone() }.build().is_err());
+        assert!(GenSpec { density: 1.5, ..ok.clone() }.build().is_err());
+        assert!(GenSpec { rows: MAX_GEN_DIM + 1, ..ok }.build().is_err());
+    }
+}

@@ -1,0 +1,542 @@
+//! The TCP server: accept loop, per-connection handlers, dispatch, and
+//! graceful shutdown.
+//!
+//! Threading model: one acceptor thread, one handler thread per
+//! connection, one micro-batcher thread, and a fixed
+//! [`misam_oracle::pool::WorkerPool`] for simulation/generation jobs.
+//! Handler threads never compute — predictions go through the batcher,
+//! heavy jobs through the pool — so a slow simulation on one connection
+//! cannot starve another connection's predict traffic, and both queues
+//! are bounded, so overload produces `Overloaded` replies instead of
+//! memory growth.
+//!
+//! Shutdown (a `Shutdown` request, [`ServerHandle::shutdown`], or a
+//! SIGINT flag wired by the CLI) is a drain, not an abort: the acceptor
+//! stops, handler threads finish the request they are on (including
+//! waiting for its batched/pooled answer), the batcher and pool then
+//! drain everything already admitted, and the final metrics snapshot is
+//! returned to the caller.
+
+use crate::batch::{BatchConfig, MicroBatcher};
+use crate::metrics::{Endpoint, MetricsRegistry};
+use crate::protocol::{
+    self, BatchReply, ErrorCode, ErrorReply, Line, OverloadedReply, PredictReply, ReloadedReply,
+    Request, RequestEnvelope, Response, ResponseEnvelope, SimulateReply, StatsReply,
+    MAX_LINE_BYTES, PROTOCOL_VERSION,
+};
+use crate::state::{predict_vector, PredictOutcome, Session, SharedModel};
+use misam::persist::ModelBundle;
+use misam_features::FEATURE_NAMES;
+use misam_oracle::pool::WorkerPool;
+use misam_oracle::Executor;
+use misam_sim::Operand;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads for simulation/generation jobs (0 = all cores via
+    /// `misam_oracle::pool::default_threads`).
+    pub threads: usize,
+    /// Micro-batch flush size.
+    pub batch_max: usize,
+    /// Micro-batch flush deadline, microseconds.
+    pub batch_wait_us: u64,
+    /// Admission bound for both the batch queue (feature vectors) and
+    /// the worker-pool queue (jobs).
+    pub queue_cap: usize,
+    /// Socket read timeout used to poll the shutdown flag on idle
+    /// connections, milliseconds.
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            batch_max: 64,
+            batch_wait_us: 200,
+            queue_cap: 4096,
+            read_timeout_ms: 50,
+        }
+    }
+}
+
+/// Everything the dispatch path shares.
+struct ServerState {
+    model: Arc<SharedModel>,
+    metrics: MetricsRegistry,
+    batcher: MicroBatcher,
+    pool: WorkerPool,
+    stopping: AtomicBool,
+    addr: SocketAddr,
+    cfg: ServeConfig,
+}
+
+impl ServerState {
+    fn retry_after_ms(&self) -> u64 {
+        // Backoff hint scaled to how much queued work is ahead of the
+        // client: at least one flush interval, more as the queue deepens.
+        let depth = self.batcher.queue_depth() + self.pool.queue_depth();
+        let flush_ms = (self.cfg.batch_wait_us / 1000).max(1);
+        flush_ms + (depth as u64 / self.cfg.batch_max.max(1) as u64) * flush_ms
+    }
+
+    fn stats(&self) -> StatsReply {
+        let c = self.batcher.counters();
+        self.metrics.snapshot(
+            self.batcher.queue_depth() as u64,
+            self.pool.queue_depth() as u64,
+            c.batches.load(Ordering::Relaxed),
+            c.items.load(Ordering::Relaxed),
+            c.max_batch.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Flips the stopping flag and wakes the acceptor with a dummy
+    /// connection so it notices without waiting for real traffic.
+    fn begin_shutdown(&self) {
+        if !self.stopping.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A running server; dropping it without calling
+/// [`ServerHandle::shutdown`] aborts less gracefully (threads are
+/// detached), so prefer an explicit shutdown.
+pub struct Server {
+    state: Arc<ServerState>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.state.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds `cfg.addr` and starts serving `bundle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start(bundle: ModelBundle, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let threads =
+            if cfg.threads == 0 { misam_oracle::pool::default_threads() } else { cfg.threads };
+        let model = Arc::new(SharedModel::new(bundle));
+        let batcher = MicroBatcher::new(
+            Arc::clone(&model),
+            BatchConfig {
+                batch_max: cfg.batch_max,
+                batch_wait_us: cfg.batch_wait_us,
+                queue_cap: cfg.queue_cap,
+            },
+        );
+        let state = Arc::new(ServerState {
+            model,
+            metrics: MetricsRegistry::new(),
+            batcher,
+            pool: WorkerPool::new(threads, cfg.queue_cap),
+            stopping: AtomicBool::new(false),
+            addr,
+            cfg,
+        });
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("misam-accept".into())
+                .spawn(move || accept_loop(listener, state))
+                .expect("spawn acceptor")
+        };
+        Ok(Server { state, acceptor: Some(acceptor) })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Whether shutdown has been initiated (locally or by a client's
+    /// `Shutdown` request).
+    pub fn is_stopping(&self) -> bool {
+        self.state.stopping.load(Ordering::SeqCst)
+    }
+
+    /// A live metrics snapshot.
+    pub fn stats(&self) -> StatsReply {
+        self.state.stats()
+    }
+
+    /// Initiates shutdown without waiting; pair with
+    /// [`Server::join`].
+    pub fn begin_shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Initiates (if needed) and completes a graceful shutdown: drains
+    /// in-flight and admitted work, joins every thread, and returns the
+    /// final metrics snapshot.
+    pub fn shutdown(mut self) -> StatsReply {
+        self.state.begin_shutdown();
+        if let Some(a) = self.acceptor.take() {
+            a.join().expect("acceptor panicked");
+        }
+        // Acceptor joined its connection handlers; nobody can submit
+        // anymore. Drain the batcher (its queue empties before the
+        // thread exits), then the pool the same way.
+        self.state.batcher.shutdown();
+        self.state.stats()
+    }
+
+    /// Blocks until a client's `Shutdown` request (or a prior
+    /// [`Server::begin_shutdown`]) stops the server, then completes the
+    /// drain and returns the final metrics snapshot.
+    pub fn join(self) -> StatsReply {
+        while !self.is_stopping() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        self.shutdown()
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let next_conn = AtomicUsize::new(0);
+    for stream in listener.incoming() {
+        if state.stopping.load(Ordering::SeqCst) {
+            break; // the waking connection (or a raced client) is dropped
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(&state);
+        let id = next_conn.fetch_add(1, Ordering::Relaxed);
+        let h = std::thread::Builder::new()
+            .name(format!("misam-conn-{id}"))
+            .spawn(move || handle_connection(stream, state))
+            .expect("spawn connection handler");
+        handlers.push(h);
+        // Opportunistically reap finished handlers so a long-lived
+        // server does not accumulate join handles forever.
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        h.join().expect("connection handler panicked");
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
+    state.metrics.connection_opened();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(state.cfg.read_timeout_ms.max(1))));
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            state.metrics.connection_closed();
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(writer);
+    let mut acc: Vec<u8> = Vec::new();
+    // Session state (current bitstream) lives exactly as long as the
+    // connection, like a tile stream.
+    let mut session: Option<Session> = None;
+
+    loop {
+        let line = match protocol::read_line(&mut reader, &mut acc, MAX_LINE_BYTES) {
+            Ok(line) => line,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if state.stopping.load(Ordering::SeqCst) {
+                    break; // idle connection during drain
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        let text = match line {
+            Line::Eof => break,
+            Line::Oversized => {
+                state.metrics.error();
+                let resp = Response::Error(ErrorReply {
+                    code: ErrorCode::Oversized,
+                    message: format!("line exceeds {MAX_LINE_BYTES} bytes"),
+                    retryable: false,
+                });
+                if respond(&mut writer, 0, resp).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Line::Complete(text) => text,
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        let env: RequestEnvelope = match serde_json::from_str(&text) {
+            Ok(env) => env,
+            Err(e) => {
+                state.metrics.error();
+                let resp = Response::Error(ErrorReply {
+                    code: ErrorCode::BadRequest,
+                    message: format!("unparsable request: {e}"),
+                    retryable: false,
+                });
+                if respond(&mut writer, 0, resp).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let id = env.id;
+        let (resp, shutdown) = dispatch(&state, &mut session, env);
+        if matches!(resp, Response::Error(_)) {
+            state.metrics.error();
+        }
+        let write_ok = respond(&mut writer, id, resp).is_ok();
+        if shutdown {
+            state.begin_shutdown();
+            break;
+        }
+        // A draining server answers the request it was handling, then
+        // closes; a chatty client must not be able to stall shutdown.
+        if !write_ok || state.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    state.metrics.connection_closed();
+}
+
+fn respond(w: &mut impl std::io::Write, id: u64, resp: Response) -> std::io::Result<()> {
+    protocol::write_line(w, &ResponseEnvelope { v: PROTOCOL_VERSION, id, resp })
+}
+
+/// Handles one request; the bool asks the connection loop to initiate
+/// server shutdown after replying.
+fn dispatch(
+    state: &ServerState,
+    session: &mut Option<Session>,
+    env: RequestEnvelope,
+) -> (Response, bool) {
+    if env.v != PROTOCOL_VERSION {
+        return (
+            Response::Error(ErrorReply {
+                code: ErrorCode::BadVersion,
+                message: format!(
+                    "protocol version {} unsupported (expected {PROTOCOL_VERSION})",
+                    env.v
+                ),
+                retryable: false,
+            }),
+            false,
+        );
+    }
+    let started = Instant::now();
+    let (endpoint, resp, shutdown) = match env.req {
+        Request::Predict(p) => {
+            let resp = predict_group(state, session, vec![p.features])
+                .map(|mut replies| Response::Predict(replies.remove(0)))
+                .unwrap_or_else(|resp| resp);
+            (Endpoint::Predict, resp, false)
+        }
+        Request::Batch(b) => {
+            let vectors: Vec<Vec<f64>> = b.items.into_iter().map(|p| p.features).collect();
+            let resp = predict_group(state, session, vectors)
+                .map(|items| Response::Batch(BatchReply { items }))
+                .unwrap_or_else(|resp| resp);
+            (Endpoint::Batch, resp, false)
+        }
+        Request::PredictGen(spec) => {
+            (Endpoint::PredictGen, predict_gen(state, session, spec), false)
+        }
+        Request::Simulate(req) => (Endpoint::Simulate, simulate(state, req), false),
+        Request::Stats => (Endpoint::Stats, Response::Stats(state.stats()), false),
+        Request::Reload(r) => {
+            let resp = match state.model.reload_from(&r.path) {
+                Ok(version) => {
+                    state.metrics.reloaded();
+                    Response::Reloaded(ReloadedReply {
+                        version,
+                        reloads: state.model.reload_count(),
+                    })
+                }
+                Err(e) => Response::Error(ErrorReply {
+                    code: ErrorCode::ReloadFailed,
+                    retryable: e.is_retryable(),
+                    message: e.to_string(),
+                }),
+            };
+            (Endpoint::Reload, resp, false)
+        }
+        Request::Shutdown => (Endpoint::Shutdown, Response::Bye, true),
+    };
+    state.metrics.record(endpoint, started.elapsed().as_nanos() as u64);
+    (resp, shutdown)
+}
+
+/// Validates arity, runs a group of vectors through the micro-batcher,
+/// and applies the session's reconfiguration policy to each outcome in
+/// order. `Err` carries the ready-made failure response.
+fn predict_group(
+    state: &ServerState,
+    session: &mut Option<Session>,
+    vectors: Vec<Vec<f64>>,
+) -> Result<Vec<PredictReply>, Response> {
+    let arity = FEATURE_NAMES.len();
+    for (i, v) in vectors.iter().enumerate() {
+        if v.len() != arity {
+            return Err(Response::Error(ErrorReply {
+                code: ErrorCode::BadFeatures,
+                message: format!("item {i}: expected {arity} features, got {}", v.len()),
+                retryable: false,
+            }));
+        }
+        if v.iter().any(|x| !x.is_finite()) {
+            return Err(Response::Error(ErrorReply {
+                code: ErrorCode::BadFeatures,
+                message: format!("item {i}: non-finite feature value"),
+                retryable: false,
+            }));
+        }
+    }
+    if vectors.is_empty() {
+        return Ok(Vec::new());
+    }
+    let rx = match state.batcher.try_submit(vectors) {
+        Ok(rx) => rx,
+        Err(_) => {
+            state.metrics.shed();
+            return Err(Response::Overloaded(OverloadedReply {
+                retry_after_ms: state.retry_after_ms(),
+            }));
+        }
+    };
+    let outcomes = rx.recv().expect("batcher drains accepted groups");
+    let session = session.get_or_insert_with(|| Session::new(&state.model.snapshot()));
+    Ok(outcomes.iter().map(|out| session.decide(out)).collect())
+}
+
+/// `PredictGen`: synthesize the workload on the worker pool, extract
+/// features, predict against the current bundle, then decide in-session.
+fn predict_gen(
+    state: &ServerState,
+    session: &mut Option<Session>,
+    spec: protocol::GenSpec,
+) -> Response {
+    let bundle = state.model.snapshot();
+    let (tx, rx) = crossbeam::channel::unbounded::<Result<PredictOutcome, String>>();
+    let job_bundle = Arc::clone(&bundle);
+    let submitted = state.pool.try_submit(move || {
+        let out = spec.build().map(|a| {
+            let features = misam_features::PairFeatures::extract_dense_b(
+                &a,
+                a.cols(),
+                spec.dense_cols,
+                &job_bundle.tile_config(),
+            );
+            predict_vector(&job_bundle, &features.to_vector())
+        });
+        let _ = tx.send(out);
+    });
+    if submitted.is_err() {
+        state.metrics.shed();
+        return Response::Overloaded(OverloadedReply { retry_after_ms: state.retry_after_ms() });
+    }
+    match rx.recv().expect("pool drains accepted jobs") {
+        Ok(out) => {
+            let session = session.get_or_insert_with(|| Session::new(&bundle));
+            Response::Predict(session.decide(&out))
+        }
+        Err(msg) => Response::Error(ErrorReply {
+            code: ErrorCode::BadGenSpec,
+            message: msg,
+            retryable: false,
+        }),
+    }
+}
+
+/// `Simulate`: run the cycle simulator on the worker pool through the
+/// process-global memoizing oracle, so repeated (workload, design)
+/// queries across connections are simulated once.
+fn simulate(state: &ServerState, req: protocol::SimulateRequest) -> Response {
+    if !(1..=4).contains(&req.design) {
+        return Response::Error(ErrorReply {
+            code: ErrorCode::BadGenSpec,
+            message: format!("design {} outside 1..=4", req.design),
+            retryable: false,
+        });
+    }
+    let (tx, rx) = crossbeam::channel::unbounded::<Result<SimulateReply, String>>();
+    let design = req.design - 1;
+    let submitted = state.pool.try_submit(move || {
+        let out = req.spec.build().map(|a| {
+            let b = Operand::Dense { rows: a.cols(), cols: req.spec.dense_cols };
+            let r = misam_oracle::global().execute(&a, b, design);
+            SimulateReply {
+                design: r.design,
+                cycles: r.cycles,
+                time_s: r.time_s,
+                energy_j: r.energy_j,
+                pe_utilization: r.pe_utilization,
+                tiles: r.tiles,
+            }
+        });
+        let _ = tx.send(out);
+    });
+    if submitted.is_err() {
+        state.metrics.shed();
+        return Response::Overloaded(OverloadedReply { retry_after_ms: state.retry_after_ms() });
+    }
+    match rx.recv().expect("pool drains accepted jobs") {
+        Ok(reply) => Response::Simulate(reply),
+        Err(msg) => Response::Error(ErrorReply {
+            code: ErrorCode::BadGenSpec,
+            message: msg,
+            retryable: false,
+        }),
+    }
+}
+
+/// Installs a process-wide SIGINT handler that only flips a flag, and
+/// returns that flag; the CLI polls it to turn Ctrl-C into the same
+/// graceful drain a `Shutdown` request triggers. Safe to call more than
+/// once (the same flag is returned).
+///
+/// Non-Unix builds get the flag without a handler (Ctrl-C falls back to
+/// process termination).
+pub fn sigint_flag() -> &'static AtomicBool {
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    #[cfg(unix)]
+    {
+        use std::sync::Once;
+        static INSTALL: Once = Once::new();
+        INSTALL.call_once(|| {
+            extern "C" fn on_sigint(_sig: i32) {
+                FLAG.store(true, Ordering::SeqCst);
+            }
+            extern "C" {
+                fn signal(signum: i32, handler: usize) -> usize;
+            }
+            const SIGINT: i32 = 2;
+            // SAFETY: the handler only performs an atomic store, which
+            // is async-signal-safe; `signal` is the libc std already
+            // links against.
+            unsafe {
+                signal(SIGINT, on_sigint as extern "C" fn(i32) as *const () as usize);
+            }
+        });
+    }
+    &FLAG
+}

@@ -1,0 +1,235 @@
+//! Shared server state: the hot-reloadable model bundle and the
+//! per-connection session that carries bitstream state.
+//!
+//! The bundle lives behind `RwLock<Arc<ModelBundle>>` — readers clone
+//! the `Arc` (a refcount bump under a read lock, effectively an
+//! arc-swap), so a reload parses and validates the new bundle entirely
+//! off to the side and then swaps the pointer atomically. In-flight
+//! requests keep the snapshot they started with; new requests see the
+//! new model. A failed reload leaves the previous bundle untouched.
+
+use misam::persist::{ModelBundle, PersistError};
+use misam_features::PairFeatures;
+use misam_recon::engine::ReconfigEngine;
+use misam_sim::DesignId;
+use parking_lot::RwLock;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What the batched inference stage computes per feature vector: the
+/// nominated design plus the latency model's estimate for every design,
+/// so the per-session reconfiguration decision needs no further model
+/// access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictOutcome {
+    /// Design the classifier nominated.
+    pub predicted: DesignId,
+    /// Predicted latency per design (seconds), indexed by
+    /// `DesignId::index`.
+    pub latency_s: [f64; 4],
+}
+
+/// Runs the selector and the latency predictor on one full feature
+/// vector.
+pub fn predict_vector(bundle: &ModelBundle, v: &[f64]) -> PredictOutcome {
+    let predicted = bundle.selector.select_vector(v);
+    let mut latency_s = [0.0; 4];
+    for d in DesignId::ALL {
+        latency_s[d.index()] = 10f64.powf(bundle.predictor.predict_log10(v, d));
+    }
+    PredictOutcome { predicted, latency_s }
+}
+
+/// The model bundle behind an atomic hot-reload point.
+#[derive(Debug)]
+pub struct SharedModel {
+    bundle: RwLock<Arc<ModelBundle>>,
+    reloads: AtomicU64,
+}
+
+impl SharedModel {
+    /// Wraps an initial bundle.
+    pub fn new(bundle: ModelBundle) -> Self {
+        SharedModel { bundle: RwLock::new(Arc::new(bundle)), reloads: AtomicU64::new(0) }
+    }
+
+    /// The current bundle; the snapshot stays valid (and immutable) for
+    /// as long as the caller holds it, even across reloads.
+    pub fn snapshot(&self) -> Arc<ModelBundle> {
+        Arc::clone(&self.bundle.read())
+    }
+
+    /// Atomically replaces the bundle with one loaded from `path`.
+    ///
+    /// The file is read, parsed, and version-checked before the swap, so
+    /// a bad file can never leave the server without a working model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`PersistError`]; `is_retryable` distinguishes
+    /// transient file problems from an incompatible bundle.
+    pub fn reload_from(&self, path: &str) -> Result<u32, PersistError> {
+        let fresh = ModelBundle::load(path)?;
+        let version = fresh.version;
+        *self.bundle.write() = Arc::new(fresh);
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        Ok(version)
+    }
+
+    /// Successful reloads performed.
+    pub fn reload_count(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
+    }
+}
+
+/// Latency model that reads a per-session table refreshed before every
+/// decision — it adapts the vector-based batched inference results to
+/// the [`misam_recon::engine::LatencyModel`] interface, which is keyed
+/// by `PairFeatures` the wire protocol never carries.
+#[derive(Debug, Clone)]
+pub struct TableLatencyModel(Rc<RefCell<[f64; 4]>>);
+
+impl misam_recon::engine::LatencyModel for TableLatencyModel {
+    fn predict_seconds(&self, _features: &PairFeatures, design: DesignId) -> f64 {
+        self.0.borrow()[design.index()]
+    }
+}
+
+/// Per-connection session state: its own [`ReconfigEngine`], so each
+/// client stream carries its own current-bitstream state exactly like
+/// the tile-streaming executor — two clients switching designs never
+/// interfere.
+#[derive(Debug)]
+pub struct Session {
+    engine: ReconfigEngine<TableLatencyModel>,
+    table: Rc<RefCell<[f64; 4]>>,
+}
+
+impl Session {
+    /// Creates a cold session (no bitstream loaded) using the bundle's
+    /// reconfiguration cost model and switch threshold.
+    pub fn new(bundle: &ModelBundle) -> Self {
+        let table = Rc::new(RefCell::new([0.0; 4]));
+        let engine = ReconfigEngine::new(
+            TableLatencyModel(Rc::clone(&table)),
+            bundle.cost,
+            bundle.threshold,
+        );
+        Session { engine, table }
+    }
+
+    /// Applies the session's reconfiguration policy to one batched
+    /// inference outcome, advancing the bitstream state.
+    pub fn decide(&mut self, out: &PredictOutcome) -> crate::protocol::PredictReply {
+        *self.table.borrow_mut() = out.latency_s;
+        let d = self.engine.decide(&PairFeatures::default(), out.predicted);
+        crate::protocol::PredictReply {
+            predicted: out.predicted,
+            execute_on: d.execute_on,
+            reconfigured: d.reconfigured,
+            reconfig_time_s: d.reconfig_time_s,
+            predicted_latency_s: d.predicted_latency_s,
+        }
+    }
+
+    /// The design this session currently has loaded, if any.
+    pub fn current(&self) -> Option<DesignId> {
+        self.engine.current()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use misam::dataset::{Dataset, Objective};
+    use misam::training;
+    use misam_features::TileConfig;
+    use misam_recon::cost::ReconfigCost;
+    use std::sync::OnceLock;
+
+    pub(crate) fn test_bundle() -> &'static ModelBundle {
+        static BUNDLE: OnceLock<ModelBundle> = OnceLock::new();
+        BUNDLE.get_or_init(|| {
+            let ds = Dataset::generate(120, 55);
+            let sel = training::train_selector(&ds, Objective::Latency, 1);
+            let lat = training::train_latency_predictor(&ds, 1);
+            ModelBundle::new(
+                sel.selector,
+                lat.predictor,
+                0.2,
+                ReconfigCost::default(),
+                TileConfig::default(),
+            )
+        })
+    }
+
+    #[test]
+    fn snapshot_survives_reload() {
+        let model = SharedModel::new(test_bundle().clone());
+        let before = model.snapshot();
+
+        let dir = std::env::temp_dir().join(format!("misam_serve_state_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.json");
+        let mut altered = test_bundle().clone();
+        altered.threshold = 0.5;
+        altered.save(&path).unwrap();
+
+        let v = model.reload_from(path.to_str().unwrap()).unwrap();
+        assert_eq!(v, misam::persist::BUNDLE_VERSION);
+        assert_eq!(model.reload_count(), 1);
+        assert_eq!(model.snapshot().threshold, 0.5, "new requests see the new model");
+        assert_eq!(before.threshold, 0.2, "held snapshots are immutable");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_reload_keeps_the_old_model() {
+        let model = SharedModel::new(test_bundle().clone());
+        let err = model.reload_from("/nonexistent/bundle.json").unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(model.reload_count(), 0);
+        assert_eq!(model.snapshot().threshold, test_bundle().threshold);
+    }
+
+    #[test]
+    fn session_carries_bitstream_state() {
+        let bundle = test_bundle();
+        let mut session = Session::new(bundle);
+        assert_eq!(session.current(), None);
+
+        let out = PredictOutcome { predicted: DesignId::D2, latency_s: [1.0, 0.5, 0.6, 2.0] };
+        let first = session.decide(&out);
+        assert_eq!(first.execute_on, DesignId::D2);
+        assert!(first.reconfigured, "cold start loads the predicted design");
+        assert_eq!(session.current(), Some(DesignId::D2));
+
+        // Same prediction again: no switch.
+        let second = session.decide(&out);
+        assert!(!second.reconfigured);
+        assert_eq!(second.reconfig_time_s, 0.0);
+
+        // D2 -> D3 shares a bitstream: free switch.
+        let out3 = PredictOutcome { predicted: DesignId::D3, latency_s: [1.0, 0.6, 0.5, 2.0] };
+        let third = session.decide(&out3);
+        assert_eq!(third.execute_on, DesignId::D3);
+        assert!(!third.reconfigured);
+
+        // A tiny gain never justifies a full reconfiguration.
+        let out4 = PredictOutcome { predicted: DesignId::D4, latency_s: [1.0, 0.6, 0.5001, 0.5] };
+        let fourth = session.decide(&out4);
+        assert_eq!(fourth.execute_on, DesignId::D3);
+        assert!(!fourth.reconfigured);
+    }
+
+    #[test]
+    fn predict_vector_matches_the_selector() {
+        let bundle = test_bundle();
+        let v = vec![0.5; misam_features::FEATURE_NAMES.len()];
+        let out = predict_vector(bundle, &v);
+        assert_eq!(out.predicted, bundle.selector.select_vector(&v));
+        assert!(out.latency_s.iter().all(|&s| s > 0.0 && s.is_finite()));
+    }
+}

@@ -549,7 +549,19 @@ fn simulate_inner(
         }
     };
 
-    assemble_report(cfg, m, k, n, nnz_a, b.nnz() as u64, flops, compute, passes, pe_utilization, tiles)
+    assemble_report(
+        cfg,
+        m,
+        k,
+        n,
+        nnz_a,
+        b.nnz() as u64,
+        flops,
+        compute,
+        passes,
+        pe_utilization,
+        tiles,
+    )
 }
 
 #[cfg(test)]

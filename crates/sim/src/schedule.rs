@@ -325,8 +325,7 @@ pub fn schedule_with_cost_structural(
                 let acc = &mut accs[pe];
                 acc.work += cost_sum;
                 acc.elements += n as u64;
-                acc.max_span =
-                    acc.max_span.max(row_span(cost_sum, gap_sum, gap_max, n as u64));
+                acc.max_span = acc.max_span.max(row_span(cost_sum, gap_sum, gap_max, n as u64));
             }
         }
     }
@@ -518,18 +517,19 @@ mod tests {
     fn structural_cost_schedule_declines_gapped_tables_and_row_traversal() {
         let lazy = gen::uniform_random_lazy(64, 64, 0.1, 45);
         let gapped: Vec<u64> = vec![1; 64]; // cost 1 < dep_distance 2
-        assert!(schedule_with_cost_structural(lazy.structure(), &cfg(DesignId::D4), &gapped)
-            .is_none());
+        assert!(
+            schedule_with_cost_structural(lazy.structure(), &cfg(DesignId::D4), &gapped).is_none()
+        );
         let flat: Vec<u64> = vec![4; 64];
-        assert!(schedule_with_cost_structural(lazy.structure(), &cfg(DesignId::D3), &flat)
-            .is_none());
+        assert!(
+            schedule_with_cost_structural(lazy.structure(), &cfg(DesignId::D3), &flat).is_none()
+        );
         // Mesh structures keep full gap handling, so gapped tables fold.
         let mesh = gen::mesh2d_lazy(8, 8);
         let mesh_table: Vec<u64> = vec![1; 64];
         let walk = schedule_with_cost(mesh.materialize(), &cfg(DesignId::D4), |_| 1);
-        let fold =
-            schedule_with_cost_structural(mesh.structure(), &cfg(DesignId::D4), &mesh_table)
-                .expect("mesh folds regardless of gaps");
+        let fold = schedule_with_cost_structural(mesh.structure(), &cfg(DesignId::D4), &mesh_table)
+            .expect("mesh folds regardless of gaps");
         assert_eq!(walk, fold);
     }
 

@@ -153,8 +153,10 @@ enum Binomial {
     /// Degenerate distribution: always this value, zero draws.
     Const(usize),
     /// Small-mean regime: CDF inversion. `cdf[k] = P(X <= k)` for the
-    /// half distribution; `flip` maps a draw `k` to `n - k`.
-    Table { cdf: [f64; BINOMIAL_TABLE_CAP], len: usize, n: usize, flip: bool },
+    /// half distribution; `flip` maps a draw `k` to `n - k`. Boxed: the
+    /// table dwarfs the other variants, and samplers are built once per
+    /// distribution, so the indirection is off the per-row path.
+    Table { cdf: Box<[f64; BINOMIAL_TABLE_CAP]>, len: usize, n: usize, flip: bool },
     /// Large-mean regime: Box–Muller normal approximation.
     Normal { n: usize, mean: f64, sd: f64 },
 }
@@ -174,7 +176,7 @@ impl Binomial {
             let q = 1.0 - ph;
             let s = ph / q;
             let mut pmf = (n as f64 * q.ln()).exp();
-            let mut cdf = [0.0f64; BINOMIAL_TABLE_CAP];
+            let mut cdf = Box::new([0.0f64; BINOMIAL_TABLE_CAP]);
             let mut acc = 0.0;
             let mut len = 0usize;
             loop {
