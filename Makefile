@@ -4,7 +4,7 @@
 # experiment sweeps); default is all cores and output is byte-identical
 # at any value, e.g. `MISAM_THREADS=4 make reproduce`.
 
-.PHONY: test bench bench-sim bench-gen bench-serve serve-smoke reproduce reproduce-paper examples doc clean
+.PHONY: test bench bench-sim bench-gen bench-serve bench-train serve-smoke reproduce reproduce-paper examples doc clean
 
 test:
 	cargo test --workspace
@@ -21,6 +21,12 @@ bench-sim:
 # materialization per family. Writes BENCH_gen.json.
 bench-gen:
 	cargo run --release -p misam-bench --bin bench_gen
+
+# Training-kernel microbenchmark: seed per-node-sort induction vs the
+# sort-once columnar fit, boxed vs flat batched prediction, serial vs
+# parallel forest fit; writes BENCH_train.json.
+bench-train:
+	cargo run --release -p misam-bench --bin bench_train
 
 # Serving load benchmark: throughput/latency percentiles for batched and
 # single predicts over TCP, plus an overload scenario proving the

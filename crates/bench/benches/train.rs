@@ -1,0 +1,54 @@
+//! Criterion benches of the rebuilt mlkit kernels: seed per-node-sort
+//! induction vs sort-once columnar fit, and the boxed row walk vs the
+//! flat SoA batch walk. The `bench_train` binary is the JSON-writing
+//! twin with equality gates; this harness gives statistical timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use misam_mlkit::flat::FlatTree;
+use misam_mlkit::matrix::FeatureMatrix;
+use misam_mlkit::reference;
+use misam_mlkit::tree::{DecisionTree, TreeParams};
+use std::hint::black_box;
+
+/// Noise labels over 24 binned features: the tree grows to its bounds,
+/// the worst case for induction (see `bench_train` for rationale).
+fn training_data(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let f: Vec<f64> = (0..24).map(|j| ((i * 37 + j * 13) % 101) as f64).collect();
+        let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        y.push(((h >> 29) % 4) as usize);
+        x.push(f);
+    }
+    (x, y)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let (x, y) = training_data(4096);
+    let params = TreeParams::default();
+    c.bench_function("tree_fit_seed_4096x24", |b| {
+        b.iter(|| reference::fit_tree(black_box(&x), black_box(&y), 4, &params))
+    });
+    c.bench_function("tree_fit_sort_once_4096x24", |b| {
+        b.iter(|| DecisionTree::fit(black_box(&x), black_box(&y), 4, &params))
+    });
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (x, y) = training_data(4096);
+    let tree = DecisionTree::fit(&x, &y, 4, &TreeParams::default());
+    let flat = FlatTree::from_tree(&tree);
+    let m = FeatureMatrix::from_rows(&x);
+    c.bench_function("predict_batch_boxed_4096", |b| b.iter(|| tree.predict_batch(black_box(&x))));
+    c.bench_function("predict_batch_flat_4096", |b| {
+        b.iter(|| flat.predict_batch_matrix(black_box(&m)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fit, bench_predict
+}
+criterion_main!(benches);

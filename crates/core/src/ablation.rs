@@ -90,32 +90,35 @@ pub struct ModelComparison {
 /// Trains both models on the same split and measures accuracy, footprint
 /// and inference latency — the §3.1 trade the paper asserts.
 pub fn model_choice(dataset: &Dataset, seed: u64) -> ModelComparison {
-    let x = dataset.features();
+    let m = misam_mlkit::matrix::FeatureMatrix::from_rows(&dataset.features());
     let y = dataset.labels(Objective::Latency);
-    let split = cv::train_test_split(x.len(), 0.7, seed);
-    let xt = cv::gather(&x, &split.train);
+    let split = cv::train_test_split(m.n_rows(), 0.7, seed);
+    let xt = m.gather(&split.train);
     let yt = cv::gather(&y, &split.train);
-    let xv = cv::gather(&x, &split.validation);
+    let xv = m.gather(&split.validation);
     let yv = cv::gather(&y, &split.validation);
 
     let tree_params = training::selector_params(&yt);
-    let tree = misam_mlkit::tree::DecisionTree::fit(&xt, &yt, 4, &tree_params);
-    let forest = RandomForest::fit(
+    let tree = misam_mlkit::tree::DecisionTree::fit_matrix(&xt, &yt, 4, &tree_params);
+    let forest = RandomForest::fit_matrix(
         &xt,
         &yt,
         4,
         &ForestParams { n_trees: 25, tree: tree_params, seed, ..Default::default() },
     );
 
-    let tree_accuracy = metrics::accuracy(&tree.predict_batch(&xv), &yv);
-    let forest_accuracy = metrics::accuracy(&forest.predict_batch(&xv), &yv);
+    let tree_accuracy = metrics::accuracy(&tree.predict_batch_matrix(&xv), &yv);
+    let forest_accuracy = metrics::accuracy(&forest.predict_batch_matrix(&xv), &yv);
 
+    // Per-inference timing exercises the row-vector entry points the
+    // serving layer uses.
+    let probe: Vec<Vec<f64>> = (0..xv.n_rows()).map(|r| xv.row(r)).collect();
     let time_per = |f: &dyn Fn(&[f64]) -> usize| {
         let reps = 2000usize;
         let t0 = Instant::now();
         let mut acc = 0usize;
         for i in 0..reps {
-            acc += f(&xv[i % xv.len()]);
+            acc += f(&probe[i % probe.len()]);
         }
         std::hint::black_box(acc);
         t0.elapsed().as_nanos() as f64 / reps as f64

@@ -614,8 +614,9 @@ pub fn fig13_trapezoid(scale: &ExperimentScale) -> Fig13Result {
         times.push(t);
     }
 
+    let m = misam_mlkit::matrix::FeatureMatrix::from_rows(&x);
     let split = cv::train_test_split(x.len(), 0.7, scale.seed);
-    let xt = cv::gather(&x, &split.train);
+    let xt = m.gather(&split.train);
     let yt = cv::gather(&y, &split.train);
     let params = TreeParams {
         max_depth: 10,
@@ -624,11 +625,11 @@ pub fn fig13_trapezoid(scale: &ExperimentScale) -> Fig13Result {
         min_gain: 1e-6,
         class_weights: Some(metrics::inverse_frequency_weights(&yt, 3)),
     };
-    let tree = DecisionTree::fit(&xt, &yt, 3, &params);
+    let tree = DecisionTree::fit_matrix(&xt, &yt, 3, &params);
 
-    let xv = cv::gather(&x, &split.validation);
+    let xv = m.gather(&split.validation);
     let yv = cv::gather(&y, &split.validation);
-    let pred = tree.predict_batch(&xv);
+    let pred = tree.predict_batch_matrix(&xv);
     let accuracy = metrics::accuracy(&pred, &yv);
     let confusion = ConfusionMatrix::new(&pred, &yv, 3);
 

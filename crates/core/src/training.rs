@@ -4,6 +4,8 @@
 use crate::dataset::{Dataset, Objective};
 use misam_features::{PairFeatures, FEATURE_NAMES};
 use misam_mlkit::cv;
+use misam_mlkit::flat::{FlatRegressionTree, FlatTree};
+use misam_mlkit::matrix::FeatureMatrix;
 use misam_mlkit::metrics::{self, ConfusionMatrix};
 use misam_mlkit::regression::{RegParams, RegressionTree};
 use misam_mlkit::tree::{DecisionTree, TreeParams};
@@ -54,6 +56,15 @@ impl TrainedSelector {
     /// The underlying decision tree (importances, size, serialization).
     pub fn tree(&self) -> &DecisionTree {
         &self.tree
+    }
+
+    /// Converts to the flat SoA inference form used on serving hot
+    /// paths; predictions are bit-identical to [`TrainedSelector::select_vector`].
+    pub fn to_flat(&self) -> FlatSelector {
+        FlatSelector {
+            tree: FlatTree::from_tree(&self.tree),
+            feature_map: self.feature_map.clone(),
+        }
     }
 
     /// Feature importances paired with their names, sorted descending —
@@ -131,14 +142,11 @@ fn train_selector_impl(
     feature_map: Option<Vec<usize>>,
 ) -> SelectorTraining {
     assert!(!dataset.is_empty(), "cannot train on an empty dataset");
-    let x: Vec<Vec<f64>> = match &feature_map {
-        None => dataset.features(),
-        Some(map) => {
-            dataset.samples.iter().map(|s| map.iter().map(|&i| s.features[i]).collect()).collect()
-        }
-    };
+    // One columnar matrix over the full corpus; splits and the feature
+    // subset are gathered column-at-a-time from it.
+    let m = FeatureMatrix::from_rows(&dataset.features());
     let y = dataset.labels(objective);
-    let split = cv::train_test_split(x.len(), 0.7, seed);
+    let split = cv::train_test_split(m.n_rows(), 0.7, seed);
 
     // The paper's deployed tree is post-pruned (§3.1); hold back a
     // fifth of the training split as the pruning set so the 30%
@@ -146,19 +154,19 @@ fn train_selector_impl(
     // holdback would cost more fit data than pruning saves.
     let cut = if split.train.len() >= 400 { split.train.len() * 4 / 5 } else { split.train.len() };
     let (fit_idx, prune_idx) = split.train.split_at(cut);
-    let xt = cv::gather(&x, fit_idx);
+    let xt = m.gather_project(fit_idx, feature_map.as_deref());
     let yt = cv::gather(&y, fit_idx);
     let params = selector_params(&yt);
-    let mut tree = DecisionTree::fit(&xt, &yt, 4, &params);
+    let mut tree = DecisionTree::fit_matrix(&xt, &yt, 4, &params);
     if !prune_idx.is_empty() {
-        let xp = cv::gather(&x, prune_idx);
+        let xp = m.gather_project(prune_idx, feature_map.as_deref());
         let yp = cv::gather(&y, prune_idx);
-        tree.prune_with_validation(&xp, &yp);
+        tree.prune_with_validation_matrix(&xp, &yp);
     }
 
-    let xv = cv::gather(&x, &split.validation);
+    let xv = m.gather_project(&split.validation, feature_map.as_deref());
     let yv = cv::gather(&y, &split.validation);
-    let pred = tree.predict_batch(&xv);
+    let pred = tree.predict_batch_matrix(&xv);
     let accuracy = metrics::accuracy(&pred, &yv);
     let confusion = ConfusionMatrix::new(&pred, &yv, 4);
     let model_bytes = tree.serialized_size();
@@ -172,23 +180,71 @@ fn train_selector_impl(
 }
 
 /// K-fold cross-validated selector accuracy (the paper's 10-fold
-/// protocol).
+/// protocol). Rounds run in parallel on `misam_oracle::pool` workers;
+/// scores are identical to the serial protocol.
 pub fn kfold_selector_accuracy(
     dataset: &Dataset,
     objective: Objective,
     k: usize,
     seed: u64,
 ) -> Vec<f64> {
-    let x = dataset.features();
+    let m = FeatureMatrix::from_rows(&dataset.features());
     let y = dataset.labels(objective);
-    cv::cross_validate(x.len(), k, seed, |train, val| {
-        let xt = cv::gather(&x, train);
+    cv::cross_validate_par(m.n_rows(), k, seed, |train, val| {
+        let xt = m.gather(train);
         let yt = cv::gather(&y, train);
-        let tree = DecisionTree::fit(&xt, &yt, 4, &selector_params(&yt));
-        let xv = cv::gather(&x, val);
+        let tree = DecisionTree::fit_matrix(&xt, &yt, 4, &selector_params(&yt));
+        let xv = m.gather(val);
         let yv = cv::gather(&y, val);
-        metrics::accuracy(&tree.predict_batch(&xv), &yv)
+        metrics::accuracy(&tree.predict_batch_matrix(&xv), &yv)
     })
+}
+
+/// Flat SoA inference form of [`TrainedSelector`]: the same projection
+/// and tree walk over dense arrays, used by `misam-serve` on every
+/// micro-batch flush. Build via [`TrainedSelector::to_flat`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatSelector {
+    tree: FlatTree,
+    feature_map: Option<Vec<usize>>,
+}
+
+impl FlatSelector {
+    /// Predicts the optimal design for an operand pair's features.
+    pub fn select(&self, features: &PairFeatures) -> DesignId {
+        self.select_vector(&features.to_vector())
+    }
+
+    /// Predicts from an already-flattened **full** feature vector;
+    /// bit-identical to [`TrainedSelector::select_vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector arity differs from the training features.
+    pub fn select_vector(&self, v: &[f64]) -> DesignId {
+        match &self.feature_map {
+            None => DesignId::from_index(self.tree.predict(v)),
+            Some(map) => {
+                let projected: Vec<f64> = map.iter().map(|&i| v[i]).collect();
+                DesignId::from_index(self.tree.predict(&projected))
+            }
+        }
+    }
+
+    /// Columnar batch form of [`FlatSelector::select_vector`] over a
+    /// matrix of **full** feature vectors (one row per operand pair);
+    /// per-row results are bit-identical to the vector entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix arity differs from the training features.
+    pub fn select_batch_matrix(&self, m: &FeatureMatrix) -> Vec<DesignId> {
+        let classes = match &self.feature_map {
+            None => self.tree.predict_batch_matrix(m),
+            Some(map) => self.tree.predict_batch_matrix(&m.project(map)),
+        };
+        classes.into_iter().map(DesignId::from_index).collect()
+    }
 }
 
 /// The reconfiguration engine's latency model: one regression tree per
@@ -203,6 +259,34 @@ impl LatencyPredictor {
     /// Predicted log10(seconds) for a feature vector on one design.
     pub fn predict_log10(&self, v: &[f64], design: DesignId) -> f64 {
         self.trees[design.index()].predict(v)
+    }
+
+    /// Converts to the flat SoA inference form; predictions are
+    /// bit-identical to [`LatencyPredictor::predict_log10`].
+    pub fn to_flat(&self) -> FlatLatencyPredictor {
+        FlatLatencyPredictor { trees: self.trees.iter().map(FlatRegressionTree::from_tree).collect() }
+    }
+}
+
+/// Flat SoA inference form of [`LatencyPredictor`] (one flat regression
+/// tree per design), used by `misam-serve` on every micro-batch flush.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatLatencyPredictor {
+    trees: Vec<FlatRegressionTree>,
+}
+
+impl FlatLatencyPredictor {
+    /// Predicted log10(seconds) for a feature vector on one design;
+    /// bit-identical to [`LatencyPredictor::predict_log10`].
+    pub fn predict_log10(&self, v: &[f64], design: DesignId) -> f64 {
+        self.trees[design.index()].predict(v)
+    }
+
+    /// Columnar batch form of [`FlatLatencyPredictor::predict_log10`]
+    /// for one design across every row of `m`; per-row results are
+    /// bit-identical to the vector entry point.
+    pub fn predict_log10_batch(&self, m: &FeatureMatrix, design: DesignId) -> Vec<f64> {
+        self.trees[design.index()].predict_batch_matrix(m)
     }
 }
 
@@ -234,9 +318,14 @@ pub struct LatencyTraining {
 /// Panics if the dataset is empty.
 pub fn train_latency_predictor(dataset: &Dataset, seed: u64) -> LatencyTraining {
     assert!(!dataset.is_empty(), "cannot train on an empty dataset");
-    let x = dataset.features();
-    let split = cv::train_test_split(x.len(), 0.7, seed);
+    let m = FeatureMatrix::from_rows(&dataset.features());
+    let split = cv::train_test_split(m.n_rows(), 0.7, seed);
     let params = RegParams { max_depth: 16, min_samples_leaf: 2, ..RegParams::default() };
+
+    // The four per-design targets share the same rows; gather the
+    // feature split once instead of once per design.
+    let xt = m.gather(&split.train);
+    let xv = m.gather(&split.validation);
 
     let mut trees = Vec::with_capacity(4);
     let mut all_pred = Vec::new();
@@ -244,14 +333,11 @@ pub fn train_latency_predictor(dataset: &Dataset, seed: u64) -> LatencyTraining 
 
     for d in DesignId::ALL {
         let y: Vec<f64> = dataset.samples.iter().map(|s| s.times_s[d.index()].log10()).collect();
-        let xt = cv::gather(&x, &split.train);
         let yt = cv::gather(&y, &split.train);
-        let tree = RegressionTree::fit(&xt, &yt, &params);
+        let tree = RegressionTree::fit_matrix(&xt, &yt, &params);
 
-        for &i in &split.validation {
-            all_pred.push(tree.predict(&x[i]));
-            all_actual.push(y[i]);
-        }
+        all_pred.extend(tree.predict_batch_matrix(&xv));
+        all_actual.extend(split.validation.iter().map(|&i| y[i]));
         trees.push(tree);
     }
 

@@ -55,16 +55,39 @@ where
     let folds = k_folds(n, k, seed);
     (0..k)
         .map(|round| {
-            let val = &folds[round];
-            let train: Vec<usize> = folds
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != round)
-                .flat_map(|(_, f)| f.iter().copied())
-                .collect();
+            let (train, val) = round_indices(&folds, round);
             eval(&train, val)
         })
         .collect()
+}
+
+/// [`cross_validate`] with the rounds evaluated in parallel on
+/// `misam_oracle::pool` workers (count from `MISAM_THREADS`, default all
+/// cores). Folds are drawn identically to the serial version and scores
+/// come back in round order, so the result is exactly what
+/// [`cross_validate`] returns — `eval` just needs to be thread-safe
+/// (`Fn + Sync` instead of `FnMut`).
+pub fn cross_validate_par<F>(n: usize, k: usize, seed: u64, eval: F) -> Vec<f64>
+where
+    F: Fn(&[usize], &[usize]) -> f64 + Sync,
+{
+    let folds = k_folds(n, k, seed);
+    let rounds: Vec<usize> = (0..k).collect();
+    misam_oracle::pool::par_map(&rounds, |&round| {
+        let (train, val) = round_indices(&folds, round);
+        eval(&train, val)
+    })
+}
+
+/// Training/validation index sets for one round of k-fold.
+fn round_indices(folds: &[Vec<usize>], round: usize) -> (Vec<usize>, &[usize]) {
+    let train: Vec<usize> = folds
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != round)
+        .flat_map(|(_, f)| f.iter().copied())
+        .collect();
+    (train, &folds[round])
 }
 
 fn shuffled(n: usize, seed: u64) -> Vec<usize> {
@@ -131,6 +154,17 @@ mod tests {
             val.len() as f64
         });
         assert_eq!(scores, vec![5.0; 4]);
+    }
+
+    #[test]
+    fn parallel_cross_validate_matches_serial() {
+        let serial = cross_validate(50, 5, 11, |train, val| {
+            (train.iter().sum::<usize>() * 1000 + val.iter().sum::<usize>()) as f64
+        });
+        let parallel = cross_validate_par(50, 5, 11, |train, val| {
+            (train.iter().sum::<usize>() * 1000 + val.iter().sum::<usize>()) as f64
+        });
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Typed errors for the compact model wire formats.
+//!
+//! `DecisionTree::from_bytes` (and the flat-forest equivalent) used to
+//! report failures as bare `String`s; a serving `Reload` endpoint wants
+//! to log *where* a blob went bad and whether retrying could help, so
+//! decoding now reports [`ModelDecodeError`] — each variant carries the
+//! byte offset and enough context to pinpoint the corruption. `String`
+//! conversion is kept so existing `Result<_, String>` call sites keep
+//! compiling (the same pattern `misam::persist::PersistError` follows).
+
+/// Why a compact model blob failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelDecodeError {
+    /// The magic bytes at the start of the blob are wrong or missing.
+    BadMagic {
+        /// The magic the decoder expected (e.g. `MSDT`).
+        expected: [u8; 4],
+        /// Bytes actually found (zero-padded when the blob is shorter
+        /// than four bytes).
+        found: [u8; 4],
+    },
+    /// The blob ends before the structure it declares.
+    Truncated {
+        /// Bytes the declared structure requires.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+        /// Offset of the structure that could not be read.
+        offset: usize,
+    },
+    /// A split node's child index points outside the node array.
+    LinkOutOfRange {
+        /// Index of the offending node.
+        node: usize,
+        /// The out-of-range child link.
+        link: u32,
+        /// Number of nodes in the array.
+        count: usize,
+        /// Byte offset of the offending node record.
+        offset: usize,
+    },
+    /// A node record carries an unknown tag byte.
+    UnknownTag {
+        /// The unrecognized tag.
+        tag: u8,
+        /// Index of the offending node.
+        node: usize,
+        /// Byte offset of the offending node record.
+        offset: usize,
+    },
+    /// A forest tree's feature map references a feature the forest does
+    /// not have.
+    FeatureOutOfRange {
+        /// Index of the offending tree.
+        tree: usize,
+        /// The out-of-range feature index.
+        feature: u32,
+        /// The forest's feature count.
+        n_features: usize,
+        /// Byte offset of the offending map entry.
+        offset: usize,
+    },
+    /// A nested tree blob inside a forest failed to decode.
+    Tree {
+        /// Index of the offending tree.
+        tree: usize,
+        /// Byte offset where the tree blob starts.
+        offset: usize,
+        /// The tree-level failure.
+        source: Box<ModelDecodeError>,
+    },
+}
+
+impl std::fmt::Display for ModelDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelDecodeError::BadMagic { expected, found } => write!(
+                f,
+                "missing {} header (found {:?})",
+                String::from_utf8_lossy(expected),
+                found
+            ),
+            ModelDecodeError::Truncated { expected, found, offset } => {
+                write!(f, "expected {expected} bytes, got {found} (at offset {offset})")
+            }
+            ModelDecodeError::LinkOutOfRange { node, link, count, offset } => {
+                write!(
+                    f,
+                    "node {node} links out of range ({link} >= {count}, at offset {offset})"
+                )
+            }
+            ModelDecodeError::UnknownTag { tag, node, offset } => {
+                write!(f, "unknown node tag {tag} at node {node} (offset {offset})")
+            }
+            ModelDecodeError::FeatureOutOfRange { tree, feature, n_features, offset } => write!(
+                f,
+                "tree {tree} maps feature {feature} outside the forest's {n_features} \
+                 (at offset {offset})"
+            ),
+            ModelDecodeError::Tree { tree, offset, source } => {
+                write!(f, "tree {tree} (at offset {offset}): {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelDecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelDecodeError::Tree { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// Existing call sites accumulate errors as `String`; keep `?` working
+/// for them.
+impl From<ModelDecodeError> for String {
+    fn from(e: ModelDecodeError) -> Self {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_offsets_and_context() {
+        let e = ModelDecodeError::Truncated { expected: 48, found: 30, offset: 16 };
+        let s = e.to_string();
+        assert!(s.contains("48") && s.contains("30") && s.contains("16"), "{s}");
+
+        let nested = ModelDecodeError::Tree {
+            tree: 2,
+            offset: 96,
+            source: Box::new(ModelDecodeError::UnknownTag { tag: 7, node: 3, offset: 64 }),
+        };
+        let s = nested.to_string();
+        assert!(s.contains("tree 2") && s.contains("tag 7"), "{s}");
+        assert!(std::error::Error::source(&nested).is_some());
+    }
+
+    #[test]
+    fn string_conversion_keeps_legacy_callers_alive() {
+        let msg: String = ModelDecodeError::BadMagic { expected: *b"MSDT", found: *b"nope" }.into();
+        assert!(msg.contains("MSDT"), "{msg}");
+    }
+}

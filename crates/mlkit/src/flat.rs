@@ -1,0 +1,678 @@
+//! Flattened structure-of-arrays inference forms.
+//!
+//! A fitted [`DecisionTree`] stores `Node` enum values — 32 bytes each,
+//! with the match on the discriminant in the middle of the descent loop.
+//! The flat forms below split the same tree into three parallel arrays
+//! (`feature: u16`, `threshold: f64`, `children: u32 × 2`) with a
+//! sentinel feature value marking leaves, so the descent is a
+//! branch-light `i = children[2i + (x[f] > t)]` loop over dense arrays.
+//! This is the serving-side counterpart of the paper's "unrolled
+//! decision logic" (§5.5): `misam-serve` converts each reloaded
+//! [`ModelBundle`](../../misam/persist/struct.ModelBundle.html) once and
+//! runs every micro-batch flush on the flat form.
+//!
+//! Conversions are lossless: flat predictions (class, purity, latency)
+//! are bit-identical to the boxed walk — property-tested in
+//! `tests/flat_equivalence.rs` — and [`FlatTree::to_bytes`] emits the
+//! exact `MSDT` wire format of [`DecisionTree::to_bytes`], so the two
+//! forms are interchangeable on disk.
+
+use crate::error::ModelDecodeError;
+use crate::forest::RandomForest;
+use crate::matrix::FeatureMatrix;
+use crate::regression::RegressionTree;
+use crate::tree::{decode_nodes, encode_nodes, DecisionTree, Node};
+use serde::{Deserialize, Serialize};
+
+/// Sentinel in the `feature` array marking a leaf. Valid split feature
+/// indices are `< n_features <= u16::MAX`, so the sentinel can never
+/// collide.
+const LEAF: u16 = u16::MAX;
+
+/// Frontier walk shared by the flat batch predictors: instead of
+/// descending row by row (which reads one scattered column value per
+/// node visit), all rows descend together. A stack of `(node, lo, hi)`
+/// segments over one shared row-index buffer is processed node by node;
+/// at each split the segment is stably partitioned in place — one
+/// sequential pass over a single feature column, against one register-
+/// resident threshold. The stable partition keeps each segment's row
+/// indices ascending, so column gathers stay prefetch-friendly at every
+/// depth. `emit(node, rows)` is called once per reached leaf with the
+/// rows that landed on it.
+///
+/// When `map` is present, split feature `f` reads column `map[f]` of
+/// `m` (the forest's per-tree feature projection, applied on the fly).
+///
+/// The comparison is `!(x <= t)` — not `x > t` — so NaN descends right
+/// exactly like the per-row walks.
+fn walk_batch(
+    feature: &[u16],
+    threshold: &[f64],
+    children: &[u32],
+    m: &FeatureMatrix,
+    map: Option<&[u32]>,
+    mut emit: impl FnMut(usize, &[u32]),
+) {
+    let n = m.n_rows();
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    let mut scratch: Vec<u32> = vec![0; n];
+    let mut stack: Vec<(u32, u32, u32)> = vec![(0, 0, n as u32)];
+    while let Some((node, lo, hi)) = stack.pop() {
+        let (i, lo, hi) = (node as usize, lo as usize, hi as usize);
+        let f = feature[i];
+        if f == LEAF {
+            emit(i, &idx[lo..hi]);
+            continue;
+        }
+        let full = map.map_or(f as usize, |mp| mp[f as usize] as usize);
+        let col = m.col(full);
+        let t = threshold[i];
+        let mut nl = lo;
+        let mut nr = 0usize;
+        for k in lo..hi {
+            let r = idx[k];
+            if !(col[r as usize] <= t) {
+                scratch[nr] = r;
+                nr += 1;
+            } else {
+                // In-place compaction is safe: the write index never
+                // passes the read index (`nl <= k`).
+                idx[nl] = r;
+                nl += 1;
+            }
+        }
+        idx[nl..hi].copy_from_slice(&scratch[..nr]);
+        if nr > 0 {
+            stack.push((children[2 * i + 1], nl as u32, hi as u32));
+        }
+        if nl > lo {
+            stack.push((children[2 * i], lo as u32, nl as u32));
+        }
+    }
+}
+
+/// A classifier tree flattened into parallel arrays for inference.
+///
+/// Per node `i`: `feature[i]` is the tested feature (or [`LEAF`]),
+/// `threshold[i]` the decision threshold (for leaves: the purity), and
+/// `children[2i] / children[2i + 1]` the left/right child offsets (for
+/// leaves: the class in the left slot).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatTree {
+    feature: Vec<u16>,
+    threshold: Vec<f64>,
+    children: Vec<u32>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl FlatTree {
+    /// Flattens a fitted boxed tree. Predictions are bit-identical to
+    /// the source tree's.
+    pub fn from_tree(tree: &DecisionTree) -> Self {
+        let nodes = tree.nodes();
+        let mut flat = FlatTree {
+            feature: Vec::with_capacity(nodes.len()),
+            threshold: Vec::with_capacity(nodes.len()),
+            children: Vec::with_capacity(2 * nodes.len()),
+            n_features: tree.n_features(),
+            n_classes: tree.n_classes(),
+        };
+        for n in nodes {
+            flat.push_node(n);
+        }
+        flat
+    }
+
+    fn push_node(&mut self, n: &Node) {
+        match *n {
+            Node::Split { feature, threshold, left, right } => {
+                self.feature.push(feature);
+                self.threshold.push(threshold);
+                self.children.push(left);
+                self.children.push(right);
+            }
+            Node::Leaf { class, purity } => {
+                self.feature.push(LEAF);
+                self.threshold.push(purity as f64);
+                self.children.push(class as u32);
+                self.children.push(0);
+            }
+        }
+    }
+
+    fn node(&self, i: usize) -> Node {
+        if self.feature[i] == LEAF {
+            Node::Leaf { class: self.children[2 * i] as u16, purity: self.threshold[i] as f32 }
+        } else {
+            Node::Split {
+                feature: self.feature[i],
+                threshold: self.threshold[i],
+                left: self.children[2 * i],
+                right: self.children[2 * i + 1],
+            }
+        }
+    }
+
+    /// Rebuilds the boxed form (decoded trees report zero importances,
+    /// like [`DecisionTree::from_bytes`]).
+    pub fn to_tree(&self) -> DecisionTree {
+        let nodes: Vec<Node> = (0..self.feature.len()).map(|i| self.node(i)).collect();
+        DecisionTree::from_parts(nodes, self.n_features, self.n_classes, vec![0.0; self.n_features])
+    }
+
+    /// Predicts the class of one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features`.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        self.predict_with_purity(features).0
+    }
+
+    /// Predicts the class and the training purity of the reached leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features`.
+    pub fn predict_with_purity(&self, features: &[f64]) -> (usize, f64) {
+        assert_eq!(features.len(), self.n_features, "feature vector has wrong arity");
+        let mut i = 0usize;
+        loop {
+            let f = self.feature[i];
+            if f == LEAF {
+                return (self.children[2 * i] as usize, self.threshold[i]);
+            }
+            // `!(x <= t)` (not `x > t`) so NaN descends right, exactly
+            // like the boxed walk's `if x <= t { left } else { right }`.
+            let go_right = !(features[f as usize] <= self.threshold[i]);
+            i = self.children[2 * i + usize::from(go_right)] as usize;
+        }
+    }
+
+    /// Predicts a batch of row vectors.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Predicts every row of a columnar matrix via the frontier walk
+    /// ([`walk_batch`]): all rows descend together, each split costing
+    /// one sequential pass over one feature column. Results match the
+    /// per-row [`FlatTree::predict`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.n_features() != n_features`.
+    pub fn predict_batch_matrix(&self, m: &FeatureMatrix) -> Vec<usize> {
+        assert_eq!(m.n_features(), self.n_features, "feature matrix has wrong arity");
+        let mut out = vec![0usize; m.n_rows()];
+        walk_batch(&self.feature, &self.threshold, &self.children, m, None, |i, rows| {
+            let class = self.children[2 * i] as usize;
+            for &r in rows {
+                out[r as usize] = class;
+            }
+        });
+        out
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Serializes to the same compact `MSDT` format as
+    /// [`DecisionTree::to_bytes`] — the two forms are byte-compatible.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let nodes: Vec<Node> = (0..self.feature.len()).map(|i| self.node(i)).collect();
+        encode_nodes(&nodes, self.n_features, self.n_classes)
+    }
+
+    /// Deserializes an `MSDT` blob (from either tree form).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelDecodeError`] pinpointing the first structural
+    /// problem.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, ModelDecodeError> {
+        let (nodes, n_features, n_classes) = decode_nodes(data)?;
+        let mut flat = FlatTree {
+            feature: Vec::with_capacity(nodes.len()),
+            threshold: Vec::with_capacity(nodes.len()),
+            children: Vec::with_capacity(2 * nodes.len()),
+            n_features,
+            n_classes,
+        };
+        for n in &nodes {
+            flat.push_node(n);
+        }
+        Ok(flat)
+    }
+}
+
+/// A regression tree flattened for inference; leaves keep the predicted
+/// value in the `threshold` slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatRegressionTree {
+    feature: Vec<u16>,
+    threshold: Vec<f64>,
+    children: Vec<u32>,
+    n_features: usize,
+}
+
+impl FlatRegressionTree {
+    /// Flattens a fitted regression tree. Predictions are bit-identical
+    /// to the source tree's.
+    pub fn from_tree(tree: &RegressionTree) -> Self {
+        let nodes = tree.nodes();
+        let mut feature = Vec::with_capacity(nodes.len());
+        let mut threshold = Vec::with_capacity(nodes.len());
+        let mut children = Vec::with_capacity(2 * nodes.len());
+        for n in nodes {
+            match *n {
+                crate::regression::RNode::Split { feature: f, threshold: t, left, right } => {
+                    feature.push(f);
+                    threshold.push(t);
+                    children.push(left);
+                    children.push(right);
+                }
+                crate::regression::RNode::Leaf { value } => {
+                    feature.push(LEAF);
+                    threshold.push(value);
+                    children.push(0);
+                    children.push(0);
+                }
+            }
+        }
+        FlatRegressionTree { feature, threshold, children, n_features: tree.n_features() }
+    }
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features`.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.n_features, "feature vector has wrong arity");
+        let mut i = 0usize;
+        loop {
+            let f = self.feature[i];
+            if f == LEAF {
+                return self.threshold[i];
+            }
+            let go_right = !(features[f as usize] <= self.threshold[i]);
+            i = self.children[2 * i + usize::from(go_right)] as usize;
+        }
+    }
+
+    /// Predicts a batch of row vectors.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Predicts every row of a columnar matrix via the frontier walk
+    /// ([`walk_batch`]); bit-identical to the per-row
+    /// [`FlatRegressionTree::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.n_features() != n_features`.
+    pub fn predict_batch_matrix(&self, m: &FeatureMatrix) -> Vec<f64> {
+        assert_eq!(m.n_features(), self.n_features, "feature matrix has wrong arity");
+        let mut out = vec![0.0f64; m.n_rows()];
+        walk_batch(&self.feature, &self.threshold, &self.children, m, None, |i, rows| {
+            let value = self.threshold[i];
+            for &r in rows {
+                out[r as usize] = value;
+            }
+        });
+        out
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+/// A bagged forest flattened for inference: flat trees plus the per-tree
+/// feature maps, voting exactly like [`RandomForest::predict`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatForest {
+    trees: Vec<FlatTree>,
+    maps: Vec<Vec<u32>>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl FlatForest {
+    /// Flattens a fitted forest. Predictions are bit-identical to the
+    /// source forest's.
+    pub fn from_forest(forest: &RandomForest) -> Self {
+        FlatForest {
+            trees: forest.trees().iter().map(FlatTree::from_tree).collect(),
+            maps: forest
+                .maps()
+                .iter()
+                .map(|m| m.iter().map(|&f| f as u32).collect())
+                .collect(),
+            n_classes: forest.n_classes(),
+            n_features: forest.n_features(),
+        }
+    }
+
+    /// Predicts by majority vote (ties break to the lower class index),
+    /// replicating [`RandomForest::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training arity.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        assert_eq!(features.len(), self.n_features, "feature vector has wrong arity");
+        let mut votes = vec![0usize; self.n_classes];
+        let mut projected = Vec::new();
+        for (tree, map) in self.trees.iter().zip(&self.maps) {
+            projected.clear();
+            projected.extend(map.iter().map(|&f| features[f as usize]));
+            votes[tree.predict(&projected)] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &v)| (v, self.n_classes - i))
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+
+    /// Predicts a batch of row vectors.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Predicts every row of a columnar matrix: each tree runs the
+    /// frontier walk ([`walk_batch`]) with its feature map applied on
+    /// the fly, then votes are tallied per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.n_features() != n_features`.
+    pub fn predict_batch_matrix(&self, m: &FeatureMatrix) -> Vec<usize> {
+        assert_eq!(m.n_features(), self.n_features, "feature matrix has wrong arity");
+        let n = m.n_rows();
+        let mut votes = vec![0usize; n * self.n_classes];
+        for (tree, map) in self.trees.iter().zip(&self.maps) {
+            walk_batch(
+                &tree.feature,
+                &tree.threshold,
+                &tree.children,
+                m,
+                Some(map),
+                |i, rows| {
+                    let class = tree.children[2 * i] as usize;
+                    for &r in rows {
+                        votes[r as usize * self.n_classes + class] += 1;
+                    }
+                },
+            );
+        }
+        (0..n)
+            .map(|r| {
+                votes[r * self.n_classes..(r + 1) * self.n_classes]
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(i, &v)| (v, self.n_classes - i))
+                    .map(|(i, _)| i)
+                    .expect("at least one class")
+            })
+            .collect()
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Serializes to the compact `MSFF` wire format: a 16-byte header
+    /// (magic, tree count, feature count, class count), then per tree
+    /// its feature map (length-prefixed `u32`s) and its `MSDT` blob
+    /// (length-prefixed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"MSFF");
+        out.extend_from_slice(&(self.trees.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.n_features as u32).to_le_bytes());
+        out.extend_from_slice(&(self.n_classes as u32).to_le_bytes());
+        for (tree, map) in self.trees.iter().zip(&self.maps) {
+            out.extend_from_slice(&(map.len() as u32).to_le_bytes());
+            for &f in map {
+                out.extend_from_slice(&f.to_le_bytes());
+            }
+            let blob = tree.to_bytes();
+            out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+            out.extend_from_slice(&blob);
+        }
+        out
+    }
+
+    /// Deserializes a forest written by [`FlatForest::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelDecodeError`] pinpointing the first structural
+    /// problem; tree-level failures are wrapped with the tree index and
+    /// blob offset.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, ModelDecodeError> {
+        if data.len() < 4 || &data[0..4] != b"MSFF" {
+            let mut found = [0u8; 4];
+            let take = data.len().min(4);
+            found[..take].copy_from_slice(&data[..take]);
+            return Err(ModelDecodeError::BadMagic { expected: *b"MSFF", found });
+        }
+        if data.len() < 16 {
+            return Err(ModelDecodeError::Truncated { expected: 16, found: data.len(), offset: 0 });
+        }
+        let n_trees = u32::from_le_bytes(data[4..8].try_into().expect("sliced")) as usize;
+        let n_features = u32::from_le_bytes(data[8..12].try_into().expect("sliced")) as usize;
+        let n_classes = u32::from_le_bytes(data[12..16].try_into().expect("sliced")) as usize;
+
+        let mut o = 16usize;
+        let need = |o: usize, bytes: usize, len: usize| -> Result<(), ModelDecodeError> {
+            if o + bytes > len {
+                Err(ModelDecodeError::Truncated { expected: o + bytes, found: len, offset: o })
+            } else {
+                Ok(())
+            }
+        };
+        let mut trees = Vec::with_capacity(n_trees);
+        let mut maps = Vec::with_capacity(n_trees);
+        for t in 0..n_trees {
+            need(o, 4, data.len())?;
+            let map_len = u32::from_le_bytes(data[o..o + 4].try_into().expect("sliced")) as usize;
+            o += 4;
+            need(o, 4 * map_len, data.len())?;
+            let mut map = Vec::with_capacity(map_len);
+            for k in 0..map_len {
+                let f = u32::from_le_bytes(
+                    data[o + 4 * k..o + 4 * k + 4].try_into().expect("sliced"),
+                );
+                if f as usize >= n_features {
+                    return Err(ModelDecodeError::FeatureOutOfRange {
+                        tree: t,
+                        feature: f,
+                        n_features,
+                        offset: o + 4 * k,
+                    });
+                }
+                map.push(f);
+            }
+            o += 4 * map_len;
+            need(o, 4, data.len())?;
+            let blob_len =
+                u32::from_le_bytes(data[o..o + 4].try_into().expect("sliced")) as usize;
+            o += 4;
+            need(o, blob_len, data.len())?;
+            let tree = FlatTree::from_bytes(&data[o..o + blob_len]).map_err(|e| {
+                ModelDecodeError::Tree { tree: t, offset: o, source: Box::new(e) }
+            })?;
+            trees.push(tree);
+            maps.push(map);
+            o += blob_len;
+        }
+        if o != data.len() {
+            return Err(ModelDecodeError::Truncated { expected: o, found: data.len(), offset: o });
+        }
+        Ok(FlatForest { trees, maps, n_classes, n_features })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ForestParams;
+    use crate::regression::RegParams;
+    use crate::tree::TreeParams;
+
+    fn demo_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = (i % 17) as f64;
+            let b = ((i * 7) % 23) as f64;
+            let c = ((i * 3) % 5) as f64;
+            x.push(vec![a, b, c]);
+            y.push(usize::from(a > 8.0) + usize::from(b > 11.0));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn flat_tree_matches_boxed_tree() {
+        let (x, y) = demo_data();
+        let tree = DecisionTree::fit(&x, &y, 3, &TreeParams::default());
+        let flat = FlatTree::from_tree(&tree);
+        assert_eq!(flat.node_count(), tree.node_count());
+        for xi in &x {
+            assert_eq!(tree.predict(xi), flat.predict(xi));
+            let (bc, bp) = tree.predict_with_purity(xi);
+            let (fc, fp) = flat.predict_with_purity(xi);
+            assert_eq!(bc, fc);
+            assert_eq!(bp, fp, "purity must be bit-identical");
+        }
+        let m = FeatureMatrix::from_rows(&x);
+        assert_eq!(flat.predict_batch_matrix(&m), tree.predict_batch(&x));
+    }
+
+    #[test]
+    fn flat_tree_bytes_are_msdt_compatible() {
+        let (x, y) = demo_data();
+        let tree = DecisionTree::fit(&x, &y, 3, &TreeParams::default());
+        let flat = FlatTree::from_tree(&tree);
+        assert_eq!(flat.to_bytes(), tree.to_bytes(), "wire formats must be byte-identical");
+        let back = FlatTree::from_bytes(&tree.to_bytes()).unwrap();
+        let boxed_back = DecisionTree::from_bytes(&flat.to_bytes()).unwrap();
+        for xi in &x {
+            assert_eq!(back.predict(xi), boxed_back.predict(xi));
+        }
+        assert_eq!(back.to_tree(), boxed_back);
+    }
+
+    #[test]
+    fn flat_regression_matches_boxed() {
+        let x: Vec<Vec<f64>> = (0..300).map(|i| vec![(i % 31) as f64, (i % 7) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0].mul_add(2.0, r[1])).collect();
+        let tree = RegressionTree::fit(&x, &y, &RegParams::default());
+        let flat = FlatRegressionTree::from_tree(&tree);
+        assert_eq!(flat.node_count(), tree.node_count());
+        for xi in &x {
+            let a = tree.predict(xi);
+            let b = flat.predict(xi);
+            assert!(a.to_bits() == b.to_bits(), "regression output must be bit-identical");
+        }
+        let m = FeatureMatrix::from_rows(&x);
+        assert_eq!(flat.predict_batch_matrix(&m), tree.predict_batch(&x));
+    }
+
+    #[test]
+    fn flat_forest_matches_boxed_and_roundtrips() {
+        let (x, y) = demo_data();
+        let params =
+            ForestParams { n_trees: 8, features_per_tree: Some(2), ..ForestParams::default() };
+        let forest = RandomForest::fit(&x, &y, 3, &params);
+        let flat = FlatForest::from_forest(&forest);
+        assert_eq!(flat.n_trees(), forest.n_trees());
+        let m = FeatureMatrix::from_rows(&x);
+        assert_eq!(flat.predict_batch(&x), forest.predict_batch(&x));
+        assert_eq!(flat.predict_batch_matrix(&m), forest.predict_batch(&x));
+
+        let bytes = flat.to_bytes();
+        let back = FlatForest::from_bytes(&bytes).unwrap();
+        assert_eq!(back, flat);
+        assert_eq!(back.predict_batch(&x), forest.predict_batch(&x));
+    }
+
+    #[test]
+    fn forest_decode_errors_carry_context() {
+        assert!(matches!(
+            FlatForest::from_bytes(b"zzzz0000"),
+            Err(ModelDecodeError::BadMagic { .. })
+        ));
+
+        let (x, y) = demo_data();
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            3,
+            &ForestParams { n_trees: 2, features_per_tree: Some(2), ..ForestParams::default() },
+        );
+        let good = FlatForest::from_forest(&forest).to_bytes();
+
+        // Truncation mid-stream.
+        let cut = &good[..good.len() - 5];
+        assert!(matches!(FlatForest::from_bytes(cut), Err(ModelDecodeError::Truncated { .. })));
+
+        // Out-of-range feature map entry (first map entry of tree 0 at
+        // offset 20).
+        let mut bad_map = good.clone();
+        bad_map[20..24].copy_from_slice(&999u32.to_le_bytes());
+        match FlatForest::from_bytes(&bad_map) {
+            Err(ModelDecodeError::FeatureOutOfRange { tree: 0, feature: 999, offset: 20, .. }) => {}
+            other => panic!("expected FeatureOutOfRange, got {other:?}"),
+        }
+
+        // Corrupt the nested tree blob's magic: wrapped with tree index.
+        let map_len = 2usize;
+        let blob_start = 16 + 4 + 4 * map_len + 4;
+        let mut bad_tree = good.clone();
+        bad_tree[blob_start] = b'X';
+        match FlatForest::from_bytes(&bad_tree) {
+            Err(ModelDecodeError::Tree { tree: 0, source, .. }) => {
+                assert!(matches!(*source, ModelDecodeError::BadMagic { .. }));
+            }
+            other => panic!("expected nested Tree error, got {other:?}"),
+        }
+    }
+}

@@ -6,7 +6,16 @@
 //! bagged forest with per-split feature subsampling, so the accuracy /
 //! footprint / inference-latency trade-off can be *measured* (see the
 //! `ablation_models` experiment) instead of asserted.
+//!
+//! Trees grow in parallel on `misam_oracle::pool` workers. Every random
+//! draw (feature subsets, bootstrap indices) is sequenced **serially**
+//! from the seeded RNG before any worker starts, in exactly the order
+//! the original serial loop drew them, so the fitted forest is
+//! bit-identical at any thread count — `MISAM_THREADS=1` and
+//! `MISAM_THREADS=32` produce byte-for-byte the same model (tested in
+//! `tests/flat_equivalence.rs`).
 
+use crate::matrix::FeatureMatrix;
 use crate::tree::{DecisionTree, TreeParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,8 +60,18 @@ pub struct RandomForest {
     n_features: usize,
 }
 
+/// Pre-drawn randomness for one tree: its feature subset and bootstrap
+/// row indices. Drawing these serially up front is what makes the
+/// parallel fit deterministic.
+struct TreePlan {
+    map: Vec<usize>,
+    boot: Vec<usize>,
+}
+
 impl RandomForest {
-    /// Fits a forest to feature rows `x` and labels `y`.
+    /// Fits a forest to feature rows `x` and labels `y`, growing trees
+    /// in parallel (worker count from `MISAM_THREADS`, default all
+    /// cores). The result is identical at any thread count.
     ///
     /// # Panics
     ///
@@ -60,47 +79,87 @@ impl RandomForest {
     /// `n_trees == 0`, `sample_fraction` is outside `(0, 1]`, or
     /// `features_per_tree` is 0 or exceeds the feature count.
     pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, params: &ForestParams) -> Self {
+        assert!(!x.is_empty(), "cannot fit a forest to an empty dataset");
+        Self::fit_matrix(&FeatureMatrix::from_rows(x), y, n_classes, params)
+    }
+
+    /// [`RandomForest::fit`] with an explicit worker count (1 = serial).
+    pub fn fit_with_threads(
+        x: &[Vec<f64>],
+        y: &[usize],
+        n_classes: usize,
+        params: &ForestParams,
+        threads: usize,
+    ) -> Self {
+        assert!(!x.is_empty(), "cannot fit a forest to an empty dataset");
+        Self::fit_inner(&FeatureMatrix::from_rows(x), y, n_classes, params, threads)
+    }
+
+    /// Fits a forest to columnar features; bootstraps and feature
+    /// projections are gathered column-at-a-time from the shared matrix.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`RandomForest::fit`].
+    pub fn fit_matrix(
+        m: &FeatureMatrix,
+        y: &[usize],
+        n_classes: usize,
+        params: &ForestParams,
+    ) -> Self {
+        Self::fit_inner(m, y, n_classes, params, misam_oracle::pool::default_threads())
+    }
+
+    fn fit_inner(
+        m: &FeatureMatrix,
+        y: &[usize],
+        n_classes: usize,
+        params: &ForestParams,
+        threads: usize,
+    ) -> Self {
         assert!(params.n_trees > 0, "forest needs at least one tree");
         assert!(
             params.sample_fraction > 0.0 && params.sample_fraction <= 1.0,
             "sample fraction must be in (0, 1]"
         );
-        assert!(!x.is_empty(), "cannot fit a forest to an empty dataset");
-        let n_features = x[0].len();
+        let n_features = m.n_features();
         if let Some(f) = params.features_per_tree {
             assert!(f > 0 && f <= n_features, "features_per_tree out of range");
         }
 
+        // Sequence every random draw serially, in the exact order the
+        // original serial loop consumed the RNG stream: per tree, the
+        // feature subset first, then the bootstrap indices.
         let mut rng = StdRng::seed_from_u64(params.seed ^ 0xf0_0e57);
-        let n_boot = ((x.len() as f64 * params.sample_fraction).round() as usize).max(1);
-        let mut trees = Vec::with_capacity(params.n_trees);
-        let mut maps = Vec::with_capacity(params.n_trees);
-
-        for _ in 0..params.n_trees {
-            // Feature subset for this tree.
-            let map: Vec<usize> = match params.features_per_tree {
-                Some(k) => {
-                    let mut all: Vec<usize> = (0..n_features).collect();
-                    for i in 0..k {
-                        let j = rng.gen_range(i..n_features);
-                        all.swap(i, j);
+        let n_boot = ((m.n_rows() as f64 * params.sample_fraction).round() as usize).max(1);
+        let plans: Vec<TreePlan> = (0..params.n_trees)
+            .map(|_| {
+                let map: Vec<usize> = match params.features_per_tree {
+                    Some(k) => {
+                        let mut all: Vec<usize> = (0..n_features).collect();
+                        for i in 0..k {
+                            let j = rng.gen_range(i..n_features);
+                            all.swap(i, j);
+                        }
+                        all.truncate(k);
+                        all
                     }
-                    all.truncate(k);
-                    all
-                }
-                None => (0..n_features).collect(),
-            };
-            // Bootstrap sample.
-            let mut xs = Vec::with_capacity(n_boot);
-            let mut ys = Vec::with_capacity(n_boot);
-            for _ in 0..n_boot {
-                let i = rng.gen_range(0..x.len());
-                xs.push(map.iter().map(|&f| x[i][f]).collect::<Vec<f64>>());
-                ys.push(y[i]);
-            }
-            trees.push(DecisionTree::fit(&xs, &ys, n_classes, &params.tree));
-            maps.push(map);
-        }
+                    None => (0..n_features).collect(),
+                };
+                let boot: Vec<usize> =
+                    (0..n_boot).map(|_| rng.gen_range(0..m.n_rows())).collect();
+                TreePlan { map, boot }
+            })
+            .collect();
+
+        // Grow trees in parallel; par_map returns results in input
+        // order, so tree i is always the tree plan i would have grown.
+        let trees = misam_oracle::pool::par_map_with(&plans, threads, |plan| {
+            let sub = m.gather_project(&plan.boot, Some(&plan.map));
+            let ys: Vec<usize> = plan.boot.iter().map(|&i| y[i]).collect();
+            DecisionTree::fit_matrix(&sub, &ys, n_classes, &params.tree)
+        });
+        let maps = plans.into_iter().map(|p| p.map).collect();
         RandomForest { trees, maps, n_classes, n_features }
     }
 
@@ -131,9 +190,35 @@ impl RandomForest {
         xs.iter().map(|f| self.predict(f)).collect()
     }
 
+    /// Predicts every row of a columnar matrix through the flat
+    /// inference form (one conversion, then dense array walks).
+    pub fn predict_batch_matrix(&self, m: &FeatureMatrix) -> Vec<usize> {
+        crate::flat::FlatForest::from_forest(self).predict_batch_matrix(m)
+    }
+
     /// Number of trees.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The fitted trees (crate-internal: flat-form conversion).
+    pub(crate) fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// The per-tree feature maps (crate-internal: flat-form conversion).
+    pub(crate) fn maps(&self) -> &[Vec<usize>] {
+        &self.maps
     }
 
     /// Total compact-serialized size across all trees — the footprint a
@@ -221,6 +306,15 @@ mod tests {
         let a = RandomForest::fit(&x, &y, 2, &ForestParams { seed: 9, ..Default::default() });
         let b = RandomForest::fit(&x, &y, 2, &ForestParams { seed: 9, ..Default::default() });
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_forest() {
+        let (x, y) = noisy_problem(200, 7);
+        let params = ForestParams { n_trees: 10, seed: 3, ..Default::default() };
+        let serial = RandomForest::fit_with_threads(&x, &y, 2, &params, 1);
+        let parallel = RandomForest::fit_with_threads(&x, &y, 2, &params, 4);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

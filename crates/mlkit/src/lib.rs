@@ -20,7 +20,19 @@
 //! - [`metrics`] — accuracy, confusion matrices, MAE, R², geometric
 //!   means and class weights.
 //! - [`cv`] — seeded train/validation splits and k-fold cross-validation
-//!   (the paper's 70/30 split and 10-fold protocol).
+//!   (the paper's 70/30 split and 10-fold protocol), serial or parallel.
+//! - [`matrix::FeatureMatrix`] — columnar (structure-of-arrays) feature
+//!   storage shared by every training path; induction is sort-once over
+//!   pre-argsorted per-feature index rows instead of re-sorting at every
+//!   node.
+//! - [`flat`] — flattened SoA inference forms ([`flat::FlatTree`],
+//!   [`flat::FlatForest`], [`flat::FlatRegressionTree`]) with
+//!   branch-light traversal, byte-compatible with the boxed trees'
+//!   compact serialization; what `misam-serve` runs on its flush path.
+//! - [`error::ModelDecodeError`] — typed decode failures with byte
+//!   offsets for every compact wire format.
+//! - [`reference`] — the original per-node-sorting induction algorithms,
+//!   kept verbatim for equivalence tests and benchmarks.
 //!
 //! # Example
 //!
@@ -38,7 +50,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cv;
+pub mod error;
+pub mod flat;
 pub mod forest;
+pub mod matrix;
 pub mod metrics;
 pub mod regression;
+pub mod reference;
 pub mod tree;

@@ -6,7 +6,14 @@
 //! for itself. The paper reports MAE 0.344 and R² 0.978 for this
 //! predictor (Figure 9); `misam-core` trains it on log-latency, where
 //! those residual scales are meaningful.
+//!
+//! Like the classifier, induction is sort-once over a columnar
+//! [`FeatureMatrix`]: every feature is argsorted once for the whole
+//! training set and split choices stably partition the pre-sorted index
+//! rows, so no node ever re-sorts. The original per-node-sorting
+//! algorithm survives in [`crate::reference`] for equivalence tests.
 
+use crate::matrix::FeatureMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for regression-tree induction.
@@ -27,7 +34,7 @@ impl Default for RegParams {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-enum RNode {
+pub(crate) enum RNode {
     Split { feature: u16, threshold: f64, left: u32, right: u32 },
     Leaf { value: f64 },
 }
@@ -48,15 +55,51 @@ impl RegressionTree {
     /// target is not finite.
     pub fn fit(x: &[Vec<f64>], y: &[f64], params: &RegParams) -> Self {
         assert!(!x.is_empty(), "cannot fit a tree to an empty dataset");
-        assert_eq!(x.len(), y.len(), "feature and target counts differ");
         let n_features = x[0].len();
         assert!(x.iter().all(|r| r.len() == n_features), "ragged feature rows");
+        Self::fit_matrix(&FeatureMatrix::from_rows(x), y, params)
+    }
+
+    /// Fits a tree to columnar features — skips the transposition the
+    /// row-slice [`RegressionTree::fit`] front door performs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree or any target is not finite.
+    pub fn fit_matrix(m: &FeatureMatrix, y: &[f64], params: &RegParams) -> Self {
+        assert_eq!(m.n_rows(), y.len(), "feature and target counts differ");
         assert!(y.iter().all(|v| v.is_finite()), "targets must be finite");
 
-        let mut nodes = Vec::new();
-        let idx: Vec<u32> = (0..x.len() as u32).collect();
-        grow(x, y, params, idx, 0, &mut nodes);
-        RegressionTree { nodes, n_features }
+        let n = m.n_rows();
+        let nf = m.n_features();
+        let mut order = vec![0u32; (nf + 1) * n];
+        for f in 0..nf {
+            let col = m.col(f);
+            let seg = &mut order[f * n..(f + 1) * n];
+            for (k, v) in seg.iter_mut().enumerate() {
+                *v = k as u32;
+            }
+            seg.sort_unstable_by(|&a, &b| {
+                col[a as usize]
+                    .partial_cmp(&col[b as usize])
+                    .expect("features must not be NaN")
+            });
+        }
+        for (k, v) in order[nf * n..].iter_mut().enumerate() {
+            *v = k as u32;
+        }
+
+        let mut b = RegBuilder {
+            m,
+            y,
+            params,
+            nodes: Vec::new(),
+            order,
+            scratch: vec![0u32; n],
+            goes_left: vec![false; n],
+        };
+        b.grow(0, n, 0);
+        RegressionTree { nodes: b.nodes, n_features: nf }
     }
 
     /// Predicts the target for one feature vector.
@@ -86,6 +129,16 @@ impl RegressionTree {
         xs.iter().map(|f| self.predict(f)).collect()
     }
 
+    /// Predicts every row of a columnar matrix through the flat
+    /// inference form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.n_features() != n_features`.
+    pub fn predict_batch_matrix(&self, m: &FeatureMatrix) -> Vec<f64> {
+        crate::flat::FlatRegressionTree::from_tree(self).predict_batch_matrix(m)
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -95,79 +148,135 @@ impl RegressionTree {
     pub fn n_features(&self) -> usize {
         self.n_features
     }
+
+    /// The flat node array (crate-internal: flat-form conversion).
+    pub(crate) fn nodes(&self) -> &[RNode] {
+        &self.nodes
+    }
+
+    /// Assembles a tree from already-built nodes (crate-internal: the
+    /// reference implementation).
+    pub(crate) fn from_parts(nodes: Vec<RNode>, n_features: usize) -> Self {
+        RegressionTree { nodes, n_features }
+    }
 }
 
-fn grow(
-    x: &[Vec<f64>],
-    y: &[f64],
-    params: &RegParams,
-    idx: Vec<u32>,
-    depth: usize,
-    nodes: &mut Vec<RNode>,
-) -> u32 {
-    let n = idx.len() as f64;
-    let mean = idx.iter().map(|&i| y[i as usize]).sum::<f64>() / n;
-    let sse: f64 = idx.iter().map(|&i| (y[i as usize] - mean).powi(2)).sum();
+/// Sort-once induction state; see [`crate::tree`] for the buffer layout
+/// (here the membership row drives the node mean / SSE accumulation).
+struct RegBuilder<'a> {
+    m: &'a FeatureMatrix,
+    y: &'a [f64],
+    params: &'a RegParams,
+    nodes: Vec<RNode>,
+    order: Vec<u32>,
+    scratch: Vec<u32>,
+    goes_left: Vec<bool>,
+}
 
-    let leaf = |nodes: &mut Vec<RNode>| {
-        nodes.push(RNode::Leaf { value: mean });
-        (nodes.len() - 1) as u32
-    };
+impl RegBuilder<'_> {
+    fn grow(&mut self, lo: usize, hi: usize, depth: usize) -> u32 {
+        let nrows = self.m.n_rows();
+        let nf = self.m.n_features();
+        let n = (hi - lo) as f64;
+        let members = &self.order[nf * nrows + lo..nf * nrows + hi];
+        let mean = members.iter().map(|&i| self.y[i as usize]).sum::<f64>() / n;
+        let sse: f64 = members.iter().map(|&i| (self.y[i as usize] - mean).powi(2)).sum();
 
-    if depth >= params.max_depth || idx.len() < 2 * params.min_samples_leaf || sse <= 0.0 {
-        return leaf(nodes);
-    }
+        let leaf = |nodes: &mut Vec<RNode>| {
+            nodes.push(RNode::Leaf { value: mean });
+            (nodes.len() - 1) as u32
+        };
 
-    // Best split by SSE reduction, scanning sorted values per feature.
-    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
-    let mut order = idx.clone();
-    // `f` is a column index across every row of `x`, not an index into
-    // one slice, so the range loop is the natural form.
-    #[allow(clippy::needless_range_loop)]
-    for f in 0..x[0].len() {
-        order.sort_unstable_by(|&a, &b| {
-            x[a as usize][f].partial_cmp(&x[b as usize][f]).expect("features must not be NaN")
-        });
-        let mut lsum = 0.0;
-        let mut lsq = 0.0;
-        let total_sum: f64 = order.iter().map(|&i| y[i as usize]).sum();
-        let total_sq: f64 = order.iter().map(|&i| y[i as usize] * y[i as usize]).sum();
-        for k in 0..order.len() - 1 {
-            let yi = y[order[k] as usize];
-            lsum += yi;
-            lsq += yi * yi;
-            let v = x[order[k] as usize][f];
-            let v_next = x[order[k + 1] as usize][f];
-            if v == v_next {
-                continue;
-            }
-            let ln = (k + 1) as f64;
-            let rn = (order.len() - k - 1) as f64;
-            if (ln as usize) < params.min_samples_leaf || (rn as usize) < params.min_samples_leaf {
-                continue;
-            }
-            let l_sse = lsq - lsum * lsum / ln;
-            let rsum = total_sum - lsum;
-            let r_sse = (total_sq - lsq) - rsum * rsum / rn;
-            let gain = sse - l_sse - r_sse;
-            if gain > params.min_gain && best.is_none_or(|b| gain > b.2) {
-                best = Some((f, 0.5 * (v + v_next), gain));
+        if depth >= self.params.max_depth
+            || hi - lo < 2 * self.params.min_samples_leaf
+            || sse <= 0.0
+        {
+            return leaf(&mut self.nodes);
+        }
+
+        let Some((feature, threshold)) = self.best_split(lo, hi, sse) else {
+            return leaf(&mut self.nodes);
+        };
+
+        let me = self.nodes.len();
+        self.nodes.push(RNode::Leaf { value: mean }); // placeholder
+
+        {
+            let col = self.m.col(feature);
+            for pos in lo..hi {
+                let i = self.order[nf * nrows + pos] as usize;
+                self.goes_left[i] = col[i] <= threshold;
             }
         }
+        let mut n_left = 0usize;
+        for row in 0..=nf {
+            let base = row * nrows;
+            let mut k = 0usize;
+            let mut s = 0usize;
+            for pos in lo..hi {
+                let v = self.order[base + pos];
+                if self.goes_left[v as usize] {
+                    self.order[base + lo + k] = v;
+                    k += 1;
+                } else {
+                    self.scratch[s] = v;
+                    s += 1;
+                }
+            }
+            self.order[base + lo + k..base + hi].copy_from_slice(&self.scratch[..s]);
+            n_left = k;
+        }
+
+        let left = self.grow(lo, lo + n_left, depth + 1);
+        let right = self.grow(lo + n_left, hi, depth + 1);
+        self.nodes[me] = RNode::Split { feature: feature as u16, threshold, left, right };
+        me as u32
     }
 
-    let Some((feature, threshold, _)) = best else {
-        return leaf(nodes);
-    };
-
-    let me = nodes.len();
-    nodes.push(RNode::Leaf { value: mean }); // placeholder
-    let (li, ri): (Vec<u32>, Vec<u32>) =
-        idx.iter().partition(|&&i| x[i as usize][feature] <= threshold);
-    let left = grow(x, y, params, li, depth + 1, nodes);
-    let right = grow(x, y, params, ri, depth + 1, nodes);
-    nodes[me] = RNode::Split { feature: feature as u16, threshold, left, right };
-    me as u32
+    /// Best split by SSE reduction: one linear scan per feature over the
+    /// node's pre-sorted index row, running sums replicating the
+    /// reference algorithm's accumulation order.
+    fn best_split(&self, lo: usize, hi: usize, sse: f64) -> Option<(usize, f64)> {
+        let nrows = self.m.n_rows();
+        let seg_len = hi - lo;
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for f in 0..self.m.n_features() {
+            let col = self.m.col(f);
+            let seg = &self.order[f * nrows + lo..f * nrows + hi];
+            let mut lsum = 0.0;
+            let mut lsq = 0.0;
+            // The reference computes the totals over the node in sorted
+            // order, per feature; replicate for identical rounding.
+            let total_sum: f64 = seg.iter().map(|&i| self.y[i as usize]).sum();
+            let total_sq: f64 =
+                seg.iter().map(|&i| self.y[i as usize] * self.y[i as usize]).sum();
+            for k in 0..seg_len - 1 {
+                let yi = self.y[seg[k] as usize];
+                lsum += yi;
+                lsq += yi * yi;
+                let v = col[seg[k] as usize];
+                let v_next = col[seg[k + 1] as usize];
+                if v == v_next {
+                    continue;
+                }
+                let ln = (k + 1) as f64;
+                let rn = (seg_len - k - 1) as f64;
+                if (ln as usize) < self.params.min_samples_leaf
+                    || (rn as usize) < self.params.min_samples_leaf
+                {
+                    continue;
+                }
+                let l_sse = lsq - lsum * lsum / ln;
+                let rsum = total_sum - lsum;
+                let r_sse = (total_sq - lsq) - rsum * rsum / rn;
+                let gain = sse - l_sse - r_sse;
+                if gain > self.params.min_gain && best.is_none_or(|b| gain > b.2) {
+                    best = Some((f, 0.5 * (v + v_next), gain));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +302,16 @@ mod tests {
             worst = worst.max((t.predict(xi) - yi).abs());
         }
         assert!(worst < 0.2, "worst absolute error {worst}");
+    }
+
+    #[test]
+    fn fit_matrix_matches_fit() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 23) as f64, (i % 5) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 3.0 - r[1]).collect();
+        let a = RegressionTree::fit(&x, &y, &RegParams::default());
+        let b = RegressionTree::fit_matrix(&FeatureMatrix::from_rows(&x), &y, &RegParams::default());
+        assert_eq!(a, b);
+        assert_eq!(a.predict_batch(&x), b.predict_batch_matrix(&FeatureMatrix::from_rows(&x)));
     }
 
     #[test]

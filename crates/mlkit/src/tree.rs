@@ -8,7 +8,26 @@
 //! chasing, the Rust analogue of the paper's "unrolled decision logic"
 //! (§5.5) — and serializes to a compact 16-byte-per-node binary format to
 //! substantiate the 6 KB model-footprint claim.
+//!
+//! # Induction is sort-once
+//!
+//! The split search never sorts inside a node. Each feature is argsorted
+//! **once** over the whole training set (into a feature-major index
+//! buffer with one extra row holding the node membership in ascending
+//! sample order); choosing a split then stably partitions every row of
+//! the buffer in place, so each child inherits per-feature orderings that
+//! are already sorted. Induction costs
+//! O(features · n log n + Σ_nodes features · |node|) instead of the
+//! seed's O(Σ_nodes features · |node| log |node|), and every scan reads a
+//! contiguous [`FeatureMatrix`] column instead of pointer-chasing
+//! `Vec<Vec<f64>>` rows. Candidate evaluation order, accumulation order,
+//! and tie-breaking replicate the seed algorithm (preserved in
+//! [`crate::reference`]) operation for operation, so the trees are
+//! bit-identical on tie-free features and prediction-identical in
+//! general — property-tested in `tests/flat_equivalence.rs`.
 
+use crate::error::ModelDecodeError;
+use crate::matrix::FeatureMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for tree induction.
@@ -72,16 +91,6 @@ pub struct DecisionTree {
     importances: Vec<f64>,
 }
 
-struct Builder<'a> {
-    x: &'a [Vec<f64>],
-    y: &'a [usize],
-    weights: Vec<f64>,
-    n_classes: usize,
-    params: &'a TreeParams,
-    nodes: Vec<Node>,
-    importance_raw: Vec<f64>,
-}
-
 impl DecisionTree {
     /// Fits a tree to feature rows `x` and labels `y` over `n_classes`
     /// classes.
@@ -93,35 +102,79 @@ impl DecisionTree {
     /// than `n_classes`.
     pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, params: &TreeParams) -> Self {
         assert!(!x.is_empty(), "cannot fit a tree to an empty dataset");
-        assert_eq!(x.len(), y.len(), "feature and label counts differ");
-        let n_features = x[0].len();
-        assert!(x.iter().all(|r| r.len() == n_features), "feature rows have inconsistent lengths");
+        Self::fit_matrix(&FeatureMatrix::from_rows(x), y, n_classes, params)
+    }
+
+    /// Fits a tree to a columnar [`FeatureMatrix`] — the allocation the
+    /// row-slice [`DecisionTree::fit`] front door performs internally,
+    /// skipped when the caller already holds columnar features (forest
+    /// bootstraps, cross-validation folds, `misam-core` training).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree, any label is `>= n_classes`, a
+    /// provided class-weight vector is shorter than `n_classes`, or the
+    /// feature count exceeds the compact node format's `u16` range.
+    pub fn fit_matrix(
+        m: &FeatureMatrix,
+        y: &[usize],
+        n_classes: usize,
+        params: &TreeParams,
+    ) -> Self {
+        assert_eq!(m.n_rows(), y.len(), "feature and label counts differ");
         assert!(y.iter().all(|&l| l < n_classes), "label out of range");
+        assert!(m.n_features() <= u16::MAX as usize, "too many features for the node format");
         if let Some(w) = &params.class_weights {
             assert!(w.len() >= n_classes, "class-weight vector too short");
         }
 
+        let n = m.n_rows();
+        let nf = m.n_features();
         let weights: Vec<f64> =
             y.iter().map(|&l| params.class_weights.as_ref().map_or(1.0, |w| w[l])).collect();
+
+        // Sort-once: argsort every feature over the full training set,
+        // plus one membership row in ascending sample order (the order
+        // the reference algorithm accumulates node statistics in).
+        let mut order = vec![0u32; (nf + 1) * n];
+        for f in 0..nf {
+            let col = m.col(f);
+            let seg = &mut order[f * n..(f + 1) * n];
+            for (k, v) in seg.iter_mut().enumerate() {
+                *v = k as u32;
+            }
+            seg.sort_unstable_by(|&a, &b| {
+                col[a as usize]
+                    .partial_cmp(&col[b as usize])
+                    .expect("features must not be NaN")
+            });
+        }
+        for (k, v) in order[nf * n..].iter_mut().enumerate() {
+            *v = k as u32;
+        }
+
         let mut b = Builder {
-            x,
+            m,
             y,
             weights,
             n_classes,
             params,
             nodes: Vec::new(),
-            importance_raw: vec![0.0; n_features],
+            importance_raw: vec![0.0; nf],
+            order,
+            scratch: vec![0u32; n],
+            goes_left: vec![false; n],
+            left_counts: vec![0.0; n_classes],
         };
-        let idx: Vec<u32> = (0..x.len() as u32).collect();
-        b.grow(idx, 0);
+        b.grow(0, n, 0);
 
         let total: f64 = b.importance_raw.iter().sum();
         let importances = if total > 0.0 {
             b.importance_raw.iter().map(|v| v / total).collect()
         } else {
-            vec![0.0; n_features]
+            vec![0.0; nf]
         };
-        DecisionTree { nodes: b.nodes, n_features, n_classes, importances }
+        DecisionTree { nodes: b.nodes, n_features: nf, n_classes, importances }
     }
 
     /// Predicts the class of one feature vector.
@@ -158,6 +211,16 @@ impl DecisionTree {
     /// Predicts a batch of feature vectors.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
         xs.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Predicts every row of a columnar matrix through the flat
+    /// inference form (one conversion, then the branch-light walk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.n_features() != n_features`.
+    pub fn predict_batch_matrix(&self, m: &FeatureMatrix) -> Vec<usize> {
+        crate::flat::FlatTree::from_tree(self).predict_batch_matrix(m)
     }
 
     /// Normalized gini feature importances (sum to 1 when any split
@@ -203,33 +266,28 @@ impl DecisionTree {
         self.n_features
     }
 
+    /// The flat node array (crate-internal: flat-form conversion and the
+    /// reference implementation's test hooks).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Assembles a tree from already-validated parts (crate-internal:
+    /// decoding and the reference implementation).
+    pub(crate) fn from_parts(
+        nodes: Vec<Node>,
+        n_features: usize,
+        n_classes: usize,
+        importances: Vec<f64>,
+    ) -> Self {
+        DecisionTree { nodes, n_features, n_classes, importances }
+    }
+
     /// Serializes to the compact on-device format: a 16-byte header plus
     /// 16 bytes per node. This is the footprint behind the paper's "6 KB
     /// model" figure.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + 16 * self.nodes.len());
-        out.extend_from_slice(b"MSDT");
-        out.extend_from_slice(&(self.nodes.len() as u32).to_le_bytes());
-        out.extend_from_slice(&(self.n_features as u32).to_le_bytes());
-        out.extend_from_slice(&(self.n_classes as u32).to_le_bytes());
-        for n in &self.nodes {
-            match *n {
-                Node::Split { feature, threshold, left, right } => {
-                    out.extend_from_slice(&feature.to_le_bytes());
-                    out.extend_from_slice(&[0u8, 0u8]); // split marker
-                    out.extend_from_slice(&(threshold as f32).to_le_bytes());
-                    out.extend_from_slice(&left.to_le_bytes());
-                    out.extend_from_slice(&right.to_le_bytes());
-                }
-                Node::Leaf { class, purity } => {
-                    out.extend_from_slice(&class.to_le_bytes());
-                    out.extend_from_slice(&[1u8, 0u8]); // leaf marker
-                    out.extend_from_slice(&purity.to_le_bytes());
-                    out.extend_from_slice(&[0u8; 8]);
-                }
-            }
-        }
-        out
+        encode_nodes(&self.nodes, self.n_features, self.n_classes)
     }
 
     /// Deserializes a tree written by [`DecisionTree::to_bytes`].
@@ -239,41 +297,11 @@ impl DecisionTree {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first structural problem found.
-    pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
-        if data.len() < 16 || &data[0..4] != b"MSDT" {
-            return Err("missing MSDT header".into());
-        }
-        let count = u32::from_le_bytes(data[4..8].try_into().expect("sliced")) as usize;
-        let n_features = u32::from_le_bytes(data[8..12].try_into().expect("sliced")) as usize;
-        let n_classes = u32::from_le_bytes(data[12..16].try_into().expect("sliced")) as usize;
-        if data.len() != 16 + 16 * count {
-            return Err(format!("expected {} bytes, got {}", 16 + 16 * count, data.len()));
-        }
-        let mut nodes = Vec::with_capacity(count);
-        for i in 0..count {
-            let o = 16 + 16 * i;
-            let tag = data[o + 2];
-            let id = u16::from_le_bytes(data[o..o + 2].try_into().expect("sliced"));
-            match tag {
-                0 => {
-                    let threshold =
-                        f32::from_le_bytes(data[o + 4..o + 8].try_into().expect("sliced")) as f64;
-                    let left = u32::from_le_bytes(data[o + 8..o + 12].try_into().expect("sliced"));
-                    let right =
-                        u32::from_le_bytes(data[o + 12..o + 16].try_into().expect("sliced"));
-                    if left as usize >= count || right as usize >= count {
-                        return Err(format!("node {i} links out of range"));
-                    }
-                    nodes.push(Node::Split { feature: id, threshold, left, right });
-                }
-                1 => {
-                    let purity = f32::from_le_bytes(data[o + 4..o + 8].try_into().expect("sliced"));
-                    nodes.push(Node::Leaf { class: id, purity });
-                }
-                t => return Err(format!("unknown node tag {t} at node {i}")),
-            }
-        }
+    /// Returns a [`ModelDecodeError`] pinpointing the first structural
+    /// problem (offset + context); convert to `String` where a plain
+    /// description is enough.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, ModelDecodeError> {
+        let (nodes, n_features, n_classes) = decode_nodes(data)?;
         Ok(DecisionTree { nodes, n_features, n_classes, importances: vec![0.0; n_features] })
     }
 
@@ -293,8 +321,26 @@ impl DecisionTree {
     /// Panics if the validation set is empty or mismatched.
     pub fn prune_with_validation(&mut self, x_val: &[Vec<f64>], y_val: &[usize]) -> usize {
         assert!(!x_val.is_empty(), "pruning needs a non-empty validation set");
-        assert_eq!(x_val.len(), y_val.len(), "validation features/labels mismatch");
+        self.prune_with_validation_matrix(&FeatureMatrix::from_rows(x_val), y_val)
+    }
 
+    /// [`DecisionTree::prune_with_validation`] over columnar validation
+    /// features: each candidate prune is scored with **one** columnar
+    /// batch predict instead of a `predict` call per validation row, and
+    /// the baseline hit count is carried incrementally instead of being
+    /// recomputed before every candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the validation set is mismatched.
+    pub fn prune_with_validation_matrix(&mut self, m: &FeatureMatrix, y_val: &[usize]) -> usize {
+        assert!(m.n_rows() > 0, "pruning needs a non-empty validation set");
+        assert_eq!(m.n_rows(), y_val.len(), "validation features/labels mismatch");
+
+        let hits = |tree: &DecisionTree| -> usize {
+            tree.predict_batch_matrix(m).iter().zip(y_val).filter(|(p, y)| p == y).count()
+        };
+        let mut baseline = hits(self);
         let mut removed = 0usize;
         loop {
             let mut changed = false;
@@ -324,10 +370,11 @@ impl DecisionTree {
                 })
                 .collect();
             for (i, class, purity) in candidates {
-                let baseline = self.validation_hits(x_val, y_val);
                 let saved = self.nodes[i];
                 self.nodes[i] = Node::Leaf { class, purity };
-                if self.validation_hits(x_val, y_val) >= baseline {
+                let pruned_hits = hits(self);
+                if pruned_hits >= baseline {
+                    baseline = pruned_hits;
                     removed += 1;
                     changed = true;
                 } else {
@@ -374,16 +421,123 @@ impl DecisionTree {
         }
         self.nodes = out;
     }
+}
 
-    fn validation_hits(&self, x_val: &[Vec<f64>], y_val: &[usize]) -> usize {
-        x_val.iter().zip(y_val).filter(|(xi, &yi)| self.predict(xi) == yi).count()
+/// Encodes a node array into the compact `MSDT` wire format (shared by
+/// the boxed and flat tree forms, which are byte-compatible).
+pub(crate) fn encode_nodes(nodes: &[Node], n_features: usize, n_classes: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + 16 * nodes.len());
+    out.extend_from_slice(b"MSDT");
+    out.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(n_features as u32).to_le_bytes());
+    out.extend_from_slice(&(n_classes as u32).to_le_bytes());
+    for n in nodes {
+        match *n {
+            Node::Split { feature, threshold, left, right } => {
+                out.extend_from_slice(&feature.to_le_bytes());
+                out.extend_from_slice(&[0u8, 0u8]); // split marker
+                out.extend_from_slice(&(threshold as f32).to_le_bytes());
+                out.extend_from_slice(&left.to_le_bytes());
+                out.extend_from_slice(&right.to_le_bytes());
+            }
+            Node::Leaf { class, purity } => {
+                out.extend_from_slice(&class.to_le_bytes());
+                out.extend_from_slice(&[1u8, 0u8]); // leaf marker
+                out.extend_from_slice(&purity.to_le_bytes());
+                out.extend_from_slice(&[0u8; 8]);
+            }
+        }
     }
+    out
+}
+
+/// Decodes the compact `MSDT` wire format into a validated node array
+/// plus `(n_features, n_classes)`.
+pub(crate) fn decode_nodes(
+    data: &[u8],
+) -> Result<(Vec<Node>, usize, usize), ModelDecodeError> {
+    if data.len() < 16 || &data[0..4] != b"MSDT" {
+        let mut found = [0u8; 4];
+        let take = data.len().min(4);
+        found[..take].copy_from_slice(&data[..take]);
+        if data.len() < 4 || &data[0..4] != b"MSDT" {
+            return Err(ModelDecodeError::BadMagic { expected: *b"MSDT", found });
+        }
+        return Err(ModelDecodeError::Truncated { expected: 16, found: data.len(), offset: 0 });
+    }
+    let count = u32::from_le_bytes(data[4..8].try_into().expect("sliced")) as usize;
+    let n_features = u32::from_le_bytes(data[8..12].try_into().expect("sliced")) as usize;
+    let n_classes = u32::from_le_bytes(data[12..16].try_into().expect("sliced")) as usize;
+    if data.len() != 16 + 16 * count {
+        return Err(ModelDecodeError::Truncated {
+            expected: 16 + 16 * count,
+            found: data.len(),
+            offset: 16,
+        });
+    }
+    let mut nodes = Vec::with_capacity(count);
+    for i in 0..count {
+        let o = 16 + 16 * i;
+        let tag = data[o + 2];
+        let id = u16::from_le_bytes(data[o..o + 2].try_into().expect("sliced"));
+        match tag {
+            0 => {
+                let threshold =
+                    f32::from_le_bytes(data[o + 4..o + 8].try_into().expect("sliced")) as f64;
+                let left = u32::from_le_bytes(data[o + 8..o + 12].try_into().expect("sliced"));
+                let right = u32::from_le_bytes(data[o + 12..o + 16].try_into().expect("sliced"));
+                if left as usize >= count || right as usize >= count {
+                    let link = if left as usize >= count { left } else { right };
+                    return Err(ModelDecodeError::LinkOutOfRange { node: i, link, count, offset: o });
+                }
+                nodes.push(Node::Split { feature: id, threshold, left, right });
+            }
+            1 => {
+                let purity = f32::from_le_bytes(data[o + 4..o + 8].try_into().expect("sliced"));
+                nodes.push(Node::Leaf { class: id, purity });
+            }
+            t => return Err(ModelDecodeError::UnknownTag { tag: t, node: i, offset: o }),
+        }
+    }
+    Ok((nodes, n_features, n_classes))
+}
+
+/// Sort-once induction state. `order` is a `(n_features + 1) × n`
+/// feature-major index buffer: row `f < n_features` keeps the node's
+/// samples sorted by feature `f`; the final row keeps them in ascending
+/// sample order (node membership). Growing a node partitions every row
+/// stably in place, so children never re-sort.
+struct Builder<'a> {
+    m: &'a FeatureMatrix,
+    y: &'a [usize],
+    weights: Vec<f64>,
+    n_classes: usize,
+    params: &'a TreeParams,
+    nodes: Vec<Node>,
+    importance_raw: Vec<f64>,
+    order: Vec<u32>,
+    scratch: Vec<u32>,
+    goes_left: Vec<bool>,
+    left_counts: Vec<f64>,
 }
 
 impl Builder<'_> {
-    /// Recursively grows the subtree over `idx`, returning its node index.
-    fn grow(&mut self, idx: Vec<u32>, depth: usize) -> u32 {
-        let (counts, total_w) = self.class_counts(&idx);
+    /// Recursively grows the subtree over buffer span `[lo, hi)`,
+    /// returning its node index.
+    fn grow(&mut self, lo: usize, hi: usize, depth: usize) -> u32 {
+        let n = self.m.n_rows();
+        let nf = self.m.n_features();
+
+        // Node statistics, accumulated in ascending sample order — the
+        // exact order (and therefore the exact floating-point sums) the
+        // reference per-node algorithm produces.
+        let mut counts = vec![0.0; self.n_classes];
+        let mut total_w = 0.0;
+        for &i in &self.order[nf * n + lo..nf * n + hi] {
+            let w = self.weights[i as usize];
+            counts[self.y[i as usize]] += w;
+            total_w += w;
+        }
         let node_gini = gini(&counts, total_w);
         let majority = argmax(&counts);
 
@@ -394,13 +548,13 @@ impl Builder<'_> {
         };
 
         if depth >= self.params.max_depth
-            || idx.len() < self.params.min_samples_split
+            || hi - lo < self.params.min_samples_split
             || node_gini <= 0.0
         {
             return make_leaf(&mut self.nodes);
         }
 
-        let Some(split) = self.best_split(&idx, &counts, total_w, node_gini) else {
+        let Some(split) = self.best_split(lo, hi, &counts, total_w, node_gini) else {
             return make_leaf(&mut self.nodes);
         };
 
@@ -410,64 +564,82 @@ impl Builder<'_> {
         self.nodes.push(Node::Leaf { class: 0, purity: 0.0 }); // placeholder
         self.importance_raw[split.feature] += split.gain;
 
-        let (li, ri): (Vec<u32>, Vec<u32>) =
-            idx.iter().partition(|&&i| self.x[i as usize][split.feature] <= split.threshold);
-        let left = self.grow(li, depth + 1);
-        let right = self.grow(ri, depth + 1);
+        // Stable in-place partition of every buffer row: left block then
+        // right block, each still sorted by its row's feature (and the
+        // membership row still ascending).
+        {
+            let col = self.m.col(split.feature);
+            for pos in lo..hi {
+                let i = self.order[nf * n + pos] as usize;
+                self.goes_left[i] = col[i] <= split.threshold;
+            }
+        }
+        let mut n_left = 0usize;
+        for row in 0..=nf {
+            let base = row * n;
+            let mut k = 0usize;
+            let mut s = 0usize;
+            for pos in lo..hi {
+                let v = self.order[base + pos];
+                if self.goes_left[v as usize] {
+                    // k <= pos - lo, so this write never outruns the read.
+                    self.order[base + lo + k] = v;
+                    k += 1;
+                } else {
+                    self.scratch[s] = v;
+                    s += 1;
+                }
+            }
+            self.order[base + lo + k..base + hi].copy_from_slice(&self.scratch[..s]);
+            n_left = k;
+        }
+
+        let left = self.grow(lo, lo + n_left, depth + 1);
+        let right = self.grow(lo + n_left, hi, depth + 1);
         self.nodes[me] =
             Node::Split { feature: split.feature as u16, threshold: split.threshold, left, right };
         me as u32
     }
 
-    fn class_counts(&self, idx: &[u32]) -> (Vec<f64>, f64) {
-        let mut counts = vec![0.0; self.n_classes];
-        let mut total = 0.0;
-        for &i in idx {
-            let w = self.weights[i as usize];
-            counts[self.y[i as usize]] += w;
-            total += w;
-        }
-        (counts, total)
-    }
-
+    /// One O(n) scan per feature over the node's pre-sorted index rows.
+    /// Candidate order, accumulation order, and the strict-improvement
+    /// tie-break match the reference algorithm exactly.
     fn best_split(
-        &self,
-        idx: &[u32],
+        &mut self,
+        lo: usize,
+        hi: usize,
         parent_counts: &[f64],
         total_w: f64,
         parent_gini: f64,
     ) -> Option<SplitChoice> {
+        let n = self.m.n_rows();
+        let seg_len = hi - lo;
+        let min_leaf = self.params.min_samples_leaf;
         let mut best: Option<SplitChoice> = None;
-        let mut order: Vec<u32> = idx.to_vec();
-        for f in 0..self.x[0].len() {
-            order.sort_unstable_by(|&a, &b| {
-                self.x[a as usize][f]
-                    .partial_cmp(&self.x[b as usize][f])
-                    .expect("features must not be NaN")
-            });
-            let mut left_counts = vec![0.0; self.n_classes];
+        for f in 0..self.m.n_features() {
+            let col = self.m.col(f);
+            let seg = &self.order[f * n + lo..f * n + hi];
+            self.left_counts.fill(0.0);
             let mut left_w = 0.0;
             let mut left_n = 0usize;
-            for pair in 0..order.len().saturating_sub(1) {
-                let i = order[pair] as usize;
+            for pair in 0..seg_len.saturating_sub(1) {
+                let i = seg[pair] as usize;
                 let w = self.weights[i];
-                left_counts[self.y[i]] += w;
+                self.left_counts[self.y[i]] += w;
                 left_w += w;
                 left_n += 1;
-                let v = self.x[i][f];
-                let v_next = self.x[order[pair + 1] as usize][f];
+                let v = col[i];
+                let v_next = col[seg[pair + 1] as usize];
                 if v == v_next {
                     continue; // can't split between equal values
                 }
-                let right_n = order.len() - left_n;
-                if left_n < self.params.min_samples_leaf || right_n < self.params.min_samples_leaf {
+                let right_n = seg_len - left_n;
+                if left_n < min_leaf || right_n < min_leaf {
                     continue;
                 }
                 let right_w = total_w - left_w;
-                let right_counts: Vec<f64> =
-                    parent_counts.iter().zip(left_counts.iter()).map(|(p, l)| p - l).collect();
-                let g_left = gini(&left_counts, left_w);
-                let g_right = gini(&right_counts, right_w);
+                let g_left = gini(&self.left_counts, left_w);
+                let g_right = gini_complement(parent_counts, &self.left_counts, right_w);
                 let child = (left_w * g_left + right_w * g_right) / total_w;
                 let gain = (parent_gini - child) * total_w;
                 if gain > self.params.min_gain && best.as_ref().is_none_or(|b| gain > b.gain) {
@@ -486,14 +658,30 @@ struct SplitChoice {
     gain: f64,
 }
 
-fn gini(counts: &[f64], total: f64) -> f64 {
+pub(crate) fn gini(counts: &[f64], total: f64) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
     1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
 }
 
-fn argmax(v: &[f64]) -> usize {
+/// Gini of `parent - left` without materializing the complement vector;
+/// the per-element subtraction and the sum run in the same order as the
+/// reference algorithm's `right_counts` allocation, so the result is
+/// bit-identical — minus one heap allocation per split candidate.
+fn gini_complement(parent: &[f64], left: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for (p, l) in parent.iter().zip(left) {
+        let c = p - l;
+        acc += (c / total) * (c / total);
+    }
+    1.0 - acc
+}
+
+pub(crate) fn argmax(v: &[f64]) -> usize {
     v.iter()
         .enumerate()
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
@@ -525,6 +713,15 @@ mod tests {
             assert_eq!(t.predict(xi), yi);
         }
         assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn fit_matrix_matches_fit() {
+        let (x, y) = xor_data();
+        let a = DecisionTree::fit(&x, &y, 2, &TreeParams::default());
+        let b = DecisionTree::fit_matrix(&FeatureMatrix::from_rows(&x), &y, 2, &TreeParams::default());
+        assert_eq!(a, b);
+        assert_eq!(a.predict_batch(&x), b.predict_batch_matrix(&FeatureMatrix::from_rows(&x)));
     }
 
     #[test]
@@ -604,12 +801,52 @@ mod tests {
 
     #[test]
     fn from_bytes_rejects_garbage() {
-        assert!(DecisionTree::from_bytes(b"nope").is_err());
+        assert!(matches!(
+            DecisionTree::from_bytes(b"nope"),
+            Err(ModelDecodeError::BadMagic { .. })
+        ));
         assert!(DecisionTree::from_bytes(&[0u8; 40]).is_err());
         let (x, y) = xor_data();
         let mut bytes = DecisionTree::fit(&x, &y, 2, &TreeParams::default()).to_bytes();
         bytes.truncate(bytes.len() - 1);
-        assert!(DecisionTree::from_bytes(&bytes).is_err());
+        match DecisionTree::from_bytes(&bytes) {
+            Err(ModelDecodeError::Truncated { found, offset, .. }) => {
+                assert_eq!(found, bytes.len());
+                assert_eq!(offset, 16);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_errors_pinpoint_corruption() {
+        let (x, y) = xor_data();
+        let t = DecisionTree::fit(&x, &y, 2, &TreeParams::default());
+        let good = t.to_bytes();
+
+        // Corrupt the tag byte of node 1.
+        let mut bad_tag = good.clone();
+        bad_tag[16 + 16 + 2] = 9;
+        match DecisionTree::from_bytes(&bad_tag) {
+            Err(ModelDecodeError::UnknownTag { tag: 9, node: 1, offset }) => {
+                assert_eq!(offset, 32);
+            }
+            other => panic!("expected UnknownTag, got {other:?}"),
+        }
+
+        // Point node 0's left child out of range.
+        let mut bad_link = good.clone();
+        bad_link[16 + 8..16 + 12].copy_from_slice(&u32::MAX.to_le_bytes());
+        match DecisionTree::from_bytes(&bad_link) {
+            Err(ModelDecodeError::LinkOutOfRange { node: 0, link, .. }) => {
+                assert_eq!(link, u32::MAX);
+            }
+            other => panic!("expected LinkOutOfRange, got {other:?}"),
+        }
+
+        // Legacy callers still get a String via From.
+        let msg: String = DecisionTree::from_bytes(b"junk!").unwrap_err().into();
+        assert!(msg.contains("MSDT"), "{msg}");
     }
 
     #[test]

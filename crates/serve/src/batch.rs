@@ -5,8 +5,10 @@
 //! when either `batch_max` vectors have accumulated or `batch_wait_us`
 //! has elapsed since the batch opened (size-or-deadline, the classic
 //! serving trade between throughput and tail latency). One flush takes
-//! one model snapshot for the whole batch, so tree inference amortizes
-//! the bundle lock and stays cache-warm across items.
+//! one model snapshot for the whole batch and predicts each group
+//! columnarly over the bundle's flat SoA trees
+//! ([`crate::state::predict_batch`]), so inference amortizes the bundle
+//! lock and stays cache-warm across items.
 //!
 //! Admission is bounded: [`MicroBatcher::try_submit`] refuses a group
 //! once `queue_cap` vectors are waiting, so overload sheds instead of
@@ -15,7 +17,7 @@
 //! its thread exits, which is what makes the server's graceful shutdown
 //! lose nothing in flight.
 
-use crate::state::{predict_vector, PredictOutcome, SharedModel};
+use crate::state::{predict_batch, PredictOutcome, SharedModel};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -209,15 +211,15 @@ fn run(
         }
 
         // One model snapshot per flush: the whole batch is predicted
-        // against a consistent bundle even mid-reload.
-        let bundle = model.snapshot();
+        // against a consistent bundle even mid-reload. Each group runs
+        // through the columnar flat-tree path, one matrix per group.
+        let prepared = model.snapshot();
         counters.batches.fetch_add(1, Ordering::Relaxed);
         counters.items.fetch_add(items as u64, Ordering::Relaxed);
         counters.max_batch.fetch_max(items as u64, Ordering::Relaxed);
         for group in groups {
             let n = group.vectors.len();
-            let outs: Vec<PredictOutcome> =
-                group.vectors.iter().map(|v| predict_vector(&bundle, v)).collect();
+            let outs: Vec<PredictOutcome> = predict_batch(&prepared, &group.vectors);
             depth.fetch_sub(n, Ordering::Relaxed);
             // A vanished requester (dropped connection) is not an error.
             let _ = group.reply.send(outs);
@@ -228,7 +230,8 @@ fn run(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::state::tests::test_bundle;
+    use crate::state::predict_vector;
+    use crate::state::tests::{test_bundle, test_prepared};
     use misam_features::FEATURE_NAMES;
 
     fn batcher(cfg: BatchConfig) -> MicroBatcher {
@@ -247,7 +250,7 @@ mod tests {
         let outs = rx.recv().unwrap();
         assert_eq!(outs.len(), 5);
         for (v, out) in vs.iter().zip(&outs) {
-            assert_eq!(*out, predict_vector(test_bundle(), v));
+            assert_eq!(*out, predict_vector(test_prepared(), v));
         }
         assert_eq!(b.counters().items.load(Ordering::Relaxed), 5);
         assert_eq!(b.queue_depth(), 0);

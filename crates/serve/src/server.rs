@@ -424,7 +424,7 @@ fn predict_group(
         }
     };
     let outcomes = rx.recv().expect("batcher drains accepted groups");
-    let session = session.get_or_insert_with(|| Session::new(&state.model.snapshot()));
+    let session = session.get_or_insert_with(|| Session::new(&state.model.snapshot().bundle));
     Ok(outcomes.iter().map(|out| session.decide(out)).collect())
 }
 
@@ -435,18 +435,18 @@ fn predict_gen(
     session: &mut Option<Session>,
     spec: protocol::GenSpec,
 ) -> Response {
-    let bundle = state.model.snapshot();
+    let prepared = state.model.snapshot();
     let (tx, rx) = crossbeam::channel::unbounded::<Result<PredictOutcome, String>>();
-    let job_bundle = Arc::clone(&bundle);
+    let job_prepared = Arc::clone(&prepared);
     let submitted = state.pool.try_submit(move || {
         let out = spec.build().map(|a| {
             let features = misam_features::PairFeatures::extract_dense_b(
                 &a,
                 a.cols(),
                 spec.dense_cols,
-                &job_bundle.tile_config(),
+                &job_prepared.bundle.tile_config(),
             );
-            predict_vector(&job_bundle, &features.to_vector())
+            predict_vector(&job_prepared, &features.to_vector())
         });
         let _ = tx.send(out);
     });
@@ -456,7 +456,7 @@ fn predict_gen(
     }
     match rx.recv().expect("pool drains accepted jobs") {
         Ok(out) => {
-            let session = session.get_or_insert_with(|| Session::new(&bundle));
+            let session = session.get_or_insert_with(|| Session::new(&prepared.bundle));
             Response::Predict(session.decide(&out))
         }
         Err(msg) => Response::Error(ErrorReply {

@@ -1,15 +1,22 @@
 //! Shared server state: the hot-reloadable model bundle and the
 //! per-connection session that carries bitstream state.
 //!
-//! The bundle lives behind `RwLock<Arc<ModelBundle>>` — readers clone
-//! the `Arc` (a refcount bump under a read lock, effectively an
+//! The bundle lives behind `RwLock<Arc<PreparedBundle>>` — readers
+//! clone the `Arc` (a refcount bump under a read lock, effectively an
 //! arc-swap), so a reload parses and validates the new bundle entirely
 //! off to the side and then swaps the pointer atomically. In-flight
 //! requests keep the snapshot they started with; new requests see the
 //! new model. A failed reload leaves the previous bundle untouched.
+//!
+//! A [`PreparedBundle`] pairs the parsed [`ModelBundle`] with the flat
+//! SoA inference forms of its models, built once at construction (and
+//! again on every reload), so the micro-batcher's flush loop never
+//! walks the boxed trees.
 
 use misam::persist::{ModelBundle, PersistError};
+use misam::training::{FlatLatencyPredictor, FlatSelector};
 use misam_features::PairFeatures;
+use misam_mlkit::matrix::FeatureMatrix;
 use misam_recon::engine::ReconfigEngine;
 use misam_sim::DesignId;
 use parking_lot::RwLock;
@@ -31,40 +38,101 @@ pub struct PredictOutcome {
     pub latency_s: [f64; 4],
 }
 
-/// Runs the selector and the latency predictor on one full feature
+/// A [`ModelBundle`] paired with the flat SoA inference forms of its
+/// selector and latency predictor.
+///
+/// The flat forms are derived once, when the bundle enters the server
+/// (initial start or hot reload) — predictions through them are
+/// bit-identical to the boxed trees, but the serving hot path runs on
+/// contiguous arrays instead of pointer-chasing `Box`ed nodes.
+#[derive(Debug)]
+pub struct PreparedBundle {
+    /// The parsed bundle: boxed models, reconfiguration cost, switch
+    /// threshold, tile config.
+    pub bundle: ModelBundle,
+    flat_selector: FlatSelector,
+    flat_predictor: FlatLatencyPredictor,
+}
+
+impl PreparedBundle {
+    /// Derives the flat inference forms from `bundle`.
+    pub fn new(bundle: ModelBundle) -> Self {
+        let flat_selector = bundle.selector.to_flat();
+        let flat_predictor = bundle.predictor.to_flat();
+        PreparedBundle { bundle, flat_selector, flat_predictor }
+    }
+}
+
+/// Runs the flat selector and latency predictor on one full feature
 /// vector.
-pub fn predict_vector(bundle: &ModelBundle, v: &[f64]) -> PredictOutcome {
-    let predicted = bundle.selector.select_vector(v);
+pub fn predict_vector(prepared: &PreparedBundle, v: &[f64]) -> PredictOutcome {
+    let predicted = prepared.flat_selector.select_vector(v);
     let mut latency_s = [0.0; 4];
     for d in DesignId::ALL {
-        latency_s[d.index()] = 10f64.powf(bundle.predictor.predict_log10(v, d));
+        latency_s[d.index()] = 10f64.powf(prepared.flat_predictor.predict_log10(v, d));
     }
     PredictOutcome { predicted, latency_s }
+}
+
+/// Columnar form of [`predict_vector`] over a whole submitted group:
+/// the vectors are transposed into a [`FeatureMatrix`] once and each
+/// flat tree walks every row, so a micro-batch flush touches each
+/// model's arrays once per batch instead of once per vector. Outcomes
+/// are bit-identical to per-vector prediction.
+///
+/// Groups with inconsistent arity (possible through the public batcher
+/// API, which does not validate — the server does, before admission)
+/// fall back to the per-vector path.
+pub fn predict_batch(prepared: &PreparedBundle, vectors: &[Vec<f64>]) -> Vec<PredictOutcome> {
+    let uniform = vectors
+        .first()
+        .is_some_and(|v0| !v0.is_empty() && vectors.iter().all(|v| v.len() == v0.len()));
+    if !uniform {
+        return vectors.iter().map(|v| predict_vector(prepared, v)).collect();
+    }
+    let m = FeatureMatrix::from_rows(vectors);
+    let designs = prepared.flat_selector.select_batch_matrix(&m);
+    let mut out: Vec<PredictOutcome> = designs
+        .into_iter()
+        .map(|predicted| PredictOutcome { predicted, latency_s: [0.0; 4] })
+        .collect();
+    for d in DesignId::ALL {
+        let log10 = prepared.flat_predictor.predict_log10_batch(&m, d);
+        for (o, lg) in out.iter_mut().zip(log10) {
+            o.latency_s[d.index()] = 10f64.powf(lg);
+        }
+    }
+    out
 }
 
 /// The model bundle behind an atomic hot-reload point.
 #[derive(Debug)]
 pub struct SharedModel {
-    bundle: RwLock<Arc<ModelBundle>>,
+    bundle: RwLock<Arc<PreparedBundle>>,
     reloads: AtomicU64,
 }
 
 impl SharedModel {
-    /// Wraps an initial bundle.
+    /// Wraps an initial bundle, deriving its flat inference forms.
     pub fn new(bundle: ModelBundle) -> Self {
-        SharedModel { bundle: RwLock::new(Arc::new(bundle)), reloads: AtomicU64::new(0) }
+        SharedModel {
+            bundle: RwLock::new(Arc::new(PreparedBundle::new(bundle))),
+            reloads: AtomicU64::new(0),
+        }
     }
 
-    /// The current bundle; the snapshot stays valid (and immutable) for
-    /// as long as the caller holds it, even across reloads.
-    pub fn snapshot(&self) -> Arc<ModelBundle> {
+    /// The current prepared bundle; the snapshot stays valid (and
+    /// immutable) for as long as the caller holds it, even across
+    /// reloads.
+    pub fn snapshot(&self) -> Arc<PreparedBundle> {
         Arc::clone(&self.bundle.read())
     }
 
     /// Atomically replaces the bundle with one loaded from `path`.
     ///
-    /// The file is read, parsed, and version-checked before the swap, so
-    /// a bad file can never leave the server without a working model.
+    /// The file is read, parsed, version-checked, and flattened into
+    /// its inference form before the swap, so a bad file can never
+    /// leave the server without a working model.
     ///
     /// # Errors
     ///
@@ -73,7 +141,7 @@ impl SharedModel {
     pub fn reload_from(&self, path: &str) -> Result<u32, PersistError> {
         let fresh = ModelBundle::load(path)?;
         let version = fresh.version;
-        *self.bundle.write() = Arc::new(fresh);
+        *self.bundle.write() = Arc::new(PreparedBundle::new(fresh));
         self.reloads.fetch_add(1, Ordering::Relaxed);
         Ok(version)
     }
@@ -165,6 +233,11 @@ pub(crate) mod tests {
         })
     }
 
+    pub(crate) fn test_prepared() -> &'static PreparedBundle {
+        static PREPARED: OnceLock<PreparedBundle> = OnceLock::new();
+        PREPARED.get_or_init(|| PreparedBundle::new(test_bundle().clone()))
+    }
+
     #[test]
     fn snapshot_survives_reload() {
         let model = SharedModel::new(test_bundle().clone());
@@ -180,8 +253,8 @@ pub(crate) mod tests {
         let v = model.reload_from(path.to_str().unwrap()).unwrap();
         assert_eq!(v, misam::persist::BUNDLE_VERSION);
         assert_eq!(model.reload_count(), 1);
-        assert_eq!(model.snapshot().threshold, 0.5, "new requests see the new model");
-        assert_eq!(before.threshold, 0.2, "held snapshots are immutable");
+        assert_eq!(model.snapshot().bundle.threshold, 0.5, "new requests see the new model");
+        assert_eq!(before.bundle.threshold, 0.2, "held snapshots are immutable");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -191,7 +264,7 @@ pub(crate) mod tests {
         let err = model.reload_from("/nonexistent/bundle.json").unwrap_err();
         assert!(err.is_retryable());
         assert_eq!(model.reload_count(), 0);
-        assert_eq!(model.snapshot().threshold, test_bundle().threshold);
+        assert_eq!(model.snapshot().bundle.threshold, test_bundle().threshold);
     }
 
     #[test]
@@ -228,8 +301,43 @@ pub(crate) mod tests {
     fn predict_vector_matches_the_selector() {
         let bundle = test_bundle();
         let v = vec![0.5; misam_features::FEATURE_NAMES.len()];
-        let out = predict_vector(bundle, &v);
+        let out = predict_vector(test_prepared(), &v);
+        // The flat serving path must agree with the boxed models the
+        // bundle was trained with, bit for bit.
         assert_eq!(out.predicted, bundle.selector.select_vector(&v));
+        for d in DesignId::ALL {
+            let boxed = 10f64.powf(bundle.predictor.predict_log10(&v, d));
+            assert_eq!(out.latency_s[d.index()].to_bits(), boxed.to_bits());
+        }
         assert!(out.latency_s.iter().all(|&s| s > 0.0 && s.is_finite()));
+    }
+
+    #[test]
+    fn batch_prediction_is_bit_identical_to_per_vector() {
+        let prepared = test_prepared();
+        let arity = misam_features::FEATURE_NAMES.len();
+        let vectors: Vec<Vec<f64>> = (0..7)
+            .map(|i| (0..arity).map(|j| ((i * 31 + j * 7) % 13) as f64 * 0.25).collect())
+            .collect();
+        let batch = predict_batch(prepared, &vectors);
+        assert_eq!(batch.len(), vectors.len());
+        for (v, out) in vectors.iter().zip(&batch) {
+            let single = predict_vector(prepared, v);
+            assert_eq!(out.predicted, single.predicted);
+            for d in 0..4 {
+                assert_eq!(out.latency_s[d].to_bits(), single.latency_s[d].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn ragged_groups_panic_like_the_per_vector_walk() {
+        // A ragged group (possible via the raw batcher API, which does
+        // not validate arity) takes the per-vector fallback and hits
+        // the same arity assert the boxed walk always had.
+        let arity = misam_features::FEATURE_NAMES.len();
+        let vectors = vec![vec![0.5; arity], vec![0.5; arity + 1]];
+        predict_batch(test_prepared(), &vectors);
     }
 }

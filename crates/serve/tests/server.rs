@@ -342,6 +342,43 @@ fn reload_distinguishes_retryable_from_fatal() {
 }
 
 #[test]
+fn predictions_survive_hot_reload_of_the_same_bundle() {
+    let server = default_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Predictions before the reload, on fresh sessions so every reply
+    // is a cold-start decision with no cross-request state.
+    let vectors: Vec<Vec<f64>> = (0..12).map(|i| synthetic_vector(700 + i)).collect();
+    let predict_all = |addr| {
+        let mut c = Client::connect(addr).unwrap();
+        match c.batch(vectors.clone()).unwrap() {
+            Response::Batch(b) => b.items,
+            other => panic!("expected Batch, got {other:?}"),
+        }
+    };
+    let before = predict_all(server.addr());
+
+    // Hot-reload the byte-identical bundle: the server re-derives its
+    // flat inference forms from scratch.
+    let dir = std::env::temp_dir().join(format!("misam_serve_samebundle_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("same.json");
+    bundle().save(&path).unwrap();
+    match client.reload(path.to_str().unwrap()).unwrap() {
+        Response::Reloaded(r) => assert_eq!(r.reloads, 1),
+        other => panic!("expected Reloaded, got {other:?}"),
+    }
+
+    // Reloading the same bundle must not move a single prediction:
+    // the rebuilt flat forms are bit-identical to the first ones.
+    let after = predict_all(server.addr());
+    assert_eq!(before, after, "same bundle through reload must predict identically");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn shutdown_request_drains_and_reports_final_stats() {
     let server = start(ServeConfig::default());
     let addr = server.addr();
