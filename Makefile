@@ -4,7 +4,7 @@
 # experiment sweeps); default is all cores and output is byte-identical
 # at any value, e.g. `MISAM_THREADS=4 make reproduce`.
 
-.PHONY: test bench bench-sim bench-gen bench-serve bench-train serve-smoke reproduce reproduce-paper examples doc clean
+.PHONY: test bench bench-sim bench-gen bench-serve bench-train bench-ingest serve-smoke reproduce reproduce-paper examples doc clean
 
 test:
 	cargo test --workspace
@@ -27,6 +27,13 @@ bench-gen:
 # parallel forest fit; writes BENCH_train.json.
 bench-train:
 	cargo run --release -p misam-bench --bin bench_train
+
+# Out-of-core storage benchmark: streams a .mtx bigger than the
+# resident-entry budget into an MSAB slab, profiles it with the chunked
+# fold, labels it through the oracle, and asserts peak RSS stays bounded
+# by the budget. Writes BENCH_ingest.json.
+bench-ingest:
+	cargo run --release -p misam-bench --bin bench_ingest
 
 # Serving load benchmark: throughput/latency percentiles for batched and
 # single predicts over TCP, plus an overload scenario proving the

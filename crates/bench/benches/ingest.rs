@@ -1,0 +1,62 @@
+//! Criterion benches of the out-of-core storage path: streaming
+//! `.mtx` → slab ingest and the chunked profile fold over the mmap
+//! view. The `bench_ingest` binary is the JSON-writing twin with RSS
+//! cap assertions; this harness gives statistical timings on a small
+//! fixture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use misam_sim::{design_pe_counts, design_row_pe_counts};
+use misam_sparse::slab::{self, SlabMatrix};
+use misam_sparse::MatrixProfile;
+use std::hint::black_box;
+use std::io::Write;
+
+/// Writes a small deterministic coordinate `.mtx` (2k × 2k, ~40k
+/// entries) and returns its path alongside a slab ingested from it.
+fn fixture(dir: &std::path::Path) -> (std::path::PathBuf, SlabMatrix) {
+    let rows = 2_000usize;
+    let nnz_of = |r: usize| 12 + (r % 17);
+    let nnz: usize = (0..rows).map(nnz_of).sum();
+    let mtx = dir.join("fixture.mtx");
+    let mut w = std::io::BufWriter::new(std::fs::File::create(&mtx).expect("create mtx"));
+    writeln!(w, "%%MatrixMarket matrix coordinate real general").unwrap();
+    writeln!(w, "{rows} {rows} {nnz}").unwrap();
+    for r in 0..rows {
+        for j in 0..nnz_of(r) {
+            let c = (r + (j + 1) * 131) % rows;
+            writeln!(w, "{} {} {}", r + 1, c + 1, (r + j) % 7 + 1).unwrap();
+        }
+    }
+    w.flush().unwrap();
+    drop(w);
+    let msab = dir.join("fixture.msab");
+    slab::ingest_matrix_market_with_budget(&mtx, &msab, nnz / 4).expect("ingest fixture");
+    (mtx, SlabMatrix::open(&msab).expect("open fixture slab"))
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("misam_bench_ingest_cr_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let (mtx, slab_matrix) = fixture(&dir);
+
+    let out = dir.join("rewritten.msab");
+    c.bench_function("ingest_mtx_to_slab_2000", |b| {
+        b.iter(|| slab::ingest_matrix_market_with_budget(black_box(&mtx), &out, 10_000).unwrap())
+    });
+
+    let (col_pes, row_pes) = (design_pe_counts(), design_row_pe_counts());
+    c.bench_function("profile_streaming_slab_2000", |b| {
+        b.iter(|| {
+            MatrixProfile::build_streaming(black_box(slab_matrix.as_ref()), 256, &col_pes, &row_pes)
+        })
+    });
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ingest
+}
+criterion_main!(benches);

@@ -11,7 +11,7 @@ use misam_recon::cost::ReconfigCost;
 use misam_serve::batch::{BatchConfig, MicroBatcher};
 use misam_serve::client::synthetic_vector;
 use misam_serve::protocol::{PredictRequest, Request, RequestEnvelope};
-use misam_serve::state::{predict_vector, SharedModel};
+use misam_serve::state::{predict_vector, PreparedBundle, SharedModel};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -29,11 +29,11 @@ fn bundle() -> ModelBundle {
 }
 
 fn bench_inference(c: &mut Criterion) {
-    let b = bundle();
+    let prepared = PreparedBundle::new(bundle());
     let v = synthetic_vector(11);
     assert_eq!(v.len(), FEATURE_NAMES.len());
     c.bench_function("serve_predict_vector", |bch| {
-        bch.iter(|| predict_vector(black_box(&b), black_box(&v)))
+        bch.iter(|| predict_vector(black_box(&prepared), black_box(&v)))
     });
 }
 

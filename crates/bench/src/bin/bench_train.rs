@@ -8,10 +8,12 @@
 //!   (kept verbatim in `misam_mlkit::reference`) vs the sort-once
 //!   columnar builder behind today's `fit`.
 //! * **batched prediction** — the boxed pointer-chasing walk vs the
-//!   flat SoA walk over a columnar matrix, with the transpose charged
-//!   both inside and outside the timed region (the serving path builds
-//!   one matrix per micro-batch flush and shares it across the
-//!   selector and all four latency trees).
+//!   flat SoA walk: once over a prebuilt columnar matrix (the serving
+//!   steady state: one transpose shared by the selector and all four
+//!   latency trees) and once through the adaptive
+//!   `FlatTree::predict_batch_rows` entry, which pays for its own
+//!   layout decision and skips the transpose below
+//!   `TRANSPOSE_MIN_ROWS` rows.
 //! * **forest fit** — one thread vs the worker pool, which must return
 //!   a byte-identical model.
 //!
@@ -67,8 +69,12 @@ struct Doc {
     /// Boxed row walk vs flat SoA walk, columnar matrix prebuilt (the
     /// serving steady state: one transpose shared by five trees).
     predict_batch: Kernel,
-    /// Flat walk paying for its own `FeatureMatrix::from_rows` every
-    /// call — the worst case for the columnar path.
+    /// The adaptive `predict_batch_rows` entry, charged for its own
+    /// layout decision every call (a single-call site that holds only
+    /// row-major vectors). Below `TRANSPOSE_MIN_ROWS` it walks per row
+    /// instead of paying `FeatureMatrix::from_rows` for one tree —
+    /// the fix for the 0.92× regression the eager transpose recorded
+    /// here previously.
     predict_batch_with_transpose: Kernel,
     forest_fit: ForestBench,
 }
@@ -129,6 +135,7 @@ fn main() {
     let flat = FlatTree::from_tree(&new_tree);
     let m = FeatureMatrix::from_rows(&x);
     assert_eq!(flat.predict_batch_matrix(&m), new_tree.predict_batch(&x));
+    assert_eq!(flat.predict_batch_rows(&x), new_tree.predict_batch(&x));
 
     // --- training ---------------------------------------------------
     let seed_fit_ns = time_ns(REPS, || {
@@ -166,17 +173,16 @@ fn main() {
     let flat_ns = time_ns(pred_reps, || {
         std::hint::black_box(flat.predict_batch_matrix(&m));
     });
-    let flat_transpose_ns = time_ns(pred_reps, || {
-        let m = FeatureMatrix::from_rows(&x);
-        std::hint::black_box(flat.predict_batch_matrix(&m));
+    let flat_adaptive_ns = time_ns(pred_reps, || {
+        std::hint::black_box(flat.predict_batch_rows(&x));
     });
     let predict_speedup = boxed_ns / flat_ns;
     println!(
-        "predict      {ROWS}x{FEATURES}: boxed {:>8.0} us   flat {:>7.0} us   {:>5.1}x   (+transpose {:>5.1}x)",
+        "predict      {ROWS}x{FEATURES}: boxed {:>8.0} us   flat {:>7.0} us   {:>5.1}x   (adaptive {:>5.1}x)",
         boxed_ns / 1e3,
         flat_ns / 1e3,
         predict_speedup,
-        boxed_ns / flat_transpose_ns
+        boxed_ns / flat_adaptive_ns
     );
 
     // --- forest -----------------------------------------------------
@@ -214,6 +220,11 @@ fn main() {
         predict_speedup >= 2.0,
         "flat batched prediction must be >= 2x the boxed walk (got {predict_speedup:.2}x)"
     );
+    let adaptive_speedup = boxed_ns / flat_adaptive_ns;
+    assert!(
+        adaptive_speedup >= 1.0,
+        "adaptive predict_batch_rows must never lose to the boxed walk (got {adaptive_speedup:.2}x)"
+    );
 
     let doc = Doc {
         bench: "bench_train".into(),
@@ -232,8 +243,8 @@ fn main() {
         predict_batch: Kernel { seed_ns: boxed_ns, new_ns: flat_ns, speedup: predict_speedup },
         predict_batch_with_transpose: Kernel {
             seed_ns: boxed_ns,
-            new_ns: flat_transpose_ns,
-            speedup: boxed_ns / flat_transpose_ns,
+            new_ns: flat_adaptive_ns,
+            speedup: adaptive_speedup,
         },
         forest_fit: ForestBench {
             n_trees: forest_params.n_trees,

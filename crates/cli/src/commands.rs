@@ -7,7 +7,8 @@ use misam_features::{PairFeatures, TileConfig, FEATURE_NAMES};
 use misam_recon::cost::ReconfigCost;
 use misam_serve::protocol::GenSpec;
 use misam_serve::{Client, LoadGen, Response, ServeConfig, Server};
-use misam_sim::{simulate, DesignConfig, DesignId, Operand};
+use misam_sim::{simulate, simulate_ref, DesignConfig, DesignId, Operand};
+use misam_sparse::slab::{self, SlabMatrix};
 use misam_sparse::{gen, io, CsrMatrix};
 
 const HELP: &str = "\
@@ -17,16 +18,19 @@ USAGE:
   misam train    --out models.json [--samples N] [--latency N] [--seed S]
                  [--objective latency|energy] [--threshold T]
   misam predict  --models models.json --a A.mtx (--b B.mtx | --dense-cols N)
-  misam simulate --a A.mtx (--b B.mtx | --dense-cols N) [--design 1|2|3|4]
+  misam simulate (--a A.mtx | --matrix A.msab) (--b B.mtx | --dense-cols N)
+                 [--design 1|2|3|4]
   misam features --a A.mtx (--b B.mtx | --dense-cols N)
   misam gen      --kind uniform|power-law|banded|pruned-dnn|regular|circuit
                  --rows N [--cols N] [--density D] [--seed S] --out M.mtx
+  misam ingest   --in A.mtx [--out A.msab] [--budget ENTRIES]
   misam dataset  --out corpus.csv [--samples N] [--seed S] [--format csv|json]
   misam suite    [--scale S] [--seed N]
+  misam corpus   [--scale 1..10000] [--seed N] [--ingest DIR]
   misam serve    --models models.json [--addr 127.0.0.1:7171] [--threads N]
                  [--batch-max N] [--batch-wait-us N] [--queue-cap N]
   misam client   --addr HOST:PORT --op stats|shutdown|reload|predict-gen|simulate|load
-                 [--path models.json] [--design 1|2|3|4]
+                 [--path models.json] [--design 1|2|3|4] [--matrix A.msab]
                  [--kind K --rows N --cols N --density D --seed S --dense-cols N]
                  [--connections N --requests N --batch N]
   misam designs
@@ -50,12 +54,14 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "simulate" => sim_cmd(&flags),
         "features" => features(&flags),
         "gen" => generate(&flags),
+        "ingest" => ingest_cmd(&flags),
         "designs" => {
             designs();
             Ok(())
         }
         "dataset" => dataset_cmd(&flags),
         "suite" => suite_cmd(&flags),
+        "corpus" => corpus_cmd(&flags),
         "serve" => serve_cmd(&flags),
         "client" => client_cmd(&flags),
         "help" | "--help" | "-h" => {
@@ -153,26 +159,27 @@ fn predict(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn sim_cmd(flags: &Flags) -> Result<(), String> {
-    flags.expect_only(&["a", "b", "dense-cols", "design"])?;
-    let (a, b, dense_cols) = load_operands(flags)?;
-    let op = operand(&b, &a, dense_cols);
-    let designs: Vec<DesignId> = match flags.get("design") {
-        None => DesignId::ALL.to_vec(),
+fn parse_designs(flags: &Flags) -> Result<Vec<DesignId>, String> {
+    match flags.get("design") {
+        None => Ok(DesignId::ALL.to_vec()),
         Some(n) => {
             let idx: usize = n.parse().map_err(|_| format!("bad --design '{n}'"))?;
             if !(1..=4).contains(&idx) {
                 return Err("--design must be 1..4".into());
             }
-            vec![DesignId::from_index(idx - 1)]
+            Ok(vec![DesignId::from_index(idx - 1)])
         }
-    };
+    }
+}
+
+fn sim_cmd(flags: &Flags) -> Result<(), String> {
+    flags.expect_only(&["a", "matrix", "b", "dense-cols", "design"])?;
+    let designs = parse_designs(flags)?;
     println!(
         "{:<10} {:>12} {:>12} {:>10} {:>8} {:>8}",
         "design", "cycles", "time", "energy", "util", "tiles"
     );
-    for d in designs {
-        let r = simulate(&a, op, d);
+    let print_row = |d: DesignId, r: misam_sim::SimReport| {
         println!(
             "{:<10} {:>12} {:>10.3}ms {:>8.3}mJ {:>7.1}% {:>8}",
             d.to_string(),
@@ -182,6 +189,109 @@ fn sim_cmd(flags: &Flags) -> Result<(), String> {
             r.pe_utilization * 100.0,
             r.tiles
         );
+    };
+    match (flags.get("a"), flags.get("matrix")) {
+        (Some(_), None) => {
+            let (a, b, dense_cols) = load_operands(flags)?;
+            let op = operand(&b, &a, dense_cols);
+            for d in designs {
+                print_row(d, simulate(&a, op, d));
+            }
+        }
+        (None, Some(path)) => {
+            // Out-of-core path: A stays an mmapped slab view end to end.
+            let a = SlabMatrix::open(path).map_err(|e| e.to_string())?;
+            let b = match (flags.get("b"), flags.get("dense-cols")) {
+                (Some(bp), None) => {
+                    let b = io::read_matrix_market_file(bp).map_err(|e| e.to_string())?;
+                    if a.cols() != b.rows() {
+                        return Err(format!(
+                            "A is {}x{} but B is {}x{}",
+                            a.rows(),
+                            a.cols(),
+                            b.rows(),
+                            b.cols()
+                        ));
+                    }
+                    Some(b)
+                }
+                (None, Some(n)) => {
+                    let _: usize = n.parse().map_err(|_| format!("bad --dense-cols '{n}'"))?;
+                    None
+                }
+                _ => return Err("give exactly one of --b M.mtx or --dense-cols N".into()),
+            };
+            let op = match &b {
+                Some(m) => Operand::Sparse(m),
+                None => {
+                    Operand::Dense { rows: a.cols(), cols: flags.get_or("dense-cols", 512usize)? }
+                }
+            };
+            for d in designs {
+                print_row(d, simulate_ref(a.as_ref(), op, d));
+            }
+        }
+        _ => return Err("give exactly one of --a A.mtx or --matrix A.msab".into()),
+    }
+    Ok(())
+}
+
+fn ingest_cmd(flags: &Flags) -> Result<(), String> {
+    flags.expect_only(&["in", "out", "budget"])?;
+    let input = flags.require("in")?;
+    let default_out = std::path::Path::new(input).with_extension("msab");
+    let out = match flags.get("out") {
+        Some(o) => o.to_string(),
+        None => default_out.to_string_lossy().into_owned(),
+    };
+    let budget: usize = flags.get_or("budget", slab::DEFAULT_INGEST_BUDGET)?;
+    if budget == 0 {
+        return Err("--budget must be positive".into());
+    }
+    let report =
+        slab::ingest_matrix_market_with_budget(input, &out, budget).map_err(|e| e.to_string())?;
+    eprintln!(
+        "ingested {input} -> {out}: {}x{} with {} nnz in {} chunk(s), \
+         {} -> {} bytes, digest {:#018x}",
+        report.rows,
+        report.cols,
+        report.nnz,
+        report.chunks,
+        report.mtx_bytes,
+        report.slab_bytes,
+        report.content_digest
+    );
+    Ok(())
+}
+
+fn corpus_cmd(flags: &Flags) -> Result<(), String> {
+    flags.expect_only(&["scale", "seed", "ingest"])?;
+    let scale: u32 = flags.get_or("scale", 100u32)?;
+    let seed: u64 = flags.get_or("seed", 2025u64)?;
+    if !(1..=10_000).contains(&scale) {
+        return Err("--scale must be in 1..=10000".into());
+    }
+    let tiers = misam::workloads::corpus_tiers(scale);
+    let ws = misam::workloads::real_matrix_corpus(scale, seed);
+    println!("{:<16} {:>6} {:>9} {:>12} {:>10}", "matrix", "tier", "rows", "nnz", "density");
+    for w in &ws {
+        println!(
+            "{:<16} {:>6} {:>9} {:>12} {:>10.2e}",
+            w.name,
+            w.name.rsplit('@').next().unwrap_or("?"),
+            w.a.rows(),
+            w.a.nnz(),
+            w.a.density()
+        );
+    }
+    println!("\n{} matrices across tiers {tiers:?} (scale {scale}/10000)", ws.len());
+    if let Some(dir) = flags.get("ingest") {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        for w in &ws {
+            let path = std::path::Path::new(dir).join(format!("{}.msab", w.name));
+            slab::write_slab(&path, &w.a).map_err(|e| e.to_string())?;
+        }
+        eprintln!("wrote {} slabs to {dir}", ws.len());
     }
     Ok(())
 }
@@ -350,6 +460,7 @@ fn client_cmd(flags: &Flags) -> Result<(), String> {
         "op",
         "path",
         "design",
+        "matrix",
         "kind",
         "rows",
         "cols",
@@ -380,7 +491,18 @@ fn client_cmd(flags: &Flags) -> Result<(), String> {
         "shutdown" => client.shutdown(),
         "reload" => client.reload(flags.require("path")?),
         "predict-gen" => client.predict_gen(gen_spec(flags)?),
-        "simulate" => client.simulate(gen_spec(flags)?, flags.get_or("design", 1usize)?),
+        // --matrix names an ingested slab on the server host; otherwise
+        // the generator-spec flags describe a synthetic workload.
+        "simulate" => match flags.get("matrix") {
+            Some(path) => {
+                let dense_cols = match flags.get("dense-cols") {
+                    None => None,
+                    Some(n) => Some(n.parse().map_err(|_| format!("bad --dense-cols '{n}'"))?),
+                };
+                client.simulate_matrix(path, dense_cols, flags.get_or("design", 1usize)?)
+            }
+            None => client.simulate(gen_spec(flags)?, flags.get_or("design", 1usize)?),
+        },
         other => return Err(format!("unknown --op '{other}'")),
     }
     .map_err(|e| format!("request failed: {e}"))?;
@@ -496,6 +618,101 @@ mod tests {
         dispatch(&argv(&["simulate", "--a", a_s, "--dense-cols", "64"])).unwrap();
         dispatch(&argv(&["simulate", "--a", a_s, "--dense-cols", "64", "--design", "2"])).unwrap();
         dispatch(&argv(&["features", "--a", a_s, "--dense-cols", "64"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_then_simulate_out_of_core() {
+        let dir = tmp();
+        let a = dir.join("oc.mtx");
+        let a_s = a.to_str().unwrap();
+        dispatch(&argv(&[
+            "gen",
+            "--kind",
+            "power-law",
+            "--rows",
+            "180",
+            "--density",
+            "0.03",
+            "--seed",
+            "9",
+            "--out",
+            a_s,
+        ]))
+        .unwrap();
+        // Default output path swaps the extension; a small budget forces
+        // multi-chunk streaming.
+        dispatch(&argv(&["ingest", "--in", a_s, "--budget", "64"])).unwrap();
+        let slab_path = dir.join("oc.msab");
+        assert!(slab_path.exists());
+        let slab = SlabMatrix::open(&slab_path).unwrap();
+        let owned = io::read_matrix_market_file(a_s).unwrap();
+        assert_eq!(slab.to_matrix(), owned);
+
+        dispatch(&argv(&[
+            "simulate",
+            "--matrix",
+            slab_path.to_str().unwrap(),
+            "--dense-cols",
+            "64",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "simulate",
+            "--matrix",
+            slab_path.to_str().unwrap(),
+            "--dense-cols",
+            "64",
+            "--design",
+            "3",
+        ]))
+        .unwrap();
+
+        // Flag validation: --a and --matrix are mutually exclusive, and
+        // a missing slab is a readable error.
+        let err = dispatch(&argv(&[
+            "simulate",
+            "--a",
+            a_s,
+            "--matrix",
+            slab_path.to_str().unwrap(),
+            "--dense-cols",
+            "8",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        assert!(dispatch(&argv(&["ingest", "--in", a_s, "--budget", "0"])).is_err());
+        assert!(dispatch(&argv(&[
+            "simulate",
+            "--matrix",
+            dir.join("nope.msab").to_str().unwrap(),
+            "--dense-cols",
+            "8",
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corpus_lists_tiers_and_ingests_slabs() {
+        let dir = tmp();
+        let slabs = dir.join("corpus_slabs");
+        dispatch(&argv(&[
+            "corpus",
+            "--scale",
+            "2",
+            "--seed",
+            "4",
+            "--ingest",
+            slabs.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Tiers [1, 2] x 12 catalog matrices, one slab each.
+        let count = std::fs::read_dir(&slabs).unwrap().count();
+        assert_eq!(count, 24);
+        let one = SlabMatrix::open(slabs.join("p2p@2.msab")).unwrap();
+        assert!(one.nnz() > 0);
+        assert!(dispatch(&argv(&["corpus", "--scale", "0"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

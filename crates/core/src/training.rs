@@ -264,7 +264,9 @@ impl LatencyPredictor {
     /// Converts to the flat SoA inference form; predictions are
     /// bit-identical to [`LatencyPredictor::predict_log10`].
     pub fn to_flat(&self) -> FlatLatencyPredictor {
-        FlatLatencyPredictor { trees: self.trees.iter().map(FlatRegressionTree::from_tree).collect() }
+        FlatLatencyPredictor {
+            trees: self.trees.iter().map(FlatRegressionTree::from_tree).collect(),
+        }
     }
 }
 

@@ -255,6 +255,61 @@ pub fn suite_with_threads(hs_scale: f64, seed: u64, threads: usize) -> Vec<Workl
     pool::par_map_with(&specs, threads, |spec| spec())
 }
 
+/// Tiers of the scale-tiered real-matrix corpus for a `--scale` value in
+/// `1..=10000`: the powers of ten up to `scale`, plus `scale` itself when
+/// it is not a power of ten. Scale units are 1/10000 of published size,
+/// so `scale = 10000` tops out at the full Table 3 dimensions.
+///
+/// # Panics
+///
+/// Panics if `scale` is outside `1..=10000`.
+pub fn corpus_tiers(scale: u32) -> Vec<u32> {
+    assert!((1..=10_000).contains(&scale), "scale must be in 1..=10000, got {scale}");
+    let mut tiers: Vec<u32> =
+        [1u32, 10, 100, 1_000, 10_000].into_iter().filter(|&t| t <= scale).collect();
+    if *tiers.last().expect("tier 1 always present") != scale {
+        tiers.push(scale);
+    }
+    tiers
+}
+
+/// The scale-tiered real-matrix corpus: for every tier of
+/// [`corpus_tiers`]`(scale)`, the twelve Table 3 matrices regenerated at
+/// `tier / 10000` of their published size, each paired with a dense
+/// 512-column right-hand side (the HS×D shape out-of-core deployments
+/// hit). Tiering gives one corpus spanning four orders of magnitude in
+/// matrix size, so ingest/profile pipelines are exercised from
+/// cache-resident up to bigger-than-budget matrices with a single
+/// integer knob.
+pub fn real_matrix_corpus(scale: u32, seed: u64) -> Vec<Workload> {
+    real_matrix_corpus_with_threads(scale, seed, pool::default_threads())
+}
+
+/// [`real_matrix_corpus`] with an explicit worker count. Each (tier, id)
+/// entry is an independent job seeded by `(seed, id, tier)`, so the
+/// corpus is byte-identical at any thread count and matrices repeated
+/// across tiers still differ (each tier reseeds its generator).
+pub fn real_matrix_corpus_with_threads(scale: u32, seed: u64, threads: usize) -> Vec<Workload> {
+    let specs: Vec<(u32, &str)> = corpus_tiers(scale)
+        .into_iter()
+        .flat_map(|t| HS_IDS.into_iter().map(move |id| (t, id)))
+        .collect();
+    pool::par_map_with(&specs, threads, |&(tier, id)| {
+        let rec = suitesparse::by_id(id).expect("catalog id");
+        let a = rec.generate_scaled(
+            tier as f64 / 10_000.0,
+            seed ^ hash(id) ^ hash(&format!("tier{tier}")),
+        );
+        let b_rows = a.cols();
+        Workload {
+            name: format!("{id}@{tier}"),
+            category: Category::HsD,
+            a,
+            b: WorkloadB::Dense { rows: b_rows, cols: SEQ_LEN },
+        }
+    })
+}
+
 fn hash(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.bytes() {
@@ -333,6 +388,53 @@ mod tests {
         for threads in [2, 5, 16] {
             assert_eq!(serial, suite_with_threads(0.01, 6, threads));
         }
+    }
+
+    #[test]
+    fn corpus_tiers_follow_powers_of_ten() {
+        assert_eq!(corpus_tiers(1), vec![1]);
+        assert_eq!(corpus_tiers(7), vec![1, 7]);
+        assert_eq!(corpus_tiers(10), vec![1, 10]);
+        assert_eq!(corpus_tiers(250), vec![1, 10, 100, 250]);
+        assert_eq!(corpus_tiers(10_000), vec![1, 10, 100, 1_000, 10_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in 1..=10000")]
+    fn corpus_tiers_reject_zero() {
+        corpus_tiers(0);
+    }
+
+    #[test]
+    fn real_matrix_corpus_has_per_tier_entries() {
+        let ws = real_matrix_corpus(25, 3);
+        // Tiers [1, 10, 25] x 12 catalog matrices.
+        assert_eq!(ws.len(), 3 * HS_IDS.len());
+        for w in &ws {
+            assert_eq!(w.category, Category::HsD);
+            assert!(!w.b_is_sparse());
+            match &w.b {
+                WorkloadB::Dense { rows, cols } => {
+                    assert_eq!(*rows, w.a.cols(), "{}", w.name);
+                    assert_eq!(*cols, SEQ_LEN);
+                }
+                WorkloadB::Sparse(_) => unreachable!(),
+            }
+        }
+        // Higher tiers regenerate at larger published fractions.
+        let at = |name: &str| ws.iter().find(|w| w.name == name).unwrap();
+        assert!(at("p2p@25").a.rows() > at("p2p@1").a.rows());
+        assert!(at("p2p@25").a.nnz() > at("p2p@10").a.nnz());
+    }
+
+    #[test]
+    fn real_matrix_corpus_is_deterministic_and_parallel_safe() {
+        let serial = real_matrix_corpus_with_threads(12, 8, 1);
+        assert_eq!(serial, real_matrix_corpus(12, 8));
+        for threads in [2, 7] {
+            assert_eq!(serial, real_matrix_corpus_with_threads(12, 8, threads));
+        }
+        assert_ne!(serial, real_matrix_corpus(12, 9));
     }
 
     #[test]

@@ -27,7 +27,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use misam_sparse::{CsrMatrix, MatrixProfile, Structure};
+use misam_sparse::{CsrMatrix, CsrRef, MatrixProfile, Structure};
 
 /// Names of the entries of [`PairFeatures::to_vector`], in order. These
 /// match the labels of the paper's Figure 4 where applicable.
@@ -119,7 +119,14 @@ impl MatrixStats {
     /// Computes the statistics of one matrix from its CSR structure
     /// (one structural pass, via a throwaway [`MatrixProfile`]).
     pub fn extract(m: &CsrMatrix) -> Self {
-        Self::from_profile(&MatrixProfile::build(m))
+        Self::extract_ref(m.as_ref())
+    }
+
+    /// View-based form of [`MatrixStats::extract`]: the same structural
+    /// pass over any storage producing a [`CsrRef`] (owned or
+    /// mmap-backed), bit-identical across producers.
+    pub fn extract_ref(m: CsrRef<'_>) -> Self {
+        Self::from_profile(&MatrixProfile::build_ref(m))
     }
 
     /// Reads the statistics off a precomputed profile — no CSR
@@ -193,6 +200,12 @@ impl TileStats {
     /// low — the property that makes `Tile_1D_Density` the most important
     /// feature in the paper's Figure 4.
     pub fn extract(m: &CsrMatrix, cfg: &TileConfig) -> Self {
+        Self::extract_ref(m.as_ref(), cfg)
+    }
+
+    /// View-based form of [`TileStats::extract`], bit-identical across
+    /// storage producers.
+    pub fn extract_ref(m: CsrRef<'_>, cfg: &TileConfig) -> Self {
         let tr = cfg.tile_rows.max(1);
         let tc = cfg.tile_cols.max(1);
         let tiles_down = m.rows().div_ceil(tr);
@@ -337,7 +350,14 @@ pub struct PairFeatures {
 impl PairFeatures {
     /// Extracts features from an operand pair.
     pub fn extract(a: &CsrMatrix, b: &CsrMatrix, cfg: &TileConfig) -> Self {
-        Self::from_profiles(&MatrixProfile::build(a), &MatrixProfile::build(b), b, cfg)
+        Self::extract_ref(a.as_ref(), b.as_ref(), cfg)
+    }
+
+    /// View-based form of [`PairFeatures::extract`], bit-identical
+    /// across storage producers — how slab-backed operands reach the
+    /// classifier without materializing.
+    pub fn extract_ref(a: CsrRef<'_>, b: CsrRef<'_>, cfg: &TileConfig) -> Self {
+        Self::from_profiles_ref(&MatrixProfile::build_ref(a), &MatrixProfile::build_ref(b), b, cfg)
     }
 
     /// Extracts features from precomputed operand profiles, walking B
@@ -351,10 +371,20 @@ impl PairFeatures {
         b: &CsrMatrix,
         cfg: &TileConfig,
     ) -> Self {
+        Self::from_profiles_ref(ap, bp, b.as_ref(), cfg)
+    }
+
+    /// View-based form of [`PairFeatures::from_profiles`].
+    pub fn from_profiles_ref(
+        ap: &MatrixProfile,
+        bp: &MatrixProfile,
+        b: CsrRef<'_>,
+        cfg: &TileConfig,
+    ) -> Self {
         PairFeatures {
             a: MatrixStats::from_profile(ap),
             b: MatrixStats::from_profile(bp),
-            tiles_b: TileStats::extract(b, cfg),
+            tiles_b: TileStats::extract_ref(b, cfg),
         }
     }
 

@@ -1,0 +1,70 @@
+//! Feature extraction must not see the storage producer: for any
+//! generated operand pair, `MatrixStats`, `TileStats`, and
+//! `PairFeatures` extracted from owned `CsrMatrix` storage and from
+//! the mmap-backed slab twin must be equal field for field (all fields
+//! are `f64`/counts compared through `PartialEq`, so equality here is
+//! bit-identity for every finite value the extractors produce).
+
+use misam_features::{MatrixStats, PairFeatures, TileConfig, TileStats};
+use misam_sparse::slab::{self, SlabMatrix};
+use misam_sparse::{gen, CsrMatrix};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn slab_twin(m: &CsrMatrix) -> (std::path::PathBuf, SlabMatrix) {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "misam_feat_eq_{}_{}.msab",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    slab::write_slab(&path, m).expect("write slab");
+    let s = SlabMatrix::open(&path).expect("open slab");
+    (path, s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn stats_match_across_storage_producers(
+        rows in 1usize..160,
+        cols in 1usize..160,
+        avg in 0.5f64..10.0,
+        alpha in 1.1f64..1.9,
+        seed in 0u64..1_000_000,
+    ) {
+        let m = gen::power_law(rows, cols, avg, alpha, seed);
+        let (path, s) = slab_twin(&m);
+        let cfg = TileConfig::default();
+        prop_assert_eq!(MatrixStats::extract(&m), MatrixStats::extract_ref(s.as_ref()));
+        prop_assert_eq!(
+            TileStats::extract(&m, &cfg),
+            TileStats::extract_ref(s.as_ref(), &cfg)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pair_features_match_across_storage_producers(
+        rows in 1usize..120,
+        inner in 1usize..120,
+        cols in 1usize..120,
+        density in 0.0f64..0.3,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = gen::uniform_random(rows, inner, density, seed);
+        let b = gen::uniform_random(inner, cols, density, seed ^ 0x9E37_79B9);
+        let (pa, sa) = slab_twin(&a);
+        let (pb, sb) = slab_twin(&b);
+        let cfg = TileConfig::default();
+        // Every mix of producers lands on the same features: both
+        // owned, both mapped, and one of each.
+        let owned = PairFeatures::extract(&a, &b, &cfg);
+        prop_assert_eq!(owned, PairFeatures::extract_ref(sa.as_ref(), sb.as_ref(), &cfg));
+        prop_assert_eq!(owned, PairFeatures::extract_ref(a.as_ref(), sb.as_ref(), &cfg));
+        prop_assert_eq!(owned, PairFeatures::extract_ref(sa.as_ref(), b.as_ref(), &cfg));
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+    }
+}

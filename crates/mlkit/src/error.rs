@@ -84,10 +84,7 @@ impl std::fmt::Display for ModelDecodeError {
                 write!(f, "expected {expected} bytes, got {found} (at offset {offset})")
             }
             ModelDecodeError::LinkOutOfRange { node, link, count, offset } => {
-                write!(
-                    f,
-                    "node {node} links out of range ({link} >= {count}, at offset {offset})"
-                )
+                write!(f, "node {node} links out of range ({link} >= {count}, at offset {offset})")
             }
             ModelDecodeError::UnknownTag { tag, node, offset } => {
                 write!(f, "unknown node tag {tag} at node {node} (offset {offset})")

@@ -29,6 +29,23 @@ use serde::{Deserialize, Serialize};
 /// collide.
 const LEAF: u16 = u16::MAX;
 
+/// Row count at or above which the adaptive batch entry points
+/// ([`FlatTree::predict_batch_rows`] and friends) transpose the rows
+/// into a [`FeatureMatrix`] and run the frontier walk; below it they
+/// walk row by row on the row-major storage as given.
+///
+/// A one-shot transpose is pure overhead unless the frontier walk's
+/// sequential column passes win it back within the same call. On a
+/// single tree the per-row flat walk already reads cache-resident rows,
+/// so the crossover sits past any realistic micro-batch — `bench_train`
+/// measured the transpose-per-call path at 0.92× the boxed walk at 8k
+/// rows while the per-row flat walk stays well ahead. Callers that
+/// reuse one matrix across several trees (the serving flush path)
+/// should build the [`FeatureMatrix`] themselves and call
+/// `predict_batch_matrix` directly: sharing, not size, is what pays
+/// for the transpose.
+pub const TRANSPOSE_MIN_ROWS: usize = 16_384;
+
 /// Frontier walk shared by the flat batch predictors: instead of
 /// descending row by row (which reads one scattered column value per
 /// node visit), all rows descend together. A stack of `(node, lo, hi)`
@@ -45,6 +62,7 @@ const LEAF: u16 = u16::MAX;
 ///
 /// The comparison is `!(x <= t)` — not `x > t` — so NaN descends right
 /// exactly like the per-row walks.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
 fn walk_batch(
     feature: &[u16],
     threshold: &[f64],
@@ -175,6 +193,7 @@ impl FlatTree {
     /// # Panics
     ///
     /// Panics if `features.len() != n_features`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn predict_with_purity(&self, features: &[f64]) -> (usize, f64) {
         assert_eq!(features.len(), self.n_features, "feature vector has wrong arity");
         let mut i = 0usize;
@@ -193,6 +212,19 @@ impl FlatTree {
     /// Predicts a batch of row vectors.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
         xs.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Adaptive batch prediction over row-major vectors: below
+    /// [`TRANSPOSE_MIN_ROWS`] rows the per-row flat walk reads the row
+    /// storage as given (no transpose); at or above it the rows are
+    /// transposed once and the frontier walk takes over. Results are
+    /// identical to [`FlatTree::predict_batch`] on either side.
+    pub fn predict_batch_rows(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        if xs.len() < TRANSPOSE_MIN_ROWS {
+            self.predict_batch(xs)
+        } else {
+            self.predict_batch_matrix(&FeatureMatrix::from_rows(xs))
+        }
     }
 
     /// Predicts every row of a columnar matrix via the frontier walk
@@ -301,6 +333,7 @@ impl FlatRegressionTree {
     /// # Panics
     ///
     /// Panics if `features.len() != n_features`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn predict(&self, features: &[f64]) -> f64 {
         assert_eq!(features.len(), self.n_features, "feature vector has wrong arity");
         let mut i = 0usize;
@@ -317,6 +350,17 @@ impl FlatRegressionTree {
     /// Predicts a batch of row vectors.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
         xs.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Adaptive batch prediction over row-major vectors — per-row walk
+    /// below [`TRANSPOSE_MIN_ROWS`], transpose + frontier walk at or
+    /// above it. Bit-identical to [`FlatRegressionTree::predict_batch`].
+    pub fn predict_batch_rows(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        if xs.len() < TRANSPOSE_MIN_ROWS {
+            self.predict_batch(xs)
+        } else {
+            self.predict_batch_matrix(&FeatureMatrix::from_rows(xs))
+        }
     }
 
     /// Predicts every row of a columnar matrix via the frontier walk
@@ -365,11 +409,7 @@ impl FlatForest {
     pub fn from_forest(forest: &RandomForest) -> Self {
         FlatForest {
             trees: forest.trees().iter().map(FlatTree::from_tree).collect(),
-            maps: forest
-                .maps()
-                .iter()
-                .map(|m| m.iter().map(|&f| f as u32).collect())
-                .collect(),
+            maps: forest.maps().iter().map(|m| m.iter().map(|&f| f as u32).collect()).collect(),
             n_classes: forest.n_classes(),
             n_features: forest.n_features(),
         }
@@ -403,6 +443,19 @@ impl FlatForest {
         xs.iter().map(|f| self.predict(f)).collect()
     }
 
+    /// Adaptive batch prediction over row-major vectors — per-row walk
+    /// below [`TRANSPOSE_MIN_ROWS`], one shared transpose + per-tree
+    /// frontier walks at or above it (a forest amortizes the transpose
+    /// across its trees, so the columnar side pays off sooner the more
+    /// trees there are). Identical to [`FlatForest::predict_batch`].
+    pub fn predict_batch_rows(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        if xs.len() * self.trees.len().max(1) < TRANSPOSE_MIN_ROWS {
+            self.predict_batch(xs)
+        } else {
+            self.predict_batch_matrix(&FeatureMatrix::from_rows(xs))
+        }
+    }
+
     /// Predicts every row of a columnar matrix: each tree runs the
     /// frontier walk ([`walk_batch`]) with its feature map applied on
     /// the fly, then votes are tallied per row.
@@ -415,19 +468,12 @@ impl FlatForest {
         let n = m.n_rows();
         let mut votes = vec![0usize; n * self.n_classes];
         for (tree, map) in self.trees.iter().zip(&self.maps) {
-            walk_batch(
-                &tree.feature,
-                &tree.threshold,
-                &tree.children,
-                m,
-                Some(map),
-                |i, rows| {
-                    let class = tree.children[2 * i] as usize;
-                    for &r in rows {
-                        votes[r as usize * self.n_classes + class] += 1;
-                    }
-                },
-            );
+            walk_batch(&tree.feature, &tree.threshold, &tree.children, m, Some(map), |i, rows| {
+                let class = tree.children[2 * i] as usize;
+                for &r in rows {
+                    votes[r as usize * self.n_classes + class] += 1;
+                }
+            });
         }
         (0..n)
             .map(|r| {
@@ -516,9 +562,8 @@ impl FlatForest {
             need(o, 4 * map_len, data.len())?;
             let mut map = Vec::with_capacity(map_len);
             for k in 0..map_len {
-                let f = u32::from_le_bytes(
-                    data[o + 4 * k..o + 4 * k + 4].try_into().expect("sliced"),
-                );
+                let f =
+                    u32::from_le_bytes(data[o + 4 * k..o + 4 * k + 4].try_into().expect("sliced"));
                 if f as usize >= n_features {
                     return Err(ModelDecodeError::FeatureOutOfRange {
                         tree: t,
@@ -531,13 +576,11 @@ impl FlatForest {
             }
             o += 4 * map_len;
             need(o, 4, data.len())?;
-            let blob_len =
-                u32::from_le_bytes(data[o..o + 4].try_into().expect("sliced")) as usize;
+            let blob_len = u32::from_le_bytes(data[o..o + 4].try_into().expect("sliced")) as usize;
             o += 4;
             need(o, blob_len, data.len())?;
-            let tree = FlatTree::from_bytes(&data[o..o + blob_len]).map_err(|e| {
-                ModelDecodeError::Tree { tree: t, offset: o, source: Box::new(e) }
-            })?;
+            let tree = FlatTree::from_bytes(&data[o..o + blob_len])
+                .map_err(|e| ModelDecodeError::Tree { tree: t, offset: o, source: Box::new(e) })?;
             trees.push(tree);
             maps.push(map);
             o += blob_len;
@@ -635,6 +678,50 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_batch_agrees_on_both_sides_of_the_threshold() {
+        let (x, y) = demo_data();
+        let tree = DecisionTree::fit(&x, &y, 3, &TreeParams::default());
+        let flat = FlatTree::from_tree(&tree);
+        let reg_y: Vec<f64> = x.iter().map(|r| r[0].mul_add(2.0, r[1])).collect();
+        let reg =
+            FlatRegressionTree::from_tree(&RegressionTree::fit(&x, &reg_y, &RegParams::default()));
+
+        // Below the threshold: the per-row walk, no transpose.
+        let small: Vec<Vec<f64>> = x.iter().take(37).cloned().collect();
+        assert!(small.len() < TRANSPOSE_MIN_ROWS);
+        assert_eq!(flat.predict_batch_rows(&small), tree.predict_batch(&small));
+        let reg_small = reg.predict_batch_rows(&small);
+        for (a, b) in reg_small.iter().zip(reg.predict_batch(&small)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(flat.predict_batch_rows(&[]).is_empty(), "empty batch must not transpose");
+
+        // At/above the threshold: transpose + frontier walk.
+        let big: Vec<Vec<f64>> = x.iter().cycle().take(TRANSPOSE_MIN_ROWS + 100).cloned().collect();
+        assert_eq!(flat.predict_batch_rows(&big), tree.predict_batch(&big));
+        let reg_big = reg.predict_batch_rows(&big);
+        for (a, b) in reg_big.iter().zip(reg.predict_batch(&big)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn adaptive_forest_batch_amortizes_the_transpose_across_trees() {
+        let (x, y) = demo_data();
+        let params =
+            ForestParams { n_trees: 8, features_per_tree: Some(2), ..ForestParams::default() };
+        let flat = FlatForest::from_forest(&RandomForest::fit(&x, &y, 3, &params));
+
+        // 8 trees: the columnar side engages at TRANSPOSE_MIN_ROWS / 8
+        // rows; check agreement just below and just above that point.
+        let cross = TRANSPOSE_MIN_ROWS / flat.n_trees();
+        let below: Vec<Vec<f64>> = x.iter().cycle().take(cross - 1).cloned().collect();
+        let above: Vec<Vec<f64>> = x.iter().cycle().take(cross + 1).cloned().collect();
+        assert_eq!(flat.predict_batch_rows(&below), flat.predict_batch(&below));
+        assert_eq!(flat.predict_batch_rows(&above), flat.predict_batch(&above));
+    }
+
+    #[test]
     fn forest_decode_errors_carry_context() {
         assert!(matches!(
             FlatForest::from_bytes(b"zzzz0000"),
@@ -659,7 +746,9 @@ mod tests {
         let mut bad_map = good.clone();
         bad_map[20..24].copy_from_slice(&999u32.to_le_bytes());
         match FlatForest::from_bytes(&bad_map) {
-            Err(ModelDecodeError::FeatureOutOfRange { tree: 0, feature: 999, offset: 20, .. }) => {}
+            Err(ModelDecodeError::FeatureOutOfRange {
+                tree: 0, feature: 999, offset: 20, ..
+            }) => {}
             other => panic!("expected FeatureOutOfRange, got {other:?}"),
         }
 

@@ -146,8 +146,7 @@ impl RandomForest {
                     }
                     None => (0..n_features).collect(),
                 };
-                let boot: Vec<usize> =
-                    (0..n_boot).map(|_| rng.gen_range(0..m.n_rows())).collect();
+                let boot: Vec<usize> = (0..n_boot).map(|_| rng.gen_range(0..m.n_rows())).collect();
                 TreePlan { map, boot }
             })
             .collect();

@@ -55,6 +55,6 @@ pub mod flat;
 pub mod forest;
 pub mod matrix;
 pub mod metrics;
-pub mod regression;
 pub mod reference;
+pub mod regression;
 pub mod tree;

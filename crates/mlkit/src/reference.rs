@@ -21,7 +21,12 @@ use crate::tree::{argmax, gini, DecisionTree, Node, TreeParams};
 
 /// Fits a classifier with the original per-node-sorting algorithm.
 /// Same contract (and panics) as [`DecisionTree::fit`].
-pub fn fit_tree(x: &[Vec<f64>], y: &[usize], n_classes: usize, params: &TreeParams) -> DecisionTree {
+pub fn fit_tree(
+    x: &[Vec<f64>],
+    y: &[usize],
+    n_classes: usize,
+    params: &TreeParams,
+) -> DecisionTree {
     assert!(!x.is_empty(), "cannot fit a tree to an empty dataset");
     assert_eq!(x.len(), y.len(), "feature and label counts differ");
     let n_features = x[0].len();
@@ -95,8 +100,7 @@ impl RefBuilder<'_> {
             idx.iter().partition(|&&i| self.x[i as usize][split.0] <= split.1);
         let left = self.grow(li, depth + 1);
         let right = self.grow(ri, depth + 1);
-        self.nodes[me] =
-            Node::Split { feature: split.0 as u16, threshold: split.1, left, right };
+        self.nodes[me] = Node::Split { feature: split.0 as u16, threshold: split.1, left, right };
         me as u32
     }
 

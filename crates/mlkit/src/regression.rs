@@ -80,9 +80,7 @@ impl RegressionTree {
                 *v = k as u32;
             }
             seg.sort_unstable_by(|&a, &b| {
-                col[a as usize]
-                    .partial_cmp(&col[b as usize])
-                    .expect("features must not be NaN")
+                col[a as usize].partial_cmp(&col[b as usize]).expect("features must not be NaN")
             });
         }
         for (k, v) in order[nf * n..].iter_mut().enumerate() {
@@ -248,8 +246,7 @@ impl RegBuilder<'_> {
             // The reference computes the totals over the node in sorted
             // order, per feature; replicate for identical rounding.
             let total_sum: f64 = seg.iter().map(|&i| self.y[i as usize]).sum();
-            let total_sq: f64 =
-                seg.iter().map(|&i| self.y[i as usize] * self.y[i as usize]).sum();
+            let total_sq: f64 = seg.iter().map(|&i| self.y[i as usize] * self.y[i as usize]).sum();
             for k in 0..seg_len - 1 {
                 let yi = self.y[seg[k] as usize];
                 lsum += yi;
@@ -309,7 +306,8 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 23) as f64, (i % 5) as f64]).collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] * 3.0 - r[1]).collect();
         let a = RegressionTree::fit(&x, &y, &RegParams::default());
-        let b = RegressionTree::fit_matrix(&FeatureMatrix::from_rows(&x), &y, &RegParams::default());
+        let b =
+            RegressionTree::fit_matrix(&FeatureMatrix::from_rows(&x), &y, &RegParams::default());
         assert_eq!(a, b);
         assert_eq!(a.predict_batch(&x), b.predict_batch_matrix(&FeatureMatrix::from_rows(&x)));
     }

@@ -144,9 +144,7 @@ impl DecisionTree {
                 *v = k as u32;
             }
             seg.sort_unstable_by(|&a, &b| {
-                col[a as usize]
-                    .partial_cmp(&col[b as usize])
-                    .expect("features must not be NaN")
+                col[a as usize].partial_cmp(&col[b as usize]).expect("features must not be NaN")
             });
         }
         for (k, v) in order[nf * n..].iter_mut().enumerate() {
@@ -453,9 +451,7 @@ pub(crate) fn encode_nodes(nodes: &[Node], n_features: usize, n_classes: usize) 
 
 /// Decodes the compact `MSDT` wire format into a validated node array
 /// plus `(n_features, n_classes)`.
-pub(crate) fn decode_nodes(
-    data: &[u8],
-) -> Result<(Vec<Node>, usize, usize), ModelDecodeError> {
+pub(crate) fn decode_nodes(data: &[u8]) -> Result<(Vec<Node>, usize, usize), ModelDecodeError> {
     if data.len() < 16 || &data[0..4] != b"MSDT" {
         let mut found = [0u8; 4];
         let take = data.len().min(4);
@@ -488,7 +484,12 @@ pub(crate) fn decode_nodes(
                 let right = u32::from_le_bytes(data[o + 12..o + 16].try_into().expect("sliced"));
                 if left as usize >= count || right as usize >= count {
                     let link = if left as usize >= count { left } else { right };
-                    return Err(ModelDecodeError::LinkOutOfRange { node: i, link, count, offset: o });
+                    return Err(ModelDecodeError::LinkOutOfRange {
+                        node: i,
+                        link,
+                        count,
+                        offset: o,
+                    });
                 }
                 nodes.push(Node::Split { feature: id, threshold, left, right });
             }
@@ -719,7 +720,8 @@ mod tests {
     fn fit_matrix_matches_fit() {
         let (x, y) = xor_data();
         let a = DecisionTree::fit(&x, &y, 2, &TreeParams::default());
-        let b = DecisionTree::fit_matrix(&FeatureMatrix::from_rows(&x), &y, 2, &TreeParams::default());
+        let b =
+            DecisionTree::fit_matrix(&FeatureMatrix::from_rows(&x), &y, 2, &TreeParams::default());
         assert_eq!(a, b);
         assert_eq!(a.predict_batch(&x), b.predict_batch_matrix(&FeatureMatrix::from_rows(&x)));
     }

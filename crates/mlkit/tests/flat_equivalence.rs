@@ -31,10 +31,8 @@ fn grid_dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<usize>, usize)> {
             proptest::Just(nc),
         )
             .prop_map(|(xi, y, nc)| {
-                let x: Vec<Vec<f64>> = xi
-                    .into_iter()
-                    .map(|r| r.into_iter().map(|v| v as f64).collect())
-                    .collect();
+                let x: Vec<Vec<f64>> =
+                    xi.into_iter().map(|r| r.into_iter().map(|v| v as f64).collect()).collect();
                 (x, y, nc)
             })
     })
@@ -43,7 +41,10 @@ fn grid_dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<usize>, usize)> {
 /// Probe points on and off the training grid (half-integer coordinates
 /// land exactly on thresholds' midpoints).
 fn probes(nf: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(proptest::collection::vec((-2i32..20).prop_map(|v| v as f64 / 2.0), nf), 1..20)
+    proptest::collection::vec(
+        proptest::collection::vec((-2i32..20).prop_map(|v| v as f64 / 2.0), nf),
+        1..20,
+    )
 }
 
 proptest! {
@@ -149,12 +150,7 @@ fn forest_fit_is_byte_identical_across_thread_counts() {
     let mut x = Vec::new();
     let mut y = Vec::new();
     for i in 0..240 {
-        x.push(vec![
-            (i % 13) as f64,
-            ((i * 7) % 29) as f64,
-            ((i * 3) % 5) as f64,
-            (i % 2) as f64,
-        ]);
+        x.push(vec![(i % 13) as f64, ((i * 7) % 29) as f64, ((i * 3) % 5) as f64, (i % 2) as f64]);
         y.push((i % 13 > 6) as usize + ((i * 7) % 29 > 14) as usize);
     }
     let params = ForestParams {

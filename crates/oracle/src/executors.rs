@@ -7,9 +7,10 @@ use misam_baselines::trapezoid::{Dataflow, TrapezoidSim};
 use misam_baselines::BaselineReport;
 use misam_features::TileConfig;
 use misam_sim::{
-    simulate_profiled, simulate_structural, simulate_with_config_profiled, DesignConfig, DesignId,
-    Operand, SimReport, StructuralOperand,
+    simulate_profiled, simulate_profiled_ref, simulate_structural, simulate_with_config_profiled,
+    DesignConfig, DesignId, Operand, SimReport, StructuralOperand,
 };
+use misam_sparse::slab::SlabMatrix;
 use misam_sparse::{CsrMatrix, LazyMatrix, LazyOperand};
 
 /// The FPGA cycle-level simulator over the four paper designs.
@@ -87,6 +88,22 @@ impl FpgaSim {
     /// [`FpgaSim::execute_lazy`] across all four designs, in order.
     pub fn execute_all_lazy(&self, a: &LazyMatrix, b: LazyOperand<'_>) -> Vec<SimReport> {
         (0..self.targets()).map(|t| self.execute_lazy(a, b, t)).collect()
+    }
+
+    /// Evaluates an mmap-backed slab matrix on `DesignId::ALL[target]`
+    /// without ever copying it into an owned [`CsrMatrix`]: the profile
+    /// comes from the store keyed by the slab's O(1) header digest, and
+    /// the simulation walks the mapped view directly. Bit-identical to
+    /// [`Executor::execute`] on the owned twin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= 4` or operand shapes disagree.
+    pub fn execute_slab(&self, a: &SlabMatrix, b: Operand<'_>, target: usize) -> SimReport {
+        let store = profiles::global();
+        let ap = store.of_slab(a);
+        let bp = store.of_operand(b);
+        simulate_profiled_ref(a.as_ref(), &ap, b, bp.as_deref(), DesignId::ALL[target])
     }
 }
 

@@ -8,7 +8,8 @@
 //! corpus scale — tens of thousands of matrices — is negligible).
 
 use misam_sim::Operand;
-use misam_sparse::{CsrMatrix, LazyMatrix, LazyOperand, Structure};
+use misam_sparse::slab::SlabMatrix;
+use misam_sparse::{CsrMatrix, CsrRef, LazyMatrix, LazyOperand, Structure};
 
 /// A 64-bit structural digest of an `(A, B)` operand pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -39,6 +40,13 @@ impl Fnv {
 impl Fingerprint {
     /// Digest of a single CSR matrix.
     pub fn of_matrix(m: &CsrMatrix) -> Fingerprint {
+        Fingerprint::of_ref(m.as_ref())
+    }
+
+    /// Digest of a borrowed CSR view — identical to
+    /// [`Fingerprint::of_matrix`] on the owning matrix, whatever storage
+    /// backs the view.
+    pub fn of_ref(m: CsrRef<'_>) -> Fingerprint {
         let mut h = Fnv::new();
         h.write_u64(m.rows() as u64);
         h.write_u64(m.cols() as u64);
@@ -53,6 +61,16 @@ impl Fingerprint {
             h.write_u64(v.to_bits() as u64);
         }
         Fingerprint(h.0)
+    }
+
+    /// Digest of an on-disk slab matrix — **O(1)**: the slab header
+    /// stores the content digest computed by the same FNV recipe during
+    /// ingest, so this equals [`Fingerprint::of_matrix`] of the owned
+    /// twin without touching the element arrays. The shared key space
+    /// is what lets file-backed and in-memory copies of one matrix hit
+    /// the same cache entries.
+    pub fn of_slab(m: &SlabMatrix) -> Fingerprint {
+        Fingerprint(m.content_digest())
     }
 
     /// Digest of one operand (dense operands hash by shape alone — the
@@ -73,6 +91,18 @@ impl Fingerprint {
     /// Digest of an `(A, B)` pair — the cache key component.
     pub fn of_pair(a: &CsrMatrix, b: Operand<'_>) -> Fingerprint {
         let fa = Fingerprint::of_matrix(a);
+        let fb = Fingerprint::of_operand(b);
+        let mut h = Fnv::new();
+        h.write_u64(fa.0);
+        h.write_u64(fb.0);
+        Fingerprint(h.0)
+    }
+
+    /// Digest of a `(slab A, B)` pair: equals [`Fingerprint::of_pair`]
+    /// with A's owned twin, but A's half costs O(1) (the slab header
+    /// digest) instead of a hash over the nonzeros.
+    pub fn of_slab_pair(a: &SlabMatrix, b: Operand<'_>) -> Fingerprint {
+        let fa = Fingerprint::of_slab(a);
         let fb = Fingerprint::of_operand(b);
         let mut h = Fnv::new();
         h.write_u64(fa.0);
@@ -157,6 +187,23 @@ impl Fingerprint {
 mod tests {
     use super::*;
     use misam_sparse::gen;
+
+    #[test]
+    fn slab_and_view_fingerprints_match_the_owned_matrix() {
+        let a = gen::power_law(96, 80, 4.0, 1.4, 11);
+        let owned = Fingerprint::of_matrix(&a);
+        assert_eq!(Fingerprint::of_ref(a.as_ref()), owned);
+        assert_eq!(Fingerprint(misam_sparse::slab::digest_of_view(a.as_ref())), owned);
+
+        let dir = std::env::temp_dir().join(format!("misam_oracle_fp_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.msab");
+        misam_sparse::slab::write_slab(&path, &a).unwrap();
+        let slab = SlabMatrix::open(&path).unwrap();
+        assert_eq!(Fingerprint::of_slab(&slab), owned, "O(1) header digest shares key space");
+        assert_eq!(Fingerprint::of_ref(slab.as_ref()), owned);
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn identical_matrices_share_a_fingerprint() {

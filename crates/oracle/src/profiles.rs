@@ -17,7 +17,8 @@ use crate::cache::{CacheStats, MemoCache};
 use crate::Fingerprint;
 use misam_features::{PairFeatures, TileConfig};
 use misam_sim::{design_pe_counts, design_row_pe_counts, Operand};
-use misam_sparse::{CsrMatrix, LazyMatrix, LazyOperand, MatrixProfile, Structure};
+use misam_sparse::slab::SlabMatrix;
+use misam_sparse::{CsrMatrix, CsrRef, LazyMatrix, LazyOperand, MatrixProfile, Structure};
 use std::sync::{Arc, OnceLock};
 
 /// A memoized profile store keyed by [`Fingerprint::of_matrix`].
@@ -35,9 +36,28 @@ impl ProfileStore {
     /// The profile of `m`, built (with standard-design PE tallies) on
     /// first sight of this fingerprint and shared thereafter.
     pub fn of_matrix(&self, m: &CsrMatrix) -> Arc<MatrixProfile> {
-        let fp = Fingerprint::of_matrix(m);
+        self.keyed_build(Fingerprint::of_matrix(m), m.as_ref())
+    }
+
+    /// The profile of a borrowed CSR view, keyed by [`Fingerprint::of_ref`]
+    /// — the same key an owned copy of the matrix would use, so owned and
+    /// file-backed views of one matrix share a single cached build.
+    pub fn of_ref(&self, m: CsrRef<'_>) -> Arc<MatrixProfile> {
+        self.keyed_build(Fingerprint::of_ref(m), m)
+    }
+
+    /// The profile of an on-disk slab matrix. The cache key is the slab
+    /// header's content digest — **O(1)**, no pass over the nonzeros —
+    /// and equals [`Fingerprint::of_matrix`] of the owned twin, so a
+    /// matrix profiled from memory is a cache hit when later opened from
+    /// disk (and vice versa).
+    pub fn of_slab(&self, m: &SlabMatrix) -> Arc<MatrixProfile> {
+        self.keyed_build(Fingerprint::of_slab(m), m.as_ref())
+    }
+
+    fn keyed_build(&self, fp: Fingerprint, m: CsrRef<'_>) -> Arc<MatrixProfile> {
         self.cache.get_or_compute(fp, 0, || {
-            Arc::new(MatrixProfile::build_with_scheduler_pes(
+            Arc::new(MatrixProfile::build_with_scheduler_pes_ref(
                 m,
                 &design_pe_counts(),
                 &design_row_pe_counts(),
@@ -149,6 +169,27 @@ mod tests {
         assert!(!Arc::ptr_eq(&p1, &p3));
         let s = store.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 2, 2));
+    }
+
+    #[test]
+    fn slab_and_owned_views_share_one_cache_entry() {
+        let store = ProfileStore::new();
+        let a = gen::power_law(160, 120, 4.0, 1.4, 13);
+        let dir =
+            std::env::temp_dir().join(format!("misam_oracle_profiles_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.msab");
+        misam_sparse::slab::write_slab(&path, &a).unwrap();
+        let slab = SlabMatrix::open(&path).unwrap();
+
+        let from_owned = store.of_matrix(&a);
+        let from_slab = store.of_slab(&slab);
+        let from_ref = store.of_ref(slab.as_ref());
+        assert!(Arc::ptr_eq(&from_owned, &from_slab), "slab digest hits the owned entry");
+        assert!(Arc::ptr_eq(&from_owned, &from_ref));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 1, 1));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

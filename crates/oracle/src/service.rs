@@ -6,6 +6,7 @@ use crate::cache::{CacheStats, MemoCache};
 use crate::executors::FpgaSim;
 use crate::{Executor, Fingerprint};
 use misam_sim::{Operand, SimReport};
+use misam_sparse::slab::SlabMatrix;
 use misam_sparse::{CsrMatrix, LazyMatrix, LazyOperand};
 use std::sync::OnceLock;
 
@@ -81,6 +82,25 @@ impl SimOracle<FpgaSim> {
         let fp = Fingerprint::of_lazy_pair(a, b);
         (0..self.targets())
             .map(|t| self.cache.get_or_compute(fp, t, || self.inner.execute_lazy(a, b, t)))
+            .collect()
+    }
+
+    /// Memoized [`FpgaSim::execute_slab`]: the out-of-core oracle entry.
+    /// The cache key ([`Fingerprint::of_slab_pair`]) reads A's digest
+    /// from the slab header in O(1) and equals the owned pair's key, so
+    /// a matrix simulated from memory is a cache hit when later opened
+    /// from disk — and vice versa.
+    pub fn execute_slab(&self, a: &SlabMatrix, b: Operand<'_>, target: usize) -> SimReport {
+        let fp = Fingerprint::of_slab_pair(a, b);
+        self.cache.get_or_compute(fp, target, || self.inner.execute_slab(a, b, target))
+    }
+
+    /// [`SimOracle::execute_slab`] across all four designs, in order,
+    /// fingerprinting once for the whole sweep.
+    pub fn execute_all_slab(&self, a: &SlabMatrix, b: Operand<'_>) -> Vec<SimReport> {
+        let fp = Fingerprint::of_slab_pair(a, b);
+        (0..self.targets())
+            .map(|t| self.cache.get_or_compute(fp, t, || self.inner.execute_slab(a, b, t)))
             .collect()
     }
 }
@@ -189,6 +209,28 @@ mod tests {
         let again = oracle.execute_all_lazy(&a, LazyOperand::Sparse(&bm));
         assert_eq!(again, lazy_sparse);
         assert_eq!(oracle.stats().hits, hits_before + 4);
+    }
+
+    #[test]
+    fn slab_oracle_matches_owned_and_shares_cache_entries() {
+        let a = gen::power_law(144, 144, 4.0, 1.4, 21);
+        let dir = std::env::temp_dir().join(format!("misam_oracle_service_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.msab");
+        misam_sparse::slab::write_slab(&path, &a).unwrap();
+        let slab = SlabMatrix::open(&path).unwrap();
+
+        let oracle = SimOracle::new(FpgaSim);
+        let b = Operand::Dense { rows: 144, cols: 64 };
+        let from_slab = oracle.execute_all_slab(&slab, b);
+        // Bit-identical to the owned path, and the owned sweep is a
+        // full cache hit: slab and owned keys coincide.
+        let from_owned = oracle.execute_all(&a, b);
+        assert_eq!(from_slab, from_owned);
+        let s = oracle.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (4, 4, 4));
+        assert_eq!(oracle.execute_slab(&slab, b, 2), from_slab[2]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Cache-key unification across storage producers: for any generated
+//! matrix, the fingerprint computed by hashing owned nonzeros, by
+//! hashing a borrowed view, and by reading the slab header digest in
+//! O(1) must all be equal — and the pair keys built from them must
+//! agree too. This is what lets a matrix simulated from memory be a
+//! cache hit when later reopened from disk (and vice versa).
+
+use misam_oracle::Fingerprint;
+use misam_sim::Operand;
+use misam_sparse::slab::{self, SlabMatrix};
+use misam_sparse::{gen, CsrMatrix};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn slab_twin(m: &CsrMatrix) -> (std::path::PathBuf, SlabMatrix) {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "misam_fp_eq_{}_{}.msab",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    slab::write_slab(&path, m).expect("write slab");
+    let s = SlabMatrix::open(&path).expect("open slab");
+    (path, s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fingerprints_match_across_storage_producers(
+        rows in 1usize..160,
+        cols in 1usize..160,
+        avg in 0.5f64..10.0,
+        alpha in 1.1f64..1.9,
+        seed in 0u64..1_000_000,
+    ) {
+        let m = gen::power_law(rows, cols, avg, alpha, seed);
+        let (path, s) = slab_twin(&m);
+        let owned = Fingerprint::of_matrix(&m);
+        prop_assert_eq!(owned, Fingerprint::of_ref(m.as_ref()));
+        prop_assert_eq!(owned, Fingerprint::of_ref(s.as_ref()));
+        // The O(1) header read, not a rehash — still the same key.
+        prop_assert_eq!(owned, Fingerprint::of_slab(&s));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pair_keys_match_across_storage_producers(
+        rows in 1usize..120,
+        inner in 1usize..120,
+        b_cols in 1usize..96,
+        density in 0.0f64..0.3,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = gen::uniform_random(rows, inner, density, seed);
+        let bm = gen::uniform_random(inner, b_cols, density, seed ^ 0x5A5A);
+        let (path, s) = slab_twin(&a);
+        let dense = Operand::Dense { rows: inner, cols: b_cols };
+        prop_assert_eq!(
+            Fingerprint::of_pair(&a, dense),
+            Fingerprint::of_slab_pair(&s, dense)
+        );
+        prop_assert_eq!(
+            Fingerprint::of_pair(&a, Operand::Sparse(&bm)),
+            Fingerprint::of_slab_pair(&s, Operand::Sparse(&bm))
+        );
+        // Different operands must not collide onto one key.
+        prop_assert_ne!(
+            Fingerprint::of_slab_pair(&s, dense),
+            Fingerprint::of_slab_pair(&s, Operand::Sparse(&bm))
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

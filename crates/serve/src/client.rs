@@ -114,7 +114,33 @@ impl Client {
     ///
     /// Propagates [`Client::call`] errors.
     pub fn simulate(&mut self, spec: GenSpec, design: usize) -> std::io::Result<Response> {
-        self.call(Request::Simulate(SimulateRequest { spec, design }))
+        self.call(Request::Simulate(SimulateRequest {
+            spec: Some(spec),
+            matrix: None,
+            dense_cols: None,
+            design,
+        }))
+    }
+
+    /// Runs the cycle simulator on an ingested `.msab` matrix on the
+    /// server host (the operand never rides the wire), against a dense
+    /// B with `dense_cols` columns (`None` = the server default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::call`] errors.
+    pub fn simulate_matrix(
+        &mut self,
+        path: &str,
+        dense_cols: Option<usize>,
+        design: usize,
+    ) -> std::io::Result<Response> {
+        self.call(Request::Simulate(SimulateRequest {
+            spec: None,
+            matrix: Some(path.to_string()),
+            dense_cols,
+            design,
+        }))
     }
 
     /// Fetches the server's metrics snapshot.

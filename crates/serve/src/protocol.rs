@@ -140,13 +140,71 @@ impl GenSpec {
     }
 }
 
-/// Payload of [`Request::Simulate`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Columns of the dense B operand when a [`SimulateRequest`] names an
+/// on-disk matrix without giving `dense_cols`.
+pub const DEFAULT_DENSE_COLS: usize = 512;
+
+/// Payload of [`Request::Simulate`]: exactly one of `spec` (synthesize
+/// the workload server-side) or `matrix` (simulate a named `.msab` slab
+/// on the server host, mmapped — the operand never rides the wire or
+/// gets copied into an owned matrix). Wire-compatible with the original
+/// `{spec, design}` form: the optional keys default when absent and stay
+/// off the wire when `None`, which is why this type implements the wire
+/// traits by hand (the vendored derive has no field attributes).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulateRequest {
-    /// The workload to synthesize.
-    pub spec: GenSpec,
+    /// The workload to synthesize; omit when `matrix` is given.
+    pub spec: Option<GenSpec>,
+    /// Server-host path of an ingested `.msab` slab; omit when `spec`
+    /// is given.
+    pub matrix: Option<String>,
+    /// Columns of the dense B operand on the `matrix` path (defaults to
+    /// [`DEFAULT_DENSE_COLS`]); ignored on the `spec` path, where
+    /// `spec.dense_cols` governs.
+    pub dense_cols: Option<usize>,
     /// Design to simulate, `1..=4`.
     pub design: usize,
+}
+
+impl Serialize for SimulateRequest {
+    fn serialize(&self) -> serde::Content {
+        let mut m: Vec<(String, serde::Content)> = Vec::with_capacity(4);
+        if let Some(spec) = &self.spec {
+            m.push(("spec".into(), spec.serialize()));
+        }
+        if let Some(path) = &self.matrix {
+            m.push(("matrix".into(), path.serialize()));
+        }
+        if let Some(cols) = &self.dense_cols {
+            m.push(("dense_cols".into(), cols.serialize()));
+        }
+        m.push(("design".into(), self.design.serialize()));
+        serde::Content::Map(m)
+    }
+}
+
+impl Deserialize for SimulateRequest {
+    fn deserialize(c: &serde::Content) -> Result<Self, serde::DeError> {
+        let m = c.as_map().ok_or_else(|| serde::DeError::expected("map", "SimulateRequest", c))?;
+        // Absent optional keys decode as None (pre-slab clients never
+        // send `matrix`/`dense_cols`); present keys decode normally,
+        // including an explicit null.
+        fn opt<T: Deserialize>(
+            m: &[(String, serde::Content)],
+            key: &str,
+        ) -> Result<Option<T>, serde::DeError> {
+            match m.iter().find(|(k, _)| k == key) {
+                None => Ok(None),
+                Some((_, v)) => Option::<T>::deserialize(v),
+            }
+        }
+        Ok(SimulateRequest {
+            spec: opt(m, "spec")?,
+            matrix: opt(m, "matrix")?,
+            dense_cols: opt(m, "dense_cols")?,
+            design: usize::deserialize(serde::field(m, "design", "SimulateRequest")?)?,
+        })
+    }
 }
 
 /// Payload of [`Request::Reload`].
@@ -449,6 +507,47 @@ mod tests {
         roundtrip(Request::Stats);
         roundtrip(Request::Shutdown);
         roundtrip(Request::Reload(ReloadRequest { path: "/tmp/x.json".into() }));
+        roundtrip(Request::Simulate(SimulateRequest {
+            spec: Some(GenSpec {
+                kind: "uniform".into(),
+                rows: 64,
+                cols: 64,
+                density: 0.05,
+                seed: 2,
+                dense_cols: 32,
+            }),
+            matrix: None,
+            dense_cols: None,
+            design: 3,
+        }));
+        roundtrip(Request::Simulate(SimulateRequest {
+            spec: None,
+            matrix: Some("/data/cage.msab".into()),
+            dense_cols: Some(256),
+            design: 1,
+        }));
+    }
+
+    #[test]
+    fn simulate_request_accepts_the_original_wire_shape() {
+        // Pre-slab clients send {spec, design} with no matrix/dense_cols
+        // keys at all; the optional fields must default.
+        let old = r#"{"spec":{"kind":"uniform","rows":8,"cols":8,"density":0.5,"seed":1,
+                      "dense_cols":4},"design":2}"#;
+        let req: SimulateRequest = serde_json::from_str(old).unwrap();
+        assert_eq!(req.design, 2);
+        assert_eq!(req.matrix, None);
+        assert_eq!(req.dense_cols, None);
+        assert_eq!(req.spec.unwrap().kind, "uniform");
+        // And the slab form serializes without a spec key.
+        let slab = SimulateRequest {
+            spec: None,
+            matrix: Some("m.msab".into()),
+            dense_cols: None,
+            design: 1,
+        };
+        let wire = serde_json::to_string(&slab).unwrap();
+        assert!(!wire.contains("spec"), "None fields stay off the wire: {wire}");
     }
 
     #[test]

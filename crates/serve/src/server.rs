@@ -469,7 +469,10 @@ fn predict_gen(
 
 /// `Simulate`: run the cycle simulator on the worker pool through the
 /// process-global memoizing oracle, so repeated (workload, design)
-/// queries across connections are simulated once.
+/// queries across connections are simulated once. A request naming an
+/// on-disk `.msab` matrix is simulated through the mmapped view — the
+/// operand is never loaded into an owned matrix, and its O(1) header
+/// digest keys the same oracle entries the owned twin would.
 fn simulate(state: &ServerState, req: protocol::SimulateRequest) -> Response {
     if !(1..=4).contains(&req.design) {
         return Response::Error(ErrorReply {
@@ -478,21 +481,38 @@ fn simulate(state: &ServerState, req: protocol::SimulateRequest) -> Response {
             retryable: false,
         });
     }
+    if req.spec.is_some() == req.matrix.is_some() {
+        return Response::Error(ErrorReply {
+            code: ErrorCode::BadGenSpec,
+            message: "exactly one of spec and matrix must be given".into(),
+            retryable: false,
+        });
+    }
     let (tx, rx) = crossbeam::channel::unbounded::<Result<SimulateReply, String>>();
     let design = req.design - 1;
     let submitted = state.pool.try_submit(move || {
-        let out = req.spec.build().map(|a| {
-            let b = Operand::Dense { rows: a.cols(), cols: req.spec.dense_cols };
-            let r = misam_oracle::global().execute(&a, b, design);
-            SimulateReply {
-                design: r.design,
-                cycles: r.cycles,
-                time_s: r.time_s,
-                energy_j: r.energy_j,
-                pe_utilization: r.pe_utilization,
-                tiles: r.tiles,
-            }
-        });
+        let to_reply = |r: misam_sim::SimReport| SimulateReply {
+            design: r.design,
+            cycles: r.cycles,
+            time_s: r.time_s,
+            energy_j: r.energy_j,
+            pe_utilization: r.pe_utilization,
+            tiles: r.tiles,
+        };
+        let out = match (&req.spec, &req.matrix) {
+            (Some(spec), None) => spec.build().map(|a| {
+                let b = Operand::Dense { rows: a.cols(), cols: spec.dense_cols };
+                to_reply(misam_oracle::global().execute(&a, b, design))
+            }),
+            (None, Some(path)) => misam_sparse::slab::SlabMatrix::open(path)
+                .map_err(|e| format!("cannot open slab '{path}': {e}"))
+                .map(|slab| {
+                    let cols = req.dense_cols.unwrap_or(protocol::DEFAULT_DENSE_COLS);
+                    let b = Operand::Dense { rows: slab.cols(), cols };
+                    to_reply(misam_oracle::global().execute_slab(&slab, b, design))
+                }),
+            _ => unreachable!("validated above"),
+        };
         let _ = tx.send(out);
     });
     if submitted.is_err() {

@@ -74,20 +74,29 @@ pub fn predict_vector(prepared: &PreparedBundle, v: &[f64]) -> PredictOutcome {
     PredictOutcome { predicted, latency_s }
 }
 
+/// Below this many vectors a flush skips the columnar transpose: even
+/// amortized across the five models that share the matrix (selector +
+/// four latency trees), `FeatureMatrix::from_rows` costs more than the
+/// frontier walks save on a handful of rows, so tiny flushes — the
+/// common case under light load, where the batcher fires on the first
+/// arrival — run the per-vector walk directly.
+const MATRIX_MIN_ROWS: usize = 8;
+
 /// Columnar form of [`predict_vector`] over a whole submitted group:
 /// the vectors are transposed into a [`FeatureMatrix`] once and each
 /// flat tree walks every row, so a micro-batch flush touches each
 /// model's arrays once per batch instead of once per vector. Outcomes
 /// are bit-identical to per-vector prediction.
 ///
-/// Groups with inconsistent arity (possible through the public batcher
-/// API, which does not validate — the server does, before admission)
-/// fall back to the per-vector path.
+/// Groups smaller than [`MATRIX_MIN_ROWS`], and groups with
+/// inconsistent arity (possible through the public batcher API, which
+/// does not validate — the server does, before admission), take the
+/// per-vector path instead.
 pub fn predict_batch(prepared: &PreparedBundle, vectors: &[Vec<f64>]) -> Vec<PredictOutcome> {
     let uniform = vectors
         .first()
         .is_some_and(|v0| !v0.is_empty() && vectors.iter().all(|v| v.len() == v0.len()));
-    if !uniform {
+    if !uniform || vectors.len() < MATRIX_MIN_ROWS {
         return vectors.iter().map(|v| predict_vector(prepared, v)).collect();
     }
     let m = FeatureMatrix::from_rows(vectors);
@@ -316,16 +325,20 @@ pub(crate) mod tests {
     fn batch_prediction_is_bit_identical_to_per_vector() {
         let prepared = test_prepared();
         let arity = misam_features::FEATURE_NAMES.len();
-        let vectors: Vec<Vec<f64>> = (0..7)
-            .map(|i| (0..arity).map(|j| ((i * 31 + j * 7) % 13) as f64 * 0.25).collect())
-            .collect();
-        let batch = predict_batch(prepared, &vectors);
-        assert_eq!(batch.len(), vectors.len());
-        for (v, out) in vectors.iter().zip(&batch) {
-            let single = predict_vector(prepared, v);
-            assert_eq!(out.predicted, single.predicted);
-            for d in 0..4 {
-                assert_eq!(out.latency_s[d].to_bits(), single.latency_s[d].to_bits());
+        // One group per side of MATRIX_MIN_ROWS: the small one runs
+        // per-vector (no transpose), the large one the columnar walk.
+        for n in [MATRIX_MIN_ROWS - 1, MATRIX_MIN_ROWS + 5] {
+            let vectors: Vec<Vec<f64>> = (0..n)
+                .map(|i| (0..arity).map(|j| ((i * 31 + j * 7) % 13) as f64 * 0.25).collect())
+                .collect();
+            let batch = predict_batch(prepared, &vectors);
+            assert_eq!(batch.len(), vectors.len());
+            for (v, out) in vectors.iter().zip(&batch) {
+                let single = predict_vector(prepared, v);
+                assert_eq!(out.predicted, single.predicted);
+                for d in 0..4 {
+                    assert_eq!(out.latency_s[d].to_bits(), single.latency_s[d].to_bits());
+                }
             }
         }
     }

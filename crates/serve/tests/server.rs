@@ -273,6 +273,63 @@ fn simulate_is_deterministic_and_memoized_across_connections() {
 }
 
 #[test]
+fn simulate_named_on_disk_matrix_without_loading_it() {
+    use misam_serve::protocol::SimulateRequest;
+
+    // Ingest a matrix to a slab on the "server host".
+    let dir = std::env::temp_dir().join(format!("misam_serve_slab_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = misam_sparse::gen::power_law(192, 192, 4.0, 1.4, 17);
+    let path = dir.join("a.msab");
+    misam_sparse::slab::write_slab(&path, &a).unwrap();
+
+    let server = default_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let from_disk = match client.simulate_matrix(path.to_str().unwrap(), Some(64), 2).unwrap() {
+        Response::Simulate(r) => r,
+        other => panic!("expected Simulate, got {other:?}"),
+    };
+    assert!(from_disk.cycles > 0 && from_disk.time_s > 0.0);
+
+    // Bit-identical to simulating the owned matrix in-process.
+    use misam_oracle::Executor as _;
+    let direct = misam_oracle::global().execute(
+        &a,
+        misam_sim::Operand::Dense { rows: a.cols(), cols: 64 },
+        1,
+    );
+    assert_eq!(from_disk.cycles, direct.cycles);
+    assert_eq!(from_disk.time_s, direct.time_s);
+
+    // A missing file and an over-specified request: typed errors.
+    match client.simulate_matrix(dir.join("absent.msab").to_str().unwrap(), None, 1).unwrap() {
+        Response::Error(e) => {
+            assert_eq!(e.code, ErrorCode::BadGenSpec);
+            assert!(e.message.contains("cannot open slab"), "{}", e.message);
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    match client
+        .call(Request::Simulate(SimulateRequest {
+            spec: Some(spec(3)),
+            matrix: Some(path.to_str().unwrap().into()),
+            dense_cols: None,
+            design: 1,
+        }))
+        .unwrap()
+    {
+        Response::Error(e) => {
+            assert!(e.message.contains("exactly one"), "{}", e.message);
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn predict_gen_is_deterministic_per_seed() {
     let server = default_server();
     let reply = |seed: u64| {

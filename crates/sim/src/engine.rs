@@ -13,7 +13,7 @@
 use crate::design::{BFormat, DesignConfig, DesignId};
 use crate::schedule::ScheduleReport;
 use crate::{hbm, schedule, tiling};
-use misam_sparse::{CsrMatrix, MatrixProfile, Structure};
+use misam_sparse::{CsrMatrix, CsrRef, MatrixProfile, Structure};
 use serde::{Deserialize, Serialize};
 
 /// Base kernel-launch overhead in cycles (host DMA setup, scheduling
@@ -149,6 +149,17 @@ pub fn simulate(a: &CsrMatrix, b: Operand<'_>, id: DesignId) -> SimReport {
     simulate_with_config(a, b, &DesignConfig::of(id))
 }
 
+/// View-based form of [`simulate`]: A arrives as a [`CsrRef`], so
+/// mmap-backed slabs simulate without materializing. Bit-identical to
+/// [`simulate`] on the owned twin.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn simulate_ref(a: CsrRef<'_>, b: Operand<'_>, id: DesignId) -> SimReport {
+    simulate_with_config_ref(a, b, &DesignConfig::of(id))
+}
+
 /// Simulates `A x B` on an explicit configuration (for user-supplied
 /// custom designs, §6.3).
 ///
@@ -161,6 +172,15 @@ pub fn simulate(a: &CsrMatrix, b: Operand<'_>, id: DesignId) -> SimReport {
 ///
 /// Panics if `a.cols() != b.rows()`.
 pub fn simulate_with_config(a: &CsrMatrix, b: Operand<'_>, cfg: &DesignConfig) -> SimReport {
+    simulate_inner(a.as_ref(), None, b, None, cfg)
+}
+
+/// View-based form of [`simulate_with_config`]; see [`simulate_ref`].
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn simulate_with_config_ref(a: CsrRef<'_>, b: Operand<'_>, cfg: &DesignConfig) -> SimReport {
     simulate_inner(a, None, b, None, cfg)
 }
 
@@ -188,6 +208,22 @@ pub fn simulate_profiled(
     simulate_with_config_profiled(a, ap, b, bp, &DesignConfig::of(id))
 }
 
+/// View-based form of [`simulate_profiled`]; see [`simulate_ref`].
+///
+/// # Panics
+///
+/// Panics if operand shapes disagree or a profile does not describe
+/// its matrix.
+pub fn simulate_profiled_ref(
+    a: CsrRef<'_>,
+    ap: &MatrixProfile,
+    b: Operand<'_>,
+    bp: Option<&MatrixProfile>,
+    id: DesignId,
+) -> SimReport {
+    simulate_with_config_profiled_ref(a, ap, b, bp, &DesignConfig::of(id))
+}
+
 /// [`simulate_with_config`] evaluated from precomputed profiles; see
 /// [`simulate_profiled`].
 ///
@@ -206,7 +242,25 @@ pub fn simulate_with_config_profiled(
     bp: Option<&MatrixProfile>,
     cfg: &DesignConfig,
 ) -> SimReport {
-    assert!(ap.describes(a), "profile does not describe matrix A");
+    simulate_with_config_profiled_ref(a.as_ref(), ap, b, bp, cfg)
+}
+
+/// View-based form of [`simulate_with_config_profiled`] — the
+/// implementation the owned entry point delegates to; see
+/// [`simulate_ref`].
+///
+/// # Panics
+///
+/// Panics if operand shapes disagree or a profile does not describe
+/// its matrix.
+pub fn simulate_with_config_profiled_ref(
+    a: CsrRef<'_>,
+    ap: &MatrixProfile,
+    b: Operand<'_>,
+    bp: Option<&MatrixProfile>,
+    cfg: &DesignConfig,
+) -> SimReport {
+    assert!(ap.describes_view(a), "profile does not describe matrix A");
     if let (Operand::Sparse(bm), Some(p)) = (&b, bp) {
         assert!(p.describes(bm), "profile does not describe matrix B");
     }
@@ -469,7 +523,7 @@ fn assemble_report(
 /// work use the profile-based closed forms (with element-walk fallback
 /// for missing tallies); when `None`, every pass walks the CSR.
 fn simulate_inner(
-    a: &CsrMatrix,
+    a: CsrRef<'_>,
     ap: Option<&MatrixProfile>,
     b: Operand<'_>,
     bp: Option<&MatrixProfile>,
@@ -499,13 +553,13 @@ fn simulate_inner(
             let cols = pb.row_lens().len().min(pa.col_counts().len());
             (0..cols).map(|j| pa.col_counts()[j] as u64 * pb.row_lens()[j] as u64).sum()
         }
-        (Operand::Sparse(bm), _, _) => misam_sparse::kernels::spgemm_flops(a, bm),
+        (Operand::Sparse(bm), _, _) => misam_sparse::kernels::spgemm_flops_ref(a, bm.as_ref()),
     };
     // One uniform-cost pass: closed-form fold when a tally exists,
     // element walk otherwise.
     let uniform_pass = |w: u64| -> ScheduleReport {
         ap.and_then(|p| schedule::schedule_uniform_profiled(p, cfg, w))
-            .unwrap_or_else(|| schedule::schedule_uniform(a, cfg, w))
+            .unwrap_or_else(|| schedule::schedule_uniform_ref(a, cfg, w))
     };
 
     // Compute makespan and pass structure.
@@ -528,9 +582,9 @@ fn simulate_inner(
                 (Operand::Sparse(_), Some(pb)) => {
                     let table: Vec<u64> =
                         pb.row_lens().iter().map(|&occ| cost_of(occ as u64)).collect();
-                    schedule::schedule_with_cost(a, cfg, |col| table[col])
+                    schedule::schedule_with_cost_ref(a, cfg, |col| table[col])
                 }
-                _ => schedule::schedule_with_cost(a, cfg, |col| cost_of(b.row_nnz(col) as u64)),
+                _ => schedule::schedule_with_cost_ref(a, cfg, |col| cost_of(b.row_nnz(col) as u64)),
             };
             (rep.makespan, 1, rep.utilization)
         }

@@ -54,7 +54,8 @@ pub use design::{
     design_pe_counts, design_row_pe_counts, BFormat, BitstreamId, DesignConfig, DesignId, Traversal,
 };
 pub use engine::{
-    simulate, simulate_profiled, simulate_structural, simulate_structural_with_config,
-    simulate_with_config, simulate_with_config_profiled, CycleBreakdown, Operand, SimReport,
-    StructuralOperand,
+    simulate, simulate_profiled, simulate_profiled_ref, simulate_ref, simulate_structural,
+    simulate_structural_with_config, simulate_with_config, simulate_with_config_profiled,
+    simulate_with_config_profiled_ref, simulate_with_config_ref, CycleBreakdown, Operand,
+    SimReport, StructuralOperand,
 };

@@ -37,7 +37,7 @@
 //!   the fold O(PEs) with **zero** CSR traversal.
 
 use crate::design::{DesignConfig, Traversal};
-use misam_sparse::{CsrMatrix, MatrixProfile, Structure};
+use misam_sparse::{CsrMatrix, CsrRef, MatrixProfile, Structure};
 
 /// Per-PE accumulation state while building a schedule.
 #[derive(Debug, Clone, Copy, Default)]
@@ -104,8 +104,18 @@ fn row_span(cost_sum: u64, gap_sum: u64, gap_max: u64, count: u64) -> u64 {
 ///
 /// Panics if the design has zero PEs or `w == 0`.
 pub fn schedule_uniform(a: &CsrMatrix, cfg: &DesignConfig, w: u64) -> ScheduleReport {
+    schedule_uniform_ref(a.as_ref(), cfg, w)
+}
+
+/// View-based form of [`schedule_uniform`], bit-identical across
+/// storage producers (owned or mmap-backed).
+///
+/// # Panics
+///
+/// Panics if the design has zero PEs or `w == 0`.
+pub fn schedule_uniform_ref(a: CsrRef<'_>, cfg: &DesignConfig, w: u64) -> ScheduleReport {
     assert!(w > 0, "element cost must be positive");
-    schedule_with_cost(a, cfg, |_k| w)
+    schedule_with_cost_ref(a, cfg, |_k| w)
 }
 
 /// Schedules one pass of `a` where the cost of an element in column `k`
@@ -117,6 +127,20 @@ pub fn schedule_uniform(a: &CsrMatrix, cfg: &DesignConfig, w: u64) -> ScheduleRe
 /// Panics if the design has zero PEs or any cost is zero.
 pub fn schedule_with_cost(
     a: &CsrMatrix,
+    cfg: &DesignConfig,
+    cost: impl Fn(usize) -> u64,
+) -> ScheduleReport {
+    schedule_with_cost_ref(a.as_ref(), cfg, cost)
+}
+
+/// View-based form of [`schedule_with_cost`] — the element-walk
+/// implementation the owned entry point delegates to.
+///
+/// # Panics
+///
+/// Panics if the design has zero PEs or any cost is zero.
+pub fn schedule_with_cost_ref(
+    a: CsrRef<'_>,
     cfg: &DesignConfig,
     cost: impl Fn(usize) -> u64,
 ) -> ScheduleReport {

@@ -1,0 +1,82 @@
+//! Schedule costs and full simulation reports must be identical across
+//! storage producers: the same matrix scheduled from owned CSR storage
+//! and from its mmap-backed slab twin yields equal `ScheduleReport`s
+//! (for every design, uniform and per-column cost) and equal
+//! `SimReport`s against dense and sparse operands.
+
+use misam_sim::schedule::{
+    schedule_uniform, schedule_uniform_ref, schedule_with_cost, schedule_with_cost_ref,
+};
+use misam_sim::{simulate, simulate_ref, DesignConfig, DesignId, Operand};
+use misam_sparse::slab::{self, SlabMatrix};
+use misam_sparse::{gen, CsrMatrix};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn slab_twin(m: &CsrMatrix) -> (std::path::PathBuf, SlabMatrix) {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "misam_sched_eq_{}_{}.msab",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    slab::write_slab(&path, m).expect("write slab");
+    let s = SlabMatrix::open(&path).expect("open slab");
+    (path, s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn schedule_costs_match_across_storage_producers(
+        rows in 1usize..160,
+        cols in 1usize..160,
+        avg in 0.5f64..10.0,
+        alpha in 1.1f64..1.9,
+        w in 1u64..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let m = gen::power_law(rows, cols, avg, alpha, seed);
+        let (path, s) = slab_twin(&m);
+        for d in DesignId::ALL {
+            let cfg = DesignConfig::of(d);
+            prop_assert_eq!(
+                schedule_uniform(&m, &cfg, w),
+                schedule_uniform_ref(s.as_ref(), &cfg, w)
+            );
+            // A non-trivial per-column cost (the compressed-B shape).
+            let cost = |k: usize| 1 + (k as u64 % 5);
+            prop_assert_eq!(
+                schedule_with_cost(&m, &cfg, cost),
+                schedule_with_cost_ref(s.as_ref(), &cfg, cost)
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sim_reports_match_across_storage_producers(
+        rows in 1usize..120,
+        inner in 1usize..120,
+        b_cols in 1usize..96,
+        density in 0.0f64..0.3,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = gen::uniform_random(rows, inner, density, seed);
+        let bm = gen::uniform_random(inner, b_cols, density, seed ^ 0xABCD);
+        let (path, s) = slab_twin(&a);
+        for d in DesignId::ALL {
+            let dense = Operand::Dense { rows: inner, cols: b_cols };
+            prop_assert_eq!(
+                simulate(&a, dense, d),
+                simulate_ref(s.as_ref(), dense, d)
+            );
+            prop_assert_eq!(
+                simulate(&a, Operand::Sparse(&bm), d),
+                simulate_ref(s.as_ref(), Operand::Sparse(&bm), d)
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -322,6 +322,13 @@ pub struct RowView<'a> {
 }
 
 impl<'a> RowView<'a> {
+    /// Assembles a row view from its parallel slices (storage producers
+    /// only — the slices must come from the same row of a valid CSR).
+    pub(crate) fn new(cols: &'a [u32], values: &'a [f32]) -> Self {
+        debug_assert_eq!(cols.len(), values.len());
+        RowView { cols, values }
+    }
+
     /// Number of nonzeros in the row.
     pub fn len(&self) -> usize {
         self.cols.len()

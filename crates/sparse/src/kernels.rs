@@ -256,6 +256,11 @@ pub fn dense_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32
 /// effectual work. Computed as `sum_k nnz(A[:,k]) * nnz(B[k,:])` without
 /// forming the product.
 pub fn spgemm_flops(a: &CsrMatrix, b: &CsrMatrix) -> u64 {
+    spgemm_flops_ref(a.as_ref(), b.as_ref())
+}
+
+/// Storage-generic variant of [`spgemm_flops`] over borrowed CSR views.
+pub fn spgemm_flops_ref(a: crate::CsrRef<'_>, b: crate::CsrRef<'_>) -> u64 {
     let mut a_col_counts = vec![0u64; a.cols()];
     for &c in a.col_idx() {
         a_col_counts[c as usize] += 1;

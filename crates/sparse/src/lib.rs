@@ -26,6 +26,10 @@
 //!   SuiteSparse matrices of Table 3, matching their published dimensions,
 //!   nonzero counts and structural class.
 //! - [`io`] — Matrix Market (`.mtx`) reading and writing.
+//! - [`CsrRef`] / [`slab`] — the storage-generic borrowed view of a CSR
+//!   matrix and the mmap-backed `.msab` slab format behind out-of-core
+//!   ingest of real matrices; a streaming two-pass converter turns a
+//!   `.mtx` file into a slab without holding the matrix in memory.
 //!
 //! # Example
 //!
@@ -48,12 +52,14 @@ mod coo;
 mod csc;
 mod csr;
 mod error;
+mod view;
 
 pub mod gen;
 pub mod io;
 pub mod kernels;
 pub mod lazy;
 pub mod profile;
+pub mod slab;
 pub mod structure;
 pub mod suitesparse;
 
@@ -64,6 +70,7 @@ pub use error::SparseError;
 pub use lazy::{LazyMatrix, LazyOperand};
 pub use profile::MatrixProfile;
 pub use structure::{RowRuns, Structure};
+pub use view::CsrRef;
 
 /// Result alias used by fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, SparseError>;

@@ -24,6 +24,7 @@
 //! the same matrix.
 
 use crate::structure::{RowRuns, Structure};
+use crate::view::CsrRef;
 use crate::CsrMatrix;
 use std::collections::BTreeMap;
 
@@ -155,83 +156,104 @@ impl MatrixProfile {
     /// report [`PeResidueTally::has_row_side`] `== false` and row-
     /// traversal consumers must fall back to the element walk for them.
     pub fn build_with_scheduler_pes(m: &CsrMatrix, col_pes: &[usize], row_pes: &[usize]) -> Self {
+        Self::build_with_scheduler_pes_ref(m.as_ref(), col_pes, row_pes)
+    }
+
+    /// View-based form of [`MatrixProfile::build`], serving mmap-backed
+    /// storage the same way as owned matrices.
+    pub fn build_ref(m: CsrRef<'_>) -> Self {
+        Self::build_with_scheduler_pes_ref(m, &[], &[])
+    }
+
+    /// View-based form of [`MatrixProfile::build_with_scheduler_pes`] —
+    /// the implementation the owned entry points delegate to.
+    pub fn build_with_scheduler_pes_ref(
+        m: CsrRef<'_>,
+        col_pes: &[usize],
+        row_pes: &[usize],
+    ) -> Self {
+        Self::build_chunked(m, usize::MAX, col_pes, row_pes)
+    }
+
+    /// Profiles `m` by folding row ranges of at most `chunk_rows` rows
+    /// at a time, **bit-identical** to
+    /// [`MatrixProfile::build_with_scheduler_pes_ref`] of the same view
+    /// at any chunk size (the equivalence proptests in
+    /// `tests/slab_equivalence.rs` pin this). Over an mmap-backed slab
+    /// this bounds the resident element window to one chunk of rows, so
+    /// matrices far larger than memory profile within a fixed budget.
+    pub fn build_streaming(
+        m: CsrRef<'_>,
+        chunk_rows: usize,
+        col_pes: &[usize],
+        row_pes: &[usize],
+    ) -> Self {
+        Self::build_chunked(m, chunk_rows.max(1), col_pes, row_pes)
+    }
+
+    fn build_chunked(
+        m: CsrRef<'_>,
+        chunk_rows: usize,
+        col_pes: &[usize],
+        row_pes: &[usize],
+    ) -> Self {
         let rows = m.rows();
         let cols = m.cols();
         let nnz = m.nnz();
 
         let row_ptr = m.row_ptr();
-        let row_lens: Vec<u32> = (0..rows).map(|r| (row_ptr[r + 1] - row_ptr[r]) as u32).collect();
-
-        let mut pes_set: Vec<usize> =
-            col_pes.iter().chain(row_pes).copied().filter(|&p| p > 0).collect();
-        pes_set.sort_unstable();
-        pes_set.dedup();
-
-        let mut tallies: Vec<PeResidueTally> = pes_set
-            .iter()
-            .map(|&pes| {
-                let row_side = row_pes.contains(&pes);
-                PeResidueTally {
-                    pes,
-                    row_side,
-                    row_len_sum: vec![0u64; pes],
-                    row_len_max: vec![0u32; pes],
-                    col_count_sum: vec![0u64; pes],
-                    row_frag_max: if row_side { vec![0u32; pes] } else { Vec::new() },
-                }
-            })
-            .collect();
-
-        // Row-scheduler fragment maxima need the per-row column sets:
-        // one O(nnz) element pass per row-side PE count. The column
-        // occupancy ride-shares the first pass (it visits exactly the
-        // same elements); without a row-side tally it gets its own loop.
+        let mut row_lens: Vec<u32> = Vec::with_capacity(rows);
+        let mut tallies = make_tallies(col_pes, row_pes);
         let mut col_counts = vec![0u32; cols];
-        let mut counted = false;
-        if nnz > 0 {
-            for t in tallies.iter_mut().filter(|t| t.row_side) {
-                let counts = if counted { None } else { Some(&mut col_counts[..]) };
-                frag_fold(rows, cols, row_ptr, m.col_idx(), t.pes, &mut t.row_frag_max, counts);
-                counted = true;
+
+        // Fold one row range at a time. Fragments never span rows, the
+        // column occupancy is an order-independent integer sum, and the
+        // residue folds below run over the assembled length vectors —
+        // so the chunk boundaries cannot show up in any field.
+        let mut r0 = 0usize;
+        while r0 < rows {
+            let r1 = rows.min(r0.saturating_add(chunk_rows));
+            for r in r0..r1 {
+                row_lens.push((row_ptr[r + 1] - row_ptr[r]) as u32);
             }
-        }
-        if !counted {
-            for &c in m.col_idx() {
-                col_counts[c as usize] += 1;
+            // Row-scheduler fragment maxima need the per-row column
+            // sets: one O(chunk nnz) element pass per row-side PE
+            // count. The column occupancy ride-shares the first pass
+            // (it visits exactly the same elements); without a
+            // row-side tally it gets its own loop.
+            let mut counted = false;
+            if nnz > 0 {
+                for t in tallies.iter_mut().filter(|t| t.row_side) {
+                    let counts = if counted { None } else { Some(&mut col_counts[..]) };
+                    frag_fold(
+                        r1 - r0,
+                        cols,
+                        &row_ptr[r0..=r1],
+                        m.col_idx(),
+                        t.pes,
+                        &mut t.row_frag_max,
+                        counts,
+                    );
+                    counted = true;
+                }
             }
+            if !counted {
+                for &c in &m.col_idx()[row_ptr[r0]..row_ptr[r1]] {
+                    col_counts[c as usize] += 1;
+                }
+            }
+            r0 = r1;
         }
 
         let row_summary = DistSummary::of(row_lens.iter().map(|&l| l as usize));
         let col_summary = DistSummary::of(col_counts.iter().map(|&c| c as usize));
 
-        // Column-scheduler aggregates and row-scheduler totals come from
-        // the length vectors alone: residues cycle 0..pes in index
-        // order, so a wrapping counter replaces the per-index division.
+        fold_residues(&mut tallies, &row_lens, &col_counts);
+        // The fragment fold only records fragments of length >= 2;
+        // every populated residue trivially has a fragment of 1.
         for t in &mut tallies {
-            let pes = t.pes;
-            let mut p = 0usize;
-            for &len in &row_lens {
-                t.row_len_sum[p] += len as u64;
-                if len > t.row_len_max[p] {
-                    t.row_len_max[p] = len;
-                }
-                p += 1;
-                if p == pes {
-                    p = 0;
-                }
-            }
-            let mut p = 0usize;
-            for &cnt in &col_counts {
-                t.col_count_sum[p] += cnt as u64;
-                p += 1;
-                if p == pes {
-                    p = 0;
-                }
-            }
-            // The fragment fold only records fragments of length >= 2;
-            // every populated residue trivially has a fragment of 1.
             if t.row_side {
-                for p in 0..pes {
+                for p in 0..t.pes {
                     if t.row_frag_max[p] == 0 && t.col_count_sum[p] > 0 {
                         t.row_frag_max[p] = 1;
                     }
@@ -292,6 +314,12 @@ impl MatrixProfile {
     /// count this profile was built from. Used by consumers to assert a
     /// profile is being applied to the matrix it describes.
     pub fn describes(&self, m: &CsrMatrix) -> bool {
+        self.rows == m.rows() && self.cols == m.cols() && self.nnz == m.nnz()
+    }
+
+    /// Shape guard for a storage-generic view (see
+    /// [`MatrixProfile::describes`]).
+    pub fn describes_view(&self, m: CsrRef<'_>) -> bool {
         self.rows == m.rows() && self.cols == m.cols() && self.nnz == m.nnz()
     }
 
@@ -359,25 +387,7 @@ impl MatrixProfile {
             }
         }
 
-        let mut pes_set: Vec<usize> =
-            col_pes.iter().chain(row_pes).copied().filter(|&p| p > 0).collect();
-        pes_set.sort_unstable();
-        pes_set.dedup();
-
-        let mut tallies: Vec<PeResidueTally> = pes_set
-            .iter()
-            .map(|&pes| {
-                let row_side = row_pes.contains(&pes);
-                PeResidueTally {
-                    pes,
-                    row_side,
-                    row_len_sum: vec![0u64; pes],
-                    row_len_max: vec![0u32; pes],
-                    col_count_sum: vec![0u64; pes],
-                    row_frag_max: if row_side { vec![0u32; pes] } else { Vec::new() },
-                }
-            })
-            .collect();
+        let mut tallies = make_tallies(col_pes, row_pes);
 
         if nnz > 0 {
             for t in tallies.iter_mut().filter(|t| t.row_side) {
@@ -394,30 +404,60 @@ impl MatrixProfile {
         // Identical wrapping-counter folds to the build path. No
         // populated-residue lift is needed: the synthesized fragment
         // maxima above are already the true per-residue values.
-        for t in &mut tallies {
-            let pes = t.pes;
-            let mut p = 0usize;
-            for &len in &row_lens {
-                t.row_len_sum[p] += len as u64;
-                if len > t.row_len_max[p] {
-                    t.row_len_max[p] = len;
-                }
-                p += 1;
-                if p == pes {
-                    p = 0;
-                }
-            }
-            let mut p = 0usize;
-            for &cnt in &col_counts {
-                t.col_count_sum[p] += cnt as u64;
-                p += 1;
-                if p == pes {
-                    p = 0;
-                }
-            }
-        }
+        fold_residues(&mut tallies, &row_lens, &col_counts);
 
         MatrixProfile { rows, cols, nnz, row_lens, col_counts, row_summary, col_summary, tallies }
+    }
+}
+
+/// Zeroed tallies for `col_pes ∪ row_pes` (zero and duplicate entries
+/// ignored), with the row side enabled for counts in `row_pes`.
+fn make_tallies(col_pes: &[usize], row_pes: &[usize]) -> Vec<PeResidueTally> {
+    let mut pes_set: Vec<usize> =
+        col_pes.iter().chain(row_pes).copied().filter(|&p| p > 0).collect();
+    pes_set.sort_unstable();
+    pes_set.dedup();
+    pes_set
+        .iter()
+        .map(|&pes| {
+            let row_side = row_pes.contains(&pes);
+            PeResidueTally {
+                pes,
+                row_side,
+                row_len_sum: vec![0u64; pes],
+                row_len_max: vec![0u32; pes],
+                col_count_sum: vec![0u64; pes],
+                row_frag_max: if row_side { vec![0u32; pes] } else { Vec::new() },
+            }
+        })
+        .collect()
+}
+
+/// Column-scheduler aggregates and row-scheduler totals from the length
+/// vectors alone: residues cycle 0..pes in index order, so a wrapping
+/// counter replaces the per-index division.
+fn fold_residues(tallies: &mut [PeResidueTally], row_lens: &[u32], col_counts: &[u32]) {
+    for t in tallies {
+        let pes = t.pes;
+        let mut p = 0usize;
+        for &len in row_lens {
+            t.row_len_sum[p] += len as u64;
+            if len > t.row_len_max[p] {
+                t.row_len_max[p] = len;
+            }
+            p += 1;
+            if p == pes {
+                p = 0;
+            }
+        }
+        let mut p = 0usize;
+        for &cnt in col_counts {
+            t.col_count_sum[p] += cnt as u64;
+            p += 1;
+            if p == pes {
+                p = 0;
+            }
+        }
     }
 }
 

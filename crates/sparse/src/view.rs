@@ -1,0 +1,197 @@
+//! Storage-generic borrowed view of a CSR matrix.
+//!
+//! Every structural consumer in the workspace — the profile builder,
+//! the feature extractor, the cycle-level schedulers — reads a CSR
+//! matrix through exactly three slices (`row_ptr`, `col_idx`,
+//! `values`) plus its shape. [`CsrRef`] is that access pattern made
+//! explicit: a `Copy` bundle of borrowed slices that the owned
+//! [`CsrMatrix`](crate::CsrMatrix) and the mmap-backed
+//! [`SlabMatrix`](crate::slab::SlabMatrix) both produce, so one
+//! view-based implementation serves resident and out-of-core storage
+//! alike. The refactored consumers are proven bit-identical across the
+//! two producers in `tests/slab_equivalence.rs`.
+
+use crate::csr::RowView;
+use crate::CsrMatrix;
+
+/// Borrowed-slices view of a CSR matrix.
+///
+/// Mirrors the accessor surface of [`CsrMatrix`] (same invariants,
+/// which the producers guarantee): `row_ptr` has `rows + 1`
+/// non-decreasing entries ending at `nnz`, and `col_idx` / `values`
+/// are parallel arrays with strictly increasing columns per row.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrRef<'a> {
+    rows: usize,
+    cols: usize,
+    row_ptr: &'a [usize],
+    col_idx: &'a [u32],
+    values: &'a [f32],
+}
+
+impl<'a> CsrRef<'a> {
+    /// Assembles a view from raw borrowed arrays.
+    ///
+    /// Callers are the storage producers ([`CsrMatrix::as_ref`],
+    /// [`SlabMatrix::as_ref`](crate::slab::SlabMatrix::as_ref)), which
+    /// uphold the CSR invariants at construction / open time; only the
+    /// array-length couplings are re-checked here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_ptr.len() != rows + 1` or the index/value arrays
+    /// disagree in length with each other or with `row_ptr[rows]`.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: &'a [usize],
+        col_idx: &'a [u32],
+        values: &'a [f32],
+    ) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "row_ptr must hold rows + 1 entries");
+        assert_eq!(col_idx.len(), values.len(), "col_idx and values must be parallel");
+        assert_eq!(row_ptr[rows], values.len(), "row_ptr must end at nnz");
+        CsrRef { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries that are stored; 0 for an empty shape.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// The row pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &'a [usize] {
+        self.row_ptr
+    }
+
+    /// The column index array, parallel to [`CsrRef::values`].
+    pub fn col_idx(&self) -> &'a [u32] {
+        self.col_idx
+    }
+
+    /// The stored values.
+    pub fn values(&self) -> &'a [f32] {
+        self.values
+    }
+
+    /// Returns the `(column, value)` pairs of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> RowView<'a> {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        RowView::new(&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of nonzeros in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Looks up a single entry. O(log nnz(row)).
+    pub fn get(&self, row: usize, col: usize) -> Option<f32> {
+        if row >= self.rows || col >= self.cols {
+            return None;
+        }
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        let seg = &self.col_idx[lo..hi];
+        seg.binary_search(&(col as u32)).ok().map(|i| self.values[lo + i])
+    }
+
+    /// Iterates all `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + 'a {
+        let (rows, row_ptr, col_idx, values) = (self.rows, self.row_ptr, self.col_idx, self.values);
+        (0..rows).flat_map(move |r| {
+            let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+            (lo..hi).map(move |i| (r, col_idx[i] as usize, values[i]))
+        })
+    }
+
+    /// Copies the viewed arrays into an owned [`CsrMatrix`].
+    pub fn to_matrix(&self) -> CsrMatrix {
+        CsrMatrix::from_raw_parts(
+            self.rows,
+            self.cols,
+            self.row_ptr.to_vec(),
+            self.col_idx.to_vec(),
+            self.values.to_vec(),
+        )
+        .expect("a CsrRef upholds the CSR invariants by construction")
+    }
+}
+
+impl CsrMatrix {
+    /// The borrowed-slices view of this matrix — the storage-generic
+    /// form every structural consumer takes.
+    pub fn as_ref(&self) -> CsrRef<'_> {
+        CsrRef {
+            rows: self.rows(),
+            cols: self.cols(),
+            row_ptr: self.row_ptr(),
+            col_idx: self.col_idx(),
+            values: self.values(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn view_mirrors_owned_accessors() {
+        let m = gen::power_law(64, 48, 4.0, 1.4, 3);
+        let v = m.as_ref();
+        assert_eq!(v.rows(), m.rows());
+        assert_eq!(v.cols(), m.cols());
+        assert_eq!(v.nnz(), m.nnz());
+        assert_eq!(v.density(), m.density());
+        assert_eq!(v.row_ptr(), m.row_ptr());
+        assert_eq!(v.col_idx(), m.col_idx());
+        assert_eq!(v.values(), m.values());
+        for r in 0..m.rows() {
+            assert_eq!(v.row_nnz(r), m.row_nnz(r));
+            assert_eq!(v.row(r).iter().collect::<Vec<_>>(), m.row(r).iter().collect::<Vec<_>>());
+        }
+        assert_eq!(v.iter().collect::<Vec<_>>(), m.iter().collect::<Vec<_>>());
+        assert_eq!(v.get(3, 7), m.get(3, 7));
+        assert_eq!(v.get(999, 0), None);
+    }
+
+    #[test]
+    fn to_matrix_roundtrips() {
+        let m = gen::uniform_random(32, 32, 0.1, 9);
+        assert_eq!(m.as_ref().to_matrix(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must end at nnz")]
+    fn from_raw_parts_checks_couplings() {
+        CsrRef::from_raw_parts(1, 2, &[0, 2], &[0], &[1.0]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Bit-identity between owned CSR storage and its mmap-backed slab
+//! twin: for any generated matrix, the slab written by `write_slab`
+//! and reopened through `SlabMatrix::open` must expose the exact same
+//! sections, and `MatrixProfile` built from either view — one-shot or
+//! through the chunked `build_streaming` fold at any chunk size — must
+//! be equal field for field.
+
+use misam_sparse::slab::{self, SlabMatrix};
+use misam_sparse::{gen, CooMatrix, CsrMatrix, MatrixProfile};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The paper's design PE counts plus awkward small/odd counts that
+/// stress the residue-window folds.
+const COL_PES: &[usize] = &[3, 7, 64, 96];
+const ROW_PES: &[usize] = &[7, 96];
+
+/// Writes `m` as a slab under a collision-free temp name and reopens
+/// it through the mmap path.
+fn slab_twin(m: &CsrMatrix) -> (std::path::PathBuf, SlabMatrix) {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "misam_slab_eq_{}_{}.msab",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    slab::write_slab(&path, m).expect("write slab");
+    let s = SlabMatrix::open(&path).expect("open slab");
+    (path, s)
+}
+
+fn assert_slab_equivalence(m: &CsrMatrix, ctx: &str) {
+    let (path, s) = slab_twin(m);
+    let (owned, mapped) = (m.as_ref(), s.as_ref());
+
+    // The raw sections round-trip exactly (values compared by bits —
+    // NaNs and signed zeros included).
+    assert_eq!(owned.row_ptr(), mapped.row_ptr(), "row_ptr differs for {ctx}");
+    assert_eq!(owned.col_idx(), mapped.col_idx(), "col_idx differs for {ctx}");
+    assert!(
+        owned.values().iter().zip(mapped.values()).all(|(a, b)| a.to_bits() == b.to_bits())
+            && owned.values().len() == mapped.values().len(),
+        "values differ for {ctx}"
+    );
+
+    // One profile per storage producer, equal field for field.
+    let from_owned = MatrixProfile::build_with_scheduler_pes(m, COL_PES, ROW_PES);
+    let from_mapped = MatrixProfile::build_with_scheduler_pes_ref(mapped, COL_PES, ROW_PES);
+    assert_eq!(from_owned, from_mapped, "profile owned != mmap for {ctx}");
+    assert!(from_mapped.describes_view(owned), "shape guard for {ctx}");
+
+    // The chunked fold is invisible at every chunk size: single rows,
+    // awkward primes, one chunk covering everything, and past-the-end.
+    for chunk_rows in [1usize, 3, 17, m.rows().max(1), m.rows() + 7] {
+        let streamed = MatrixProfile::build_streaming(mapped, chunk_rows, COL_PES, ROW_PES);
+        assert_eq!(from_owned, streamed, "chunk {chunk_rows} fold differs for {ctx}");
+    }
+
+    // Digest recorded at write time matches a fresh walk of the view.
+    assert_eq!(s.content_digest(), slab::digest_of_view(owned), "digest differs for {ctx}");
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn uniform_random_slabs_are_bit_identical(
+        rows in 1usize..200,
+        cols in 1usize..200,
+        density in 0.0f64..0.4,
+        seed in 0u64..1_000_000,
+    ) {
+        let m = gen::uniform_random(rows, cols, density, seed);
+        assert_slab_equivalence(&m, "uniform_random");
+    }
+
+    #[test]
+    fn power_law_slabs_are_bit_identical(
+        rows in 1usize..200,
+        cols in 1usize..200,
+        avg in 0.5f64..12.0,
+        alpha in 1.1f64..1.9,
+        seed in 0u64..1_000_000,
+    ) {
+        let m = gen::power_law(rows, cols, avg, alpha, seed);
+        assert_slab_equivalence(&m, "power_law");
+    }
+
+    #[test]
+    fn banded_slabs_are_bit_identical(
+        rows in 1usize..200,
+        cols in 1usize..200,
+        bw in 0usize..20,
+        fill in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let m = gen::banded(rows, cols, bw, fill, seed);
+        assert_slab_equivalence(&m, "banded");
+    }
+
+    #[test]
+    fn circuit_slabs_are_bit_identical(
+        rows in 1usize..200,
+        cols in 1usize..200,
+        avg in 0.0f64..6.0,
+        rails in 0usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let m = gen::circuit(rows, cols, avg, rails, seed);
+        assert_slab_equivalence(&m, "circuit");
+    }
+}
+
+/// The degenerate shapes the strategies above can't reach.
+#[test]
+fn empty_and_single_row_slabs_round_trip() {
+    let empty = CooMatrix::from_triplets(1, 1, []).expect("in bounds").to_csr();
+    assert_slab_equivalence(&empty, "empty 1x1");
+    let single = CooMatrix::from_triplets(1, 7, [(0, 3, 2.5)]).expect("in bounds").to_csr();
+    assert_slab_equivalence(&single, "single entry");
+    assert_slab_equivalence(&gen::dense(1, 64, 9), "single dense row");
+}
