@@ -6,7 +6,7 @@ use misam::pipeline::Misam;
 use misam_features::{PairFeatures, TileConfig, FEATURE_NAMES};
 use misam_recon::cost::ReconfigCost;
 use misam_serve::protocol::GenSpec;
-use misam_serve::{Client, LoadGen, Response, ServeConfig, Server};
+use misam_serve::{Client, LoadGen, Response, ServeConfig, ServeMode, Server};
 use misam_sim::{simulate, simulate_ref, DesignConfig, DesignId, Operand};
 use misam_sparse::slab::{self, SlabMatrix};
 use misam_sparse::{gen, io, CsrMatrix};
@@ -28,11 +28,13 @@ USAGE:
   misam suite    [--scale S] [--seed N]
   misam corpus   [--scale 1..10000] [--seed N] [--ingest DIR]
   misam serve    --models models.json [--addr 127.0.0.1:7171] [--threads N]
+                 [--mode auto|event|blocking] [--reactors N]
                  [--batch-max N] [--batch-wait-us N] [--queue-cap N]
   misam client   --addr HOST:PORT --op stats|shutdown|reload|predict-gen|simulate|load
                  [--path models.json] [--design 1|2|3|4] [--matrix A.msab]
                  [--kind K --rows N --cols N --density D --seed S --dense-cols N]
                  [--connections N --requests N --batch N]
+                 [--open-loop RPS] [--idle-conns N]
   misam designs
   misam help
 ";
@@ -402,11 +404,28 @@ fn suite_cmd(flags: &Flags) -> Result<(), String> {
 }
 
 fn serve_cmd(flags: &Flags) -> Result<(), String> {
-    flags.expect_only(&["models", "addr", "threads", "batch-max", "batch-wait-us", "queue-cap"])?;
+    flags.expect_only(&[
+        "models",
+        "addr",
+        "threads",
+        "mode",
+        "reactors",
+        "batch-max",
+        "batch-wait-us",
+        "queue-cap",
+    ])?;
     let bundle = ModelBundle::load(flags.require("models")?)?;
+    let mode = match flags.get("mode").unwrap_or("auto") {
+        "auto" => ServeMode::Auto,
+        "event" => ServeMode::Event,
+        "blocking" => ServeMode::Blocking,
+        other => return Err(format!("bad --mode '{other}' (auto|event|blocking)")),
+    };
     let cfg = ServeConfig {
         addr: flags.get("addr").unwrap_or("127.0.0.1:7171").to_string(),
         threads: flags.get_or("threads", 0usize)?,
+        mode,
+        reactors: flags.get_or("reactors", 0usize)?,
         batch_max: flags.get_or("batch-max", 64usize)?,
         batch_wait_us: flags.get_or("batch-wait-us", 200u64)?,
         queue_cap: flags.get_or("queue-cap", 4096usize)?,
@@ -418,10 +437,20 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
 
     let sigint = misam_serve::sigint_flag();
     let server = Server::start(bundle, cfg).map_err(|e| format!("cannot bind: {e}"))?;
-    eprintln!("misam-serve listening on {} (Ctrl-C or a Shutdown request stops it)", server.addr());
-    while !server.is_stopping() && !sigint.load(std::sync::atomic::Ordering::SeqCst) {
-        std::thread::sleep(std::time::Duration::from_millis(50));
-    }
+    let engine = if server.event_driven() {
+        format!("event-driven, {} reactor shard(s)", server.shards())
+    } else {
+        "blocking, thread-per-connection".to_string()
+    };
+    eprintln!(
+        "misam-serve listening on {} [{engine}] (Ctrl-C or a Shutdown request stops it)",
+        server.addr()
+    );
+    // Condvar-backed wait: wakes immediately on a Shutdown request; the
+    // short timeout only bounds how stale a Ctrl-C can get.
+    while !server.wait_stopping(std::time::Duration::from_millis(200))
+        && !sigint.load(std::sync::atomic::Ordering::SeqCst)
+    {}
     eprintln!("draining…");
     let stats = server.shutdown();
     let dump = serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?;
@@ -470,15 +499,29 @@ fn client_cmd(flags: &Flags) -> Result<(), String> {
         "connections",
         "requests",
         "batch",
+        "open-loop",
+        "idle-conns",
     ])?;
     let addr = flags.require("addr")?;
     let op = flags.require("op")?;
     if op == "load" {
+        let open_loop_rps = match flags.get("open-loop") {
+            None => None,
+            Some(s) => {
+                let rps: f64 = s.parse().map_err(|_| format!("bad --open-loop '{s}'"))?;
+                if rps <= 0.0 {
+                    return Err("--open-loop must be a positive arrival rate".into());
+                }
+                Some(rps)
+            }
+        };
         let load = LoadGen {
             connections: flags.get_or("connections", 4usize)?,
             requests_per_conn: flags.get_or("requests", 1000usize)?,
             batch_size: flags.get_or("batch", 16usize)?,
             seed: flags.get_or("seed", 7u64)?,
+            open_loop_rps,
+            idle_conns: flags.get_or("idle-conns", 0usize)?,
         };
         let report = load.run(addr).map_err(|e| format!("load run failed: {e}"))?;
         let text = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -843,6 +886,26 @@ mod tests {
             "4",
         ]))
         .unwrap();
+        // Open-loop pacing plus an idle-connection flood ride the same
+        // subcommand.
+        dispatch(&argv(&[
+            "client",
+            "--addr",
+            &addr,
+            "--op",
+            "load",
+            "--connections",
+            "1",
+            "--requests",
+            "5",
+            "--batch",
+            "1",
+            "--open-loop",
+            "500",
+            "--idle-conns",
+            "8",
+        ]))
+        .unwrap();
         // Server-reported errors must surface as CLI errors.
         let err =
             dispatch(&argv(&["client", "--addr", &addr, "--op", "simulate", "--design", "9"]))
@@ -861,6 +924,9 @@ mod tests {
         assert!(dispatch(&argv(&["serve", "--addr", "127.0.0.1:0"])).is_err(), "models required");
         let err = dispatch(&argv(&["serve", "--models", "/nonexistent.json"])).unwrap_err();
         assert!(err.contains("nonexistent") || err.contains("No such file"), "{err}");
+        let err = dispatch(&argv(&["client", "--addr", "x", "--op", "load", "--open-loop", "-3"]))
+            .unwrap_err();
+        assert!(err.contains("open-loop"), "{err}");
     }
 
     #[test]

@@ -1,21 +1,33 @@
-//! Micro-batching of predict requests.
+//! Micro-batching of predict requests, shardable per core.
 //!
-//! All connections funnel their feature vectors into one bounded queue;
-//! a dedicated batcher thread gathers them into batches and flushes
-//! when either `batch_max` vectors have accumulated or `batch_wait_us`
-//! has elapsed since the batch opened (size-or-deadline, the classic
-//! serving trade between throughput and tail latency). One flush takes
-//! one model snapshot for the whole batch and predicts each group
-//! columnarly over the bundle's flat SoA trees
-//! ([`crate::state::predict_batch`]), so inference amortizes the bundle
-//! lock and stays cache-warm across items.
+//! Connections funnel their feature vectors into a bounded queue; a
+//! dedicated batcher thread per shard gathers them into batches and
+//! flushes when either `batch_max` vectors have accumulated or
+//! `batch_wait_us` has elapsed since the batch opened
+//! (size-or-deadline, the classic serving trade between throughput and
+//! tail latency). One flush takes one model snapshot for the whole
+//! batch and predicts each group columnarly over the bundle's flat SoA
+//! trees ([`crate::state::predict_batch`]), so inference amortizes the
+//! bundle lock and stays cache-warm across items.
 //!
-//! Admission is bounded: [`MicroBatcher::try_submit`] refuses a group
-//! once `queue_cap` vectors are waiting, so overload sheds instead of
-//! growing the queue without limit. Shutdown is a drain: dropping the
-//! producer side lets the batcher finish every accepted group before
-//! its thread exits, which is what makes the server's graceful shutdown
-//! lose nothing in flight.
+//! Admission is bounded by one CAS slot-reservation counter shared by
+//! every shard ([`ShardedBatcher`]): a group reserves all its slots or
+//! is refused outright (never split), so overload sheds with a typed
+//! reply instead of growing queues without limit — exactly the
+//! single-batcher admission contract, kept while flushes run in
+//! parallel across shards.
+//!
+//! Delivery is either a reply channel (the blocking server's handler
+//! threads park on it) or a completion callback (the event-driven
+//! reactors hand in a closure that posts to their mailbox and wakes
+//! their poller — [`MicroBatcher::try_submit_callback`]). Callback
+//! groups are *eager*: the reactor already coalesced everything its
+//! poll iteration produced, so the flush happens as soon as the queue
+//! runs dry instead of holding sub-batch traffic for the deadline.
+//!
+//! Shutdown is a drain: dropping the producer side lets each batcher
+//! finish every accepted group before its thread exits, which is what
+//! makes the server's graceful shutdown lose nothing in flight.
 
 use crate::state::{predict_batch, PredictOutcome, SharedModel};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -52,11 +64,24 @@ pub struct BatchCounters {
     pub deadline_flushes: AtomicU64,
 }
 
+/// How a flushed group's outcomes get back to the submitter.
+enum Reply {
+    /// A blocking handler thread parks on the receiving end.
+    Channel(crossbeam::channel::Sender<Vec<PredictOutcome>>),
+    /// An event-driven submitter gets called with the outcomes on the
+    /// batcher thread (it posts to a mailbox and wakes a poller).
+    Callback(Box<dyn FnOnce(Vec<PredictOutcome>) + Send>),
+}
+
 /// A group of feature vectors submitted together (a `Batch` request, or
 /// a single `Predict` as a group of one).
 struct Group {
     vectors: Vec<Vec<f64>>,
-    reply: crossbeam::channel::Sender<Vec<PredictOutcome>>,
+    reply: Reply,
+    /// Flush as soon as the queue runs dry instead of waiting out the
+    /// deadline — set by reactor submissions, which already coalesce a
+    /// poll iteration's worth of traffic.
+    eager: bool,
 }
 
 /// Error returned by [`MicroBatcher::try_submit`] when admission is
@@ -78,16 +103,29 @@ pub struct MicroBatcher {
 }
 
 impl MicroBatcher {
-    /// Spawns the batcher thread over `model`.
+    /// Spawns the batcher thread over `model` with its own admission
+    /// counter.
     pub fn new(model: Arc<SharedModel>, cfg: BatchConfig) -> Self {
+        Self::with_depth(model, cfg, Arc::new(AtomicUsize::new(0)), 0)
+    }
+
+    /// Spawns the batcher thread over `model`, reserving admission
+    /// slots from `depth` — shared across every shard of a
+    /// [`ShardedBatcher`], so `queue_cap` bounds the server, not each
+    /// shard.
+    pub fn with_depth(
+        model: Arc<SharedModel>,
+        cfg: BatchConfig,
+        depth: Arc<AtomicUsize>,
+        shard: usize,
+    ) -> Self {
         let (tx, rx) = crossbeam::channel::unbounded::<Group>();
-        let depth = Arc::new(AtomicUsize::new(0));
         let counters = Arc::new(BatchCounters::default());
         let thread = {
             let depth = Arc::clone(&depth);
             let counters = Arc::clone(&counters);
             std::thread::Builder::new()
-                .name("misam-batcher".into())
+                .name(format!("misam-batcher-{shard}"))
                 .spawn(move || run(rx, model, cfg, depth, counters))
                 .expect("spawn batcher thread")
         };
@@ -98,6 +136,39 @@ impl MicroBatcher {
             counters,
             cfg,
         }
+    }
+
+    /// Reserves `want` admission slots with a CAS loop — a group is
+    /// admitted or shed atomically, never split.
+    fn reserve(&self, want: usize) -> Result<(), QueueFull> {
+        let mut cur = self.depth.load(Ordering::Relaxed);
+        loop {
+            if cur + want > self.cfg.queue_cap {
+                return Err(QueueFull { capacity: self.cfg.queue_cap });
+            }
+            match self.depth.compare_exchange_weak(
+                cur,
+                cur + want,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn enqueue(&self, group: Group, want: usize) -> Result<(), QueueFull> {
+        let guard = self.tx.lock();
+        let Some(tx) = guard.as_ref() else {
+            self.depth.fetch_sub(want, Ordering::Relaxed);
+            return Err(QueueFull { capacity: self.cfg.queue_cap });
+        };
+        if tx.send(group).is_err() {
+            self.depth.fetch_sub(want, Ordering::Relaxed);
+            return Err(QueueFull { capacity: self.cfg.queue_cap });
+        }
+        Ok(())
     }
 
     /// Submits a group of feature vectors; the returned channel yields
@@ -111,36 +182,32 @@ impl MicroBatcher {
         &self,
         vectors: Vec<Vec<f64>>,
     ) -> Result<crossbeam::channel::Receiver<Vec<PredictOutcome>>, QueueFull> {
-        let full = QueueFull { capacity: self.cfg.queue_cap };
         let want = vectors.len();
-        // Reserve `want` slots or refuse outright — a group is admitted
-        // or shed atomically, never split.
-        let mut cur = self.depth.load(Ordering::Relaxed);
-        loop {
-            if cur + want > self.cfg.queue_cap {
-                return Err(full);
-            }
-            match self.depth.compare_exchange_weak(
-                cur,
-                cur + want,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => break,
-                Err(seen) => cur = seen,
-            }
-        }
-        let guard = self.tx.lock();
-        let Some(tx) = guard.as_ref() else {
-            self.depth.fetch_sub(want, Ordering::Relaxed);
-            return Err(full);
-        };
+        self.reserve(want)?;
         let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
-        if tx.send(Group { vectors, reply: reply_tx }).is_err() {
-            self.depth.fetch_sub(want, Ordering::Relaxed);
-            return Err(full);
-        }
+        self.enqueue(Group { vectors, reply: Reply::Channel(reply_tx), eager: false }, want)?;
         Ok(reply_rx)
+    }
+
+    /// Submits a group whose outcomes are delivered by calling
+    /// `complete` on the batcher thread (the event-driven path: the
+    /// closure posts to a reactor mailbox and wakes its poller).
+    /// Callback groups flush eagerly — the submitter already coalesced
+    /// a poll iteration's worth of traffic, so nothing is gained by
+    /// holding the batch for the deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] exactly like [`MicroBatcher::try_submit`];
+    /// on error `complete` is never called.
+    pub fn try_submit_callback(
+        &self,
+        vectors: Vec<Vec<f64>>,
+        complete: Box<dyn FnOnce(Vec<PredictOutcome>) + Send>,
+    ) -> Result<(), QueueFull> {
+        let want = vectors.len();
+        self.reserve(want)?;
+        self.enqueue(Group { vectors, reply: Reply::Callback(complete), eager: true }, want)
     }
 
     /// Feature vectors currently waiting.
@@ -193,14 +260,22 @@ fn run(
         };
         let deadline = Instant::now() + wait;
         let mut items = first.vectors.len();
+        let mut eager = first.eager;
         let mut groups = vec![first];
         while items < cfg.batch_max {
             match rx.try_recv() {
                 Some(g) => {
                     items += g.vectors.len();
+                    eager |= g.eager;
                     groups.push(g);
                 }
                 None => {
+                    // An eager batch flushes the moment the queue runs
+                    // dry: the natural batch is whatever accumulated
+                    // while the previous flush ran.
+                    if eager {
+                        break;
+                    }
                     if Instant::now() >= deadline {
                         counters.deadline_flushes.fetch_add(1, Ordering::Relaxed);
                         break;
@@ -221,8 +296,92 @@ fn run(
             let n = group.vectors.len();
             let outs: Vec<PredictOutcome> = predict_batch(&prepared, &group.vectors);
             depth.fetch_sub(n, Ordering::Relaxed);
-            // A vanished requester (dropped connection) is not an error.
-            let _ = group.reply.send(outs);
+            match group.reply {
+                // A vanished requester (dropped connection) is not an
+                // error.
+                Reply::Channel(tx) => {
+                    let _ = tx.send(outs);
+                }
+                Reply::Callback(complete) => complete(outs),
+            }
+        }
+    }
+}
+
+/// Per-core batcher shards behind one shared admission counter.
+///
+/// Each shard owns a flush thread, so flushes run in parallel across
+/// cores; the CAS slot reservation they all draw from keeps the
+/// original contract — at most `queue_cap` vectors queued server-wide,
+/// groups admitted all-or-nothing. The blocking server is the
+/// one-shard special case.
+#[derive(Debug)]
+pub struct ShardedBatcher {
+    shards: Vec<MicroBatcher>,
+    depth: Arc<AtomicUsize>,
+    next: AtomicUsize,
+}
+
+impl ShardedBatcher {
+    /// Spawns `shards` batcher threads (at least one) over `model`.
+    pub fn new(model: &Arc<SharedModel>, cfg: BatchConfig, shards: usize) -> Self {
+        let depth = Arc::new(AtomicUsize::new(0));
+        let shards = (0..shards.max(1))
+            .map(|i| MicroBatcher::with_depth(Arc::clone(model), cfg, Arc::clone(&depth), i))
+            .collect();
+        ShardedBatcher { shards, depth, next: AtomicUsize::new(0) }
+    }
+
+    /// Submits through a round-robin-chosen shard (the blocking path;
+    /// reactors pin themselves to [`ShardedBatcher::shard`] instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the shared admission bound refuses
+    /// the group.
+    pub fn try_submit(
+        &self,
+        vectors: Vec<Vec<f64>>,
+    ) -> Result<crossbeam::channel::Receiver<Vec<PredictOutcome>>, QueueFull> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[i].try_submit(vectors)
+    }
+
+    /// The shard pinned to reactor `i` (wraps around).
+    pub fn shard(&self, i: usize) -> &MicroBatcher {
+        &self.shards[i % self.shards.len()]
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Feature vectors currently waiting across all shards (the shared
+    /// admission counter).
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Flush counters folded across shards: `(batches, items,
+    /// max_batch)`.
+    pub fn folded_counters(&self) -> (u64, u64, u64) {
+        let mut batches = 0;
+        let mut items = 0;
+        let mut max_batch = 0;
+        for s in &self.shards {
+            batches += s.counters().batches.load(Ordering::Relaxed);
+            items += s.counters().items.load(Ordering::Relaxed);
+            max_batch = max_batch.max(s.counters().max_batch.load(Ordering::Relaxed));
+        }
+        (batches, items, max_batch)
+    }
+
+    /// Closes every shard queue, drains accepted groups, and joins the
+    /// flush threads. Safe to call more than once.
+    pub fn shutdown(&self) {
+        for s in &self.shards {
+            s.shutdown();
         }
     }
 }
@@ -288,5 +447,47 @@ mod tests {
         let out = rx.recv().unwrap();
         assert_eq!(out.len(), 1);
         assert!(b.counters().deadline_flushes.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn callback_groups_flush_eagerly_and_match_direct_inference() {
+        // A deadline far beyond the test timeout: only the eager path
+        // can flush this in time.
+        let b = batcher(BatchConfig { batch_max: 4096, batch_wait_us: 60_000_000, queue_cap: 64 });
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let vs: Vec<Vec<f64>> = (0..3).map(|i| vector(i as f64 * 0.4)).collect();
+        b.try_submit_callback(vs.clone(), {
+            let tx = tx.clone();
+            Box::new(move |outs| {
+                let _ = tx.send(outs);
+            })
+        })
+        .unwrap();
+        let outs = rx.recv().unwrap();
+        assert_eq!(outs.len(), 3);
+        for (v, out) in vs.iter().zip(&outs) {
+            assert_eq!(*out, predict_vector(test_prepared(), v));
+        }
+        assert_eq!(b.queue_depth(), 0);
+    }
+
+    #[test]
+    fn sharded_admission_is_bounded_across_shards() {
+        let model = Arc::new(SharedModel::new(test_bundle().clone()));
+        let cfg = BatchConfig { batch_max: 1024, batch_wait_us: 500_000, queue_cap: 10 };
+        let sb = ShardedBatcher::new(&model, cfg, 3);
+        assert_eq!(sb.shards(), 3);
+        // Fill most of the shared cap through different shards.
+        let _rx1 = sb.shard(0).try_submit((0..4).map(|_| vector(0.1)).collect::<Vec<_>>()).unwrap();
+        let _rx2 = sb.shard(1).try_submit((0..4).map(|_| vector(0.2)).collect::<Vec<_>>()).unwrap();
+        // The bound is global: shard 2 sees the 8 slots already taken.
+        let err = sb.shard(2).try_submit((0..6).map(|_| vector(0.3)).collect::<Vec<_>>());
+        assert_eq!(err.unwrap_err(), QueueFull { capacity: 10 });
+        assert!(sb.queue_depth() <= 10);
+        sb.shutdown();
+        let (batches, items, max_batch) = sb.folded_counters();
+        assert!(batches >= 1, "shutdown drains accepted groups");
+        assert_eq!(items, 8);
+        assert!(max_batch >= 4);
     }
 }

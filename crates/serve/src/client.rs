@@ -2,9 +2,16 @@
 //!
 //! The client speaks the same framing as the server: one JSON envelope
 //! per line, responses arriving in request order on each connection.
-//! [`LoadGen`] drives N concurrent connections through closed-loop
-//! request streams and aggregates client-observed latency percentiles —
-//! it is what `misam client --load` and `bench_serve` are built on.
+//! [`LoadGen`] drives N concurrent connections through closed-loop or
+//! paced open-loop request streams — optionally alongside a flood of
+//! held-open idle connections, the load shape the event-driven server
+//! exists for — and aggregates client-observed latency percentiles. It
+//! is what `misam client --load` and `bench_serve` are built on.
+//!
+//! Open-loop latency is measured from each request's *scheduled* send
+//! time, not the actual send, so a stalled server inflates the tail
+//! instead of silently slowing the arrival rate (the coordinated
+//! omission correction).
 
 use crate::metrics::Histogram;
 use crate::protocol::{
@@ -13,7 +20,7 @@ use crate::protocol::{
 };
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A blocking connection to a misam-serve instance.
 #[derive(Debug)]
@@ -175,7 +182,7 @@ impl Client {
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
 pub struct LoadGen {
-    /// Concurrent connections.
+    /// Concurrent active connections.
     pub connections: usize,
     /// Requests sent per connection (closed loop: each waits for its
     /// reply before the next send).
@@ -184,11 +191,28 @@ pub struct LoadGen {
     pub batch_size: usize,
     /// Seed that makes the generated feature vectors reproducible.
     pub seed: u64,
+    /// Total target arrival rate in requests/second across all
+    /// connections (`None` = closed loop). Sends are scheduled on a
+    /// fixed cadence and latency is measured from the scheduled time,
+    /// so falling behind shows up as tail latency, not a lower rate.
+    pub open_loop_rps: Option<f64>,
+    /// Extra connections opened before the run and held idle (no
+    /// traffic) until it ends — the many-dormant-clients shape that
+    /// costs a thread each on the blocking server and kilobytes on the
+    /// event-driven one.
+    pub idle_conns: usize,
 }
 
 impl Default for LoadGen {
     fn default() -> Self {
-        LoadGen { connections: 4, requests_per_conn: 1000, batch_size: 16, seed: 7 }
+        LoadGen {
+            connections: 4,
+            requests_per_conn: 1000,
+            batch_size: 16,
+            seed: 7,
+            open_loop_rps: None,
+            idle_conns: 0,
+        }
     }
 }
 
@@ -196,8 +220,13 @@ impl Default for LoadGen {
 /// client-observed (send to reply), per request.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct LoadReport {
-    /// Connections driven.
+    /// Active connections driven.
     pub connections: usize,
+    /// Idle connections held open for the duration of the run.
+    pub idle_conns: usize,
+    /// Target open-loop arrival rate (requests/second), `None` for a
+    /// closed-loop run.
+    pub target_rps: Option<f64>,
     /// Requests answered with a prediction.
     pub ok: u64,
     /// Requests shed with `Overloaded`.
@@ -244,18 +273,34 @@ pub fn synthetic_vector(seed: u64) -> Vec<f64> {
 }
 
 impl LoadGen {
-    /// Runs the closed-loop load against `addr` and aggregates the
-    /// result across connections.
+    /// Runs the load against `addr` and aggregates the result across
+    /// connections: closed loop by default, paced open loop when
+    /// `open_loop_rps` is set, with `idle_conns` dormant connections
+    /// held open for the duration either way.
     ///
     /// # Errors
     ///
-    /// Returns the first connection error; failures mid-stream are
-    /// counted in `errors` instead of aborting the run.
+    /// Returns the first connection error (including an idle-flood
+    /// connection the server refused); failures mid-stream are counted
+    /// in `errors` instead of aborting the run.
     pub fn run(&self, addr: impl ToSocketAddrs) -> std::io::Result<LoadReport> {
         let addr = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        // The idle flood connects first and the streams are simply held
+        // until the run completes — each one is an open socket the
+        // server must keep cheap while answering the hot connections.
+        let mut idle: Vec<TcpStream> = Vec::with_capacity(self.idle_conns);
+        for _ in 0..self.idle_conns {
+            idle.push(TcpStream::connect(addr)?);
+        }
+        // Per-connection send cadence of the open loop: the total rate
+        // split evenly, connection starts staggered across one period.
+        let interval = self
+            .open_loop_rps
+            .filter(|rps| *rps > 0.0)
+            .map(|rps| Duration::from_secs_f64(self.connections.max(1) as f64 / rps));
         let hist = Histogram::default();
         let ok = std::sync::atomic::AtomicU64::new(0);
         let shed = std::sync::atomic::AtomicU64::new(0);
@@ -274,9 +319,25 @@ impl LoadGen {
                         );
                         return;
                     };
+                    let offset = interval
+                        .map(|iv| iv.mul_f64(conn as f64 / cfg.connections.max(1) as f64))
+                        .unwrap_or_default();
                     for i in 0..cfg.requests_per_conn {
                         let base = cfg.seed.wrapping_add((conn * cfg.requests_per_conn + i) as u64);
-                        let sent = Instant::now();
+                        // Open loop: wait for the scheduled arrival and
+                        // time from it, so queueing delay lands in the
+                        // latency tail instead of slowing the arrivals.
+                        let reference = match interval {
+                            Some(iv) => {
+                                let scheduled = started + offset + iv * i as u32;
+                                if let Some(wait) = scheduled.checked_duration_since(Instant::now())
+                                {
+                                    std::thread::sleep(wait);
+                                }
+                                scheduled
+                            }
+                            None => Instant::now(),
+                        };
                         let resp = if cfg.batch_size <= 1 {
                             client.predict(synthetic_vector(base))
                         } else {
@@ -286,7 +347,7 @@ impl LoadGen {
                                     .collect(),
                             )
                         };
-                        let ns = sent.elapsed().as_nanos() as u64;
+                        let ns = reference.elapsed().as_nanos() as u64;
                         match resp {
                             Ok(Response::Predict(_)) | Ok(Response::Batch(_)) => {
                                 hist.record(ns);
@@ -307,11 +368,14 @@ impl LoadGen {
             }
             Ok(())
         })?;
+        drop(idle);
         let wall_s = started.elapsed().as_secs_f64().max(1e-9);
         let ok = ok.into_inner();
         let items = ok * self.batch_size.max(1) as u64;
         Ok(LoadReport {
             connections: self.connections,
+            idle_conns: self.idle_conns,
+            target_rps: self.open_loop_rps,
             ok,
             shed: shed.into_inner(),
             errors: errors.into_inner(),

@@ -13,11 +13,16 @@
 //!   swap on reload) and per-connection sessions that carry bitstream
 //!   state;
 //! - [`metrics`]: lock-free counters and log-bucketed latency
-//!   histograms behind the `Stats` endpoint, dumped on shutdown;
-//! - [`server`]: the accept loop, dispatch, and SIGINT-safe graceful
-//!   drain;
-//! - [`client`]: a blocking client plus a multi-connection load
-//!   generator.
+//!   histograms (sharded per reactor, folded at snapshot) behind the
+//!   `Stats` endpoint, dumped on shutdown;
+//! - [`poll`]: a zero-dependency epoll/eventfd/`SO_REUSEPORT` wrapper
+//!   over raw syscalls (Linux; other platforms compile it out);
+//! - [`server`]: engine selection ([`server::ServeMode`]), dispatch,
+//!   and SIGINT-safe graceful drain — event-driven reactor shards on
+//!   Linux, a portable blocking thread-per-connection fallback
+//!   everywhere;
+//! - [`client`]: a blocking client plus a closed- or open-loop
+//!   multi-connection load generator with idle-connection floods.
 //!
 //! Heavy jobs (workload synthesis, simulation) run on a shared
 //! [`misam_oracle::pool::WorkerPool`] and hit the process-global
@@ -29,11 +34,14 @@
 pub mod batch;
 pub mod client;
 pub mod metrics;
+pub mod poll;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub(crate) mod reactor;
 pub mod server;
 pub mod state;
 
 pub use client::{Client, LoadGen, LoadReport};
 pub use protocol::{GenSpec, Request, Response, PROTOCOL_VERSION};
-pub use server::{sigint_flag, ServeConfig, Server};
+pub use server::{sigint_flag, ServeConfig, ServeMode, Server};
 pub use state::SharedModel;

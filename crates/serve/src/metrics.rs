@@ -10,6 +10,7 @@
 
 use crate::protocol::{EndpointStats, StatsReply};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The endpoints tracked individually.
@@ -236,6 +237,121 @@ impl MetricsRegistry {
     }
 }
 
+/// Per-shard metrics for the event-driven server: each reactor thread
+/// records into its own [`MetricsRegistry`] (no cross-core cacheline
+/// traffic on the hot path) and the `Stats` endpoint folds every shard
+/// into one [`StatsReply`] at snapshot time — counters are summed and
+/// latency histograms merged bucket-by-bucket, which log-bucketed
+/// histograms support exactly.
+///
+/// The blocking server is the one-shard special case, so both serving
+/// modes share this type and the snapshot path.
+#[derive(Debug, Clone)]
+pub struct MetricsShards {
+    shards: Vec<Arc<MetricsRegistry>>,
+}
+
+impl MetricsShards {
+    /// Creates `n` independent shards (at least one).
+    pub fn new(n: usize) -> Self {
+        MetricsShards { shards: (0..n.max(1)).map(|_| Arc::new(MetricsRegistry::new())).collect() }
+    }
+
+    /// The shard for reactor/worker `i` (wraps around, so any index is
+    /// safe).
+    pub fn shard(&self, i: usize) -> &Arc<MetricsRegistry> {
+        &self.shards[i % self.shards.len()]
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Always false — there is at least one shard.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total sheds across all shards.
+    pub fn shed_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Folds every shard into one snapshot; queue depths and batch
+    /// counters are sampled by the caller (they live with the queues).
+    pub fn fold_snapshot(
+        &self,
+        batch_queue_depth: u64,
+        pool_queue_depth: u64,
+        batches_flushed: u64,
+        batched_items: u64,
+        max_batch: u64,
+    ) -> StatsReply {
+        let sum = |f: &dyn Fn(&MetricsRegistry) -> &AtomicU64| -> u64 {
+            self.shards.iter().map(|s| f(s).load(Ordering::Relaxed)).sum()
+        };
+        let endpoints = ENDPOINT_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let mut buckets = [0u64; BUCKETS];
+                let mut count = 0u64;
+                let mut sum_ns = 0u64;
+                for s in &self.shards {
+                    let h = &s.latency[i];
+                    for (acc, b) in buckets.iter_mut().zip(&h.buckets) {
+                        *acc += b.load(Ordering::Relaxed);
+                    }
+                    count += h.count.load(Ordering::Relaxed);
+                    sum_ns += h.sum_ns.load(Ordering::Relaxed);
+                }
+                EndpointStats {
+                    endpoint: (*name).to_string(),
+                    requests: sum(&|s| &s.requests[i]),
+                    mean_us: if count == 0 { 0.0 } else { sum_ns as f64 / count as f64 / 1e3 },
+                    p50_us: quantile_from_buckets(&buckets, count, 0.50),
+                    p95_us: quantile_from_buckets(&buckets, count, 0.95),
+                    p99_us: quantile_from_buckets(&buckets, count, 0.99),
+                }
+            })
+            .collect();
+        StatsReply {
+            // Shards are created together at server start; the first
+            // one's clock is the server's uptime.
+            uptime_s: self.shards[0].started.elapsed().as_secs_f64(),
+            connections_total: sum(&|s| &s.connections_total),
+            connections_open: sum(&|s| &s.connections_open),
+            shed: sum(&|s| &s.shed),
+            errors: sum(&|s| &s.errors),
+            reloads: sum(&|s| &s.reloads),
+            batch_queue_depth,
+            pool_queue_depth,
+            batches_flushed,
+            batched_items,
+            max_batch,
+            endpoints,
+        }
+    }
+}
+
+/// Quantile over a merged bucket array, same convention as
+/// [`Histogram::quantile_us`].
+fn quantile_from_buckets(buckets: &[u64; BUCKETS], total: u64, q: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (idx, &b) in buckets.iter().enumerate() {
+        seen += b;
+        if seen >= rank {
+            return bucket_upper_ns(idx) as f64 / 1e3;
+        }
+    }
+    bucket_upper_ns(BUCKETS - 1) as f64 / 1e3
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +383,40 @@ mod tests {
         let p99 = h.quantile_us(0.99);
         assert!(p99 >= 100.0, "p99 {p99} must reach the outlier bucket");
         assert!(h.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn sharded_fold_matches_a_single_registry() {
+        // The same samples split across 3 shards vs recorded into one
+        // registry: identical counters and quantiles after the fold.
+        let shards = MetricsShards::new(3);
+        let single = MetricsRegistry::new();
+        let samples = [900u64, 1_800, 3_500, 7_000, 14_000, 28_000, 56_000, 112_000, 224_000];
+        for (i, &ns) in samples.iter().enumerate() {
+            shards.shard(i).record(Endpoint::Predict, ns);
+            single.record(Endpoint::Predict, ns);
+        }
+        shards.shard(0).connection_opened();
+        shards.shard(1).connection_opened();
+        shards.shard(2).shed();
+        shards.shard(1).error();
+
+        let folded = shards.fold_snapshot(0, 0, 0, 0, 0);
+        let one = single.snapshot(0, 0, 0, 0, 0);
+        let (f, s) = (
+            &folded.endpoints[Endpoint::Predict as usize],
+            &one.endpoints[Endpoint::Predict as usize],
+        );
+        assert_eq!(f.requests, s.requests);
+        assert_eq!(f.p50_us, s.p50_us);
+        assert_eq!(f.p95_us, s.p95_us);
+        assert_eq!(f.p99_us, s.p99_us);
+        assert!((f.mean_us - s.mean_us).abs() < 1e-9);
+        assert_eq!(folded.connections_total, 2);
+        assert_eq!(folded.connections_open, 2);
+        assert_eq!(folded.shed, 1);
+        assert_eq!(folded.errors, 1);
+        assert_eq!(shards.shed_total(), 1);
     }
 
     #[test]

@@ -471,6 +471,124 @@ pub fn read_line(r: &mut impl BufRead, acc: &mut Vec<u8>, max: usize) -> std::io
     }
 }
 
+/// Non-blocking framing: the push-parser twin of [`read_line`] for the
+/// event-driven server, where bytes arrive whenever the socket is
+/// readable rather than on demand.
+///
+/// Bytes go in with [`FrameBuf::push`]; complete lines (and in-order
+/// [`Line::Oversized`] markers) come out of [`FrameBuf::next_line`].
+/// The oversize policy matches `read_line` exactly: once the open line
+/// exceeds `max` bytes its overflow is dropped instead of buffered, the
+/// stream resynchronizes at the next newline, and the marker is
+/// reported in stream position — so a hostile client costs at most
+/// `max` + one read chunk of memory, never an unbounded buffer.
+#[derive(Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    pos: usize,
+    /// The open line already blew the cap; bytes are dropped until the
+    /// next newline.
+    discarding: bool,
+    /// Oversized markers owed to the consumer. Markers always precede
+    /// everything currently in `buf` (the buffer is empty when discard
+    /// mode ends), so emitting them first preserves stream order.
+    oversized: u32,
+    max: usize,
+}
+
+impl FrameBuf {
+    /// An empty accumulator with the given per-line byte cap.
+    pub fn new(max: usize) -> Self {
+        FrameBuf { buf: Vec::new(), pos: 0, discarding: false, oversized: 0, max }
+    }
+
+    /// Appends received bytes. In discard mode the overflow is scanned
+    /// for the terminator and dropped, never stored.
+    pub fn push(&mut self, mut bytes: &[u8]) {
+        while self.discarding {
+            match bytes.iter().position(|&b| b == b'\n') {
+                Some(p) => {
+                    bytes = &bytes[p + 1..];
+                    self.discarding = false;
+                    self.oversized += 1;
+                }
+                None => return,
+            }
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete line (or an in-order oversize
+    /// marker); `None` means more bytes are needed.
+    pub fn next_line(&mut self) -> Option<Line> {
+        if self.oversized > 0 {
+            self.oversized -= 1;
+            return Some(Line::Oversized);
+        }
+        if let Some(p) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
+            let line = if p > self.max {
+                Line::Oversized
+            } else {
+                Line::Complete(
+                    String::from_utf8_lossy(&self.buf[self.pos..self.pos + p]).into_owned(),
+                )
+            };
+            self.pos += p + 1;
+            if self.pos == self.buf.len() {
+                self.buf.clear();
+                self.pos = 0;
+            }
+            return Some(line);
+        }
+        // No terminator: everything left is one partial line. Compact
+        // consumed bytes away, and if the partial already exceeds the
+        // cap, switch to discard mode so it stops accumulating.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        if self.buf.len() > self.max {
+            self.buf.clear();
+            self.discarding = true;
+        }
+        None
+    }
+
+    /// Flushes a final unterminated line at EOF, mirroring
+    /// [`read_line`]'s end-of-stream behaviour.
+    pub fn finish(&mut self) -> Option<Line> {
+        if let Some(line) = self.next_line() {
+            return Some(line);
+        }
+        if self.discarding {
+            self.discarding = false;
+            return Some(Line::Oversized);
+        }
+        if self.buf.is_empty() {
+            return None;
+        }
+        let line = String::from_utf8_lossy(&self.buf[self.pos..]).into_owned();
+        self.buf.clear();
+        self.pos = 0;
+        Some(Line::Complete(line))
+    }
+
+    /// Bytes currently buffered (partial line + not-yet-extracted
+    /// lines).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Releases oversized spare capacity once a burst has drained, so
+    /// tens of thousands of idle connections keep only a few bytes
+    /// each.
+    pub fn shrink(&mut self) {
+        if self.buf.is_empty() && self.buf.capacity() > 16 * 1024 {
+            self.buf.shrink_to(4 * 1024);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -617,6 +735,68 @@ mod tests {
             Line::Complete(s) => assert_eq!(s, "hello"),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn framebuf_matches_read_line_framing() {
+        // Same stream as read_line_frames_and_resynchronizes, pushed in
+        // awkward chunks: identical line sequence.
+        let mut fb = FrameBuf::new(10);
+        fb.push(b"sho");
+        assert!(fb.next_line().is_none());
+        fb.push(b"rt\nxxxxxxx");
+        match fb.next_line().unwrap() {
+            Line::Complete(s) => assert_eq!(s, "short"),
+            other => panic!("{other:?}"),
+        }
+        fb.push(b"xxxxxxxxxxxxx");
+        assert!(fb.next_line().is_none(), "oversized line reported only at its terminator");
+        assert!(fb.buffered() == 0, "overflow is dropped, not buffered");
+        fb.push(b"\nnext\n");
+        assert!(matches!(fb.next_line().unwrap(), Line::Oversized));
+        match fb.next_line().unwrap() {
+            Line::Complete(s) => assert_eq!(s, "next", "stream resynchronized after overflow"),
+            other => panic!("{other:?}"),
+        }
+        assert!(fb.next_line().is_none());
+        assert!(fb.finish().is_none());
+    }
+
+    #[test]
+    fn framebuf_many_lines_in_one_push_and_eof_flush() {
+        let mut fb = FrameBuf::new(64);
+        fb.push(b"a\nb\nc");
+        match (fb.next_line().unwrap(), fb.next_line().unwrap()) {
+            (Line::Complete(a), Line::Complete(b)) => {
+                assert_eq!(a, "a");
+                assert_eq!(b, "b");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(fb.next_line().is_none());
+        // EOF flushes the final unterminated line, like read_line.
+        match fb.finish().unwrap() {
+            Line::Complete(c) => assert_eq!(c, "c"),
+            other => panic!("{other:?}"),
+        }
+        // EOF mid-discard surfaces the marker.
+        let mut fb = FrameBuf::new(4);
+        fb.push(b"yyyyyyyyyy");
+        assert!(fb.next_line().is_none());
+        assert!(matches!(fb.finish().unwrap(), Line::Oversized));
+        assert!(fb.finish().is_none());
+    }
+
+    #[test]
+    fn framebuf_bounds_memory_under_oversize_flood() {
+        let mut fb = FrameBuf::new(100);
+        for _ in 0..1000 {
+            fb.push(&[b'z'; 512]);
+            let _ = fb.next_line();
+        }
+        assert!(fb.buffered() <= 612, "discard mode must cap the buffer");
+        fb.push(b"\n");
+        assert!(matches!(fb.next_line().unwrap(), Line::Oversized));
     }
 
     #[test]

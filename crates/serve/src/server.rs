@@ -1,30 +1,40 @@
-//! The TCP server: accept loop, per-connection handlers, dispatch, and
-//! graceful shutdown.
+//! The TCP server: serving modes, dispatch, and graceful shutdown.
 //!
-//! Threading model: one acceptor thread, one handler thread per
-//! connection, one micro-batcher thread, and a fixed
-//! [`misam_oracle::pool::WorkerPool`] for simulation/generation jobs.
-//! Handler threads never compute — predictions go through the batcher,
-//! heavy jobs through the pool — so a slow simulation on one connection
-//! cannot starve another connection's predict traffic, and both queues
-//! are bounded, so overload produces `Overloaded` replies instead of
-//! memory growth.
+//! Two serving engines share one dispatch contract:
 //!
-//! Shutdown (a `Shutdown` request, [`ServerHandle::shutdown`], or a
-//! SIGINT flag wired by the CLI) is a drain, not an abort: the acceptor
-//! stops, handler threads finish the request they are on (including
-//! waiting for its batched/pooled answer), the batcher and pool then
-//! drain everything already admitted, and the final metrics snapshot is
-//! returned to the caller.
+//! - **Event mode** (Linux, the default via [`ServeMode::Auto`]): N
+//!   reactor threads, each with its own `SO_REUSEPORT` listener, epoll
+//!   instance, micro-batcher shard, and metrics shard
+//!   ([`crate::reactor`]). Connections are non-blocking state machines;
+//!   an idle connection costs kilobytes, not a thread, so tens of
+//!   thousands of mostly-idle clients are cheap.
+//! - **Blocking mode** (every platform, and `--mode blocking`): one
+//!   acceptor thread plus a handler thread per connection — the
+//!   portable fallback, kept bit-for-bit protocol-compatible with the
+//!   reactor so the same integration tests drive both.
+//!
+//! In both modes handler code never computes: predictions go through
+//! the sharded micro-batcher, heavy jobs through a fixed
+//! [`misam_oracle::pool::WorkerPool`], and both queues sit behind one
+//! admission bound, so overload produces `Overloaded` replies instead
+//! of memory growth.
+//!
+//! Shutdown (a `Shutdown` request, [`Server::shutdown`], or a SIGINT
+//! flag wired by the CLI) is a drain, not an abort: listeners close,
+//! every admitted request is answered and flushed, the batcher shards
+//! and pool then drain, and the final folded metrics snapshot is
+//! returned to the caller. [`Server::join`] parks on a condvar until
+//! that drain is triggered — no polling.
 
-use crate::batch::{BatchConfig, MicroBatcher};
-use crate::metrics::{Endpoint, MetricsRegistry};
+use crate::batch::{BatchConfig, ShardedBatcher};
+use crate::metrics::{Endpoint, MetricsRegistry, MetricsShards};
+use crate::poll;
 use crate::protocol::{
     self, BatchReply, ErrorCode, ErrorReply, Line, OverloadedReply, PredictReply, ReloadedReply,
     Request, RequestEnvelope, Response, ResponseEnvelope, SimulateReply, StatsReply,
     MAX_LINE_BYTES, PROTOCOL_VERSION,
 };
-use crate::state::{predict_vector, PredictOutcome, Session, SharedModel};
+use crate::state::{predict_vector, PredictOutcome, PreparedBundle, Session, SharedModel};
 use misam::persist::ModelBundle;
 use misam_features::FEATURE_NAMES;
 use misam_oracle::pool::WorkerPool;
@@ -33,8 +43,22 @@ use misam_sim::Operand;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Which serving engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// Event-driven where the platform supports it (Linux epoll),
+    /// blocking threads elsewhere.
+    #[default]
+    Auto,
+    /// Force the epoll reactor engine; [`Server::start`] fails on
+    /// platforms without it.
+    Event,
+    /// Force the portable blocking thread-per-connection engine.
+    Blocking,
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -46,14 +70,21 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Micro-batch flush size.
     pub batch_max: usize,
-    /// Micro-batch flush deadline, microseconds.
+    /// Micro-batch flush deadline, microseconds (the event engine
+    /// flushes eagerly and rarely waits this long).
     pub batch_wait_us: u64,
     /// Admission bound for both the batch queue (feature vectors) and
-    /// the worker-pool queue (jobs).
+    /// the worker-pool queue (jobs), shared across all shards.
     pub queue_cap: usize,
-    /// Socket read timeout used to poll the shutdown flag on idle
-    /// connections, milliseconds.
+    /// Socket read timeout used by *blocking* handlers to poll the
+    /// shutdown flag on idle connections, milliseconds (the event
+    /// engine needs no timeouts).
     pub read_timeout_ms: u64,
+    /// Serving engine selection.
+    pub mode: ServeMode,
+    /// Reactor shards in event mode (0 = one per core); each shard is
+    /// an accept queue + epoll loop + batcher shard + metrics shard.
+    pub reactors: usize,
 }
 
 impl Default for ServeConfig {
@@ -65,23 +96,34 @@ impl Default for ServeConfig {
             batch_wait_us: 200,
             queue_cap: 4096,
             read_timeout_ms: 50,
+            mode: ServeMode::Auto,
+            reactors: 0,
         }
     }
 }
 
 /// Everything the dispatch path shares.
-struct ServerState {
-    model: Arc<SharedModel>,
-    metrics: MetricsRegistry,
-    batcher: MicroBatcher,
-    pool: WorkerPool,
-    stopping: AtomicBool,
-    addr: SocketAddr,
-    cfg: ServeConfig,
+pub(crate) struct ServerState {
+    pub(crate) model: Arc<SharedModel>,
+    pub(crate) metrics: MetricsShards,
+    pub(crate) batcher: ShardedBatcher,
+    pub(crate) pool: WorkerPool,
+    pub(crate) stopping: AtomicBool,
+    pub(crate) addr: SocketAddr,
+    pub(crate) cfg: ServeConfig,
+    /// Whether the event engine is running (shutdown wakes reactors
+    /// through their mailboxes instead of a dummy connection).
+    event: bool,
+    /// Condvar pair behind [`Server::join`] / [`Server::wait_stopping`]:
+    /// flipped exactly once, by the first shutdown trigger.
+    stop_lock: Mutex<bool>,
+    stop_cv: Condvar,
+    /// One wakeup closure per reactor mailbox, registered at start.
+    wakers: parking_lot::Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl ServerState {
-    fn retry_after_ms(&self) -> u64 {
+    pub(crate) fn retry_after_ms(&self) -> u64 {
         // Backoff hint scaled to how much queued work is ahead of the
         // client: at least one flush interval, more as the queue deepens.
         let depth = self.batcher.queue_depth() + self.pool.queue_depth();
@@ -89,69 +131,160 @@ impl ServerState {
         flush_ms + (depth as u64 / self.cfg.batch_max.max(1) as u64) * flush_ms
     }
 
-    fn stats(&self) -> StatsReply {
-        let c = self.batcher.counters();
-        self.metrics.snapshot(
+    pub(crate) fn stats(&self) -> StatsReply {
+        let (batches, items, max_batch) = self.batcher.folded_counters();
+        self.metrics.fold_snapshot(
             self.batcher.queue_depth() as u64,
             self.pool.queue_depth() as u64,
-            c.batches.load(Ordering::Relaxed),
-            c.items.load(Ordering::Relaxed),
-            c.max_batch.load(Ordering::Relaxed),
+            batches,
+            items,
+            max_batch,
         )
     }
 
-    /// Flips the stopping flag and wakes the acceptor with a dummy
-    /// connection so it notices without waiting for real traffic.
-    fn begin_shutdown(&self) {
-        if !self.stopping.swap(true, Ordering::SeqCst) {
+    /// The blocking engine's metrics shard (it runs single-sharded).
+    fn metrics0(&self) -> &MetricsRegistry {
+        self.metrics.shard(0)
+    }
+
+    /// Flips the stopping flag once, wakes [`Server::join`] waiters,
+    /// and nudges whichever engine is running: reactor mailboxes in
+    /// event mode, a dummy connection to unblock the acceptor in
+    /// blocking mode.
+    pub(crate) fn begin_shutdown(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        *self.stop_lock.lock().expect("stop lock poisoned") = true;
+        self.stop_cv.notify_all();
+        for wake in self.wakers.lock().iter() {
+            wake();
+        }
+        if !self.event {
             let _ = TcpStream::connect(self.addr);
         }
     }
 }
 
-/// A running server; dropping it without calling
-/// [`ServerHandle::shutdown`] aborts less gracefully (threads are
-/// detached), so prefer an explicit shutdown.
+/// A running server; dropping it without calling [`Server::shutdown`]
+/// aborts less gracefully (threads are detached), so prefer an explicit
+/// shutdown.
 pub struct Server {
     state: Arc<ServerState>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    /// Reactor threads (event mode) or the single acceptor (blocking).
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Server").field("addr", &self.state.addr).finish()
+        f.debug_struct("Server")
+            .field("addr", &self.state.addr)
+            .field("event", &self.state.event)
+            .field("shards", &self.workers.len())
+            .finish()
     }
 }
 
 impl Server {
-    /// Binds `cfg.addr` and starts serving `bundle`.
+    /// Binds `cfg.addr` and starts serving `bundle` on the engine
+    /// `cfg.mode` selects.
     ///
     /// # Errors
     ///
-    /// Returns the bind error.
+    /// Returns the bind error, or an unsupported-platform error when
+    /// [`ServeMode::Event`] is forced without an epoll backend.
     pub fn start(bundle: ModelBundle, cfg: ServeConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&cfg.addr)?;
-        let addr = listener.local_addr()?;
+        let event = match cfg.mode {
+            ServeMode::Blocking => false,
+            ServeMode::Event => {
+                if !poll::supported() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Unsupported,
+                        "event mode requires epoll (linux); use ServeMode::Blocking",
+                    ));
+                }
+                true
+            }
+            ServeMode::Auto => poll::supported(),
+        };
+        if event {
+            #[cfg(target_os = "linux")]
+            return Self::start_event(bundle, cfg);
+        }
+        Self::start_blocking(bundle, cfg)
+    }
+
+    fn build_state(
+        bundle: ModelBundle,
+        cfg: ServeConfig,
+        addr: SocketAddr,
+        shards: usize,
+        event: bool,
+    ) -> Arc<ServerState> {
         let threads =
             if cfg.threads == 0 { misam_oracle::pool::default_threads() } else { cfg.threads };
         let model = Arc::new(SharedModel::new(bundle));
-        let batcher = MicroBatcher::new(
-            Arc::clone(&model),
+        let batcher = ShardedBatcher::new(
+            &model,
             BatchConfig {
                 batch_max: cfg.batch_max,
                 batch_wait_us: cfg.batch_wait_us,
                 queue_cap: cfg.queue_cap,
             },
+            shards,
         );
-        let state = Arc::new(ServerState {
+        Arc::new(ServerState {
             model,
-            metrics: MetricsRegistry::new(),
+            metrics: MetricsShards::new(shards),
             batcher,
             pool: WorkerPool::new(threads, cfg.queue_cap),
             stopping: AtomicBool::new(false),
             addr,
             cfg,
-        });
+            event,
+            stop_lock: Mutex::new(false),
+            stop_cv: Condvar::new(),
+            wakers: parking_lot::Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Event engine: N reactor shards, each with a `SO_REUSEPORT`
+    /// listener so the kernel distributes accepts across them.
+    #[cfg(target_os = "linux")]
+    fn start_event(bundle: ModelBundle, cfg: ServeConfig) -> std::io::Result<Server> {
+        use std::net::ToSocketAddrs;
+        let shards = if cfg.reactors == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            cfg.reactors
+        };
+        let want = cfg.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "unresolvable listen address")
+        })?;
+        let first = poll::bind_reuseport(want)?;
+        let addr = first.local_addr()?;
+        let mut listeners = vec![first];
+        for _ in 1..shards {
+            listeners.push(poll::bind_reuseport(addr)?);
+        }
+        let state = Self::build_state(bundle, cfg, addr, shards, true);
+        let mut workers = Vec::with_capacity(shards);
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let mailbox = Arc::new(crate::reactor::Mailbox::new()?);
+            {
+                let mailbox = Arc::clone(&mailbox);
+                state.wakers.lock().push(Box::new(move || mailbox.wake()));
+            }
+            workers.push(crate::reactor::spawn(i, listener, Arc::clone(&state), mailbox)?);
+        }
+        Ok(Server { state, workers })
+    }
+
+    /// Blocking engine: portable acceptor + thread per connection.
+    fn start_blocking(bundle: ModelBundle, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Self::build_state(bundle, cfg, addr, 1, false);
         let acceptor = {
             let state = Arc::clone(&state);
             std::thread::Builder::new()
@@ -159,12 +292,24 @@ impl Server {
                 .spawn(move || accept_loop(listener, state))
                 .expect("spawn acceptor")
         };
-        Ok(Server { state, acceptor: Some(acceptor) })
+        Ok(Server { state, workers: vec![acceptor] })
     }
 
     /// The bound address (useful with an ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.state.addr
+    }
+
+    /// Whether the event-driven engine is serving (false = blocking
+    /// fallback).
+    pub fn event_driven(&self) -> bool {
+        self.state.event
+    }
+
+    /// Number of serving shards: reactor threads in event mode, 1 in
+    /// blocking mode.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
     }
 
     /// Whether shutdown has been initiated (locally or by a client's
@@ -173,15 +318,27 @@ impl Server {
         self.state.stopping.load(Ordering::SeqCst)
     }
 
-    /// A live metrics snapshot.
+    /// A live metrics snapshot, folded across shards.
     pub fn stats(&self) -> StatsReply {
         self.state.stats()
     }
 
-    /// Initiates shutdown without waiting; pair with
-    /// [`Server::join`].
+    /// Initiates shutdown without waiting; pair with [`Server::join`].
     pub fn begin_shutdown(&self) {
         self.state.begin_shutdown();
+    }
+
+    /// Parks until shutdown is triggered or `timeout` elapses; returns
+    /// whether the server is stopping. Lets a supervisor (the CLI's
+    /// SIGINT loop) wait efficiently while still polling its own flag.
+    pub fn wait_stopping(&self, timeout: Duration) -> bool {
+        let guard = self.state.stop_lock.lock().expect("stop lock poisoned");
+        let (guard, _) = self
+            .state
+            .stop_cv
+            .wait_timeout_while(guard, timeout, |stopped| !*stopped)
+            .expect("stop lock poisoned");
+        *guard
     }
 
     /// Initiates (if needed) and completes a graceful shutdown: drains
@@ -189,23 +346,26 @@ impl Server {
     /// final metrics snapshot.
     pub fn shutdown(mut self) -> StatsReply {
         self.state.begin_shutdown();
-        if let Some(a) = self.acceptor.take() {
-            a.join().expect("acceptor panicked");
+        for h in self.workers.drain(..) {
+            let _ = h.join();
         }
-        // Acceptor joined its connection handlers; nobody can submit
-        // anymore. Drain the batcher (its queue empties before the
-        // thread exits), then the pool the same way.
+        // Every serving thread has exited; nobody can submit anymore.
+        // Drain the batcher shards (queues empty before their threads
+        // exit), then the pool drains the same way on drop.
         self.state.batcher.shutdown();
         self.state.stats()
     }
 
-    /// Blocks until a client's `Shutdown` request (or a prior
-    /// [`Server::begin_shutdown`]) stops the server, then completes the
-    /// drain and returns the final metrics snapshot.
+    /// Blocks on the shutdown condvar until a client's `Shutdown`
+    /// request (or a prior [`Server::begin_shutdown`]) stops the
+    /// server, then completes the drain and returns the final metrics
+    /// snapshot.
     pub fn join(self) -> StatsReply {
-        while !self.is_stopping() {
-            std::thread::sleep(Duration::from_millis(25));
+        let mut stopped = self.state.stop_lock.lock().expect("stop lock poisoned");
+        while !*stopped {
+            stopped = self.state.stop_cv.wait(stopped).expect("stop lock poisoned");
         }
+        drop(stopped);
         self.shutdown()
     }
 }
@@ -218,32 +378,44 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
             break; // the waking connection (or a raced client) is dropped
         }
         let Ok(stream) = stream else { continue };
-        let state = Arc::clone(&state);
+        let conn_state = Arc::clone(&state);
         let id = next_conn.fetch_add(1, Ordering::Relaxed);
-        let h = std::thread::Builder::new()
-            .name(format!("misam-conn-{id}"))
-            .spawn(move || handle_connection(stream, state))
-            .expect("spawn connection handler");
-        handlers.push(h);
+        let spawned =
+            std::thread::Builder::new().name(format!("misam-conn-{id}")).spawn(move || {
+                // A handler panic is that connection's problem, not the
+                // server's: count it, close the connection, keep serving.
+                conn_state.metrics0().connection_opened();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(stream, &conn_state)
+                }));
+                if result.is_err() {
+                    conn_state.metrics0().error();
+                }
+                conn_state.metrics0().connection_closed();
+            });
+        match spawned {
+            Ok(h) => handlers.push(h),
+            // Thread exhaustion sheds the connection instead of
+            // killing the acceptor.
+            Err(_) => state.metrics0().error(),
+        }
         // Opportunistically reap finished handlers so a long-lived
         // server does not accumulate join handles forever.
         handlers.retain(|h| !h.is_finished());
     }
     for h in handlers {
-        h.join().expect("connection handler panicked");
+        // A panicked handler already surfaced in the metrics; joining
+        // must not take the acceptor (and the server) down with it.
+        let _ = h.join();
     }
 }
 
-fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
-    state.metrics.connection_opened();
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(state.cfg.read_timeout_ms.max(1))));
     let writer = match stream.try_clone() {
         Ok(w) => w,
-        Err(_) => {
-            state.metrics.connection_closed();
-            return;
-        }
+        Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
     let mut writer = BufWriter::new(writer);
@@ -269,7 +441,7 @@ fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
         let text = match line {
             Line::Eof => break,
             Line::Oversized => {
-                state.metrics.error();
+                state.metrics0().error();
                 let resp = Response::Error(ErrorReply {
                     code: ErrorCode::Oversized,
                     message: format!("line exceeds {MAX_LINE_BYTES} bytes"),
@@ -288,7 +460,7 @@ fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
         let env: RequestEnvelope = match serde_json::from_str(&text) {
             Ok(env) => env,
             Err(e) => {
-                state.metrics.error();
+                state.metrics0().error();
                 let resp = Response::Error(ErrorReply {
                     code: ErrorCode::BadRequest,
                     message: format!("unparsable request: {e}"),
@@ -301,9 +473,9 @@ fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
             }
         };
         let id = env.id;
-        let (resp, shutdown) = dispatch(&state, &mut session, env);
+        let (resp, shutdown) = dispatch(state, &mut session, env);
         if matches!(resp, Response::Error(_)) {
-            state.metrics.error();
+            state.metrics0().error();
         }
         let write_ok = respond(&mut writer, id, resp).is_ok();
         if shutdown {
@@ -316,7 +488,6 @@ fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
             break;
         }
     }
-    state.metrics.connection_closed();
 }
 
 fn respond(w: &mut impl std::io::Write, id: u64, resp: Response) -> std::io::Result<()> {
@@ -366,7 +537,7 @@ fn dispatch(
         Request::Reload(r) => {
             let resp = match state.model.reload_from(&r.path) {
                 Ok(version) => {
-                    state.metrics.reloaded();
+                    state.metrics0().reloaded();
                     Response::Reloaded(ReloadedReply {
                         version,
                         reloads: state.model.reload_count(),
@@ -382,18 +553,13 @@ fn dispatch(
         }
         Request::Shutdown => (Endpoint::Shutdown, Response::Bye, true),
     };
-    state.metrics.record(endpoint, started.elapsed().as_nanos() as u64);
+    state.metrics0().record(endpoint, started.elapsed().as_nanos() as u64);
     (resp, shutdown)
 }
 
-/// Validates arity, runs a group of vectors through the micro-batcher,
-/// and applies the session's reconfiguration policy to each outcome in
-/// order. `Err` carries the ready-made failure response.
-fn predict_group(
-    state: &ServerState,
-    session: &mut Option<Session>,
-    vectors: Vec<Vec<f64>>,
-) -> Result<Vec<PredictReply>, Response> {
+/// Arity/finiteness validation shared by both engines; `Err` carries
+/// the ready-made failure response.
+pub(crate) fn validate_group(vectors: &[Vec<f64>]) -> Result<(), Response> {
     let arity = FEATURE_NAMES.len();
     for (i, v) in vectors.iter().enumerate() {
         if v.len() != arity {
@@ -411,13 +577,94 @@ fn predict_group(
             }));
         }
     }
+    Ok(())
+}
+
+/// Shape validation of a `Simulate` request, shared by both engines;
+/// `Some` carries the ready-made failure response.
+pub(crate) fn validate_simulate(req: &protocol::SimulateRequest) -> Option<Response> {
+    if !(1..=4).contains(&req.design) {
+        return Some(Response::Error(ErrorReply {
+            code: ErrorCode::BadGenSpec,
+            message: format!("design {} outside 1..=4", req.design),
+            retryable: false,
+        }));
+    }
+    if req.spec.is_some() == req.matrix.is_some() {
+        return Some(Response::Error(ErrorReply {
+            code: ErrorCode::BadGenSpec,
+            message: "exactly one of spec and matrix must be given".into(),
+            retryable: false,
+        }));
+    }
+    None
+}
+
+/// The `PredictGen` job body, shared by both engines: synthesize the
+/// workload, extract features, predict against `prepared`.
+pub(crate) fn run_predict_gen(
+    prepared: &PreparedBundle,
+    spec: &protocol::GenSpec,
+) -> Result<PredictOutcome, String> {
+    let a = spec.build()?;
+    let features = misam_features::PairFeatures::extract_dense_b(
+        &a,
+        a.cols(),
+        spec.dense_cols,
+        &prepared.bundle.tile_config(),
+    );
+    Ok(predict_vector(prepared, &features.to_vector()))
+}
+
+/// The `Simulate` job body, shared by both engines: run the cycle
+/// simulator through the process-global memoizing oracle, so repeated
+/// (workload, design) queries across connections are simulated once. A
+/// request naming an on-disk `.msab` matrix is simulated through the
+/// mmapped view — the operand is never loaded into an owned matrix, and
+/// its O(1) header digest keys the same oracle entries the owned twin
+/// would. Assumes [`validate_simulate`] passed.
+pub(crate) fn run_simulate(req: &protocol::SimulateRequest) -> Result<SimulateReply, String> {
+    let design = req.design - 1;
+    let to_reply = |r: misam_sim::SimReport| SimulateReply {
+        design: r.design,
+        cycles: r.cycles,
+        time_s: r.time_s,
+        energy_j: r.energy_j,
+        pe_utilization: r.pe_utilization,
+        tiles: r.tiles,
+    };
+    match (&req.spec, &req.matrix) {
+        (Some(spec), None) => spec.build().map(|a| {
+            let b = Operand::Dense { rows: a.cols(), cols: spec.dense_cols };
+            to_reply(misam_oracle::global().execute(&a, b, design))
+        }),
+        (None, Some(path)) => misam_sparse::slab::SlabMatrix::open(path)
+            .map_err(|e| format!("cannot open slab '{path}': {e}"))
+            .map(|slab| {
+                let cols = req.dense_cols.unwrap_or(protocol::DEFAULT_DENSE_COLS);
+                let b = Operand::Dense { rows: slab.cols(), cols };
+                to_reply(misam_oracle::global().execute_slab(&slab, b, design))
+            }),
+        _ => unreachable!("validated by validate_simulate"),
+    }
+}
+
+/// Validates arity, runs a group of vectors through the micro-batcher,
+/// and applies the session's reconfiguration policy to each outcome in
+/// order. `Err` carries the ready-made failure response.
+fn predict_group(
+    state: &ServerState,
+    session: &mut Option<Session>,
+    vectors: Vec<Vec<f64>>,
+) -> Result<Vec<PredictReply>, Response> {
+    validate_group(&vectors)?;
     if vectors.is_empty() {
         return Ok(Vec::new());
     }
     let rx = match state.batcher.try_submit(vectors) {
         Ok(rx) => rx,
         Err(_) => {
-            state.metrics.shed();
+            state.metrics0().shed();
             return Err(Response::Overloaded(OverloadedReply {
                 retry_after_ms: state.retry_after_ms(),
             }));
@@ -439,19 +686,10 @@ fn predict_gen(
     let (tx, rx) = crossbeam::channel::unbounded::<Result<PredictOutcome, String>>();
     let job_prepared = Arc::clone(&prepared);
     let submitted = state.pool.try_submit(move || {
-        let out = spec.build().map(|a| {
-            let features = misam_features::PairFeatures::extract_dense_b(
-                &a,
-                a.cols(),
-                spec.dense_cols,
-                &job_prepared.bundle.tile_config(),
-            );
-            predict_vector(&job_prepared, &features.to_vector())
-        });
-        let _ = tx.send(out);
+        let _ = tx.send(run_predict_gen(&job_prepared, &spec));
     });
     if submitted.is_err() {
-        state.metrics.shed();
+        state.metrics0().shed();
         return Response::Overloaded(OverloadedReply { retry_after_ms: state.retry_after_ms() });
     }
     match rx.recv().expect("pool drains accepted jobs") {
@@ -467,56 +705,17 @@ fn predict_gen(
     }
 }
 
-/// `Simulate`: run the cycle simulator on the worker pool through the
-/// process-global memoizing oracle, so repeated (workload, design)
-/// queries across connections are simulated once. A request naming an
-/// on-disk `.msab` matrix is simulated through the mmapped view — the
-/// operand is never loaded into an owned matrix, and its O(1) header
-/// digest keys the same oracle entries the owned twin would.
+/// `Simulate`: validate, then run [`run_simulate`] on the worker pool.
 fn simulate(state: &ServerState, req: protocol::SimulateRequest) -> Response {
-    if !(1..=4).contains(&req.design) {
-        return Response::Error(ErrorReply {
-            code: ErrorCode::BadGenSpec,
-            message: format!("design {} outside 1..=4", req.design),
-            retryable: false,
-        });
-    }
-    if req.spec.is_some() == req.matrix.is_some() {
-        return Response::Error(ErrorReply {
-            code: ErrorCode::BadGenSpec,
-            message: "exactly one of spec and matrix must be given".into(),
-            retryable: false,
-        });
+    if let Some(resp) = validate_simulate(&req) {
+        return resp;
     }
     let (tx, rx) = crossbeam::channel::unbounded::<Result<SimulateReply, String>>();
-    let design = req.design - 1;
     let submitted = state.pool.try_submit(move || {
-        let to_reply = |r: misam_sim::SimReport| SimulateReply {
-            design: r.design,
-            cycles: r.cycles,
-            time_s: r.time_s,
-            energy_j: r.energy_j,
-            pe_utilization: r.pe_utilization,
-            tiles: r.tiles,
-        };
-        let out = match (&req.spec, &req.matrix) {
-            (Some(spec), None) => spec.build().map(|a| {
-                let b = Operand::Dense { rows: a.cols(), cols: spec.dense_cols };
-                to_reply(misam_oracle::global().execute(&a, b, design))
-            }),
-            (None, Some(path)) => misam_sparse::slab::SlabMatrix::open(path)
-                .map_err(|e| format!("cannot open slab '{path}': {e}"))
-                .map(|slab| {
-                    let cols = req.dense_cols.unwrap_or(protocol::DEFAULT_DENSE_COLS);
-                    let b = Operand::Dense { rows: slab.cols(), cols };
-                    to_reply(misam_oracle::global().execute_slab(&slab, b, design))
-                }),
-            _ => unreachable!("validated above"),
-        };
-        let _ = tx.send(out);
+        let _ = tx.send(run_simulate(&req));
     });
     if submitted.is_err() {
-        state.metrics.shed();
+        state.metrics0().shed();
         return Response::Overloaded(OverloadedReply { retry_after_ms: state.retry_after_ms() });
     }
     match rx.recv().expect("pool drains accepted jobs") {

@@ -470,9 +470,15 @@ fn shutdown_request_drains_and_reports_final_stats() {
 #[test]
 fn load_generator_round_trip() {
     let server = default_server();
-    let report = LoadGen { connections: 4, requests_per_conn: 50, batch_size: 8, seed: 3 }
-        .run(server.addr())
-        .unwrap();
+    let report = LoadGen {
+        connections: 4,
+        requests_per_conn: 50,
+        batch_size: 8,
+        seed: 3,
+        ..Default::default()
+    }
+    .run(server.addr())
+    .unwrap();
     assert_eq!(report.ok, 4 * 50);
     assert_eq!(report.errors, 0);
     assert_eq!(report.items, 4 * 50 * 8);
