@@ -4,7 +4,7 @@
 # experiment sweeps); default is all cores and output is byte-identical
 # at any value, e.g. `MISAM_THREADS=4 make reproduce`.
 
-.PHONY: test bench bench-sim bench-gen bench-serve bench-train bench-ingest serve-smoke reproduce reproduce-paper examples doc clean
+.PHONY: test bench bench-sim bench-gen bench-serve bench-train bench-ingest bench-kernels serve-smoke reproduce reproduce-paper examples doc clean
 
 test:
 	cargo test --workspace
@@ -27,6 +27,14 @@ bench-gen:
 # parallel forest fit; writes BENCH_train.json.
 bench-train:
 	cargo run --release -p misam-bench --bin bench_train
+
+# Lane-kernel microbenchmark: scalar reference vs vectorized form for
+# the profile fragment fold, frontier-walk partition, bootstrap gather,
+# SpGEMM/SpMM, and uniform schedule fold — bit-identity checked before
+# every timing, with >= 2x gates on the fold and the walk. Writes
+# BENCH_kernels.json.
+bench-kernels:
+	cargo run --release -p misam-bench --bin bench_kernels
 
 # Out-of-core storage benchmark: streams a .mtx bigger than the
 # resident-entry budget into an MSAB slab, profiles it with the chunked

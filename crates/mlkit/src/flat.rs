@@ -21,6 +21,7 @@ use crate::error::ModelDecodeError;
 use crate::forest::RandomForest;
 use crate::matrix::FeatureMatrix;
 use crate::regression::RegressionTree;
+use crate::simd;
 use crate::tree::{decode_nodes, encode_nodes, DecisionTree, Node};
 use serde::{Deserialize, Serialize};
 
@@ -61,14 +62,41 @@ pub const TRANSPOSE_MIN_ROWS: usize = 16_384;
 /// `m` (the forest's per-tree feature projection, applied on the fly).
 ///
 /// The comparison is `!(x <= t)` — not `x > t` — so NaN descends right
-/// exactly like the per-row walks.
-#[allow(clippy::neg_cmp_op_on_partial_ord)]
+/// exactly like the per-row walks. The per-segment partition itself is
+/// [`simd::partition_segment`]: branchless/AVX2 by default, or the
+/// original branchy loop under `force-scalar` — bit-identical either
+/// way.
 fn walk_batch(
     feature: &[u16],
     threshold: &[f64],
     children: &[u32],
     m: &FeatureMatrix,
     map: Option<&[u32]>,
+    emit: impl FnMut(usize, &[u32]),
+) {
+    walk_batch_with(feature, threshold, children, m, map, simd::partition_segment, emit);
+}
+
+/// [`walk_batch`] pinned to the scalar partition — the kernel bench's
+/// frontier-walk baseline.
+fn walk_batch_scalar(
+    feature: &[u16],
+    threshold: &[f64],
+    children: &[u32],
+    m: &FeatureMatrix,
+    map: Option<&[u32]>,
+    emit: impl FnMut(usize, &[u32]),
+) {
+    walk_batch_with(feature, threshold, children, m, map, simd::partition_segment_scalar, emit);
+}
+
+fn walk_batch_with(
+    feature: &[u16],
+    threshold: &[f64],
+    children: &[u32],
+    m: &FeatureMatrix,
+    map: Option<&[u32]>,
+    partition: impl Fn(&[f64], f64, &mut [u32], &mut [u32], usize, usize) -> usize,
     mut emit: impl FnMut(usize, &[u32]),
 ) {
     let n = m.n_rows();
@@ -85,22 +113,9 @@ fn walk_batch(
         let full = map.map_or(f as usize, |mp| mp[f as usize] as usize);
         let col = m.col(full);
         let t = threshold[i];
-        let mut nl = lo;
-        let mut nr = 0usize;
-        for k in lo..hi {
-            let r = idx[k];
-            if !(col[r as usize] <= t) {
-                scratch[nr] = r;
-                nr += 1;
-            } else {
-                // In-place compaction is safe: the write index never
-                // passes the read index (`nl <= k`).
-                idx[nl] = r;
-                nl += 1;
-            }
-        }
-        idx[nl..hi].copy_from_slice(&scratch[..nr]);
-        if nr > 0 {
+        let nl = partition(col, t, &mut idx, &mut scratch, lo, hi);
+        idx[nl..hi].copy_from_slice(&scratch[..hi - nl]);
+        if hi > nl {
             stack.push((children[2 * i + 1], nl as u32, hi as u32));
         }
         if nl > lo {
@@ -239,6 +254,21 @@ impl FlatTree {
         assert_eq!(m.n_features(), self.n_features, "feature matrix has wrong arity");
         let mut out = vec![0usize; m.n_rows()];
         walk_batch(&self.feature, &self.threshold, &self.children, m, None, |i, rows| {
+            let class = self.children[2 * i] as usize;
+            for &r in rows {
+                out[r as usize] = class;
+            }
+        });
+        out
+    }
+
+    /// [`FlatTree::predict_batch_matrix`] pinned to the scalar (branchy)
+    /// partition — the kernel bench baseline. Bit-identical output.
+    #[doc(hidden)]
+    pub fn predict_batch_matrix_scalar(&self, m: &FeatureMatrix) -> Vec<usize> {
+        assert_eq!(m.n_features(), self.n_features, "feature matrix has wrong arity");
+        let mut out = vec![0usize; m.n_rows()];
+        walk_batch_scalar(&self.feature, &self.threshold, &self.children, m, None, |i, rows| {
             let class = self.children[2 * i] as usize;
             for &r in rows {
                 out[r as usize] = class;
@@ -469,6 +499,35 @@ impl FlatForest {
         let mut votes = vec![0usize; n * self.n_classes];
         for (tree, map) in self.trees.iter().zip(&self.maps) {
             walk_batch(&tree.feature, &tree.threshold, &tree.children, m, Some(map), |i, rows| {
+                let class = tree.children[2 * i] as usize;
+                for &r in rows {
+                    votes[r as usize * self.n_classes + class] += 1;
+                }
+            });
+        }
+        (0..n)
+            .map(|r| {
+                votes[r * self.n_classes..(r + 1) * self.n_classes]
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(i, &v)| (v, self.n_classes - i))
+                    .map(|(i, _)| i)
+                    .expect("at least one class")
+            })
+            .collect()
+    }
+
+    /// [`FlatForest::predict_batch_matrix`] pinned to the scalar
+    /// (branchy) partition — the kernel bench baseline. Bit-identical
+    /// output.
+    #[doc(hidden)]
+    pub fn predict_batch_matrix_scalar(&self, m: &FeatureMatrix) -> Vec<usize> {
+        assert_eq!(m.n_features(), self.n_features, "feature matrix has wrong arity");
+        let n = m.n_rows();
+        let mut votes = vec![0usize; n * self.n_classes];
+        for (tree, map) in self.trees.iter().zip(&self.maps) {
+            let (f, t, c) = (&tree.feature, &tree.threshold, &tree.children);
+            walk_batch_scalar(f, t, c, m, Some(map), |i, rows| {
                 let class = tree.children[2 * i] as usize;
                 for &r in rows {
                     votes[r as usize * self.n_classes + class] += 1;

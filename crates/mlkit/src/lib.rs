@@ -57,4 +57,5 @@ pub mod matrix;
 pub mod metrics;
 pub mod reference;
 pub mod regression;
+pub mod simd;
 pub mod tree;

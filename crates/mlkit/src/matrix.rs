@@ -144,8 +144,7 @@ impl FeatureMatrix {
         let n_rows = idx.len();
         let mut data = Vec::with_capacity(n_rows * feats.len());
         for &f in &feats {
-            let col = self.col(f);
-            data.extend(idx.iter().map(|&r| col[r]));
+            crate::simd::gather_into(self.col(f), idx, &mut data);
         }
         FeatureMatrix { data, n_rows, n_features: feats.len() }
     }

@@ -1,0 +1,330 @@
+//! Lane-oriented kernels for flat-tree inference and columnar gathers.
+//!
+//! Every kernel exists in two always-compiled forms following the same
+//! convention as `misam_sparse::simd`:
+//!
+//! - `foo_scalar` — the portable reference, preserved exactly as the
+//!   pre-vectorization code wrote it. It is the proptest oracle and the
+//!   only form the `force-scalar` build dispatches to.
+//! - `foo_lanes` — a branchless fixed-width rewrite the autovectorizer
+//!   can lower, with an explicit AVX2 path (runtime-detected) where the
+//!   data movement cannot be expressed branchlessly in safe scalar code
+//!   (the packed partition compaction).
+//!
+//! All outputs are bit-identical between forms: the kernels here move
+//! and compare values — they never reassociate a floating-point
+//! accumulation. The partition keeps the exact `!(x <= t)` NaN-descends-
+//! right semantics of the per-row tree walks (`_CMP_LE_OQ` under AVX2).
+
+/// True when the lane kernels are dispatched; `false` under the
+/// `force-scalar` feature, which pins every entry point to the scalar
+/// reference forms.
+pub const VECTORIZED: bool = cfg!(not(feature = "force-scalar"));
+
+/// Stably partitions `idx[lo..hi]` by `col[r] <= t`: rows answering
+/// "left" are compacted in place to `idx[lo..nl]`, rows answering
+/// "right" (including NaN) are written in order to `scratch[..hi - nl]`.
+/// Returns `nl`. Relative order is preserved on both sides — the
+/// invariant the frontier walk's prefetch-friendly descent relies on.
+///
+/// # Panics
+///
+/// Panics if `hi > idx.len()`, `scratch.len() < hi - lo`, or any row in
+/// `idx[lo..hi]` is out of range for `col`.
+#[inline]
+pub fn partition_segment(
+    col: &[f64],
+    t: f64,
+    idx: &mut [u32],
+    scratch: &mut [u32],
+    lo: usize,
+    hi: usize,
+) -> usize {
+    if VECTORIZED {
+        partition_segment_lanes(col, t, idx, scratch, lo, hi)
+    } else {
+        partition_segment_scalar(col, t, idx, scratch, lo, hi)
+    }
+}
+
+/// Scalar reference for [`partition_segment`]: the original branchy
+/// stable partition. Always compiled; the kernel bench uses it as the
+/// frontier-walk baseline.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn partition_segment_scalar(
+    col: &[f64],
+    t: f64,
+    idx: &mut [u32],
+    scratch: &mut [u32],
+    lo: usize,
+    hi: usize,
+) -> usize {
+    let mut nl = lo;
+    let mut nr = 0usize;
+    for k in lo..hi {
+        let r = idx[k];
+        if !(col[r as usize] <= t) {
+            scratch[nr] = r;
+            nr += 1;
+        } else {
+            // In-place compaction is safe: the write index never
+            // passes the read index (`nl <= k`).
+            idx[nl] = r;
+            nl += 1;
+        }
+    }
+    nl
+}
+
+/// Lane form of [`partition_segment`]: an AVX2 gather/compare/compact
+/// body when the CPU has it, otherwise a branchless scalar loop whose
+/// unconditional stores with conditional cursor advances remove the
+/// split-direction branch the predictor cannot learn.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn partition_segment_lanes(
+    col: &[f64],
+    t: f64,
+    idx: &mut [u32],
+    scratch: &mut [u32],
+    lo: usize,
+    hi: usize,
+) -> usize {
+    assert!(hi <= idx.len() && scratch.len() >= hi - lo, "partition buffers too short");
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    {
+        if hi - lo >= 8 && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 is present; buffer bounds checked above.
+            return unsafe { x86::partition_avx2(col, t, idx, scratch, lo, hi) };
+        }
+    }
+    partition_branchless(col, t, idx, scratch, lo, hi, lo)
+}
+
+/// Branchless partition body shared by the portable lane path and the
+/// AVX2 tail: both sides store unconditionally and advance their cursor
+/// by the comparison bit. The in-place store is safe for the same
+/// reason as the branchy form — `nl <= k` always.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn partition_branchless(
+    col: &[f64],
+    t: f64,
+    idx: &mut [u32],
+    scratch: &mut [u32],
+    k0: usize,
+    hi: usize,
+    nl0: usize,
+) -> usize {
+    let mut nl = nl0;
+    let mut nr = k0 - nl0;
+    for k in k0..hi {
+        let r = idx[k];
+        let right = !(col[r as usize] <= t);
+        idx[nl] = r;
+        scratch[nr] = r;
+        nl += usize::from(!right);
+        nr += usize::from(right);
+    }
+    nl
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// Shuffle controls packing the set lanes of a 4-bit mask (as four
+    /// u32s) to the front, in ascending lane order; unused bytes zero
+    /// the slot (`0x80`), which the cursor advance masks out.
+    const PACK: [[u8; 16]; 16] = {
+        let mut t = [[0x80u8; 16]; 16];
+        let mut m = 0;
+        while m < 16 {
+            let mut dst = 0;
+            let mut lane = 0;
+            while lane < 4 {
+                if m & (1 << lane) != 0 {
+                    let mut b = 0;
+                    while b < 4 {
+                        t[m][dst * 4 + b] = (lane * 4 + b) as u8;
+                        b += 1;
+                    }
+                    dst += 1;
+                }
+                lane += 1;
+            }
+            m += 1;
+        }
+        t
+    };
+
+    /// Four rows per iteration: gather their column values, compare
+    /// against the broadcast threshold (`_CMP_LE_OQ` — NaN compares
+    /// false and goes right, matching `!(x <= t)`), then byte-shuffle
+    /// the row quads into packed left/right stores.
+    ///
+    /// The packed stores write a full 16 bytes while the cursors advance
+    /// only by the popcount. That never clobbers unread input: the left
+    /// store lands at `nl <= k` (over-written bytes sit below the next
+    /// read at `k + 4`), and both stores stay in bounds because
+    /// `nl + 4 <= k + 4 <= hi <= idx.len()` and
+    /// `nr + 4 <= (k - lo) + 4 <= hi - lo <= scratch.len()`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available, `hi <= idx.len()`,
+    /// `scratch.len() >= hi - lo`, and every row in `idx[lo..hi]`
+    /// indexes into `col`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn partition_avx2(
+        col: &[f64],
+        t: f64,
+        idx: &mut [u32],
+        scratch: &mut [u32],
+        lo: usize,
+        hi: usize,
+    ) -> usize {
+        let tv = _mm256_set1_pd(t);
+        let mut nl = lo;
+        let mut nr = 0usize;
+        let mut k = lo;
+        while k + 4 <= hi {
+            let rows = _mm_loadu_si128(idx.as_ptr().add(k) as *const __m128i);
+            let vals = _mm256_i32gather_pd::<8>(col.as_ptr(), rows);
+            let left = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(vals, tv)) as usize & 0xF;
+            let lpack = _mm_shuffle_epi8(rows, _mm_loadu_si128(PACK[left].as_ptr() as *const _));
+            let rpack =
+                _mm_shuffle_epi8(rows, _mm_loadu_si128(PACK[!left & 0xF].as_ptr() as *const _));
+            _mm_storeu_si128(idx.as_mut_ptr().add(nl) as *mut __m128i, lpack);
+            _mm_storeu_si128(scratch.as_mut_ptr().add(nr) as *mut __m128i, rpack);
+            let lefts = left.count_ones() as usize;
+            nl += lefts;
+            nr += 4 - lefts;
+            k += 4;
+        }
+        super::partition_branchless(col, t, idx, scratch, k, hi, nl)
+    }
+
+    /// Appends `col[idx[k]]` for every row via `vgatherqpd` quads. One
+    /// bounds check per quad: the unsigned max of the four indices must
+    /// land inside `col` (panics like the scalar form otherwise). The
+    /// destination is pre-reserved and written through a raw cursor —
+    /// exactly once per slot, no zero fill — with `set_len` after.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_avx2(col: &[f64], idx: &[usize], out: &mut Vec<f64>) {
+        let start = out.len();
+        out.reserve(idx.len());
+        let dst = out.as_mut_ptr().add(start);
+        let mut k = 0usize;
+        while k + 4 <= idx.len() {
+            let m = idx[k].max(idx[k + 1]).max(idx[k + 2]).max(idx[k + 3]);
+            assert!(m < col.len(), "gather index out of range");
+            let rows = _mm256_loadu_si256(idx.as_ptr().add(k) as *const __m256i);
+            let vals = _mm256_i64gather_pd::<8>(col.as_ptr(), rows);
+            _mm256_storeu_pd(dst.add(k), vals);
+            k += 4;
+        }
+        for &r in &idx[k..] {
+            *dst.add(k) = col[r];
+            k += 1;
+        }
+        out.set_len(start + idx.len());
+    }
+}
+
+/// Appends `col[idx[k]]` for each gathered row to `out` — the inner
+/// kernel of [`FeatureMatrix::gather_project`](crate::matrix::FeatureMatrix::gather_project),
+/// one call per output column.
+///
+/// # Panics
+///
+/// Panics if any index is out of range for `col`.
+/// Unlike the other dispatchers this one keeps the scalar form on every
+/// build: the random-index gather is bound by load latency, and the
+/// `TrustedLen`-specialized extend already compiles to the optimal
+/// reserve-once/write-once loop. Both explicit quad forms measured
+/// *slower* here (`bench_kernels`: stack-quad appends 0.72×, hardware
+/// `vgatherqpd` 0.89×), so [`gather_into_lanes`] stays compiled and
+/// benched as the record of that experiment, not as the hot path.
+#[inline]
+pub fn gather_into(col: &[f64], idx: &[usize], out: &mut Vec<f64>) {
+    gather_into_scalar(col, idx, out);
+}
+
+/// Scalar reference for [`gather_into`]. Always compiled.
+pub fn gather_into_scalar(col: &[f64], idx: &[usize], out: &mut Vec<f64>) {
+    out.extend(idx.iter().map(|&r| col[r]));
+}
+
+/// Lane form of [`gather_into`]: hardware `vgatherqpd` quads where
+/// AVX2 is available (one bounds check per quad via an unsigned max
+/// reduce), the serial extend otherwise.
+pub fn gather_into_lanes(col: &[f64], idx: &[usize], out: &mut Vec<f64>) {
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    if idx.len() >= 8 && std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence was just detected.
+        unsafe { x86::gather_avx2(col, idx, out) };
+        return;
+    }
+    gather_into_scalar(col, idx, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_partition(
+        vals: &[f64],
+        t: f64,
+        f: impl Fn(&[f64], f64, &mut [u32], &mut [u32], usize, usize) -> usize,
+    ) -> (Vec<u32>, usize) {
+        let mut idx: Vec<u32> = (0..vals.len() as u32).collect();
+        let mut scratch = vec![0u32; vals.len()];
+        let nl = f(vals, t, &mut idx, &mut scratch, 0, vals.len());
+        let nr = vals.len() - nl;
+        idx[nl..].copy_from_slice(&scratch[..nr]);
+        (idx, nl)
+    }
+
+    #[test]
+    fn partition_forms_agree_across_lengths() {
+        // Lengths straddling the 4-lane width and the AVX2 engage
+        // threshold, including 0 and 1.
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 31, 257] {
+            let vals: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+            let (a, nla) = run_partition(&vals, 0.5, partition_segment_scalar);
+            let (b, nlb) = run_partition(&vals, 0.5, partition_segment_lanes);
+            assert_eq!(nla, nlb, "n={n}");
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn partition_sends_nan_right_and_keeps_order() {
+        let vals = [1.0, f64::NAN, 2.0, -1.0, f64::NAN, 0.0, 3.0, 1.5, 0.25];
+        let (s, nls) = run_partition(&vals, 1.0, partition_segment_scalar);
+        let (l, nll) = run_partition(&vals, 1.0, partition_segment_lanes);
+        assert_eq!(s, l);
+        assert_eq!(nls, nll);
+        // NaN rows (1 and 4) must be on the right side.
+        assert!(s[nls..].contains(&1) && s[nls..].contains(&4));
+        // Both sides preserve relative input order.
+        assert!(s[..nls].windows(2).all(|w| w[0] < w[1]));
+        assert!(s[nls..].windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn gather_forms_agree() {
+        let col: Vec<f64> = (0..50).map(|i| i as f64 * 1.5).collect();
+        for n in [0usize, 1, 3, 4, 5, 13] {
+            let idx: Vec<usize> = (0..n).map(|i| (i * 17) % 50).collect();
+            let mut a = vec![99.0];
+            let mut b = vec![99.0];
+            gather_into_scalar(&col, &idx, &mut a);
+            gather_into_lanes(&col, &idx, &mut b);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+}

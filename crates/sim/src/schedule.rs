@@ -37,6 +37,7 @@
 //!   the fold O(PEs) with **zero** CSR traversal.
 
 use crate::design::{DesignConfig, Traversal};
+use misam_sparse::simd;
 use misam_sparse::{CsrMatrix, CsrRef, MatrixProfile, Structure};
 
 /// Per-PE accumulation state while building a schedule.
@@ -114,8 +115,109 @@ pub fn schedule_uniform(a: &CsrMatrix, cfg: &DesignConfig, w: u64) -> ScheduleRe
 ///
 /// Panics if the design has zero PEs or `w == 0`.
 pub fn schedule_uniform_ref(a: CsrRef<'_>, cfg: &DesignConfig, w: u64) -> ScheduleReport {
+    if simd::VECTORIZED {
+        schedule_uniform_lanes(a, cfg, w)
+    } else {
+        schedule_uniform_walk(a, cfg, w)
+    }
+}
+
+/// Scalar reference for [`schedule_uniform_ref`]: the full element walk
+/// through [`schedule_with_cost_ref`]. Always compiled; the `force-scalar`
+/// build and the kernel bench use it as the bit-identity oracle.
+#[doc(hidden)]
+pub fn schedule_uniform_walk(a: CsrRef<'_>, cfg: &DesignConfig, w: u64) -> ScheduleReport {
     assert!(w > 0, "element cost must be positive");
     schedule_with_cost_ref(a, cfg, |_k| w)
+}
+
+/// Uniform-cost fast path: under a single cost `w` every gap equals
+/// `g = max(0, d − w)`, so a chunk of `n` same-row elements on one PE
+/// spans exactly `n·w + (n−1)·g` — the per-element walk collapses to
+/// integer folds over row lengths (Col) or per-row residue histograms
+/// (Row). Integer sums and maxima are evaluation-order-free, so both
+/// folds are bit-identical to [`schedule_uniform_walk`].
+#[doc(hidden)]
+pub fn schedule_uniform_lanes(a: CsrRef<'_>, cfg: &DesignConfig, w: u64) -> ScheduleReport {
+    assert!(w > 0, "element cost must be positive");
+    let pes = cfg.total_pes();
+    assert!(pes > 0, "design has no PEs");
+    let g = cfg.dep_distance.saturating_sub(w);
+    let mut accs = vec![PeAcc::default(); pes];
+
+    match cfg.scheduler_a {
+        Traversal::Col => {
+            // Rows r..r+pes land on PEs 0..pes in order, so cutting the
+            // row-length vector into `pes`-wide chunks makes lane `j` of
+            // every chunk accumulate into PE `j`: an independent-output
+            // fold over `row_ptr` diffs, O(rows) with no CSR element
+            // traversal at all.
+            let row_ptr = a.row_ptr();
+            let rows = a.rows();
+            let mut r = 0usize;
+            while r + pes <= rows {
+                for (j, acc) in accs.iter_mut().enumerate() {
+                    let len = (row_ptr[r + j + 1] - row_ptr[r + j]) as u64;
+                    // Branchless: len = 0 contributes span 0 either way.
+                    let span = len * w + (len.max(1) - 1) * g;
+                    acc.work += len * w;
+                    acc.elements += len;
+                    if span > acc.max_span {
+                        acc.max_span = span;
+                    }
+                }
+                r += pes;
+            }
+            for j in 0..rows - r {
+                let len = (row_ptr[r + j + 1] - row_ptr[r + j]) as u64;
+                let span = len * w + (len.max(1) - 1) * g;
+                let acc = &mut accs[j];
+                acc.work += len * w;
+                acc.elements += len;
+                if span > acc.max_span {
+                    acc.max_span = span;
+                }
+            }
+        }
+        Traversal::Row => {
+            // Per-row residue histogram with a touched list, fed by the
+            // precomputed residue tile of [`misam_sparse::simd`]: the
+            // `col % pes` map runs over u32 lanes; only the histogram
+            // scatter stays scalar.
+            let row_ptr = a.row_ptr();
+            let col_idx = a.col_idx();
+            let mut count = vec![0u64; pes];
+            let mut touched: Vec<usize> = Vec::with_capacity(pes);
+            let mut tile = [0u32; simd::RESIDUE_TILE];
+            for r in 0..a.rows() {
+                let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+                for chunk in row.chunks(simd::RESIDUE_TILE) {
+                    simd::fill_residues(chunk, pes, &mut tile);
+                    for &p in &tile[..chunk.len()] {
+                        let p = p as usize;
+                        if count[p] == 0 {
+                            touched.push(p);
+                        }
+                        count[p] += 1;
+                    }
+                }
+                for &p in &touched {
+                    let c = count[p];
+                    let acc = &mut accs[p];
+                    acc.work += c * w;
+                    acc.elements += c;
+                    let span = c * w + (c - 1) * g;
+                    if span > acc.max_span {
+                        acc.max_span = span;
+                    }
+                    count[p] = 0;
+                }
+                touched.clear();
+            }
+        }
+    }
+
+    ScheduleReport::from_accs(&accs, cfg)
 }
 
 /// Schedules one pass of `a` where the cost of an element in column `k`
@@ -555,6 +657,32 @@ mod tests {
         let fold = schedule_with_cost_structural(mesh.structure(), &cfg(DesignId::D4), &mesh_table)
             .expect("mesh folds regardless of gaps");
         assert_eq!(walk, fold);
+    }
+
+    /// The uniform fast path (closed-form Col fold, residue-histogram
+    /// Row fold) must be bit-identical to the element walk on every
+    /// design, including empty matrices and row counts that are not a
+    /// multiple of the PE count.
+    #[test]
+    #[cfg(not(feature = "force-scalar"))]
+    fn uniform_lanes_match_element_walk() {
+        let mats = [
+            gen::uniform_random(513, 512, 0.03, 31),
+            gen::power_law(97, 300, 6.0, 1.4, 32),
+            gen::imbalanced_rows(255, 1024, 0.03, 500, 2, 33),
+            CsrMatrix::zeros(64, 64),
+            gen::uniform_random(63, 64, 0.2, 34),
+        ];
+        for a in &mats {
+            for id in DesignId::ALL {
+                let c = cfg(id);
+                for w in [1, 2, 7, 64] {
+                    let walk = schedule_uniform_walk(a.as_ref(), &c, w);
+                    let lanes = schedule_uniform_lanes(a.as_ref(), &c, w);
+                    assert_eq!(walk, lanes, "design {id}, w={w}");
+                }
+            }
+        }
     }
 
     #[test]

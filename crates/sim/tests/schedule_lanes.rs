@@ -1,0 +1,59 @@
+//! Bit-identity between the uniform-cost schedule fast path (closed-form
+//! Col fold, residue-histogram Row fold) and the O(nnz) element walk,
+//! over row counts that straddle every design's PE width (lane
+//! remainders) and the full design/cost grid.
+
+use misam_sim::schedule::{schedule_uniform_lanes, schedule_uniform_walk};
+use misam_sim::{DesignConfig, DesignId};
+use misam_sparse::{gen, CsrMatrix};
+use proptest::prelude::*;
+
+fn assert_all_designs_agree(a: &CsrMatrix, ctx: &str) {
+    for id in DesignId::ALL {
+        let cfg = DesignConfig::of(id);
+        for w in [1u64, 2, 7, 64] {
+            let walk = schedule_uniform_walk(a.as_ref(), &cfg, w);
+            let lanes = schedule_uniform_lanes(a.as_ref(), &cfg, w);
+            assert_eq!(walk, lanes, "{ctx}: design {id}, w={w}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn uniform_fast_path_matches_walk(
+        rows in 0usize..300,
+        cols in 1usize..300,
+        density in 0.0f64..0.4,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = gen::uniform_random(rows, cols, density, seed);
+        assert_all_designs_agree(&a, "uniform_random");
+    }
+
+    #[test]
+    fn uniform_fast_path_matches_walk_on_skew(
+        rows in 1usize..200,
+        heavy in 1usize..400,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = gen::imbalanced_rows(rows, 512, 0.05, heavy, 2, seed);
+        assert_all_designs_agree(&a, "imbalanced_rows");
+    }
+}
+
+/// Row counts exactly at PE-width boundaries: the Col fold's chunked
+/// sweep must handle rows = pes − 1, pes, pes + 1 (remainder of every
+/// size), plus the empty matrix.
+#[test]
+fn uniform_fast_path_boundary_row_counts() {
+    for id in DesignId::ALL {
+        let pes = DesignConfig::of(id).total_pes();
+        for rows in [0, 1, pes - 1, pes, pes + 1, 2 * pes + 3] {
+            let a = gen::uniform_random(rows, 128, 0.15, rows as u64 + 1);
+            assert_all_designs_agree(&a, "boundary");
+        }
+    }
+}

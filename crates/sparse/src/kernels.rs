@@ -42,6 +42,22 @@ pub fn spgemm_rowwise(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
 ///
 /// Returns [`SparseError::DimensionMismatch`] when `a.cols() != b.rows()`.
 pub fn try_spgemm_rowwise(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    if crate::simd::VECTORIZED {
+        try_spgemm_rowwise_with(a, b, &mut SpaWorkspace::new())
+    } else {
+        try_spgemm_rowwise_scalar(a, b)
+    }
+}
+
+/// Scalar reference for [`try_spgemm_rowwise`]: the original bool-array
+/// SPA, preserved verbatim. Always compiled; the `force-scalar` build
+/// and the kernel bench dispatch here. Bit-identical output.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] when `a.cols() != b.rows()`.
+#[doc(hidden)]
+pub fn try_spgemm_rowwise_scalar(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
     check_dims(a.cols(), b.rows())?;
     let n = b.cols();
     let mut acc = vec![0f32; n];
@@ -74,6 +90,99 @@ pub fn try_spgemm_rowwise(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
             occupied[j as usize] = false;
         }
         touched.clear();
+        row_ptr.push(values.len());
+    }
+    CsrMatrix::from_raw_parts(a.rows(), b.cols(), row_ptr, col_idx, values)
+}
+
+/// Reusable scratch for the row-wise SPA: the dense accumulator row, a
+/// u64-bitset occupancy map (`n/64` words instead of `n` bools, so the
+/// whole map stays cache-resident alongside the accumulator), and the
+/// touched-column list. Callers looping over many products allocate one
+/// workspace and pass it to [`try_spgemm_rowwise_with`]; the one-shot
+/// entry points build a fresh one per call.
+#[derive(Debug, Default)]
+pub struct SpaWorkspace {
+    acc: Vec<f32>,
+    occupied: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl SpaWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets every buffer to the cleared state for `n` output columns.
+    fn reset(&mut self, n: usize) {
+        self.acc.clear();
+        self.acc.resize(n, 0.0);
+        self.occupied.clear();
+        self.occupied.resize(n.div_ceil(64), 0);
+        // One slot of slack: the branchless append stores before the
+        // cursor advance, so a revisit with all `n` columns already
+        // touched still writes (and discards) at index `n`.
+        self.touched.clear();
+        self.touched.resize(n + 1, 0);
+    }
+}
+
+/// [`try_spgemm_rowwise`] with a caller-owned [`SpaWorkspace`], so
+/// repeated products of the same width reuse the SPA buffers instead of
+/// reallocating per call. The accumulation loop runs a branchless
+/// touched-list append (unconditional store, cursor advanced by the
+/// first-touch bit) over the bitset occupancy map, and the per-row sort
+/// is skipped when the touched columns already came out ascending — the
+/// common case when A's rows have few elements. Output is bit-identical
+/// to [`try_spgemm_rowwise_scalar`]: per-element accumulation order is
+/// unchanged, and sorting only reorders the emit scan.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] when `a.cols() != b.rows()`.
+pub fn try_spgemm_rowwise_with(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    ws: &mut SpaWorkspace,
+) -> Result<CsrMatrix> {
+    check_dims(a.cols(), b.rows())?;
+    let n = b.cols();
+    ws.reset(n);
+    let acc = &mut ws.acc[..];
+    let occupied = &mut ws.occupied[..];
+    let touched = &mut ws.touched[..];
+
+    let mut row_ptr = Vec::with_capacity(a.rows() + 1);
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut values: Vec<f32> = Vec::new();
+    row_ptr.push(0);
+
+    for i in 0..a.rows() {
+        let mut nt = 0usize;
+        for (k, a_val) in a.row(i).iter() {
+            for (j, b_val) in b.row(k).iter() {
+                let word = occupied[j >> 6];
+                let bit = 1u64 << (j & 63);
+                touched[nt] = j as u32;
+                nt += usize::from(word & bit == 0);
+                occupied[j >> 6] = word | bit;
+                acc[j] += a_val * b_val;
+            }
+        }
+        let row_touched = &mut touched[..nt];
+        if !row_touched.is_sorted() {
+            row_touched.sort_unstable();
+        }
+        for &j in row_touched.iter() {
+            let v = acc[j as usize];
+            if v != 0.0 {
+                col_idx.push(j);
+                values.push(v);
+            }
+            acc[j as usize] = 0.0;
+            occupied[(j >> 6) as usize] &= !(1u64 << (j & 63));
+        }
         row_ptr.push(values.len());
     }
     CsrMatrix::from_raw_parts(a.rows(), b.cols(), row_ptr, col_idx, values)
@@ -197,6 +306,26 @@ pub fn try_spgemm_outer(a: &CscMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
 ///
 /// Panics if `b.len() != b_rows * b_cols`.
 pub fn spmm(a: &CsrMatrix, b: &[f32], b_rows: usize, b_cols: usize) -> Result<Vec<f32>> {
+    if crate::simd::VECTORIZED {
+        spmm_lanes(a, b, b_rows, b_cols)
+    } else {
+        spmm_scalar(a, b, b_rows, b_cols)
+    }
+}
+
+/// Scalar reference for [`spmm`]: one axpy pass over the output row per
+/// A element, preserved verbatim. Always compiled; the `force-scalar`
+/// build and the kernel bench dispatch here. Bit-identical output.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] when `a.cols() != b_rows`.
+///
+/// # Panics
+///
+/// Panics if `b.len() != b_rows * b_cols`.
+#[doc(hidden)]
+pub fn spmm_scalar(a: &CsrMatrix, b: &[f32], b_rows: usize, b_cols: usize) -> Result<Vec<f32>> {
     assert_eq!(b.len(), b_rows * b_cols, "dense B must be b_rows * b_cols");
     check_dims(a.cols(), b_rows)?;
     let mut c = vec![0f32; a.rows() * b_cols];
@@ -206,6 +335,52 @@ pub fn spmm(a: &CsrMatrix, b: &[f32], b_rows: usize, b_cols: usize) -> Result<Ve
             let brow = &b[k * b_cols..(k + 1) * b_cols];
             for (o, &bv) in out.iter_mut().zip(brow.iter()) {
                 *o += a_val * bv;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Lane form of [`spmm`]: two A elements are folded per pass over the
+/// output row, halving the `out` load/store traffic the one-element
+/// axpy pays per element. Per output column `j` the operation sequence
+/// is exactly that of two consecutive scalar passes —
+/// `t = out[j] + a0*b0[j]; out[j] = t + a1*b1[j]` — so no float
+/// accumulation is reassociated and the result is bit-identical to
+/// [`spmm_scalar`]. The column loop itself carries no cross-iteration
+/// dependency, which is what the autovectorizer lowers to f32 lanes.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] when `a.cols() != b_rows`.
+///
+/// # Panics
+///
+/// Panics if `b.len() != b_rows * b_cols`.
+#[doc(hidden)]
+pub fn spmm_lanes(a: &CsrMatrix, b: &[f32], b_rows: usize, b_cols: usize) -> Result<Vec<f32>> {
+    assert_eq!(b.len(), b_rows * b_cols, "dense B must be b_rows * b_cols");
+    check_dims(a.cols(), b_rows)?;
+    let mut c = vec![0f32; a.rows() * b_cols];
+    for i in 0..a.rows() {
+        let out = &mut c[i * b_cols..(i + 1) * b_cols];
+        let arow = a.row(i);
+        let (ks, vs) = (arow.cols(), arow.values());
+        let mut p = 0usize;
+        while p + 2 <= ks.len() {
+            let b0 = &b[ks[p] as usize * b_cols..][..b_cols];
+            let b1 = &b[ks[p + 1] as usize * b_cols..][..b_cols];
+            let (a0, a1) = (vs[p], vs[p + 1]);
+            for j in 0..b_cols {
+                out[j] = (out[j] + a0 * b0[j]) + a1 * b1[j];
+            }
+            p += 2;
+        }
+        if p < ks.len() {
+            let brow = &b[ks[p] as usize * b_cols..][..b_cols];
+            let a0 = vs[p];
+            for (o, &bv) in out.iter_mut().zip(brow.iter()) {
+                *o += a0 * bv;
             }
         }
     }
@@ -392,6 +567,47 @@ mod tests {
         // spgemm_output_nnz counts structural nonzeros; numeric
         // cancellation can only make the actual count smaller.
         assert!(spgemm_output_nnz(&a, &b) >= c.nnz() as u64);
+    }
+
+    /// The workspace SPA (bitset occupancy, branchless touched append,
+    /// skip-sort) must be bit-identical to the scalar bool-array SPA,
+    /// including cancellation-induced explicit-zero drops, and must
+    /// behave identically when one workspace is reused across products
+    /// of different widths.
+    #[test]
+    fn workspace_spa_is_bit_identical_and_reusable() {
+        let pairs = [
+            (gen::uniform_random(40, 32, 0.12, 7), gen::uniform_random(32, 24, 0.15, 8)),
+            (gen::power_law(50, 33, 4.0, 1.3, 9), gen::uniform_random(33, 65, 0.2, 10)),
+            (CsrMatrix::zeros(5, 4), CsrMatrix::zeros(4, 3)),
+        ];
+        let mut ws = SpaWorkspace::new();
+        for (a, b) in &pairs {
+            let reference = try_spgemm_rowwise_scalar(a, b).unwrap();
+            let with_ws = try_spgemm_rowwise_with(a, b, &mut ws).unwrap();
+            assert_eq!(reference.row_ptr(), with_ws.row_ptr());
+            assert_eq!(reference.col_idx(), with_ws.col_idx());
+            let (rv, wv) = (reference.values(), with_ws.values());
+            assert_eq!(rv.len(), wv.len());
+            assert!(rv.iter().zip(wv).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    /// The two-element register-blocked SpMM must be bit-identical to
+    /// the one-element axpy reference, across odd/even row lengths and
+    /// empty rows.
+    #[test]
+    fn spmm_lanes_is_bit_identical_to_scalar() {
+        for (rows, cols, bc, density, seed) in
+            [(16, 12, 5, 0.3, 3), (33, 17, 1, 0.5, 4), (7, 9, 13, 0.05, 5)]
+        {
+            let a = gen::uniform_random(rows, cols, density, seed);
+            let b_dense: Vec<f32> = (0..cols * bc).map(|i| (i % 7) as f32 - 3.0).collect();
+            let s = spmm_scalar(&a, &b_dense, cols, bc).unwrap();
+            let l = spmm_lanes(&a, &b_dense, cols, bc).unwrap();
+            assert_eq!(s.len(), l.len());
+            assert!(s.iter().zip(&l).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
     }
 
     #[test]

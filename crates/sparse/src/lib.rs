@@ -59,6 +59,7 @@ pub mod io;
 pub mod kernels;
 pub mod lazy;
 pub mod profile;
+pub mod simd;
 pub mod slab;
 pub mod structure;
 pub mod suitesparse;

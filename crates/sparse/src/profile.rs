@@ -23,6 +23,7 @@
 //! a process-wide cache and be shared by every layer that fingerprints
 //! the same matrix.
 
+use crate::simd;
 use crate::structure::{RowRuns, Structure};
 use crate::view::CsrRef;
 use crate::CsrMatrix;
@@ -225,7 +226,7 @@ impl MatrixProfile {
             if nnz > 0 {
                 for t in tallies.iter_mut().filter(|t| t.row_side) {
                     let counts = if counted { None } else { Some(&mut col_counts[..]) };
-                    frag_fold(
+                    simd::frag_fold(
                         r1 - r0,
                         cols,
                         &row_ptr[r0..=r1],
@@ -434,30 +435,14 @@ fn make_tallies(col_pes: &[usize], row_pes: &[usize]) -> Vec<PeResidueTally> {
 }
 
 /// Column-scheduler aggregates and row-scheduler totals from the length
-/// vectors alone: residues cycle 0..pes in index order, so a wrapping
-/// counter replaces the per-index division.
+/// vectors alone: residues cycle 0..pes in index order, so the fold is
+/// a `pes`-wide independent-output tally — see
+/// [`simd::residue_len_fold`] / [`simd::residue_count_fold`] for the
+/// lane kernels and their scalar wrapping-counter reference.
 fn fold_residues(tallies: &mut [PeResidueTally], row_lens: &[u32], col_counts: &[u32]) {
     for t in tallies {
-        let pes = t.pes;
-        let mut p = 0usize;
-        for &len in row_lens {
-            t.row_len_sum[p] += len as u64;
-            if len > t.row_len_max[p] {
-                t.row_len_max[p] = len;
-            }
-            p += 1;
-            if p == pes {
-                p = 0;
-            }
-        }
-        let mut p = 0usize;
-        for &cnt in col_counts {
-            t.col_count_sum[p] += cnt as u64;
-            p += 1;
-            if p == pes {
-                p = 0;
-            }
-        }
+        simd::residue_len_fold(t.pes, row_lens, &mut t.row_len_sum, &mut t.row_len_max);
+        simd::residue_count_fold(t.pes, col_counts, &mut t.col_count_sum);
     }
 }
 
@@ -660,115 +645,6 @@ fn frag_synth_mesh(s: &Structure, rows: usize, pes: usize, out: &mut [u32]) {
         for &(p, f) in &res[..m] {
             if f > out[p] {
                 out[p] = f;
-            }
-        }
-    }
-}
-
-/// Folds the largest per-row fragment per PE residue: for each row, how
-/// many of its columns land on PE `c % pes`, maxed over rows — the hot
-/// path of profile construction. Only fragments of length >= 2 are
-/// recorded here; the caller lifts every populated residue to >= 1 from
-/// the column occupancies. The matrix-wide column occupancy is
-/// optionally accumulated in the same element visit (`counts`).
-fn frag_fold(
-    rows: usize,
-    cols: usize,
-    row_ptr: &[usize],
-    col_idx: &[u32],
-    pes: usize,
-    out: &mut [u32],
-    counts: Option<&mut [u32]>,
-) {
-    // Per-residue scratch packs the row of the last visit in the high
-    // 32 bits and the running in-row count in the low 32: one u64
-    // load/store per element, with no per-row histogram reset or fold.
-    // Rows of length < 2 can only produce fragments of 1, which the
-    // caller derives from the column occupancies, so they skip the
-    // scratch entirely.
-    const FRESH: u64 = u64::MAX << 32;
-
-    // Compile-time PE count: fixed-size stack scratch (bounds checks
-    // vanish) and `% PES` strength-reduces to a multiply-shift.
-    #[inline(always)]
-    fn fold_const<const PES: usize, const COUNT: bool>(
-        rows: usize,
-        row_ptr: &[usize],
-        col_idx: &[u32],
-        out: &mut [u32],
-        counts: &mut [u32],
-    ) {
-        let out = &mut out[..PES];
-        let mut scratch = [FRESH; PES];
-        for r in 0..rows {
-            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
-            if COUNT {
-                for &c in row {
-                    counts[c as usize] += 1;
-                }
-            }
-            if row.len() < 2 {
-                continue;
-            }
-            let rr = (r as u64) << 32;
-            for &c in row {
-                let p = c as usize % PES;
-                let v = scratch[p];
-                let f = (v & FRESH == rr) as u32 * v as u32 + 1;
-                scratch[p] = rr | f as u64;
-                if f > out[p] {
-                    out[p] = f;
-                }
-            }
-        }
-    }
-
-    // Runtime PE count: residue via a precomputed per-column table.
-    #[inline(always)]
-    fn fold_dyn<const COUNT: bool>(
-        rows: usize,
-        row_ptr: &[usize],
-        col_idx: &[u32],
-        pes: usize,
-        table: &[u32],
-        out: &mut [u32],
-        counts: &mut [u32],
-    ) {
-        let mut scratch = vec![FRESH; pes];
-        for r in 0..rows {
-            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
-            if COUNT {
-                for &c in row {
-                    counts[c as usize] += 1;
-                }
-            }
-            if row.len() < 2 {
-                continue;
-            }
-            let rr = (r as u64) << 32;
-            for &c in row {
-                let p = table[c as usize] as usize;
-                let v = scratch[p];
-                let f = (v & FRESH == rr) as u32 * v as u32 + 1;
-                scratch[p] = rr | f as u64;
-                if f > out[p] {
-                    out[p] = f;
-                }
-            }
-        }
-    }
-
-    match (pes, counts) {
-        // The PE totals of the paper's designs (Table 1).
-        (64, Some(cc)) => fold_const::<64, true>(rows, row_ptr, col_idx, out, cc),
-        (64, None) => fold_const::<64, false>(rows, row_ptr, col_idx, out, &mut []),
-        (96, Some(cc)) => fold_const::<96, true>(rows, row_ptr, col_idx, out, cc),
-        (96, None) => fold_const::<96, false>(rows, row_ptr, col_idx, out, &mut []),
-        (_, counts) => {
-            let table: Vec<u32> = (0..cols).map(|c| (c % pes) as u32).collect();
-            match counts {
-                Some(cc) => fold_dyn::<true>(rows, row_ptr, col_idx, pes, &table, out, cc),
-                None => fold_dyn::<false>(rows, row_ptr, col_idx, pes, &table, out, &mut []),
             }
         }
     }

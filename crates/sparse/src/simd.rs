@@ -1,0 +1,431 @@
+//! Lane-oriented integer kernels behind the structural profile fold.
+//!
+//! The hot loops of [`MatrixProfile`](crate::MatrixProfile) construction
+//! — the stamp-packed fragment fold and the per-residue length/count
+//! tallies — live here in two forms each:
+//!
+//! - a **vectorized** form (`*_lanes`): fixed-width lane loops written
+//!   so the autovectorizer lowers them to SIMD on any target (residue
+//!   computation over u32 lanes, residue tallies over `pes`-wide
+//!   chunks), with the inherently-scatter stamp update kept as a tight
+//!   scalar loop over precomputed residues;
+//! - a **scalar reference** form (`*_scalar`): the straightforward
+//!   per-row histogram / wrapping-counter implementation, always
+//!   compiled, used as the equivalence oracle by the lane-remainder
+//!   proptests and as the only path when the `force-scalar` feature is
+//!   enabled.
+//!
+//! Both forms are pure integer kernels, so "equal" means **bit-equal**:
+//! the dispatch wrappers ([`frag_fold`], [`residue_len_fold`],
+//! [`residue_count_fold`]) may pick either side without any consumer
+//! noticing. Floating-point summaries
+//! ([`DistSummary`](crate::profile::DistSummary)) are deliberately NOT
+//! vectorized: reassociating a float accumulation changes its bits, and
+//! the house rule is to vectorize across independent outputs only.
+
+/// True when the vectorized lane paths are compiled in; the
+/// `force-scalar` feature turns every dispatch wrapper in this crate
+/// into its scalar reference form so the portable fallback stays
+/// tested and shippable on its own.
+pub const VECTORIZED: bool = cfg!(not(feature = "force-scalar"));
+
+/// Stack-buffer width (elements) for precomputed residues: one L1-
+/// resident tile per inner loop, big enough to amortize the loop
+/// overhead and small enough (1 KiB) to never spill.
+pub const RESIDUE_TILE: usize = 256;
+
+/// Fills `out[i] = cols[i] % pes` for the paper's PE counts with
+/// specialized constant-divisor forms (bitmask for 64, multiply-shift
+/// for 96) that the autovectorizer lowers to u32 lanes; other divisors
+/// take the generic constant-propagation path.
+///
+/// # Panics
+///
+/// Panics if `out.len() < cols.len()` or `pes == 0`.
+#[inline]
+pub fn fill_residues(cols: &[u32], pes: usize, out: &mut [u32]) {
+    let out = &mut out[..cols.len()];
+    match pes {
+        // The PE totals of the paper's designs (Table 1).
+        64 => {
+            for (d, &c) in out.iter_mut().zip(cols) {
+                *d = c & 63;
+            }
+        }
+        96 => {
+            for (d, &c) in out.iter_mut().zip(cols) {
+                *d = c % 96;
+            }
+        }
+        p if p.is_power_of_two() => {
+            let mask = (p - 1) as u32;
+            for (d, &c) in out.iter_mut().zip(cols) {
+                *d = c & mask;
+            }
+        }
+        p => {
+            let p = p as u32;
+            for (d, &c) in out.iter_mut().zip(cols) {
+                *d = c % p;
+            }
+        }
+    }
+}
+
+/// Per-residue sum and maximum of a length vector (`lens[i]` belongs to
+/// residue `i % pes`): `sum[p] += Σ lens`, `max[p] = max(max[p], lens)`.
+/// Dispatches to the lane kernel unless `force-scalar` is on.
+#[inline]
+pub fn residue_len_fold(pes: usize, lens: &[u32], sum: &mut [u64], max: &mut [u32]) {
+    if VECTORIZED {
+        residue_len_fold_lanes(pes, lens, sum, max);
+    } else {
+        residue_len_fold_scalar(pes, lens, sum, max);
+    }
+}
+
+/// Scalar reference for [`residue_len_fold`]: a wrapping residue
+/// counter over one sequential pass. Always compiled.
+pub fn residue_len_fold_scalar(pes: usize, lens: &[u32], sum: &mut [u64], max: &mut [u32]) {
+    let mut p = 0usize;
+    for &len in lens {
+        sum[p] += len as u64;
+        if len > max[p] {
+            max[p] = len;
+        }
+        p += 1;
+        if p == pes {
+            p = 0;
+        }
+    }
+}
+
+/// Lane form of [`residue_len_fold`]: the length vector is cut into
+/// `pes`-wide chunks whose lane `j` always lands on residue `j`, so the
+/// inner loop is an independent-output add/max the autovectorizer
+/// lowers to SIMD. Integer sums and maxima are order-free, so the
+/// result is bit-identical to the scalar counter.
+pub fn residue_len_fold_lanes(pes: usize, lens: &[u32], sum: &mut [u64], max: &mut [u32]) {
+    let sum = &mut sum[..pes];
+    let max = &mut max[..pes];
+    let mut chunks = lens.chunks_exact(pes);
+    for chunk in &mut chunks {
+        for j in 0..pes {
+            sum[j] += chunk[j] as u64;
+            if chunk[j] > max[j] {
+                max[j] = chunk[j];
+            }
+        }
+    }
+    for (j, &len) in chunks.remainder().iter().enumerate() {
+        sum[j] += len as u64;
+        if len > max[j] {
+            max[j] = len;
+        }
+    }
+}
+
+/// Per-residue sum of a count vector (`counts[i]` belongs to residue
+/// `i % pes`). Dispatches to the lane kernel unless `force-scalar` is
+/// on.
+#[inline]
+pub fn residue_count_fold(pes: usize, counts: &[u32], sum: &mut [u64]) {
+    if VECTORIZED {
+        residue_count_fold_lanes(pes, counts, sum);
+    } else {
+        residue_count_fold_scalar(pes, counts, sum);
+    }
+}
+
+/// Scalar reference for [`residue_count_fold`]. Always compiled.
+pub fn residue_count_fold_scalar(pes: usize, counts: &[u32], sum: &mut [u64]) {
+    let mut p = 0usize;
+    for &cnt in counts {
+        sum[p] += cnt as u64;
+        p += 1;
+        if p == pes {
+            p = 0;
+        }
+    }
+}
+
+/// Lane form of [`residue_count_fold`]: `pes`-wide chunks with an
+/// independent-output widening add per lane.
+pub fn residue_count_fold_lanes(pes: usize, counts: &[u32], sum: &mut [u64]) {
+    let sum = &mut sum[..pes];
+    let mut chunks = counts.chunks_exact(pes);
+    for chunk in &mut chunks {
+        for j in 0..pes {
+            sum[j] += chunk[j] as u64;
+        }
+    }
+    for (j, &cnt) in chunks.remainder().iter().enumerate() {
+        sum[j] += cnt as u64;
+    }
+}
+
+/// Folds the largest per-row fragment per PE residue: for each row, how
+/// many of its columns land on PE `c % pes`, maxed over rows — the hot
+/// path of profile construction. Only rows of length ≥ 2 are folded
+/// (shorter rows can only produce fragments of 1, which the caller
+/// derives from the column occupancies), and only fragments their rows
+/// actually produce are recorded. The matrix-wide column occupancy is
+/// optionally accumulated in the same traversal (`counts`).
+///
+/// `row_ptr` carries **absolute** offsets into `col_idx` (the chunked
+/// profile builder passes a window of the full pointer array), and
+/// `rows` is the number of rows in that window.
+///
+/// Dispatches to the stamp-packed lane kernel unless `force-scalar` is
+/// on; both sides are bit-identical (pinned by the lane-remainder
+/// proptests in `tests/simd_equivalence.rs`).
+#[inline]
+pub fn frag_fold(
+    rows: usize,
+    cols: usize,
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    pes: usize,
+    out: &mut [u32],
+    counts: Option<&mut [u32]>,
+) {
+    if VECTORIZED {
+        frag_fold_lanes(rows, cols, row_ptr, col_idx, pes, out, counts);
+    } else {
+        frag_fold_scalar(rows, row_ptr, col_idx, pes, out, counts);
+    }
+}
+
+/// Scalar reference for [`frag_fold`]: a per-row residue histogram with
+/// a touched list, merged and reset after every row. Always compiled —
+/// this is the portable fallback and the oracle the vectorized kernel
+/// is property-tested against.
+pub fn frag_fold_scalar(
+    rows: usize,
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    pes: usize,
+    out: &mut [u32],
+    counts: Option<&mut [u32]>,
+) {
+    let mut hist = vec![0u32; pes];
+    let mut touched: Vec<u32> = Vec::with_capacity(pes);
+    let mut counts = counts;
+    for r in 0..rows {
+        let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+        if let Some(cc) = counts.as_deref_mut() {
+            for &c in row {
+                cc[c as usize] += 1;
+            }
+        }
+        if row.len() < 2 {
+            continue;
+        }
+        for &c in row {
+            let p = c as usize % pes;
+            if hist[p] == 0 {
+                touched.push(p as u32);
+            }
+            hist[p] += 1;
+        }
+        for &p in &touched {
+            let p = p as usize;
+            if hist[p] > out[p] {
+                out[p] = hist[p];
+            }
+            hist[p] = 0;
+        }
+        touched.clear();
+    }
+}
+
+/// Per-residue scratch packs the row of the last visit in the high 32
+/// bits and the running in-row count in the low 32: one u64 load/store
+/// per element, with no per-row histogram reset or fold.
+const FRESH: u64 = u64::MAX << 32;
+
+/// Vectorized [`frag_fold`]: residues for a tile of columns are
+/// computed first in an independent-output u32 lane loop
+/// ([`fill_residues`], SIMD-lowered), then the inherently-scatter
+/// stamp-packed update runs as a tight scalar loop over the tile. The
+/// column-occupancy accumulation runs as its own plain loop per row so
+/// it cannot serialize the residue lanes. Compile-time PE counts for
+/// the paper's designs (64/96) keep the stamp scratch on the stack.
+pub fn frag_fold_lanes(
+    rows: usize,
+    cols: usize,
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    pes: usize,
+    out: &mut [u32],
+    counts: Option<&mut [u32]>,
+) {
+    // Compile-time PE count: fixed-size stack scratch (bounds checks
+    // vanish) and the residue map strength-reduces per lane.
+    #[inline(always)]
+    fn fold_const<const PES: usize, const COUNT: bool>(
+        rows: usize,
+        row_ptr: &[usize],
+        col_idx: &[u32],
+        out: &mut [u32],
+        counts: &mut [u32],
+    ) {
+        let out = &mut out[..PES];
+        let mut scratch = [FRESH; PES];
+        let mut pbuf = [0u32; RESIDUE_TILE];
+        for r in 0..rows {
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            if COUNT {
+                for &c in row {
+                    counts[c as usize] += 1;
+                }
+            }
+            if row.len() < 2 {
+                continue;
+            }
+            let rr = (r as u64) << 32;
+            for tile in row.chunks(RESIDUE_TILE) {
+                fill_residues(tile, PES, &mut pbuf);
+                for &p in &pbuf[..tile.len()] {
+                    // Residues are < PES by construction; the clamp is
+                    // an identity that removes the bounds checks.
+                    let p = (p as usize).min(PES - 1);
+                    let v = scratch[p];
+                    let f = (v & FRESH == rr) as u32 * v as u32 + 1;
+                    scratch[p] = rr | f as u64;
+                    if f > out[p] {
+                        out[p] = f;
+                    }
+                }
+            }
+        }
+    }
+
+    // Runtime PE count: residue via a precomputed per-column table
+    // (one gather per element, L1-resident for realistic widths).
+    #[inline(always)]
+    fn fold_dyn<const COUNT: bool>(
+        rows: usize,
+        row_ptr: &[usize],
+        col_idx: &[u32],
+        pes: usize,
+        table: &[u32],
+        out: &mut [u32],
+        counts: &mut [u32],
+    ) {
+        let mut scratch = vec![FRESH; pes];
+        for r in 0..rows {
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            if COUNT {
+                for &c in row {
+                    counts[c as usize] += 1;
+                }
+            }
+            if row.len() < 2 {
+                continue;
+            }
+            let rr = (r as u64) << 32;
+            for &c in row {
+                let p = table[c as usize] as usize;
+                let v = scratch[p];
+                let f = (v & FRESH == rr) as u32 * v as u32 + 1;
+                scratch[p] = rr | f as u64;
+                if f > out[p] {
+                    out[p] = f;
+                }
+            }
+        }
+    }
+
+    match (pes, counts) {
+        // The PE totals of the paper's designs (Table 1).
+        (64, Some(cc)) => fold_const::<64, true>(rows, row_ptr, col_idx, out, cc),
+        (64, None) => fold_const::<64, false>(rows, row_ptr, col_idx, out, &mut []),
+        (96, Some(cc)) => fold_const::<96, true>(rows, row_ptr, col_idx, out, cc),
+        (96, None) => fold_const::<96, false>(rows, row_ptr, col_idx, out, &mut []),
+        (_, counts) => {
+            let table: Vec<u32> = (0..cols).map(|c| (c % pes) as u32).collect();
+            match counts {
+                Some(cc) => fold_dyn::<true>(rows, row_ptr, col_idx, pes, &table, out, cc),
+                None => fold_dyn::<false>(rows, row_ptr, col_idx, pes, &table, out, &mut []),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr_of(rows: &[Vec<u32>]) -> (Vec<usize>, Vec<u32>) {
+        let mut ptr = vec![0usize];
+        let mut idx = Vec::new();
+        for r in rows {
+            idx.extend_from_slice(r);
+            ptr.push(idx.len());
+        }
+        (ptr, idx)
+    }
+
+    #[test]
+    fn residue_folds_agree_across_forms() {
+        for pes in [1usize, 3, 4, 7, 64, 96, 97] {
+            for n in [0usize, 1, pes.saturating_sub(1), pes, pes + 1, 3 * pes + 2] {
+                let lens: Vec<u32> = (0..n).map(|i| ((i * 7 + 3) % 23) as u32).collect();
+                let mut s1 = vec![0u64; pes];
+                let mut m1 = vec![0u32; pes];
+                let mut s2 = vec![0u64; pes];
+                let mut m2 = vec![0u32; pes];
+                residue_len_fold_scalar(pes, &lens, &mut s1, &mut m1);
+                residue_len_fold_lanes(pes, &lens, &mut s2, &mut m2);
+                assert_eq!(s1, s2, "sum pes={pes} n={n}");
+                assert_eq!(m1, m2, "max pes={pes} n={n}");
+
+                let mut c1 = vec![0u64; pes];
+                let mut c2 = vec![0u64; pes];
+                residue_count_fold_scalar(pes, &lens, &mut c1);
+                residue_count_fold_lanes(pes, &lens, &mut c2);
+                assert_eq!(c1, c2, "count pes={pes} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_residues_matches_modulo() {
+        let cols: Vec<u32> = (0..300).map(|i| (i * 37 + 11) % 1000).collect();
+        for pes in [1usize, 2, 63, 64, 65, 96, 100] {
+            let mut out = vec![0u32; cols.len()];
+            fill_residues(&cols, pes, &mut out);
+            for (i, &c) in cols.iter().enumerate() {
+                assert_eq!(out[i], c % pes as u32, "pes={pes} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn frag_fold_forms_agree_on_remainder_heavy_rows() {
+        // Rows of length 0, 1, tile-1, tile, tile+1 and a duplicate-
+        // residue row, across const and dyn PE counts.
+        let t = RESIDUE_TILE as u32;
+        let rows: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![5],
+            (0..t - 1).collect(),
+            (0..t).collect(),
+            (0..t + 1).collect(),
+            (0..40).map(|i| i * 96).collect(), // all residue 0 under 96 PEs
+        ];
+        let (ptr, idx) = csr_of(&rows);
+        let cols = 96 * 40;
+        for pes in [4usize, 64, 96, 100] {
+            let mut o1 = vec![0u32; pes];
+            let mut o2 = vec![0u32; pes];
+            let mut c1 = vec![0u32; cols];
+            let mut c2 = vec![0u32; cols];
+            frag_fold_scalar(rows.len(), &ptr, &idx, pes, &mut o1, Some(&mut c1));
+            frag_fold_lanes(rows.len(), cols, &ptr, &idx, pes, &mut o2, Some(&mut c2));
+            assert_eq!(o1, o2, "frag pes={pes}");
+            assert_eq!(c1, c2, "counts pes={pes}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Bit-identity between the lane kernels and their always-compiled
+//! scalar references, with shapes chosen to stress lane remainders:
+//! lengths 0, 1, lane−1, lane, lane+1, and row/column counts that are
+//! not a multiple of any lane or PE width. Both forms are compiled in
+//! every build, so these tests hold under `--features force-scalar`
+//! too (where they compare the scalar form against itself — the
+//! dispatchers must still agree).
+
+use misam_sparse::kernels::{
+    spmm, spmm_lanes, spmm_scalar, try_spgemm_rowwise, try_spgemm_rowwise_scalar,
+    try_spgemm_rowwise_with, SpaWorkspace,
+};
+use misam_sparse::{gen, simd, CsrMatrix};
+use proptest::prelude::*;
+
+/// The paper's PE counts plus odd widths that exercise the generic
+/// residue path and every remainder branch.
+const PES: &[usize] = &[1, 3, 63, 64, 65, 96, 97];
+
+fn assert_bits_eq(a: &[f32], b: &[f32], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length");
+    assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()), "{ctx}: values");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Residue length/count folds: chunked lane sweep vs the wrapping
+    /// scalar counter, over vector lengths straddling every PE width.
+    #[test]
+    fn residue_folds_agree(
+        len in 0usize..260,
+        seed in 0u64..1_000_000,
+    ) {
+        let vals: Vec<u32> = (0..len as u64)
+            .map(|i| ((i * 2654435761 + seed) % 97) as u32)
+            .collect();
+        for &pes in PES {
+            let mut sum_s = vec![0u64; pes];
+            let mut max_s = vec![0u32; pes];
+            let mut sum_l = vec![0u64; pes];
+            let mut max_l = vec![0u32; pes];
+            simd::residue_len_fold_scalar(pes, &vals, &mut sum_s, &mut max_s);
+            simd::residue_len_fold_lanes(pes, &vals, &mut sum_l, &mut max_l);
+            prop_assert_eq!(&sum_s, &sum_l);
+            prop_assert_eq!(&max_s, &max_l);
+
+            let mut cs = vec![0u64; pes];
+            let mut cl = vec![0u64; pes];
+            simd::residue_count_fold_scalar(pes, &vals, &mut cs);
+            simd::residue_count_fold_lanes(pes, &vals, &mut cl);
+            prop_assert_eq!(&cs, &cl);
+        }
+    }
+
+    /// Stamp-packed fragment fold vs the per-row histogram reference,
+    /// with and without the fused column-occupancy accumulation.
+    #[test]
+    fn frag_fold_forms_agree(
+        rows in 0usize..130,
+        cols in 1usize..200,
+        density in 0.0f64..0.5,
+        seed in 0u64..1_000_000,
+    ) {
+        let m = gen::uniform_random(rows, cols, density, seed);
+        for &pes in PES {
+            for with_counts in [false, true] {
+                let mut out_s = vec![0u32; pes];
+                let mut out_l = vec![0u32; pes];
+                let mut cnt_s = vec![0u32; cols];
+                let mut cnt_l = vec![0u32; cols];
+                simd::frag_fold_scalar(
+                    rows, m.row_ptr(), m.col_idx(), pes, &mut out_s,
+                    with_counts.then_some(&mut cnt_s[..]),
+                );
+                simd::frag_fold_lanes(
+                    rows, cols, m.row_ptr(), m.col_idx(), pes, &mut out_l,
+                    with_counts.then_some(&mut cnt_l[..]),
+                );
+                prop_assert_eq!(&out_s, &out_l);
+                prop_assert_eq!(&cnt_s, &cnt_l);
+            }
+        }
+    }
+
+    /// Row-wise SPA: workspace form (bitset, branchless append,
+    /// skip-sort) vs the bool-array reference, and the public dispatcher
+    /// vs both — structure and value bits.
+    #[test]
+    fn spgemm_rowwise_forms_agree(
+        m in 1usize..60,
+        k in 1usize..50,
+        n in 1usize..70,
+        da in 0.0f64..0.4,
+        db in 0.0f64..0.4,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = gen::uniform_random(m, k, da, seed);
+        let b = gen::uniform_random(k, n, db, seed ^ 0x9e37);
+        let reference = try_spgemm_rowwise_scalar(&a, &b).unwrap();
+        let mut ws = SpaWorkspace::new();
+        let with_ws = try_spgemm_rowwise_with(&a, &b, &mut ws).unwrap();
+        let dispatched = try_spgemm_rowwise(&a, &b).unwrap();
+        for (got, ctx) in [(&with_ws, "workspace"), (&dispatched, "dispatch")] {
+            prop_assert_eq!(reference.row_ptr(), got.row_ptr());
+            prop_assert_eq!(reference.col_idx(), got.col_idx());
+            assert_bits_eq(reference.values(), got.values(), ctx);
+        }
+    }
+
+    /// SpMM: two-element register blocking vs the one-element axpy,
+    /// across odd/even A-row lengths and B widths 0–33 (covering f32
+    /// lane remainders on every vector width).
+    #[test]
+    fn spmm_forms_agree(
+        rows in 1usize..50,
+        k in 1usize..40,
+        b_cols in 0usize..34,
+        density in 0.0f64..0.6,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = gen::uniform_random(rows, k, density, seed);
+        let b: Vec<f32> = (0..k * b_cols).map(|i| ((i * 13 + 5) % 17) as f32 - 8.0).collect();
+        let s = spmm_scalar(&a, &b, k, b_cols).unwrap();
+        let l = spmm_lanes(&a, &b, k, b_cols).unwrap();
+        let d = spmm(&a, &b, k, b_cols).unwrap();
+        assert_bits_eq(&s, &l, "spmm lanes");
+        assert_bits_eq(&s, &d, "spmm dispatch");
+    }
+}
+
+/// Deterministic edge lengths the proptest generators only hit by
+/// chance: exactly 0, 1, lane−1, lane, lane+1 elements per row around
+/// each PE width.
+#[test]
+fn residue_fold_exact_boundary_lengths() {
+    for &pes in PES {
+        for extra in [0usize, 1, pes.saturating_sub(1), pes, pes + 1] {
+            let vals: Vec<u32> = (0..extra as u32).map(|i| i * 7 % 41).collect();
+            let mut sum_s = vec![0u64; pes];
+            let mut max_s = vec![0u32; pes];
+            let mut sum_l = vec![0u64; pes];
+            let mut max_l = vec![0u32; pes];
+            simd::residue_len_fold_scalar(pes, &vals, &mut sum_s, &mut max_s);
+            simd::residue_len_fold_lanes(pes, &vals, &mut sum_l, &mut max_l);
+            assert_eq!(sum_s, sum_l, "pes={pes} len={extra}");
+            assert_eq!(max_s, max_l, "pes={pes} len={extra}");
+        }
+    }
+}
+
+/// A single row whose columns all share one residue maximizes the
+/// stamp-chain length; a CSR with one-element rows never enters the
+/// fragment scratch at all. Both extremes must agree across forms.
+#[test]
+fn frag_fold_extremes_agree() {
+    let mats = [
+        CsrMatrix::from_dense(1, 8, &[1.0; 8]),
+        gen::uniform_random(65, 97, 0.02, 5),
+        CsrMatrix::zeros(7, 7),
+    ];
+    for m in &mats {
+        for &pes in PES {
+            let mut out_s = vec![0u32; pes];
+            let mut out_l = vec![0u32; pes];
+            simd::frag_fold_scalar(m.rows(), m.row_ptr(), m.col_idx(), pes, &mut out_s, None);
+            simd::frag_fold_lanes(
+                m.rows(),
+                m.cols(),
+                m.row_ptr(),
+                m.col_idx(),
+                pes,
+                &mut out_l,
+                None,
+            );
+            assert_eq!(out_s, out_l, "pes={pes}");
+        }
+    }
+}
