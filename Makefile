@@ -4,7 +4,7 @@
 # experiment sweeps); default is all cores and output is byte-identical
 # at any value, e.g. `MISAM_THREADS=4 make reproduce`.
 
-.PHONY: test bench bench-sim bench-gen bench-serve bench-train bench-ingest bench-kernels serve-smoke reproduce reproduce-paper examples doc clean
+.PHONY: test bench bench-sim bench-gen bench-serve bench-train bench-ingest bench-kernels bench-learn serve-smoke learn-smoke reproduce reproduce-paper examples doc clean
 
 test:
 	cargo test --workspace
@@ -64,6 +64,30 @@ serve-smoke:
 	cargo run --release -p misam-cli --bin misam -- client --addr 127.0.0.1:7171 --op load --connections 2 --requests 40 --batch 1 --open-loop 400 --idle-conns 64 && \
 	cargo run --release -p misam-cli --bin misam -- client --addr 127.0.0.1:7171 --op stats && \
 	cargo run --release -p misam-cli --bin misam -- client --addr 127.0.0.1:7171 --op shutdown && \
+	wait
+
+# Online-learning drift benchmark: serve a bundle fit to one traffic
+# family, shift the generator distribution mid-run, and record the
+# rolling selector-vs-oracle agreement collapsing and recovering after
+# the background learner hot-publishes a retrain — plus a tap-on vs
+# tap-off hot-path comparison. Writes BENCH_learn.json.
+bench-learn:
+	cargo run --release -p misam-bench --bin bench_learn
+
+# End-to-end online-learning smoke: serve with the learning loop on
+# (sample everything, fast cadence, forced full refits), drive
+# generator traffic whose family flips mid-run, then assert via the
+# drift endpoint that at least one retrain was hot-published.
+learn-smoke:
+	cargo run --release -p misam-cli --bin misam -- train --out /tmp/misam_learn_models.json --samples 120 --latency 150 --seed 5
+	cargo run --release -p misam-cli --bin misam -- serve --models /tmp/misam_learn_models.json --addr 127.0.0.1:7172 --mode event --reactors 2 \
+		--learn on --learn-sample 1 --learn-cadence-ms 200 --learn-min-window 24 --learn-min-new 8 --learn-drift -1 & \
+	sleep 2 && \
+	cargo run --release -p misam-cli --bin misam -- client --addr 127.0.0.1:7172 --op load --connections 2 --requests 16 \
+		--gen-kind uniform --gen-rows 96 --gen-density 0.05 --gen-dense-cols 32 --shift-at 16 --gen-kind-after banded && \
+	sleep 3 && \
+	cargo run --release -p misam-cli --bin misam -- client --addr 127.0.0.1:7172 --op drift --expect-retrain true && \
+	cargo run --release -p misam-cli --bin misam -- client --addr 127.0.0.1:7172 --op shutdown && \
 	wait
 
 # Regenerate every table/figure into results/ (minutes).

@@ -1,0 +1,306 @@
+//! Closed-loop benchmark of the online learning loop: a server whose
+//! bundle was fit to one traffic family, gen-driven load that shifts to
+//! a different family mid-run, and the background learner labeling the
+//! tapped traffic, detecting the drift, and hot-publishing retrained
+//! bundles. Records a timeline of the rolling selector-vs-oracle
+//! agreement around the shift — the headline is agreement recovering
+//! after a background retrain without a restart — plus a tap-on vs
+//! tap-off hot-path comparison. Writes `BENCH_learn.json`.
+
+use misam::dataset::Objective;
+use misam::persist::ModelBundle;
+use misam::training;
+use misam_features::{PairFeatures, TileConfig};
+use misam_learn::{label_sample, refit_bundle, LearnConfig, Learner};
+use misam_recon::cost::ReconfigCost;
+use misam_serve::{Client, GenSpec, GenTraffic, LoadGen, Response, ServeConfig, Server, TapSample};
+use misam_sim::DesignId;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Shared traffic shape, chosen so the two families genuinely disagree:
+/// at 192x192, density 0.02, dense B of 64 columns, the cycle oracle
+/// picks design 1 for uniform matrices and design 3 for power-law ones
+/// (skewed rows reward the sorting scheduler). A bundle fit to uniform
+/// traffic alone has never seen a non-design-1 label, so the shift
+/// drives its oracle agreement to zero until the learner retrains.
+const ROWS: usize = 192;
+const DENSE_COLS: usize = 64;
+const DENSITY: f64 = 0.02;
+/// Family served while the initial bundle was fit, and the family the
+/// load shifts to mid-run.
+const FAMILY_BEFORE: &str = "uniform";
+const FAMILY_AFTER: &str = "power-law";
+
+#[derive(Serialize)]
+struct TimelinePoint {
+    /// Seconds since the post-shift load completed.
+    t_s: f64,
+    /// Rolling selector-vs-oracle agreement over the learner's window.
+    agreement: f64,
+    labeled: u64,
+    retrains_full: u64,
+    retrains_touchup: u64,
+    publishes: u64,
+    model_generation: u64,
+}
+
+#[derive(Serialize)]
+struct OverheadPoint {
+    tap: bool,
+    ok: u64,
+    errors: u64,
+    req_per_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+#[derive(Serialize)]
+struct Doc {
+    bench: String,
+    host_cpus: usize,
+    family_before: String,
+    family_after: String,
+    /// Agreement measured after the pre-shift load (bundle fit to this
+    /// family, so this should be high).
+    agreement_before_shift: f64,
+    /// Lowest agreement observed after the shift, before the retrain
+    /// caught up — the drift the loop exists to detect.
+    agreement_post_shift_min: f64,
+    /// Agreement at the end of the run, after >=1 background retrain.
+    agreement_after_retrain: f64,
+    retrains_published: u64,
+    samples_labeled: u64,
+    samples_shed: u64,
+    timeline: Vec<TimelinePoint>,
+    /// Identical bare-Predict loads with the tap off and on: the tap
+    /// must not move the hot path outside noise.
+    overhead: Vec<OverheadPoint>,
+}
+
+fn spec(kind: &str, seed: u64) -> GenSpec {
+    GenSpec {
+        kind: kind.into(),
+        rows: ROWS,
+        cols: ROWS,
+        density: DENSITY,
+        seed,
+        dense_cols: DENSE_COLS,
+    }
+}
+
+/// A bundle deliberately fit to FAMILY_BEFORE traffic only: the same
+/// tap → label → refit path the learner runs, applied offline to a
+/// single-family window, so the selector has never seen the post-shift
+/// family.
+fn biased_bundle() -> ModelBundle {
+    let ds = misam::dataset::Dataset::generate(60, 55);
+    let sel = training::train_selector(&ds, Objective::Latency, 1);
+    let lat = training::train_latency_predictor(&ds, 1);
+    let base = ModelBundle::new(
+        sel.selector,
+        lat.predictor,
+        0.2,
+        ReconfigCost::default(),
+        TileConfig::default(),
+    );
+    let tile = base.tile_config();
+    let window: Vec<_> = (0..48u64)
+        .map(|i| {
+            let s = spec(FAMILY_BEFORE, 10_000 + i);
+            let a = s.build().expect("spec builds");
+            let features =
+                PairFeatures::extract_dense_b(&a, a.cols(), DENSE_COLS, &tile).to_vector();
+            label_sample(
+                &TapSample { features, predicted: DesignId::from_index(0), spec: Some(s) },
+                Objective::Latency,
+            )
+            .expect("offline label")
+        })
+        .collect();
+    refit_bundle(&window, Objective::Latency, 1, &base)
+}
+
+fn learn_stats(client: &mut Client) -> misam_serve::LearnStatsReply {
+    match client.stats().expect("stats") {
+        Response::Stats(s) => s.learn,
+        other => panic!("unexpected stats reply: {other:?}"),
+    }
+}
+
+fn gen_load(kind: &str, seed: u64, requests_per_conn: usize) -> LoadGen {
+    LoadGen {
+        connections: 2,
+        requests_per_conn,
+        batch_size: 1,
+        seed,
+        gen: Some(GenTraffic {
+            kind: kind.into(),
+            rows: ROWS,
+            density: DENSITY,
+            dense_cols: DENSE_COLS,
+            shift_at: None,
+            kind_after: kind.into(),
+            density_after: DENSITY,
+        }),
+        ..LoadGen::default()
+    }
+}
+
+/// Bare-Predict load (no provenance, nothing labelable): pure hot-path
+/// traffic for the tap-overhead comparison.
+fn overhead_load(seed: u64) -> LoadGen {
+    LoadGen { connections: 2, requests_per_conn: 400, batch_size: 1, seed, ..LoadGen::default() }
+}
+
+fn measure_overhead(bundle: ModelBundle, tap: bool) -> OverheadPoint {
+    let cfg = ServeConfig { learn_sample_every: u64::from(tap), ..ServeConfig::default() };
+    let server = Server::start(bundle, cfg).expect("bind");
+    // With the tap on, run the full loop: a learner draining the queue,
+    // exactly as production would.
+    let learner = tap.then(|| {
+        Learner::spawn(
+            server.shared_model(),
+            server.learn_tap().expect("tap"),
+            LearnConfig::default(),
+        )
+    });
+    let report = overhead_load(31).run(server.addr()).expect("overhead load");
+    if let Some(l) = learner {
+        l.stop();
+    }
+    server.shutdown();
+    OverheadPoint {
+        tap,
+        ok: report.ok,
+        errors: report.errors,
+        req_per_s: report.req_per_s,
+        p50_us: report.p50_us,
+        p99_us: report.p99_us,
+    }
+}
+
+fn main() {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("fitting the biased serving bundle… ({cpus} host CPUs)");
+    let bundle = biased_bundle();
+
+    let server = Server::start(
+        bundle.clone(),
+        ServeConfig { learn_sample_every: 1, learn_queue_cap: 4096, ..ServeConfig::default() },
+    )
+    .expect("bind ephemeral port");
+    let learner = Learner::spawn(
+        server.shared_model(),
+        server.learn_tap().expect("tap installed"),
+        LearnConfig {
+            window: 128,
+            min_window: 32,
+            cadence: Duration::from_millis(200),
+            // Small threshold: any systematic disagreement on the new
+            // family should trip a full refit rather than a touch-up.
+            drift_threshold: 0.02,
+            min_new_labels: 16,
+            agreement_window: 64,
+            seed: 9,
+            ..LearnConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.addr()).expect("stats client");
+
+    // Phase 1: the family the bundle was fit to. Wait for the learner to
+    // label the traffic, then read the baseline agreement.
+    eprintln!("phase 1: {FAMILY_BEFORE} traffic (in-distribution)…");
+    let r1 = gen_load(FAMILY_BEFORE, 20_000, 24).run(server.addr()).expect("phase 1 load");
+    assert_eq!(r1.errors, 0, "phase 1 errors");
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let mut stats = learn_stats(&mut client);
+    while stats.labeled < 40 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+        stats = learn_stats(&mut client);
+    }
+    let agreement_before_shift = stats.agreement;
+    eprintln!("  labeled {} samples, agreement {:.3}", stats.labeled, agreement_before_shift);
+
+    // Phase 2: shift the distribution. The selector now scores against
+    // oracle labels from a family it never trained on.
+    eprintln!("phase 2: shift to {FAMILY_AFTER} traffic…");
+    let r2 = gen_load(FAMILY_AFTER, 30_000, 40).run(server.addr()).expect("phase 2 load");
+    assert_eq!(r2.errors, 0, "phase 2 errors");
+
+    // Timeline: poll the drift stats while the learner catches up.
+    let started = Instant::now();
+    let mut timeline = Vec::new();
+    let mut post_min = f64::INFINITY;
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let s = learn_stats(&mut client);
+        post_min = post_min.min(s.agreement);
+        timeline.push(TimelinePoint {
+            t_s: started.elapsed().as_secs_f64(),
+            agreement: s.agreement,
+            labeled: s.labeled,
+            retrains_full: s.retrains_full,
+            retrains_touchup: s.retrains_touchup,
+            publishes: s.publishes,
+            model_generation: s.model_generation,
+        });
+        // Done once a retrain landed and the agreement ring (now scored
+        // against the *published* model's predictions) has refilled.
+        let caught_up = s.publishes >= 1 && s.agreement >= agreement_before_shift.min(0.95);
+        if caught_up || Instant::now() >= deadline || timeline.len() >= 600 {
+            break;
+        }
+        // Keep a trickle of post-shift traffic flowing so the refreshed
+        // selector is scored on the new family, paced so the timeline
+        // stays readable and the learner's cadence actually elapses.
+        let r = gen_load(FAMILY_AFTER, 40_000 + timeline.len() as u64 * 1000, 8)
+            .run(server.addr())
+            .expect("trickle load");
+        assert_eq!(r.errors, 0, "trickle errors");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let last = learn_stats(&mut client);
+    learner.stop();
+    let final_stats = server.shutdown();
+
+    assert!(last.publishes >= 1, "no retrain was published: {last:?}");
+    assert_eq!(final_stats.errors, 0, "server reported errors");
+    assert!(
+        last.agreement >= post_min,
+        "agreement never recovered: final {} < min {post_min}",
+        last.agreement
+    );
+    eprintln!(
+        "  drift detected and retrained: {} full refit(s), agreement {:.3} -> {:.3} -> {:.3}",
+        last.retrains_full, agreement_before_shift, post_min, last.agreement
+    );
+
+    // Tap overhead: identical bare-Predict loads, tap off vs on.
+    eprintln!("overhead: bare Predict p99, tap off vs on…");
+    let overhead = vec![measure_overhead(bundle.clone(), false), measure_overhead(bundle, true)];
+    for o in &overhead {
+        eprintln!(
+            "  tap {:<5} {:>8.0} req/s  p50 {:>7.1}us  p99 {:>8.1}us",
+            o.tap, o.req_per_s, o.p50_us, o.p99_us
+        );
+    }
+
+    let doc = Doc {
+        bench: "learn".into(),
+        host_cpus: cpus,
+        family_before: FAMILY_BEFORE.into(),
+        family_after: FAMILY_AFTER.into(),
+        agreement_before_shift,
+        agreement_post_shift_min: post_min,
+        agreement_after_retrain: last.agreement,
+        retrains_published: last.publishes,
+        samples_labeled: last.labeled,
+        samples_shed: last.shed,
+        timeline,
+        overhead,
+    };
+    let json = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write("BENCH_learn.json", &json).expect("write BENCH_learn.json");
+    eprintln!("wrote BENCH_learn.json");
+}

@@ -6,7 +6,7 @@ use misam::pipeline::Misam;
 use misam_features::{PairFeatures, TileConfig, FEATURE_NAMES};
 use misam_recon::cost::ReconfigCost;
 use misam_serve::protocol::GenSpec;
-use misam_serve::{Client, LoadGen, Response, ServeConfig, ServeMode, Server};
+use misam_serve::{Client, GenTraffic, LoadGen, Response, ServeConfig, ServeMode, Server};
 use misam_sim::{simulate, simulate_ref, DesignConfig, DesignId, Operand};
 use misam_sparse::slab::{self, SlabMatrix};
 use misam_sparse::{gen, io, CsrMatrix};
@@ -30,11 +30,17 @@ USAGE:
   misam serve    --models models.json [--addr 127.0.0.1:7171] [--threads N]
                  [--mode auto|event|blocking] [--reactors N]
                  [--batch-max N] [--batch-wait-us N] [--queue-cap N]
-  misam client   --addr HOST:PORT --op stats|shutdown|reload|predict-gen|simulate|load
+                 [--learn on|off] [--learn-sample N] [--learn-window N]
+                 [--learn-min-window N] [--learn-cadence-ms N]
+                 [--learn-drift D] [--learn-objective latency|energy]
+  misam client   --addr HOST:PORT --op stats|drift|shutdown|reload|predict-gen|simulate|load
                  [--path models.json] [--design 1|2|3|4] [--matrix A.msab]
                  [--kind K --rows N --cols N --density D --seed S --dense-cols N]
                  [--connections N --requests N --batch N]
                  [--open-loop RPS] [--idle-conns N]
+                 [--gen-kind K [--gen-rows N --gen-density D --gen-dense-cols N]
+                  [--shift-at N --gen-kind-after K --gen-density-after D]]
+                 [--expect-retrain true]
   misam designs
   misam help
 ";
@@ -413,6 +419,16 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
         "batch-max",
         "batch-wait-us",
         "queue-cap",
+        "learn",
+        "learn-sample",
+        "learn-queue-cap",
+        "learn-window",
+        "learn-min-window",
+        "learn-cadence-ms",
+        "learn-drift",
+        "learn-min-new",
+        "learn-objective",
+        "learn-seed",
     ])?;
     let bundle = ModelBundle::load(flags.require("models")?)?;
     let mode = match flags.get("mode").unwrap_or("auto") {
@@ -420,6 +436,11 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
         "event" => ServeMode::Event,
         "blocking" => ServeMode::Blocking,
         other => return Err(format!("bad --mode '{other}' (auto|event|blocking)")),
+    };
+    let learn = match flags.get("learn").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("bad --learn '{other}' (on|off)")),
     };
     let cfg = ServeConfig {
         addr: flags.get("addr").unwrap_or("127.0.0.1:7171").to_string(),
@@ -429,21 +450,53 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
         batch_max: flags.get_or("batch-max", 64usize)?,
         batch_wait_us: flags.get_or("batch-wait-us", 200u64)?,
         queue_cap: flags.get_or("queue-cap", 4096usize)?,
+        learn_sample_every: if learn { flags.get_or("learn-sample", 1u64)? } else { 0 },
+        learn_queue_cap: flags.get_or("learn-queue-cap", 1024usize)?,
         ..ServeConfig::default()
     };
     if cfg.batch_max == 0 || cfg.queue_cap == 0 {
         return Err("--batch-max and --queue-cap must be positive".into());
     }
+    if learn && cfg.learn_sample_every == 0 {
+        return Err("--learn-sample must be positive when --learn on".into());
+    }
+    let learn_cfg = if learn {
+        let defaults = misam_learn::LearnConfig::default();
+        Some(misam_learn::LearnConfig {
+            objective: match flags.get("learn-objective").unwrap_or("latency") {
+                "latency" => misam::dataset::Objective::Latency,
+                "energy" => misam::dataset::Objective::Energy,
+                other => return Err(format!("bad --learn-objective '{other}' (latency|energy)")),
+            },
+            window: flags.get_or("learn-window", defaults.window)?,
+            min_window: flags.get_or("learn-min-window", defaults.min_window)?,
+            cadence: std::time::Duration::from_millis(flags.get_or("learn-cadence-ms", 500u64)?),
+            drift_threshold: flags.get_or("learn-drift", defaults.drift_threshold)?,
+            min_new_labels: flags.get_or("learn-min-new", defaults.min_new_labels)?,
+            seed: flags.get_or("learn-seed", defaults.seed)?,
+            ..defaults
+        })
+    } else {
+        None
+    };
 
     let sigint = misam_serve::sigint_flag();
     let server = Server::start(bundle, cfg).map_err(|e| format!("cannot bind: {e}"))?;
+    // The learner rides on the server's shared model and tap: sampled
+    // traffic is oracle-labeled in the background and retrains are
+    // hot-published without a restart or an on-disk bundle.
+    let learner = learn_cfg.map(|cfg| {
+        let tap = server.learn_tap().expect("tap installed when --learn on");
+        misam_learn::Learner::spawn(server.shared_model(), tap, cfg)
+    });
     let engine = if server.event_driven() {
         format!("event-driven, {} reactor shard(s)", server.shards())
     } else {
         "blocking, thread-per-connection".to_string()
     };
+    let learning = if learner.is_some() { ", online learning on" } else { "" };
     eprintln!(
-        "misam-serve listening on {} [{engine}] (Ctrl-C or a Shutdown request stops it)",
+        "misam-serve listening on {} [{engine}{learning}] (Ctrl-C or a Shutdown request stops it)",
         server.addr()
     );
     // Condvar-backed wait: wakes immediately on a Shutdown request; the
@@ -452,6 +505,9 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
         && !sigint.load(std::sync::atomic::Ordering::SeqCst)
     {}
     eprintln!("draining…");
+    if let Some(learner) = learner {
+        learner.stop();
+    }
     let stats = server.shutdown();
     let dump = serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?;
     println!("{dump}");
@@ -501,6 +557,14 @@ fn client_cmd(flags: &Flags) -> Result<(), String> {
         "batch",
         "open-loop",
         "idle-conns",
+        "gen-kind",
+        "gen-rows",
+        "gen-density",
+        "gen-dense-cols",
+        "shift-at",
+        "gen-kind-after",
+        "gen-density-after",
+        "expect-retrain",
     ])?;
     let addr = flags.require("addr")?;
     let op = flags.require("op")?;
@@ -515,6 +579,34 @@ fn client_cmd(flags: &Flags) -> Result<(), String> {
                 Some(rps)
             }
         };
+        // --gen-kind switches the run to generator-driven PredictGen
+        // traffic (labelable by the online-learning tap); --shift-at
+        // flips the family/density mid-run to manufacture drift.
+        let gen = match flags.get("gen-kind") {
+            None => None,
+            Some(kind) => {
+                let defaults = GenTraffic::default();
+                let shift_at = match flags.get("shift-at") {
+                    None => None,
+                    Some(s) => Some(s.parse().map_err(|_| format!("bad --shift-at '{s}'"))?),
+                };
+                Some(GenTraffic {
+                    kind: kind.to_string(),
+                    rows: flags.get_or("gen-rows", defaults.rows)?,
+                    density: flags.get_or("gen-density", defaults.density)?,
+                    dense_cols: flags.get_or("gen-dense-cols", defaults.dense_cols)?,
+                    shift_at,
+                    kind_after: flags
+                        .get("gen-kind-after")
+                        .unwrap_or(&defaults.kind_after)
+                        .to_string(),
+                    density_after: flags.get_or(
+                        "gen-density-after",
+                        flags.get_or("gen-density", defaults.density)?,
+                    )?,
+                })
+            }
+        };
         let load = LoadGen {
             connections: flags.get_or("connections", 4usize)?,
             requests_per_conn: flags.get_or("requests", 1000usize)?,
@@ -522,6 +614,7 @@ fn client_cmd(flags: &Flags) -> Result<(), String> {
             seed: flags.get_or("seed", 7u64)?,
             open_loop_rps,
             idle_conns: flags.get_or("idle-conns", 0usize)?,
+            gen,
         };
         let report = load.run(addr).map_err(|e| format!("load run failed: {e}"))?;
         let text = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -529,6 +622,29 @@ fn client_cmd(flags: &Flags) -> Result<(), String> {
         return Ok(());
     }
     let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if op == "drift" {
+        // Focused view of the Stats reply: the online-learning loop and
+        // per-shard admission counters. --expect-retrain true makes the
+        // exit status assert at least one published retrain (smoke-test
+        // hook).
+        let resp = client.stats().map_err(|e| format!("request failed: {e}"))?;
+        let Response::Stats(stats) = resp else {
+            return Err(format!("unexpected stats reply: {resp:?}"));
+        };
+        #[derive(serde::Serialize)]
+        struct DriftView {
+            learn: misam_serve::LearnStatsReply,
+            batch_shards: Vec<misam_serve::protocol::BatchShardStats>,
+        }
+        let publishes = stats.learn.publishes;
+        let view = DriftView { learn: stats.learn, batch_shards: stats.batch_shards };
+        let text = serde_json::to_string_pretty(&view).map_err(|e| e.to_string())?;
+        println!("{text}");
+        if flags.get_or("expect-retrain", false)? && publishes == 0 {
+            return Err("expected at least one published retrain, saw none".into());
+        }
+        return Ok(());
+    }
     let resp = match op {
         "stats" => client.stats(),
         "shutdown" => client.shutdown(),
@@ -927,6 +1043,97 @@ mod tests {
         let err = dispatch(&argv(&["client", "--addr", "x", "--op", "load", "--open-loop", "-3"]))
             .unwrap_err();
         assert!(err.contains("open-loop"), "{err}");
+    }
+
+    #[test]
+    fn drift_op_reports_the_learning_loop_against_a_live_server() {
+        let dir = tmp();
+        let models = dir.join("learn_models.json");
+        dispatch(&argv(&[
+            "train",
+            "--out",
+            models.to_str().unwrap(),
+            "--samples",
+            "80",
+            "--latency",
+            "100",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        let bundle = ModelBundle::load(models.to_str().unwrap()).unwrap();
+        // Mirrors `misam serve --learn on`: tap in the server, learner on
+        // the shared model (the command itself blocks until shutdown, so
+        // the test assembles the same pieces directly).
+        let server =
+            Server::start(bundle, ServeConfig { learn_sample_every: 1, ..ServeConfig::default() })
+                .unwrap();
+        let learner = misam_learn::Learner::spawn(
+            server.shared_model(),
+            server.learn_tap().expect("tap installed"),
+            misam_learn::LearnConfig {
+                window: 24,
+                min_window: 8,
+                cadence: std::time::Duration::from_millis(20),
+                drift_threshold: -1.0,
+                min_new_labels: 4,
+                ..misam_learn::LearnConfig::default()
+            },
+        );
+        let addr = server.addr().to_string();
+
+        // Gen-driven load with a mid-run distribution shift: the first
+        // half draws uniform matrices, the second half banded.
+        dispatch(&argv(&[
+            "client",
+            "--addr",
+            &addr,
+            "--op",
+            "load",
+            "--connections",
+            "2",
+            "--requests",
+            "8",
+            "--gen-kind",
+            "uniform",
+            "--gen-rows",
+            "80",
+            "--gen-density",
+            "0.05",
+            "--gen-dense-cols",
+            "24",
+            "--shift-at",
+            "8",
+            "--gen-kind-after",
+            "banded",
+        ]))
+        .unwrap();
+
+        // Poll the drift view until the forced-refit learner publishes.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+        loop {
+            let result = dispatch(&argv(&[
+                "client",
+                "--addr",
+                &addr,
+                "--op",
+                "drift",
+                "--expect-retrain",
+                "true",
+            ]));
+            if result.is_ok() {
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                result.expect("learner never published a retrain");
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+
+        dispatch(&argv(&["client", "--addr", &addr, "--op", "shutdown"])).unwrap();
+        learner.stop();
+        server.join();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -67,6 +67,32 @@ impl TrainedSelector {
         }
     }
 
+    /// Incremental refresh for online learning: reduced-error-prunes a
+    /// *copy* of the selector against a freshly labeled validation
+    /// window (full feature vectors — the selector projects to its
+    /// training subset internally) and returns it with the number of
+    /// splits removed. The serving selector is never mutated; when
+    /// nothing prunes (`removed == 0`) the copy equals the original and
+    /// callers can skip publishing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or features/labels are mismatched.
+    pub fn refreshed_with_validation(
+        &self,
+        x_val: &[Vec<f64>],
+        y_val: &[usize],
+    ) -> (TrainedSelector, usize) {
+        assert!(!x_val.is_empty(), "refresh needs a non-empty validation window");
+        let projected: Vec<Vec<f64>> = match &self.feature_map {
+            None => x_val.to_vec(),
+            Some(map) => x_val.iter().map(|v| map.iter().map(|&i| v[i]).collect()).collect(),
+        };
+        let m = FeatureMatrix::from_rows(&projected);
+        let (tree, removed) = self.tree.refreshed_with_validation_matrix(&m, y_val);
+        (TrainedSelector { tree, feature_map: self.feature_map.clone() }, removed)
+    }
+
     /// Feature importances paired with their names, sorted descending —
     /// the content of the paper's Figure 4.
     pub fn ranked_importances(&self) -> Vec<(&'static str, f64)> {

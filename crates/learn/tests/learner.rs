@@ -1,0 +1,101 @@
+//! End-to-end online-learning test: a real server with the tap
+//! installed, a learner thread on its shared model, and PredictGen
+//! traffic over the wire. Asserts the loop labels, retrains, publishes
+//! a new generation, and reports all of it through `Stats`.
+
+use misam::dataset::{Dataset, Objective};
+use misam::persist::ModelBundle;
+use misam::training::{train_latency_predictor, train_selector};
+use misam_features::TileConfig;
+use misam_learn::{LearnConfig, Learner};
+use misam_recon::cost::ReconfigCost;
+use misam_serve::{Client, GenSpec, Response, ServeConfig, Server};
+use std::time::{Duration, Instant};
+
+fn bundle() -> ModelBundle {
+    let dataset = Dataset::generate(40, 3);
+    let sel = train_selector(&dataset, Objective::Latency, 3);
+    let lat = train_latency_predictor(&dataset, 3);
+    ModelBundle::new(
+        sel.selector,
+        lat.predictor,
+        0.08,
+        ReconfigCost::default(),
+        TileConfig::default(),
+    )
+}
+
+fn spec(kind: &str, seed: u64) -> GenSpec {
+    GenSpec { kind: kind.into(), rows: 96, cols: 96, density: 0.05, seed, dense_cols: 32 }
+}
+
+#[test]
+fn served_traffic_feeds_retrain_and_hot_publish() {
+    let cfg =
+        ServeConfig { learn_sample_every: 1, learn_queue_cap: 4096, ..ServeConfig::default() };
+    let server = Server::start(bundle(), cfg).expect("server starts");
+    let addr = server.addr();
+    let tap = server.learn_tap().expect("tap installed when learn_sample_every > 0");
+    let model = server.shared_model();
+    let generation_before = model.generation();
+
+    let learner = Learner::spawn(
+        model.clone(),
+        tap.clone(),
+        LearnConfig {
+            window: 32,
+            min_window: 8,
+            cadence: Duration::from_millis(20),
+            drift_threshold: -1.0, // force full refits so a publish is guaranteed
+            min_new_labels: 4,
+            seed: 13,
+            ..LearnConfig::default()
+        },
+    );
+
+    let mut client = Client::connect(addr).expect("client connects");
+    for i in 0..16u64 {
+        let kind = if i % 2 == 0 { "uniform" } else { "banded" };
+        match client.predict_gen(spec(kind, 700 + i)).expect("predict_gen") {
+            Response::Predict(_) => {}
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut learn = loop {
+        match client.stats().expect("stats") {
+            Response::Stats(s) => {
+                if s.learn.publishes >= 1 || Instant::now() >= deadline {
+                    break s.learn;
+                }
+            }
+            other => panic!("unexpected stats reply: {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    // One more stats read so the reply reflects the published generation.
+    if let Response::Stats(s) = client.stats().expect("stats") {
+        learn = s.learn;
+    }
+    drop(client);
+    learner.stop();
+    let stats = server.shutdown();
+
+    assert!(learn.enabled, "tap should report enabled");
+    assert_eq!(learn.sample_every, 1);
+    assert!(learn.sampled >= 16, "all PredictGen traffic should be sampled");
+    assert!(learn.labeled >= 8, "learner should have labeled the window");
+    assert!(learn.publishes >= 1, "no retrain was published");
+    assert!(learn.retrains_full >= 1, "forced-drift config must full-refit");
+    assert!(
+        learn.last_publish_generation > generation_before,
+        "published generation must advance past the boot bundle"
+    );
+    assert!(
+        learn.model_generation >= learn.last_publish_generation,
+        "serving generation should reflect the publish"
+    );
+    assert_eq!(learn.confusion.len(), 16);
+    assert_eq!(stats.errors, 0, "learning must not introduce serve errors");
+}

@@ -389,6 +389,26 @@ impl DecisionTree {
         removed
     }
 
+    /// Non-consuming twin of [`DecisionTree::prune_with_validation_matrix`]
+    /// for incremental refresh loops (the online learner): returns a
+    /// pruned copy plus the number of splits removed, leaving `self` —
+    /// typically the currently *serving* tree — untouched. When nothing
+    /// prunes, the copy is structurally identical to the original, so
+    /// callers can skip publishing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the validation set is empty or mismatched.
+    pub fn refreshed_with_validation_matrix(
+        &self,
+        m: &FeatureMatrix,
+        y_val: &[usize],
+    ) -> (DecisionTree, usize) {
+        let mut refreshed = self.clone();
+        let removed = refreshed.prune_with_validation_matrix(m, y_val);
+        (refreshed, removed)
+    }
+
     /// Drops unreachable nodes (after pruning) and renumbers links.
     fn compact(&mut self) {
         let mut keep = vec![false; self.nodes.len()];
@@ -914,6 +934,38 @@ mod tests {
         for xi in &xv {
             assert_eq!(tree.predict(xi), back.predict(xi));
         }
+    }
+
+    #[test]
+    fn refreshed_prune_leaves_the_serving_tree_untouched() {
+        // Same overfit setup as above, but through the non-consuming
+        // refresh entry the online learner uses: the original (serving)
+        // tree must not change, and the refreshed copy must agree with
+        // an in-place prune node for node.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..300 {
+            let f = (i % 100) as f64;
+            x.push(vec![f, (i * 7 % 13) as f64]);
+            let noisy = (i * 31) % 10 == 0;
+            y.push(usize::from(f > 50.0) ^ usize::from(noisy));
+        }
+        let xv: Vec<Vec<f64>> = (0..80).map(|i| vec![(i % 100) as f64, 0.0]).collect();
+        let yv: Vec<usize> = xv.iter().map(|r| usize::from(r[0] > 50.0)).collect();
+        let tree = DecisionTree::fit(
+            &x,
+            &y,
+            2,
+            &TreeParams { max_depth: 20, min_gain: 0.0, ..TreeParams::default() },
+        );
+        let serving = tree.clone();
+        let m = FeatureMatrix::from_rows(&xv);
+        let (refreshed, removed) = tree.refreshed_with_validation_matrix(&m, &yv);
+        assert!(removed > 0);
+        assert_eq!(tree, serving, "refresh must not mutate the serving tree");
+        let mut in_place = tree.clone();
+        assert_eq!(in_place.prune_with_validation_matrix(&m, &yv), removed);
+        assert_eq!(in_place, refreshed, "refresh is the same prune, off to the side");
     }
 
     #[test]

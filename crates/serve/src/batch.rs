@@ -29,7 +29,9 @@
 //! finish every accepted group before its thread exits, which is what
 //! makes the server's graceful shutdown lose nothing in flight.
 
+use crate::protocol::BatchShardStats;
 use crate::state::{predict_batch, PredictOutcome, SharedModel};
+use crate::tap::LearnTap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -62,6 +64,11 @@ pub struct BatchCounters {
     pub max_batch: AtomicU64,
     /// Flushes triggered by the deadline rather than the size bound.
     pub deadline_flushes: AtomicU64,
+    /// Vectors admitted by this shard's slot reservation.
+    pub admitted: AtomicU64,
+    /// Vectors refused because the shared cap was reached when this
+    /// shard tried to reserve.
+    pub shed: AtomicU64,
 }
 
 /// How a flushed group's outcomes get back to the submitter.
@@ -106,18 +113,20 @@ impl MicroBatcher {
     /// Spawns the batcher thread over `model` with its own admission
     /// counter.
     pub fn new(model: Arc<SharedModel>, cfg: BatchConfig) -> Self {
-        Self::with_depth(model, cfg, Arc::new(AtomicUsize::new(0)), 0)
+        Self::with_depth(model, cfg, Arc::new(AtomicUsize::new(0)), 0, None)
     }
 
     /// Spawns the batcher thread over `model`, reserving admission
     /// slots from `depth` — shared across every shard of a
     /// [`ShardedBatcher`], so `queue_cap` bounds the server, not each
-    /// shard.
+    /// shard. With a `tap`, every flushed prediction is offered to the
+    /// learner's sampler after its outcomes are computed.
     pub fn with_depth(
         model: Arc<SharedModel>,
         cfg: BatchConfig,
         depth: Arc<AtomicUsize>,
         shard: usize,
+        tap: Option<Arc<LearnTap>>,
     ) -> Self {
         let (tx, rx) = crossbeam::channel::unbounded::<Group>();
         let counters = Arc::new(BatchCounters::default());
@@ -126,7 +135,7 @@ impl MicroBatcher {
             let counters = Arc::clone(&counters);
             std::thread::Builder::new()
                 .name(format!("misam-batcher-{shard}"))
-                .spawn(move || run(rx, model, cfg, depth, counters))
+                .spawn(move || run(rx, model, cfg, depth, counters, tap))
                 .expect("spawn batcher thread")
         };
         MicroBatcher {
@@ -139,11 +148,13 @@ impl MicroBatcher {
     }
 
     /// Reserves `want` admission slots with a CAS loop — a group is
-    /// admitted or shed atomically, never split.
+    /// admitted or shed atomically, never split. Admission and shed
+    /// counts land on this shard's counters either way.
     fn reserve(&self, want: usize) -> Result<(), QueueFull> {
         let mut cur = self.depth.load(Ordering::Relaxed);
         loop {
             if cur + want > self.cfg.queue_cap {
+                self.counters.shed.fetch_add(want as u64, Ordering::Relaxed);
                 return Err(QueueFull { capacity: self.cfg.queue_cap });
             }
             match self.depth.compare_exchange_weak(
@@ -152,7 +163,10 @@ impl MicroBatcher {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Ok(()),
+                Ok(_) => {
+                    self.counters.admitted.fetch_add(want as u64, Ordering::Relaxed);
+                    return Ok(());
+                }
                 Err(seen) => cur = seen,
             }
         }
@@ -247,6 +261,7 @@ fn run(
     cfg: BatchConfig,
     depth: Arc<AtomicUsize>,
     counters: Arc<BatchCounters>,
+    tap: Option<Arc<LearnTap>>,
 ) {
     let wait = Duration::from_micros(cfg.batch_wait_us);
     // Park briefly between polls while a batch is open; short enough to
@@ -295,6 +310,14 @@ fn run(
         for group in groups {
             let n = group.vectors.len();
             let outs: Vec<PredictOutcome> = predict_batch(&prepared, &group.vectors);
+            // The learner tap rides the batcher thread, after inference
+            // and before the reply — never on a connection's hot path.
+            // Bare vectors carry no generator provenance (spec: None).
+            if let Some(tap) = &tap {
+                for (v, out) in group.vectors.iter().zip(&outs) {
+                    tap.offer(v, out.predicted, None);
+                }
+            }
             depth.fetch_sub(n, Ordering::Relaxed);
             match group.reply {
                 // A vanished requester (dropped connection) is not an
@@ -325,9 +348,22 @@ pub struct ShardedBatcher {
 impl ShardedBatcher {
     /// Spawns `shards` batcher threads (at least one) over `model`.
     pub fn new(model: &Arc<SharedModel>, cfg: BatchConfig, shards: usize) -> Self {
+        Self::with_tap(model, cfg, shards, None)
+    }
+
+    /// Like [`ShardedBatcher::new`], with an optional learner tap every
+    /// shard offers its flushed predictions to.
+    pub fn with_tap(
+        model: &Arc<SharedModel>,
+        cfg: BatchConfig,
+        shards: usize,
+        tap: Option<Arc<LearnTap>>,
+    ) -> Self {
         let depth = Arc::new(AtomicUsize::new(0));
         let shards = (0..shards.max(1))
-            .map(|i| MicroBatcher::with_depth(Arc::clone(model), cfg, Arc::clone(&depth), i))
+            .map(|i| {
+                MicroBatcher::with_depth(Arc::clone(model), cfg, Arc::clone(&depth), i, tap.clone())
+            })
             .collect();
         ShardedBatcher { shards, depth, next: AtomicUsize::new(0) }
     }
@@ -375,6 +411,28 @@ impl ShardedBatcher {
             max_batch = max_batch.max(s.counters().max_batch.load(Ordering::Relaxed));
         }
         (batches, items, max_batch)
+    }
+
+    /// Every shard's counters, unfolded — the fold above keeps the
+    /// aggregate fields, this keeps per-shard admission visible (a
+    /// wedged or hot shard can't hide in a sum).
+    pub fn shard_counters(&self) -> Vec<BatchShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| {
+                let c = s.counters();
+                BatchShardStats {
+                    shard,
+                    batches: c.batches.load(Ordering::Relaxed),
+                    items: c.items.load(Ordering::Relaxed),
+                    admitted: c.admitted.load(Ordering::Relaxed),
+                    shed: c.shed.load(Ordering::Relaxed),
+                    deadline_flushes: c.deadline_flushes.load(Ordering::Relaxed),
+                    max_batch: c.max_batch.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
     }
 
     /// Closes every shard queue, drains accepted groups, and joins the
@@ -489,5 +547,32 @@ mod tests {
         assert!(batches >= 1, "shutdown drains accepted groups");
         assert_eq!(items, 8);
         assert!(max_batch >= 4);
+        // Admission counters stay attributed to the shard that took the
+        // decision, not folded away.
+        let per_shard = sb.shard_counters();
+        assert_eq!(per_shard.len(), 3);
+        assert_eq!(per_shard[0].admitted, 4);
+        assert_eq!(per_shard[1].admitted, 4);
+        assert_eq!(per_shard[2].admitted, 0);
+        assert_eq!(per_shard[2].shed, 6, "the refused group lands on shard 2's shed count");
+        assert_eq!(per_shard[0].shed + per_shard[1].shed, 0);
+    }
+
+    #[test]
+    fn tapped_batcher_offers_flushed_predictions() {
+        let model = Arc::new(SharedModel::new(test_bundle().clone()));
+        let tap = Arc::new(crate::tap::LearnTap::new(1, 64));
+        let cfg = BatchConfig { batch_max: 8, batch_wait_us: 100, queue_cap: 64 };
+        let sb = ShardedBatcher::with_tap(&model, cfg, 2, Some(Arc::clone(&tap)));
+        let vs: Vec<Vec<f64>> = (0..5).map(|i| vector(i as f64 * 0.3)).collect();
+        let rx = sb.try_submit(vs.clone()).unwrap();
+        let outs = rx.recv().unwrap();
+        assert_eq!(outs.len(), 5);
+        sb.shutdown();
+        assert_eq!(tap.queue_depth(), 5, "every flushed vector was offered and sampled");
+        let sample = tap.try_pop().unwrap();
+        assert_eq!(sample.features, vs[0]);
+        assert_eq!(sample.predicted, outs[0].predicted);
+        assert!(sample.spec.is_none(), "bare vectors carry no generator provenance");
     }
 }

@@ -201,6 +201,72 @@ pub struct LoadGen {
     /// costs a thread each on the blocking server and kilobytes on the
     /// event-driven one.
     pub idle_conns: usize,
+    /// Generator-driven traffic: when set, each request is a
+    /// `PredictGen` for a fresh matrix from this family instead of a
+    /// synthetic `Predict`/`Batch` vector. Gen traffic carries
+    /// provenance, so it is the shape the online-learning tap can
+    /// oracle-label — and [`GenTraffic::shift_at`] flips the family
+    /// mid-run to manufacture drift on demand.
+    pub gen: Option<GenTraffic>,
+}
+
+/// Generator-driven load shape: which family the run draws from, and an
+/// optional mid-run distribution shift.
+#[derive(Debug, Clone)]
+pub struct GenTraffic {
+    /// Generator family before the shift (`uniform`, `power-law`,
+    /// `banded`, `pruned-dnn`, `regular`, `circuit`).
+    pub kind: String,
+    /// Rows and columns of each generated A (square).
+    pub rows: usize,
+    /// Density of each generated A before the shift.
+    pub density: f64,
+    /// Columns of the dense B operand.
+    pub dense_cols: usize,
+    /// Request index (counted across all connections) at which the
+    /// generator flips to `kind_after`/`density_after`. `None` = no
+    /// shift.
+    pub shift_at: Option<usize>,
+    /// Family after the shift (defaults to `kind` when equal).
+    pub kind_after: String,
+    /// Density after the shift.
+    pub density_after: f64,
+}
+
+impl Default for GenTraffic {
+    fn default() -> Self {
+        GenTraffic {
+            kind: "uniform".into(),
+            rows: 96,
+            density: 0.05,
+            dense_cols: 32,
+            shift_at: None,
+            kind_after: "banded".into(),
+            density_after: 0.05,
+        }
+    }
+}
+
+impl GenTraffic {
+    /// The spec for global request index `i`: pre-shift parameters
+    /// before `shift_at`, post-shift after, always a fresh seed so each
+    /// request is a distinct matrix.
+    pub fn spec_for(&self, i: usize, seed: u64) -> GenSpec {
+        let shifted = self.shift_at.is_some_and(|at| i >= at);
+        let (kind, density) = if shifted {
+            (&self.kind_after, self.density_after)
+        } else {
+            (&self.kind, self.density)
+        };
+        GenSpec {
+            kind: kind.clone(),
+            rows: self.rows,
+            cols: self.rows,
+            density,
+            seed,
+            dense_cols: self.dense_cols,
+        }
+    }
 }
 
 impl Default for LoadGen {
@@ -212,6 +278,7 @@ impl Default for LoadGen {
             seed: 7,
             open_loop_rps: None,
             idle_conns: 0,
+            gen: None,
         }
     }
 }
@@ -323,7 +390,8 @@ impl LoadGen {
                         .map(|iv| iv.mul_f64(conn as f64 / cfg.connections.max(1) as f64))
                         .unwrap_or_default();
                     for i in 0..cfg.requests_per_conn {
-                        let base = cfg.seed.wrapping_add((conn * cfg.requests_per_conn + i) as u64);
+                        let global = conn * cfg.requests_per_conn + i;
+                        let base = cfg.seed.wrapping_add(global as u64);
                         // Open loop: wait for the scheduled arrival and
                         // time from it, so queueing delay lands in the
                         // latency tail instead of slowing the arrivals.
@@ -338,7 +406,9 @@ impl LoadGen {
                             }
                             None => Instant::now(),
                         };
-                        let resp = if cfg.batch_size <= 1 {
+                        let resp = if let Some(gen) = &cfg.gen {
+                            client.predict_gen(gen.spec_for(global, base))
+                        } else if cfg.batch_size <= 1 {
                             client.predict(synthetic_vector(base))
                         } else {
                             client.batch(

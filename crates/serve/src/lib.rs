@@ -40,8 +40,10 @@ pub mod protocol;
 pub(crate) mod reactor;
 pub mod server;
 pub mod state;
+pub mod tap;
 
-pub use client::{Client, LoadGen, LoadReport};
-pub use protocol::{GenSpec, Request, Response, PROTOCOL_VERSION};
+pub use client::{Client, GenTraffic, LoadGen, LoadReport};
+pub use protocol::{GenSpec, LearnStatsReply, Request, Response, StatsReply, PROTOCOL_VERSION};
 pub use server::{sigint_flag, ServeConfig, ServeMode, Server};
 pub use state::SharedModel;
+pub use tap::{LearnTap, TapSample};

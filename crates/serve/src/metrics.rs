@@ -8,10 +8,33 @@
 //! mergeable; the [`StatsReply`] snapshot is what the `Stats` endpoint
 //! returns and what the server dumps on graceful shutdown.
 
-use crate::protocol::{EndpointStats, StatsReply};
+use crate::protocol::{BatchShardStats, EndpointStats, LearnStatsReply, StatsReply};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Point-in-time values the registry does not own — queue depths, batch
+/// counters (folded and per shard), and the learner scoreboard all live
+/// with their queues/threads; the caller samples them and hands them to
+/// [`MetricsRegistry::snapshot`] / [`MetricsShards::fold_snapshot`] in
+/// one struct instead of a growing positional argument list.
+#[derive(Debug, Default)]
+pub struct Gauges {
+    /// Feature vectors waiting in the micro-batch queues.
+    pub batch_queue_depth: u64,
+    /// Jobs waiting in the simulation worker pool.
+    pub pool_queue_depth: u64,
+    /// Micro-batches flushed (folded across shards).
+    pub batches_flushed: u64,
+    /// Feature vectors predicted through the batcher (folded).
+    pub batched_items: u64,
+    /// Largest single micro-batch flushed (max across shards).
+    pub max_batch: u64,
+    /// Per-shard batcher admission counters.
+    pub batch_shards: Vec<BatchShardStats>,
+    /// Online-learning scoreboard (default/disabled without `--learn`).
+    pub learn: LearnStatsReply,
+}
 
 /// The endpoints tracked individually.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,16 +221,9 @@ impl MetricsRegistry {
         self.requests[ep as usize].load(Ordering::Relaxed)
     }
 
-    /// Snapshot for the `Stats` endpoint; queue depths and batch
-    /// counters are sampled by the caller (they live with the queues).
-    pub fn snapshot(
-        &self,
-        batch_queue_depth: u64,
-        pool_queue_depth: u64,
-        batches_flushed: u64,
-        batched_items: u64,
-        max_batch: u64,
-    ) -> StatsReply {
+    /// Snapshot for the `Stats` endpoint; the [`Gauges`] carry values
+    /// sampled by the caller (they live with the queues, not here).
+    pub fn snapshot(&self, gauges: Gauges) -> StatsReply {
         let endpoints = ENDPOINT_NAMES
             .iter()
             .enumerate()
@@ -227,11 +243,13 @@ impl MetricsRegistry {
             shed: self.shed.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
-            batch_queue_depth,
-            pool_queue_depth,
-            batches_flushed,
-            batched_items,
-            max_batch,
+            batch_queue_depth: gauges.batch_queue_depth,
+            pool_queue_depth: gauges.pool_queue_depth,
+            batches_flushed: gauges.batches_flushed,
+            batched_items: gauges.batched_items,
+            max_batch: gauges.max_batch,
+            batch_shards: gauges.batch_shards,
+            learn: gauges.learn,
             endpoints,
         }
     }
@@ -278,16 +296,9 @@ impl MetricsShards {
         self.shards.iter().map(|s| s.shed.load(Ordering::Relaxed)).sum()
     }
 
-    /// Folds every shard into one snapshot; queue depths and batch
-    /// counters are sampled by the caller (they live with the queues).
-    pub fn fold_snapshot(
-        &self,
-        batch_queue_depth: u64,
-        pool_queue_depth: u64,
-        batches_flushed: u64,
-        batched_items: u64,
-        max_batch: u64,
-    ) -> StatsReply {
+    /// Folds every shard into one snapshot; the [`Gauges`] carry values
+    /// sampled by the caller (they live with the queues, not here).
+    pub fn fold_snapshot(&self, gauges: Gauges) -> StatsReply {
         let sum = |f: &dyn Fn(&MetricsRegistry) -> &AtomicU64| -> u64 {
             self.shards.iter().map(|s| f(s).load(Ordering::Relaxed)).sum()
         };
@@ -325,11 +336,13 @@ impl MetricsShards {
             shed: sum(&|s| &s.shed),
             errors: sum(&|s| &s.errors),
             reloads: sum(&|s| &s.reloads),
-            batch_queue_depth,
-            pool_queue_depth,
-            batches_flushed,
-            batched_items,
-            max_batch,
+            batch_queue_depth: gauges.batch_queue_depth,
+            pool_queue_depth: gauges.pool_queue_depth,
+            batches_flushed: gauges.batches_flushed,
+            batched_items: gauges.batched_items,
+            max_batch: gauges.max_batch,
+            batch_shards: gauges.batch_shards,
+            learn: gauges.learn,
             endpoints,
         }
     }
@@ -401,8 +414,8 @@ mod tests {
         shards.shard(2).shed();
         shards.shard(1).error();
 
-        let folded = shards.fold_snapshot(0, 0, 0, 0, 0);
-        let one = single.snapshot(0, 0, 0, 0, 0);
+        let folded = shards.fold_snapshot(Gauges::default());
+        let one = single.snapshot(Gauges::default());
         let (f, s) = (
             &folded.endpoints[Endpoint::Predict as usize],
             &one.endpoints[Endpoint::Predict as usize],
@@ -429,16 +442,27 @@ mod tests {
         m.shed();
         m.error();
         m.reloaded();
-        let s = m.snapshot(3, 1, 10, 40, 8);
+        let s = m.snapshot(Gauges {
+            batch_queue_depth: 3,
+            pool_queue_depth: 1,
+            batches_flushed: 10,
+            batched_items: 40,
+            max_batch: 8,
+            batch_shards: vec![BatchShardStats { shard: 0, admitted: 40, ..Default::default() }],
+            learn: LearnStatsReply::default(),
+        });
         assert_eq!(s.connections_total, 1);
         assert_eq!(s.connections_open, 1);
         assert_eq!(s.shed, 1);
         assert_eq!(s.errors, 1);
         assert_eq!(s.reloads, 1);
         assert_eq!(s.batch_queue_depth, 3);
+        assert_eq!(s.batch_shards.len(), 1);
+        assert_eq!(s.batch_shards[0].admitted, 40);
+        assert!(!s.learn.enabled, "learn defaults to disabled");
         assert_eq!(s.endpoints[Endpoint::Predict as usize].requests, 2);
         assert_eq!(s.endpoints[Endpoint::Stats as usize].requests, 1);
         m.connection_closed();
-        assert_eq!(m.snapshot(0, 0, 0, 0, 0).connections_open, 0);
+        assert_eq!(m.snapshot(Gauges::default()).connections_open, 0);
     }
 }

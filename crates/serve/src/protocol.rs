@@ -228,6 +228,11 @@ pub struct ResponseEnvelope {
 
 /// Reply payloads, one per request kind plus the error/backpressure
 /// replies any request can receive.
+///
+/// `Stats` dominates the enum's size; boxing it would need `Box`
+/// impls the vendored serde does not carry, and stats replies are
+/// cold-path, so the inline variant stays.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
     /// Answer to `Predict` / `PredictGen`.
@@ -307,6 +312,69 @@ pub struct EndpointStats {
     pub p99_us: f64,
 }
 
+/// Per-shard micro-batcher admission counters, reported individually
+/// (after the fold) so a hot or wedged shard is visible instead of
+/// averaged away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BatchShardStats {
+    /// Shard index (round-robin position).
+    pub shard: usize,
+    /// Micro-batches this shard flushed.
+    pub batches: u64,
+    /// Feature vectors this shard predicted.
+    pub items: u64,
+    /// Feature vectors admitted by this shard's CAS slot reservation.
+    pub admitted: u64,
+    /// Feature vectors refused because this shard's queue was full.
+    pub shed: u64,
+    /// Flushes forced by the batching deadline rather than a full batch.
+    pub deadline_flushes: u64,
+    /// Largest single micro-batch this shard flushed.
+    pub max_batch: u64,
+}
+
+/// Online-learning loop observability, reported on Stats when the
+/// server runs with `--learn`. Counters are written by the tap (hot
+/// path) and the learner thread; `confusion` is row-major
+/// `predicted_design x oracle_design` over the rolling agreement
+/// window.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LearnStatsReply {
+    /// Whether the learner tap is installed.
+    pub enabled: bool,
+    /// 1-in-N sampling rate of the tap.
+    pub sample_every: u64,
+    /// Requests the tap sampled into the queue.
+    pub sampled: u64,
+    /// Sampled requests dropped because the bounded queue was full.
+    pub shed: u64,
+    /// Samples the learner oracle-labeled.
+    pub labeled: u64,
+    /// Samples skipped (no generator provenance, or the spec failed to
+    /// rebuild).
+    pub skipped: u64,
+    /// Labeled samples currently in the rolling training window.
+    pub window: u64,
+    /// Rolling selector-vs-oracle agreement over the last
+    /// `agreement_window` labels, in `[0, 1]` (1.0 before any labels).
+    pub agreement: f64,
+    /// Row-major 4x4 confusion counts (`predicted * 4 + oracle`) over
+    /// the rolling agreement window.
+    pub confusion: Vec<u64>,
+    /// Full refits performed (drift above threshold).
+    pub retrains_full: u64,
+    /// Validation-prune touch-ups attempted (drift below threshold).
+    pub retrains_touchup: u64,
+    /// Bundles the learner actually published.
+    pub publishes: u64,
+    /// Generation number of the learner's last published bundle (0 if
+    /// none yet).
+    pub last_publish_generation: u64,
+    /// Generation of the bundle currently serving (reloads and learner
+    /// publishes both bump it).
+    pub model_generation: u64,
+}
+
 /// Payload of [`Response::Stats`]; also dumped on graceful shutdown.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsReply {
@@ -332,6 +400,11 @@ pub struct StatsReply {
     pub batched_items: u64,
     /// Largest single micro-batch flushed.
     pub max_batch: u64,
+    /// Per-shard batcher admission counters (kept per shard after the
+    /// fold above, so one wedged shard can't hide in an aggregate).
+    pub batch_shards: Vec<BatchShardStats>,
+    /// Online-learning loop state (zeroed/disabled without `--learn`).
+    pub learn: LearnStatsReply,
     /// Per-endpoint counters and latency percentiles.
     pub endpoints: Vec<EndpointStats>,
 }

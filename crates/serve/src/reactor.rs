@@ -74,6 +74,10 @@ const READS_PER_WAKE: usize = 8;
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
 /// What a completed asynchronous step carries back to the reactor.
+///
+/// Sized by `Response::Stats` (see the allow on [`Response`]); one
+/// `Done` exists per in-flight completion, so the inline size is moot.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum Done {
     /// Batched inference outcomes (Predict / Batch / PredictGen); the
     /// reactor applies the session's reconfiguration policy in request
@@ -530,8 +534,9 @@ impl Reactor {
                 let seq = conn.push_pending(id, Kind::PredictGen, started, None);
                 let prepared = self.ctx.state.model.snapshot();
                 let mbox = Arc::clone(&self.ctx.mailbox);
+                let tap = self.ctx.state.tap.clone();
                 let submitted = self.ctx.state.pool.try_submit(move || {
-                    let done = match run_predict_gen(&prepared, &spec) {
+                    let done = match run_predict_gen(&prepared, &spec, tap.as_deref()) {
                         Ok(out) => Done::Outcomes(vec![out]),
                         Err(message) => Done::Resp(Response::Error(ErrorReply {
                             code: ErrorCode::BadGenSpec,

@@ -27,14 +27,15 @@
 //! that drain is triggered — no polling.
 
 use crate::batch::{BatchConfig, ShardedBatcher};
-use crate::metrics::{Endpoint, MetricsRegistry, MetricsShards};
+use crate::metrics::{Endpoint, Gauges, MetricsRegistry, MetricsShards};
 use crate::poll;
 use crate::protocol::{
-    self, BatchReply, ErrorCode, ErrorReply, Line, OverloadedReply, PredictReply, ReloadedReply,
-    Request, RequestEnvelope, Response, ResponseEnvelope, SimulateReply, StatsReply,
+    self, BatchReply, ErrorCode, ErrorReply, LearnStatsReply, Line, OverloadedReply, PredictReply,
+    ReloadedReply, Request, RequestEnvelope, Response, ResponseEnvelope, SimulateReply, StatsReply,
     MAX_LINE_BYTES, PROTOCOL_VERSION,
 };
 use crate::state::{predict_vector, PredictOutcome, PreparedBundle, Session, SharedModel};
+use crate::tap::LearnTap;
 use misam::persist::ModelBundle;
 use misam_features::FEATURE_NAMES;
 use misam_oracle::pool::WorkerPool;
@@ -85,6 +86,14 @@ pub struct ServeConfig {
     /// Reactor shards in event mode (0 = one per core); each shard is
     /// an accept queue + epoll loop + batcher shard + metrics shard.
     pub reactors: usize,
+    /// Install the online-learning tap, sampling 1 in N served
+    /// predictions for background oracle labeling (0 = no tap). The
+    /// learner thread itself is spawned by the caller
+    /// ([`Server::learn_tap`] exposes the queue).
+    pub learn_sample_every: u64,
+    /// Bound of the learner tap's sample queue; a full queue sheds
+    /// samples (counted) instead of blocking the serving path.
+    pub learn_queue_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +107,8 @@ impl Default for ServeConfig {
             read_timeout_ms: 50,
             mode: ServeMode::Auto,
             reactors: 0,
+            learn_sample_every: 0,
+            learn_queue_cap: 1024,
         }
     }
 }
@@ -108,6 +119,8 @@ pub(crate) struct ServerState {
     pub(crate) metrics: MetricsShards,
     pub(crate) batcher: ShardedBatcher,
     pub(crate) pool: WorkerPool,
+    /// The online-learning sample tap, when `--learn` is on.
+    pub(crate) tap: Option<Arc<LearnTap>>,
     pub(crate) stopping: AtomicBool,
     pub(crate) addr: SocketAddr,
     pub(crate) cfg: ServeConfig,
@@ -133,13 +146,21 @@ impl ServerState {
 
     pub(crate) fn stats(&self) -> StatsReply {
         let (batches, items, max_batch) = self.batcher.folded_counters();
-        self.metrics.fold_snapshot(
-            self.batcher.queue_depth() as u64,
-            self.pool.queue_depth() as u64,
-            batches,
-            items,
+        let learn = match &self.tap {
+            Some(tap) => tap.stats_reply(self.model.generation()),
+            None => {
+                LearnStatsReply { model_generation: self.model.generation(), ..Default::default() }
+            }
+        };
+        self.metrics.fold_snapshot(Gauges {
+            batch_queue_depth: self.batcher.queue_depth() as u64,
+            pool_queue_depth: self.pool.queue_depth() as u64,
+            batches_flushed: batches,
+            batched_items: items,
             max_batch,
-        )
+            batch_shards: self.batcher.shard_counters(),
+            learn,
+        })
     }
 
     /// The blocking engine's metrics shard (it runs single-sharded).
@@ -224,7 +245,9 @@ impl Server {
         let threads =
             if cfg.threads == 0 { misam_oracle::pool::default_threads() } else { cfg.threads };
         let model = Arc::new(SharedModel::new(bundle));
-        let batcher = ShardedBatcher::new(
+        let tap = (cfg.learn_sample_every > 0)
+            .then(|| Arc::new(LearnTap::new(cfg.learn_sample_every, cfg.learn_queue_cap)));
+        let batcher = ShardedBatcher::with_tap(
             &model,
             BatchConfig {
                 batch_max: cfg.batch_max,
@@ -232,11 +255,13 @@ impl Server {
                 queue_cap: cfg.queue_cap,
             },
             shards,
+            tap.clone(),
         );
         Arc::new(ServerState {
             model,
             metrics: MetricsShards::new(shards),
             batcher,
+            tap,
             pool: WorkerPool::new(threads, cfg.queue_cap),
             stopping: AtomicBool::new(false),
             addr,
@@ -321,6 +346,18 @@ impl Server {
     /// A live metrics snapshot, folded across shards.
     pub fn stats(&self) -> StatsReply {
         self.state.stats()
+    }
+
+    /// The hot-reload point the server predicts through — the learner
+    /// publishes retrained bundles here.
+    pub fn shared_model(&self) -> Arc<SharedModel> {
+        Arc::clone(&self.state.model)
+    }
+
+    /// The learner tap, when the server was started with a sampling
+    /// rate (`learn_sample_every > 0`); the learner thread drains it.
+    pub fn learn_tap(&self) -> Option<Arc<LearnTap>> {
+        self.state.tap.clone()
     }
 
     /// Initiates shutdown without waiting; pair with [`Server::join`].
@@ -559,6 +596,7 @@ fn dispatch(
 
 /// Arity/finiteness validation shared by both engines; `Err` carries
 /// the ready-made failure response.
+#[allow(clippy::result_large_err)] // Err is a ready-made Response (see the allow on Response)
 pub(crate) fn validate_group(vectors: &[Vec<f64>]) -> Result<(), Response> {
     let arity = FEATURE_NAMES.len();
     for (i, v) in vectors.iter().enumerate() {
@@ -601,10 +639,14 @@ pub(crate) fn validate_simulate(req: &protocol::SimulateRequest) -> Option<Respo
 }
 
 /// The `PredictGen` job body, shared by both engines: synthesize the
-/// workload, extract features, predict against `prepared`.
+/// workload, extract features, predict against `prepared`. With a
+/// `tap`, the prediction is offered to the learner's sampler *with its
+/// generator spec* — these are the samples the trainer can oracle-label
+/// (the spec rebuilds the operand deterministically).
 pub(crate) fn run_predict_gen(
     prepared: &PreparedBundle,
     spec: &protocol::GenSpec,
+    tap: Option<&LearnTap>,
 ) -> Result<PredictOutcome, String> {
     let a = spec.build()?;
     let features = misam_features::PairFeatures::extract_dense_b(
@@ -613,7 +655,12 @@ pub(crate) fn run_predict_gen(
         spec.dense_cols,
         &prepared.bundle.tile_config(),
     );
-    Ok(predict_vector(prepared, &features.to_vector()))
+    let v = features.to_vector();
+    let out = predict_vector(prepared, &v);
+    if let Some(tap) = tap {
+        tap.offer(&v, out.predicted, Some(spec));
+    }
+    Ok(out)
 }
 
 /// The `Simulate` job body, shared by both engines: run the cycle
@@ -652,6 +699,7 @@ pub(crate) fn run_simulate(req: &protocol::SimulateRequest) -> Result<SimulateRe
 /// Validates arity, runs a group of vectors through the micro-batcher,
 /// and applies the session's reconfiguration policy to each outcome in
 /// order. `Err` carries the ready-made failure response.
+#[allow(clippy::result_large_err)] // Err is a ready-made Response (see the allow on Response)
 fn predict_group(
     state: &ServerState,
     session: &mut Option<Session>,
@@ -685,8 +733,9 @@ fn predict_gen(
     let prepared = state.model.snapshot();
     let (tx, rx) = crossbeam::channel::unbounded::<Result<PredictOutcome, String>>();
     let job_prepared = Arc::clone(&prepared);
+    let tap = state.tap.clone();
     let submitted = state.pool.try_submit(move || {
-        let _ = tx.send(run_predict_gen(&job_prepared, &spec));
+        let _ = tx.send(run_predict_gen(&job_prepared, &spec, tap.as_deref()));
     });
     if submitted.is_err() {
         state.metrics0().shed();

@@ -52,6 +52,10 @@ pub struct PreparedBundle {
     pub bundle: ModelBundle,
     flat_selector: FlatSelector,
     flat_predictor: FlatLatencyPredictor,
+    /// Publish generation stamped by [`SharedModel`] at swap time (the
+    /// initial bundle is generation 1). A batch flush takes exactly one
+    /// snapshot, so every outcome in one flush carries one generation.
+    generation: u64,
 }
 
 impl PreparedBundle {
@@ -59,7 +63,12 @@ impl PreparedBundle {
     pub fn new(bundle: ModelBundle) -> Self {
         let flat_selector = bundle.selector.to_flat();
         let flat_predictor = bundle.predictor.to_flat();
-        PreparedBundle { bundle, flat_selector, flat_predictor }
+        PreparedBundle { bundle, flat_selector, flat_predictor, generation: 1 }
+    }
+
+    /// The publish generation this bundle was installed under.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 }
 
@@ -119,6 +128,11 @@ pub fn predict_batch(prepared: &PreparedBundle, vectors: &[Vec<f64>]) -> Vec<Pre
 pub struct SharedModel {
     bundle: RwLock<Arc<PreparedBundle>>,
     reloads: AtomicU64,
+    /// Monotonic publish counter: 1 for the startup bundle, bumped by
+    /// every successful file reload or learner publish. Stamped into
+    /// each [`PreparedBundle`] so readers can tell which swap produced
+    /// their snapshot.
+    generation: AtomicU64,
 }
 
 impl SharedModel {
@@ -127,6 +141,7 @@ impl SharedModel {
         SharedModel {
             bundle: RwLock::new(Arc::new(PreparedBundle::new(bundle))),
             reloads: AtomicU64::new(0),
+            generation: AtomicU64::new(1),
         }
     }
 
@@ -150,14 +165,38 @@ impl SharedModel {
     pub fn reload_from(&self, path: &str) -> Result<u32, PersistError> {
         let fresh = ModelBundle::load(path)?;
         let version = fresh.version;
-        *self.bundle.write() = Arc::new(PreparedBundle::new(fresh));
+        self.install(fresh);
         self.reloads.fetch_add(1, Ordering::Relaxed);
         Ok(version)
+    }
+
+    /// Atomically publishes an in-memory bundle (the learner's path —
+    /// no file round-trip) and returns the generation it was installed
+    /// under.
+    pub fn publish(&self, bundle: ModelBundle) -> u64 {
+        self.install(bundle)
+    }
+
+    /// Flattens off to the side, then swaps under the write lock with a
+    /// fresh generation stamp. The generation bump happens inside the
+    /// lock so generations observed through snapshots are monotonic.
+    fn install(&self, bundle: ModelBundle) -> u64 {
+        let mut prepared = PreparedBundle::new(bundle);
+        let mut guard = self.bundle.write();
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        prepared.generation = generation;
+        *guard = Arc::new(prepared);
+        generation
     }
 
     /// Successful reloads performed.
     pub fn reload_count(&self) -> u64 {
         self.reloads.load(Ordering::Relaxed)
+    }
+
+    /// Generation of the currently installed bundle (1 = startup).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 }
 
@@ -265,6 +304,20 @@ pub(crate) mod tests {
         assert_eq!(model.snapshot().bundle.threshold, 0.5, "new requests see the new model");
         assert_eq!(before.bundle.threshold, 0.2, "held snapshots are immutable");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn publish_bumps_generation_without_counting_as_reload() {
+        let model = SharedModel::new(test_bundle().clone());
+        assert_eq!(model.generation(), 1);
+        assert_eq!(model.snapshot().generation(), 1);
+        let mut altered = test_bundle().clone();
+        altered.threshold = 0.4;
+        assert_eq!(model.publish(altered), 2);
+        let snap = model.snapshot();
+        assert_eq!(snap.generation(), 2);
+        assert_eq!(snap.bundle.threshold, 0.4);
+        assert_eq!(model.reload_count(), 0, "publish is not a file reload");
     }
 
     #[test]

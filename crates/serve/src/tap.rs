@@ -1,0 +1,323 @@
+//! The learner tap: a bounded, shed-counted sampling queue between the
+//! serving hot path and the background trainer.
+//!
+//! The hot path calls [`LearnTap::offer`] after a prediction. The tap
+//! keeps it cheap and non-blocking: a 1-in-N sampling gate on a relaxed
+//! atomic counter decides before anything is cloned, and admission into
+//! the queue uses the same CAS slot-reservation pattern as the
+//! micro-batcher — when the bounded queue is full the sample is shed
+//! (counted, never waited on). The reactor never stalls on the learner;
+//! at worst the learner sees fewer samples.
+//!
+//! The trainer drains with [`LearnTap::try_pop`] on its own thread and
+//! writes its observability (labels, agreement, confusion, retrains,
+//! publishes) back into the tap's atomics, which the Stats endpoint
+//! snapshots via [`LearnTap::stats_reply`] — one struct is both the
+//! queue and the drift-metrics scoreboard.
+
+use crate::protocol::{GenSpec, LearnStatsReply};
+use misam_sim::DesignId;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// One sampled request: the feature vector the server predicted on,
+/// what it predicted, and — when the request carried generator
+/// provenance (`PredictGen`) — the spec, which lets the learner rebuild
+/// the operand deterministically and ask the oracle for ground truth.
+/// Bare `Predict`/`Batch` vectors have no provenance; the trainer
+/// counts them as skipped.
+#[derive(Debug, Clone)]
+pub struct TapSample {
+    /// Feature vector in `FEATURE_NAMES` order.
+    pub features: Vec<f64>,
+    /// Design the serving selector nominated.
+    pub predicted: DesignId,
+    /// Generator provenance, when the request had one.
+    pub spec: Option<GenSpec>,
+}
+
+/// Drift-metrics scoreboard shared between the tap (hot-path writers),
+/// the learner thread, and the Stats endpoint.
+#[derive(Debug, Default)]
+struct Scoreboard {
+    sampled: AtomicU64,
+    shed: AtomicU64,
+    labeled: AtomicU64,
+    skipped: AtomicU64,
+    window: AtomicU64,
+    /// Rolling agreement in parts-per-million (atomics carry no f64).
+    agreement_ppm: AtomicU64,
+    confusion: [AtomicU64; 16],
+    retrains_full: AtomicU64,
+    retrains_touchup: AtomicU64,
+    publishes: AtomicU64,
+    last_publish_generation: AtomicU64,
+}
+
+/// The bounded sampling queue plus its scoreboard. Shared as
+/// `Arc<LearnTap>` between the server (offer + stats) and the learner
+/// (drain + scoreboard writes).
+#[derive(Debug)]
+pub struct LearnTap {
+    sample_every: u64,
+    queue_cap: usize,
+    tx: crossbeam::channel::Sender<TapSample>,
+    rx: crossbeam::channel::Receiver<TapSample>,
+    /// Samples currently queued; CAS-reserved before the send so the
+    /// unbounded channel behaves bounded, exactly like the batcher's
+    /// admission path.
+    depth: AtomicUsize,
+    /// Requests seen by the sampling gate (sampled or not).
+    seen: AtomicU64,
+    board: Scoreboard,
+}
+
+impl LearnTap {
+    /// A tap sampling 1 in `sample_every` offered requests into a queue
+    /// of at most `queue_cap` waiting samples. `sample_every` is
+    /// clamped to at least 1.
+    pub fn new(sample_every: u64, queue_cap: usize) -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        LearnTap {
+            sample_every: sample_every.max(1),
+            queue_cap: queue_cap.max(1),
+            tx,
+            rx,
+            depth: AtomicUsize::new(0),
+            seen: AtomicU64::new(0),
+            board: Scoreboard::default(),
+        }
+    }
+
+    /// Offers one served prediction to the sampler. Never blocks: the
+    /// 1-in-N gate runs on a relaxed counter before any allocation, and
+    /// a full queue sheds (counted) instead of waiting.
+    pub fn offer(&self, features: &[f64], predicted: DesignId, spec: Option<&GenSpec>) {
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        if !n.is_multiple_of(self.sample_every) {
+            return;
+        }
+        // Reserve a slot; give up (shed) the moment the queue is full.
+        let mut depth = self.depth.load(Ordering::Relaxed);
+        loop {
+            if depth >= self.queue_cap {
+                self.board.shed.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            match self.depth.compare_exchange_weak(
+                depth,
+                depth + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => depth = now,
+            }
+        }
+        let sample = TapSample { features: features.to_vec(), predicted, spec: spec.cloned() };
+        if self.tx.send(sample).is_err() {
+            // Channel poisoned (cannot happen while the tap is alive,
+            // since we hold both halves) — release the slot anyway.
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        self.board.sampled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pops the next queued sample, if any (the learner's drain side).
+    pub fn try_pop(&self) -> Option<TapSample> {
+        let sample = self.rx.try_recv()?;
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        Some(sample)
+    }
+
+    /// Samples currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The tap's 1-in-N sampling rate.
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// Learner-side: records one oracle-labeled sample along with the
+    /// refreshed rolling window/agreement state and the confusion cell
+    /// it fell into.
+    pub fn record_label(
+        &self,
+        predicted: DesignId,
+        oracle: DesignId,
+        window: usize,
+        agreement: f64,
+    ) {
+        self.board.labeled.fetch_add(1, Ordering::Relaxed);
+        self.board.window.store(window as u64, Ordering::Relaxed);
+        self.board
+            .agreement_ppm
+            .store((agreement.clamp(0.0, 1.0) * 1_000_000.0).round() as u64, Ordering::Relaxed);
+        self.board.confusion[predicted.index() * 4 + oracle.index()]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Learner-side: removes one confusion cell when its label slides
+    /// out of the rolling agreement window.
+    pub fn retire_label(&self, predicted: DesignId, oracle: DesignId) {
+        let cell = &self.board.confusion[predicted.index() * 4 + oracle.index()];
+        let mut v = cell.load(Ordering::Relaxed);
+        while v > 0 {
+            match cell.compare_exchange_weak(v, v - 1, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => v = now,
+            }
+        }
+    }
+
+    /// Learner-side: records a sample it could not label.
+    pub fn record_skip(&self) {
+        self.board.skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Learner-side: records a retrain attempt (full refit or prune
+    /// touch-up).
+    pub fn record_retrain(&self, full: bool) {
+        if full {
+            self.board.retrains_full.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.board.retrains_touchup.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Learner-side: records a bundle actually published, with the
+    /// generation [`crate::SharedModel::publish`] stamped it with.
+    pub fn record_publish(&self, generation: u64) {
+        self.board.publishes.fetch_add(1, Ordering::Relaxed);
+        self.board.last_publish_generation.store(generation, Ordering::Relaxed);
+    }
+
+    /// Bundles the learner has published so far.
+    pub fn publishes(&self) -> u64 {
+        self.board.publishes.load(Ordering::Relaxed)
+    }
+
+    /// Samples labeled so far.
+    pub fn labeled(&self) -> u64 {
+        self.board.labeled.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot for the Stats endpoint. `model_generation` comes from
+    /// the [`crate::SharedModel`] so the reply shows which bundle is
+    /// serving right now.
+    pub fn stats_reply(&self, model_generation: u64) -> LearnStatsReply {
+        let b = &self.board;
+        let labeled = b.labeled.load(Ordering::Relaxed);
+        let agreement = if labeled == 0 {
+            1.0
+        } else {
+            b.agreement_ppm.load(Ordering::Relaxed) as f64 / 1_000_000.0
+        };
+        LearnStatsReply {
+            enabled: true,
+            sample_every: self.sample_every,
+            sampled: b.sampled.load(Ordering::Relaxed),
+            shed: b.shed.load(Ordering::Relaxed),
+            labeled,
+            skipped: b.skipped.load(Ordering::Relaxed),
+            window: b.window.load(Ordering::Relaxed),
+            agreement,
+            confusion: b.confusion.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            retrains_full: b.retrains_full.load(Ordering::Relaxed),
+            retrains_touchup: b.retrains_touchup.load(Ordering::Relaxed),
+            publishes: b.publishes.load(Ordering::Relaxed),
+            last_publish_generation: b.last_publish_generation.load(Ordering::Relaxed),
+            model_generation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v() -> Vec<f64> {
+        vec![1.0, 2.0, 3.0]
+    }
+
+    #[test]
+    fn sampling_gate_takes_one_in_n() {
+        let tap = LearnTap::new(4, 1024);
+        for _ in 0..40 {
+            tap.offer(&v(), DesignId::D1, None);
+        }
+        assert_eq!(tap.queue_depth(), 10, "1 in 4 of 40 offers");
+        let reply = tap.stats_reply(1);
+        assert_eq!(reply.sampled, 10);
+        assert_eq!(reply.shed, 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let tap = LearnTap::new(1, 8);
+        for _ in 0..20 {
+            tap.offer(&v(), DesignId::D2, None);
+        }
+        assert_eq!(tap.queue_depth(), 8, "bounded at the cap");
+        let reply = tap.stats_reply(1);
+        assert_eq!(reply.sampled, 8);
+        assert_eq!(reply.shed, 12);
+        // Draining frees slots for new samples.
+        assert!(tap.try_pop().is_some());
+        tap.offer(&v(), DesignId::D2, None);
+        assert_eq!(tap.queue_depth(), 8);
+        assert_eq!(tap.stats_reply(1).sampled, 9);
+    }
+
+    #[test]
+    fn drain_preserves_order_and_payload() {
+        let tap = LearnTap::new(1, 16);
+        let spec = GenSpec {
+            kind: "uniform".into(),
+            rows: 64,
+            cols: 64,
+            density: 0.05,
+            seed: 9,
+            dense_cols: 32,
+        };
+        tap.offer(&[1.0], DesignId::D1, Some(&spec));
+        tap.offer(&[2.0], DesignId::D3, None);
+        let first = tap.try_pop().unwrap();
+        assert_eq!(first.features, vec![1.0]);
+        assert_eq!(first.predicted, DesignId::D1);
+        assert_eq!(first.spec.as_ref().unwrap().seed, 9);
+        let second = tap.try_pop().unwrap();
+        assert_eq!(second.features, vec![2.0]);
+        assert!(second.spec.is_none());
+        assert!(tap.try_pop().is_none());
+        assert_eq!(tap.queue_depth(), 0);
+    }
+
+    #[test]
+    fn scoreboard_rolls_up_into_stats() {
+        let tap = LearnTap::new(2, 32);
+        tap.record_label(DesignId::D1, DesignId::D1, 5, 0.8);
+        tap.record_label(DesignId::D1, DesignId::D4, 6, 0.75);
+        tap.record_skip();
+        tap.record_retrain(true);
+        tap.record_retrain(false);
+        tap.record_publish(7);
+        let reply = tap.stats_reply(7);
+        assert_eq!(reply.labeled, 2);
+        assert_eq!(reply.skipped, 1);
+        assert_eq!(reply.window, 6);
+        assert!((reply.agreement - 0.75).abs() < 1e-9);
+        assert_eq!(reply.confusion[0], 1, "D1 predicted, D1 oracle");
+        assert_eq!(reply.confusion[3], 1, "D1 predicted, D4 oracle");
+        assert_eq!(reply.retrains_full, 1);
+        assert_eq!(reply.retrains_touchup, 1);
+        assert_eq!(reply.publishes, 1);
+        assert_eq!(reply.last_publish_generation, 7);
+        assert_eq!(reply.model_generation, 7);
+        // Sliding a label out of the window retires its cell.
+        tap.retire_label(DesignId::D1, DesignId::D4);
+        assert_eq!(tap.stats_reply(7).confusion[3], 0);
+    }
+}

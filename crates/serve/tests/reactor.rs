@@ -95,6 +95,7 @@ fn idle_connection_flood_leaves_the_hot_path_fast() {
         seed: 11,
         open_loop_rps: None,
         idle_conns: 1000,
+        gen: None,
     }
     .run(server.addr())
     .expect("flood run");
@@ -225,6 +226,7 @@ fn open_loop_load_paces_arrivals() {
         seed: 5,
         open_loop_rps: Some(500.0),
         idle_conns: 0,
+        gen: None,
     }
     .run(server.addr())
     .expect("open-loop run");
