@@ -4,7 +4,7 @@
 # experiment sweeps); default is all cores and output is byte-identical
 # at any value, e.g. `MISAM_THREADS=4 make reproduce`.
 
-.PHONY: test bench bench-sim bench-gen bench-serve bench-train bench-ingest bench-kernels bench-learn serve-smoke learn-smoke reproduce reproduce-paper examples doc clean
+.PHONY: test bench bench-sim bench-gen bench-serve bench-train bench-ingest bench-kernels bench-learn bench-surrogate serve-smoke learn-smoke surrogate-smoke reproduce reproduce-paper examples doc clean
 
 test:
 	cargo test --workspace
@@ -73,6 +73,23 @@ serve-smoke:
 # tap-off hot-path comparison. Writes BENCH_learn.json.
 bench-learn:
 	cargo run --release -p misam-bench --bin bench_learn
+
+# Tiered surrogate oracle benchmark: trains + calibrates a bundle,
+# then labels a disjoint eval stream through the gated tier, the
+# ungated surrogate, and a fresh cycle-sim oracle. Gates: ungated
+# surrogate labeling >= 10x the sim, gated end-to-end selection
+# agreement >= 99%. Writes BENCH_surrogate.json.
+bench-surrogate:
+	cargo run --release -p misam-bench --bin bench_surrogate
+
+# Surrogate-tier smoke: train + calibrate a small bundle, label a
+# corpus through the gated tier (the CLI prints and the command
+# asserts the surrogate/fallback split), and check the no-bundle
+# error path.
+surrogate-smoke:
+	cargo run --release -p misam-cli --bin misam -- train-surrogate --out /tmp/misam_surrogate.json --samples 300 --seed 5
+	cargo run --release -p misam-cli --bin misam -- dataset --out /tmp/misam_surrogate_corpus.json --format json --samples 40 --seed 5 --oracle tiered --surrogate /tmp/misam_surrogate.json
+	! cargo run --release -p misam-cli --bin misam -- dataset --out /tmp/misam_surrogate_bad.json --samples 5 --oracle surrogate 2>/dev/null
 
 # End-to-end online-learning smoke: serve with the learning loop on
 # (sample everything, fast cadence, forced full refits), drive

@@ -33,7 +33,8 @@ use misam_mlkit::tree::{DecisionTree, TreeParams};
 use misam_sim::schedule::{schedule_uniform_lanes, schedule_uniform_walk};
 use misam_sim::{DesignConfig, DesignId};
 use misam_sparse::kernels::{
-    spmm_lanes, spmm_scalar, try_spgemm_rowwise_scalar, try_spgemm_rowwise_with, SpaWorkspace,
+    spmm_lanes, spmm_scalar, try_spgemm_rowwise_scalar, try_spgemm_rowwise_tiled,
+    try_spgemm_rowwise_with, SpaWorkspace, SPA_TILE_COLS, SPA_WIDE_COLS,
 };
 use misam_sparse::{gen, simd, CsrMatrix};
 use serde::Serialize;
@@ -65,10 +66,16 @@ struct Doc {
     frontier_walk: Kernel,
     feature_gather: Kernel,
     spgemm_rowwise: Kernel,
+    /// Column-tiled SPA at a B wide enough that the untiled scratch
+    /// row blows past L1: one-tile (untiled) walk vs `SPA_TILE_COLS`.
+    spgemm_rowwise_wide_tiled: Kernel,
     spmm: Kernel,
     spmm_remainder: Kernel,
     schedule_uniform_col: Kernel,
     schedule_uniform_row: Kernel,
+    /// Row-traversal fold on many short rows — the shape where the
+    /// residue-major multi-row batch amortizes the lane sweeps.
+    schedule_uniform_row_short_rows: Kernel,
 }
 
 /// Minimum over `reps` timed runs (after one warmup) — the estimator
@@ -337,6 +344,53 @@ fn main() {
     };
     report("spgemm_rowwise", &spgemm_rowwise);
 
+    // --- spgemm, wide B ---------------------------------------------
+    // B past the SPA_WIDE_COLS threshold: the untiled scratch row is
+    // 128 KiB of f32 accumulator alone, so every SPA touch misses L1.
+    // Baseline is the same cursor walk run as a single full-width tile
+    // (untiled behaviour); contender is the production tile width.
+    let wa = gen::uniform_random(2048, 2048, 0.01, 23);
+    let wb = gen::uniform_random(2048, 2 * SPA_WIDE_COLS, 0.004, 24);
+    let spgemm_rowwise_wide_tiled = {
+        let mut ws = SpaWorkspace::new();
+        let n = wb.cols();
+        let reference = try_spgemm_rowwise_scalar(&wa, &wb).unwrap();
+        let untiled = try_spgemm_rowwise_tiled(&wa, &wb, &mut ws, n).unwrap();
+        let tiled = try_spgemm_rowwise_tiled(&wa, &wb, &mut ws, SPA_TILE_COLS).unwrap();
+        let bits_eq = |x: &misam_sparse::CsrMatrix| {
+            reference.row_ptr() == x.row_ptr()
+                && reference.col_idx() == x.col_idx()
+                && reference
+                    .values()
+                    .iter()
+                    .zip(x.values())
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+        };
+        let identical = bits_eq(&untiled) && bits_eq(&tiled);
+        let scalar_ns = time_ns(REPS, || {
+            std::hint::black_box(try_spgemm_rowwise_tiled(&wa, &wb, &mut ws, n).unwrap());
+        });
+        let vectorized_ns = time_ns(REPS, || {
+            std::hint::black_box(
+                try_spgemm_rowwise_tiled(&wa, &wb, &mut ws, SPA_TILE_COLS).unwrap(),
+            );
+        });
+        Kernel {
+            shape: format!(
+                "{}x{} * {}x{} tile={SPA_TILE_COLS}",
+                wa.rows(),
+                wa.cols(),
+                wb.rows(),
+                wb.cols()
+            ),
+            scalar_ns,
+            vectorized_ns,
+            speedup: scalar_ns / vectorized_ns,
+            identical,
+        }
+    };
+    report("spgemm_wide_tiled", &spgemm_rowwise_wide_tiled);
+
     // --- spmm -------------------------------------------------------
     let spmm = spmm_kernel(&sa, 32);
     report("spmm", &spmm);
@@ -350,6 +404,12 @@ fn main() {
     report("schedule_uniform_col", &schedule_uniform_col);
     let schedule_uniform_row = schedule_kernel(&sched, DesignId::D3, 4);
     report("schedule_uniform_row", &schedule_uniform_row);
+    // Many short rows: per-row lane sweeps are all remainder, so the
+    // residue-major batch (concatenated rows through one lane map)
+    // carries the fold. Same bit-identity gate as the uniform shape.
+    let short = gen::uniform_random(262_144, 4096, 0.0015, 33);
+    let schedule_uniform_row_short_rows = schedule_kernel(&short, DesignId::D3, 4);
+    report("schedule_row_short", &schedule_uniform_row_short_rows);
 
     let all_identical = [
         &profile_fold,
@@ -358,10 +418,12 @@ fn main() {
         &frontier_walk,
         &feature_gather,
         &spgemm_rowwise,
+        &spgemm_rowwise_wide_tiled,
         &spmm,
         &spmm_remainder,
         &schedule_uniform_col,
         &schedule_uniform_row,
+        &schedule_uniform_row_short_rows,
     ]
     .iter()
     .all(|k| k.identical);
@@ -389,10 +451,12 @@ fn main() {
         frontier_walk,
         feature_gather,
         spgemm_rowwise,
+        spgemm_rowwise_wide_tiled,
         spmm,
         spmm_remainder,
         schedule_uniform_col,
         schedule_uniform_row,
+        schedule_uniform_row_short_rows,
     };
     let out = serde_json::to_string_pretty(&doc).unwrap();
     std::fs::write("BENCH_kernels.json", &out).expect("write BENCH_kernels.json");

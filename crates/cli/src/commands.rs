@@ -25,6 +25,9 @@ USAGE:
                  --rows N [--cols N] [--density D] [--seed S] --out M.mtx
   misam ingest   --in A.mtx [--out A.msab] [--budget ENTRIES]
   misam dataset  --out corpus.csv [--samples N] [--seed S] [--format csv|json]
+                 [--oracle sim|surrogate|tiered] [--surrogate bundle.json]
+  misam train-surrogate --out surrogate.json [--samples N] [--seed S]
+                 [--trees N] [--holdout-every N] [--target-agreement A]
   misam suite    [--scale S] [--seed N]
   misam corpus   [--scale 1..10000] [--seed N] [--ingest DIR]
   misam serve    --models models.json [--addr 127.0.0.1:7171] [--threads N]
@@ -33,6 +36,7 @@ USAGE:
                  [--learn on|off] [--learn-sample N] [--learn-window N]
                  [--learn-min-window N] [--learn-cadence-ms N]
                  [--learn-drift D] [--learn-objective latency|energy]
+                 [--label-via sim|tiered] [--surrogate bundle.json]
   misam client   --addr HOST:PORT --op stats|drift|shutdown|reload|predict-gen|simulate|load
                  [--path models.json] [--design 1|2|3|4] [--matrix A.msab]
                  [--kind K --rows N --cols N --density D --seed S --dense-cols N]
@@ -58,6 +62,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(rest)?;
     match cmd.as_str() {
         "train" => train(&flags),
+        "train-surrogate" => train_surrogate_cmd(&flags),
         "predict" => predict(&flags),
         "simulate" => sim_cmd(&flags),
         "features" => features(&flags),
@@ -117,6 +122,49 @@ fn train(flags: &Flags) -> Result<(), String> {
     );
     bundle.save(out)?;
     eprintln!("models written to {out}");
+    Ok(())
+}
+
+fn train_surrogate_cmd(flags: &Flags) -> Result<(), String> {
+    flags.expect_only(&["out", "samples", "seed", "trees", "holdout-every", "target-agreement"])?;
+    let out = flags.require("out")?;
+    let samples: usize = flags.get_or("samples", 800)?;
+    let seed: u64 = flags.get_or("seed", 2025u64)?;
+    let mut params = misam_oracle::SurrogateTrainParams::default();
+    params.forest.seed = seed;
+    params.forest.n_trees = flags.get_or("trees", params.forest.n_trees)?;
+    params.holdout_every = flags.get_or("holdout-every", params.holdout_every)?;
+    params.target_agreement = flags.get_or("target-agreement", params.target_agreement)?;
+    if params.holdout_every < 2 {
+        return Err("--holdout-every must be at least 2".into());
+    }
+
+    eprintln!("labeling a {samples}-sample corpus through the cycle sim…");
+    let ds = misam::dataset::Dataset::generate(samples, seed);
+    eprintln!("fitting {} forest(s) of {} tree(s)…", DesignId::ALL.len(), params.forest.n_trees);
+    let bundle = misam::training::train_surrogate(&ds, &params);
+    let cal = &bundle.calibration;
+    eprintln!(
+        "calibration on {} held-out pair(s): band tau 10^{:.3}, {} gated \
+         ({:.1}% agreement inside the band), overall agreement {:.1}%, \
+         fallback rate {:.1}%",
+        cal.holdout,
+        cal.tau_log10,
+        cal.gated,
+        cal.gated_agreement * 100.0,
+        cal.overall_agreement * 100.0,
+        cal.fallback_rate * 100.0,
+    );
+    for (d, per) in DesignId::ALL.iter().zip(&cal.per_design) {
+        eprintln!(
+            "  {d}: {} holdout pair(s), {} fallback(s), gated agreement {:.1}%",
+            per.support,
+            per.fallbacks,
+            per.gated_agreement * 100.0
+        );
+    }
+    bundle.save(out).map_err(String::from)?;
+    eprintln!("surrogate bundle written to {out}");
     Ok(())
 }
 
@@ -353,13 +401,44 @@ fn generate(flags: &Flags) -> Result<(), String> {
 }
 
 fn dataset_cmd(flags: &Flags) -> Result<(), String> {
-    flags.expect_only(&["out", "samples", "seed", "format"])?;
+    flags.expect_only(&["out", "samples", "seed", "format", "oracle", "surrogate"])?;
     let out = flags.require("out")?;
     let samples: usize = flags.get_or("samples", 1000)?;
     let seed: u64 = flags.get_or("seed", 2025u64)?;
     let format = flags.get("format").unwrap_or("csv");
-    eprintln!("generating {samples}-sample corpus (4 simulated designs per sample)…");
-    let ds = misam::dataset::Dataset::generate(samples, seed);
+    let oracle = flags.get("oracle").unwrap_or("sim");
+    eprintln!("generating {samples}-sample corpus (4 designs per sample, {oracle} oracle)…");
+    let ds = match oracle {
+        "sim" => misam::dataset::Dataset::generate(samples, seed),
+        "surrogate" | "tiered" => {
+            // A private tier (not the process global) so the labeling
+            // stats below describe exactly this corpus.
+            let tiered = misam_oracle::TieredOracle::new();
+            if let Some(path) = flags.get("surrogate") {
+                tiered.load_bundle(path).map_err(String::from)?;
+            } else if oracle == "surrogate" {
+                return Err("--oracle surrogate needs a --surrogate bundle.json".into());
+            }
+            if oracle == "surrogate" {
+                // Ungated: trust every surrogate answer, never fall back.
+                let model = tiered.model().expect("bundle installed above");
+                tiered.install(std::sync::Arc::new(model.with_tau(f64::NEG_INFINITY)));
+            }
+            let ds = misam::dataset::Dataset::generate_with_threads_via(
+                samples,
+                seed,
+                misam_oracle::pool::default_threads(),
+                &tiered,
+            );
+            let stats = tiered.stats();
+            eprintln!(
+                "labeled {} pair(s) from the surrogate, {} by cycle-sim fallback, {} unmodeled",
+                stats.surrogate_pairs, stats.fallback_pairs, stats.unmodeled_pairs
+            );
+            ds
+        }
+        other => return Err(format!("unknown oracle '{other}' (sim|surrogate|tiered)")),
+    };
     let body = match format {
         "csv" => ds.to_csv(),
         "json" => ds.to_json().map_err(|e| e.to_string())?,
@@ -429,6 +508,8 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
         "learn-min-new",
         "learn-objective",
         "learn-seed",
+        "label-via",
+        "surrogate",
     ])?;
     let bundle = ModelBundle::load(flags.require("models")?)?;
     let mode = match flags.get("mode").unwrap_or("auto") {
@@ -460,6 +541,18 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
     if learn && cfg.learn_sample_every == 0 {
         return Err("--learn-sample must be positive when --learn on".into());
     }
+    let label_via = match flags.get("label-via").unwrap_or("sim") {
+        "sim" => misam_learn::LabelVia::Sim,
+        "tiered" => misam_learn::LabelVia::Tiered,
+        other => return Err(format!("bad --label-via '{other}' (sim|tiered)")),
+    };
+    if let Some(path) = flags.get("surrogate") {
+        // Install the bundle into the process-global tier the learner
+        // labels through; --label-via tiered without a bundle still
+        // works (sim-only until one is installed).
+        misam_oracle::tiered_global().load_bundle(path).map_err(String::from)?;
+        eprintln!("surrogate bundle {path} installed for tiered labeling");
+    }
     let learn_cfg = if learn {
         let defaults = misam_learn::LearnConfig::default();
         Some(misam_learn::LearnConfig {
@@ -474,6 +567,7 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
             drift_threshold: flags.get_or("learn-drift", defaults.drift_threshold)?,
             min_new_labels: flags.get_or("learn-min-new", defaults.min_new_labels)?,
             seed: flags.get_or("learn-seed", defaults.seed)?,
+            label_via,
             ..defaults
         })
     } else {

@@ -19,7 +19,7 @@
 //! function of `(seed, index)`.
 
 use misam_features::{PairFeatures, TileConfig};
-use misam_oracle::pool;
+use misam_oracle::{pool, LazyLabeler};
 use misam_sim::DesignId;
 use misam_sparse::{gen, LazyMatrix, LazyOperand};
 use rand::rngs::StdRng;
@@ -169,16 +169,49 @@ impl Dataset {
     /// any fallback), and the corpus is byte-identical for any
     /// `threads` value (1 = the plain serial loop).
     pub fn generate_with_threads(n: usize, seed: u64, threads: usize) -> Dataset {
+        Self::generate_with_threads_via(n, seed, threads, misam_oracle::global())
+    }
+
+    /// [`Dataset::generate_with_threads`] labeling through an explicit
+    /// oracle tier instead of the process-global memoized sim — the
+    /// seam that lets corpus generation label via
+    /// [`misam_oracle::TieredOracle`] (gated surrogate with cycle-sim
+    /// fallback) or a fresh [`misam_oracle::SimOracle`] with its own
+    /// cache. A labeler that is a pure function of the operands (every
+    /// [`LazyLabeler`] must be) keeps the corpus byte-identical at any
+    /// thread count.
+    pub fn generate_with_threads_via<L: LazyLabeler>(
+        n: usize,
+        seed: u64,
+        threads: usize,
+        labeler: L,
+    ) -> Dataset {
         let tile_cfg = TileConfig::default();
         let base = seed ^ CORPUS_SEED_SALT;
         let samples = pool::par_map_indices(n, threads, |i| {
             let mut rng = StdRng::seed_from_u64(sample_seed(base, i));
             let (a, spec, a_kind) = random_pair_lazy(&mut rng);
             let features = spec.features(&a, &tile_cfg).to_vector();
-            let (times_s, energies_j) = simulate_all_lazy(&a, spec.lazy_operand());
+            // Hand the labeler the features just extracted: a tiered
+            // labeler gates on them without a second store round-trip.
+            let (times_s, energies_j) =
+                label_all_lazy(&labeler, &a, spec.lazy_operand(), &features, &tile_cfg);
             Sample { features, times_s, energies_j, a_kind, b_dense: spec.is_dense() }
         });
         Dataset { samples }
+    }
+
+    /// [`Dataset::generate`] labeling through the process-global tiered
+    /// oracle ([`misam_oracle::tiered_global`]): gated surrogate
+    /// predictions with cycle-sim fallback when a bundle is installed,
+    /// byte-identical to plain [`Dataset::generate`] when none is.
+    pub fn generate_tiered(n: usize, seed: u64) -> Dataset {
+        Self::generate_with_threads_via(
+            n,
+            seed,
+            pool::default_threads(),
+            misam_oracle::tiered_global(),
+        )
     }
 
     /// Feature rows of every sample.
@@ -451,8 +484,14 @@ pub fn random_pair(rng: &mut StdRng) -> (misam_sparse::CsrMatrix, OperandSpec, S
     (a.into_csr(), spec.materialize(), a_kind)
 }
 
-fn simulate_all_lazy(a: &LazyMatrix, b: LazyOperand<'_>) -> ([f64; 4], [f64; 4]) {
-    let reports = misam_oracle::global().execute_all_lazy(a, b);
+fn label_all_lazy<L: LazyLabeler>(
+    labeler: &L,
+    a: &LazyMatrix,
+    b: LazyOperand<'_>,
+    features: &[f64],
+    tile: &TileConfig,
+) -> ([f64; 4], [f64; 4]) {
+    let reports = labeler.label_all_lazy_with_features(a, b, features, tile);
     let mut times = [0.0; 4];
     let mut energies = [0.0; 4];
     for (d, r) in DesignId::ALL.iter().zip(&reports) {

@@ -373,10 +373,26 @@ pub fn fig08_reconfig(scale: &ExperimentScale) -> Fig08Result {
 /// Streams a workload on one fixed design with free switching (oracle
 /// probe used by the Figure 8 comparison).
 fn stream_fixed(a: &CsrMatrix, b: Operand<'_>, design: DesignId, cfg: &StreamConfig) -> f64 {
+    stream_probe(a, b, design, cfg, misam_oracle::global())
+}
+
+/// [`stream_fixed`] through an explicit oracle tier: the memoized cycle
+/// sim for the figure probes, or [`misam_oracle::TieredOracle`] when a
+/// sweep wants gated-surrogate answers with sim fallback.
+pub fn stream_probe<E>(
+    a: &CsrMatrix,
+    b: Operand<'_>,
+    design: DesignId,
+    cfg: &StreamConfig,
+    executor: &E,
+) -> f64
+where
+    E: misam_oracle::Executor<Report = misam_sim::SimReport>,
+{
     let flat = |_: &misam_features::PairFeatures, _: DesignId| 1.0;
     let mut e = ReconfigEngine::new(flat, ReconfigCost::zero(), 0.2);
     e.force_load(design);
-    stream::run(a, b, cfg, misam_oracle::global(), &mut e, |_| design).execute_time_s
+    stream::run(a, b, cfg, executor, &mut e, |_| design).execute_time_s
 }
 
 // ------------------------------------------------------------------

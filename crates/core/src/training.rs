@@ -375,6 +375,26 @@ pub fn train_latency_predictor(dataset: &Dataset, seed: u64) -> LatencyTraining 
     LatencyTraining { predictor: LatencyPredictor { trees }, mae, r2, residuals }
 }
 
+/// Trains the learned cycle-level surrogate (per-design regression
+/// forests + calibrated confidence band) on a sim-labeled corpus. Thin
+/// adapter over [`misam_oracle::SurrogateBundle::fit`]: the oracle
+/// crate sits below this one, so it takes raw feature/latency arrays
+/// and this function builds them from a [`Dataset`].
+///
+/// # Panics
+///
+/// Panics if the dataset is empty (see
+/// [`misam_oracle::SurrogateBundle::fit`]).
+pub fn train_surrogate(
+    dataset: &Dataset,
+    params: &misam_oracle::SurrogateTrainParams,
+) -> misam_oracle::SurrogateBundle {
+    assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+    let features = dataset.features();
+    let times: Vec<[f64; 4]> = dataset.samples.iter().map(|s| s.times_s).collect();
+    misam_oracle::SurrogateBundle::fit(&features, &times, params)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,44 @@
+//! End-to-end invariants of tiered (surrogate-gated) corpus labeling.
+//!
+//! The tiered oracle must be a drop-in labeler: byte-identical output
+//! at any worker count, and byte-identical to the sim-only path when no
+//! bundle is installed. Own binary so the private oracles here never
+//! share caches with other tests.
+
+use misam::dataset::Dataset;
+use misam::training;
+use misam_oracle::{RegForestParams, SurrogateTrainParams, TieredOracle};
+use std::sync::Arc;
+
+#[test]
+fn tiered_generation_is_thread_invariant_and_degrades_to_sim() {
+    // No bundle installed: the tiered labeler must reproduce the
+    // sim-only corpus bit for bit (fallback on every pair).
+    let sim_only = Dataset::generate_with_threads(24, 7331, 1);
+    let bare = TieredOracle::new();
+    assert_eq!(sim_only, Dataset::generate_with_threads_via(24, 7331, 1, &bare));
+    let stats = bare.stats();
+    assert_eq!(stats.surrogate_pairs, 0);
+    assert_eq!(stats.fallback_pairs, 0, "no-model pairs are unmodeled, not fallbacks");
+    assert_eq!(stats.unmodeled_pairs, 24);
+
+    // With a trained bundle the corpus is a pure function of
+    // (seed, index) — the per-pair gate decision depends only on the
+    // pair, never on worker interleaving.
+    let base = Dataset::generate_with_threads(60, 9001, 1);
+    let params = SurrogateTrainParams {
+        forest: RegForestParams { n_trees: 4, ..Default::default() },
+        ..Default::default()
+    };
+    let model = Arc::new(training::train_surrogate(&base, &params).into_model());
+
+    let label = |threads: usize| {
+        let tiered = TieredOracle::new();
+        tiered.install(model.clone());
+        Dataset::generate_with_threads_via(24, 7331, threads, &tiered)
+    };
+    let serial = label(1);
+    for threads in [2, 5, 8] {
+        assert_eq!(serial, label(threads), "threads={threads}");
+    }
+}

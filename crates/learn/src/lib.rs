@@ -37,6 +37,18 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Which oracle tier labels tapped traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LabelVia {
+    /// The memoized cycle simulator ([`misam_oracle::global`]).
+    #[default]
+    Sim,
+    /// The tiered oracle ([`misam_oracle::tiered_global`]): gated
+    /// surrogate answers with cycle-sim fallback. Degrades to sim-only
+    /// labeling while no surrogate bundle is installed.
+    Tiered,
+}
+
 /// Tuning knobs for the background learning loop.
 #[derive(Debug, Clone)]
 pub struct LearnConfig {
@@ -59,6 +71,8 @@ pub struct LearnConfig {
     /// Training seed for refits (determinism: same window + seed →
     /// byte-identical bundle).
     pub seed: u64,
+    /// Oracle tier used to label tapped traffic.
+    pub label_via: LabelVia,
 }
 
 impl Default for LearnConfig {
@@ -72,6 +86,7 @@ impl Default for LearnConfig {
             min_new_labels: 32,
             agreement_window: 128,
             seed: 7,
+            label_via: LabelVia::Sim,
         }
     }
 }
@@ -107,10 +122,30 @@ pub struct LabeledSample {
 /// Returns a message when the sample carries no spec (bare `Predict`
 /// vectors have no provenance to simulate) or the spec fails to build.
 pub fn label_sample(sample: &TapSample, objective: Objective) -> Result<LabeledSample, String> {
+    label_sample_via(sample, objective, LabelVia::Sim)
+}
+
+/// [`label_sample`] with an explicit oracle tier. `LabelVia::Tiered`
+/// routes through [`misam_oracle::tiered_global`], which answers from
+/// the gated surrogate when confident and falls back to the cycle sim
+/// otherwise — with no bundle installed it is sim-only, so labels stay
+/// byte-identical to the `Sim` path.
+///
+/// # Errors
+///
+/// Same contract as [`label_sample`].
+pub fn label_sample_via(
+    sample: &TapSample,
+    objective: Objective,
+    via: LabelVia,
+) -> Result<LabeledSample, String> {
     let spec = sample.spec.as_ref().ok_or("sample has no generator provenance")?;
     let a = spec.build()?;
-    let reports = misam_oracle::global()
-        .execute_all(&a, Operand::Dense { rows: a.cols(), cols: spec.dense_cols });
+    let b = Operand::Dense { rows: a.cols(), cols: spec.dense_cols };
+    let reports = match via {
+        LabelVia::Sim => misam_oracle::global().execute_all(&a, b),
+        LabelVia::Tiered => misam_oracle::tiered_global().execute_all(&a, b),
+    };
     let mut times_s = [0.0f64; 4];
     let mut energies_j = [0.0f64; 4];
     for r in &reports {
@@ -224,7 +259,7 @@ fn trainer_loop(model: &SharedModel, tap: &LearnTap, cfg: &LearnConfig, stop: &A
         while drained < DRAIN_BATCH {
             let Some(sample) = tap.try_pop() else { break };
             drained += 1;
-            match label_sample(&sample, cfg.objective) {
+            match label_sample_via(&sample, cfg.objective, cfg.label_via) {
                 Ok(labeled) => {
                     if ring.len() == ring_cap && ring.pop_front() == Some(true) {
                         hits -= 1;
@@ -249,6 +284,10 @@ fn trainer_loop(model: &SharedModel, tap: &LearnTap, cfg: &LearnConfig, stop: &A
                 }
                 Err(_) => tap.record_skip(),
             }
+        }
+        if drained > 0 && cfg.label_via == LabelVia::Tiered {
+            let ts = misam_oracle::tiered_global().stats();
+            tap.record_surrogate(ts.surrogate_pairs, ts.fallback_pairs);
         }
 
         if last_eval.elapsed() >= cfg.cadence
@@ -338,6 +377,26 @@ mod tests {
         assert_eq!(a.oracle, b.oracle);
         assert_eq!(a.times_s, b.times_s);
         assert_eq!(a.energies_j, b.energies_j);
+    }
+
+    #[test]
+    fn tiered_labeling_without_a_bundle_matches_sim_labeling() {
+        let s = spec("power-law", 77);
+        let tile = TileConfig::default();
+        let sample = TapSample {
+            features: served_features(&s, &tile),
+            predicted: DesignId::from_index(2),
+            spec: Some(s),
+        };
+        // No surrogate bundle is installed in this process, so the
+        // tiered tier must degrade to sim-only and produce identical
+        // labels (the issue's "degrades to sim-only" guarantee).
+        let sim = label_sample_via(&sample, Objective::Latency, LabelVia::Sim).expect("sim");
+        let tiered =
+            label_sample_via(&sample, Objective::Latency, LabelVia::Tiered).expect("tiered");
+        assert_eq!(sim.oracle, tiered.oracle);
+        assert_eq!(sim.times_s, tiered.times_s);
+        assert_eq!(sim.energies_j, tiered.energies_j);
     }
 
     #[test]

@@ -62,7 +62,7 @@ where
 }
 
 /// [`cross_validate`] with the rounds evaluated in parallel on
-/// `misam_oracle::pool` workers (count from `MISAM_THREADS`, default all
+/// `misam_pool` workers (count from `MISAM_THREADS`, default all
 /// cores). Folds are drawn identically to the serial version and scores
 /// come back in round order, so the result is exactly what
 /// [`cross_validate`] returns — `eval` just needs to be thread-safe
@@ -73,7 +73,7 @@ where
 {
     let folds = k_folds(n, k, seed);
     let rounds: Vec<usize> = (0..k).collect();
-    misam_oracle::pool::par_map(&rounds, |&round| {
+    misam_pool::par_map(&rounds, |&round| {
         let (train, val) = round_indices(&folds, round);
         eval(&train, val)
     })

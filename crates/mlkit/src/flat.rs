@@ -377,6 +377,31 @@ impl FlatRegressionTree {
         }
     }
 
+    /// [`FlatRegressionTree::predict`] against an *unprojected* feature
+    /// vector: node feature `f` reads `features[map[f]]`. Walking with
+    /// the indirection is bit-identical to projecting `features` through
+    /// `map` first — same comparisons against the same values — but
+    /// touches only the ≤ depth features the path visits instead of
+    /// copying the whole projection per tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map.len() != n_features` (the projected arity the
+    /// tree was fit on).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn predict_mapped(&self, features: &[f64], map: &[usize]) -> f64 {
+        assert_eq!(map.len(), self.n_features, "feature map has wrong arity");
+        let mut i = 0usize;
+        loop {
+            let f = self.feature[i];
+            if f == LEAF {
+                return self.threshold[i];
+            }
+            let go_right = !(features[map[f as usize]] <= self.threshold[i]);
+            i = self.children[2 * i + usize::from(go_right)] as usize;
+        }
+    }
+
     /// Predicts a batch of row vectors.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
         xs.iter().map(|f| self.predict(f)).collect()
@@ -418,6 +443,84 @@ impl FlatRegressionTree {
     }
 
     /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Re-packs the tree for streaming inference against *unprojected*
+    /// feature vectors of arity `raw_arity`: node records are
+    /// interleaved (one cache line per visited node instead of three
+    /// parallel arrays) and `map` is applied to every split's feature
+    /// index at pack time, so the walk has zero per-node indirection.
+    /// Predictions are bit-identical to
+    /// [`FlatRegressionTree::predict_mapped`] with the same `map`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map.len() != n_features` or `raw_arity >= u16::MAX`.
+    pub fn pack_mapped(&self, map: &[usize], raw_arity: usize) -> PackedRegressionTree {
+        assert_eq!(map.len(), self.n_features, "feature map has wrong arity");
+        assert!(raw_arity < LEAF as usize, "raw feature arity must fit u16");
+        let nodes = (0..self.feature.len())
+            .map(|i| {
+                let f = self.feature[i];
+                PackedRNode {
+                    threshold: self.threshold[i],
+                    children: [self.children[2 * i], self.children[2 * i + 1]],
+                    feature: if f == LEAF { LEAF } else { map[f as usize] as u16 },
+                }
+            })
+            .collect();
+        PackedRegressionTree { nodes, n_features: raw_arity }
+    }
+}
+
+/// One node of a [`PackedRegressionTree`]: threshold (or leaf value),
+/// both children, and the pre-mapped raw feature index in a single
+/// record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PackedRNode {
+    threshold: f64,
+    children: [u32; 2],
+    feature: u16,
+}
+
+/// [`FlatRegressionTree`] interleaved for streaming inference (see
+/// [`FlatRegressionTree::pack_mapped`]). Runtime-only — never
+/// serialized; rebuild it from the flat form after loading a bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedRegressionTree {
+    nodes: Vec<PackedRNode>,
+    n_features: usize,
+}
+
+impl PackedRegressionTree {
+    /// Predicts the target for one *unprojected* feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features` (the raw arity given at
+    /// pack time).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.n_features, "feature vector has wrong arity");
+        let mut i = 0usize;
+        loop {
+            let n = &self.nodes[i];
+            if n.feature == LEAF {
+                return n.threshold;
+            }
+            let go_right = !(features[n.feature as usize] <= n.threshold);
+            i = n.children[usize::from(go_right)] as usize;
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Raw (unprojected) feature arity `predict` expects.
     pub fn n_features(&self) -> usize {
         self.n_features
     }

@@ -7,7 +7,7 @@
 //! footprint / inference-latency trade-off can be *measured* (see the
 //! `ablation_models` experiment) instead of asserted.
 //!
-//! Trees grow in parallel on `misam_oracle::pool` workers. Every random
+//! Trees grow in parallel on `misam_pool` workers. Every random
 //! draw (feature subsets, bootstrap indices) is sequenced **serially**
 //! from the seeded RNG before any worker starts, in exactly the order
 //! the original serial loop drew them, so the fitted forest is
@@ -107,7 +107,7 @@ impl RandomForest {
         n_classes: usize,
         params: &ForestParams,
     ) -> Self {
-        Self::fit_inner(m, y, n_classes, params, misam_oracle::pool::default_threads())
+        Self::fit_inner(m, y, n_classes, params, misam_pool::default_threads())
     }
 
     fn fit_inner(
@@ -164,7 +164,7 @@ impl RandomForest {
 
         // Grow trees in parallel; par_map returns results in input
         // order, so tree i is always the tree plan i would have grown.
-        let trees = misam_oracle::pool::par_map_with(&plans, threads, |plan| {
+        let trees = misam_pool::par_map_with(&plans, threads, |plan| {
             let sub = m.gather_project(&plan.boot, Some(&plan.map));
             let ys: Vec<usize> = plan.boot.iter().map(|&i| y[i]).collect();
             DecisionTree::fit_matrix(&sub, &ys, n_classes, &params.tree)

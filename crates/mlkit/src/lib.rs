@@ -17,6 +17,9 @@
 //! - [`forest::RandomForest`] — the bagged-ensemble counterfactual, used
 //!   by the model-ablation experiment to measure what the single-tree
 //!   choice trades away.
+//! - [`regforest::RegressionForest`] — the bagged regression ensemble
+//!   behind the learned cycle-level surrogate oracle (per-design
+//!   log-latency prediction, deterministic at any thread count).
 //! - [`metrics`] — accuracy, confusion matrices, MAE, R², geometric
 //!   means and class weights.
 //! - [`cv`] — seeded train/validation splits and k-fold cross-validation
@@ -56,6 +59,7 @@ pub mod forest;
 pub mod matrix;
 pub mod metrics;
 pub mod reference;
+pub mod regforest;
 pub mod regression;
 pub mod simd;
 pub mod tree;

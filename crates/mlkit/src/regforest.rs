@@ -1,0 +1,403 @@
+//! Bagged regression forest — the ensemble form of
+//! [`crate::regression::RegressionTree`], built for the learned
+//! cycle-level surrogate executor.
+//!
+//! The surrogate oracle (see `misam-oracle::surrogate`) predicts
+//! per-design log-latency from pair features; a single regression tree
+//! overfits the corpus shape grid, so the surrogate trains one bagged
+//! forest per design. Induction mirrors [`crate::forest::RandomForest`]
+//! exactly: every random draw (feature subsets, bootstrap indices) is
+//! sequenced **serially** from the seeded RNG before any worker starts,
+//! so the fitted forest is bit-identical at any thread count.
+//! Prediction averages the member trees in tree order (a fixed
+//! left-to-right sum, then one divide), so inference is deterministic
+//! too.
+
+use crate::flat::FlatRegressionTree;
+use crate::matrix::FeatureMatrix;
+use crate::regression::{RegParams, RegressionTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for regression-forest induction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Parameters of each member tree.
+    pub tree: RegParams,
+    /// Fraction of the training set bootstrapped per tree.
+    pub sample_fraction: f64,
+    /// Features visible to each tree (a random subset per tree; `None`
+    /// uses all features).
+    pub features_per_tree: Option<usize>,
+    /// Seed for bootstrapping and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for RegForestParams {
+    fn default() -> Self {
+        RegForestParams {
+            n_trees: 16,
+            tree: RegParams::default(),
+            sample_fraction: 0.8,
+            features_per_tree: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A bagged ensemble of regression trees, averaged in tree order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionForest {
+    trees: Vec<RegressionTree>,
+    /// Per-tree feature index maps (tree i sees `features[maps[i][j]]`
+    /// as its feature j).
+    maps: Vec<Vec<usize>>,
+    n_features: usize,
+}
+
+/// Pre-drawn randomness for one tree; drawn serially up front so the
+/// parallel fit is deterministic (same pattern as the classifier
+/// forest's `TreePlan`).
+struct RegTreePlan {
+    map: Vec<usize>,
+    boot: Vec<usize>,
+}
+
+impl RegressionForest {
+    /// Fits a forest to feature rows `x` and real-valued targets `y`,
+    /// growing trees in parallel (worker count from `MISAM_THREADS`,
+    /// default all cores). The result is identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`RegressionTree::fit`], or
+    /// if `n_trees == 0`, `sample_fraction` is outside `(0, 1]`, or
+    /// `features_per_tree` is 0 or exceeds the feature count.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: &RegForestParams) -> Self {
+        assert!(!x.is_empty(), "cannot fit a forest to an empty dataset");
+        Self::fit_matrix(&FeatureMatrix::from_rows(x), y, params)
+    }
+
+    /// [`RegressionForest::fit`] with an explicit worker count (1 = serial).
+    pub fn fit_with_threads(
+        x: &[Vec<f64>],
+        y: &[f64],
+        params: &RegForestParams,
+        threads: usize,
+    ) -> Self {
+        assert!(!x.is_empty(), "cannot fit a forest to an empty dataset");
+        Self::fit_inner(&FeatureMatrix::from_rows(x), y, params, threads)
+    }
+
+    /// Fits a forest to columnar features.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`RegressionForest::fit`].
+    pub fn fit_matrix(m: &FeatureMatrix, y: &[f64], params: &RegForestParams) -> Self {
+        Self::fit_inner(m, y, params, misam_pool::default_threads())
+    }
+
+    fn fit_inner(m: &FeatureMatrix, y: &[f64], params: &RegForestParams, threads: usize) -> Self {
+        assert!(params.n_trees > 0, "forest needs at least one tree");
+        assert!(
+            params.sample_fraction > 0.0 && params.sample_fraction <= 1.0,
+            "sample fraction must be in (0, 1]"
+        );
+        let n_features = m.n_features();
+        if let Some(f) = params.features_per_tree {
+            assert!(f > 0 && f <= n_features, "features_per_tree out of range");
+        }
+
+        // Sequence every random draw serially, in the exact order a
+        // serial loop would consume the RNG stream: per tree, the
+        // feature subset first, then the bootstrap indices. The salt
+        // differs from the classifier forest's so the two ensembles
+        // never share bootstrap streams even at equal seeds.
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0x5e_66e57);
+        let n_boot = ((m.n_rows() as f64 * params.sample_fraction).round() as usize).max(1);
+        let plans: Vec<RegTreePlan> = (0..params.n_trees)
+            .map(|_| {
+                let map: Vec<usize> = match params.features_per_tree {
+                    Some(k) => {
+                        let mut all: Vec<usize> = (0..n_features).collect();
+                        for i in 0..k {
+                            let j = rng.gen_range(i..n_features);
+                            all.swap(i, j);
+                        }
+                        all.truncate(k);
+                        all
+                    }
+                    None => (0..n_features).collect(),
+                };
+                let boot: Vec<usize> = (0..n_boot).map(|_| rng.gen_range(0..m.n_rows())).collect();
+                RegTreePlan { map, boot }
+            })
+            .collect();
+
+        // Same parallel-crossover policy as the classifier forest:
+        // clamp to the hardware, serial below the per-tree cell count
+        // where scoped spawns stop paying for themselves.
+        const MIN_PARALLEL_CELLS: usize = 1 << 14;
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let per_tree = n_boot * params.features_per_tree.unwrap_or(n_features);
+        let threads = if per_tree < MIN_PARALLEL_CELLS { 1 } else { threads.min(cores) };
+
+        let trees = misam_pool::par_map_with(&plans, threads, |plan| {
+            let sub = m.gather_project(&plan.boot, Some(&plan.map));
+            let ys: Vec<f64> = plan.boot.iter().map(|&i| y[i]).collect();
+            RegressionTree::fit_matrix(&sub, &ys, &params.tree)
+        });
+        let maps = plans.into_iter().map(|p| p.map).collect();
+        RegressionForest { trees, maps, n_features }
+    }
+
+    /// Predicts by averaging the member trees in tree order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training arity.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.n_features, "feature vector has wrong arity");
+        let mut sum = 0.0;
+        let mut projected = Vec::new();
+        for (tree, map) in self.trees.iter().zip(&self.maps) {
+            projected.clear();
+            projected.extend(map.iter().map(|&f| features[f]));
+            sum += tree.predict(&projected);
+        }
+        sum / self.trees.len() as f64
+    }
+
+    /// Predicts a batch.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Flattens every member tree into the branch-light inference form.
+    /// Predictions through the flat form are bit-identical to
+    /// [`RegressionForest::predict`].
+    pub fn flatten(&self) -> FlatRegressionForest {
+        FlatRegressionForest {
+            trees: self.trees.iter().map(FlatRegressionTree::from_tree).collect(),
+            maps: self.maps.clone(),
+            n_features: self.n_features,
+        }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Total node count across all trees (footprint proxy).
+    pub fn node_count(&self) -> usize {
+        self.trees.iter().map(RegressionTree::node_count).sum()
+    }
+}
+
+/// Flattened inference form of [`RegressionForest`]: every member tree
+/// as a [`FlatRegressionTree`], walked in tree order with the same
+/// left-to-right sum, so predictions are bit-identical to the boxed
+/// forest's. [`FlatRegressionForest::pack`] turns it into the
+/// interleaved form the surrogate oracle keeps hot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatRegressionForest {
+    trees: Vec<FlatRegressionTree>,
+    maps: Vec<Vec<usize>>,
+    n_features: usize,
+}
+
+impl FlatRegressionForest {
+    /// Predicts by averaging the member trees in tree order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training arity.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.n_features, "feature vector has wrong arity");
+        let mut sum = 0.0;
+        for (tree, map) in self.trees.iter().zip(&self.maps) {
+            // Walk with the map indirection instead of materialising the
+            // projection: bit-identical (same comparisons, same tree
+            // order) but allocation-free — this is the surrogate
+            // oracle's per-pair hot path.
+            sum += tree.predict_mapped(features, map);
+        }
+        sum / self.trees.len() as f64
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Re-packs every member tree for streaming inference: interleaved
+    /// node records with the per-tree feature maps baked in (see
+    /// [`FlatRegressionTree::pack_mapped`]). Predictions through the
+    /// packed form are bit-identical to
+    /// [`FlatRegressionForest::predict`].
+    pub fn pack(&self) -> PackedRegressionForest {
+        PackedRegressionForest {
+            trees: self
+                .trees
+                .iter()
+                .zip(&self.maps)
+                .map(|(t, m)| t.pack_mapped(m, self.n_features))
+                .collect(),
+            n_features: self.n_features,
+        }
+    }
+}
+
+/// [`FlatRegressionForest`] re-packed for streaming inference — the
+/// form the surrogate oracle walks per query. Runtime-only, never
+/// serialized: rebuild via [`FlatRegressionForest::pack`] after loading
+/// a bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedRegressionForest {
+    trees: Vec<crate::flat::PackedRegressionTree>,
+    n_features: usize,
+}
+
+impl PackedRegressionForest {
+    /// Predicts by averaging the member trees in tree order —
+    /// bit-identical to [`FlatRegressionForest::predict`] (same trees,
+    /// same left-to-right sum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training arity.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.n_features, "feature vector has wrong arity");
+        let mut sum = 0.0;
+        for tree in &self.trees {
+            sum += tree.predict(features);
+        }
+        sum / self.trees.len() as f64
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_curve(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let f: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let target = 3.0 * f[0] + f[1] * f[1] + 0.05 * rng.gen_range(-1.0..1.0);
+            x.push(f);
+            y.push(target);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_fits_and_predicts() {
+        let (x, y) = noisy_curve(400, 1);
+        let forest = RegressionForest::fit(&x, &y, &RegForestParams::default());
+        let mae = x.iter().zip(&y).map(|(xi, yi)| (forest.predict(xi) - yi).abs()).sum::<f64>()
+            / x.len() as f64;
+        assert!(mae < 0.25, "train MAE {mae:.3}");
+    }
+
+    #[test]
+    fn fit_is_deterministic_per_seed() {
+        let (x, y) = noisy_curve(150, 2);
+        let a = RegressionForest::fit(&x, &y, &RegForestParams { seed: 9, ..Default::default() });
+        let b = RegressionForest::fit(&x, &y, &RegForestParams { seed: 9, ..Default::default() });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_forest() {
+        let (x, y) = noisy_curve(200, 3);
+        let params = RegForestParams { n_trees: 10, seed: 3, ..Default::default() };
+        let serial = RegressionForest::fit_with_threads(&x, &y, &params, 1);
+        let parallel = RegressionForest::fit_with_threads(&x, &y, &params, 4);
+        assert_eq!(serial, parallel);
+        // And inference through either form agrees to the bit.
+        let flat = serial.flatten();
+        for xi in x.iter().take(32) {
+            assert_eq!(serial.predict(xi).to_bits(), flat.predict(xi).to_bits());
+        }
+    }
+
+    #[test]
+    fn packed_form_is_bit_identical_including_feature_subsets() {
+        let (x, y) = noisy_curve(250, 7);
+        for features_per_tree in [None, Some(2), Some(5)] {
+            let params =
+                RegForestParams { n_trees: 6, features_per_tree, seed: 7, ..Default::default() };
+            let forest = RegressionForest::fit(&x, &y, &params);
+            let flat = forest.flatten();
+            let packed = flat.pack();
+            assert_eq!(packed.n_trees(), 6);
+            assert_eq!(packed.n_features(), forest.n_features());
+            for xi in x.iter().take(64) {
+                let reference = forest.predict(xi).to_bits();
+                assert_eq!(reference, flat.predict(xi).to_bits());
+                assert_eq!(reference, packed.predict(xi).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn feature_subsampling_restricts_visibility() {
+        let (x, y) = noisy_curve(300, 4);
+        let forest = RegressionForest::fit(
+            &x,
+            &y,
+            &RegForestParams { n_trees: 8, features_per_tree: Some(2), ..Default::default() },
+        );
+        let _ = forest.predict(&x[0]);
+        assert_eq!(forest.n_trees(), 8);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let (x, y) = noisy_curve(120, 5);
+        let forest =
+            RegressionForest::fit(&x, &y, &RegForestParams { n_trees: 6, ..Default::default() });
+        let json = serde_json::to_string(&forest).unwrap();
+        let back: RegressionForest = serde_json::from_str(&json).unwrap();
+        assert_eq!(forest, back);
+        assert_eq!(forest.predict(&x[0]).to_bits(), back.predict(&x[0]).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        RegressionForest::fit(
+            &[vec![1.0]],
+            &[0.5],
+            &RegForestParams { n_trees: 0, ..Default::default() },
+        );
+    }
+}

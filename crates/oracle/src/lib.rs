@@ -33,8 +33,14 @@
 pub mod cache;
 pub mod executors;
 pub mod fingerprint;
-pub mod pool;
 pub mod profiles;
+pub mod surrogate;
+
+/// Deterministic scoped-thread parallel map (re-exported from
+/// [`misam_pool`] so historical `misam_oracle::pool::` paths keep
+/// working; the pool itself lives in its own crate so lower layers
+/// like `misam-mlkit` can share it without depending on the oracle).
+pub use misam_pool as pool;
 
 mod service;
 
@@ -43,10 +49,17 @@ pub use executors::{
     AnalyticFpga, CpuExecutor, CustomFpga, FpgaSim, GpuExecutor, TrapezoidExecutor,
 };
 pub use fingerprint::Fingerprint;
+/// Forest hyperparameters, re-exported so [`SurrogateTrainParams`] is
+/// constructible from this crate's API alone.
+pub use misam_mlkit::regforest::RegForestParams;
 pub use service::{global, SimOracle};
+pub use surrogate::{
+    tiered_global, SurrogateBundle, SurrogateError, SurrogateExecutor, SurrogateModel,
+    SurrogateTrainParams, TieredOracle, TieredStats, SURROGATE_BUNDLE_VERSION,
+};
 
-use misam_sim::Operand;
-use misam_sparse::CsrMatrix;
+use misam_sim::{Operand, SimReport};
+use misam_sparse::{CsrMatrix, LazyMatrix, LazyOperand};
 
 /// A cost model that can evaluate `a × b` on one of its targets.
 ///
@@ -73,6 +86,58 @@ pub trait Executor: Sync {
     /// Evaluates every target for one operand pair, in target order.
     fn execute_all(&self, a: &CsrMatrix, b: Operand<'_>) -> Vec<Self::Report> {
         (0..self.targets()).map(|t| self.execute(a, b, t)).collect()
+    }
+}
+
+/// A labeler for lazy (structure-only) operand pairs — the seam corpus
+/// generation plugs different oracle tiers into. [`SimOracle`] labels
+/// through the memoized cycle sim; [`surrogate::TieredOracle`] answers
+/// from the gated surrogate with sim fallback. Implementations must be
+/// pure functions of the operands (given fixed installed models), so
+/// parallel corpus labeling stays byte-identical at any thread count.
+pub trait LazyLabeler: Sync {
+    /// Labels every design for one lazy pair, in [`Executor`] target
+    /// order.
+    fn label_all_lazy(&self, a: &LazyMatrix, b: LazyOperand<'_>) -> Vec<SimReport>;
+
+    /// [`LazyLabeler::label_all_lazy`] with pair features the caller
+    /// already extracted under `tile` (the corpus pipeline computes
+    /// them for every sample before labeling). Labelers that gate on
+    /// features — the tiered oracle — skip re-extraction when the
+    /// config and arity match; everyone else ignores the hint. Results
+    /// must be byte-identical to [`LazyLabeler::label_all_lazy`]: the
+    /// features are a cache, never an input that changes the answer.
+    fn label_all_lazy_with_features(
+        &self,
+        a: &LazyMatrix,
+        b: LazyOperand<'_>,
+        features: &[f64],
+        tile: &misam_features::TileConfig,
+    ) -> Vec<SimReport> {
+        let _ = (features, tile);
+        self.label_all_lazy(a, b)
+    }
+}
+
+impl LazyLabeler for SimOracle<FpgaSim> {
+    fn label_all_lazy(&self, a: &LazyMatrix, b: LazyOperand<'_>) -> Vec<SimReport> {
+        self.execute_all_lazy(a, b)
+    }
+}
+
+impl<L: LazyLabeler + ?Sized> LazyLabeler for &L {
+    fn label_all_lazy(&self, a: &LazyMatrix, b: LazyOperand<'_>) -> Vec<SimReport> {
+        (**self).label_all_lazy(a, b)
+    }
+
+    fn label_all_lazy_with_features(
+        &self,
+        a: &LazyMatrix,
+        b: LazyOperand<'_>,
+        features: &[f64],
+        tile: &misam_features::TileConfig,
+    ) -> Vec<SimReport> {
+        (**self).label_all_lazy_with_features(a, b, features, tile)
     }
 }
 

@@ -295,6 +295,29 @@ mod tests {
     }
 
     #[test]
+    fn tiered_oracle_without_a_bundle_matches_the_sim_oracle() {
+        // The tiered surrogate oracle drops into the same executor seam
+        // as the memoized cycle sim; with no bundle installed every tile
+        // must fall through to the sim, tile for tile, bit for bit.
+        let a = gen::uniform_random(900, 384, 0.01, 21);
+        let b = Operand::Dense { rows: 384, cols: 48 };
+        let tiered = misam_oracle::TieredOracle::new();
+
+        let mut e1 = ReconfigEngine::new(flat_model(), ReconfigCost::zero(), 0.2);
+        e1.force_load(DesignId::D2);
+        let via_sim = run(&a, b, &tiny_cfg(5), misam_oracle::global(), &mut e1, |_| DesignId::D2);
+
+        let mut e2 = ReconfigEngine::new(flat_model(), ReconfigCost::zero(), 0.2);
+        e2.force_load(DesignId::D2);
+        let via_tiered = run(&a, b, &tiny_cfg(5), &tiered, &mut e2, |_| DesignId::D2);
+
+        assert_eq!(via_sim, via_tiered);
+        let stats = tiered.stats();
+        assert_eq!(stats.unmodeled_pairs as usize, via_tiered.tiles.len());
+        assert_eq!(stats.surrogate_pairs, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "tile row range")]
     fn reversed_tile_range_panics() {
         let a = gen::uniform_random(100, 100, 0.1, 14);

@@ -373,6 +373,12 @@ pub struct LearnStatsReply {
     /// Generation of the bundle currently serving (reloads and learner
     /// publishes both bump it).
     pub model_generation: u64,
+    /// Operand pairs the tiered labeler answered from the gated
+    /// surrogate (0 unless the learner runs with `--label-via tiered`).
+    pub surrogate_pairs: u64,
+    /// Operand pairs the tiered labeler fell back to the cycle sim on
+    /// (below the confidence band, or no bundle installed).
+    pub surrogate_fallback_pairs: u64,
 }
 
 /// Payload of [`Response::Stats`]; also dumped on graceful shutdown.

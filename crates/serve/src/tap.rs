@@ -51,6 +51,8 @@ struct Scoreboard {
     retrains_touchup: AtomicU64,
     publishes: AtomicU64,
     last_publish_generation: AtomicU64,
+    surrogate_pairs: AtomicU64,
+    surrogate_fallback_pairs: AtomicU64,
 }
 
 /// The bounded sampling queue plus its scoreboard. Shared as
@@ -187,6 +189,14 @@ impl LearnTap {
         }
     }
 
+    /// Learner-side: publishes the tiered labeler's surrogate-hit and
+    /// cycle-sim-fallback pair counts. The tiered oracle's counters are
+    /// already cumulative, so the values are stored, not accumulated.
+    pub fn record_surrogate(&self, surrogate_pairs: u64, fallback_pairs: u64) {
+        self.board.surrogate_pairs.store(surrogate_pairs, Ordering::Relaxed);
+        self.board.surrogate_fallback_pairs.store(fallback_pairs, Ordering::Relaxed);
+    }
+
     /// Learner-side: records a bundle actually published, with the
     /// generation [`crate::SharedModel::publish`] stamped it with.
     pub fn record_publish(&self, generation: u64) {
@@ -230,6 +240,8 @@ impl LearnTap {
             publishes: b.publishes.load(Ordering::Relaxed),
             last_publish_generation: b.last_publish_generation.load(Ordering::Relaxed),
             model_generation,
+            surrogate_pairs: b.surrogate_pairs.load(Ordering::Relaxed),
+            surrogate_fallback_pairs: b.surrogate_fallback_pairs.load(Ordering::Relaxed),
         }
     }
 }
@@ -304,6 +316,8 @@ mod tests {
         tap.record_retrain(true);
         tap.record_retrain(false);
         tap.record_publish(7);
+        tap.record_surrogate(40, 2);
+        tap.record_surrogate(90, 5); // cumulative: stored, not summed
         let reply = tap.stats_reply(7);
         assert_eq!(reply.labeled, 2);
         assert_eq!(reply.skipped, 1);
@@ -316,6 +330,8 @@ mod tests {
         assert_eq!(reply.publishes, 1);
         assert_eq!(reply.last_publish_generation, 7);
         assert_eq!(reply.model_generation, 7);
+        assert_eq!(reply.surrogate_pairs, 90);
+        assert_eq!(reply.surrogate_fallback_pairs, 5);
         // Sliding a label out of the window retires its cell.
         tap.retire_label(DesignId::D1, DesignId::D4);
         assert_eq!(tap.stats_reply(7).confusion[3], 0);

@@ -40,6 +40,12 @@ use crate::design::{DesignConfig, Traversal};
 use misam_sparse::simd;
 use misam_sparse::{CsrMatrix, CsrRef, MatrixProfile, Structure};
 
+/// Element target per residue-major batch of the Row-traversal fold:
+/// rows are grouped until their combined nonzeros reach this, so the
+/// lane-mapped residue stream runs over full tiles even when individual
+/// rows are short.
+const ROW_BATCH_ELEMS: usize = 1 << 12;
+
 /// Per-PE accumulation state while building a schedule.
 #[derive(Debug, Clone, Copy, Default)]
 struct PeAcc {
@@ -180,39 +186,59 @@ pub fn schedule_uniform_lanes(a: CsrRef<'_>, cfg: &DesignConfig, w: u64) -> Sche
             }
         }
         Traversal::Row => {
-            // Per-row residue histogram with a touched list, fed by the
-            // precomputed residue tile of [`misam_sparse::simd`]: the
-            // `col % pes` map runs over u32 lanes; only the histogram
-            // scatter stays scalar.
+            // Residue-major multi-row batching: `col % pes` depends only
+            // on the column, so the u32 lane map of
+            // [`misam_sparse::simd`] runs over many rows' concatenated
+            // elements in one stream — short rows no longer waste
+            // partial residue tiles — and the histogram fold below walks
+            // per-row segments of the shared residue buffer. The scatter
+            // visits elements in exactly the row-at-a-time order and the
+            // fold is integer sums/maxima (evaluation-order-free), so
+            // the report stays bit-identical to the per-row walk.
             let row_ptr = a.row_ptr();
             let col_idx = a.col_idx();
             let mut count = vec![0u64; pes];
             let mut touched: Vec<usize> = Vec::with_capacity(pes);
             let mut tile = [0u32; simd::RESIDUE_TILE];
-            for r in 0..a.rows() {
-                let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
-                for chunk in row.chunks(simd::RESIDUE_TILE) {
+            let mut residues: Vec<u32> = Vec::new();
+            let mut r = 0usize;
+            while r < a.rows() {
+                // Whole rows, grown until the batch holds enough
+                // elements to keep every residue tile full.
+                let base = row_ptr[r];
+                let mut r_end = r + 1;
+                while r_end < a.rows() && row_ptr[r_end + 1] - base < ROW_BATCH_ELEMS {
+                    r_end += 1;
+                }
+                let batch = &col_idx[base..row_ptr[r_end]];
+                residues.clear();
+                residues.reserve(batch.len());
+                for chunk in batch.chunks(simd::RESIDUE_TILE) {
                     simd::fill_residues(chunk, pes, &mut tile);
-                    for &p in &tile[..chunk.len()] {
+                    residues.extend_from_slice(&tile[..chunk.len()]);
+                }
+                for rr in r..r_end {
+                    for &p in &residues[row_ptr[rr] - base..row_ptr[rr + 1] - base] {
                         let p = p as usize;
                         if count[p] == 0 {
                             touched.push(p);
                         }
                         count[p] += 1;
                     }
-                }
-                for &p in &touched {
-                    let c = count[p];
-                    let acc = &mut accs[p];
-                    acc.work += c * w;
-                    acc.elements += c;
-                    let span = c * w + (c - 1) * g;
-                    if span > acc.max_span {
-                        acc.max_span = span;
+                    for &p in &touched {
+                        let c = count[p];
+                        let acc = &mut accs[p];
+                        acc.work += c * w;
+                        acc.elements += c;
+                        let span = c * w + (c - 1) * g;
+                        if span > acc.max_span {
+                            acc.max_span = span;
+                        }
+                        count[p] = 0;
                     }
-                    count[p] = 0;
+                    touched.clear();
                 }
-                touched.clear();
+                r = r_end;
             }
         }
     }

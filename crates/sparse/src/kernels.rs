@@ -146,6 +146,9 @@ pub fn try_spgemm_rowwise_with(
     b: &CsrMatrix,
     ws: &mut SpaWorkspace,
 ) -> Result<CsrMatrix> {
+    if b.cols() >= SPA_WIDE_COLS {
+        return try_spgemm_rowwise_tiled(a, b, ws, SPA_TILE_COLS);
+    }
     check_dims(a.cols(), b.rows())?;
     let n = b.cols();
     ws.reset(n);
@@ -182,6 +185,103 @@ pub fn try_spgemm_rowwise_with(
             }
             acc[j as usize] = 0.0;
             occupied[(j >> 6) as usize] &= !(1u64 << (j & 63));
+        }
+        row_ptr.push(values.len());
+    }
+    CsrMatrix::from_raw_parts(a.rows(), b.cols(), row_ptr, col_idx, values)
+}
+
+/// Output width at which the SPA stops being cache-resident and
+/// [`try_spgemm_rowwise_with`] switches to the column-tiled walk.
+pub const SPA_WIDE_COLS: usize = 1 << 14;
+
+/// Column-tile width of the tiled SPA: a 4096-column tile keeps the
+/// f32 accumulator (16 KiB) plus its occupancy bitset (512 B) inside L1
+/// no matter how wide B is.
+pub const SPA_TILE_COLS: usize = 1 << 12;
+
+/// Column-tiled SPA for wide B: output columns are processed in tiles
+/// of `tile_cols`, so the accumulator and bitset stay cache-resident
+/// instead of thrashing across a `b.cols()`-wide scratch row. Each
+/// A-row element keeps a cursor into its B row (both sides walk columns
+/// ascending), so the B traffic per output row is the same one pass the
+/// untiled SPA makes.
+///
+/// Output is bit-identical to [`try_spgemm_rowwise_scalar`]: for any
+/// output column `j` the accumulation still happens in A-row element
+/// order (the tile loop only partitions *which* columns a pass
+/// touches), and tiles emit in ascending column order exactly like the
+/// sorted emit scan.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] when `a.cols() != b.rows()`.
+///
+/// # Panics
+///
+/// Panics if `tile_cols == 0`.
+pub fn try_spgemm_rowwise_tiled(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    ws: &mut SpaWorkspace,
+    tile_cols: usize,
+) -> Result<CsrMatrix> {
+    assert!(tile_cols > 0, "tile width must be positive");
+    check_dims(a.cols(), b.rows())?;
+    let n = b.cols();
+    let t = tile_cols.min(n.max(1));
+    ws.reset(t);
+    let acc = &mut ws.acc[..];
+    let occupied = &mut ws.occupied[..];
+    let touched = &mut ws.touched[..];
+
+    let mut row_ptr = Vec::with_capacity(a.rows() + 1);
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut values: Vec<f32> = Vec::new();
+    row_ptr.push(0);
+
+    // One cursor per A-row element, advanced monotonically through its
+    // B row as the tiles sweep left to right.
+    let mut cursors: Vec<usize> = Vec::new();
+    for i in 0..a.rows() {
+        let arow = a.row(i);
+        let (ks, vs) = (arow.cols(), arow.values());
+        cursors.clear();
+        cursors.resize(ks.len(), 0);
+        let mut tile_lo = 0usize;
+        while tile_lo < n {
+            let tile_hi = (tile_lo + t).min(n);
+            let mut nt = 0usize;
+            for (e, (&k, &a_val)) in ks.iter().zip(vs).enumerate() {
+                let brow = b.row(k as usize);
+                let (bc, bv) = (brow.cols(), brow.values());
+                let mut q = cursors[e];
+                while q < bc.len() && (bc[q] as usize) < tile_hi {
+                    let j = bc[q] as usize - tile_lo;
+                    let word = occupied[j >> 6];
+                    let bit = 1u64 << (j & 63);
+                    touched[nt] = j as u32;
+                    nt += usize::from(word & bit == 0);
+                    occupied[j >> 6] = word | bit;
+                    acc[j] += a_val * bv[q];
+                    q += 1;
+                }
+                cursors[e] = q;
+            }
+            let tile_touched = &mut touched[..nt];
+            if !tile_touched.is_sorted() {
+                tile_touched.sort_unstable();
+            }
+            for &j in tile_touched.iter() {
+                let v = acc[j as usize];
+                if v != 0.0 {
+                    col_idx.push(j + tile_lo as u32);
+                    values.push(v);
+                }
+                acc[j as usize] = 0.0;
+                occupied[(j >> 6) as usize] &= !(1u64 << (j & 63));
+            }
+            tile_lo = tile_hi;
         }
         row_ptr.push(values.len());
     }

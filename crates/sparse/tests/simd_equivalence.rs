@@ -8,7 +8,7 @@
 
 use misam_sparse::kernels::{
     spmm, spmm_lanes, spmm_scalar, try_spgemm_rowwise, try_spgemm_rowwise_scalar,
-    try_spgemm_rowwise_with, SpaWorkspace,
+    try_spgemm_rowwise_tiled, try_spgemm_rowwise_with, SpaWorkspace, SPA_WIDE_COLS,
 };
 use misam_sparse::{gen, simd, CsrMatrix};
 use proptest::prelude::*;
@@ -108,6 +108,30 @@ proptest! {
         }
     }
 
+    /// Column-tiled SPA vs the bool-array reference: the tile loop only
+    /// partitions which output columns a pass touches, so structure and
+    /// value bits must match at every tile width — including widths of
+    /// 1 (one pass per column) and widths larger than B.
+    #[test]
+    fn spgemm_tiled_forms_agree(
+        m in 1usize..50,
+        k in 1usize..40,
+        n in 1usize..90,
+        da in 0.0f64..0.4,
+        db in 0.0f64..0.4,
+        tile in 1usize..100,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = gen::uniform_random(m, k, da, seed);
+        let b = gen::uniform_random(k, n, db, seed ^ 0x51ed);
+        let reference = try_spgemm_rowwise_scalar(&a, &b).unwrap();
+        let mut ws = SpaWorkspace::new();
+        let tiled = try_spgemm_rowwise_tiled(&a, &b, &mut ws, tile).unwrap();
+        prop_assert_eq!(reference.row_ptr(), tiled.row_ptr());
+        prop_assert_eq!(reference.col_idx(), tiled.col_idx());
+        assert_bits_eq(reference.values(), tiled.values(), "tiled");
+    }
+
     /// SpMM: two-element register blocking vs the one-element axpy,
     /// across odd/even A-row lengths and B widths 0–33 (covering f32
     /// lane remainders on every vector width).
@@ -146,6 +170,25 @@ fn residue_fold_exact_boundary_lengths() {
             assert_eq!(sum_s, sum_l, "pes={pes} len={extra}");
             assert_eq!(max_s, max_l, "pes={pes} len={extra}");
         }
+    }
+}
+
+/// B wide enough to cross `SPA_WIDE_COLS` routes the workspace form
+/// through the column-tiled SPA; the product must still be bit-identical
+/// to the bool-array reference and the public dispatcher.
+#[test]
+fn wide_b_dispatch_is_bit_identical() {
+    let a = gen::uniform_random(40, 64, 0.1, 11);
+    let b = gen::uniform_random(64, SPA_WIDE_COLS + 257, 0.002, 13);
+    assert!(b.cols() >= SPA_WIDE_COLS);
+    let reference = try_spgemm_rowwise_scalar(&a, &b).unwrap();
+    let mut ws = SpaWorkspace::new();
+    let with_ws = try_spgemm_rowwise_with(&a, &b, &mut ws).unwrap();
+    let dispatched = try_spgemm_rowwise(&a, &b).unwrap();
+    for (got, ctx) in [(&with_ws, "workspace"), (&dispatched, "dispatch")] {
+        assert_eq!(reference.row_ptr(), got.row_ptr(), "{ctx}: row_ptr");
+        assert_eq!(reference.col_idx(), got.col_idx(), "{ctx}: col_idx");
+        assert_bits_eq(reference.values(), got.values(), ctx);
     }
 }
 
